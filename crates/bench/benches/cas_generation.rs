@@ -1,0 +1,57 @@
+//! Criterion bench P1a — CAS generation speed: scheme enumeration,
+//! gate-level synthesis, and VHDL emission across Table-1 geometries
+//! (the paper's generator tool, measured).
+
+use casbus::{CasGeometry, SchemeSet};
+use casbus_netlist::synth;
+use casbus_rtl::vhdl;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_enumeration");
+    for (n, p) in [(4usize, 2usize), (6, 3), (6, 5), (8, 4)] {
+        let geometry = CasGeometry::new(n, p).expect("valid");
+        group.bench_with_input(
+            BenchmarkId::new("enumerate", format!("n{n}p{p}")),
+            &geometry,
+            |b, g| {
+                b.iter(|| SchemeSet::enumerate(black_box(*g)).expect("in budget"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cas_synthesis");
+    for (n, p) in [(4usize, 2usize), (6, 3), (8, 4)] {
+        let set = SchemeSet::enumerate(CasGeometry::new(n, p).expect("valid")).expect("in budget");
+        group.bench_with_input(
+            BenchmarkId::new("synthesize", format!("n{n}p{p}")),
+            &set,
+            |b, s| {
+                b.iter(|| synth::synthesize_cas(black_box(s)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_vhdl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vhdl_generation");
+    for (n, p) in [(4usize, 2usize), (6, 3), (8, 4)] {
+        let set = SchemeSet::enumerate(CasGeometry::new(n, p).expect("valid")).expect("in budget");
+        group.bench_with_input(
+            BenchmarkId::new("generate", format!("n{n}p{p}")),
+            &set,
+            |b, s| {
+                b.iter(|| vhdl::generate_vhdl(black_box(s)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_synthesis, bench_vhdl);
+criterion_main!(benches);

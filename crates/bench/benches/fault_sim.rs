@@ -1,0 +1,49 @@
+//! Criterion bench P1c — stuck-at fault simulation over synthesized CAS
+//! netlists (grading the testability of the test infrastructure itself).
+
+use casbus::{CasGeometry, SchemeSet};
+use casbus_netlist::{fault, synth};
+use casbus_tpg::BitVec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn sequences(inputs: usize, count: usize, depth: usize) -> Vec<Vec<BitVec>> {
+    // Deterministic pseudo-random multi-cycle sequences.
+    let mut state = 0x1234_5678_9abc_def0u64;
+    (0..count)
+        .map(|_| {
+            (0..depth)
+                .map(|_| {
+                    (0..inputs)
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            state >> 62 & 1 == 1
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_fault_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fault_simulation");
+    group.sample_size(10);
+    for (n, p) in [(3usize, 1usize), (4, 2)] {
+        let set = SchemeSet::enumerate(CasGeometry::new(n, p).expect("valid")).expect("in budget");
+        let netlist = synth::synthesize_cas(&set);
+        let inputs = 2 + n + p;
+        let seqs = sequences(inputs, 8, 6);
+        group.bench_with_input(
+            BenchmarkId::new("cas", format!("n{n}p{p}")),
+            &(netlist, seqs),
+            |b, (nl, seqs)| {
+                b.iter(|| fault::fault_simulate(black_box(nl), black_box(seqs)).expect("valid"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sim);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench P1d — test scheduling throughput: packing core tests
+//! onto the bus for SoCs of growing size.
+
+use casbus_controller::schedule;
+use casbus_soc::catalog;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling");
+    group.sample_size(10);
+    for cores in [10usize, 50] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let soc = catalog::random_soc(&mut rng, cores, 4);
+        group.bench_with_input(BenchmarkId::new("packed", cores), &soc, |b, soc| {
+            b.iter(|| schedule::packed_schedule(black_box(soc), 8).expect("fits"));
+        });
+        group.bench_with_input(BenchmarkId::new("serial", cores), &soc, |b, soc| {
+            b.iter(|| schedule::serial_schedule(black_box(soc), 8).expect("fits"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench P1b — end-to-end simulation throughput: full verified
+//! test sessions over the CAS-BUS (bit-level transport through
+//! bus → CAS → wrapper → core and back).
+
+use casbus_sim::{run_core_session, SocSimulator};
+use casbus_soc::catalog;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soc_sessions");
+    group.sample_size(20);
+
+    group.bench_function("bist16_session", |b| {
+        let soc = catalog::figure2b_bist_soc();
+        b.iter(|| {
+            let mut sim = SocSimulator::new(&soc, 3).expect("fits");
+            run_core_session(black_box(&mut sim), "bist16").expect("session runs")
+        });
+    });
+
+    group.bench_function("scan3_session", |b| {
+        let soc = catalog::figure2a_scan_soc();
+        b.iter(|| {
+            let mut sim = SocSimulator::new(&soc, 4).expect("fits");
+            run_core_session(black_box(&mut sim), "scan3").expect("session runs")
+        });
+    });
+
+    group.bench_function("figure1_all_cores", |b| {
+        let soc = catalog::figure1_soc();
+        b.iter(|| {
+            let mut sim = SocSimulator::new(&soc, 4).expect("fits");
+            for core in soc.cores() {
+                run_core_session(black_box(&mut sim), core.name()).expect("session runs");
+            }
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_raw_transport(c: &mut Criterion) {
+    use casbus_sim::ClockKind;
+    use casbus_tpg::BitVec;
+
+    c.bench_function("bus_transport_1k_cycles", |b| {
+        let soc = catalog::figure1_soc();
+        let mut sim = SocSimulator::new(&soc, 8).expect("fits");
+        let kinds = vec![ClockKind::Idle; sim.tam().cas_count()];
+        let bus: BitVec = "10110101".parse().expect("literal");
+        b.iter(|| {
+            for _ in 0..1000 {
+                sim.data_clock(black_box(&bus), &kinds).expect("transports");
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_sessions, bench_raw_transport);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Experiment A2 — the paper's §3.3 area discussion: the synthesized CAS
+//! grows steeply with the bus width, and the two sketched "future work"
+//! implementations — an optimized gate-level description and a
+//! pass-transistor fabric — "solve the CAS area problem for large width
+//! test busses, even without restricting heuristics".
+//!
+//! Reports all three area models over every Table-1 geometry.
+
+use casbus::SchemeSet;
+use casbus_bench::{ratio, PAPER_TABLE1};
+use casbus_netlist::{area, crosspoint, opt, synth, AreaModel, AreaReport};
+
+fn main() {
+    println!("CAS area under five implementation styles (gate equivalents)");
+    println!();
+    println!(
+        "{:>2} {:>2} {:>6} | {:>12} {:>9} {:>15} {:>12} {:>12} | {:>9}",
+        "N", "P", "m", "synthesized", "CSE-opt", "optimized-gate", "xpoint-est", "xpoint-real", "xp/synth"
+    );
+    println!("{:-<13}+{:-<68}+{:-<10}", "", "", "");
+    for row in PAPER_TABLE1 {
+        let geometry = row.geometry();
+        let report = AreaReport::for_geometry(geometry).expect("table rows enumerate");
+        let synthesized = report.gate_equivalents;
+        // Measured: run our own logic optimizer over the synthesized fabric.
+        let set = SchemeSet::enumerate(geometry).expect("in budget");
+        let cse = opt::optimize(&synth::synthesize_cas(&set)).expect("well-formed");
+        let cse_area = area::gate_equivalents(&cse);
+        let optimized = AreaModel::OptimizedGateLevel.estimate(geometry);
+        let pass_transistor = AreaModel::PassTransistor.estimate(geometry);
+        // Measured: a real crosspoint (pass-transistor style) netlist with
+        // per-port select fields instead of the dense instruction decode.
+        let xp = crosspoint::synthesize_crosspoint_cas(geometry);
+        let xp_area = area::gate_equivalents(&xp);
+        println!(
+            "{:>2} {:>2} {:>6} | {:>12.0} {:>9.0} {:>15.0} {:>12.0} {:>12.0} | {:>9}",
+            row.n, row.p, row.m, synthesized, cse_area, optimized, pass_transistor, xp_area,
+            ratio(xp_area, synthesized)
+        );
+    }
+    println!();
+    println!("Reading: the synthesized fabric's area is dominated by the per-");
+    println!("scheme decode (∝ m). Our measured CSE/constant-folding pass shaves");
+    println!("only ~1% — the shared-prefix decoder is already share-maximal at");
+    println!("the 2-input level, so the paper's smaller counts must come from");
+    println!("multi-level restructuring (modelled by the optimized-gate column).");
+    println!("The crosspoint (pass-transistor) columns — analytic AND a real,");
+    println!("simulated netlist with per-port select fields — scale with N·P only,");
+    println!("matching the paper's claim that the pass-transistor architecture");
+    println!("removes the area obstacle for wide busses, 'even without");
+    println!("restricting heuristics' (it can even express non-injective routes).");
+}

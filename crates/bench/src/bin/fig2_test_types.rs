@@ -1,0 +1,37 @@
+//! Experiment F2 — exercises the four test types of the paper's
+//! **Figure 2**: (a) scannable cores on N/P switches, (b) BISTed cores on
+//! N/1, (c) external source/sink cores, (d) hierarchical cores over an
+//! internal test bus. Every session transports real bits through
+//! bus → CAS → wrapper → core and verifies them against a golden model.
+
+use casbus_sim::{run_core_session, SocSimulator};
+use casbus_soc::catalog;
+
+fn main() {
+    println!("Figure 2 — test types supported by the CAS-BUS");
+    println!();
+    let cases = [
+        ("(a) scan, N/P", catalog::figure2a_scan_soc(), 4),
+        ("(b) BIST, N/1", catalog::figure2b_bist_soc(), 3),
+        ("(c) external source/sink", catalog::figure2c_external_soc(), 4),
+        ("(d) hierarchical, N/P_int", catalog::figure2d_hierarchical_soc(), 4),
+    ];
+    for (label, soc, n) in cases {
+        println!("{label}  (SoC {:?}, N = {n})", soc.name());
+        let mut sim = SocSimulator::new(&soc, n).expect("catalogue SoCs fit");
+        for core in soc.cores() {
+            let report = run_core_session(&mut sim, core.name()).expect("session runs");
+            println!(
+                "    {:<12} P={}  {:>7} config + {:>7} data cycles  -> {}",
+                core.name(),
+                core.required_ports(),
+                report.config_cycles,
+                report.data_cycles,
+                report.verdict
+            );
+            assert!(report.verdict.is_pass(), "fault-free cores must pass");
+        }
+        println!();
+    }
+    println!("All four Figure-2 test types transport and verify bit-exactly.");
+}

@@ -1,0 +1,62 @@
+//! Experiment F4 — demonstrates the three CAS functional modes of the
+//! paper's **Figure 4** cycle by cycle on one N=4, P=2 CAS:
+//!
+//! * (a) CONFIGURATION — the instruction register threads e0→s0,
+//! * (b) BYPASS — all wires pass straight through,
+//! * (c) TEST — P wires switched to the core, N−P bypassing.
+
+use casbus::{Cas, CasControl, CasGeometry, CasInstruction};
+use casbus_tpg::BitVec;
+
+fn main() {
+    let geometry = CasGeometry::new(4, 2).expect("valid geometry");
+    let mut cas = Cas::for_geometry(geometry).expect("within budget");
+    println!("Figure 4 — CAS modes on a {} switch (m = {}, k = {})", geometry,
+        geometry.combination_count(), geometry.instruction_width());
+
+    // (b) BYPASS: power-on default.
+    println!("\n(b) BYPASS — instruction register all zeros");
+    let bus: BitVec = "1010".parse().expect("literal");
+    let out = cas
+        .clock(&bus, &BitVec::zeros(2), CasControl::run())
+        .expect("widths match");
+    println!("    e = {bus}  ->  s = {}   o = {:?} (tri-stated)", out.bus_out, out.core_in);
+
+    // (a) CONFIGURATION: shift a TEST opcode over wire 0.
+    let target = CasInstruction::Test(9);
+    let bits = target.encode(cas.schemes().len(), cas.instruction_width());
+    println!("\n(a) CONFIGURATION — shifting opcode {bits} for {target} over e0/s0");
+    for (cycle, bit) in bits.iter().enumerate() {
+        let mut bus = BitVec::zeros(4);
+        bus.set(0, bit);
+        let out = cas
+            .clock(&bus, &BitVec::zeros(2), CasControl::shift_config())
+            .expect("widths match");
+        println!(
+            "    cycle {cycle}: e0 = {}  s0 = {}  IR = {}",
+            u8::from(bit),
+            u8::from(out.bus_out.get(0).expect("wire 0")),
+            cas.ir_shift_stage()
+        );
+    }
+    cas.clock(&BitVec::zeros(4), &BitVec::zeros(2), CasControl::update())
+        .expect("widths match");
+    println!("    update pulse -> active instruction: {}", cas.instruction());
+
+    // (c) TEST: the configured scheme routes, the rest bypasses.
+    let scheme = cas.active_scheme().expect("TEST mode").clone();
+    println!("\n(c) TEST — active scheme: {scheme}");
+    let bus: BitVec = "1100".parse().expect("literal");
+    let core: BitVec = "11".parse().expect("literal");
+    let out = cas.clock(&bus, &core, CasControl::run()).expect("widths match");
+    println!(
+        "    e = {bus}, i = {core}  ->  s = {}, o = {}",
+        out.bus_out,
+        out.core_in.expect("TEST mode drives the core")
+    );
+    println!(
+        "    wires {:?} serve the core; wires {:?} bypass",
+        scheme.wires(),
+        scheme.bypassed_wires()
+    );
+}

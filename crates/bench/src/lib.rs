@@ -1,0 +1,89 @@
+//! Shared data and helpers for the experiment binaries and criterion
+//! benches that regenerate every table and figure of the CAS-BUS paper.
+//!
+//! Run the experiments with, e.g.:
+//!
+//! ```text
+//! cargo run -p casbus-bench --bin table1
+//! cargo run -p casbus-bench --bin tradeoff_n
+//! cargo run -p casbus-bench --bin ablation_heuristic
+//! cargo bench -p casbus-bench
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use casbus::CasGeometry;
+
+/// One row of the paper's Table 1: `(N, P, m, k, gates)` as printed in the
+/// paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaperRow {
+    /// Test bus width.
+    pub n: usize,
+    /// Switched wires.
+    pub p: usize,
+    /// Combination count reported by the paper.
+    pub m: u128,
+    /// Instruction register width reported by the paper.
+    pub k: u32,
+    /// Synthesized gate count reported by the paper (Synopsys, unspecified
+    /// library).
+    pub gates: u32,
+}
+
+/// The paper's Table 1, verbatim.
+pub const PAPER_TABLE1: [PaperRow; 12] = [
+    PaperRow { n: 3, p: 1, m: 5, k: 3, gates: 16 },
+    PaperRow { n: 4, p: 1, m: 6, k: 3, gates: 23 },
+    PaperRow { n: 4, p: 2, m: 14, k: 4, gates: 64 },
+    PaperRow { n: 4, p: 3, m: 26, k: 5, gates: 118 },
+    PaperRow { n: 5, p: 1, m: 7, k: 3, gates: 28 },
+    PaperRow { n: 5, p: 2, m: 22, k: 5, gates: 85 },
+    PaperRow { n: 5, p: 3, m: 62, k: 6, gates: 205 },
+    PaperRow { n: 6, p: 1, m: 8, k: 3, gates: 33 },
+    PaperRow { n: 6, p: 2, m: 32, k: 5, gates: 134 },
+    PaperRow { n: 6, p: 3, m: 122, k: 7, gates: 280 },
+    PaperRow { n: 6, p: 5, m: 722, k: 10, gates: 1154 },
+    PaperRow { n: 8, p: 4, m: 1682, k: 11, gates: 4400 },
+];
+
+impl PaperRow {
+    /// The geometry of this row.
+    ///
+    /// # Panics
+    ///
+    /// Never — all table rows are valid geometries.
+    pub fn geometry(&self) -> CasGeometry {
+        CasGeometry::new(self.n, self.p).expect("paper rows are valid")
+    }
+}
+
+/// Formats a ratio as `x.xx×`.
+pub fn ratio(ours: f64, paper: f64) -> String {
+    if paper == 0.0 {
+        "—".to_owned()
+    } else {
+        format!("{:.2}x", ours / paper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rows_match_the_combinatorial_model() {
+        for row in PAPER_TABLE1 {
+            let g = row.geometry();
+            assert_eq!(g.combination_count(), row.m, "m for N={} P={}", row.n, row.p);
+            assert_eq!(g.instruction_width(), row.k, "k for N={} P={}", row.n, row.p);
+        }
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(ratio(2.0, 1.0), "2.00x");
+        assert_eq!(ratio(1.0, 0.0), "—");
+    }
+}

@@ -1,0 +1,320 @@
+//! The cycle-accurate controller phase sequencer.
+//!
+//! The central test controller alternates between two phases (paper §3.1,
+//! Fig. 4): CONFIGURATION — shifting instruction bits over bus wire 0 with
+//! the global `config` line asserted, closed by one `update` pulse — and
+//! TEST — streaming test data for the step's duration. [`TestController`]
+//! tracks which phase the SoC is in and which control signals to assert each
+//! clock; the bit-level data path is driven by `casbus-sim`.
+
+use std::fmt;
+
+use casbus::{CasControl, CasError, Tam};
+use casbus_tpg::BitVec;
+
+use crate::program::TestProgram;
+
+/// The controller's phase at a given clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControllerPhase {
+    /// Shifting configuration bits over test bus wire 0.
+    Configuring,
+    /// The single update pulse ending a configuration phase.
+    Updating,
+    /// Streaming test data for the current step.
+    Testing {
+        /// Index of the program step being executed.
+        step: usize,
+        /// Cycles of the step already run.
+        elapsed: u64,
+    },
+    /// Program exhausted.
+    Done,
+}
+
+impl fmt::Display for ControllerPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Configuring => f.write_str("CONFIGURATION"),
+            Self::Updating => f.write_str("UPDATE"),
+            Self::Testing { step, .. } => write!(f, "TEST(step {step})"),
+            Self::Done => f.write_str("DONE"),
+        }
+    }
+}
+
+/// Sequences a [`TestProgram`] over a [`Tam`], one clock at a time.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::Tam;
+/// use casbus_controller::{schedule, TestController, TestProgram};
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure2b_bist_soc();
+/// let mut tam = Tam::new(&soc, 3)?;
+/// let sched = schedule::serial_schedule(&soc, 3).unwrap();
+/// let program = TestProgram::from_schedule(&tam, &soc, &sched)?;
+/// let mut controller = TestController::new(program);
+/// let mut cycles = 0u64;
+/// while controller.tick(&mut tam)? {
+///     cycles += 1;
+/// }
+/// assert_eq!(cycles, controller.cycles_run());
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestController {
+    program: TestProgram,
+    step: usize,
+    /// Remaining configuration bits for the current step (None once shifted).
+    config_bits: Option<(BitVec, usize)>,
+    update_pending: bool,
+    test_elapsed: u64,
+    cycles_run: u64,
+}
+
+impl TestController {
+    /// Creates a controller for a program; the first step's configuration
+    /// phase begins on the first [`tick`](TestController::tick).
+    pub fn new(program: TestProgram) -> Self {
+        Self {
+            program,
+            step: 0,
+            config_bits: None,
+            update_pending: false,
+            test_elapsed: 0,
+            cycles_run: 0,
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &TestProgram {
+        &self.program
+    }
+
+    /// Clocks run so far.
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// The phase the *next* tick will execute.
+    pub fn phase(&self) -> ControllerPhase {
+        if self.step >= self.program.len() {
+            return ControllerPhase::Done;
+        }
+        match &self.config_bits {
+            // Configuration not yet staged, or bits still left to shift.
+            None => ControllerPhase::Configuring,
+            Some((bits, pos)) if *pos < bits.len() => ControllerPhase::Configuring,
+            Some(_) if self.update_pending => ControllerPhase::Updating,
+            Some(_) => ControllerPhase::Testing { step: self.step, elapsed: self.test_elapsed },
+        }
+    }
+
+    /// Advances one clock, driving the TAM's control (and, during
+    /// configuration, data) lines. Returns `false` once the program is done.
+    ///
+    /// During TEST phases this drives an idle data clock — callers that
+    /// stream real test data (like `casbus-sim`) use
+    /// [`TestController::stage_configuration`] and
+    /// [`TestController::account_test_cycles`] instead and interleave their
+    /// own data clocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TAM errors.
+    pub fn tick(&mut self, tam: &mut Tam) -> Result<bool, CasError> {
+        match self.phase() {
+            ControllerPhase::Done => Ok(false),
+            ControllerPhase::Configuring => {
+                if self.config_bits.is_none() {
+                    // First entry into this step: stage its configuration.
+                    self.stage_configuration(tam, self.step)?;
+                    return self.tick(tam);
+                }
+                let bit = match &mut self.config_bits {
+                    Some((bits, pos)) => {
+                        let bit = bits.get(*pos).expect("phase checked bounds");
+                        *pos += 1;
+                        bit
+                    }
+                    None => unreachable!("staged above"),
+                };
+                let mut bus = BitVec::zeros(tam.bus_width());
+                bus.set(0, bit);
+                let cores = idle_cores(tam);
+                tam.clock(&bus, &cores, CasControl::shift_config())?;
+                self.cycles_run += 1;
+                Ok(true)
+            }
+            ControllerPhase::Updating => {
+                let bus = BitVec::zeros(tam.bus_width());
+                let cores = idle_cores(tam);
+                tam.clock(&bus, &cores, CasControl::update())?;
+                self.update_pending = false;
+                self.cycles_run += 1;
+                Ok(true)
+            }
+            ControllerPhase::Testing { step, .. } => {
+                tam.clock_idle_cores(&BitVec::zeros(tam.bus_width()))?;
+                self.test_elapsed += 1;
+                self.cycles_run += 1;
+                if self.test_elapsed >= self.program.steps()[step].duration {
+                    self.advance_step();
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Stages the configuration phase of step `step` (computes the serial
+    /// stream). Exposed for simulators that drive data clocks themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors.
+    pub fn stage_configuration(&mut self, tam: &Tam, step: usize) -> Result<(), CasError> {
+        let config = &self.program.steps()[step].configuration;
+        let stream =
+            casbus::ConfigStream::build(tam.chain().cases(), config.instructions())?;
+        self.config_bits = Some((stream.bits().clone(), 0));
+        self.update_pending = true;
+        Ok(())
+    }
+
+    /// Marks `cycles` test clocks of the current step as executed by an
+    /// external data driver (the simulator), advancing to the next step when
+    /// the duration is reached.
+    pub fn account_test_cycles(&mut self, cycles: u64) {
+        self.cycles_run += cycles;
+        self.test_elapsed += cycles;
+        if self.step < self.program.len()
+            && self.test_elapsed >= self.program.steps()[self.step].duration
+        {
+            self.advance_step();
+        }
+    }
+
+    fn advance_step(&mut self) {
+        self.step += 1;
+        self.config_bits = None;
+        self.update_pending = false;
+        self.test_elapsed = 0;
+    }
+
+    /// Whether the program has finished.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase(), ControllerPhase::Done)
+    }
+}
+
+fn idle_cores(tam: &Tam) -> Vec<BitVec> {
+    tam.chain()
+        .cases()
+        .iter()
+        .map(|c| BitVec::zeros(c.geometry().switched_wires()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::serial_schedule;
+    use casbus_soc::catalog;
+
+    fn make() -> (Tam, TestController) {
+        let soc = catalog::figure2b_bist_soc();
+        let tam = Tam::new(&soc, 3).unwrap();
+        let sched = serial_schedule(&soc, 3).unwrap();
+        let program = TestProgram::from_schedule(&tam, &soc, &sched).unwrap();
+        (tam, TestController::new(program))
+    }
+
+    #[test]
+    fn runs_to_completion_with_exact_cycle_count() {
+        let (mut tam, mut ctl) = make();
+        let expected = ctl.program().total_cycles(&tam);
+        let mut ticks = 0u64;
+        while ctl.tick(&mut tam).unwrap() {
+            ticks += 1;
+            assert!(ticks < 1_000_000, "runaway controller");
+        }
+        assert_eq!(ticks, expected);
+        assert_eq!(ctl.cycles_run(), expected);
+        assert!(ctl.is_done());
+    }
+
+    #[test]
+    fn configures_tam_before_testing() {
+        let (mut tam, mut ctl) = make();
+        // Run until the first TEST phase.
+        while !matches!(ctl.phase(), ControllerPhase::Testing { .. }) {
+            assert!(ctl.tick(&mut tam).unwrap());
+        }
+        // Exactly one CAS must now be in TEST mode (serial schedule).
+        let testing = tam
+            .chain()
+            .cases()
+            .iter()
+            .filter(|c| c.instruction().is_test())
+            .count();
+        assert_eq!(testing, 1);
+    }
+
+    #[test]
+    fn reconfigures_between_steps() {
+        let (mut tam, mut ctl) = make();
+        let mut seen_test_sets = Vec::new();
+        let mut last_phase_was_test = false;
+        while ctl.tick(&mut tam).unwrap() {
+            let now_test = matches!(ctl.phase(), ControllerPhase::Testing { .. });
+            if now_test && !last_phase_was_test {
+                let set: Vec<usize> = tam
+                    .chain()
+                    .cases()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.instruction().is_test())
+                    .map(|(i, _)| i)
+                    .collect();
+                seen_test_sets.push(set);
+            }
+            last_phase_was_test = now_test;
+        }
+        seen_test_sets.dedup();
+        assert_eq!(seen_test_sets.len(), 2, "two serial steps, two configurations");
+        assert_ne!(seen_test_sets[0], seen_test_sets[1]);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(ControllerPhase::Updating.to_string(), "UPDATE");
+        assert_eq!(
+            ControllerPhase::Testing { step: 2, elapsed: 0 }.to_string(),
+            "TEST(step 2)"
+        );
+    }
+
+    #[test]
+    fn external_accounting_advances_steps() {
+        let (tam, mut ctl) = make();
+        let d0 = ctl.program().steps()[0].duration;
+        ctl.stage_configuration(&tam, 0).unwrap();
+        // Pretend the simulator shifted the configuration and ran the step.
+        ctl.config_bits = Some((BitVec::new(), 0));
+        ctl.update_pending = false;
+        ctl.account_test_cycles(d0);
+        assert_eq!(ctl.phase(), ControllerPhase::Configuring, "next step reconfigures");
+    }
+
+    #[test]
+    fn empty_program_is_immediately_done() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut tam = Tam::new(&soc, 3).unwrap();
+        let mut ctl = TestController::new(TestProgram::new());
+        assert!(ctl.is_done());
+        assert!(!ctl.tick(&mut tam).unwrap());
+    }
+}

@@ -1,0 +1,223 @@
+//! Executable test programs: sequences of TAM configurations.
+//!
+//! Paper §5: *"Different TAM architectures can be addressed, in sequential
+//! order, within the same test program, in order to optimize test
+//! performances."* A [`TestProgram`] is exactly that sequence; each
+//! [`TestStep`] carries the CAS configuration, the matching wrapper
+//! instructions, and the step's duration.
+
+use std::fmt;
+
+use casbus::{CasError, Tam, TamConfiguration};
+use casbus_p1500::WrapperInstruction;
+use casbus_soc::{SocDescription, TestMethod};
+
+use crate::schedule::Schedule;
+
+/// One step of a test program: configure, then run for `duration` cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestStep {
+    /// Per-CAS instructions for this step.
+    pub configuration: TamConfiguration,
+    /// Per-CAS wrapper instructions (aligned with the TAM's CAS order; the
+    /// wrapped system bus, when present, is the last entry).
+    pub wrapper_instructions: Vec<WrapperInstruction>,
+    /// TEST-phase duration in cycles.
+    pub duration: u64,
+    /// Human-readable description (which cores run).
+    pub description: String,
+}
+
+/// A complete test program for one TAM.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TestProgram {
+    steps: Vec<TestStep>,
+}
+
+impl TestProgram {
+    /// An empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a step.
+    pub fn push(&mut self, step: TestStep) {
+        self.steps.push(step);
+    }
+
+    /// The steps, execution order.
+    pub fn steps(&self) -> &[TestStep] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the program has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Sum of TEST-phase durations.
+    pub fn test_cycles(&self) -> u64 {
+        self.steps.iter().map(|s| s.duration).sum()
+    }
+
+    /// Total cycles including one CONFIGURATION phase per step
+    /// (`configuration_clocks + 1` update cycle each).
+    pub fn total_cycles(&self, tam: &Tam) -> u64 {
+        self.test_cycles() + self.steps.len() as u64 * (tam.configuration_clocks() as u64 + 1)
+    }
+
+    /// Compiles a [`Schedule`] into a program: tests starting at the same
+    /// cycle form one concurrent step (wave); waves execute in start order.
+    ///
+    /// Each scheduled test is granted the contiguous wire window the
+    /// scheduler chose; cores not under test sit in CAS BYPASS with their
+    /// wrappers bypassed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CasError`] when a wire window cannot be expressed as a
+    /// scheme (never, for windows produced by the scheduler).
+    pub fn from_schedule(
+        tam: &Tam,
+        soc: &SocDescription,
+        schedule: &Schedule,
+    ) -> Result<Self, CasError> {
+        let mut starts: Vec<u64> = schedule.tests().iter().map(|t| t.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        let mut program = TestProgram::new();
+        for &wave_start in &starts {
+            let wave: Vec<_> = schedule
+                .tests()
+                .iter()
+                .filter(|t| t.start == wave_start)
+                .collect();
+            let mut configuration = TamConfiguration::all_bypass(tam.cas_count());
+            let mut wrappers = vec![WrapperInstruction::Bypass; tam.cas_count()];
+            let mut names = Vec::new();
+            let mut duration = 0u64;
+            for test in &wave {
+                let cas_index = tam
+                    .cas_for_core(&test.core_name)
+                    .ok_or(CasError::UnknownCas(test.core.0))?;
+                configuration.set(cas_index, tam.contiguous_test(cas_index, test.wire_start)?)?;
+                wrappers[cas_index] = wrapper_mode_for(soc, &test.core_name);
+                names.push(test.core_name.clone());
+                duration = duration.max(test.duration);
+            }
+            program.push(TestStep {
+                configuration,
+                wrapper_instructions: wrappers,
+                duration,
+                description: names.join(" + "),
+            });
+        }
+        Ok(program)
+    }
+}
+
+/// The wrapper instruction a core's test method calls for.
+fn wrapper_mode_for(soc: &SocDescription, core_name: &str) -> WrapperInstruction {
+    match soc.core_by_name(core_name).map(|(_, c)| c.method()) {
+        Some(TestMethod::Bist { .. } | TestMethod::Memory { .. }) => {
+            WrapperInstruction::IntestBist
+        }
+        Some(_) => WrapperInstruction::IntestScan,
+        // The wrapped system bus has no core entry: interconnect test.
+        None => WrapperInstruction::Extest,
+    }
+}
+
+impl fmt::Display for TestProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "test program: {} steps, {} test cycles", self.len(), self.test_cycles())?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  step {i}: {} ({} cycles)", step.description, step.duration)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{packed_schedule, serial_schedule};
+    use casbus_soc::catalog;
+
+    #[test]
+    fn serial_schedule_gives_one_step_per_core() {
+        let soc = catalog::figure1_soc();
+        let tam = Tam::new(&soc, 4).unwrap();
+        let schedule = serial_schedule(&soc, 4).unwrap();
+        let program = TestProgram::from_schedule(&tam, &soc, &schedule).unwrap();
+        assert_eq!(program.len(), soc.cores().len());
+        assert_eq!(program.test_cycles(), schedule.makespan());
+    }
+
+    #[test]
+    fn packed_schedule_merges_waves() {
+        let soc = catalog::figure1_soc();
+        let tam = Tam::new(&soc, 8).unwrap();
+        let schedule = packed_schedule(&soc, 8).unwrap();
+        let program = TestProgram::from_schedule(&tam, &soc, &schedule).unwrap();
+        assert!(program.len() <= soc.cores().len());
+        assert_eq!(program.len(), schedule.configuration_waves());
+        // Every step has at least one TEST instruction.
+        for step in program.steps() {
+            assert!(!step.configuration.cores_under_test().is_empty());
+        }
+    }
+
+    #[test]
+    fn wrapper_instructions_match_methods() {
+        let soc = catalog::figure1_soc();
+        let tam = Tam::new(&soc, 8).unwrap();
+        let schedule = serial_schedule(&soc, 8).unwrap();
+        let program = TestProgram::from_schedule(&tam, &soc, &schedule).unwrap();
+        for step in program.steps() {
+            for idx in step.configuration.cores_under_test() {
+                let label = tam.label(idx).unwrap();
+                let expected = match soc.core_by_name(label).map(|(_, c)| c.method()) {
+                    Some(TestMethod::Bist { .. } | TestMethod::Memory { .. }) => {
+                        WrapperInstruction::IntestBist
+                    }
+                    _ => WrapperInstruction::IntestScan,
+                };
+                assert_eq!(step.wrapper_instructions[idx], expected, "core {label}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_cycles_includes_configuration() {
+        let soc = catalog::figure2b_bist_soc();
+        let tam = Tam::new(&soc, 3).unwrap();
+        let schedule = serial_schedule(&soc, 3).unwrap();
+        let program = TestProgram::from_schedule(&tam, &soc, &schedule).unwrap();
+        let expected =
+            program.test_cycles() + program.len() as u64 * (tam.configuration_clocks() as u64 + 1);
+        assert_eq!(program.total_cycles(&tam), expected);
+        assert!(program.total_cycles(&tam) > program.test_cycles());
+    }
+
+    #[test]
+    fn display_lists_steps() {
+        let soc = catalog::figure2a_scan_soc();
+        let tam = Tam::new(&soc, 3).unwrap();
+        let schedule = serial_schedule(&soc, 3).unwrap();
+        let program = TestProgram::from_schedule(&tam, &soc, &schedule).unwrap();
+        assert!(program.to_string().contains("step 0"));
+    }
+
+    #[test]
+    fn empty_program() {
+        let p = TestProgram::new();
+        assert!(p.is_empty());
+        assert_eq!(p.test_cycles(), 0);
+    }
+}

@@ -1,0 +1,727 @@
+//! Test scheduling: packing core tests onto the `N`-wire bus over time.
+//!
+//! Every core test occupies `P_i` contiguous bus wires for `T_i` cycles (a
+//! rectangle), so minimizing the SoC test time is strip packing. The paper
+//! leaves the policy to the test designer/programmer pair (§4); we provide
+//! the two natural policies — fully serial sessions and greedy parallel
+//! packing — which the trade-off benches sweep against `N`.
+
+use std::fmt;
+
+use casbus_soc::{CoreDescription, CoreId, SocDescription};
+
+use crate::time_model::test_time;
+
+/// Errors from schedule construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A core needs more wires than the bus has.
+    CoreTooWide {
+        /// The core.
+        core: String,
+        /// Wires it needs.
+        needed: usize,
+        /// Bus width.
+        n: usize,
+    },
+    /// The bus width was zero.
+    ZeroWidth,
+    /// The exact scheduler's subset DP would exceed its budget.
+    TooManyCores {
+        /// Cores in the SoC.
+        count: usize,
+        /// Supported maximum.
+        limit: usize,
+    },
+    /// A single core's test power exceeds the whole budget.
+    PowerBudgetTooSmall {
+        /// The core.
+        core: String,
+        /// Its test power.
+        power: u32,
+        /// The budget.
+        budget: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CoreTooWide { core, needed, n } => {
+                write!(f, "core {core:?} needs {needed} wires, bus has {n}")
+            }
+            Self::ZeroWidth => f.write_str("the test bus needs at least one wire"),
+            Self::TooManyCores { count, limit } => {
+                write!(f, "exact scheduling supports up to {limit} cores, got {count}")
+            }
+            Self::PowerBudgetTooSmall { core, power, budget } => write!(
+                f,
+                "core {core:?} alone dissipates {power} against a budget of {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// One scheduled core test: a wire window over a time window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledTest {
+    /// The core under test.
+    pub core: CoreId,
+    /// Core name (for reports).
+    pub core_name: String,
+    /// First bus wire granted.
+    pub wire_start: usize,
+    /// Number of wires granted (`P`).
+    pub wires: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// Duration in cycles.
+    pub duration: u64,
+}
+
+impl ScheduledTest {
+    /// End cycle (exclusive).
+    pub fn end(&self) -> u64 {
+        self.start + self.duration
+    }
+
+    /// Whether two tests overlap in both time and wires (a conflict).
+    pub fn conflicts_with(&self, other: &ScheduledTest) -> bool {
+        let time_overlap = self.start < other.end() && other.start < self.end();
+        let wire_overlap = self.wire_start < other.wire_start + other.wires
+            && other.wire_start < self.wire_start + self.wires;
+        time_overlap && wire_overlap
+    }
+}
+
+/// A complete schedule over an `N`-wire bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    bus_width: usize,
+    tests: Vec<ScheduledTest>,
+}
+
+impl Schedule {
+    /// The bus width the schedule targets.
+    pub fn bus_width(&self) -> usize {
+        self.bus_width
+    }
+
+    /// The scheduled tests, by start time.
+    pub fn tests(&self) -> &[ScheduledTest] {
+        &self.tests
+    }
+
+    /// Total test time in cycles (excluding configuration phases).
+    pub fn makespan(&self) -> u64 {
+        self.tests.iter().map(ScheduledTest::end).max().unwrap_or(0)
+    }
+
+    /// Number of distinct configuration "waves": times at which a new set of
+    /// concurrent tests starts (each costs one CONFIGURATION phase).
+    pub fn configuration_waves(&self) -> usize {
+        let mut starts: Vec<u64> = self.tests.iter().map(|t| t.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        starts.len()
+    }
+
+    /// Checks the packing invariant: no two tests share a wire at the same
+    /// time.
+    pub fn is_conflict_free(&self) -> bool {
+        for (i, a) in self.tests.iter().enumerate() {
+            for b in &self.tests[i + 1..] {
+                if a.conflicts_with(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Average bus-wire utilisation over the makespan, in `[0, 1]`.
+    pub fn utilisation(&self) -> f64 {
+        let span = self.makespan();
+        if span == 0 {
+            return 0.0;
+        }
+        let used: u64 = self.tests.iter().map(|t| t.duration * t.wires as u64).sum();
+        used as f64 / (span * self.bus_width as u64) as f64
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schedule on {} wires: makespan {} cycles, {} waves, {:.0}% utilisation",
+            self.bus_width,
+            self.makespan(),
+            self.configuration_waves(),
+            self.utilisation() * 100.0
+        )?;
+        for t in &self.tests {
+            writeln!(
+                f,
+                "  [{:>8} .. {:>8}) wires {}..{} {}",
+                t.start,
+                t.end(),
+                t.wire_start,
+                t.wire_start + t.wires,
+                t.core_name
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn check_fit(soc: &SocDescription, n: usize) -> Result<(), ScheduleError> {
+    if n == 0 {
+        return Err(ScheduleError::ZeroWidth);
+    }
+    for core in soc.cores() {
+        if core.required_ports() > n {
+            return Err(ScheduleError::CoreTooWide {
+                core: core.name().to_owned(),
+                needed: core.required_ports(),
+                n,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn rectangles(soc: &SocDescription) -> Vec<(CoreId, &CoreDescription, u64)> {
+    soc.cores()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (CoreId(i), c, test_time(c)))
+        .collect()
+}
+
+/// The baseline policy: one core at a time, in descending-duration order.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when a core does not fit the bus.
+pub fn serial_schedule(soc: &SocDescription, n: usize) -> Result<Schedule, ScheduleError> {
+    check_fit(soc, n)?;
+    let mut rects = rectangles(soc);
+    rects.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    let mut tests = Vec::new();
+    let mut clock = 0u64;
+    for (core, desc, duration) in rects {
+        tests.push(ScheduledTest {
+            core,
+            core_name: desc.name().to_owned(),
+            wire_start: 0,
+            wires: desc.required_ports(),
+            start: clock,
+            duration,
+        });
+        clock += duration;
+    }
+    Ok(Schedule { bus_width: n, tests })
+}
+
+/// Greedy strip packing: longest tests first, each placed at the earliest
+/// time where a contiguous wire window is free.
+///
+/// # Errors
+///
+/// Returns [`ScheduleError`] when a core does not fit the bus.
+pub fn packed_schedule(soc: &SocDescription, n: usize) -> Result<Schedule, ScheduleError> {
+    check_fit(soc, n)?;
+    let mut rects = rectangles(soc);
+    rects.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    let mut placed: Vec<ScheduledTest> = Vec::new();
+    for (core, desc, duration) in rects {
+        let wires = desc.required_ports();
+        // Candidate start times: 0 and every end of a placed test.
+        let mut candidates: Vec<u64> = std::iter::once(0)
+            .chain(placed.iter().map(ScheduledTest::end))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut best: Option<(u64, usize)> = None;
+        'outer: for &start in &candidates {
+            // Wires occupied during [start, start+duration).
+            for wire_start in 0..=(n - wires) {
+                let probe = ScheduledTest {
+                    core,
+                    core_name: String::new(),
+                    wire_start,
+                    wires,
+                    start,
+                    duration,
+                };
+                if placed.iter().all(|p| !p.conflicts_with(&probe)) {
+                    best = Some((start, wire_start));
+                    break 'outer;
+                }
+            }
+        }
+        let (start, wire_start) = best.expect("time axis is unbounded, a slot always exists");
+        placed.push(ScheduledTest {
+            core,
+            core_name: desc.name().to_owned(),
+            wire_start,
+            wires,
+            start,
+            duration,
+        });
+    }
+    placed.sort_by_key(|t| (t.start, t.wire_start));
+    Ok(Schedule { bus_width: n, tests: placed })
+}
+
+/// Greedy strip packing under a **test-power budget**: like
+/// [`packed_schedule`], but a candidate placement is also rejected when the
+/// sum of [`test_power`](CoreDescription::test_power) of all
+/// simultaneously-running tests would exceed `power_budget` at any instant.
+///
+/// This is the constraint the SoC test-scheduling literature immediately
+/// layered on TAMs of the CAS-BUS generation (scan toggling can exceed
+/// mission-mode power and cook an otherwise good die).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::CoreTooWide`] as usual, and treats a core whose
+/// own power exceeds the budget like a core that does not fit
+/// ([`ScheduleError::CoreTooWide`] with the power numbers reported in wires'
+/// place would mislead, so it gets its own message via `ZeroWidth`-style
+/// rejection): [`ScheduleError::PowerBudgetTooSmall`].
+pub fn power_aware_schedule(
+    soc: &SocDescription,
+    n: usize,
+    power_budget: u32,
+) -> Result<Schedule, ScheduleError> {
+    check_fit(soc, n)?;
+    for core in soc.cores() {
+        if core.test_power() > power_budget {
+            return Err(ScheduleError::PowerBudgetTooSmall {
+                core: core.name().to_owned(),
+                power: core.test_power(),
+                budget: power_budget,
+            });
+        }
+    }
+    let mut rects = rectangles(soc);
+    rects.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    let mut placed: Vec<(ScheduledTest, u32)> = Vec::new();
+    for (core, desc, duration) in rects {
+        let wires = desc.required_ports();
+        let power = desc.test_power();
+        let mut candidates: Vec<u64> = std::iter::once(0)
+            .chain(placed.iter().map(|(t, _)| t.end()))
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut best: Option<(u64, usize)> = None;
+        'outer: for &start in &candidates {
+            let probe_interval = (start, start + duration);
+            // Conservative: sum the power of every placed test overlapping
+            // the probe window anywhere (an upper bound on the true
+            // instantaneous concurrency) — the budget is never exceeded.
+            let concurrent: u32 = placed
+                .iter()
+                .filter(|(t, _)| t.start < probe_interval.1 && probe_interval.0 < t.end())
+                .map(|(_, p)| *p)
+                .sum();
+            if concurrent + power > power_budget {
+                continue;
+            }
+            for wire_start in 0..=(n - wires) {
+                let probe = ScheduledTest {
+                    core,
+                    core_name: String::new(),
+                    wire_start,
+                    wires,
+                    start,
+                    duration,
+                };
+                if placed.iter().all(|(t, _)| !t.conflicts_with(&probe)) {
+                    best = Some((start, wire_start));
+                    break 'outer;
+                }
+            }
+        }
+        let (start, wire_start) = best.expect("serial placement always feasible");
+        placed.push((
+            ScheduledTest {
+                core,
+                core_name: desc.name().to_owned(),
+                wire_start,
+                wires,
+                start,
+                duration,
+            },
+            power,
+        ));
+    }
+    let mut tests: Vec<ScheduledTest> = placed.into_iter().map(|(t, _)| t).collect();
+    tests.sort_by_key(|t| (t.start, t.wire_start));
+    Ok(Schedule { bus_width: n, tests })
+}
+
+/// Peak concurrent test power of a schedule (checked at every test start).
+pub fn peak_power(soc: &SocDescription, schedule: &Schedule) -> u32 {
+    let power_of = |name: &str| {
+        soc.core_by_name(name)
+            .map(|(_, c)| c.test_power())
+            .unwrap_or(0)
+    };
+    schedule
+        .tests()
+        .iter()
+        .map(|probe| {
+            schedule
+                .tests()
+                .iter()
+                .filter(|t| t.start <= probe.start && probe.start < t.end())
+                .map(|t| power_of(&t.core_name))
+                .sum()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Upper bound on SoC size for [`wave_optimal_schedule`]'s `O(3^k)` DP.
+pub const WAVE_OPTIMAL_CORE_LIMIT: usize = 14;
+
+/// The provably-optimal *wave* schedule: cores are partitioned into
+/// concurrent waves (each wave's widths summing to at most `N`), waves run
+/// sequentially, and each wave lasts as long as its slowest member. This is
+/// exactly the execution model of a [`TestProgram`](crate::program::TestProgram)
+/// — one CONFIGURATION phase per wave — so it is the right optimality
+/// yardstick for the greedy packer.
+///
+/// Solved exactly by dynamic programming over core subsets (`O(3^k)`).
+///
+/// # Errors
+///
+/// Returns [`ScheduleError::TooManyCores`] beyond
+/// [`WAVE_OPTIMAL_CORE_LIMIT`] cores, plus the usual fit errors.
+pub fn wave_optimal_schedule(soc: &SocDescription, n: usize) -> Result<Schedule, ScheduleError> {
+    check_fit(soc, n)?;
+    let rects = rectangles(soc);
+    let k = rects.len();
+    if k > WAVE_OPTIMAL_CORE_LIMIT {
+        return Err(ScheduleError::TooManyCores { count: k, limit: WAVE_OPTIMAL_CORE_LIMIT });
+    }
+    let widths: Vec<usize> = rects.iter().map(|(_, c, _)| c.required_ports()).collect();
+    let durations: Vec<u64> = rects.iter().map(|&(_, _, d)| d).collect();
+    let full = (1usize << k) - 1;
+
+    // A wave is feasible when its widths fit the bus side by side.
+    let mut wave_width = vec![0usize; full + 1];
+    let mut wave_cost = vec![0u64; full + 1];
+    for mask in 1..=full {
+        let bit = mask.trailing_zeros() as usize;
+        let rest = mask & (mask - 1);
+        wave_width[mask] = wave_width[rest] + widths[bit];
+        wave_cost[mask] = wave_cost[rest].max(durations[bit]);
+    }
+
+    let mut dp = vec![u64::MAX; full + 1];
+    let mut choice = vec![0usize; full + 1];
+    dp[0] = 0;
+    for mask in 1..=full {
+        // Always include the lowest set bit in the wave to halve the work.
+        let low = mask & mask.wrapping_neg();
+        let mut sub = mask;
+        while sub != 0 {
+            if sub & low != 0 && wave_width[sub] <= n && dp[mask ^ sub] != u64::MAX {
+                let cand = dp[mask ^ sub] + wave_cost[sub];
+                if cand < dp[mask] {
+                    dp[mask] = cand;
+                    choice[mask] = sub;
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    debug_assert_ne!(dp[full], u64::MAX, "singleton waves always fit");
+
+    // Reconstruct the waves and lay each out on contiguous windows.
+    let mut tests = Vec::new();
+    let mut clock = 0u64;
+    let mut mask = full;
+    while mask != 0 {
+        let wave = choice[mask];
+        let mut wire = 0usize;
+        let mut members: Vec<usize> = (0..k).filter(|i| wave >> i & 1 == 1).collect();
+        members.sort_by_key(|&i| std::cmp::Reverse(widths[i]));
+        for i in members {
+            let (core, desc, duration) = rects[i];
+            tests.push(ScheduledTest {
+                core,
+                core_name: desc.name().to_owned(),
+                wire_start: wire,
+                wires: widths[i],
+                start: clock,
+                duration,
+            });
+            wire += widths[i];
+        }
+        clock += wave_cost[wave];
+        mask ^= wave;
+    }
+    tests.sort_by_key(|t| (t.start, t.wire_start));
+    Ok(Schedule { bus_width: n, tests })
+}
+
+/// Sweeps `packed_schedule` over bus widths, returning `(n, makespan)` —
+/// the §3.2 trade-off curve ("the larger is the width of the test bus, the
+/// shorter is the overall test time").
+pub fn makespan_vs_width(
+    soc: &SocDescription,
+    widths: impl IntoIterator<Item = usize>,
+) -> Vec<(usize, u64)> {
+    widths
+        .into_iter()
+        .filter_map(|n| packed_schedule(soc, n).ok().map(|s| (n, s.makespan())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_soc::catalog;
+
+    #[test]
+    fn serial_equals_sum_of_times() {
+        let soc = catalog::figure1_soc();
+        let sched = serial_schedule(&soc, 4).unwrap();
+        let total: u64 = soc.cores().iter().map(test_time).sum();
+        assert_eq!(sched.makespan(), total);
+        assert!(sched.is_conflict_free());
+        assert_eq!(sched.configuration_waves(), soc.cores().len());
+    }
+
+    #[test]
+    fn packing_never_worse_than_serial() {
+        let soc = catalog::figure1_soc();
+        for n in 4..=10 {
+            let serial = serial_schedule(&soc, n).unwrap().makespan();
+            let packed = packed_schedule(&soc, n).unwrap().makespan();
+            assert!(packed <= serial, "n={n}: {packed} > {serial}");
+        }
+    }
+
+    #[test]
+    fn packed_is_conflict_free() {
+        let soc = catalog::figure1_soc();
+        for n in 4..=12 {
+            let sched = packed_schedule(&soc, n).unwrap();
+            assert!(sched.is_conflict_free(), "n={n}\n{sched}");
+            assert_eq!(sched.tests().len(), soc.cores().len());
+        }
+    }
+
+    #[test]
+    fn wider_bus_never_slower() {
+        let soc = catalog::figure1_soc();
+        let curve = makespan_vs_width(&soc, 4..=12);
+        for pair in curve.windows(2) {
+            assert!(
+                pair[1].1 <= pair[0].1,
+                "makespan must be non-increasing in N: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_actually_helps_somewhere() {
+        let soc = catalog::figure1_soc();
+        let narrow = packed_schedule(&soc, 4).unwrap().makespan();
+        let wide = packed_schedule(&soc, 12).unwrap().makespan();
+        assert!(wide < narrow, "a 3x wider bus must shorten this SoC's test");
+    }
+
+    #[test]
+    fn too_narrow_rejected() {
+        let soc = catalog::figure1_soc(); // max P = 4
+        assert!(matches!(
+            packed_schedule(&soc, 2),
+            Err(ScheduleError::CoreTooWide { needed: 4, .. })
+        ));
+        assert_eq!(packed_schedule(&soc, 0), Err(ScheduleError::ZeroWidth));
+    }
+
+    #[test]
+    fn utilisation_bounds() {
+        let soc = catalog::figure2b_bist_soc();
+        let sched = packed_schedule(&soc, 2).unwrap();
+        let u = sched.utilisation();
+        assert!(u > 0.0 && u <= 1.0, "{u}");
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let a = ScheduledTest {
+            core: CoreId(0),
+            core_name: "a".into(),
+            wire_start: 0,
+            wires: 2,
+            start: 0,
+            duration: 10,
+        };
+        let mut b = a.clone();
+        b.core = CoreId(1);
+        b.wire_start = 2;
+        assert!(!a.conflicts_with(&b), "disjoint wires");
+        b.wire_start = 1;
+        assert!(a.conflicts_with(&b), "overlapping wires and time");
+        b.start = 10;
+        assert!(!a.conflicts_with(&b), "back-to-back in time");
+    }
+
+    #[test]
+    fn power_budget_is_respected() {
+        use casbus_soc::{CoreDescription, SocBuilder, TestMethod};
+        let soc = SocBuilder::new("hot")
+            .core(
+                CoreDescription::new("a", TestMethod::Bist { width: 8, patterns: 100 })
+                    .with_test_power(60),
+            )
+            .core(
+                CoreDescription::new("b", TestMethod::Bist { width: 8, patterns: 100 })
+                    .with_test_power(60),
+            )
+            .core(
+                CoreDescription::new("c", TestMethod::Bist { width: 8, patterns: 100 })
+                    .with_test_power(30),
+            )
+            .build()
+            .unwrap();
+        // Plenty of wires, but only 100 power units: a and b can never run
+        // together.
+        let sched = power_aware_schedule(&soc, 4, 100).unwrap();
+        assert!(sched.is_conflict_free());
+        assert!(peak_power(&soc, &sched) <= 100, "{sched}");
+        // With an unconstrained budget, everything runs at once and the
+        // makespan shrinks.
+        let free = power_aware_schedule(&soc, 4, 1000).unwrap();
+        assert!(free.makespan() <= sched.makespan());
+        assert_eq!(peak_power(&soc, &free), 150);
+    }
+
+    #[test]
+    fn power_budget_matches_unconstrained_packing_when_loose() {
+        let soc = catalog::figure1_soc();
+        let packed = packed_schedule(&soc, 8).unwrap();
+        let powered = power_aware_schedule(&soc, 8, u32::MAX).unwrap();
+        assert_eq!(powered.makespan(), packed.makespan());
+    }
+
+    #[test]
+    fn impossible_power_budget_rejected() {
+        let soc = catalog::figure1_soc(); // default power 100 per core
+        assert!(matches!(
+            power_aware_schedule(&soc, 8, 50),
+            Err(ScheduleError::PowerBudgetTooSmall { power: 100, budget: 50, .. })
+        ));
+    }
+
+    #[test]
+    fn tight_budget_degrades_towards_serial() {
+        let soc = catalog::figure1_soc();
+        let serial = serial_schedule(&soc, 8).unwrap().makespan();
+        // Exactly one core's worth of power: fully serial behaviour.
+        let tight = power_aware_schedule(&soc, 8, 100).unwrap();
+        assert!(peak_power(&soc, &tight) <= 100);
+        assert_eq!(tight.makespan(), serial);
+        // Two cores' worth: in between.
+        let medium = power_aware_schedule(&soc, 8, 200).unwrap();
+        assert!(medium.makespan() <= serial);
+        assert!(peak_power(&soc, &medium) <= 200);
+    }
+
+    #[test]
+    fn wave_optimal_is_valid_and_no_worse_than_serial() {
+        let soc = catalog::figure1_soc();
+        for n in 4..=9 {
+            let opt = wave_optimal_schedule(&soc, n).unwrap();
+            assert!(opt.is_conflict_free(), "n={n}\n{opt}");
+            assert_eq!(opt.tests().len(), soc.cores().len());
+            let serial = serial_schedule(&soc, n).unwrap().makespan();
+            assert!(opt.makespan() <= serial, "n={n}");
+        }
+    }
+
+    #[test]
+    fn wave_optimal_beats_or_matches_greedy_waves() {
+        // The greedy packer's *wave structure* (tests grouped by start) is a
+        // feasible wave partition, so the DP can only improve on its
+        // sum-of-wave-maxima cost.
+        let soc = catalog::figure1_soc();
+        for n in 4..=9 {
+            let packed = packed_schedule(&soc, n).unwrap();
+            let mut starts: Vec<u64> = packed.tests().iter().map(|t| t.start).collect();
+            starts.sort_unstable();
+            starts.dedup();
+            let greedy_wave_cost: u64 = starts
+                .iter()
+                .map(|&s| {
+                    packed
+                        .tests()
+                        .iter()
+                        .filter(|t| t.start == s)
+                        .map(|t| t.duration)
+                        .max()
+                        .unwrap_or(0)
+                })
+                .sum();
+            let opt = wave_optimal_schedule(&soc, n).unwrap();
+            assert!(
+                opt.makespan() <= greedy_wave_cost,
+                "n={n}: optimal {} vs greedy waves {greedy_wave_cost}",
+                opt.makespan()
+            );
+        }
+    }
+
+    #[test]
+    fn wave_optimal_equals_serial_on_width_one() {
+        let soc = catalog::figure2b_bist_soc();
+        let opt = wave_optimal_schedule(&soc, 1).unwrap();
+        let serial = serial_schedule(&soc, 1).unwrap();
+        assert_eq!(opt.makespan(), serial.makespan());
+    }
+
+    #[test]
+    fn wave_optimal_rejects_large_socs() {
+        let mut rng = rand::rng();
+        let soc = catalog::random_soc(&mut rng, 20, 2);
+        assert!(matches!(
+            wave_optimal_schedule(&soc, 4),
+            Err(ScheduleError::TooManyCores { count: 20, .. })
+        ));
+    }
+
+    #[test]
+    fn wave_optimal_exploits_width() {
+        // Two 1-wide cores with equal times: a 2-wide bus halves the span.
+        use casbus_soc::{CoreDescription, SocBuilder, TestMethod};
+        let soc = SocBuilder::new("pair")
+            .core(CoreDescription::new("a", TestMethod::Bist { width: 8, patterns: 100 }))
+            .core(CoreDescription::new("b", TestMethod::Bist { width: 8, patterns: 100 }))
+            .build()
+            .unwrap();
+        let narrow = wave_optimal_schedule(&soc, 1).unwrap().makespan();
+        let wide = wave_optimal_schedule(&soc, 2).unwrap().makespan();
+        assert_eq!(wide * 2, narrow);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let soc = catalog::figure2a_scan_soc();
+        let sched = packed_schedule(&soc, 5).unwrap();
+        let text = sched.to_string();
+        assert!(text.contains("makespan"));
+        assert!(text.contains("scan3"));
+    }
+}

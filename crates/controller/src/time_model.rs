@@ -1,0 +1,140 @@
+//! Per-core test time in test-clock cycles.
+
+use casbus_soc::{CoreDescription, TestMethod};
+
+/// Test time of one core in test-clock cycles, assuming its CAS grants it
+/// exactly the `P` wires its method needs.
+///
+/// The formulas follow standard DfT accounting:
+///
+/// * **scan** — per pattern: shift in over the deepest chain + 1 capture;
+///   responses overlap with the next stimulus, plus one final unload:
+///   `patterns·(depth + 1) + depth`,
+/// * **BIST** — one capture per pattern plus the serial signature unload:
+///   `patterns + width`,
+/// * **external** — one cycle per applied vector plus one pipeline flush,
+/// * **hierarchical** — the internal bus threads the sub-cores serially, so
+///   sub-core times add,
+/// * **memory** — the march test runs `3·words` operations plus the 2-bit
+///   status unload.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_controller::test_time;
+/// use casbus_soc::{CoreDescription, TestMethod};
+///
+/// let cpu = CoreDescription::new("cpu", TestMethod::Scan {
+///     chains: vec![100, 80],
+///     patterns: 10,
+/// });
+/// assert_eq!(test_time(&cpu), 10 * 101 + 100);
+/// ```
+pub fn test_time(core: &CoreDescription) -> u64 {
+    method_time(core.method())
+}
+
+fn method_time(method: &TestMethod) -> u64 {
+    match method {
+        TestMethod::Scan { chains, patterns } => {
+            let depth = chains.iter().copied().max().unwrap_or(0) as u64;
+            (*patterns as u64) * (depth + 1) + depth
+        }
+        TestMethod::Bist { width, patterns } => *patterns as u64 + u64::from(*width),
+        TestMethod::External { patterns, .. } => *patterns as u64 + 1,
+        TestMethod::Hierarchical { sub_cores, .. } => {
+            sub_cores.iter().map(test_time).sum()
+        }
+        TestMethod::Memory { words, .. } => 3 * (*words as u64) + 2,
+    }
+}
+
+/// Test time of a scan method if its chains were re-balanced to the given
+/// lengths (used by the §4 balancing optimization to compare variants).
+///
+/// # Panics
+///
+/// Panics if `method` is not scan.
+pub fn scan_time_with_chains(method: &TestMethod, chains: &[usize]) -> u64 {
+    match method {
+        TestMethod::Scan { patterns, .. } => {
+            let depth = chains.iter().copied().max().unwrap_or(0) as u64;
+            (*patterns as u64) * (depth + 1) + depth
+        }
+        _ => panic!("scan_time_with_chains requires a scan method"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_time_formula() {
+        let core = CoreDescription::new("c", TestMethod::Scan {
+            chains: vec![5, 9, 3],
+            patterns: 4,
+        });
+        // depth 9: 4·10 + 9.
+        assert_eq!(test_time(&core), 49);
+    }
+
+    #[test]
+    fn bist_time_formula() {
+        let core = CoreDescription::new("c", TestMethod::Bist { width: 16, patterns: 100 });
+        assert_eq!(test_time(&core), 116);
+    }
+
+    #[test]
+    fn external_time_formula() {
+        let core = CoreDescription::new("c", TestMethod::External { ports: 3, patterns: 64 });
+        assert_eq!(test_time(&core), 65);
+    }
+
+    #[test]
+    fn memory_time_formula() {
+        let core = CoreDescription::new("c", TestMethod::Memory { words: 32, data_width: 8 });
+        assert_eq!(test_time(&core), 98);
+    }
+
+    #[test]
+    fn hierarchical_time_adds_children() {
+        let subs = vec![
+            CoreDescription::new("a", TestMethod::Bist { width: 8, patterns: 10 }), // 18
+            CoreDescription::new("b", TestMethod::Scan { chains: vec![4], patterns: 2 }), // 14
+        ];
+        let core = CoreDescription::new(
+            "h",
+            TestMethod::Hierarchical { internal_bus_width: 1, sub_cores: subs },
+        );
+        assert_eq!(test_time(&core), 18 + 14);
+    }
+
+    #[test]
+    fn deeper_chains_cost_more() {
+        let shallow = CoreDescription::new("s", TestMethod::Scan {
+            chains: vec![10, 10],
+            patterns: 50,
+        });
+        let deep = CoreDescription::new("d", TestMethod::Scan {
+            chains: vec![19, 1],
+            patterns: 50,
+        });
+        assert!(test_time(&deep) > test_time(&shallow), "same flops, worse balance");
+    }
+
+    #[test]
+    fn rebalanced_time() {
+        let method = TestMethod::Scan { chains: vec![19, 1], patterns: 50 };
+        let before = scan_time_with_chains(&method, &[19, 1]);
+        let after = scan_time_with_chains(&method, &[10, 10]);
+        assert!(after < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a scan method")]
+    fn rebalance_rejects_non_scan() {
+        let method = TestMethod::Bist { width: 4, patterns: 1 };
+        let _ = scan_time_with_chains(&method, &[1]);
+    }
+}

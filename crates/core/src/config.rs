@@ -1,0 +1,179 @@
+//! Serial configuration bitstreams for a CAS chain.
+
+use casbus_tpg::BitVec;
+
+use crate::cas::Cas;
+use crate::error::CasError;
+use crate::instruction::CasInstruction;
+
+/// A serial configuration bitstream: the exact bits to shift over test bus
+/// wire 0 — with the `config` line asserted — so that every CAS instruction
+/// register ends up holding its target instruction.
+///
+/// During configuration the instruction registers of all CASes form one long
+/// shift register (paper §3: "The instruction registers of all the CASes are
+/// connected to each other through the first serial test bus wire (e0/s0)
+/// during the initialization phase"). The earliest bits travel furthest, so
+/// the stream is the concatenation of the per-CAS encodings in **reverse**
+/// chain order, each encoding LSB first.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::{Cas, CasGeometry, CasInstruction, ConfigStream};
+///
+/// let cases = vec![
+///     Cas::for_geometry(CasGeometry::new(4, 1)?)?, // k = 3
+///     Cas::for_geometry(CasGeometry::new(4, 2)?)?, // k = 4
+/// ];
+/// let stream = ConfigStream::build(
+///     &cases,
+///     &[CasInstruction::Bypass, CasInstruction::Test(0)],
+/// )?;
+/// assert_eq!(stream.len(), 7);
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigStream {
+    bits: BitVec,
+    per_cas_widths: Vec<u32>,
+}
+
+impl ConfigStream {
+    /// Builds the stream for loading `instructions[i]` into `cases[i]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::ConfigurationLengthMismatch`] when the slice
+    /// lengths differ, or [`CasError::SchemeIndexOutOfRange`] when a TEST
+    /// instruction names a scheme the CAS does not have.
+    pub fn build(cases: &[Cas], instructions: &[CasInstruction]) -> Result<Self, CasError> {
+        if cases.len() != instructions.len() {
+            return Err(CasError::ConfigurationLengthMismatch {
+                got: instructions.len(),
+                expected: cases.len(),
+            });
+        }
+        let mut bits = BitVec::new();
+        // Reverse chain order: the last CAS's encoding is shifted first.
+        for (cas, instr) in cases.iter().zip(instructions).rev() {
+            if let CasInstruction::Test(index) = instr {
+                cas.schemes().scheme(*index)?;
+            }
+            let encoded = instr.encode(cas.schemes().len(), cas.instruction_width());
+            bits.extend_from(&encoded);
+        }
+        Ok(Self {
+            bits,
+            per_cas_widths: cases.iter().map(Cas::instruction_width).collect(),
+        })
+    }
+
+    /// The serial bits, in shift order.
+    pub fn bits(&self) -> &BitVec {
+        &self.bits
+    }
+
+    /// Stream length in clocks (= the configuration phase duration).
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Instruction register width of each CAS, chain order.
+    pub fn per_cas_widths(&self) -> &[u32] {
+        &self.per_cas_widths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CasGeometry;
+
+    fn cas(n: usize, p: usize) -> Cas {
+        Cas::for_geometry(CasGeometry::new(n, p).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn stream_length_is_sum_of_widths() {
+        let cases = vec![cas(4, 1), cas(4, 2), cas(4, 3)];
+        let stream = ConfigStream::build(
+            &cases,
+            &[CasInstruction::Bypass, CasInstruction::Bypass, CasInstruction::Bypass],
+        )
+        .unwrap();
+        assert_eq!(stream.len(), 3 + 4 + 5);
+        assert_eq!(stream.per_cas_widths(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn reverse_order_layout() {
+        // Two CASes with k=3 each (N=4, P=1, m=6). Load Test(1) (opcode 2)
+        // into CAS0 and Test(3) (opcode 4) into CAS1.
+        let cases = vec![cas(4, 1), cas(4, 1)];
+        let stream =
+            ConfigStream::build(&cases, &[CasInstruction::Test(1), CasInstruction::Test(3)])
+                .unwrap();
+        // CAS1's encoding (opcode 4 = 001 LSB-first) comes first, then
+        // CAS0's (opcode 2 = 010 LSB-first).
+        assert_eq!(stream.bits().to_string(), "001010");
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let cases = vec![cas(4, 1)];
+        assert!(ConfigStream::build(&cases, &[]).is_err());
+    }
+
+    #[test]
+    fn invalid_scheme_rejected() {
+        let cases = vec![cas(4, 1)];
+        assert!(matches!(
+            ConfigStream::build(&cases, &[CasInstruction::Test(50)]),
+            Err(CasError::SchemeIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn loading_through_hardware_matches_direct_load() {
+        // The stream, shifted through real CASes, must produce the same
+        // active instructions as load_instruction.
+        use crate::cas::CasControl;
+        use crate::chain::CasChain;
+
+        let instrs = vec![
+            CasInstruction::Test(2),
+            CasInstruction::Configuration,
+            CasInstruction::Bypass,
+            CasInstruction::Test(7),
+        ];
+        let mut ch = CasChain::new(vec![cas(5, 1), cas(5, 2), cas(5, 1), cas(5, 3)]).unwrap();
+        let stream = ConfigStream::build(ch.cases(), &instrs).unwrap();
+        let cores: Vec<BitVec> = ch
+            .cases()
+            .iter()
+            .map(|c| BitVec::zeros(c.geometry().switched_wires()))
+            .collect();
+        for bit in stream.bits().iter() {
+            let mut bus = BitVec::zeros(5);
+            bus.set(0, bit);
+            ch.clock(&bus, &cores, CasControl::shift_config()).unwrap();
+        }
+        ch.clock(&BitVec::zeros(5), &cores, CasControl::update()).unwrap();
+        for (cas, want) in ch.cases().iter().zip(&instrs) {
+            assert_eq!(cas.instruction(), want);
+        }
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        let cases = vec![cas(4, 1)];
+        let stream = ConfigStream::build(&cases, &[CasInstruction::Bypass]).unwrap();
+        assert!(!stream.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! CAS geometry: the `(N, P)` pair and the combinatorics of Table 1.
+
+use std::fmt;
+
+use crate::error::CasError;
+
+/// The geometry of one Core Access Switch: a test bus of width `N` of which
+/// `P` wires are switched to the core (paper §2: `N ≥ 1`, `1 ≤ P ≤ N`).
+///
+/// All of the paper's Table 1 quantities derive from this pair:
+///
+/// * [`CasGeometry::test_scheme_count`] — the number of TEST switch schemes
+///   under the paper's heuristic, `N!/(N−P)!`,
+/// * [`CasGeometry::combination_count`] — `m`, the total instruction count
+///   (TEST schemes + BYPASS + CONFIGURATION),
+/// * [`CasGeometry::instruction_width`] — `k = ⌈log₂ m⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::CasGeometry;
+///
+/// // Every row of the paper's Table 1 is reproduced exactly:
+/// let g = CasGeometry::new(6, 3)?;
+/// assert_eq!(g.combination_count(), 122);
+/// assert_eq!(g.instruction_width(), 7);
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CasGeometry {
+    n: usize,
+    p: usize,
+}
+
+impl CasGeometry {
+    /// Creates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::BadGeometry`] unless `1 ≤ P ≤ N`.
+    pub fn new(n: usize, p: usize) -> Result<Self, CasError> {
+        if p == 0 || p > n {
+            return Err(CasError::BadGeometry { n, p });
+        }
+        Ok(Self { n, p })
+    }
+
+    /// The test bus width `N`.
+    pub fn bus_width(&self) -> usize {
+        self.n
+    }
+
+    /// The switched-wire count `P`.
+    pub fn switched_wires(&self) -> usize {
+        self.p
+    }
+
+    /// Number of TEST switch schemes under the paper's heuristic: the
+    /// ordered injective assignments of `P` port pairs onto `N` wires,
+    /// `N!/(N−P)! = N·(N−1)⋯(N−P+1)`.
+    /// Saturates at `u128::MAX` for geometries beyond any practical bus.
+    pub fn test_scheme_count(&self) -> u128 {
+        let mut count: u128 = 1;
+        for i in 0..self.p {
+            count = count.saturating_mul((self.n - i) as u128);
+        }
+        count
+    }
+
+    /// The paper's `m`: TEST schemes plus the BYPASS and CONFIGURATION
+    /// instructions.
+    pub fn combination_count(&self) -> u128 {
+        self.test_scheme_count().saturating_add(2)
+    }
+
+    /// The paper's `k = ⌈log₂ m⌉`: the CAS instruction register width.
+    pub fn instruction_width(&self) -> u32 {
+        ceil_log2(self.combination_count())
+    }
+
+    /// Scheme count *without* the paper's heuristic (§3.2 ablation): the
+    /// forward path (`e → o`) and the return path (`i → s`) are assigned
+    /// independently, squaring the count.
+    pub fn unrestricted_combination_count(&self) -> u128 {
+        let schemes = self.test_scheme_count();
+        schemes
+            .checked_mul(schemes)
+            .and_then(|sq| sq.checked_add(2))
+            .unwrap_or(u128::MAX)
+    }
+
+    /// Instruction register width without the heuristic.
+    pub fn unrestricted_instruction_width(&self) -> u32 {
+        ceil_log2(self.unrestricted_combination_count())
+    }
+}
+
+impl fmt::Display for CasGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N/P = {}/{}", self.n, self.p)
+    }
+}
+
+/// `⌈log₂ x⌉` for `x ≥ 1`.
+fn ceil_log2(x: u128) -> u32 {
+    debug_assert!(x >= 1);
+    if x <= 1 {
+        0
+    } else {
+        128 - (x - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every row of the paper's Table 1: (N, P, m, k).
+    pub const TABLE1_ROWS: [(usize, usize, u128, u32); 12] = [
+        (3, 1, 5, 3),
+        (4, 1, 6, 3),
+        (4, 2, 14, 4),
+        (4, 3, 26, 5),
+        (5, 1, 7, 3),
+        (5, 2, 22, 5),
+        (5, 3, 62, 6),
+        (6, 1, 8, 3),
+        (6, 2, 32, 5),
+        (6, 3, 122, 7),
+        (6, 5, 722, 10),
+        (8, 4, 1682, 11),
+    ];
+
+    #[test]
+    fn reproduces_table1_m_and_k_exactly() {
+        for (n, p, m, k) in TABLE1_ROWS {
+            let g = CasGeometry::new(n, p).unwrap();
+            assert_eq!(g.combination_count(), m, "m for N={n}, P={p}");
+            assert_eq!(g.instruction_width(), k, "k for N={n}, P={p}");
+        }
+    }
+
+    #[test]
+    fn invalid_geometries_rejected() {
+        assert_eq!(CasGeometry::new(4, 0), Err(CasError::BadGeometry { n: 4, p: 0 }));
+        assert_eq!(CasGeometry::new(3, 4), Err(CasError::BadGeometry { n: 3, p: 4 }));
+        assert_eq!(CasGeometry::new(0, 0), Err(CasError::BadGeometry { n: 0, p: 0 }));
+    }
+
+    #[test]
+    fn p_equals_n_allowed() {
+        let g = CasGeometry::new(3, 3).unwrap();
+        assert_eq!(g.test_scheme_count(), 6); // 3!
+        assert_eq!(g.combination_count(), 8);
+        assert_eq!(g.instruction_width(), 3);
+    }
+
+    #[test]
+    fn n_equals_one() {
+        let g = CasGeometry::new(1, 1).unwrap();
+        assert_eq!(g.combination_count(), 3);
+        assert_eq!(g.instruction_width(), 2);
+    }
+
+    #[test]
+    fn unrestricted_blows_up() {
+        let g = CasGeometry::new(8, 4).unwrap();
+        assert_eq!(g.test_scheme_count(), 1680);
+        assert_eq!(g.unrestricted_combination_count(), 1680 * 1680 + 2);
+        assert_eq!(g.unrestricted_instruction_width(), 22);
+        assert!(g.unrestricted_instruction_width() > g.instruction_width());
+    }
+
+    #[test]
+    fn ceil_log2_edges() {
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(4), 2);
+        assert_eq!(ceil_log2(5), 3);
+        assert_eq!(ceil_log2(1 << 20), 20);
+        assert_eq!(ceil_log2((1 << 20) + 1), 21);
+    }
+
+    #[test]
+    fn large_widths_do_not_overflow() {
+        let g = CasGeometry::new(32, 16).unwrap();
+        assert!(g.test_scheme_count() > 1 << 60);
+        let _ = g.instruction_width();
+        let _ = g.unrestricted_instruction_width();
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(CasGeometry::new(6, 3).unwrap().to_string(), "N/P = 6/3");
+    }
+}

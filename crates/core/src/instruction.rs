@@ -1,0 +1,207 @@
+//! CAS instructions and their binary encoding.
+
+use std::fmt;
+
+use casbus_tpg::BitVec;
+
+use crate::error::CasError;
+use crate::switch::{SchemeSet, SwitchScheme};
+
+/// One CAS instruction — what the `k`-bit instruction register can hold.
+///
+/// The paper's §3.1 defines three functional modes; BYPASS is the all-zero
+/// encoding ("When all the instruction register bits are 0, the CAS is in a
+/// BYPASS mode"), every TEST scheme has its own opcode, and CONFIGURATION
+/// takes the code after the last scheme. Together that is
+/// `m = (scheme count) + 2` encodings, matching Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CasInstruction {
+    /// All bus wires pass straight through the CAS (opcode 0).
+    Bypass,
+    /// The CAS connects its core according to the scheme at this
+    /// lexicographic index (opcodes `1 ..= scheme_count`).
+    Test(usize),
+    /// The CAS routes bus wire 0 through its instruction register
+    /// (opcode `scheme_count + 1`).
+    Configuration,
+}
+
+impl CasInstruction {
+    /// Builds a TEST instruction from an explicit scheme, resolving its
+    /// opcode index within `set`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::InvalidScheme`] when the scheme is not part of
+    /// the set (wrong geometry).
+    pub fn test_scheme(set: &SchemeSet, scheme: &SwitchScheme) -> Result<Self, CasError> {
+        set.index_of(scheme.wires())
+            .map(CasInstruction::Test)
+            .ok_or_else(|| {
+                CasError::InvalidScheme(format!("scheme {scheme} not in set for {}", set.geometry()))
+            })
+    }
+
+    /// The numeric opcode within a set of `scheme_count` TEST schemes.
+    pub fn opcode(&self, scheme_count: usize) -> u128 {
+        match self {
+            Self::Bypass => 0,
+            Self::Test(index) => 1 + *index as u128,
+            Self::Configuration => 1 + scheme_count as u128,
+        }
+    }
+
+    /// Decodes an opcode. Codes beyond `scheme_count + 1` are unassigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::SchemeIndexOutOfRange`] for unassigned codes.
+    pub fn from_opcode(opcode: u128, scheme_count: usize) -> Result<Self, CasError> {
+        if opcode == 0 {
+            Ok(Self::Bypass)
+        } else if opcode <= scheme_count as u128 {
+            Ok(Self::Test((opcode - 1) as usize))
+        } else if opcode == 1 + scheme_count as u128 {
+            Ok(Self::Configuration)
+        } else {
+            Err(CasError::SchemeIndexOutOfRange {
+                index: opcode as usize,
+                available: scheme_count + 2,
+            })
+        }
+    }
+
+    /// Encodes to `k` instruction-register bits, LSB first (the order they
+    /// are shifted in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > 64` (no tabulated CAS comes close) or the opcode does
+    /// not fit `k` bits.
+    pub fn encode(&self, scheme_count: usize, k: u32) -> BitVec {
+        let opcode = self.opcode(scheme_count);
+        assert!(k <= 64, "instruction registers wider than 64 bits are unsupported");
+        assert!(
+            k == 64 || opcode < 1u128 << k,
+            "opcode {opcode} does not fit {k} bits"
+        );
+        BitVec::from_u64(opcode as u64, k as usize)
+    }
+
+    /// Decodes `k` instruction-register bits (LSB first). Unassigned codes
+    /// fall back to [`CasInstruction::Bypass`], the safe default.
+    pub fn decode(bits: &BitVec, scheme_count: usize) -> Self {
+        Self::from_opcode(u128::from(bits.to_u64()), scheme_count).unwrap_or(Self::Bypass)
+    }
+
+    /// Whether this instruction connects the core to the bus.
+    pub fn is_test(&self) -> bool {
+        matches!(self, Self::Test(_))
+    }
+}
+
+impl fmt::Display for CasInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bypass => f.write_str("BYPASS"),
+            Self::Test(index) => write!(f, "TEST[{index}]"),
+            Self::Configuration => f.write_str("CONFIGURATION"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CasGeometry;
+
+    fn set42() -> SchemeSet {
+        SchemeSet::enumerate(CasGeometry::new(4, 2).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn bypass_is_all_zeros() {
+        let set = set42();
+        let k = set.geometry().instruction_width();
+        let bits = CasInstruction::Bypass.encode(set.len(), k);
+        assert_eq!(bits.count_ones(), 0);
+        assert_eq!(bits.len(), 4);
+    }
+
+    #[test]
+    fn opcode_roundtrip_all_codes() {
+        let set = set42();
+        let k = set.geometry().instruction_width();
+        let mut all = vec![CasInstruction::Bypass, CasInstruction::Configuration];
+        all.extend((0..set.len()).map(CasInstruction::Test));
+        for instr in all {
+            let bits = instr.encode(set.len(), k);
+            assert_eq!(CasInstruction::decode(&bits, set.len()), instr, "{instr}");
+        }
+    }
+
+    #[test]
+    fn every_encoding_fits_k_bits() {
+        for (n, p) in [(3usize, 1usize), (4, 3), (5, 2), (6, 5), (8, 4)] {
+            let g = CasGeometry::new(n, p).unwrap();
+            let set = SchemeSet::enumerate(g).unwrap();
+            let k = g.instruction_width();
+            // The largest opcode is CONFIGURATION = m − 1.
+            let bits = CasInstruction::Configuration.encode(set.len(), k);
+            assert_eq!(bits.len(), k as usize);
+        }
+    }
+
+    #[test]
+    fn unassigned_codes_decode_to_bypass() {
+        let set = set42(); // m = 14, k = 4: codes 14, 15 unassigned
+        let bits = BitVec::from_u64(15, 4);
+        assert_eq!(CasInstruction::decode(&bits, set.len()), CasInstruction::Bypass);
+    }
+
+    #[test]
+    fn from_opcode_rejects_unassigned() {
+        assert!(CasInstruction::from_opcode(14, 12).is_err());
+        assert_eq!(
+            CasInstruction::from_opcode(13, 12),
+            Ok(CasInstruction::Configuration)
+        );
+        assert_eq!(CasInstruction::from_opcode(12, 12), Ok(CasInstruction::Test(11)));
+    }
+
+    #[test]
+    fn test_scheme_resolves_index() {
+        let set = set42();
+        let scheme = set.scheme(7).unwrap().clone();
+        let instr = CasInstruction::test_scheme(&set, &scheme).unwrap();
+        assert_eq!(instr, CasInstruction::Test(7));
+    }
+
+    #[test]
+    fn test_scheme_wrong_geometry_rejected() {
+        let set = set42();
+        let other = SchemeSet::enumerate(CasGeometry::new(5, 2).unwrap()).unwrap();
+        let foreign = other.scheme(19).unwrap().clone(); // uses wire 4
+        assert!(CasInstruction::test_scheme(&set, &foreign).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn encode_overflow_panics() {
+        let _ = CasInstruction::Configuration.encode(100, 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CasInstruction::Bypass.to_string(), "BYPASS");
+        assert_eq!(CasInstruction::Test(3).to_string(), "TEST[3]");
+        assert_eq!(CasInstruction::Configuration.to_string(), "CONFIGURATION");
+    }
+
+    #[test]
+    fn is_test_classifier() {
+        assert!(CasInstruction::Test(0).is_test());
+        assert!(!CasInstruction::Bypass.is_test());
+        assert!(!CasInstruction::Configuration.is_test());
+    }
+}

@@ -1,0 +1,462 @@
+//! Switch schemes: the TEST-mode wire assignments of a CAS.
+
+use std::fmt;
+
+use crate::error::CasError;
+use crate::geometry::CasGeometry;
+
+/// Enumerating more schemes than this is refused — the instruction register
+/// would be impractical anyway (the paper's largest CAS has 1 680 schemes).
+pub const ENUMERATION_BUDGET: u128 = 1 << 20;
+
+/// One TEST switch scheme: an ordered injective assignment of the `P` core
+/// port pairs onto bus wires.
+///
+/// `wires()[j] = i` means bus input `e_i` is switched to core output `o_j`
+/// and — by the paper's heuristic — core input `i_j` is switched back to bus
+/// output `s_i`. The `N − P` unassigned wires bypass the CAS.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::{CasGeometry, SwitchScheme};
+///
+/// let g = CasGeometry::new(4, 2)?;
+/// let s = SwitchScheme::new(g, vec![2, 0])?;
+/// assert_eq!(s.wire_for_port(0), 2);
+/// assert_eq!(s.port_for_wire(0), Some(1));
+/// assert_eq!(s.port_for_wire(3), None); // wire 3 bypasses
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SwitchScheme {
+    geometry: CasGeometry,
+    /// `wires[j]` = bus wire assigned to core port `j`.
+    wires: Vec<usize>,
+}
+
+impl SwitchScheme {
+    /// Builds a scheme from an explicit port→wire assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::InvalidScheme`] if the assignment length differs
+    /// from `P`, uses a wire ≥ `N`, or assigns one wire twice.
+    pub fn new(geometry: CasGeometry, wires: Vec<usize>) -> Result<Self, CasError> {
+        if wires.len() != geometry.switched_wires() {
+            return Err(CasError::InvalidScheme(format!(
+                "expected {} port assignments, got {}",
+                geometry.switched_wires(),
+                wires.len()
+            )));
+        }
+        let mut seen = vec![false; geometry.bus_width()];
+        for &wire in &wires {
+            if wire >= geometry.bus_width() {
+                return Err(CasError::InvalidScheme(format!(
+                    "wire {wire} out of range for N={}",
+                    geometry.bus_width()
+                )));
+            }
+            if seen[wire] {
+                return Err(CasError::InvalidScheme(format!("wire {wire} assigned twice")));
+            }
+            seen[wire] = true;
+        }
+        Ok(Self { geometry, wires })
+    }
+
+    /// The identity scheme: port `j` on wire `j` (the natural power-on TEST
+    /// scheme).
+    pub fn identity(geometry: CasGeometry) -> Self {
+        let wires = (0..geometry.switched_wires()).collect();
+        Self { geometry, wires }
+    }
+
+    /// The contiguous scheme starting at `start`: port `j` on wire
+    /// `start + j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::InvalidScheme`] when the window `start..start+P`
+    /// leaves the bus.
+    pub fn contiguous(geometry: CasGeometry, start: usize) -> Result<Self, CasError> {
+        let wires: Vec<usize> = (start..start + geometry.switched_wires()).collect();
+        Self::new(geometry, wires)
+    }
+
+    /// The geometry this scheme belongs to.
+    pub fn geometry(&self) -> CasGeometry {
+        self.geometry
+    }
+
+    /// The port→wire assignment.
+    pub fn wires(&self) -> &[usize] {
+        &self.wires
+    }
+
+    /// Bus wire assigned to core port `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port ≥ P`.
+    pub fn wire_for_port(&self, port: usize) -> usize {
+        self.wires[port]
+    }
+
+    /// Core port assigned to bus wire `i`, or `None` when the wire bypasses.
+    pub fn port_for_wire(&self, wire: usize) -> Option<usize> {
+        self.wires.iter().position(|&w| w == wire)
+    }
+
+    /// Bus wires that bypass the CAS under this scheme, ascending.
+    pub fn bypassed_wires(&self) -> Vec<usize> {
+        (0..self.geometry.bus_width())
+            .filter(|w| self.port_for_wire(*w).is_none())
+            .collect()
+    }
+
+    /// Builds the scheme of lexicographic `rank` directly, without
+    /// enumerating the whole set — the inverse of [`SwitchScheme::rank`].
+    /// This is how a test programmer computes instruction opcodes for bus
+    /// widths whose full scheme table would not fit in memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::SchemeIndexOutOfRange`] when
+    /// `rank ≥ N!/(N−P)!`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use casbus::{CasGeometry, SwitchScheme};
+    ///
+    /// let g = CasGeometry::new(4, 2)?;
+    /// let s = SwitchScheme::from_rank(g, 11)?;
+    /// assert_eq!(s.wires(), &[3, 2]);
+    /// assert_eq!(s.rank(), 11);
+    /// # Ok::<(), casbus::CasError>(())
+    /// ```
+    pub fn from_rank(geometry: CasGeometry, rank: usize) -> Result<Self, CasError> {
+        let total = geometry.test_scheme_count();
+        if rank as u128 >= total {
+            return Err(CasError::SchemeIndexOutOfRange {
+                index: rank,
+                available: total.min(usize::MAX as u128) as usize,
+            });
+        }
+        let n = geometry.bus_width();
+        let p = geometry.switched_wires();
+        let mut radices = vec![1u128; p];
+        for j in (0..p.saturating_sub(1)).rev() {
+            radices[j] = radices[j + 1] * (n - (j + 1)) as u128;
+        }
+        let mut remaining = rank as u128;
+        let mut available: Vec<usize> = (0..n).collect();
+        let mut wires = Vec::with_capacity(p);
+        for radix in radices {
+            let choice = (remaining / radix) as usize;
+            remaining %= radix;
+            wires.push(available.remove(choice));
+        }
+        Ok(Self { geometry, wires })
+    }
+
+    /// The lexicographic rank of this scheme within its geometry's full
+    /// enumeration — the inverse of [`SchemeSet::scheme`].
+    pub fn rank(&self) -> usize {
+        let n = self.geometry.bus_width();
+        let p = self.wires.len();
+        // Mixed-radix ranking over shrinking choice sets: at step j there
+        // are n−j candidate wires, so the weight of step j is
+        // (n−j−1)·(n−j−2)⋯(n−p+1).
+        let mut radices = vec![1usize; p];
+        for j in (0..p.saturating_sub(1)).rev() {
+            radices[j] = radices[j + 1] * (n - (j + 1));
+        }
+        let mut available: Vec<usize> = (0..n).collect();
+        let mut rank = 0usize;
+        for (j, &wire) in self.wires.iter().enumerate() {
+            let pos = available.iter().position(|&w| w == wire).expect("wire available");
+            rank += pos * radices[j];
+            available.remove(pos);
+        }
+        rank
+    }
+}
+
+impl fmt::Display for SwitchScheme {
+    /// Formats as `e2->o0, e0->o1 (bypass: 1,3)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (j, &wire) in self.wires.iter().enumerate() {
+            if j > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "e{wire}->o{j}")?;
+        }
+        let bypassed = self.bypassed_wires();
+        if !bypassed.is_empty() {
+            let list: Vec<String> = bypassed.iter().map(ToString::to_string).collect();
+            write!(f, " (bypass: {})", list.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete, lexicographically-ordered set of TEST schemes for one
+/// geometry — the instruction set a generated CAS decodes.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::{CasGeometry, SchemeSet};
+///
+/// let set = SchemeSet::enumerate(CasGeometry::new(4, 2)?)?;
+/// assert_eq!(set.len(), 12); // 4·3 ordered pairs
+/// assert_eq!(set.scheme(0)?.wires(), &[0, 1]);
+/// assert_eq!(set.scheme(11)?.wires(), &[3, 2]);
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemeSet {
+    geometry: CasGeometry,
+    schemes: Vec<SwitchScheme>,
+}
+
+impl SchemeSet {
+    /// Enumerates every TEST scheme of the geometry in lexicographic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::TooManySchemes`] when the count exceeds
+    /// [`ENUMERATION_BUDGET`].
+    pub fn enumerate(geometry: CasGeometry) -> Result<Self, CasError> {
+        let count = geometry.test_scheme_count();
+        if count > ENUMERATION_BUDGET {
+            return Err(CasError::TooManySchemes {
+                n: geometry.bus_width(),
+                p: geometry.switched_wires(),
+                count,
+            });
+        }
+        let mut schemes = Vec::with_capacity(count as usize);
+        let mut current = Vec::with_capacity(geometry.switched_wires());
+        let mut used = vec![false; geometry.bus_width()];
+        enumerate_rec(geometry, &mut current, &mut used, &mut schemes);
+        Ok(Self { geometry, schemes })
+    }
+
+    /// The geometry.
+    pub fn geometry(&self) -> CasGeometry {
+        self.geometry
+    }
+
+    /// Number of TEST schemes (`m − 2`).
+    pub fn len(&self) -> usize {
+        self.schemes.len()
+    }
+
+    /// Whether the set is empty (never, for a valid geometry).
+    pub fn is_empty(&self) -> bool {
+        self.schemes.is_empty()
+    }
+
+    /// The scheme at lexicographic `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::SchemeIndexOutOfRange`] when `index ≥ len()`.
+    pub fn scheme(&self, index: usize) -> Result<&SwitchScheme, CasError> {
+        self.schemes.get(index).ok_or(CasError::SchemeIndexOutOfRange {
+            index,
+            available: self.schemes.len(),
+        })
+    }
+
+    /// Finds the index of a scheme with the given wire assignment.
+    pub fn index_of(&self, wires: &[usize]) -> Option<usize> {
+        self.schemes.iter().position(|s| s.wires() == wires)
+    }
+
+    /// Iterates over the schemes in lexicographic order.
+    pub fn iter(&self) -> std::slice::Iter<'_, SwitchScheme> {
+        self.schemes.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SchemeSet {
+    type Item = &'a SwitchScheme;
+    type IntoIter = std::slice::Iter<'a, SwitchScheme>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.schemes.iter()
+    }
+}
+
+fn enumerate_rec(
+    geometry: CasGeometry,
+    current: &mut Vec<usize>,
+    used: &mut [bool],
+    out: &mut Vec<SwitchScheme>,
+) {
+    if current.len() == geometry.switched_wires() {
+        out.push(SwitchScheme { geometry, wires: current.clone() });
+        return;
+    }
+    for wire in 0..geometry.bus_width() {
+        if !used[wire] {
+            used[wire] = true;
+            current.push(wire);
+            enumerate_rec(geometry, current, used, out);
+            current.pop();
+            used[wire] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, p: usize) -> CasGeometry {
+        CasGeometry::new(n, p).unwrap()
+    }
+
+    #[test]
+    fn enumeration_count_matches_formula() {
+        for (n, p) in [(3, 1), (4, 2), (4, 3), (5, 3), (6, 3), (8, 4)] {
+            let geometry = g(n, p);
+            let set = SchemeSet::enumerate(geometry).unwrap();
+            assert_eq!(set.len() as u128, geometry.test_scheme_count(), "N={n}, P={p}");
+        }
+    }
+
+    #[test]
+    fn enumeration_is_lexicographic_and_distinct() {
+        let set = SchemeSet::enumerate(g(4, 2)).unwrap();
+        let wires: Vec<&[usize]> = set.iter().map(SwitchScheme::wires).collect();
+        let mut sorted = wires.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(wires, sorted, "lexicographic order, no duplicates");
+    }
+
+    #[test]
+    fn all_schemes_injective() {
+        let set = SchemeSet::enumerate(g(5, 3)).unwrap();
+        for scheme in &set {
+            let mut seen = std::collections::HashSet::new();
+            for &w in scheme.wires() {
+                assert!(w < 5);
+                assert!(seen.insert(w), "duplicate wire in {scheme}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let err = SchemeSet::enumerate(g(20, 10)).unwrap_err();
+        assert!(matches!(err, CasError::TooManySchemes { .. }));
+    }
+
+    #[test]
+    fn scheme_accessors() {
+        let s = SwitchScheme::new(g(4, 2), vec![2, 0]).unwrap();
+        assert_eq!(s.wire_for_port(1), 0);
+        assert_eq!(s.port_for_wire(2), Some(0));
+        assert_eq!(s.bypassed_wires(), vec![1, 3]);
+    }
+
+    #[test]
+    fn invalid_schemes_rejected() {
+        assert!(SwitchScheme::new(g(4, 2), vec![0]).is_err());
+        assert!(SwitchScheme::new(g(4, 2), vec![0, 4]).is_err());
+        assert!(SwitchScheme::new(g(4, 2), vec![1, 1]).is_err());
+    }
+
+    #[test]
+    fn identity_and_contiguous() {
+        let id = SwitchScheme::identity(g(5, 3));
+        assert_eq!(id.wires(), &[0, 1, 2]);
+        let c = SwitchScheme::contiguous(g(5, 3), 2).unwrap();
+        assert_eq!(c.wires(), &[2, 3, 4]);
+        assert!(SwitchScheme::contiguous(g(5, 3), 3).is_err());
+    }
+
+    #[test]
+    fn rank_inverts_enumeration() {
+        let set = SchemeSet::enumerate(g(5, 3)).unwrap();
+        for (i, scheme) in set.iter().enumerate() {
+            assert_eq!(scheme.rank(), i, "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn from_rank_matches_enumeration() {
+        for (n, p) in [(4usize, 2usize), (5, 3), (6, 1), (3, 3)] {
+            let geometry = g(n, p);
+            let set = SchemeSet::enumerate(geometry).unwrap();
+            for (i, scheme) in set.iter().enumerate() {
+                assert_eq!(
+                    SwitchScheme::from_rank(geometry, i).unwrap().wires(),
+                    scheme.wires(),
+                    "N={n} P={p} rank {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_rank_out_of_range_rejected() {
+        let geometry = g(4, 2);
+        assert!(SwitchScheme::from_rank(geometry, 12).is_err());
+        assert!(SwitchScheme::from_rank(geometry, 11).is_ok());
+    }
+
+    #[test]
+    fn from_rank_works_beyond_the_enumeration_budget() {
+        // N = 24, P = 8: ~1.7e10 schemes — enumeration is impossible, but
+        // unranking is O(N·P).
+        let geometry = g(24, 8);
+        assert!(SchemeSet::enumerate(geometry).is_err());
+        let scheme = SwitchScheme::from_rank(geometry, 123_456_789).unwrap();
+        assert_eq!(scheme.rank(), 123_456_789);
+        let mut seen = std::collections::HashSet::new();
+        for &w in scheme.wires() {
+            assert!(w < 24);
+            assert!(seen.insert(w), "injective");
+        }
+    }
+
+    #[test]
+    fn index_of_finds_schemes() {
+        let set = SchemeSet::enumerate(g(4, 2)).unwrap();
+        assert_eq!(set.index_of(&[0, 1]), Some(0));
+        assert_eq!(set.index_of(&[3, 2]), Some(11));
+        assert_eq!(set.index_of(&[0, 0]), None);
+    }
+
+    #[test]
+    fn full_permutation_geometry() {
+        let set = SchemeSet::enumerate(g(3, 3)).unwrap();
+        assert_eq!(set.len(), 6);
+        for scheme in &set {
+            assert!(scheme.bypassed_wires().is_empty());
+        }
+    }
+
+    #[test]
+    fn display_shows_assignments() {
+        let s = SwitchScheme::new(g(4, 2), vec![2, 0]).unwrap();
+        assert_eq!(s.to_string(), "e2->o0, e0->o1 (bypass: 1,3)");
+    }
+
+    #[test]
+    fn scheme_error_on_bad_index() {
+        let set = SchemeSet::enumerate(g(3, 1)).unwrap();
+        assert_eq!(
+            set.scheme(3).unwrap_err(),
+            CasError::SchemeIndexOutOfRange { index: 3, available: 3 }
+        );
+    }
+}

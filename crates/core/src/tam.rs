@@ -1,0 +1,428 @@
+//! The assembled Test Access Mechanism for a whole SoC.
+
+use std::fmt;
+
+use casbus_soc::SocDescription;
+use casbus_tpg::BitVec;
+
+use crate::cas::{Cas, CasControl};
+use crate::chain::{CasChain, ChainOutput};
+use crate::error::CasError;
+use crate::geometry::CasGeometry;
+use crate::instruction::CasInstruction;
+use crate::switch::SwitchScheme;
+
+/// One TAM configuration: an instruction per CAS, chain order. The paper's
+/// "different TAM architectures can be addressed, in sequential order,
+/// within the same test program" is a sequence of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamConfiguration {
+    instructions: Vec<CasInstruction>,
+}
+
+impl TamConfiguration {
+    /// A configuration from explicit per-CAS instructions.
+    pub fn new(instructions: Vec<CasInstruction>) -> Self {
+        Self { instructions }
+    }
+
+    /// The all-BYPASS configuration for `cas_count` CASes.
+    pub fn all_bypass(cas_count: usize) -> Self {
+        Self { instructions: vec![CasInstruction::Bypass; cas_count] }
+    }
+
+    /// The per-CAS instructions.
+    pub fn instructions(&self) -> &[CasInstruction] {
+        &self.instructions
+    }
+
+    /// Replaces the instruction of one CAS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::UnknownCas`] for an out-of-range index.
+    pub fn set(&mut self, cas_index: usize, instruction: CasInstruction) -> Result<(), CasError> {
+        let slot = self
+            .instructions
+            .get_mut(cas_index)
+            .ok_or(CasError::UnknownCas(cas_index))?;
+        *slot = instruction;
+        Ok(())
+    }
+
+    /// CASes with an active TEST instruction.
+    pub fn cores_under_test(&self) -> Vec<usize> {
+        self.instructions
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_test())
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+}
+
+impl fmt::Display for TamConfiguration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, instr) in self.instructions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" | ")?;
+            }
+            write!(f, "CAS{i}:{instr}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The complete CAS-BUS TAM for one SoC: a [`CasChain`] with one CAS per
+/// wrapped core (plus one for the wrapped system bus, paper Fig. 1), each
+/// sized `N/P_i` from the SoC description.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::{Tam, TamConfiguration, CasInstruction};
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure1_soc();
+/// let mut tam = Tam::new(&soc, 4)?;
+/// assert_eq!(tam.cas_count(), 7); // 6 cores + wrapped system bus
+///
+/// // Put core 0 under test on wires 0..4, everyone else in bypass.
+/// let mut config = TamConfiguration::all_bypass(tam.cas_count());
+/// config.set(0, tam.contiguous_test(0, 0)?)?;
+/// tam.configure(&config)?;
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tam {
+    chain: CasChain,
+    labels: Vec<String>,
+    soc_name: String,
+}
+
+impl Tam {
+    /// Builds the TAM for `soc` over an `n`-wire test bus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::BusTooNarrow`] when any core needs more wires
+    /// than `n`, [`CasError::BadGeometry`] for `n = 0`, or
+    /// [`CasError::TooManySchemes`] when an `(n, P)` pair is beyond the
+    /// enumeration budget.
+    pub fn new(soc: &SocDescription, n: usize) -> Result<Self, CasError> {
+        let mut cases = Vec::new();
+        let mut labels = Vec::new();
+        for core in soc.cores() {
+            let p = core.required_ports();
+            if p > n {
+                return Err(CasError::BusTooNarrow {
+                    core: core.name().to_owned(),
+                    needed: p,
+                    n,
+                });
+            }
+            cases.push(Cas::for_geometry(CasGeometry::new(n, p)?)?);
+            labels.push(core.name().to_owned());
+        }
+        if soc.system_bus().is_some_and(|b| b.wrapped) {
+            // The wrapped system bus is EXTEST-ed serially through its
+            // wrapper: one wire.
+            cases.push(Cas::for_geometry(CasGeometry::new(n, 1)?)?);
+            labels.push("system_bus".to_owned());
+        }
+        Ok(Self {
+            chain: CasChain::new(cases)?,
+            labels,
+            soc_name: soc.name().to_owned(),
+        })
+    }
+
+    /// The SoC this TAM serves.
+    pub fn soc_name(&self) -> &str {
+        &self.soc_name
+    }
+
+    /// Test bus width `N`.
+    pub fn bus_width(&self) -> usize {
+        self.chain.bus_width()
+    }
+
+    /// Number of CASes (cores + wrapped system bus).
+    pub fn cas_count(&self) -> usize {
+        self.chain.len()
+    }
+
+    /// The underlying chain.
+    pub fn chain(&self) -> &CasChain {
+        &self.chain
+    }
+
+    /// Mutable access to the underlying chain.
+    pub fn chain_mut(&mut self) -> &mut CasChain {
+        &mut self.chain
+    }
+
+    /// Label (core name or `"system_bus"`) of a CAS.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::UnknownCas`] for an out-of-range index.
+    pub fn label(&self, cas_index: usize) -> Result<&str, CasError> {
+        self.labels
+            .get(cas_index)
+            .map(String::as_str)
+            .ok_or(CasError::UnknownCas(cas_index))
+    }
+
+    /// CAS index serving the named core.
+    pub fn cas_for_core(&self, name: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == name)
+    }
+
+    /// Builds the TEST instruction placing CAS `cas_index`'s ports on the
+    /// contiguous wires `start .. start + P`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::UnknownCas`] or [`CasError::InvalidScheme`] when
+    /// the window does not fit.
+    pub fn contiguous_test(&self, cas_index: usize, start: usize) -> Result<CasInstruction, CasError> {
+        let cas = self
+            .chain
+            .cases()
+            .get(cas_index)
+            .ok_or(CasError::UnknownCas(cas_index))?;
+        let scheme = SwitchScheme::contiguous(cas.geometry(), start)?;
+        CasInstruction::test_scheme(cas.schemes(), &scheme)
+    }
+
+    /// Builds a TEST instruction from an explicit port→wire assignment.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Tam::contiguous_test`], plus scheme validation errors.
+    pub fn explicit_test(&self, cas_index: usize, wires: Vec<usize>) -> Result<CasInstruction, CasError> {
+        let cas = self
+            .chain
+            .cases()
+            .get(cas_index)
+            .ok_or(CasError::UnknownCas(cas_index))?;
+        let scheme = SwitchScheme::new(cas.geometry(), wires)?;
+        CasInstruction::test_scheme(cas.schemes(), &scheme)
+    }
+
+    /// Checks that the TEST instructions of a configuration claim disjoint
+    /// wires. Sharing a wire puts cores *in series* — a legal and useful
+    /// CAS-BUS idiom for concatenating scan paths — so [`Tam::configure`]
+    /// allows it; schedulers that intend exclusive windows call this first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::WireConflict`] naming the first contested wire,
+    /// or propagates scheme-index errors.
+    pub fn check_exclusive(&self, config: &TamConfiguration) -> Result<(), CasError> {
+        let n = self.bus_width();
+        let mut claimed: Vec<Option<usize>> = vec![None; n];
+        for (cas_index, instr) in config.instructions().iter().enumerate() {
+            let CasInstruction::Test(scheme_idx) = instr else {
+                continue;
+            };
+            let cas = self
+                .chain
+                .cases()
+                .get(cas_index)
+                .ok_or(CasError::UnknownCas(cas_index))?;
+            let scheme = cas.schemes().scheme(*scheme_idx)?;
+            for &wire in scheme.wires() {
+                match claimed[wire] {
+                    None => claimed[wire] = Some(cas_index),
+                    Some(first_cas) => {
+                        return Err(CasError::WireConflict {
+                            wire,
+                            first_cas,
+                            second_cas: cas_index,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a configuration through the serial protocol (the paper's
+    /// CONFIGURATION phase), costing
+    /// [`configuration_clocks`](Tam::configuration_clocks)` + 1` clocks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CasChain::configure`] errors.
+    pub fn configure(&mut self, config: &TamConfiguration) -> Result<(), CasError> {
+        self.chain.configure(config.instructions())
+    }
+
+    /// Clocks the configured TAM once with test data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches.
+    pub fn clock(
+        &mut self,
+        bus_in: &BitVec,
+        core_outs: &[BitVec],
+        ctrl: CasControl,
+    ) -> Result<ChainOutput, CasError> {
+        self.chain.clock(bus_in, core_outs, ctrl)
+    }
+
+    /// Clocks shifting all-zero core outputs (convenience for transport-only
+    /// experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches.
+    pub fn clock_idle_cores(&mut self, bus_in: &BitVec) -> Result<ChainOutput, CasError> {
+        let cores: Vec<BitVec> = self
+            .chain
+            .cases()
+            .iter()
+            .map(|c| BitVec::zeros(c.geometry().switched_wires()))
+            .collect();
+        self.chain.clock(bus_in, &cores, CasControl::run())
+    }
+
+    /// Clocks needed to serially load one full configuration (the sum of
+    /// all instruction register widths). The paper notes this cost "does not
+    /// affect the test time, since the SoC test architecture configuration
+    /// will only occur once at the beginning of a SoC testing session".
+    pub fn configuration_clocks(&self) -> usize {
+        self.chain.config_chain_bits()
+    }
+
+    /// Resets every CAS to BYPASS.
+    pub fn reset(&mut self) {
+        self.chain.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_soc::catalog;
+
+    #[test]
+    fn figure1_tam_shape() {
+        let soc = catalog::figure1_soc();
+        let tam = Tam::new(&soc, 4).unwrap();
+        assert_eq!(tam.cas_count(), 7);
+        assert_eq!(tam.bus_width(), 4);
+        assert_eq!(tam.label(6).unwrap(), "system_bus");
+        assert_eq!(tam.cas_for_core("core3_sram"), Some(2));
+        assert!(tam.label(7).is_err());
+    }
+
+    #[test]
+    fn too_narrow_bus_rejected() {
+        let soc = catalog::figure1_soc(); // max P = 4
+        let err = Tam::new(&soc, 3).unwrap_err();
+        assert!(matches!(err, CasError::BusTooNarrow { needed: 4, n: 3, .. }));
+    }
+
+    #[test]
+    fn configure_and_query() {
+        let soc = catalog::figure2a_scan_soc();
+        let mut tam = Tam::new(&soc, 4).unwrap();
+        let mut config = TamConfiguration::all_bypass(tam.cas_count());
+        config.set(0, tam.contiguous_test(0, 0).unwrap()).unwrap();
+        config.set(1, tam.contiguous_test(1, 2).unwrap()).unwrap();
+        assert_eq!(config.cores_under_test(), vec![0, 1]);
+        tam.configure(&config).unwrap();
+        assert!(tam.chain().cases()[0].instruction().is_test());
+        assert!(tam.chain().cases()[1].instruction().is_test());
+    }
+
+    #[test]
+    fn contiguous_window_out_of_range() {
+        let soc = catalog::figure2a_scan_soc();
+        let tam = Tam::new(&soc, 4).unwrap();
+        // Core 0 has P=3; start=2 ends at wire 4 which does not exist.
+        assert!(tam.contiguous_test(0, 2).is_err());
+        assert!(tam.contiguous_test(9, 0).is_err());
+    }
+
+    #[test]
+    fn explicit_test_builds_scheme() {
+        let soc = catalog::figure2a_scan_soc();
+        let tam = Tam::new(&soc, 4).unwrap();
+        let instr = tam.explicit_test(1, vec![3, 0]).unwrap();
+        assert!(instr.is_test());
+        assert!(tam.explicit_test(1, vec![3, 3]).is_err());
+    }
+
+    #[test]
+    fn configuration_clock_budget() {
+        let soc = catalog::figure2b_bist_soc();
+        let tam = Tam::new(&soc, 3).unwrap();
+        // Two (3,1) CASes: m = 5, k = 3 each.
+        assert_eq!(tam.configuration_clocks(), 6);
+    }
+
+    #[test]
+    fn bypass_transport_end_to_end() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut tam = Tam::new(&soc, 3).unwrap();
+        let out = tam.clock_idle_cores(&"101".parse().unwrap()).unwrap();
+        assert_eq!(out.bus_out.to_string(), "101");
+    }
+
+    #[test]
+    fn unwrapped_bus_gets_no_cas() {
+        use casbus_soc::{CoreDescription, SocBuilder, SystemBusDescription, TestMethod};
+        let soc = SocBuilder::new("x")
+            .core(CoreDescription::new("c", TestMethod::Bist { width: 8, patterns: 1 }))
+            .system_bus(SystemBusDescription::unwrapped(16))
+            .build()
+            .unwrap();
+        let tam = Tam::new(&soc, 2).unwrap();
+        assert_eq!(tam.cas_count(), 1);
+    }
+
+    #[test]
+    fn reconfiguration_is_cheap_and_repeatable() {
+        let soc = catalog::maintenance_soc();
+        let mut tam = Tam::new(&soc, 3).unwrap();
+        for session in 0..5 {
+            let mut config = TamConfiguration::all_bypass(tam.cas_count());
+            let target = session % tam.cas_count();
+            config.set(target, tam.contiguous_test(target, 0).unwrap()).unwrap();
+            tam.configure(&config).unwrap();
+            assert!(tam.chain().cases()[target].instruction().is_test());
+        }
+    }
+
+    #[test]
+    fn exclusive_check_flags_overlap_and_allows_disjoint() {
+        let soc = catalog::figure2a_scan_soc();
+        let tam = Tam::new(&soc, 5).unwrap();
+        // Disjoint: core 0 on wires 0..3, core 1 on wires 3..5.
+        let mut ok = TamConfiguration::all_bypass(2);
+        ok.set(0, tam.contiguous_test(0, 0).unwrap()).unwrap();
+        ok.set(1, tam.contiguous_test(1, 3).unwrap()).unwrap();
+        assert!(tam.check_exclusive(&ok).is_ok());
+        // Overlapping at wire 2.
+        let mut clash = TamConfiguration::all_bypass(2);
+        clash.set(0, tam.contiguous_test(0, 0).unwrap()).unwrap();
+        clash.set(1, tam.contiguous_test(1, 2).unwrap()).unwrap();
+        assert_eq!(
+            tam.check_exclusive(&clash),
+            Err(CasError::WireConflict { wire: 2, first_cas: 0, second_cas: 1 })
+        );
+        // Bypass everywhere never conflicts.
+        assert!(tam.check_exclusive(&TamConfiguration::all_bypass(2)).is_ok());
+    }
+
+    #[test]
+    fn display_configuration() {
+        let config = TamConfiguration::new(vec![CasInstruction::Bypass, CasInstruction::Test(2)]);
+        assert_eq!(config.to_string(), "CAS0:BYPASS | CAS1:TEST[2]");
+    }
+}

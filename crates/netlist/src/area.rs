@@ -1,0 +1,219 @@
+//! Area accounting: gate counts and the paper's alternative CAS
+//! implementations (§3.3).
+//!
+//! The paper reports synthesized gate counts (Table 1) and sketches two
+//! "future work" implementations that shrink the CAS for wide busses: a
+//! hand-optimized gate-level description and a pass-transistor fabric that
+//! "solve\[s\] the CAS area problem for large width test busses". We model all
+//! three as [`AreaModel`] variants so the trade-off benches can sweep them.
+
+use casbus::CasGeometry;
+
+use crate::netlist::Netlist;
+
+/// Total area of a netlist in NAND2 gate equivalents.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_netlist::{Netlist, area};
+///
+/// let mut nl = Netlist::new("t");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let y = nl.and2(a, b); // AND2 = 1.5 GE
+/// nl.mark_output("y", y);
+/// assert_eq!(area::gate_equivalents(&nl), 1.5);
+/// ```
+pub fn gate_equivalents(netlist: &Netlist) -> f64 {
+    netlist.gates().iter().map(|g| g.kind.gate_equivalents()).sum()
+}
+
+/// The three CAS implementation styles whose areas the paper discusses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AreaModel {
+    /// Count the gates of our structurally-synthesized netlist (the
+    /// reproduction of the paper's Synopsys flow).
+    Synthesized,
+    /// Analytic estimate of a hand-optimized gate-level CAS (the paper's
+    /// first future-work variant): decoder sharing collapses the per-scheme
+    /// selects into per-(wire, port) terms.
+    OptimizedGateLevel,
+    /// Analytic estimate of the pass-transistor CAS (the paper's second
+    /// future-work variant): an N×P crosspoint of transmission gates plus a
+    /// compact decoder, counted in NAND2-equivalent area (one transmission
+    /// gate ≈ 0.5 GE).
+    PassTransistor,
+}
+
+impl AreaModel {
+    /// All models, sweep order.
+    pub const ALL: [AreaModel; 3] = [
+        Self::Synthesized,
+        Self::OptimizedGateLevel,
+        Self::PassTransistor,
+    ];
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Synthesized => "synthesized",
+            Self::OptimizedGateLevel => "optimized-gate",
+            Self::PassTransistor => "pass-transistor",
+        }
+    }
+
+    /// Estimated CAS area in gate equivalents for a geometry.
+    ///
+    /// [`AreaModel::Synthesized`] requires the actual netlist — pass it via
+    /// [`AreaModel::area`]; this method covers the two analytic variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on [`AreaModel::Synthesized`].
+    pub fn estimate(self, geometry: CasGeometry) -> f64 {
+        let n = geometry.bus_width() as f64;
+        let p = geometry.switched_wires() as f64;
+        let k = f64::from(geometry.instruction_width());
+        let m = geometry.combination_count() as f64;
+        match self {
+            Self::Synthesized => {
+                panic!("Synthesized area needs the netlist; use AreaModel::area")
+            }
+            Self::OptimizedGateLevel => {
+                // Registers (2k DFFs), a log-depth decoder shared down to
+                // per-(wire, port) selects (≈ m AND2 terms collapsed ~3:1 by
+                // sharing), and the N/P mux fabric.
+                2.0 * k * 7.0 + m / 3.0 * 1.5 + n * p * 3.0 + n * 3.0
+            }
+            Self::PassTransistor => {
+                // 2·N·P transmission gates (forward + return paths) plus a
+                // compact decoder of ~2^(k/2) AND terms and the registers.
+                2.0 * k * 7.0 + 2.0 * n * p * 0.5 + (k / 2.0).exp2() * 1.5
+            }
+        }
+    }
+
+    /// Area of a geometry under this model, using `netlist` when the model
+    /// needs it.
+    pub fn area(self, geometry: CasGeometry, netlist: Option<&Netlist>) -> f64 {
+        match self {
+            Self::Synthesized => {
+                let nl = netlist.expect("Synthesized area needs the netlist");
+                gate_equivalents(nl)
+            }
+            _ => self.estimate(geometry),
+        }
+    }
+}
+
+/// A per-geometry area report row (what the Table-1 bench prints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaReport {
+    /// The geometry.
+    pub geometry: CasGeometry,
+    /// Instruction count `m`.
+    pub combinations: u128,
+    /// Instruction register width `k`.
+    pub instruction_width: u32,
+    /// Gate instances in the synthesized netlist.
+    pub gate_count: usize,
+    /// NAND2-equivalent area of the synthesized netlist.
+    pub gate_equivalents: f64,
+}
+
+impl AreaReport {
+    /// Synthesizes the CAS for `geometry` and measures it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`casbus::CasError`] from scheme enumeration.
+    pub fn for_geometry(geometry: CasGeometry) -> Result<Self, casbus::CasError> {
+        let set = casbus::SchemeSet::enumerate(geometry)?;
+        let netlist = crate::synth::synthesize_cas(&set);
+        Ok(Self {
+            geometry,
+            combinations: geometry.combination_count(),
+            instruction_width: geometry.instruction_width(),
+            gate_count: netlist.gate_count(),
+            gate_equivalents: gate_equivalents(&netlist),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(n: usize, p: usize) -> CasGeometry {
+        CasGeometry::new(n, p).unwrap()
+    }
+
+    #[test]
+    fn report_reproduces_table1_m_k() {
+        let rows = [(3, 1, 5, 3), (4, 2, 14, 4), (5, 3, 62, 6), (6, 3, 122, 7)];
+        for (n, p, m, k) in rows {
+            let report = AreaReport::for_geometry(g(n, p)).unwrap();
+            assert_eq!(report.combinations, m);
+            assert_eq!(report.instruction_width, k);
+            assert!(report.gate_count > 0);
+        }
+    }
+
+    #[test]
+    fn synthesized_area_monotone_in_m_at_fixed_n() {
+        let a = AreaReport::for_geometry(g(6, 1)).unwrap();
+        let b = AreaReport::for_geometry(g(6, 2)).unwrap();
+        let c = AreaReport::for_geometry(g(6, 3)).unwrap();
+        assert!(a.gate_equivalents < b.gate_equivalents);
+        assert!(b.gate_equivalents < c.gate_equivalents);
+    }
+
+    #[test]
+    fn pass_transistor_beats_synthesis_on_wide_busses() {
+        // The paper's claim: the pass-transistor fabric solves the area
+        // problem for large-width busses.
+        let geometry = g(8, 4);
+        let report = AreaReport::for_geometry(geometry).unwrap();
+        let pt = AreaModel::PassTransistor.estimate(geometry);
+        assert!(
+            pt < report.gate_equivalents / 5.0,
+            "pass-transistor {pt} vs synthesized {}",
+            report.gate_equivalents
+        );
+    }
+
+    #[test]
+    fn optimized_between_the_two() {
+        let geometry = g(6, 5);
+        let report = AreaReport::for_geometry(geometry).unwrap();
+        let opt = AreaModel::OptimizedGateLevel.estimate(geometry);
+        let pt = AreaModel::PassTransistor.estimate(geometry);
+        assert!(pt < opt);
+        assert!(opt < report.gate_equivalents);
+    }
+
+    #[test]
+    fn area_dispatch() {
+        let geometry = g(4, 2);
+        let set = casbus::SchemeSet::enumerate(geometry).unwrap();
+        let nl = crate::synth::synthesize_cas(&set);
+        let synth_area = AreaModel::Synthesized.area(geometry, Some(&nl));
+        assert_eq!(synth_area, gate_equivalents(&nl));
+        let opt = AreaModel::OptimizedGateLevel.area(geometry, None);
+        assert!(opt > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs the netlist")]
+    fn synthesized_estimate_panics() {
+        let _ = AreaModel::Synthesized.estimate(g(4, 2));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            AreaModel::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

@@ -1,0 +1,273 @@
+//! Single-stuck-at fault model and serial fault simulation.
+//!
+//! Generated CASes become part of the SoC's test infrastructure, so they
+//! must themselves be testable. This module grades pattern sets against the
+//! classic single-stuck-at fault model: every gate output and primary input
+//! can be stuck at 0 or 1; a fault is *detected* by a pattern whose primary
+//! outputs differ from the fault-free response.
+
+use std::fmt;
+
+use casbus_tpg::BitVec;
+
+use crate::netlist::{NetId, Netlist, NetlistError};
+use crate::sim::{Simulator, Value};
+
+/// The polarity of a stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StuckAt {
+    /// Node stuck at logic 0.
+    Zero,
+    /// Node stuck at logic 1.
+    One,
+}
+
+impl StuckAt {
+    fn value(self) -> Value {
+        match self {
+            Self::Zero => Value::Zero,
+            Self::One => Value::One,
+        }
+    }
+}
+
+impl fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Zero => "SA0",
+            Self::One => "SA1",
+        })
+    }
+}
+
+/// One fault site: a net forced to a polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSite {
+    /// The faulty net.
+    pub net: NetId,
+    /// The stuck polarity.
+    pub stuck: StuckAt,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.stuck, self.net)
+    }
+}
+
+/// Enumerates the collapsed fault list: both polarities on every primary
+/// input and every gate output net.
+pub fn enumerate_faults(netlist: &Netlist) -> Vec<FaultSite> {
+    let mut nets: Vec<NetId> = netlist.inputs().iter().map(|&(_, n)| n).collect();
+    nets.extend(netlist.gates().iter().map(|g| g.output));
+    nets.sort();
+    nets.dedup();
+    nets.iter()
+        .flat_map(|&net| {
+            [
+                FaultSite { net, stuck: StuckAt::Zero },
+                FaultSite { net, stuck: StuckAt::One },
+            ]
+        })
+        .collect()
+}
+
+/// Fault-simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCoverage {
+    /// Total faults simulated.
+    pub total: usize,
+    /// Faults detected by at least one pattern.
+    pub detected: usize,
+    /// The undetected fault sites.
+    pub undetected: Vec<FaultSite>,
+}
+
+impl FaultCoverage {
+    /// Coverage as a fraction in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+impl fmt::Display for FaultCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} faults detected ({:.1}%)",
+            self.detected,
+            self.total,
+            self.coverage() * 100.0
+        )
+    }
+}
+
+/// Builds a simulator with the given fault permanently injected.
+fn faulty_simulator(netlist: &Netlist, fault: FaultSite) -> Result<Simulator<'_>, NetlistError> {
+    let mut sim = Simulator::new(netlist)?;
+    sim.force_net(fault.net, fault.stuck.value());
+    Ok(sim)
+}
+
+/// Grades `patterns` (primary-input vectors, declaration order) against the
+/// full single-stuck-at fault list of `netlist`.
+///
+/// Each pattern is applied for one clock from the power-on state per fault
+/// (combinational grading with registers cleared); sequential depth can be
+/// exercised by passing multi-cycle vector sequences via `sequences`.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn fault_simulate(
+    netlist: &Netlist,
+    sequences: &[Vec<BitVec>],
+) -> Result<FaultCoverage, NetlistError> {
+    // Golden responses per sequence.
+    let mut golden: Vec<Vec<Vec<Value>>> = Vec::with_capacity(sequences.len());
+    for seq in sequences {
+        let mut sim = Simulator::new(netlist)?;
+        let mut responses = Vec::with_capacity(seq.len());
+        for vector in seq {
+            let bits: Vec<bool> = vector.iter().collect();
+            let outs = sim.step(&bits);
+            responses.push(outs.into_iter().map(|(_, v)| v).collect());
+        }
+        golden.push(responses);
+    }
+
+    let faults = enumerate_faults(netlist);
+    let mut detected = 0usize;
+    let mut undetected = Vec::new();
+    for &fault in &faults {
+        let mut caught = false;
+        'seqs: for (seq, gold) in sequences.iter().zip(&golden) {
+            let mut faulty = faulty_simulator(netlist, fault)?;
+            for (vector, good) in seq.iter().zip(gold) {
+                let bits: Vec<bool> = vector.iter().collect();
+                let outs: Vec<Value> =
+                    faulty.step(&bits).into_iter().map(|(_, v)| v).collect();
+                let differs = outs.iter().zip(good).any(|(f, g)| {
+                    match (f.to_bool(), g.to_bool()) {
+                        (Some(a), Some(b)) => a != b,
+                        // Z vs driven (or X) counts as a potential detect.
+                        (None, Some(_)) | (Some(_), None) => true,
+                        (None, None) => false,
+                    }
+                });
+                if differs {
+                    caught = true;
+                    break 'seqs;
+                }
+            }
+        }
+        if caught {
+            detected += 1;
+        } else {
+            undetected.push(fault);
+        }
+    }
+    Ok(FaultCoverage { total: faults.len(), detected, undetected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_netlist() -> Netlist {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.xor2(a, b);
+        nl.mark_output("y", y);
+        nl
+    }
+
+    fn vectors(patterns: &[&str]) -> Vec<Vec<BitVec>> {
+        patterns
+            .iter()
+            .map(|p| vec![p.parse::<BitVec>().unwrap()])
+            .collect()
+    }
+
+    #[test]
+    fn fault_list_covers_all_nets() {
+        let nl = xor_netlist();
+        let faults = enumerate_faults(&nl);
+        // 2 inputs + 1 gate output, 2 polarities each.
+        assert_eq!(faults.len(), 6);
+    }
+
+    #[test]
+    fn exhaustive_patterns_reach_full_coverage_on_xor() {
+        let nl = xor_netlist();
+        let cov = fault_simulate(&nl, &vectors(&["00", "10", "01", "11"])).unwrap();
+        assert_eq!(cov.detected, cov.total, "undetected: {:?}", cov.undetected);
+        assert_eq!(cov.coverage(), 1.0);
+    }
+
+    #[test]
+    fn single_pattern_catches_fewer_faults() {
+        let nl = xor_netlist();
+        let one = fault_simulate(&nl, &vectors(&["10"])).unwrap();
+        let all = fault_simulate(&nl, &vectors(&["00", "10", "01", "11"])).unwrap();
+        assert!(one.detected < all.detected);
+        assert!(!one.undetected.is_empty());
+    }
+
+    #[test]
+    fn redundant_logic_has_undetectable_faults() {
+        // y = a AND (a OR b): the OR is partially redundant.
+        let mut nl = Netlist::new("red");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let o = nl.or2(a, b);
+        let y = nl.and2(a, o);
+        nl.mark_output("y", y);
+        let cov = fault_simulate(&nl, &vectors(&["00", "10", "01", "11"])).unwrap();
+        assert!(cov.detected < cov.total, "redundancy masks some faults");
+    }
+
+    #[test]
+    fn sequential_fault_needs_multi_cycle_sequence() {
+        // d -> DFF -> y: a stuck D is only visible one clock later.
+        let mut nl = Netlist::new("seq");
+        let d = nl.add_input("d");
+        let en = nl.const1();
+        let q = nl.dff_e(d, en);
+        nl.mark_output("y", q);
+        // One-cycle sequences never observe the captured value.
+        let short = fault_simulate(&nl, &vectors(&["1", "0"])).unwrap();
+        // Two-cycle sequences do.
+        let long = fault_simulate(
+            &nl,
+            &[
+                vec!["1".parse().unwrap(), "0".parse().unwrap()],
+                vec!["0".parse().unwrap(), "1".parse().unwrap()],
+            ],
+        )
+        .unwrap();
+        assert!(long.detected > short.detected);
+    }
+
+    #[test]
+    fn coverage_display() {
+        let cov = FaultCoverage { total: 10, detected: 9, undetected: vec![] };
+        assert!(cov.to_string().contains("90.0%"));
+        assert_eq!(
+            FaultCoverage { total: 0, detected: 0, undetected: vec![] }.coverage(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn fault_site_display() {
+        let nl = xor_netlist();
+        let f = enumerate_faults(&nl)[0];
+        assert!(f.to_string().starts_with("SA0@n"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Gate primitives and their area weights.
+
+use std::fmt;
+
+/// The cell library: every primitive the synthesizer may instantiate.
+///
+/// Area weights ([`GateKind::gate_equivalents`]) are in NAND2 equivalents,
+/// the unit commercial reports (and the paper's Table 1 "# of gates" column)
+/// customarily use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Constant driver (0 or 1).
+    Const(bool),
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2-to-1 multiplexer; inputs `[sel, a, b]`, output `sel ? b : a`.
+    Mux2,
+    /// Enabled D flip-flop; inputs `[d, en]`, output Q. Holds when `en` is 0.
+    DffE,
+    /// Tri-state buffer; inputs `[en, a]`; drives `a` when `en` is 1,
+    /// high-impedance otherwise.
+    TriBuf,
+}
+
+impl GateKind {
+    /// Number of input pins.
+    pub fn arity(self) -> usize {
+        match self {
+            Self::Const(_) => 0,
+            Self::Buf | Self::Not => 1,
+            Self::And2
+            | Self::Or2
+            | Self::Nand2
+            | Self::Nor2
+            | Self::Xor2
+            | Self::Xnor2
+            | Self::DffE
+            | Self::TriBuf => 2,
+            Self::Mux2 => 3,
+        }
+    }
+
+    /// Area in NAND2 gate equivalents (typical standard-cell weights).
+    pub fn gate_equivalents(self) -> f64 {
+        match self {
+            Self::Const(_) => 0.0,
+            Self::Buf => 0.75,
+            Self::Not => 0.5,
+            Self::Nand2 | Self::Nor2 => 1.0,
+            Self::And2 | Self::Or2 => 1.5,
+            Self::Xor2 | Self::Xnor2 => 2.5,
+            Self::Mux2 => 3.0,
+            Self::DffE => 7.0,
+            Self::TriBuf => 1.5,
+        }
+    }
+
+    /// Whether this cell holds state across clocks.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, Self::DffE)
+    }
+
+    /// Whether this cell may release its output (high impedance).
+    pub fn is_tristate(self) -> bool {
+        matches!(self, Self::TriBuf)
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::Const(false) => "CONST0",
+            Self::Const(true) => "CONST1",
+            Self::Buf => "BUF",
+            Self::Not => "NOT",
+            Self::And2 => "AND2",
+            Self::Or2 => "OR2",
+            Self::Nand2 => "NAND2",
+            Self::Nor2 => "NOR2",
+            Self::Xor2 => "XOR2",
+            Self::Xnor2 => "XNOR2",
+            Self::Mux2 => "MUX2",
+            Self::DffE => "DFFE",
+            Self::TriBuf => "TRIBUF",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [GateKind; 13] = [
+        GateKind::Const(false),
+        GateKind::Const(true),
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And2,
+        GateKind::Or2,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Xor2,
+        GateKind::Xnor2,
+        GateKind::Mux2,
+        GateKind::DffE,
+        GateKind::TriBuf,
+    ];
+
+    #[test]
+    fn arities_match_semantics() {
+        assert_eq!(GateKind::Const(true).arity(), 0);
+        assert_eq!(GateKind::Not.arity(), 1);
+        assert_eq!(GateKind::And2.arity(), 2);
+        assert_eq!(GateKind::Mux2.arity(), 3);
+        assert_eq!(GateKind::DffE.arity(), 2);
+    }
+
+    #[test]
+    fn nand2_is_the_unit() {
+        assert_eq!(GateKind::Nand2.gate_equivalents(), 1.0);
+        for kind in ALL {
+            assert!(kind.gate_equivalents() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(GateKind::DffE.is_sequential());
+        assert!(!GateKind::And2.is_sequential());
+        assert!(GateKind::TriBuf.is_tristate());
+        assert!(!GateKind::Buf.is_tristate());
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let names: std::collections::HashSet<String> =
+            ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(names.len(), ALL.len());
+    }
+}

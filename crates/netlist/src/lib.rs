@@ -1,0 +1,53 @@
+//! Gate-level substrate for the CAS-BUS reproduction.
+//!
+//! The paper's §3.3 synthesizes generated CAS descriptions with a commercial
+//! tool (Synopsys Design Analyzer) and reports gate counts (Table 1). This
+//! crate replaces that proprietary flow with an auditable one:
+//!
+//! * [`Netlist`] — a gate-level IR (2-input gates, muxes, enabled flip-flops,
+//!   tri-state buffers) with named ports,
+//! * [`synth`] — structural synthesis of a CAS from its enumerated
+//!   [`SchemeSet`](casbus::SchemeSet): instruction register, update stage,
+//!   shared-prefix instruction decoder and N/P switch fabric (paper Fig. 3),
+//! * [`Simulator`] — a levelized 4-value structural simulator (with
+//!   tri-state resolution), used to prove the synthesized netlist equivalent
+//!   to the behavioural [`Cas`](casbus::Cas),
+//! * [`area`] — gate counting and area models, including the two §3.3
+//!   "future work" variants (optimized gate-level and pass-transistor
+//!   estimates),
+//! * [`fault`] — a single-stuck-at fault model plus a serial fault
+//!   simulator, giving fault-coverage numbers for generated CASes.
+//!
+//! # Example
+//!
+//! ```
+//! use casbus::{CasGeometry, SchemeSet};
+//! use casbus_netlist::{synth, area};
+//!
+//! let set = SchemeSet::enumerate(CasGeometry::new(4, 2)?)?;
+//! let netlist = synth::synthesize_cas(&set);
+//! let gates = netlist.gate_count();
+//! assert!(gates > 0);
+//! let ge = area::gate_equivalents(&netlist);
+//! assert!(ge > gates as f64 * 0.3);
+//! # Ok::<(), casbus::CasError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod atpg;
+pub mod crosspoint;
+pub mod fault;
+pub mod gate;
+pub mod netlist;
+pub mod opt;
+pub mod sim;
+pub mod synth;
+
+pub use crate::netlist::{Gate, NetId, Netlist, NetlistError};
+pub use area::{AreaModel, AreaReport};
+pub use fault::{FaultCoverage, FaultSite, StuckAt};
+pub use gate::GateKind;
+pub use sim::{Simulator, Value};

@@ -1,0 +1,497 @@
+//! The gate-level netlist IR and its builder API.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::gate::GateKind;
+
+/// Identifier of a net (a wire) within one netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The net's numeric index within its netlist (stable, dense from 0).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One instantiated gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// The cell.
+    pub kind: GateKind,
+    /// Input nets, in pin order (see [`GateKind`] docs).
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// Errors detected while building or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A net is driven by two non-tri-state gates (or a gate and an input).
+    MultipleDrivers(NetId),
+    /// A net has no driver and is not a primary input.
+    NoDriver(NetId),
+    /// The combinational logic contains a cycle not broken by a flip-flop.
+    CombinationalCycle,
+    /// A port name was used twice.
+    DuplicatePort(String),
+    /// A named port does not exist.
+    UnknownPort(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MultipleDrivers(n) => write!(f, "net {n} has multiple non-tri-state drivers"),
+            Self::NoDriver(n) => write!(f, "net {n} has no driver"),
+            Self::CombinationalCycle => f.write_str("combinational cycle detected"),
+            Self::DuplicatePort(p) => write!(f, "duplicate port name {p:?}"),
+            Self::UnknownPort(p) => write!(f, "unknown port {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A flat gate-level netlist with named primary inputs and outputs.
+///
+/// Nets are single-driver except for groups of [`GateKind::TriBuf`] drivers
+/// sharing a bus net; validation ([`Netlist::validate`]) enforces this.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_netlist::{Netlist, GateKind};
+///
+/// let mut nl = Netlist::new("half_adder");
+/// let a = nl.add_input("a");
+/// let b = nl.add_input("b");
+/// let sum = nl.xor2(a, b);
+/// let carry = nl.and2(a, b);
+/// nl.mark_output("sum", sum);
+/// nl.mark_output("carry", carry);
+/// assert_eq!(nl.gate_count(), 2);
+/// nl.validate().expect("well-formed");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    net_count: usize,
+    gates: Vec<Gate>,
+    inputs: Vec<(String, NetId)>,
+    outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            net_count: 0,
+            gates: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The module name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Allocates a fresh net.
+    pub fn new_net(&mut self) -> NetId {
+        let id = NetId(self.net_count);
+        self.net_count += 1;
+        id
+    }
+
+    /// Declares a primary input and returns its net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate port name.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let name = name.into();
+        assert!(
+            !self.port_exists(&name),
+            "duplicate port name {name:?}"
+        );
+        let net = self.new_net();
+        self.inputs.push((name, net));
+        net
+    }
+
+    /// Declares a primary output fed by `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate port name.
+    pub fn mark_output(&mut self, name: impl Into<String>, net: NetId) {
+        let name = name.into();
+        assert!(
+            !self.port_exists(&name),
+            "duplicate port name {name:?}"
+        );
+        self.outputs.push((name, net));
+    }
+
+    fn port_exists(&self, name: &str) -> bool {
+        self.inputs.iter().any(|(n, _)| n == name) || self.outputs.iter().any(|(n, _)| n == name)
+    }
+
+    /// Instantiates a gate and returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input count does not match the cell's arity.
+    pub fn add_gate(&mut self, kind: GateKind, inputs: Vec<NetId>) -> NetId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "{kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        let output = self.new_net();
+        self.gates.push(Gate { kind, inputs, output });
+        output
+    }
+
+    /// Instantiates a tri-state buffer driving an *existing* bus net.
+    pub fn add_tribuf_onto(&mut self, bus: NetId, enable: NetId, data: NetId) {
+        self.gates.push(Gate {
+            kind: GateKind::TriBuf,
+            inputs: vec![enable, data],
+            output: bus,
+        });
+    }
+
+    /// Instantiates an enabled flip-flop whose Q drives a *pre-allocated*
+    /// net — the mechanism for registered feedback loops and for netlist
+    /// rewriters that need forward references.
+    pub fn add_dff_onto(&mut self, q: NetId, d: NetId, en: NetId) {
+        self.gates.push(Gate {
+            kind: GateKind::DffE,
+            inputs: vec![d, en],
+            output: q,
+        });
+    }
+
+    /// Constant-0 driver.
+    pub fn const0(&mut self) -> NetId {
+        self.add_gate(GateKind::Const(false), vec![])
+    }
+
+    /// Constant-1 driver.
+    pub fn const1(&mut self) -> NetId {
+        self.add_gate(GateKind::Const(true), vec![])
+    }
+
+    /// Inverter.
+    pub fn not(&mut self, a: NetId) -> NetId {
+        self.add_gate(GateKind::Not, vec![a])
+    }
+
+    /// 2-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::And2, vec![a, b])
+    }
+
+    /// 2-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Or2, vec![a, b])
+    }
+
+    /// 2-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Xor2, vec![a, b])
+    }
+
+    /// 2-to-1 mux: `sel ? b : a`.
+    pub fn mux2(&mut self, sel: NetId, a: NetId, b: NetId) -> NetId {
+        self.add_gate(GateKind::Mux2, vec![sel, a, b])
+    }
+
+    /// Enabled D flip-flop; returns the Q net.
+    pub fn dff_e(&mut self, d: NetId, en: NetId) -> NetId {
+        self.add_gate(GateKind::DffE, vec![d, en])
+    }
+
+    /// Balanced AND reduction of an arbitrary fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn and_tree(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce_tree(nets, GateKind::And2)
+    }
+
+    /// Balanced OR reduction of an arbitrary fan-in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn or_tree(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce_tree(nets, GateKind::Or2)
+    }
+
+    fn reduce_tree(&mut self, nets: &[NetId], kind: GateKind) -> NetId {
+        assert!(!nets.is_empty(), "cannot reduce an empty set of nets");
+        let mut level: Vec<NetId> = nets.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.add_gate(kind, vec![pair[0], pair[1]])
+                } else {
+                    pair[0]
+                });
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// The gates, in insertion order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Number of nets allocated.
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of gate instances (constants excluded — they are free wiring).
+    pub fn gate_count(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Const(_)))
+            .count()
+    }
+
+    /// Gate instances per cell kind.
+    pub fn gate_histogram(&self) -> BTreeMap<String, usize> {
+        let mut hist = BTreeMap::new();
+        for gate in &self.gates {
+            *hist.entry(gate.kind.to_string()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Primary inputs, declaration order.
+    pub fn inputs(&self) -> &[(String, NetId)] {
+        &self.inputs
+    }
+
+    /// Primary outputs, declaration order.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Net of a named input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] when absent.
+    pub fn input_net(&self, name: &str) -> Result<NetId, NetlistError> {
+        self.inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))
+    }
+
+    /// Net of a named output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownPort`] when absent.
+    pub fn output_net(&self, name: &str) -> Result<NetId, NetlistError> {
+        self.outputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, id)| id)
+            .ok_or_else(|| NetlistError::UnknownPort(name.to_owned()))
+    }
+
+    /// Validates structural sanity: single drivers (tri-state groups
+    /// excepted), no floating nets, no combinational cycles.
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`NetlistError`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        let mut driver_kind: Vec<Option<bool /* tristate */>> = vec![None; self.net_count];
+        for (_, net) in &self.inputs {
+            driver_kind[net.0] = Some(false);
+        }
+        for gate in &self.gates {
+            let slot = &mut driver_kind[gate.output.0];
+            match (&slot, gate.kind.is_tristate()) {
+                (None, t) => *slot = Some(t),
+                (Some(true), true) => {} // tri-state group: fine
+                _ => return Err(NetlistError::MultipleDrivers(gate.output)),
+            }
+        }
+        // Every net referenced as a gate input or primary output needs a
+        // driver.
+        for gate in &self.gates {
+            for input in &gate.inputs {
+                if driver_kind[input.0].is_none() {
+                    return Err(NetlistError::NoDriver(*input));
+                }
+            }
+        }
+        for (_, net) in &self.outputs {
+            if driver_kind[net.0].is_none() {
+                return Err(NetlistError::NoDriver(*net));
+            }
+        }
+        // Cycle check via Kahn levelization over combinational gates.
+        crate::sim::levelize(self).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counts() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let x = nl.and2(a, b);
+        let y = nl.or2(x, a);
+        nl.mark_output("y", y);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.net_count(), 4);
+        assert_eq!(nl.gate_histogram().get("AND2"), Some(&1));
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn constants_do_not_count_as_gates() {
+        let mut nl = Netlist::new("t");
+        let c = nl.const1();
+        nl.mark_output("o", c);
+        assert_eq!(nl.gate_count(), 0);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn duplicate_port_panics() {
+        let mut nl = Netlist::new("t");
+        nl.add_input("a");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            nl.add_input("a");
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.not(a);
+        // Illegally drive x again with a non-tri-state gate.
+        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![a], output: x });
+        assert_eq!(nl.validate(), Err(NetlistError::MultipleDrivers(x)));
+    }
+
+    #[test]
+    fn tristate_group_is_legal() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let en1 = nl.add_input("en1");
+        let en2 = nl.add_input("en2");
+        let bus = nl.new_net();
+        nl.add_tribuf_onto(bus, en1, a);
+        nl.add_tribuf_onto(bus, en2, a);
+        nl.mark_output("bus", bus);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn floating_net_detected() {
+        let mut nl = Netlist::new("t");
+        let ghost = nl.new_net();
+        nl.mark_output("o", ghost);
+        assert_eq!(nl.validate(), Err(NetlistError::NoDriver(ghost)));
+    }
+
+    #[test]
+    fn combinational_cycle_detected() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        let x = nl.new_net();
+        let y = nl.and2(a, x);
+        // Close the loop: x driven by a gate reading y.
+        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![y], output: x });
+        assert_eq!(nl.validate(), Err(NetlistError::CombinationalCycle));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        let mut nl = Netlist::new("counter_bit");
+        let en = nl.add_input("en");
+        // q feeds its own d through an inverter: legal (registered loop).
+        let q_placeholder = nl.new_net();
+        let d = nl.not(q_placeholder);
+        let q = nl.dff_e(d, en);
+        // Rewire: replace placeholder by aliasing with a Buf.
+        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![q], output: q_placeholder });
+        nl.mark_output("q", q);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn reduction_trees() {
+        let mut nl = Netlist::new("t");
+        let nets: Vec<NetId> = (0..5).map(|i| nl.add_input(format!("i{i}"))).collect();
+        let all = nl.and_tree(&nets);
+        let any = nl.or_tree(&nets);
+        nl.mark_output("all", all);
+        nl.mark_output("any", any);
+        // 5-input tree = 4 two-input gates.
+        assert_eq!(nl.gate_count(), 8);
+        nl.validate().unwrap();
+    }
+
+    #[test]
+    fn single_net_tree_is_identity() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        assert_eq!(nl.and_tree(&[a]), a);
+        assert_eq!(nl.gate_count(), 0);
+    }
+
+    #[test]
+    fn port_lookup() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.mark_output("o", a);
+        assert_eq!(nl.input_net("a"), Ok(a));
+        assert_eq!(nl.output_net("o"), Ok(a));
+        assert!(nl.input_net("zz").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn arity_mismatch_panics() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_input("a");
+        nl.add_gate(GateKind::And2, vec![a]);
+    }
+}

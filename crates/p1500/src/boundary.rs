@@ -1,0 +1,278 @@
+//! Wrapper boundary register cells.
+
+use casbus_tpg::BitVec;
+
+/// Which functional terminal a boundary cell sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Cell on a core input terminal: captures the value arriving from the
+    /// interconnect, drives the core in INTEST isolation.
+    Input,
+    /// Cell on a core output terminal: captures the core's response, drives
+    /// the interconnect in EXTEST.
+    Output,
+}
+
+/// One wrapper boundary cell: a shift flip-flop plus an update (hold) stage,
+/// the standard two-stage P1500 WBR cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WrapperCell {
+    kind_is_output: bool,
+    shift_ff: bool,
+    update_ff: bool,
+}
+
+impl WrapperCell {
+    /// Creates a cleared cell of the given kind.
+    pub fn new(kind: CellKind) -> Self {
+        Self {
+            kind_is_output: kind == CellKind::Output,
+            shift_ff: false,
+            update_ff: false,
+        }
+    }
+
+    /// The terminal kind.
+    pub fn kind(&self) -> CellKind {
+        if self.kind_is_output {
+            CellKind::Output
+        } else {
+            CellKind::Input
+        }
+    }
+
+    /// Shift operation: takes the previous cell's output, returns this cell's
+    /// old shift value.
+    pub fn shift(&mut self, serial_in: bool) -> bool {
+        let out = self.shift_ff;
+        self.shift_ff = serial_in;
+        out
+    }
+
+    /// Capture operation: loads the functional value into the shift stage.
+    pub fn capture(&mut self, functional_value: bool) {
+        self.shift_ff = functional_value;
+    }
+
+    /// Update operation: transfers the shift stage to the hold stage that
+    /// drives the terminal in test modes.
+    pub fn update(&mut self) {
+        self.update_ff = self.shift_ff;
+    }
+
+    /// The value the cell drives onto its terminal in test modes.
+    pub fn driven_value(&self) -> bool {
+        self.update_ff
+    }
+
+    /// Current shift-stage content.
+    pub fn shift_value(&self) -> bool {
+        self.shift_ff
+    }
+}
+
+/// The wrapper boundary register: input cells first, then output cells,
+/// forming one serial shift path (WBR).
+///
+/// # Examples
+///
+/// ```
+/// use casbus_p1500::BoundaryRegister;
+/// use casbus_tpg::BitVec;
+///
+/// let mut wbr = BoundaryRegister::new(2, 2);
+/// assert_eq!(wbr.len(), 4);
+/// // After 4 shifts the first-pushed bit sits in the LAST cell.
+/// wbr.shift_in(&"1010".parse::<BitVec>().unwrap());
+/// wbr.update();
+/// assert_eq!(wbr.driven_values().to_string(), "0101");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundaryRegister {
+    cells: Vec<WrapperCell>,
+    inputs: usize,
+}
+
+impl BoundaryRegister {
+    /// Creates a WBR with `inputs` input cells followed by `outputs` output
+    /// cells.
+    pub fn new(inputs: usize, outputs: usize) -> Self {
+        let mut cells = Vec::with_capacity(inputs + outputs);
+        cells.extend((0..inputs).map(|_| WrapperCell::new(CellKind::Input)));
+        cells.extend((0..outputs).map(|_| WrapperCell::new(CellKind::Output)));
+        Self { cells, inputs }
+    }
+
+    /// Total number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the register has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of input cells.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output cells.
+    pub fn output_count(&self) -> usize {
+        self.cells.len() - self.inputs
+    }
+
+    /// Shifts one bit through the whole register (cell 0 receives
+    /// `serial_in`; the last cell's old value comes out).
+    pub fn shift(&mut self, serial_in: bool) -> bool {
+        let mut carry = serial_in;
+        for cell in &mut self.cells {
+            carry = cell.shift(carry);
+        }
+        carry
+    }
+
+    /// Shifts a whole vector in, bit 0 first, returning the displaced bits.
+    pub fn shift_in(&mut self, bits: &BitVec) -> BitVec {
+        bits.iter().map(|b| self.shift(b)).collect()
+    }
+
+    /// Captures functional terminal values into the shift stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.len()`.
+    pub fn capture(&mut self, values: &BitVec) {
+        assert_eq!(values.len(), self.cells.len(), "capture width mismatch");
+        for (cell, value) in self.cells.iter_mut().zip(values.iter()) {
+            cell.capture(value);
+        }
+    }
+
+    /// Updates all hold stages from the shift stages.
+    pub fn update(&mut self) {
+        for cell in &mut self.cells {
+            cell.update();
+        }
+    }
+
+    /// Values currently driven on all terminals (inputs first).
+    pub fn driven_values(&self) -> BitVec {
+        self.cells.iter().map(WrapperCell::driven_value).collect()
+    }
+
+    /// Shift-stage contents (inputs first), as would shift out next.
+    pub fn shift_values(&self) -> BitVec {
+        self.cells.iter().map(WrapperCell::shift_value).collect()
+    }
+
+    /// Values driven on the *output* terminals only (towards the
+    /// interconnect, EXTEST).
+    pub fn driven_outputs(&self) -> BitVec {
+        self.cells[self.inputs..]
+            .iter()
+            .map(WrapperCell::driven_value)
+            .collect()
+    }
+
+    /// Values driven on the *input* terminals only (towards the core,
+    /// INTEST isolation).
+    pub fn driven_inputs(&self) -> BitVec {
+        self.cells[..self.inputs]
+            .iter()
+            .map(WrapperCell::driven_value)
+            .collect()
+    }
+
+    /// The cells, inputs first.
+    pub fn cells(&self) -> &[WrapperCell] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_shift_capture_update() {
+        let mut cell = WrapperCell::new(CellKind::Input);
+        assert_eq!(cell.kind(), CellKind::Input);
+        assert!(!cell.shift(true));
+        assert!(cell.shift_value());
+        assert!(!cell.driven_value());
+        cell.update();
+        assert!(cell.driven_value());
+        cell.capture(false);
+        assert!(!cell.shift_value());
+        assert!(cell.driven_value(), "capture must not disturb hold stage");
+    }
+
+    #[test]
+    fn register_layout() {
+        let wbr = BoundaryRegister::new(3, 2);
+        assert_eq!(wbr.len(), 5);
+        assert_eq!(wbr.input_count(), 3);
+        assert_eq!(wbr.output_count(), 2);
+        assert!(!wbr.is_empty());
+        assert_eq!(wbr.cells()[0].kind(), CellKind::Input);
+        assert_eq!(wbr.cells()[4].kind(), CellKind::Output);
+    }
+
+    #[test]
+    fn shift_through_register_fifo_order() {
+        let mut wbr = BoundaryRegister::new(1, 2);
+        let out = wbr.shift_in(&"101101".parse().unwrap());
+        // First three shifted-out bits are the initial zeros.
+        assert_eq!(out.slice(0, 3).to_string(), "000");
+        // Then the first bits we pushed emerge in order.
+        assert_eq!(out.slice(3, 3).to_string(), "101");
+    }
+
+    #[test]
+    fn capture_then_shift_out_reads_terminals() {
+        let mut wbr = BoundaryRegister::new(2, 2);
+        wbr.capture(&"1101".parse().unwrap());
+        assert_eq!(wbr.shift_values().to_string(), "1101");
+        // The last cell exits first: the captured word comes out reversed.
+        let out = wbr.shift_in(&BitVec::zeros(4));
+        assert_eq!(out.to_string(), "1011");
+    }
+
+    #[test]
+    #[should_panic(expected = "capture width mismatch")]
+    fn capture_wrong_width_panics() {
+        let mut wbr = BoundaryRegister::new(2, 2);
+        wbr.capture(&BitVec::zeros(3));
+    }
+
+    #[test]
+    fn update_freezes_driven_values() {
+        let mut wbr = BoundaryRegister::new(1, 1);
+        wbr.shift_in(&"11".parse().unwrap());
+        wbr.update();
+        wbr.shift_in(&"00".parse().unwrap());
+        assert_eq!(wbr.driven_values().to_string(), "11");
+        assert_eq!(wbr.shift_values().to_string(), "00");
+    }
+
+    #[test]
+    fn driven_split_views() {
+        // After 5 shifts the first-pushed bit sits in the last cell, so the
+        // register holds the pushed word reversed: "01101".
+        let mut wbr = BoundaryRegister::new(2, 3);
+        wbr.shift_in(&"10110".parse().unwrap());
+        wbr.update();
+        assert_eq!(wbr.driven_inputs().to_string(), "01");
+        assert_eq!(wbr.driven_outputs().to_string(), "101");
+    }
+
+    #[test]
+    fn empty_register() {
+        let mut wbr = BoundaryRegister::new(0, 0);
+        assert!(wbr.is_empty());
+        // Shifting through an empty register is the identity.
+        assert!(wbr.shift(true));
+    }
+}

@@ -1,0 +1,177 @@
+//! The interface a wrapped core exposes to its P1500 wrapper.
+
+use casbus_tpg::BitVec;
+
+/// Behavioural interface of an embedded core as seen from its test wrapper.
+///
+/// The CAS-BUS transports serial test data; what the data *means* depends on
+/// the core's test method (paper Fig. 2):
+///
+/// * a scannable core exposes `P` scan chains, one per test port,
+/// * a BISTed core exposes one port carrying start/seed bits in and
+///   signature bits out,
+/// * a memory or logic core under external test exposes ports matching its
+///   source/sink arrangement.
+///
+/// Implementations live in `casbus-soc` (behavioural models) so that this
+/// crate stays a pure wrapper library.
+pub trait TestableCore {
+    /// The core's instance name.
+    fn name(&self) -> &str;
+
+    /// Number of parallel test ports (the `P` of the CAS that will serve
+    /// this core). At least 1.
+    fn test_ports(&self) -> usize;
+
+    /// Advances one *test* clock: `inputs` carries one bit per test port
+    /// into the core (scan-in, BIST control, …) and the returned vector
+    /// carries one bit per port out (scan-out, signature bits, …).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic when `inputs.len() != self.test_ports()`.
+    fn test_clock(&mut self, inputs: &BitVec) -> BitVec;
+
+    /// Advances one *functional* clock while under test: captures the
+    /// combinational response into the scan elements (scan capture cycle) or
+    /// advances the BIST engine's functional phase.
+    fn capture_clock(&mut self);
+
+    /// Total number of test clocks needed to shift one full pattern through
+    /// the longest internal chain (the per-pattern serial depth).
+    fn scan_depth(&self) -> usize;
+
+    /// Puts the core back into its power-on state.
+    fn reset(&mut self);
+}
+
+impl<T: TestableCore + ?Sized> TestableCore for Box<T> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn test_ports(&self) -> usize {
+        (**self).test_ports()
+    }
+
+    fn test_clock(&mut self, inputs: &BitVec) -> BitVec {
+        (**self).test_clock(inputs)
+    }
+
+    fn capture_clock(&mut self) {
+        (**self).capture_clock()
+    }
+
+    fn scan_depth(&self) -> usize {
+        (**self).scan_depth()
+    }
+
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+
+    /// A minimal in-crate core model: `ports` independent shift registers of
+    /// equal `depth`, with capture complementing every bit (so that capture
+    /// effects are observable).
+    #[derive(Debug, Clone)]
+    pub struct ShiftCore {
+        name: String,
+        chains: Vec<BitVec>,
+    }
+
+    impl ShiftCore {
+        pub fn new(name: &str, ports: usize, depth: usize) -> Self {
+            Self {
+                name: name.to_owned(),
+                chains: vec![BitVec::zeros(depth); ports],
+            }
+        }
+
+        pub fn chain(&self, idx: usize) -> &BitVec {
+            &self.chains[idx]
+        }
+    }
+
+    impl TestableCore for ShiftCore {
+        fn name(&self) -> &str {
+            &self.name
+        }
+
+        fn test_ports(&self) -> usize {
+            self.chains.len()
+        }
+
+        fn test_clock(&mut self, inputs: &BitVec) -> BitVec {
+            assert_eq!(inputs.len(), self.chains.len());
+            let mut outs = BitVec::new();
+            for (chain, bit) in self.chains.iter_mut().zip(inputs.iter()) {
+                let depth = chain.len();
+                let mut next = BitVec::with_capacity(depth);
+                next.push(bit);
+                for i in 0..depth.saturating_sub(1) {
+                    next.push(chain.get(i).unwrap());
+                }
+                outs.push(chain.get(depth - 1).unwrap());
+                *chain = next;
+            }
+            outs
+        }
+
+        fn capture_clock(&mut self) {
+            for chain in &mut self.chains {
+                for i in 0..chain.len() {
+                    chain.toggle(i);
+                }
+            }
+        }
+
+        fn scan_depth(&self) -> usize {
+            self.chains.iter().map(BitVec::len).max().unwrap_or(0)
+        }
+
+        fn reset(&mut self) {
+            for chain in &mut self.chains {
+                *chain = BitVec::zeros(chain.len());
+            }
+        }
+    }
+
+    #[test]
+    fn shift_core_roundtrip() {
+        let mut core = ShiftCore::new("u0", 2, 3);
+        assert_eq!(core.test_ports(), 2);
+        assert_eq!(core.scan_depth(), 3);
+        // Shift "1,0,1" into chain 0 and "0,1,1" into chain 1.
+        let ins = ["10", "01", "11"];
+        for s in ins {
+            core.test_clock(&s.parse().unwrap());
+        }
+        assert_eq!(core.chain(0).to_string(), "101".chars().rev().collect::<String>());
+        core.reset();
+        assert_eq!(core.chain(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn capture_complements() {
+        let mut core = ShiftCore::new("u0", 1, 2);
+        core.capture_clock();
+        assert_eq!(core.chain(0).to_string(), "11");
+    }
+
+    #[test]
+    fn boxed_core_delegates() {
+        let mut boxed: Box<dyn TestableCore> = Box::new(ShiftCore::new("u1", 1, 1));
+        assert_eq!(boxed.name(), "u1");
+        assert_eq!(boxed.test_ports(), 1);
+        let out = boxed.test_clock(&"1".parse().unwrap());
+        assert_eq!(out.len(), 1);
+        boxed.capture_clock();
+        boxed.reset();
+        assert_eq!(boxed.scan_depth(), 1);
+    }
+}

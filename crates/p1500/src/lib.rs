@@ -1,0 +1,50 @@
+//! IEEE P1500-style core test wrapper model.
+//!
+//! The CAS-BUS paper targets the IEEE P1500 *Standard for Embedded Core Test*
+//! in its 1998–2000 proposal state: every reusable core is surrounded by a
+//! *wrapper* that isolates it from the rest of the SoC and gives the Test
+//! Access Mechanism a standard way in and out. The paper relies on exactly
+//! these wrapper features (its Fig. 3 shows the CAS attached to a "P1500
+//! WRAPPER"):
+//!
+//! * a **wrapper instruction register** ([`Wir`]) that selects the wrapper
+//!   mode, serially loadable — optionally daisy-chained with the CAS
+//!   instruction register during the CONFIGURATION phase (§3.1, "tri-state
+//!   mechanism"),
+//! * a **wrapper boundary register** ([`BoundaryRegister`]) of cells on the
+//!   functional terminals, used for interconnect (EXTEST) testing,
+//! * a **wrapper bypass register** (one flip-flop) keeping the serial path
+//!   short when the core is not under test,
+//! * serial and parallel test access to the core internals (INTEST), which is
+//!   what the CAS routes the `P` selected bus wires to.
+//!
+//! The wrapped core itself is abstracted behind the [`TestableCore`] trait;
+//! behavioural core models (scan chains, BIST engines, memories) live in the
+//! `casbus-soc` crate.
+//!
+//! # Example
+//!
+//! ```
+//! use casbus_p1500::{Wir, WrapperInstruction};
+//!
+//! let mut wir = Wir::new();
+//! // Shift in the INTEST-scan opcode LSB-first, then update.
+//! for bit in WrapperInstruction::IntestScan.opcode_bits().iter() {
+//!     wir.shift(bit);
+//! }
+//! wir.update();
+//! assert_eq!(wir.instruction(), WrapperInstruction::IntestScan);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+pub mod core;
+pub mod wir;
+pub mod wrapper;
+
+pub use crate::core::TestableCore;
+pub use boundary::{BoundaryRegister, CellKind, WrapperCell};
+pub use wir::{Wir, WirError, WrapperInstruction};
+pub use wrapper::{Wrapper, WrapperControl};

@@ -1,0 +1,265 @@
+//! The wrapper instruction register (WIR).
+
+use std::fmt;
+
+use casbus_tpg::BitVec;
+
+/// Width of the WIR in bits; enough to encode all [`WrapperInstruction`]s.
+pub const WIR_WIDTH: usize = 3;
+
+/// Wrapper operating modes, selected through the WIR.
+///
+/// These mirror the instruction set the P1500 working group was converging
+/// on at the time of the paper (Marinissen et al., ITC 1999): a mandatory
+/// bypass, serial and parallel internal test, external (interconnect) test,
+/// and transparent normal operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WrapperInstruction {
+    /// Functional operation; the wrapper is transparent and the serial path
+    /// goes through the 1-bit bypass register.
+    #[default]
+    Normal,
+    /// Serial path through the 1-bit bypass register, core isolated in a safe
+    /// state.
+    Bypass,
+    /// Internal test via the core's scan chains: the wrapper parallel port is
+    /// connected chain-per-wire.
+    IntestScan,
+    /// Internal test with the core's own BIST engine; the wrapper only
+    /// transports start/seed bits in and signature bits out on one wire.
+    IntestBist,
+    /// External (interconnect) test through the wrapper boundary register.
+    Extest,
+}
+
+impl WrapperInstruction {
+    /// All instructions, in opcode order.
+    pub const ALL: [WrapperInstruction; 5] = [
+        Self::Normal,
+        Self::Bypass,
+        Self::IntestScan,
+        Self::IntestBist,
+        Self::Extest,
+    ];
+
+    /// The binary opcode.
+    pub fn opcode(self) -> u8 {
+        match self {
+            Self::Normal => 0b000,
+            Self::Bypass => 0b001,
+            Self::IntestScan => 0b010,
+            Self::IntestBist => 0b011,
+            Self::Extest => 0b100,
+        }
+    }
+
+    /// Decodes an opcode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WirError::UnknownOpcode`] for unassigned encodings.
+    pub fn from_opcode(opcode: u8) -> Result<Self, WirError> {
+        Self::ALL
+            .into_iter()
+            .find(|i| i.opcode() == opcode)
+            .ok_or(WirError::UnknownOpcode(opcode))
+    }
+
+    /// The opcode as WIR shift bits, LSB first (the order they are shifted
+    /// into the register).
+    pub fn opcode_bits(self) -> BitVec {
+        BitVec::from_u64(u64::from(self.opcode()), WIR_WIDTH)
+    }
+
+    /// Whether this mode gives the TAM access to the core internals.
+    pub fn is_test_mode(self) -> bool {
+        matches!(self, Self::IntestScan | Self::IntestBist | Self::Extest)
+    }
+}
+
+impl fmt::Display for WrapperInstruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Normal => "WS_NORMAL",
+            Self::Bypass => "WS_BYPASS",
+            Self::IntestScan => "WS_INTEST_SCAN",
+            Self::IntestBist => "WS_INTEST_BIST",
+            Self::Extest => "WS_EXTEST",
+        })
+    }
+}
+
+/// Errors raised by the WIR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WirError {
+    /// The shifted-in bits decode to no known instruction.
+    UnknownOpcode(u8),
+}
+
+impl fmt::Display for WirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownOpcode(op) => write!(f, "unknown WIR opcode {op:#05b}"),
+        }
+    }
+}
+
+impl std::error::Error for WirError {}
+
+/// The wrapper instruction register: a [`WIR_WIDTH`]-bit shift stage plus an
+/// update (shadow) stage, exactly like the CAS instruction register it can be
+/// daisy-chained with during the CONFIGURATION phase.
+///
+/// Shifting never disturbs the active instruction; only [`Wir::update`]
+/// transfers the shift stage into the update stage. Unknown opcodes fall
+/// back to [`WrapperInstruction::Bypass`], the safe P1500 default.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Wir {
+    shift_stage: u8,
+    active: WrapperInstruction,
+}
+
+impl Wir {
+    /// Creates a WIR holding [`WrapperInstruction::Normal`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shifts one bit in (LSB first) and returns the bit shifted out the far
+    /// end, allowing WIRs and CAS instruction registers to be daisy-chained.
+    pub fn shift(&mut self, bit: bool) -> bool {
+        let out = self.shift_stage & 1 == 1;
+        self.shift_stage >>= 1;
+        if bit {
+            self.shift_stage |= 1 << (WIR_WIDTH - 1);
+        }
+        out
+    }
+
+    /// Shifts a whole opcode in, LSB first, returning the displaced bits.
+    pub fn shift_bits(&mut self, bits: &BitVec) -> BitVec {
+        bits.iter().map(|b| self.shift(b)).collect()
+    }
+
+    /// Transfers the shift stage into the active instruction.
+    ///
+    /// Unknown opcodes activate [`WrapperInstruction::Bypass`].
+    pub fn update(&mut self) {
+        self.active = WrapperInstruction::from_opcode(self.shift_stage)
+            .unwrap_or(WrapperInstruction::Bypass);
+    }
+
+    /// The currently active instruction.
+    pub fn instruction(&self) -> WrapperInstruction {
+        self.active
+    }
+
+    /// Raw shift-stage contents (for inspection and tests).
+    pub fn shift_stage(&self) -> u8 {
+        self.shift_stage
+    }
+
+    /// Resets to [`WrapperInstruction::Normal`] with a cleared shift stage.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip() {
+        for instr in WrapperInstruction::ALL {
+            assert_eq!(WrapperInstruction::from_opcode(instr.opcode()), Ok(instr));
+        }
+    }
+
+    #[test]
+    fn opcodes_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for instr in WrapperInstruction::ALL {
+            assert!(seen.insert(instr.opcode()), "duplicate opcode for {instr}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(
+            WrapperInstruction::from_opcode(0b111),
+            Err(WirError::UnknownOpcode(0b111))
+        );
+    }
+
+    #[test]
+    fn shift_then_update_activates() {
+        let mut wir = Wir::new();
+        for bit in WrapperInstruction::Extest.opcode_bits().iter() {
+            wir.shift(bit);
+        }
+        // Not active until update.
+        assert_eq!(wir.instruction(), WrapperInstruction::Normal);
+        wir.update();
+        assert_eq!(wir.instruction(), WrapperInstruction::Extest);
+    }
+
+    #[test]
+    fn shifting_does_not_disturb_active() {
+        let mut wir = Wir::new();
+        wir.shift_bits(&WrapperInstruction::IntestScan.opcode_bits());
+        wir.update();
+        wir.shift_bits(&WrapperInstruction::Bypass.opcode_bits());
+        assert_eq!(wir.instruction(), WrapperInstruction::IntestScan);
+    }
+
+    #[test]
+    fn daisy_chain_two_wirs() {
+        // Shift 6 bits through two chained WIRs: the far one ends with the
+        // first opcode, the near one with the second.
+        let mut near = Wir::new();
+        let mut far = Wir::new();
+        let mut stream = WrapperInstruction::IntestBist.opcode_bits();
+        stream.extend_from(&WrapperInstruction::Extest.opcode_bits());
+        for bit in stream.iter() {
+            let mid = near.shift(bit);
+            far.shift(mid);
+        }
+        near.update();
+        far.update();
+        assert_eq!(far.instruction(), WrapperInstruction::IntestBist);
+        assert_eq!(near.instruction(), WrapperInstruction::Extest);
+    }
+
+    #[test]
+    fn unknown_opcode_falls_back_to_bypass() {
+        let mut wir = Wir::new();
+        wir.shift_bits(&BitVec::ones(WIR_WIDTH)); // 0b111 unassigned
+        wir.update();
+        assert_eq!(wir.instruction(), WrapperInstruction::Bypass);
+    }
+
+    #[test]
+    fn reset_restores_normal() {
+        let mut wir = Wir::new();
+        wir.shift_bits(&WrapperInstruction::Extest.opcode_bits());
+        wir.update();
+        wir.reset();
+        assert_eq!(wir.instruction(), WrapperInstruction::Normal);
+        assert_eq!(wir.shift_stage(), 0);
+    }
+
+    #[test]
+    fn test_mode_classification() {
+        assert!(WrapperInstruction::IntestScan.is_test_mode());
+        assert!(WrapperInstruction::IntestBist.is_test_mode());
+        assert!(WrapperInstruction::Extest.is_test_mode());
+        assert!(!WrapperInstruction::Normal.is_test_mode());
+        assert!(!WrapperInstruction::Bypass.is_test_mode());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(WrapperInstruction::IntestScan.to_string(), "WS_INTEST_SCAN");
+    }
+}

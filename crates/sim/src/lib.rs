@@ -1,0 +1,57 @@
+//! Cycle-accurate end-to-end simulation of CAS-BUS test sessions.
+//!
+//! This crate closes the loop of the reproduction: behavioural cores
+//! (`casbus-soc`) sit inside P1500 wrappers (`casbus-p1500`), which hang off
+//! Core Access Switches on the test bus (`casbus`), sequenced by test
+//! programs (`casbus-controller`), with sources and sinks from `casbus-tpg`.
+//! Every bit of test data travels the same path it would on silicon:
+//!
+//! ```text
+//! source → e wires → CAS → wrapper parallel port → scan chains/BIST
+//!        ← s wires ← CAS ← wrapper parallel port ←
+//! ```
+//!
+//! The simulator inserts one retiming register between each wrapper's
+//! parallel output and its CAS core-side input (a standard TAM pipelining
+//! choice); golden references are computed through the same convention, so
+//! comparisons are bit-exact.
+//!
+//! What you can do with it:
+//!
+//! * [`SocSimulator`] — configure the TAM + wrappers and drive raw data
+//!   clocks,
+//! * [`session`] — run a complete, verified test session for any core
+//!   (scan, BIST, memory march, external, hierarchical) and get a
+//!   [`SessionReport`] with cycle counts and a pass/fail verdict,
+//! * [`report::run_program`] — execute a whole scheduled
+//!   [`TestProgram`](casbus_controller::TestProgram) (concurrent cores and
+//!   all) and get per-core verdicts plus the measured SoC test time,
+//! * fault injection — flip a core defect on and watch the session fail.
+//!
+//! # Example
+//!
+//! ```
+//! use casbus_sim::{SocSimulator, session};
+//! use casbus_soc::catalog;
+//!
+//! let soc = catalog::figure2b_bist_soc();
+//! let mut sim = SocSimulator::new(&soc, 3)?;
+//! let report = session::run_core_session(&mut sim, "bist8")?;
+//! assert!(report.verdict.is_pass());
+//! # Ok::<(), casbus_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus_core;
+pub mod interconnect;
+pub mod report;
+pub mod session;
+pub mod simulator;
+
+pub use bus_core::SystemBusCore;
+pub use interconnect::run_interconnect_extest;
+pub use report::{run_program, SocTestReport};
+pub use session::{run_core_session, ClockKind, SessionReport};
+pub use simulator::{SimError, SocSimulator};

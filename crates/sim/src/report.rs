@@ -1,0 +1,254 @@
+//! Whole-program execution: run a scheduled test program end to end.
+
+use std::fmt;
+
+use casbus_controller::TestProgram;
+use casbus_tpg::{BitVec, Verdict};
+
+use crate::session::{compare, golden_run, ClockKind, SessionPlan};
+use crate::simulator::{SimError, SocSimulator};
+
+/// The outcome of executing a whole test program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocTestReport {
+    /// Per-core verdicts, in first-tested order.
+    pub verdicts: Vec<(String, Verdict)>,
+    /// Total cycles driven (configuration + data, all steps).
+    pub total_cycles: u64,
+    /// Steps executed.
+    pub steps: usize,
+}
+
+impl SocTestReport {
+    /// Whether every core passed.
+    pub fn all_pass(&self) -> bool {
+        self.verdicts.iter().all(|(_, v)| v.is_pass())
+    }
+
+    /// Verdict of one core.
+    pub fn verdict(&self, core_name: &str) -> Option<&Verdict> {
+        self.verdicts
+            .iter()
+            .find(|(name, _)| name == core_name)
+            .map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for SocTestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "SoC test: {} steps, {} cycles, {}",
+            self.steps,
+            self.total_cycles,
+            if self.all_pass() { "ALL PASS" } else { "FAILURES" }
+        )?;
+        for (name, verdict) in &self.verdicts {
+            writeln!(f, "  {name}: {verdict}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Executes a test program end to end: for every step, the CONFIGURATION
+/// phase loads the step's CAS and wrapper instructions, then the concurrent
+/// cores' session plans run cycle-interleaved on their scheduled wire
+/// windows, and every shifted-out bit is compared against that core's golden
+/// model.
+///
+/// # Errors
+///
+/// Propagates configuration and width errors.
+pub fn run_program(
+    sim: &mut SocSimulator,
+    program: &TestProgram,
+) -> Result<SocTestReport, SimError> {
+    let start_cycles = sim.cycles();
+    let mut verdicts: Vec<(String, Verdict)> = Vec::new();
+    for step in program.steps() {
+        sim.configure(&step.configuration, &step.wrapper_instructions)?;
+        // Collect the concurrent cores of this step, their plans, goldens
+        // and wire windows (from the now-active schemes).
+        struct Lane {
+            cas_index: usize,
+            name: String,
+            plan: SessionPlan,
+            golden: Vec<Option<BitVec>>,
+            wires: Vec<usize>,
+            observed: Vec<BitVec>,
+        }
+        let mut lanes = Vec::new();
+        for cas_index in step.configuration.cores_under_test() {
+            let name = sim.tam().label(cas_index)?.to_owned();
+            let Some((_, desc)) = sim.soc().core_by_name(&name) else {
+                // The wrapped system bus: exercised via run_bus_extest.
+                continue;
+            };
+            let desc = desc.clone();
+            let plan = SessionPlan::for_core(&desc);
+            let golden = golden_run(&desc, &plan);
+            let wires = sim.tam().chain().cases()[cas_index]
+                .active_scheme()
+                .expect("configured TEST scheme")
+                .wires()
+                .to_vec();
+            lanes.push(Lane { cas_index, name, plan, golden, wires, observed: Vec::new() });
+        }
+        let horizon = lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
+        let cas_count = sim.tam().cas_count();
+        for t in 0..horizon {
+            let mut bus = BitVec::zeros(sim.bus_width());
+            let mut kinds = vec![ClockKind::Idle; cas_count];
+            for lane in &lanes {
+                if let Some((stim, kind)) = lane.plan.cycles().get(t) {
+                    kinds[lane.cas_index] = *kind;
+                    for (j, &wire) in lane.wires.iter().enumerate() {
+                        bus.set(wire, stim.get(j).expect("stim P wide"));
+                    }
+                }
+            }
+            let out = sim.data_clock(&bus, &kinds)?;
+            for lane in &mut lanes {
+                if t < lane.plan.len() + 1 {
+                    let slice: BitVec =
+                        lane.wires.iter().map(|&w| out.get(w).expect("wire < n")).collect();
+                    lane.observed.push(slice);
+                }
+            }
+        }
+        for lane in lanes {
+            let verdict = compare(&lane.golden, &lane.observed, lane.plan.ports());
+            verdicts.push((lane.name, verdict));
+        }
+    }
+    Ok(SocTestReport {
+        verdicts,
+        total_cycles: sim.cycles() - start_cycles,
+        steps: program.steps().len(),
+    })
+}
+
+/// Tests the wrapped system bus through its wrapper's EXTEST path: a bit
+/// stream shifted through the wrapper boundary register must come back
+/// intact after `WBR length + 1` cycles.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownCore`] when the SoC has no wrapped bus.
+pub fn run_bus_extest(sim: &mut SocSimulator) -> Result<Verdict, SimError> {
+    use casbus::TamConfiguration;
+    use casbus_p1500::WrapperInstruction;
+
+    let cas_index = sim
+        .tam()
+        .cas_for_core("system_bus")
+        .ok_or_else(|| SimError::UnknownCore("system_bus".to_owned()))?;
+    let mut config = TamConfiguration::all_bypass(sim.tam().cas_count());
+    config.set(cas_index, sim.tam().contiguous_test(cas_index, 0)?)?;
+    let mut wrappers = vec![WrapperInstruction::Bypass; sim.tam().cas_count()];
+    wrappers[cas_index] = WrapperInstruction::Extest;
+    sim.configure(&config, &wrappers)?;
+
+    // The EXTEST path depth: the wrapper boundary register.
+    let depth = {
+        let wrapper = sim.wrapper_mut("system_bus")?;
+        wrapper.boundary().len()
+    };
+    let stream: BitVec = (0..32).map(|i| i % 3 == 0).collect();
+    let total = stream.len() + depth + 1;
+    let mut observed = BitVec::new();
+    let cas_count = sim.tam().cas_count();
+    for t in 0..total {
+        let mut bus = BitVec::zeros(sim.bus_width());
+        bus.set(0, stream.get(t).unwrap_or(false));
+        let mut kinds = vec![ClockKind::Idle; cas_count];
+        kinds[cas_index] = ClockKind::Shift;
+        let out = sim.data_clock(&bus, &kinds)?;
+        observed.push(out.get(0).expect("wire 0"));
+    }
+    // The stream re-emerges delayed by depth + 1 (retiming register).
+    let mut mismatches = 0;
+    for (i, bit) in stream.iter().enumerate() {
+        if observed.get(i + depth + 1) != Some(bit) {
+            mismatches += 1;
+        }
+    }
+    Ok(if mismatches == 0 { Verdict::Pass } else { Verdict::Fail { mismatches } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus::Tam;
+    use casbus_controller::{schedule, TestProgram};
+    use casbus_soc::catalog;
+
+    fn program_for(soc: &casbus_soc::SocDescription, n: usize, packed: bool) -> TestProgram {
+        let tam = Tam::new(soc, n).unwrap();
+        let sched = if packed {
+            schedule::packed_schedule(soc, n).unwrap()
+        } else {
+            schedule::serial_schedule(soc, n).unwrap()
+        };
+        TestProgram::from_schedule(&tam, soc, &sched).unwrap()
+    }
+
+    #[test]
+    fn serial_program_all_cores_pass() {
+        let soc = catalog::figure2a_scan_soc();
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        let program = program_for(&soc, 4, false);
+        let report = run_program(&mut sim, &program).unwrap();
+        assert!(report.all_pass(), "{report}");
+        assert_eq!(report.verdicts.len(), 2);
+        assert_eq!(report.steps, 2);
+    }
+
+    #[test]
+    fn packed_program_concurrent_cores_pass() {
+        // Wide bus: both scan cores run simultaneously on disjoint windows.
+        let soc = catalog::figure2a_scan_soc();
+        let mut sim = SocSimulator::new(&soc, 6).unwrap();
+        let program = program_for(&soc, 6, true);
+        let report = run_program(&mut sim, &program).unwrap();
+        assert!(report.all_pass(), "{report}");
+        assert!(report.steps <= 2);
+    }
+
+    #[test]
+    fn figure1_full_program_passes() {
+        let soc = catalog::figure1_soc();
+        let mut sim = SocSimulator::new(&soc, 8).unwrap();
+        let program = program_for(&soc, 8, true);
+        let report = run_program(&mut sim, &program).unwrap();
+        assert!(report.all_pass(), "{report}");
+        assert_eq!(report.verdicts.len(), 6);
+        assert!(report.verdict("core1_cpu").unwrap().is_pass());
+    }
+
+    #[test]
+    fn bus_extest_passes() {
+        let soc = catalog::figure1_soc();
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        assert!(run_bus_extest(&mut sim).unwrap().is_pass());
+    }
+
+    #[test]
+    fn bus_extest_requires_wrapped_bus() {
+        let soc = catalog::figure2a_scan_soc();
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        assert!(run_bus_extest(&mut sim).is_err());
+    }
+
+    #[test]
+    fn report_display_and_lookup() {
+        let report = SocTestReport {
+            verdicts: vec![("a".into(), Verdict::Pass)],
+            total_cycles: 100,
+            steps: 1,
+        };
+        assert!(report.to_string().contains("ALL PASS"));
+        assert!(report.verdict("a").is_some());
+        assert!(report.verdict("zz").is_none());
+    }
+}

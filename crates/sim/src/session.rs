@@ -1,0 +1,404 @@
+//! Complete, verified test sessions for individual cores.
+
+use std::fmt;
+
+use casbus::TamConfiguration;
+use casbus_p1500::{TestableCore, WrapperInstruction};
+use casbus_soc::{models, CoreDescription, TestMethod};
+use casbus_tpg::{BitVec, Lfsr, Polynomial, Verdict};
+
+use crate::simulator::{SimError, SocSimulator};
+
+/// What a wrapper does on one data clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Shift the test data register by one bit.
+    Shift,
+    /// Fire the core's functional capture.
+    Capture,
+    /// Transfer shift stages to update/hold stages (EXTEST boundary drive).
+    Update,
+    /// Hold (core not involved this clock).
+    Idle,
+}
+
+/// The per-cycle plan of one core's test session: stimulus slice + clock
+/// kind for every cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionPlan {
+    cycles: Vec<(BitVec, ClockKind)>,
+    ports: usize,
+}
+
+impl SessionPlan {
+    /// Builds the deterministic session plan a core's test method calls for.
+    /// Stimuli come from an LFSR seeded by the core name, so the golden
+    /// reference and the TAM run see identical data.
+    pub fn for_core(desc: &CoreDescription) -> Self {
+        let ports = desc.required_ports();
+        let mut lfsr = stimulus_source(desc.name());
+        let mut cycles = Vec::new();
+        match desc.method() {
+            TestMethod::Scan { chains, patterns } => {
+                let depth = chains.iter().copied().max().unwrap_or(1);
+                for _ in 0..*patterns {
+                    for _ in 0..depth {
+                        cycles.push((lfsr.step_n(ports), ClockKind::Shift));
+                    }
+                    cycles.push((BitVec::zeros(ports), ClockKind::Capture));
+                }
+                for _ in 0..depth {
+                    cycles.push((BitVec::zeros(ports), ClockKind::Shift));
+                }
+            }
+            TestMethod::Bist { width, patterns } => {
+                for _ in 0..*patterns {
+                    cycles.push((BitVec::zeros(ports), ClockKind::Capture));
+                }
+                for _ in 0..*width {
+                    cycles.push((BitVec::zeros(ports), ClockKind::Shift));
+                }
+            }
+            TestMethod::External { patterns, .. } => {
+                for _ in 0..*patterns {
+                    cycles.push((lfsr.step_n(ports), ClockKind::Shift));
+                }
+                cycles.push((BitVec::zeros(ports), ClockKind::Shift));
+            }
+            TestMethod::Hierarchical { sub_cores, .. } => {
+                let depth: usize = sub_cores
+                    .iter()
+                    .map(|c| match c.method() {
+                        TestMethod::Scan { chains, .. } => {
+                            chains.iter().copied().max().unwrap_or(1)
+                        }
+                        TestMethod::Bist { width, .. } => *width as usize,
+                        _ => 2,
+                    })
+                    .sum::<usize>()
+                    .max(1);
+                for _ in 0..4 {
+                    for _ in 0..depth {
+                        cycles.push((lfsr.step_n(ports), ClockKind::Shift));
+                    }
+                    cycles.push((BitVec::zeros(ports), ClockKind::Capture));
+                }
+                for _ in 0..depth {
+                    cycles.push((BitVec::zeros(ports), ClockKind::Shift));
+                }
+            }
+            TestMethod::Memory { words, .. } => {
+                for _ in 0..3 * words {
+                    cycles.push((BitVec::zeros(ports), ClockKind::Capture));
+                }
+                for _ in 0..2 {
+                    cycles.push((BitVec::zeros(ports), ClockKind::Shift));
+                }
+            }
+        }
+        // One trailing cycle so the retiming register drains.
+        cycles.push((BitVec::zeros(ports), ClockKind::Shift));
+        Self { cycles, ports }
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Stimulus width (the core's `P`).
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// The cycles.
+    pub fn cycles(&self) -> &[(BitVec, ClockKind)] {
+        &self.cycles
+    }
+
+    /// Shift cycles in the plan.
+    pub fn shift_cycles(&self) -> usize {
+        self.cycles
+            .iter()
+            .filter(|(_, k)| *k == ClockKind::Shift)
+            .count()
+    }
+}
+
+fn stimulus_source(name: &str) -> Lfsr {
+    let poly = Polynomial::primitive(16).expect("degree 16 tabulated");
+    let seed = name
+        .bytes()
+        .fold(0xacE1u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(b)))
+        & 0xffff;
+    Lfsr::fibonacci(poly, seed.max(1)).expect("non-zero seed")
+}
+
+/// Runs the plan directly against a fresh behavioural model (no TAM): the
+/// golden reference. Returns the model's output slice for every cycle
+/// (`None` on capture cycles).
+pub fn golden_run(desc: &CoreDescription, plan: &SessionPlan) -> Vec<Option<BitVec>> {
+    let mut model = models::instantiate(desc);
+    plan.cycles()
+        .iter()
+        .map(|(stim, kind)| match kind {
+            ClockKind::Shift => Some(model.test_clock(stim)),
+            ClockKind::Capture => {
+                model.capture_clock();
+                None
+            }
+            ClockKind::Update | ClockKind::Idle => None,
+        })
+        .collect()
+}
+
+/// The outcome of one core's session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionReport {
+    /// The core tested.
+    pub core_name: String,
+    /// Pass/fail against the golden reference.
+    pub verdict: Verdict,
+    /// Data-phase cycles driven.
+    pub data_cycles: u64,
+    /// Configuration-phase cycles (CAS chain + update).
+    pub config_cycles: u64,
+}
+
+impl SessionReport {
+    /// Total session cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.data_cycles + self.config_cycles
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} config + {} data cycles)",
+            self.core_name,
+            self.verdict,
+            self.config_cycles,
+            self.data_cycles
+        )
+    }
+}
+
+/// The wrapper instruction a test method needs.
+pub(crate) fn wrapper_instruction_for(method: &TestMethod) -> WrapperInstruction {
+    match method {
+        TestMethod::Bist { .. } | TestMethod::Memory { .. } => WrapperInstruction::IntestBist,
+        _ => WrapperInstruction::IntestScan,
+    }
+}
+
+/// Runs a complete verified session for one core: CONFIGURATION phase, TEST
+/// phase on wires `0 .. P`, bit-exact comparison of everything shifted out
+/// against the golden model.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownCore`] for bad names; propagates TAM errors.
+pub fn run_core_session(sim: &mut SocSimulator, core_name: &str) -> Result<SessionReport, SimError> {
+    let (_, desc) = sim
+        .soc()
+        .core_by_name(core_name)
+        .map(|(id, c)| (id, c.clone()))
+        .ok_or_else(|| SimError::UnknownCore(core_name.to_owned()))?;
+    let cas_index = sim.cas_index(core_name)?;
+    let plan = SessionPlan::for_core(&desc);
+    let golden = golden_run(&desc, &plan);
+
+    let mut config = TamConfiguration::all_bypass(sim.tam().cas_count());
+    config.set(cas_index, sim.tam().contiguous_test(cas_index, 0)?)?;
+    let mut wrappers = vec![WrapperInstruction::Bypass; sim.tam().cas_count()];
+    wrappers[cas_index] = wrapper_instruction_for(desc.method());
+    let start = sim.cycles();
+    sim.configure(&config, &wrappers)?;
+    let config_cycles = sim.cycles() - start;
+
+    let observed = drive_plan(sim, cas_index, &plan, 0)?;
+    let verdict = compare(&golden, &observed, plan.ports());
+    Ok(SessionReport {
+        core_name: core_name.to_owned(),
+        verdict,
+        data_cycles: plan.len() as u64,
+        config_cycles,
+    })
+}
+
+/// Drives a plan through the TAM for the CAS at `cas_index`, whose scheme
+/// places port `j` on wire `wire_base + j` (contiguous window). Returns the
+/// observed core-return slice for every cycle.
+pub(crate) fn drive_plan(
+    sim: &mut SocSimulator,
+    cas_index: usize,
+    plan: &SessionPlan,
+    wire_base: usize,
+) -> Result<Vec<BitVec>, SimError> {
+    let n = sim.bus_width();
+    let cas_count = sim.tam().cas_count();
+    let mut observed = Vec::with_capacity(plan.len());
+    for (stim, kind) in plan.cycles() {
+        let mut bus = BitVec::zeros(n);
+        for j in 0..plan.ports() {
+            bus.set(wire_base + j, stim.get(j).expect("stim is P wide"));
+        }
+        let mut kinds = vec![ClockKind::Idle; cas_count];
+        kinds[cas_index] = *kind;
+        let out = sim.data_clock(&bus, &kinds)?;
+        observed.push(out.slice(wire_base, plan.ports()));
+    }
+    Ok(observed)
+}
+
+/// Compares golden shift outputs at cycle `t` with the bus observation at
+/// `t + 1` (the retiming register's latency).
+pub(crate) fn compare(
+    golden: &[Option<BitVec>],
+    observed: &[BitVec],
+    ports: usize,
+) -> Verdict {
+    let mut mismatches = 0usize;
+    for (t, gold) in golden.iter().enumerate() {
+        let Some(gold) = gold else { continue };
+        let Some(seen) = observed.get(t + 1) else { continue };
+        for j in 0..ports {
+            if gold.get(j) != seen.get(j) {
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches == 0 {
+        Verdict::Pass
+    } else {
+        Verdict::Fail { mismatches }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_soc::catalog;
+
+    fn session(soc: &casbus_soc::SocDescription, n: usize, core: &str) -> SessionReport {
+        let mut sim = SocSimulator::new(soc, n).unwrap();
+        run_core_session(&mut sim, core).unwrap()
+    }
+
+    #[test]
+    fn scan_cores_pass() {
+        let soc = catalog::figure2a_scan_soc();
+        for core in ["scan3", "scan2"] {
+            let report = session(&soc, 4, core);
+            assert!(report.verdict.is_pass(), "{report}");
+            assert!(report.config_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn bist_cores_pass() {
+        let soc = catalog::figure2b_bist_soc();
+        for core in ["bist16", "bist8"] {
+            let report = session(&soc, 2, core);
+            assert!(report.verdict.is_pass(), "{report}");
+        }
+    }
+
+    #[test]
+    fn external_cores_pass() {
+        let soc = catalog::figure2c_external_soc();
+        for core in ["ext1", "ext4"] {
+            let report = session(&soc, 4, core);
+            assert!(report.verdict.is_pass(), "{report}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_core_passes() {
+        let soc = catalog::figure2d_hierarchical_soc();
+        let report = session(&soc, 4, "parent");
+        assert!(report.verdict.is_pass(), "{report}");
+    }
+
+    #[test]
+    fn memory_core_passes() {
+        let soc = catalog::maintenance_soc();
+        let report = session(&soc, 3, "dram");
+        assert!(report.verdict.is_pass(), "{report}");
+    }
+
+    #[test]
+    fn all_figure1_cores_pass_individually() {
+        let soc = catalog::figure1_soc();
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        for core in soc.cores() {
+            let report = run_core_session(&mut sim, core.name()).unwrap();
+            assert!(report.verdict.is_pass(), "{report}");
+        }
+    }
+
+    #[test]
+    fn injected_scan_fault_is_detected() {
+        let soc = catalog::figure2a_scan_soc();
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        // Reach through the wrapper and break the core. The golden model is
+        // built from the description, so it stays healthy.
+        {
+            let wrapper = sim.wrapper_mut("scan3").unwrap();
+            // Downcast-free fault injection: shift a constant into the core
+            // is not possible through the trait, so rebuild with ScanCore.
+            let mut faulty = casbus_soc::models::ScanCore::new("scan3", vec![30, 28, 32]);
+            faulty.inject_stuck_at(1, 14, true);
+            *wrapper = casbus_p1500::Wrapper::new(
+                Box::new(faulty) as Box<dyn TestableCore>,
+                8,
+                8,
+            );
+        }
+        let report = run_core_session(&mut sim, "scan3").unwrap();
+        assert!(!report.verdict.is_pass(), "stuck-at must be caught: {report}");
+    }
+
+    #[test]
+    fn plan_shapes() {
+        let scan = CoreDescription::new("s", TestMethod::Scan { chains: vec![4, 6], patterns: 3 });
+        let plan = SessionPlan::for_core(&scan);
+        // 3·(6 shifts + capture) + 6 flush + 1 drain.
+        assert_eq!(plan.len(), 3 * 7 + 6 + 1);
+        assert_eq!(plan.ports(), 2);
+        assert_eq!(plan.shift_cycles(), 3 * 6 + 7);
+    }
+
+    #[test]
+    fn golden_run_is_reproducible() {
+        let desc = CoreDescription::new("g", TestMethod::Bist { width: 8, patterns: 20 });
+        let plan = SessionPlan::for_core(&desc);
+        assert_eq!(golden_run(&desc, &plan), golden_run(&desc, &plan));
+    }
+
+    #[test]
+    fn compare_counts_mismatches() {
+        let golden = vec![Some("11".parse::<BitVec>().unwrap()), None];
+        let observed = vec!["00".parse().unwrap(), "10".parse().unwrap(), "00".parse().unwrap()];
+        assert_eq!(compare(&golden, &observed, 2), Verdict::Fail { mismatches: 1 });
+    }
+
+    #[test]
+    fn report_display() {
+        let r = SessionReport {
+            core_name: "x".into(),
+            verdict: Verdict::Pass,
+            data_cycles: 10,
+            config_cycles: 5,
+        };
+        assert_eq!(r.total_cycles(), 15);
+        assert!(r.to_string().contains("pass"));
+    }
+}

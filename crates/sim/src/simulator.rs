@@ -1,0 +1,504 @@
+//! The assembled SoC simulator: TAM + wrappers + behavioural cores.
+
+use std::fmt;
+
+use casbus::{CasControl, CasError, Tam, TamConfiguration};
+use casbus_p1500::{TestableCore, Wrapper, WrapperControl, WrapperInstruction};
+use casbus_soc::{models, SocDescription};
+use casbus_tpg::BitVec;
+
+use crate::bus_core::SystemBusCore;
+use crate::session::ClockKind;
+
+/// Errors from the end-to-end simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A TAM-level error.
+    Tam(CasError),
+    /// A named core does not exist.
+    UnknownCore(String),
+    /// Per-CAS clock kinds had the wrong length.
+    KindsLengthMismatch {
+        /// Kinds supplied.
+        got: usize,
+        /// CASes present.
+        expected: usize,
+    },
+    /// Wrapper-instruction vector had the wrong length.
+    WrapperLengthMismatch {
+        /// Instructions supplied.
+        got: usize,
+        /// Wrappers present.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tam(e) => write!(f, "TAM error: {e}"),
+            Self::UnknownCore(name) => write!(f, "unknown core {name:?}"),
+            Self::KindsLengthMismatch { got, expected } => {
+                write!(f, "{got} clock kinds for {expected} CASes")
+            }
+            Self::WrapperLengthMismatch { got, expected } => {
+                write!(f, "{got} wrapper instructions for {expected} wrappers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<CasError> for SimError {
+    fn from(e: CasError) -> Self {
+        Self::Tam(e)
+    }
+}
+
+/// The fully-assembled SoC under test: one wrapper + behavioural core per
+/// CAS (the wrapped system bus, when present, is the last entry), threaded
+/// on the CAS-BUS.
+pub struct SocSimulator {
+    soc: SocDescription,
+    tam: Tam,
+    wrappers: Vec<Wrapper<Box<dyn TestableCore>>>,
+    /// Retiming register between each wrapper's parallel output and its
+    /// CAS core-side input.
+    pending: Vec<BitVec>,
+    cycles: u64,
+}
+
+impl SocSimulator {
+    /// Builds the simulator for `soc` over an `n`-wire test bus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TAM construction errors (bus too narrow, etc.).
+    pub fn new(soc: &SocDescription, n: usize) -> Result<Self, SimError> {
+        let tam = Tam::new(soc, n)?;
+        let mut wrappers: Vec<Wrapper<Box<dyn TestableCore>>> = Vec::new();
+        for core in soc.cores() {
+            wrappers.push(Wrapper::new(
+                models::instantiate(core),
+                core.functional_inputs(),
+                core.functional_outputs(),
+            ));
+        }
+        if soc.system_bus().is_some_and(|b| b.wrapped) {
+            let width = soc.system_bus().map_or(8, |b| b.width);
+            wrappers.push(Wrapper::new(
+                Box::new(SystemBusCore::new("system_bus")) as Box<dyn TestableCore>,
+                width,
+                width,
+            ));
+        }
+        let pending = tam
+            .chain()
+            .cases()
+            .iter()
+            .map(|c| BitVec::zeros(c.geometry().switched_wires()))
+            .collect();
+        Ok(Self { soc: soc.clone(), tam, wrappers, pending, cycles: 0 })
+    }
+
+    /// The SoC description.
+    pub fn soc(&self) -> &SocDescription {
+        &self.soc
+    }
+
+    /// The TAM.
+    pub fn tam(&self) -> &Tam {
+        &self.tam
+    }
+
+    /// Test bus width.
+    pub fn bus_width(&self) -> usize {
+        self.tam.bus_width()
+    }
+
+    /// Total clocks driven so far (configuration + data).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// CAS index of a named core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCore`] for bad names.
+    pub fn cas_index(&self, core_name: &str) -> Result<usize, SimError> {
+        self.tam
+            .cas_for_core(core_name)
+            .ok_or_else(|| SimError::UnknownCore(core_name.to_owned()))
+    }
+
+    /// Mutable access to one wrapper (e.g. for fault injection on the
+    /// wrapped core).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownCore`] for bad names.
+    pub fn wrapper_mut(
+        &mut self,
+        core_name: &str,
+    ) -> Result<&mut Wrapper<Box<dyn TestableCore>>, SimError> {
+        let idx = self.cas_index(core_name)?;
+        Ok(&mut self.wrappers[idx])
+    }
+
+    /// Applies a TAM configuration through the serial protocol and sets each
+    /// wrapper's instruction; counts the configuration cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TAM errors; rejects mismatched wrapper vectors.
+    pub fn configure(
+        &mut self,
+        config: &TamConfiguration,
+        wrapper_instructions: &[WrapperInstruction],
+    ) -> Result<(), SimError> {
+        if wrapper_instructions.len() != self.wrappers.len() {
+            return Err(SimError::WrapperLengthMismatch {
+                got: wrapper_instructions.len(),
+                expected: self.wrappers.len(),
+            });
+        }
+        self.tam.configure(config)?;
+        self.cycles += self.tam.configuration_clocks() as u64 + 1;
+        for (wrapper, instr) in self.wrappers.iter_mut().zip(wrapper_instructions) {
+            wrapper.apply_instruction(*instr);
+            // Loading a WIR costs its opcode width + update, synchronized
+            // with (and hidden under) the CAS configuration phase when the
+            // tri-state chaining mechanism of §3.1 is used.
+        }
+        // Clear boundary retiming registers for the new session.
+        for (pending, cas) in self.pending.iter_mut().zip(self.tam.chain().cases()) {
+            *pending = BitVec::zeros(cas.geometry().switched_wires());
+        }
+        Ok(())
+    }
+
+    /// Applies a configuration through the paper's §3.1 **tri-state
+    /// mechanism**: the CAS instruction registers *and* the wrapper
+    /// instruction registers form one serial chain
+    /// (`wire 0 → IR₀ → WIR₀ → IR₁ → WIR₁ → …`), so CAS schemes and wrapper
+    /// modes load in a single CONFIGURATION phase. "When integrated, it
+    /// simplifies the overall SoC test architecture configuration."
+    ///
+    /// Functionally equivalent to [`SocSimulator::configure`]; the cycle
+    /// cost differs (one longer phase instead of a CAS phase plus hidden
+    /// WIR loads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TAM errors; rejects mismatched wrapper vectors.
+    pub fn configure_chained(
+        &mut self,
+        config: &TamConfiguration,
+        wrapper_instructions: &[WrapperInstruction],
+    ) -> Result<(), SimError> {
+        if wrapper_instructions.len() != self.wrappers.len() {
+            return Err(SimError::WrapperLengthMismatch {
+                got: wrapper_instructions.len(),
+                expected: self.wrappers.len(),
+            });
+        }
+        if config.instructions().len() != self.wrappers.len() {
+            return Err(SimError::Tam(casbus::CasError::ConfigurationLengthMismatch {
+                got: config.instructions().len(),
+                expected: self.wrappers.len(),
+            }));
+        }
+        // Build the combined stream: the earliest bits travel furthest, so
+        // segments go in reverse chain order; within one CAS+wrapper unit
+        // the WIR sits after the IR, hence its bits come first.
+        let mut stream = BitVec::new();
+        for (idx, (cas, instr)) in self
+            .tam
+            .chain()
+            .cases()
+            .iter()
+            .zip(config.instructions())
+            .enumerate()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+        {
+            stream.extend_from(&wrapper_instructions[idx].opcode_bits());
+            if let casbus::CasInstruction::Test(i) = instr {
+                cas.schemes().scheme(*i)?;
+            }
+            stream.extend_from(&instr.encode(cas.schemes().len(), cas.instruction_width()));
+        }
+        // Shift the chain one bit per clock, then one global update pulse.
+        for bit in stream.iter() {
+            let mut carry = bit;
+            for (cas, wrapper) in self
+                .tam
+                .chain_mut()
+                .cases_mut()
+                .iter_mut()
+                .zip(self.wrappers.iter_mut())
+            {
+                carry = cas.shift_ir(carry);
+                carry = wrapper.clock_serial(
+                    carry,
+                    &casbus_p1500::WrapperControl::shift_wir(),
+                );
+            }
+            self.cycles += 1;
+        }
+        for (cas, wrapper) in self
+            .tam
+            .chain_mut()
+            .cases_mut()
+            .iter_mut()
+            .zip(self.wrappers.iter_mut())
+        {
+            cas.update_ir();
+            wrapper.clock_serial(false, &casbus_p1500::WrapperControl::update_wir());
+        }
+        self.cycles += 1;
+        for (pending, cas) in self.pending.iter_mut().zip(self.tam.chain().cases()) {
+            *pending = BitVec::zeros(cas.geometry().switched_wires());
+        }
+        Ok(())
+    }
+
+    /// Drives one data clock.
+    ///
+    /// `bus_in` enters the chain; `kinds[i]` says what CAS `i`'s wrapper
+    /// does this clock (shift, capture, or hold). Returns the bus output at
+    /// the chain's far end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches.
+    pub fn data_clock(&mut self, bus_in: &BitVec, kinds: &[ClockKind]) -> Result<BitVec, SimError> {
+        if kinds.len() != self.wrappers.len() {
+            return Err(SimError::KindsLengthMismatch {
+                got: kinds.len(),
+                expected: self.wrappers.len(),
+            });
+        }
+        let out = self
+            .tam
+            .chain_mut()
+            .clock(bus_in, &self.pending, CasControl::run())?;
+        for (idx, wrapper) in self.wrappers.iter_mut().enumerate() {
+            let p = out
+                .core_in
+                .get(idx)
+                .cloned()
+                .flatten();
+            let width = wrapper_port_width(wrapper);
+            let ctrl = match kinds[idx] {
+                ClockKind::Shift => WrapperControl::shift_data(),
+                ClockKind::Capture => WrapperControl::capture_data(),
+                ClockKind::Update => WrapperControl::update_data(),
+                ClockKind::Idle => WrapperControl::default(),
+            };
+            // The wrapper only sees the TAM when its CAS routes wires to it.
+            let wpi = match (&p, wrapper.instruction().is_test_mode()) {
+                (Some(bits), true) => resize(bits, width),
+                _ => BitVec::zeros(width),
+            };
+            let wpo = if wrapper.instruction().is_test_mode() {
+                wrapper.clock_parallel(&wpi, &ctrl)
+            } else {
+                BitVec::zeros(width)
+            };
+            let cas_p = self.pending[idx].len();
+            self.pending[idx] = resize(&wpo, cas_p);
+        }
+        self.cycles += 1;
+        Ok(out.bus_out)
+    }
+
+    /// Drives `cycles` idle clocks (bus zeros, wrappers holding).
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches.
+    pub fn idle_clocks(&mut self, cycles: u64) -> Result<(), SimError> {
+        let kinds = vec![ClockKind::Idle; self.wrappers.len()];
+        for _ in 0..cycles {
+            self.data_clock(&BitVec::zeros(self.bus_width()), &kinds)?;
+        }
+        Ok(())
+    }
+}
+
+fn wrapper_port_width(wrapper: &Wrapper<Box<dyn TestableCore>>) -> usize {
+    wrapper.parallel_width()
+}
+
+/// Truncates or zero-pads to `width` bits.
+fn resize(bits: &BitVec, width: usize) -> BitVec {
+    let mut out = BitVec::with_capacity(width);
+    for i in 0..width {
+        out.push(bits.get(i).unwrap_or(false));
+    }
+    out
+}
+
+impl fmt::Debug for SocSimulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SocSimulator")
+            .field("soc", &self.soc.name())
+            .field("bus_width", &self.bus_width())
+            .field("cas_count", &self.tam.cas_count())
+            .field("cycles", &self.cycles)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_soc::catalog;
+
+    #[test]
+    fn builds_figure1() {
+        let soc = catalog::figure1_soc();
+        let sim = SocSimulator::new(&soc, 4).unwrap();
+        assert_eq!(sim.tam().cas_count(), 7);
+        assert_eq!(sim.cycles(), 0);
+        assert!(format!("{sim:?}").contains("figure1"));
+    }
+
+    #[test]
+    fn bypass_transport_is_transparent() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut sim = SocSimulator::new(&soc, 3).unwrap();
+        let kinds = vec![ClockKind::Idle; 2];
+        let out = sim.data_clock(&"101".parse().unwrap(), &kinds).unwrap();
+        assert_eq!(out.to_string(), "101");
+        assert_eq!(sim.cycles(), 1);
+    }
+
+    #[test]
+    fn configure_counts_cycles() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut sim = SocSimulator::new(&soc, 3).unwrap();
+        let config = TamConfiguration::all_bypass(2);
+        sim.configure(&config, &[WrapperInstruction::Bypass; 2]).unwrap();
+        assert_eq!(sim.cycles(), sim.tam().configuration_clocks() as u64 + 1);
+    }
+
+    #[test]
+    fn wrapper_vector_validated() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut sim = SocSimulator::new(&soc, 3).unwrap();
+        let config = TamConfiguration::all_bypass(2);
+        let err = sim.configure(&config, &[WrapperInstruction::Bypass]).unwrap_err();
+        assert_eq!(err, SimError::WrapperLengthMismatch { got: 1, expected: 2 });
+    }
+
+    #[test]
+    fn kinds_vector_validated() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut sim = SocSimulator::new(&soc, 3).unwrap();
+        let err = sim
+            .data_clock(&BitVec::zeros(3), &[ClockKind::Idle])
+            .unwrap_err();
+        assert_eq!(err, SimError::KindsLengthMismatch { got: 1, expected: 2 });
+    }
+
+    #[test]
+    fn unknown_core_rejected() {
+        let soc = catalog::figure2b_bist_soc();
+        let sim = SocSimulator::new(&soc, 3).unwrap();
+        assert_eq!(
+            sim.cas_index("ghost"),
+            Err(SimError::UnknownCore("ghost".into()))
+        );
+    }
+
+    #[test]
+    fn chained_configuration_matches_direct_configuration() {
+        let soc = catalog::figure2a_scan_soc();
+        let build_config = |sim: &SocSimulator| {
+            let mut config = TamConfiguration::all_bypass(sim.tam().cas_count());
+            config
+                .set(0, sim.tam().contiguous_test(0, 1).unwrap())
+                .unwrap();
+            let mut wrappers = vec![WrapperInstruction::Bypass; sim.tam().cas_count()];
+            wrappers[0] = WrapperInstruction::IntestScan;
+            (config, wrappers)
+        };
+        let mut direct = SocSimulator::new(&soc, 4).unwrap();
+        let (config, wrappers) = build_config(&direct);
+        direct.configure(&config, &wrappers).unwrap();
+
+        let mut chained = SocSimulator::new(&soc, 4).unwrap();
+        chained.configure_chained(&config, &wrappers).unwrap();
+
+        // Both paths must leave identical CAS instructions and wrapper modes.
+        for idx in 0..direct.tam().cas_count() {
+            assert_eq!(
+                direct.tam().chain().cases()[idx].instruction(),
+                chained.tam().chain().cases()[idx].instruction(),
+                "CAS {idx}"
+            );
+            assert_eq!(
+                direct.wrappers[idx].instruction(),
+                chained.wrappers[idx].instruction(),
+                "wrapper {idx}"
+            );
+        }
+        // Chained configuration costs sum(k_i + WIR bits) + 1 cycles.
+        let k_total = direct.tam().configuration_clocks() as u64;
+        let wir_total = 3 * direct.tam().cas_count() as u64;
+        assert_eq!(chained.cycles(), k_total + wir_total + 1);
+    }
+
+    #[test]
+    fn chained_configuration_sessions_still_pass() {
+        let soc = catalog::figure2b_bist_soc();
+        let mut sim = SocSimulator::new(&soc, 3).unwrap();
+        let mut config = TamConfiguration::all_bypass(2);
+        config.set(1, sim.tam().contiguous_test(1, 0).unwrap()).unwrap();
+        let wrappers = vec![WrapperInstruction::Bypass, WrapperInstruction::IntestBist];
+        sim.configure_chained(&config, &wrappers).unwrap();
+        assert!(sim.tam().chain().cases()[1].instruction().is_test());
+        assert_eq!(
+            sim.wrappers[1].instruction(),
+            WrapperInstruction::IntestBist
+        );
+    }
+
+    #[test]
+    fn data_reaches_a_configured_core_and_returns() {
+        // Configure the scan core of figure2a on wires 0..3, stream a bit in
+        // and observe it coming back after chain-depth cycles (+1 retiming).
+        let soc = catalog::figure2a_scan_soc();
+        let mut sim = SocSimulator::new(&soc, 3).unwrap();
+        let idx = sim.cas_index("scan3").unwrap();
+        let mut config = TamConfiguration::all_bypass(sim.tam().cas_count());
+        config
+            .set(idx, sim.tam().contiguous_test(idx, 0).unwrap())
+            .unwrap();
+        let mut wrappers = vec![WrapperInstruction::Bypass; 2];
+        wrappers[idx] = WrapperInstruction::IntestScan;
+        sim.configure(&config, &wrappers).unwrap();
+
+        // Chain 0 of scan3 is 30 deep; drive a single 1 then zeros.
+        let kinds: Vec<ClockKind> = vec![ClockKind::Shift, ClockKind::Idle];
+        let mut first_seen = None;
+        for t in 0..40 {
+            let mut bus = BitVec::zeros(3);
+            if t == 0 {
+                bus.set(0, true);
+            }
+            let out = sim.data_clock(&bus, &kinds).unwrap();
+            if out.get(0) == Some(true) && first_seen.is_none() {
+                first_seen = Some(t);
+            }
+        }
+        // Enters at t=0, leaves the 30-deep chain during t=30, crosses the
+        // retiming register, and appears on the bus at t=31.
+        assert_eq!(first_seen, Some(31));
+    }
+}

@@ -1,0 +1,302 @@
+//! A catalogue of ready-made SoCs: the paper's Figure 1 system, one SoC per
+//! Figure 2 test type, and a random SoC generator for benchmarks.
+
+use rand::{Rng, RngExt};
+
+use crate::core::{CoreDescription, TestMethod};
+use crate::soc::{SocBuilder, SocDescription, SystemBusDescription};
+
+/// The six-core SoC of the paper's Figure 1: six heterogeneous cores, a
+/// wrapped system bus with its own CAS (driven by the BCU), and a central
+/// test controller (modelled in `casbus-controller`).
+///
+/// Core 1–6 test methods are chosen to cover every flavour the paper's
+/// Figure 2 supports; the system bus is wrapped, so [`SocDescription::cas_count`]
+/// is 7 — matching the seven CAS boxes (CAS 1–6 plus the bus CAS) in the
+/// figure.
+pub fn figure1_soc() -> SocDescription {
+    SocBuilder::new("figure1")
+        .core(
+            CoreDescription::new(
+                "core1_cpu",
+                TestMethod::Scan { chains: vec![96, 88, 102, 90], patterns: 120 },
+            )
+            .with_terminals(32, 32)
+            .with_gate_count(180_000),
+        )
+        .core(
+            CoreDescription::new("core2_dsp", TestMethod::Scan {
+                chains: vec![64, 72],
+                patterns: 80,
+            })
+            .with_terminals(24, 24)
+            .with_gate_count(95_000),
+        )
+        .core(
+            CoreDescription::new("core3_sram", TestMethod::Bist { width: 16, patterns: 500 })
+                .with_terminals(20, 16)
+                .with_gate_count(60_000),
+        )
+        .core(
+            CoreDescription::new("core4_dma", TestMethod::External { ports: 2, patterns: 256 })
+                .with_terminals(16, 16)
+                .with_gate_count(22_000),
+        )
+        .core(
+            CoreDescription::new(
+                "core5_subsystem",
+                TestMethod::Hierarchical {
+                    internal_bus_width: 2,
+                    sub_cores: vec![
+                        CoreDescription::new("core5_mcu", TestMethod::Scan {
+                            chains: vec![40, 36],
+                            patterns: 48,
+                        })
+                        .with_gate_count(30_000),
+                        CoreDescription::new("core5_rom", TestMethod::Bist {
+                            width: 8,
+                            patterns: 255,
+                        })
+                        .with_gate_count(12_000),
+                    ],
+                },
+            )
+            .with_terminals(18, 18)
+            .with_gate_count(46_000),
+        )
+        .core(
+            CoreDescription::new("core6_eeprom", TestMethod::Memory { words: 64, data_width: 8 })
+                .with_terminals(14, 10)
+                .with_gate_count(35_000),
+        )
+        .system_bus(SystemBusDescription::wrapped(32))
+        .build()
+        .expect("the Figure-1 SoC is valid by construction")
+}
+
+/// Figure 2 (a): scannable cores, `P` = number of scan chains.
+pub fn figure2a_scan_soc() -> SocDescription {
+    SocBuilder::new("figure2a_scan")
+        .core(CoreDescription::new("scan3", TestMethod::Scan {
+            chains: vec![30, 28, 32],
+            patterns: 40,
+        }))
+        .core(CoreDescription::new("scan2", TestMethod::Scan {
+            chains: vec![50, 47],
+            patterns: 25,
+        }))
+        .build()
+        .expect("valid by construction")
+}
+
+/// Figure 2 (b): BISTed cores, `P = 1`.
+pub fn figure2b_bist_soc() -> SocDescription {
+    SocBuilder::new("figure2b_bist")
+        .core(CoreDescription::new("bist16", TestMethod::Bist { width: 16, patterns: 300 }))
+        .core(CoreDescription::new("bist8", TestMethod::Bist { width: 8, patterns: 200 }))
+        .build()
+        .expect("valid by construction")
+}
+
+/// Figure 2 (c): cores tested from external sources and sinks.
+pub fn figure2c_external_soc() -> SocDescription {
+    SocBuilder::new("figure2c_external")
+        .core(CoreDescription::new("ext1", TestMethod::External { ports: 1, patterns: 128 }))
+        .core(CoreDescription::new("ext4", TestMethod::External { ports: 4, patterns: 64 }))
+        .build()
+        .expect("valid by construction")
+}
+
+/// Figure 2 (d): a hierarchical core whose internal cores are CASed on an
+/// internal test bus.
+pub fn figure2d_hierarchical_soc() -> SocDescription {
+    SocBuilder::new("figure2d_hierarchical")
+        .core(CoreDescription::new(
+            "parent",
+            TestMethod::Hierarchical {
+                internal_bus_width: 3,
+                sub_cores: vec![
+                    CoreDescription::new("child_scan", TestMethod::Scan {
+                        chains: vec![12, 14, 10],
+                        patterns: 16,
+                    }),
+                    CoreDescription::new("child_bist", TestMethod::Bist {
+                        width: 8,
+                        patterns: 100,
+                    }),
+                ],
+            },
+        ))
+        .core(CoreDescription::new("sibling", TestMethod::Scan {
+            chains: vec![20],
+            patterns: 10,
+        }))
+        .build()
+        .expect("valid by construction")
+}
+
+/// The §4 maintenance scenario: an embedded memory that needs periodic
+/// testing while the rest of the system keeps running.
+pub fn maintenance_soc() -> SocDescription {
+    SocBuilder::new("maintenance")
+        .core(CoreDescription::new("app_cpu", TestMethod::Scan {
+            chains: vec![60, 55],
+            patterns: 30,
+        }))
+        .core(CoreDescription::new("dram", TestMethod::Memory { words: 128, data_width: 16 }))
+        .core(CoreDescription::new("codec", TestMethod::Bist { width: 12, patterns: 150 }))
+        .build()
+        .expect("valid by construction")
+}
+
+/// A larger benchmark SoC in the spirit of the ITC'02 SoC benchmarks
+/// (published two years after CAS-BUS, by the same research community, to
+/// evaluate exactly this class of TAM): a dozen heterogeneous cores with
+/// realistic scan-chain counts and pattern volumes. Numbers are scaled so
+/// whole-SoC simulations stay laptop-fast; relative proportions follow the
+/// published profiles (a few big scan cores dominating, many small ones).
+pub fn itc02_like_soc() -> SocDescription {
+    let scan = |name: &str, chains: Vec<usize>, patterns: usize, gates: usize| {
+        CoreDescription::new(name, TestMethod::Scan { chains, patterns }).with_gate_count(gates)
+    };
+    SocBuilder::new("itc02_like")
+        .core(scan("cpu0", vec![230, 228, 225, 219], 420, 560_000))
+        .core(scan("cpu1", vec![198, 196, 190], 380, 410_000))
+        .core(scan("dsp0", vec![150, 148], 260, 230_000))
+        .core(scan("vu0", vec![96, 94, 92, 90], 180, 190_000))
+        .core(
+            CoreDescription::new("sram0", TestMethod::Bist { width: 20, patterns: 1200 })
+                .with_gate_count(150_000),
+        )
+        .core(
+            CoreDescription::new("sram1", TestMethod::Bist { width: 16, patterns: 900 })
+                .with_gate_count(90_000),
+        )
+        .core(
+            CoreDescription::new("drameric", TestMethod::Memory { words: 512, data_width: 32 })
+                .with_gate_count(260_000),
+        )
+        .core(scan("periph0", vec![44, 41], 90, 35_000))
+        .core(scan("periph1", vec![38], 75, 22_000))
+        .core(
+            CoreDescription::new("serdes", TestMethod::External { ports: 2, patterns: 300 })
+                .with_gate_count(48_000),
+        )
+        .core(CoreDescription::new(
+            "south_bridge",
+            TestMethod::Hierarchical {
+                internal_bus_width: 2,
+                sub_cores: vec![
+                    scan("sb_uart", vec![24, 22], 40, 9_000),
+                    CoreDescription::new("sb_rom", TestMethod::Bist { width: 12, patterns: 300 })
+                        .with_gate_count(14_000),
+                ],
+            },
+        ))
+        .core(scan("glue", vec![17], 30, 8_000))
+        .system_bus(SystemBusDescription::wrapped(64))
+        .build()
+        .expect("the ITC'02-like SoC is valid by construction")
+}
+
+/// Generates a pseudo-random SoC with `n_cores` cores for benchmarking
+/// parameter sweeps. `max_ports` bounds each core's `P`.
+///
+/// # Panics
+///
+/// Panics if `n_cores` is zero or `max_ports` is zero.
+pub fn random_soc<R: Rng + ?Sized>(rng: &mut R, n_cores: usize, max_ports: usize) -> SocDescription {
+    assert!(n_cores > 0 && max_ports > 0, "need at least one core and one port");
+    let mut builder = SocBuilder::new("random");
+    for i in 0..n_cores {
+        let name = format!("core{i}");
+        let method = match rng.random_range(0..4u8) {
+            0 => {
+                let chains = (0..rng.random_range(1..=max_ports))
+                    .map(|_| rng.random_range(8..=128))
+                    .collect();
+                TestMethod::Scan { chains, patterns: rng.random_range(8..=128) }
+            }
+            1 => TestMethod::Bist {
+                width: rng.random_range(4..=24),
+                patterns: rng.random_range(32..=512),
+            },
+            2 => TestMethod::External {
+                ports: rng.random_range(1..=max_ports),
+                patterns: rng.random_range(16..=256),
+            },
+            _ => TestMethod::Memory {
+                words: rng.random_range(16..=256),
+                data_width: rng.random_range(4..=32),
+            },
+        };
+        builder = builder.core(
+            CoreDescription::new(name, method).with_gate_count(rng.random_range(5_000..200_000)),
+        );
+    }
+    builder.build().expect("random SoCs are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_matches_paper_shape() {
+        let soc = figure1_soc();
+        assert_eq!(soc.cores().len(), 6);
+        assert_eq!(soc.cas_count(), 7, "6 core CASes + 1 bus CAS");
+        assert_eq!(soc.max_ports(), 4);
+        // All five test-method kinds are represented.
+        let kinds: std::collections::HashSet<&str> =
+            soc.cores().iter().map(|c| c.method().kind_name()).collect();
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn figure2_socs_are_valid() {
+        assert_eq!(figure2a_scan_soc().max_ports(), 3);
+        assert_eq!(figure2b_bist_soc().max_ports(), 1);
+        assert_eq!(figure2c_external_soc().max_ports(), 4);
+        assert_eq!(figure2d_hierarchical_soc().max_ports(), 3);
+    }
+
+    #[test]
+    fn maintenance_soc_has_memory() {
+        let soc = maintenance_soc();
+        assert!(soc
+            .cores()
+            .iter()
+            .any(|c| matches!(c.method(), TestMethod::Memory { .. })));
+    }
+
+    #[test]
+    fn itc02_like_shape() {
+        let soc = itc02_like_soc();
+        assert_eq!(soc.cores().len(), 12);
+        assert_eq!(soc.max_ports(), 4);
+        assert_eq!(soc.cas_count(), 13, "12 cores + wrapped bus");
+        assert!(soc.total_gates() > 2_000_000);
+        // All five method kinds present.
+        let kinds: std::collections::HashSet<&str> =
+            soc.cores().iter().map(|c| c.method().kind_name()).collect();
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn random_soc_respects_bounds() {
+        let mut rng = rand::rng();
+        for _ in 0..10 {
+            let soc = random_soc(&mut rng, 12, 5);
+            assert_eq!(soc.cores().len(), 12);
+            assert!(soc.max_ports() <= 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn random_soc_zero_cores_panics() {
+        let mut rng = rand::rng();
+        let _ = random_soc(&mut rng, 0, 2);
+    }
+}

@@ -1,0 +1,263 @@
+//! Full-scan core model (paper Fig. 2 (a)).
+
+use casbus_p1500::TestableCore;
+use casbus_tpg::BitVec;
+
+use super::name_key;
+
+/// A full-scan core: one shift register per scan chain plus a deterministic
+/// combinational "mission logic" fired on capture clocks.
+///
+/// The capture transform mixes every chain bit with its neighbour and a
+/// name-derived key, so responses are non-trivial yet perfectly reproducible
+/// — a fault-free clone run on the same stimuli yields the golden responses.
+///
+/// A stuck-at fault can be injected with [`ScanCore::inject_stuck_at`]; the
+/// faulty bit re-asserts after every shift and capture, exactly like a
+/// stuck-at node feeding a scan flip-flop.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_soc::models::ScanCore;
+/// use casbus_p1500::TestableCore;
+/// use casbus_tpg::BitVec;
+///
+/// let mut core = ScanCore::new("cpu", vec![8, 6]);
+/// assert_eq!(core.test_ports(), 2);
+/// assert_eq!(core.scan_depth(), 8);
+/// let out = core.test_clock(&"11".parse::<BitVec>().unwrap());
+/// assert_eq!(out.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanCore {
+    name: String,
+    chains: Vec<BitVec>,
+    key: u64,
+    stuck_at: Option<(usize, usize, bool)>,
+}
+
+impl ScanCore {
+    /// Creates a scan core with the given chain lengths, all flip-flops
+    /// cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no chain is given or any chain is empty.
+    pub fn new(name: &str, chain_lengths: Vec<usize>) -> Self {
+        assert!(!chain_lengths.is_empty(), "a scan core needs at least one chain");
+        assert!(
+            chain_lengths.iter().all(|&l| l > 0),
+            "scan chains must be non-empty"
+        );
+        Self {
+            name: name.to_owned(),
+            chains: chain_lengths.iter().map(|&l| BitVec::zeros(l)).collect(),
+            key: name_key(name),
+            stuck_at: None,
+        }
+    }
+
+    /// Injects a stuck-at fault on flip-flop `position` of `chain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    pub fn inject_stuck_at(&mut self, chain: usize, position: usize, value: bool) {
+        assert!(chain < self.chains.len(), "chain index out of range");
+        assert!(position < self.chains[chain].len(), "position out of range");
+        self.stuck_at = Some((chain, position, value));
+        self.apply_fault();
+    }
+
+    /// Removes any injected fault.
+    pub fn clear_fault(&mut self) {
+        self.stuck_at = None;
+    }
+
+    /// Current content of one chain (for white-box tests).
+    pub fn chain(&self, idx: usize) -> &BitVec {
+        &self.chains[idx]
+    }
+
+    /// Lengths of all chains.
+    pub fn chain_lengths(&self) -> Vec<usize> {
+        self.chains.iter().map(BitVec::len).collect()
+    }
+
+    /// The deterministic combinational response: every bit becomes the XOR
+    /// of itself, its successor in the same chain (cyclically), the parallel
+    /// bit of the next chain, and a key bit. Pure function of the state.
+    fn capture_transform(&self) -> Vec<BitVec> {
+        let n_chains = self.chains.len();
+        let mut next = Vec::with_capacity(n_chains);
+        for (c, chain) in self.chains.iter().enumerate() {
+            let len = chain.len();
+            let neighbour = &self.chains[(c + 1) % n_chains];
+            let mut out = BitVec::with_capacity(len);
+            for i in 0..len {
+                let own = chain.get(i).expect("in range");
+                let succ = chain.get((i + 1) % len).expect("in range");
+                let cross = neighbour.get(i % neighbour.len()).expect("in range");
+                let key_bit = self.key >> ((i + 7 * c) % 64) & 1 == 1;
+                out.push(own ^ succ ^ cross ^ key_bit);
+            }
+            next.push(out);
+        }
+        next
+    }
+
+    fn apply_fault(&mut self) {
+        if let Some((chain, position, value)) = self.stuck_at {
+            self.chains[chain].set(position, value);
+        }
+    }
+}
+
+impl TestableCore for ScanCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn test_ports(&self) -> usize {
+        self.chains.len()
+    }
+
+    fn test_clock(&mut self, inputs: &BitVec) -> BitVec {
+        assert_eq!(inputs.len(), self.chains.len(), "scan-in width mismatch");
+        let mut outs = BitVec::with_capacity(self.chains.len());
+        for (chain, bit_in) in self.chains.iter_mut().zip(inputs.iter()) {
+            let len = chain.len();
+            outs.push(chain.get(len - 1).expect("non-empty chain"));
+            let mut next = BitVec::with_capacity(len);
+            next.push(bit_in);
+            for i in 0..len - 1 {
+                next.push(chain.get(i).expect("in range"));
+            }
+            *chain = next;
+        }
+        self.apply_fault();
+        outs
+    }
+
+    fn capture_clock(&mut self) {
+        self.chains = self.capture_transform();
+        self.apply_fault();
+    }
+
+    fn scan_depth(&self) -> usize {
+        self.chains.iter().map(BitVec::len).max().unwrap_or(0)
+    }
+
+    fn reset(&mut self) {
+        for chain in &mut self.chains {
+            *chain = BitVec::zeros(chain.len());
+        }
+        self.apply_fault();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_roundtrip_without_capture() {
+        let mut core = ScanCore::new("u", vec![4]);
+        let stimulus: BitVec = "1011".parse().unwrap();
+        for bit in stimulus.iter() {
+            let mut v = BitVec::new();
+            v.push(bit);
+            core.test_clock(&v);
+        }
+        // Shifting 4 more clocks returns the stimulus in order.
+        let mut out = BitVec::new();
+        for _ in 0..4 {
+            out.push(core.test_clock(&BitVec::zeros(1)).get(0).unwrap());
+        }
+        assert_eq!(out, stimulus);
+    }
+
+    #[test]
+    fn capture_is_deterministic() {
+        let run = || {
+            let mut core = ScanCore::new("cpu", vec![6, 5]);
+            for _ in 0..6 {
+                core.test_clock(&"10".parse().unwrap());
+            }
+            core.capture_clock();
+            (core.chain(0).clone(), core.chain(1).clone())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_names_different_responses() {
+        let respond = |name: &str| {
+            let mut core = ScanCore::new(name, vec![8]);
+            for _ in 0..8 {
+                core.test_clock(&"1".parse().unwrap());
+            }
+            core.capture_clock();
+            core.chain(0).clone()
+        };
+        assert_ne!(respond("alpha"), respond("beta"));
+    }
+
+    #[test]
+    fn stuck_at_changes_response() {
+        let observe = |faulty: bool| {
+            let mut core = ScanCore::new("u", vec![5]);
+            if faulty {
+                core.inject_stuck_at(0, 2, true);
+            }
+            for _ in 0..5 {
+                core.test_clock(&"0".parse().unwrap());
+            }
+            core.capture_clock();
+            let mut out = BitVec::new();
+            for _ in 0..5 {
+                out.push(core.test_clock(&BitVec::zeros(1)).get(0).unwrap());
+            }
+            out
+        };
+        assert_ne!(observe(false), observe(true));
+    }
+
+    #[test]
+    fn clear_fault_restores_good_behaviour() {
+        let mut core = ScanCore::new("u", vec![3]);
+        core.inject_stuck_at(0, 0, true);
+        core.clear_fault();
+        core.reset();
+        assert_eq!(core.chain(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn reset_clears_chains_but_keeps_fault() {
+        let mut core = ScanCore::new("u", vec![3]);
+        core.inject_stuck_at(0, 1, true);
+        core.reset();
+        assert_eq!(core.chain(0).to_string(), "010");
+    }
+
+    #[test]
+    #[should_panic(expected = "scan-in width mismatch")]
+    fn wrong_width_panics() {
+        let mut core = ScanCore::new("u", vec![3, 3]);
+        core.test_clock(&BitVec::zeros(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_chain_rejected() {
+        let _ = ScanCore::new("u", vec![3, 0]);
+    }
+
+    #[test]
+    fn unequal_chain_shift_depths() {
+        let core = ScanCore::new("u", vec![3, 9, 4]);
+        assert_eq!(core.scan_depth(), 9);
+        assert_eq!(core.chain_lengths(), vec![3, 9, 4]);
+    }
+}

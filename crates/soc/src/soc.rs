@@ -1,0 +1,359 @@
+//! Whole-SoC descriptions: cores, system bus, validation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::core::{CoreDescription, CoreId, TestMethod};
+
+/// Description of the functional system bus (paper Fig. 1: the bus connects
+/// the cores functionally; when wrapped by a P1500 wrapper "it also has its
+/// dedicated CAS", driven by a Bus Control Unit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemBusDescription {
+    /// Functional width of the bus in bits.
+    pub width: usize,
+    /// Whether the bus is wrapped (and therefore gets its own CAS).
+    pub wrapped: bool,
+}
+
+impl SystemBusDescription {
+    /// A wrapped system bus of the given functional width.
+    pub fn wrapped(width: usize) -> Self {
+        Self { width, wrapped: true }
+    }
+
+    /// An unwrapped (functionally invisible to the TAM) system bus.
+    pub fn unwrapped(width: usize) -> Self {
+        Self { width, wrapped: false }
+    }
+}
+
+/// Errors detected when validating an SoC description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SocError {
+    /// The SoC holds no cores.
+    NoCores,
+    /// Two cores (at any hierarchy level reachable from the top) share a name.
+    DuplicateName(String),
+    /// A core requires zero test ports.
+    ZeroPorts(String),
+    /// A scan core was declared with an empty chain.
+    EmptyScanChain(String),
+    /// A hierarchical core embeds a sub-core needing more wires than the
+    /// internal bus provides.
+    InternalBusTooNarrow {
+        /// The hierarchical core.
+        parent: String,
+        /// The offending sub-core.
+        sub_core: String,
+        /// Internal bus width.
+        width: usize,
+        /// Ports the sub-core needs.
+        needed: usize,
+    },
+}
+
+impl fmt::Display for SocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoCores => f.write_str("an SoC needs at least one core"),
+            Self::DuplicateName(n) => write!(f, "duplicate core name {n:?}"),
+            Self::ZeroPorts(n) => write!(f, "core {n:?} requires zero test ports"),
+            Self::EmptyScanChain(n) => write!(f, "core {n:?} declares an empty scan chain"),
+            Self::InternalBusTooNarrow { parent, sub_core, width, needed } => write!(
+                f,
+                "hierarchical core {parent:?}: sub-core {sub_core:?} needs {needed} wires \
+                 but the internal bus has only {width}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SocError {}
+
+/// A validated SoC description: the input to TAM construction.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_soc::{SocBuilder, CoreDescription, TestMethod};
+///
+/// let soc = SocBuilder::new("demo")
+///     .core(CoreDescription::new("cpu", TestMethod::Scan {
+///         chains: vec![100, 90],
+///         patterns: 64,
+///     }))
+///     .core(CoreDescription::new("ram", TestMethod::Bist { width: 16, patterns: 255 }))
+///     .build()
+///     .expect("valid SoC");
+/// assert_eq!(soc.max_ports(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocDescription {
+    name: String,
+    cores: Vec<CoreDescription>,
+    system_bus: Option<SystemBusDescription>,
+}
+
+impl SocDescription {
+    /// The SoC name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cores, in CAS order along the test bus.
+    pub fn cores(&self) -> &[CoreDescription] {
+        &self.cores
+    }
+
+    /// Looks a core up by id.
+    pub fn core(&self, id: CoreId) -> Option<&CoreDescription> {
+        self.cores.get(id.0)
+    }
+
+    /// Looks a core up by name.
+    pub fn core_by_name(&self, name: &str) -> Option<(CoreId, &CoreDescription)> {
+        self.cores
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.name() == name)
+            .map(|(i, c)| (CoreId(i), c))
+    }
+
+    /// The system bus description, if declared.
+    pub fn system_bus(&self) -> Option<&SystemBusDescription> {
+        self.system_bus.as_ref()
+    }
+
+    /// The largest `P` any core (or the wrapped system bus) requires — a
+    /// lower bound on a useful test bus width `N`.
+    pub fn max_ports(&self) -> usize {
+        let core_max = self.cores.iter().map(CoreDescription::required_ports).max().unwrap_or(0);
+        // A wrapped system bus is EXTEST-ed serially: one wire.
+        let bus = usize::from(self.system_bus.as_ref().is_some_and(|b| b.wrapped));
+        core_max.max(bus)
+    }
+
+    /// Total gate-count estimate across all cores.
+    pub fn total_gates(&self) -> usize {
+        self.cores.iter().map(CoreDescription::gate_count).sum()
+    }
+
+    /// Number of testable entities on the bus: cores plus the wrapped system
+    /// bus (the paper's Fig. 1 has 6 cores + 1 bus CAS = 7 CASes... minus the
+    /// controller). This equals the number of CASes on the test bus.
+    pub fn cas_count(&self) -> usize {
+        self.cores.len() + usize::from(self.system_bus.as_ref().is_some_and(|b| b.wrapped))
+    }
+}
+
+impl fmt::Display for SocDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "SoC {:?}: {} cores", self.name, self.cores.len())?;
+        for (i, core) in self.cores.iter().enumerate() {
+            writeln!(f, "  {} {}", CoreId(i), core)?;
+        }
+        if let Some(bus) = &self.system_bus {
+            writeln!(
+                f,
+                "  system bus: {} bits, {}",
+                bus.width,
+                if bus.wrapped { "wrapped (own CAS)" } else { "unwrapped" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`SocDescription`] with full validation at
+/// [`SocBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct SocBuilder {
+    name: String,
+    cores: Vec<CoreDescription>,
+    system_bus: Option<SystemBusDescription>,
+}
+
+impl SocBuilder {
+    /// Starts a builder for an SoC of the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), cores: Vec::new(), system_bus: None }
+    }
+
+    /// Adds a core (CAS order is insertion order).
+    pub fn core(mut self, core: CoreDescription) -> Self {
+        self.cores.push(core);
+        self
+    }
+
+    /// Declares the system bus.
+    pub fn system_bus(mut self, bus: SystemBusDescription) -> Self {
+        self.system_bus = Some(bus);
+        self
+    }
+
+    /// Validates and builds the description.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SocError`] found: no cores, duplicate names
+    /// (including in nested hierarchies), zero-port cores, empty scan
+    /// chains, or hierarchical cores whose internal bus is narrower than a
+    /// sub-core requires.
+    pub fn build(self) -> Result<SocDescription, SocError> {
+        if self.cores.is_empty() {
+            return Err(SocError::NoCores);
+        }
+        let mut names = HashSet::new();
+        for core in &self.cores {
+            validate_core(core, &mut names)?;
+        }
+        Ok(SocDescription {
+            name: self.name,
+            cores: self.cores,
+            system_bus: self.system_bus,
+        })
+    }
+}
+
+fn validate_core<'a>(
+    core: &'a CoreDescription,
+    names: &mut HashSet<&'a str>,
+) -> Result<(), SocError> {
+    if !names.insert(core.name()) {
+        return Err(SocError::DuplicateName(core.name().to_owned()));
+    }
+    if core.required_ports() == 0 {
+        return Err(SocError::ZeroPorts(core.name().to_owned()));
+    }
+    match core.method() {
+        TestMethod::Scan { chains, .. } => {
+            if chains.contains(&0) {
+                return Err(SocError::EmptyScanChain(core.name().to_owned()));
+            }
+        }
+        TestMethod::Hierarchical { internal_bus_width, sub_cores } => {
+            for sub in sub_cores {
+                if sub.required_ports() > *internal_bus_width {
+                    return Err(SocError::InternalBusTooNarrow {
+                        parent: core.name().to_owned(),
+                        sub_core: sub.name().to_owned(),
+                        width: *internal_bus_width,
+                        needed: sub.required_ports(),
+                    });
+                }
+                validate_core(sub, names)?;
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(name: &str, chains: Vec<usize>) -> CoreDescription {
+        CoreDescription::new(name, TestMethod::Scan { chains, patterns: 4 })
+    }
+
+    #[test]
+    fn empty_soc_rejected() {
+        assert_eq!(SocBuilder::new("x").build(), Err(SocError::NoCores));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = SocBuilder::new("x")
+            .core(scan("a", vec![1]))
+            .core(scan("a", vec![2]))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SocError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn duplicate_names_in_hierarchy_rejected() {
+        let sub = scan("a", vec![1]);
+        let parent = CoreDescription::new(
+            "h",
+            TestMethod::Hierarchical { internal_bus_width: 1, sub_cores: vec![sub] },
+        );
+        let err = SocBuilder::new("x")
+            .core(scan("a", vec![1]))
+            .core(parent)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SocError::DuplicateName("a".into()));
+    }
+
+    #[test]
+    fn zero_ports_rejected() {
+        let core = CoreDescription::new("z", TestMethod::Scan { chains: vec![], patterns: 1 });
+        assert_eq!(
+            SocBuilder::new("x").core(core).build(),
+            Err(SocError::ZeroPorts("z".into()))
+        );
+    }
+
+    #[test]
+    fn empty_scan_chain_rejected() {
+        let core = scan("z", vec![3, 0]);
+        assert_eq!(
+            SocBuilder::new("x").core(core).build(),
+            Err(SocError::EmptyScanChain("z".into()))
+        );
+    }
+
+    #[test]
+    fn narrow_internal_bus_rejected() {
+        let sub = scan("wide", vec![1, 1, 1]);
+        let parent = CoreDescription::new(
+            "h",
+            TestMethod::Hierarchical { internal_bus_width: 2, sub_cores: vec![sub] },
+        );
+        let err = SocBuilder::new("x").core(parent).build().unwrap_err();
+        assert!(matches!(err, SocError::InternalBusTooNarrow { needed: 3, width: 2, .. }));
+    }
+
+    #[test]
+    fn valid_soc_reports_metrics() {
+        let soc = SocBuilder::new("demo")
+            .core(scan("cpu", vec![10, 20]).with_gate_count(1000))
+            .core(
+                CoreDescription::new("ram", TestMethod::Bist { width: 8, patterns: 255 })
+                    .with_gate_count(500),
+            )
+            .system_bus(SystemBusDescription::wrapped(32))
+            .build()
+            .unwrap();
+        assert_eq!(soc.max_ports(), 2);
+        assert_eq!(soc.total_gates(), 1500);
+        assert_eq!(soc.cas_count(), 3);
+        assert_eq!(soc.core_by_name("ram").unwrap().0, CoreId(1));
+        assert!(soc.core(CoreId(5)).is_none());
+    }
+
+    #[test]
+    fn unwrapped_bus_has_no_cas() {
+        let soc = SocBuilder::new("demo")
+            .core(scan("cpu", vec![1]))
+            .system_bus(SystemBusDescription::unwrapped(16))
+            .build()
+            .unwrap();
+        assert_eq!(soc.cas_count(), 1);
+    }
+
+    #[test]
+    fn display_lists_cores() {
+        let soc = SocBuilder::new("demo")
+            .core(scan("cpu", vec![1]))
+            .system_bus(SystemBusDescription::wrapped(8))
+            .build()
+            .unwrap();
+        let s = soc.to_string();
+        assert!(s.contains("cpu"));
+        assert!(s.contains("wrapped"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the behavioural core models.
+
+use casbus_p1500::TestableCore;
+use casbus_soc::models::{BistCore, ExternalCore, HierarchicalCore, MemoryCore, ScanCore};
+use casbus_soc::{catalog, CoreDescription, SocBuilder, TestMethod};
+use casbus_tpg::BitVec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scan chains are pure shift registers between captures: any stimulus
+    /// comes back verbatim after chain-length clocks.
+    #[test]
+    fn scan_shift_is_lossless(
+        lengths in proptest::collection::vec(1usize..20, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let mut core = ScanCore::new("prop", lengths.clone());
+        let depth = *lengths.iter().max().expect("non-empty");
+        let ports = lengths.len();
+        let stimuli: Vec<BitVec> = (0..depth)
+            .map(|t| (0..ports).map(|j| (seed >> ((t + 3 * j) % 64)) & 1 == 1).collect())
+            .collect();
+        for stim in &stimuli {
+            core.test_clock(stim);
+        }
+        // Read back: chain j returns its bits after lengths[j] clocks total;
+        // compare per chain with the correct per-chain delay.
+        let mut observed: Vec<Vec<bool>> = vec![Vec::new(); ports];
+        for _ in 0..depth {
+            let out = core.test_clock(&BitVec::zeros(ports));
+            for j in 0..ports {
+                observed[j].push(out.get(j).expect("port"));
+            }
+        }
+        for j in 0..ports {
+            let delay = lengths[j];
+            for t in 0..depth {
+                // Bit driven at clock t emerges at clock t + delay overall;
+                // we started reading at clock `depth`.
+                let read_index = (t + delay).checked_sub(depth);
+                if let Some(r) = read_index {
+                    if r < depth {
+                        prop_assert_eq!(
+                            observed[j][r],
+                            stimuli[t].get(j).expect("port"),
+                            "chain {} stimulus {}",
+                            j,
+                            t
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The BIST engine is deterministic and every (width, patterns) pair
+    /// yields a stable non-trivial signature.
+    #[test]
+    fn bist_signature_stable(width in 2u32..20, patterns in 1usize..80) {
+        let golden_a = BistCore::new("prop", width, patterns).golden_signature();
+        let golden_b = BistCore::new("prop", width, patterns).golden_signature();
+        prop_assert_eq!(&golden_a, &golden_b);
+        prop_assert_eq!(golden_a.len(), width as usize);
+    }
+
+    /// The march test detects every possible single stuck cell.
+    #[test]
+    fn march_detects_any_stuck_cell(words in 1usize..20, width in 1usize..10, pick in any::<u64>(), value in any::<bool>()) {
+        let word = (pick as usize) % words;
+        let bit = ((pick >> 32) as usize) % width;
+        let mut mem = MemoryCore::new("prop", words, width);
+        mem.inject_stuck_cell(word, bit, value);
+        for _ in 0..mem.march_length() {
+            mem.capture_clock();
+        }
+        prop_assert!(mem.self_test_done());
+        prop_assert!(!mem.self_test_passed(), "stuck-at-{value} cell ({word},{bit}) escaped");
+    }
+
+    /// External cores respond identically to identical histories.
+    #[test]
+    fn external_core_deterministic(ports in 1usize..6, stream_seed in any::<u64>(), len in 1usize..30) {
+        let stimuli: Vec<BitVec> = (0..len)
+            .map(|t| (0..ports).map(|j| (stream_seed >> ((t * 5 + j) % 64)) & 1 == 1).collect())
+            .collect();
+        let a = ExternalCore::golden_responses("prop", ports, &stimuli);
+        let b = ExternalCore::golden_responses("prop", ports, &stimuli);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Hierarchical scan depth is the sum of sub-core depths, at any width.
+    #[test]
+    fn hierarchy_depth_adds(d1 in 1usize..10, d2 in 1usize..10, width in 1usize..4) {
+        let subs: Vec<Box<dyn TestableCore>> = vec![
+            Box::new(ScanCore::new("a", vec![d1; width])),
+            Box::new(ScanCore::new("b", vec![d2; width])),
+        ];
+        let core = HierarchicalCore::new("h", width, subs);
+        prop_assert_eq!(core.scan_depth(), d1 + d2);
+        prop_assert_eq!(core.test_ports(), width);
+    }
+
+    /// Random SoCs always validate and always fit a bus of max_ports width.
+    #[test]
+    fn random_socs_always_fit(seed in any::<u64>(), cores in 1usize..15) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, cores, 4);
+        prop_assert_eq!(soc.cores().len(), cores);
+        prop_assert!(soc.max_ports() >= 1);
+        prop_assert!(soc.max_ports() <= 4);
+    }
+}
+
+#[test]
+fn soc_descriptions_reject_structural_nonsense() {
+    // A battery of invalid descriptions, all rejected with precise errors.
+    use casbus_soc::SocError;
+    let zero_chain = SocBuilder::new("x")
+        .core(CoreDescription::new("a", TestMethod::Scan { chains: vec![0], patterns: 1 }))
+        .build();
+    assert_eq!(zero_chain, Err(SocError::EmptyScanChain("a".into())));
+
+    let clash = SocBuilder::new("x")
+        .core(CoreDescription::new("a", TestMethod::Bist { width: 4, patterns: 1 }))
+        .core(CoreDescription::new("a", TestMethod::Bist { width: 4, patterns: 1 }))
+        .build();
+    assert_eq!(clash, Err(SocError::DuplicateName("a".into())));
+}

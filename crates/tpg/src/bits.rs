@@ -1,0 +1,550 @@
+//! A compact, growable bit vector.
+//!
+//! [`BitVec`] is the common currency for serial test data in the whole
+//! CAS-BUS workspace: scan vectors, wrapper boundary contents, CAS
+//! instruction bitstreams and bus samples are all `BitVec`s.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A growable vector of bits, stored 64 per word.
+///
+/// Bit `0` is the first bit pushed, which for serial test data corresponds to
+/// the first bit shifted into a scan path.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_tpg::BitVec;
+///
+/// let mut v = BitVec::new();
+/// v.push(true);
+/// v.push(false);
+/// v.push(true);
+/// assert_eq!(v.len(), 3);
+/// assert_eq!(v.to_string(), "101");
+/// assert_eq!(v.count_ones(), 2);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty bit vector with room for `capacity` bits.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            words: Vec::with_capacity(capacity.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    /// Creates a bit vector of `len` bits, all set to `value`.
+    ///
+    /// ```
+    /// use casbus_tpg::BitVec;
+    /// let v = BitVec::repeat(true, 5);
+    /// assert_eq!(v.to_string(), "11111");
+    /// ```
+    pub fn repeat(value: bool, len: usize) -> Self {
+        let word = if value { u64::MAX } else { 0 };
+        let mut v = Self {
+            words: vec![word; len.div_ceil(64)],
+            len,
+        };
+        v.mask_tail();
+        v
+    }
+
+    /// Creates a bit vector of `len` zeros.
+    pub fn zeros(len: usize) -> Self {
+        Self::repeat(false, len)
+    }
+
+    /// Creates a bit vector of `len` ones.
+    pub fn ones(len: usize) -> Self {
+        Self::repeat(true, len)
+    }
+
+    /// Builds a bit vector from the low `len` bits of `value`,
+    /// least-significant bit first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 64`.
+    ///
+    /// ```
+    /// use casbus_tpg::BitVec;
+    /// let v = BitVec::from_u64(0b1011, 4);
+    /// assert_eq!(v.to_string(), "1101"); // LSB first
+    /// ```
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64, "from_u64 supports at most 64 bits, got {len}");
+        let mut v = Self::zeros(len);
+        if len > 0 {
+            v.words[0] = if len == 64 { value } else { value & ((1 << len) - 1) };
+        }
+        v
+    }
+
+    /// Packs the first (up to 64) bits into a `u64`, bit 0 as the LSB.
+    pub fn to_u64(&self) -> u64 {
+        match self.words.first() {
+            Some(&w) if self.len >= 64 => w,
+            Some(&w) => w & ((1u64 << self.len) - 1),
+            None => 0,
+        }
+    }
+
+    /// Number of bits held.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no bits are held.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        let off = self.len % 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1 << off;
+        } else {
+            self.words[word] &= !(1 << off);
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the last bit, or `None` when empty.
+    pub fn pop(&mut self) -> Option<bool> {
+        if self.len == 0 {
+            return None;
+        }
+        let bit = self.get(self.len - 1).expect("index < len");
+        self.len -= 1;
+        if self.len % 64 == 0 {
+            self.words.pop();
+        } else {
+            self.mask_tail();
+        }
+        Some(bit)
+    }
+
+    /// Returns the bit at `index`, or `None` if out of range.
+    pub fn get(&self, index: usize) -> Option<bool> {
+        if index >= self.len {
+            return None;
+        }
+        Some(self.words[index / 64] >> (index % 64) & 1 == 1)
+    }
+
+    /// Sets the bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set(&mut self, index: usize, bit: bool) {
+        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        if bit {
+            self.words[index / 64] |= 1 << (index % 64);
+        } else {
+            self.words[index / 64] &= !(1 << (index % 64));
+        }
+    }
+
+    /// Flips the bit at `index`, returning its new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn toggle(&mut self, index: usize) -> bool {
+        let new = !self.get(index).expect("toggle index in range");
+        self.set(index, new);
+        new
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Appends all bits from `other`.
+    pub fn extend_from(&mut self, other: &BitVec) {
+        for bit in other.iter() {
+            self.push(bit);
+        }
+    }
+
+    /// Returns a sub-range `[start, start+len)` as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the vector.
+    pub fn slice(&self, start: usize, len: usize) -> BitVec {
+        assert!(
+            start + len <= self.len,
+            "slice [{start}, {}) out of range {}",
+            start + len,
+            self.len
+        );
+        let mut out = BitVec::with_capacity(len);
+        for i in start..start + len {
+            out.push(self.get(i).expect("in range"));
+        }
+        out
+    }
+
+    /// Returns a copy with bit order reversed.
+    pub fn reversed(&self) -> BitVec {
+        let mut out = BitVec::with_capacity(self.len);
+        for i in (0..self.len).rev() {
+            out.push(self.get(i).expect("in range"));
+        }
+        out
+    }
+
+    /// Iterates over the bits, first-pushed first.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { bits: self, index: 0 }
+    }
+
+    /// Bitwise XOR with another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn xor(&self, other: &BitVec) -> BitVec {
+        assert_eq!(self.len, other.len, "xor requires equal lengths");
+        let mut out = self.clone();
+        for (w, o) in out.words.iter_mut().zip(&other.words) {
+            *w ^= o;
+        }
+        out
+    }
+
+    /// Hamming distance to another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &BitVec) -> usize {
+        self.xor(other).count_ones()
+    }
+
+    fn mask_tail(&mut self) {
+        let off = self.len % 64;
+        if off != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << off) - 1;
+            }
+        }
+    }
+}
+
+/// Iterator over the bits of a [`BitVec`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    bits: &'a BitVec,
+    index: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = bool;
+
+    fn next(&mut self) -> Option<bool> {
+        let bit = self.bits.get(self.index)?;
+        self.index += 1;
+        Some(bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.bits.len - self.index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Iter<'_> {}
+
+impl<'a> IntoIterator for &'a BitVec {
+    type Item = bool;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = BitVec::new();
+        for bit in iter {
+            v.push(bit);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for bit in iter {
+            self.push(bit);
+        }
+    }
+}
+
+impl From<&[bool]> for BitVec {
+    fn from(bits: &[bool]) -> Self {
+        bits.iter().copied().collect()
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Writes bit 0 first, as `'0'`/`'1'` characters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for bit in self.iter() {
+            f.write_str(if bit { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec(\"{self}\")")
+    }
+}
+
+/// Error returned when parsing a [`BitVec`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBitVecError {
+    /// Offending character.
+    pub character: char,
+    /// Byte offset of the offending character.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseBitVecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid bit character {:?} at position {}",
+            self.character, self.position
+        )
+    }
+}
+
+impl std::error::Error for ParseBitVecError {}
+
+impl FromStr for BitVec {
+    type Err = ParseBitVecError;
+
+    /// Parses a string of `'0'`/`'1'` characters; `'_'` separators are
+    /// ignored.
+    ///
+    /// ```
+    /// use casbus_tpg::BitVec;
+    /// let v: BitVec = "1010_11".parse().unwrap();
+    /// assert_eq!(v.len(), 6);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut v = BitVec::with_capacity(s.len());
+        for (position, character) in s.char_indices() {
+            match character {
+                '0' => v.push(false),
+                '1' => v.push(true),
+                '_' => {}
+                _ => return Err(ParseBitVecError { character, position }),
+            }
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_empty() {
+        let v = BitVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.to_string(), "");
+    }
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut v = BitVec::new();
+        let pattern = [true, false, true, true, false];
+        for &b in &pattern {
+            v.push(b);
+        }
+        for (i, &b) in pattern.iter().enumerate() {
+            assert_eq!(v.get(i), Some(b));
+        }
+        assert_eq!(v.get(5), None);
+    }
+
+    #[test]
+    fn push_across_word_boundary() {
+        let mut v = BitVec::new();
+        for i in 0..130 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 130);
+        for i in 0..130 {
+            assert_eq!(v.get(i), Some(i % 3 == 0), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn pop_returns_in_reverse() {
+        let mut v: BitVec = "101".parse().unwrap();
+        assert_eq!(v.pop(), Some(true));
+        assert_eq!(v.pop(), Some(false));
+        assert_eq!(v.pop(), Some(true));
+        assert_eq!(v.pop(), None);
+    }
+
+    #[test]
+    fn pop_clears_tail_bits() {
+        let mut v = BitVec::ones(3);
+        v.pop();
+        v.push(false);
+        assert_eq!(v.to_string(), "110");
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn repeat_and_count() {
+        assert_eq!(BitVec::ones(70).count_ones(), 70);
+        assert_eq!(BitVec::zeros(70).count_ones(), 0);
+        assert_eq!(BitVec::ones(64).count_ones(), 64);
+    }
+
+    #[test]
+    fn set_and_toggle() {
+        let mut v = BitVec::zeros(10);
+        v.set(3, true);
+        assert_eq!(v.get(3), Some(true));
+        assert!(!v.toggle(3));
+        assert_eq!(v.count_ones(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        let mut v = BitVec::zeros(2);
+        v.set(2, true);
+    }
+
+    #[test]
+    fn from_u64_lsb_first() {
+        let v = BitVec::from_u64(0b0110, 4);
+        assert_eq!(v.to_string(), "0110".chars().rev().collect::<String>());
+        assert_eq!(v.to_u64(), 0b0110);
+    }
+
+    #[test]
+    fn from_u64_full_width() {
+        let v = BitVec::from_u64(u64::MAX, 64);
+        assert_eq!(v.count_ones(), 64);
+        assert_eq!(v.to_u64(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn from_u64_too_wide_panics() {
+        let _ = BitVec::from_u64(0, 65);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s = "1011001110001";
+        let v: BitVec = s.parse().unwrap();
+        assert_eq!(v.to_string(), s);
+    }
+
+    #[test]
+    fn parse_ignores_separators() {
+        let v: BitVec = "10_10".parse().unwrap();
+        assert_eq!(v.to_string(), "1010");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "10x1".parse::<BitVec>().unwrap_err();
+        assert_eq!(err.character, 'x');
+        assert_eq!(err.position, 2);
+    }
+
+    #[test]
+    fn slice_extracts_range() {
+        let v: BitVec = "11001010".parse().unwrap();
+        assert_eq!(v.slice(2, 4).to_string(), "0010");
+        assert_eq!(v.slice(0, 0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let v = BitVec::zeros(4);
+        let _ = v.slice(2, 3);
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let v: BitVec = "1100".parse().unwrap();
+        assert_eq!(v.reversed().to_string(), "0011");
+    }
+
+    #[test]
+    fn xor_and_hamming() {
+        let a: BitVec = "1100".parse().unwrap();
+        let b: BitVec = "1010".parse().unwrap();
+        assert_eq!(a.xor(&b).to_string(), "0110");
+        assert_eq!(a.hamming_distance(&b), 2);
+    }
+
+    #[test]
+    fn extend_from_appends() {
+        let mut a: BitVec = "10".parse().unwrap();
+        let b: BitVec = "01".parse().unwrap();
+        a.extend_from(&b);
+        assert_eq!(a.to_string(), "1001");
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: BitVec = [true, false, true].into_iter().collect();
+        assert_eq!(v.to_string(), "101");
+        let back: Vec<bool> = v.iter().collect();
+        assert_eq!(back, vec![true, false, true]);
+    }
+
+    #[test]
+    fn iter_is_exact_size() {
+        let v = BitVec::ones(17);
+        let mut it = v.iter();
+        assert_eq!(it.len(), 17);
+        it.next();
+        assert_eq!(it.len(), 16);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert_eq!(format!("{:?}", BitVec::new()), "BitVec(\"\")");
+    }
+}

@@ -1,0 +1,344 @@
+//! Deterministic and pseudo-random test pattern sets.
+
+use std::fmt;
+
+use rand::{Rng, RngExt};
+
+use crate::bits::BitVec;
+use crate::lfsr::Lfsr;
+
+/// One test pattern: a stimulus and, optionally, the expected response.
+///
+/// For scan-tested cores (paper Fig. 2 (a)) the stimulus is the serial
+/// content shifted into one scan chain and the expected response is the
+/// content shifted out while the next stimulus goes in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Stimulus bits, first-shifted first.
+    pub stimulus: BitVec,
+    /// Expected response bits, if known (None for signature-compacted tests).
+    pub expected: Option<BitVec>,
+}
+
+impl Pattern {
+    /// Creates a stimulus-only pattern.
+    pub fn stimulus_only(stimulus: BitVec) -> Self {
+        Self { stimulus, expected: None }
+    }
+
+    /// Creates a pattern with a known expected response.
+    pub fn with_expected(stimulus: BitVec, expected: BitVec) -> Self {
+        Self { stimulus, expected: Some(expected) }
+    }
+
+    /// Stimulus width in bits.
+    pub fn width(&self) -> usize {
+        self.stimulus.len()
+    }
+}
+
+/// Error constructing a [`PatternSet`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternSetError {
+    /// Patterns of differing widths were supplied.
+    MixedWidths {
+        /// Width of the first pattern.
+        expected: usize,
+        /// Width of the offending pattern.
+        found: usize,
+        /// Index of the offending pattern.
+        index: usize,
+    },
+    /// An exhaustive set was requested for an impractically wide stimulus.
+    ExhaustiveTooWide(usize),
+}
+
+impl fmt::Display for PatternSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MixedWidths { expected, found, index } => write!(
+                f,
+                "pattern {index} has width {found}, expected {expected}"
+            ),
+            Self::ExhaustiveTooWide(w) => {
+                write!(f, "exhaustive set over {w} bits exceeds the 24-bit limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PatternSetError {}
+
+/// A homogeneous collection of test patterns of equal stimulus width.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_tpg::PatternSet;
+///
+/// let set = PatternSet::walking_ones(4);
+/// assert_eq!(set.len(), 4);
+/// assert_eq!(set.width(), 4);
+/// assert_eq!(set.patterns()[0].stimulus.to_string(), "1000");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+    width: usize,
+}
+
+impl PatternSet {
+    /// Creates an empty set of the given stimulus width.
+    pub fn new(width: usize) -> Self {
+        Self { patterns: Vec::new(), width }
+    }
+
+    /// Builds a set from existing patterns, validating widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternSetError::MixedWidths`] when widths differ.
+    pub fn from_patterns(patterns: Vec<Pattern>) -> Result<Self, PatternSetError> {
+        let width = patterns.first().map_or(0, Pattern::width);
+        for (index, p) in patterns.iter().enumerate() {
+            if p.width() != width {
+                return Err(PatternSetError::MixedWidths {
+                    expected: width,
+                    found: p.width(),
+                    index,
+                });
+            }
+        }
+        Ok(Self { patterns, width })
+    }
+
+    /// All `2^width` stimuli, in counting order (LSB-first encoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PatternSetError::ExhaustiveTooWide`] for widths above 24.
+    pub fn exhaustive(width: usize) -> Result<Self, PatternSetError> {
+        if width > 24 {
+            return Err(PatternSetError::ExhaustiveTooWide(width));
+        }
+        let patterns = (0..1u64 << width)
+            .map(|v| Pattern::stimulus_only(BitVec::from_u64(v, width)))
+            .collect();
+        Ok(Self { patterns, width })
+    }
+
+    /// `count` pseudo-random stimuli drawn from `rng`.
+    pub fn random<R: Rng + ?Sized>(width: usize, count: usize, rng: &mut R) -> Self {
+        let patterns = (0..count)
+            .map(|_| Pattern::stimulus_only((0..width).map(|_| rng.random::<bool>()).collect()))
+            .collect();
+        Self { patterns, width }
+    }
+
+    /// `count` stimuli taken from a free-running LFSR, `width` bits each.
+    pub fn from_lfsr(mut lfsr: Lfsr, width: usize, count: usize) -> Self {
+        let patterns = (0..count)
+            .map(|_| Pattern::stimulus_only(lfsr.step_n(width)))
+            .collect();
+        Self { patterns, width }
+    }
+
+    /// The walking-ones set: one pattern per bit position with exactly that
+    /// bit set. Classic interconnect/stuck-at stimulus.
+    pub fn walking_ones(width: usize) -> Self {
+        let patterns = (0..width)
+            .map(|i| {
+                let mut v = BitVec::zeros(width);
+                v.set(i, true);
+                Pattern::stimulus_only(v)
+            })
+            .collect();
+        Self { patterns, width }
+    }
+
+    /// The walking-zeros set: complement of [`PatternSet::walking_ones`].
+    pub fn walking_zeros(width: usize) -> Self {
+        let patterns = (0..width)
+            .map(|i| {
+                let mut v = BitVec::ones(width);
+                v.set(i, false);
+                Pattern::stimulus_only(v)
+            })
+            .collect();
+        Self { patterns, width }
+    }
+
+    /// `count` counting stimuli `0, 1, 2, …` (mod `2^width`).
+    pub fn counting(width: usize, count: usize) -> Self {
+        let modulus = if width >= 64 { u64::MAX } else { (1u64 << width).max(1) };
+        let patterns = (0..count as u64)
+            .map(|v| Pattern::stimulus_only(BitVec::from_u64(v % modulus, width.min(64))))
+            .collect();
+        Self { patterns, width }
+    }
+
+    /// Appends a pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern width differs from the set width.
+    pub fn push(&mut self, pattern: Pattern) {
+        assert_eq!(
+            pattern.width(),
+            self.width,
+            "pattern width {} differs from set width {}",
+            pattern.width(),
+            self.width
+        );
+        self.patterns.push(pattern);
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Whether the set holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Stimulus width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The patterns, in application order.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Total stimulus bits across all patterns (a proxy for serial test
+    /// data volume).
+    pub fn total_bits(&self) -> usize {
+        self.patterns.len() * self.width
+    }
+
+    /// Concatenates all stimuli into one serial stream, pattern 0 first.
+    pub fn serial_stream(&self) -> BitVec {
+        let mut out = BitVec::with_capacity(self.total_bits());
+        for p in &self.patterns {
+            out.extend_from(&p.stimulus);
+        }
+        out
+    }
+
+    /// Iterates over the patterns.
+    pub fn iter(&self) -> std::slice::Iter<'_, Pattern> {
+        self.patterns.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PatternSet {
+    type Item = &'a Pattern;
+    type IntoIter = std::slice::Iter<'a, Pattern>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.patterns.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Polynomial;
+
+    #[test]
+    fn exhaustive_counts() {
+        let set = PatternSet::exhaustive(4).unwrap();
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.width(), 4);
+        let distinct: std::collections::HashSet<String> =
+            set.iter().map(|p| p.stimulus.to_string()).collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn exhaustive_too_wide_rejected() {
+        assert_eq!(
+            PatternSet::exhaustive(25),
+            Err(PatternSetError::ExhaustiveTooWide(25))
+        );
+    }
+
+    #[test]
+    fn walking_ones_shape() {
+        let set = PatternSet::walking_ones(5);
+        assert_eq!(set.len(), 5);
+        for (i, p) in set.iter().enumerate() {
+            assert_eq!(p.stimulus.count_ones(), 1);
+            assert_eq!(p.stimulus.get(i), Some(true));
+        }
+    }
+
+    #[test]
+    fn walking_zeros_shape() {
+        let set = PatternSet::walking_zeros(5);
+        for (i, p) in set.iter().enumerate() {
+            assert_eq!(p.stimulus.count_ones(), 4);
+            assert_eq!(p.stimulus.get(i), Some(false));
+        }
+    }
+
+    #[test]
+    fn counting_wraps() {
+        let set = PatternSet::counting(2, 6);
+        let values: Vec<u64> = set.iter().map(|p| p.stimulus.to_u64()).collect();
+        assert_eq!(values, vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn random_respects_width_and_count() {
+        let mut rng = rand::rng();
+        let set = PatternSet::random(12, 33, &mut rng);
+        assert_eq!(set.len(), 33);
+        assert!(set.iter().all(|p| p.width() == 12));
+    }
+
+    #[test]
+    fn lfsr_patterns_are_reproducible() {
+        let poly = Polynomial::primitive(8).unwrap();
+        let make = || {
+            PatternSet::from_lfsr(Lfsr::fibonacci(poly.clone(), 1).unwrap(), 6, 10)
+        };
+        assert_eq!(make(), make());
+        assert_eq!(make().len(), 10);
+    }
+
+    #[test]
+    fn mixed_widths_rejected() {
+        let patterns = vec![
+            Pattern::stimulus_only(BitVec::zeros(3)),
+            Pattern::stimulus_only(BitVec::zeros(4)),
+        ];
+        assert_eq!(
+            PatternSet::from_patterns(patterns),
+            Err(PatternSetError::MixedWidths { expected: 3, found: 4, index: 1 })
+        );
+    }
+
+    #[test]
+    fn serial_stream_concatenates() {
+        let set = PatternSet::walking_ones(3);
+        assert_eq!(set.serial_stream().to_string(), "100010001");
+        assert_eq!(set.total_bits(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "differs from set width")]
+    fn push_wrong_width_panics() {
+        let mut set = PatternSet::new(4);
+        set.push(Pattern::stimulus_only(BitVec::zeros(3)));
+    }
+
+    #[test]
+    fn with_expected_roundtrip() {
+        let p = Pattern::with_expected(BitVec::ones(4), BitVec::zeros(4));
+        assert_eq!(p.expected.as_ref().map(BitVec::len), Some(4));
+    }
+}

@@ -1,0 +1,377 @@
+//! Test sources and sinks (P1500 terminology, paper §1 and Fig. 2 (c)).
+//!
+//! A *source* drives stimulus bits onto the test access mechanism each test
+//! clock; a *sink* consumes the response bits coming back and produces a
+//! pass/fail verdict. Sources and sinks may sit on-chip (BIST) or off-chip
+//! (ATE); the CAS-BUS is agnostic, which these traits capture.
+
+use std::fmt;
+
+use crate::bits::BitVec;
+use crate::lfsr::Lfsr;
+use crate::misr::Misr;
+
+/// A generator of per-clock stimulus slices of a fixed width.
+pub trait TestSource {
+    /// Stimulus width produced per clock (the `P` of the connected CAS).
+    fn width(&self) -> usize;
+
+    /// Produces the stimulus slice for the next clock.
+    ///
+    /// Sources with finite data return all-zero slices once exhausted; use
+    /// [`TestSource::remaining`] to detect exhaustion.
+    fn drive(&mut self) -> BitVec;
+
+    /// Clocks of stimulus left, or `None` for endless sources.
+    fn remaining(&self) -> Option<usize>;
+}
+
+/// A consumer of per-clock response slices producing a verdict.
+pub trait TestSink {
+    /// Response width consumed per clock.
+    fn width(&self) -> usize;
+
+    /// Absorbs the response slice for one clock.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `bits.len() != self.width()`.
+    fn absorb(&mut self, bits: &BitVec);
+
+    /// Current verdict over everything absorbed so far.
+    fn verdict(&self) -> Verdict;
+}
+
+/// Outcome reported by a [`TestSink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All absorbed responses matched expectations (so far).
+    Pass,
+    /// Some responses mismatched.
+    Fail {
+        /// Number of mismatching bits (comparison sinks) or 1 (signature
+        /// sinks, which cannot count individual errors).
+        mismatches: usize,
+    },
+    /// The sink cannot judge yet (e.g. a signature sink before
+    /// [`MisrSink::check`] is called with the golden signature).
+    Undecided,
+}
+
+impl Verdict {
+    /// Whether the verdict is a definite pass.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Verdict::Pass)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Pass => f.write_str("pass"),
+            Self::Fail { mismatches } => write!(f, "fail ({mismatches} mismatches)"),
+            Self::Undecided => f.write_str("undecided"),
+        }
+    }
+}
+
+/// An endless pseudo-random source: `width` fresh LFSR bits per clock
+/// (Fig. 2 (c), "the source is a simple LFSR").
+#[derive(Debug, Clone)]
+pub struct LfsrSource {
+    lfsr: Lfsr,
+    width: usize,
+}
+
+impl LfsrSource {
+    /// Wraps an LFSR as a per-clock source of `width` bits.
+    pub fn new(lfsr: Lfsr, width: usize) -> Self {
+        Self { lfsr, width }
+    }
+}
+
+impl TestSource for LfsrSource {
+    fn width(&self) -> usize {
+        self.width
+    }
+
+    fn drive(&mut self) -> BitVec {
+        self.lfsr.step_n(self.width)
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// A finite deterministic source replaying per-wire bit streams
+/// (off-chip ATE patterns, Fig. 2 (a)).
+#[derive(Debug, Clone)]
+pub struct PatternSource {
+    /// One serial stream per wire; all the same length.
+    streams: Vec<BitVec>,
+    cursor: usize,
+}
+
+impl PatternSource {
+    /// Builds a source from one serial stream per wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams have unequal lengths or no stream is given.
+    pub fn new(streams: Vec<BitVec>) -> Self {
+        assert!(!streams.is_empty(), "PatternSource needs at least one stream");
+        let len = streams[0].len();
+        assert!(
+            streams.iter().all(|s| s.len() == len),
+            "all PatternSource streams must have equal length"
+        );
+        Self { streams, cursor: 0 }
+    }
+
+    /// Builds a single-wire source from one serial stream.
+    pub fn serial(stream: BitVec) -> Self {
+        Self::new(vec![stream])
+    }
+}
+
+impl TestSource for PatternSource {
+    fn width(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn drive(&mut self) -> BitVec {
+        let slice: BitVec = self
+            .streams
+            .iter()
+            .map(|s| s.get(self.cursor).unwrap_or(false))
+            .collect();
+        if self.cursor < self.streams[0].len() {
+            self.cursor += 1;
+        }
+        slice
+    }
+
+    fn remaining(&self) -> Option<usize> {
+        Some(self.streams[0].len().saturating_sub(self.cursor))
+    }
+}
+
+/// A signature-compacting sink: a MISR absorbing `width` bits per clock
+/// (Fig. 2 (c), "the sink a simple MISR").
+#[derive(Debug, Clone)]
+pub struct MisrSink {
+    misr: Misr,
+    expected: Option<BitVec>,
+}
+
+impl MisrSink {
+    /// Wraps a MISR as a sink; the verdict stays
+    /// [`Verdict::Undecided`] until an expected signature is supplied.
+    pub fn new(misr: Misr) -> Self {
+        Self { misr, expected: None }
+    }
+
+    /// Sets the golden signature the final verdict is checked against.
+    pub fn expect_signature(&mut self, golden: BitVec) {
+        self.expected = Some(golden);
+    }
+
+    /// The signature accumulated so far.
+    pub fn signature(&self) -> BitVec {
+        self.misr.signature()
+    }
+
+    /// Compares the accumulated signature against `golden` immediately.
+    pub fn check(&self, golden: &BitVec) -> Verdict {
+        if &self.misr.signature() == golden {
+            Verdict::Pass
+        } else {
+            Verdict::Fail { mismatches: 1 }
+        }
+    }
+}
+
+impl TestSink for MisrSink {
+    fn width(&self) -> usize {
+        self.misr.inputs() as usize
+    }
+
+    fn absorb(&mut self, bits: &BitVec) {
+        self.misr.absorb(bits);
+    }
+
+    fn verdict(&self) -> Verdict {
+        match &self.expected {
+            Some(golden) => self.check(golden),
+            None => Verdict::Undecided,
+        }
+    }
+}
+
+/// A bit-exact comparison sink holding one expected serial stream per wire.
+#[derive(Debug, Clone)]
+pub struct CompareSink {
+    expected: Vec<BitVec>,
+    cursor: usize,
+    mismatches: usize,
+}
+
+impl CompareSink {
+    /// Builds a sink expecting the given per-wire streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the streams have unequal lengths or none is given.
+    pub fn new(expected: Vec<BitVec>) -> Self {
+        assert!(!expected.is_empty(), "CompareSink needs at least one stream");
+        let len = expected[0].len();
+        assert!(
+            expected.iter().all(|s| s.len() == len),
+            "all CompareSink streams must have equal length"
+        );
+        Self { expected, cursor: 0, mismatches: 0 }
+    }
+
+    /// Number of mismatching bits observed so far.
+    pub fn mismatches(&self) -> usize {
+        self.mismatches
+    }
+
+    /// Clocks absorbed so far.
+    pub fn absorbed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl TestSink for CompareSink {
+    fn width(&self) -> usize {
+        self.expected.len()
+    }
+
+    fn absorb(&mut self, bits: &BitVec) {
+        assert_eq!(bits.len(), self.expected.len(), "slice width mismatch");
+        for (wire, stream) in self.expected.iter().enumerate() {
+            // Bits beyond the expected stream are ignored (pipeline flush).
+            if let Some(expected) = stream.get(self.cursor) {
+                if bits.get(wire) != Some(expected) {
+                    self.mismatches += 1;
+                }
+            }
+        }
+        self.cursor += 1;
+    }
+
+    fn verdict(&self) -> Verdict {
+        if self.mismatches == 0 {
+            Verdict::Pass
+        } else {
+            Verdict::Fail { mismatches: self.mismatches }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Polynomial;
+
+    fn lfsr8() -> Lfsr {
+        Lfsr::fibonacci(Polynomial::primitive(8).unwrap(), 0x33).unwrap()
+    }
+
+    #[test]
+    fn lfsr_source_is_endless() {
+        let mut src = LfsrSource::new(lfsr8(), 3);
+        assert_eq!(src.width(), 3);
+        assert_eq!(src.remaining(), None);
+        let a = src.drive();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn pattern_source_replays_and_exhausts() {
+        let mut src = PatternSource::new(vec![
+            "101".parse().unwrap(),
+            "011".parse().unwrap(),
+        ]);
+        assert_eq!(src.width(), 2);
+        assert_eq!(src.remaining(), Some(3));
+        assert_eq!(src.drive().to_string(), "10");
+        assert_eq!(src.drive().to_string(), "01");
+        assert_eq!(src.drive().to_string(), "11");
+        assert_eq!(src.remaining(), Some(0));
+        // Exhausted: zeros.
+        assert_eq!(src.drive().to_string(), "00");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn pattern_source_unequal_streams_panic() {
+        let _ = PatternSource::new(vec!["10".parse().unwrap(), "1".parse().unwrap()]);
+    }
+
+    #[test]
+    fn misr_sink_undecided_until_expected() {
+        let misr = Misr::new(Polynomial::primitive(8).unwrap(), 2).unwrap();
+        let mut sink = MisrSink::new(misr);
+        sink.absorb(&"10".parse().unwrap());
+        assert_eq!(sink.verdict(), Verdict::Undecided);
+        let golden = sink.signature();
+        sink.expect_signature(golden);
+        assert!(sink.verdict().is_pass());
+    }
+
+    #[test]
+    fn misr_sink_detects_corruption() {
+        let make = |corrupt: bool| {
+            let misr = Misr::new(Polynomial::primitive(8).unwrap(), 1).unwrap();
+            let mut sink = MisrSink::new(misr);
+            for i in 0..20 {
+                let bit = (i % 3 == 0) ^ (corrupt && i == 10);
+                let mut v = BitVec::new();
+                v.push(bit);
+                sink.absorb(&v);
+            }
+            sink.signature()
+        };
+        assert_ne!(make(false), make(true));
+    }
+
+    #[test]
+    fn compare_sink_counts_mismatches() {
+        let mut sink = CompareSink::new(vec!["110".parse().unwrap()]);
+        let bits: [BitVec; 3] =
+            ["1".parse().unwrap(), "0".parse().unwrap(), "0".parse().unwrap()];
+        for b in &bits {
+            sink.absorb(b);
+        }
+        assert_eq!(sink.verdict(), Verdict::Fail { mismatches: 1 });
+        assert_eq!(sink.mismatches(), 1);
+    }
+
+    #[test]
+    fn compare_sink_ignores_flush_bits() {
+        let mut sink = CompareSink::new(vec!["1".parse().unwrap()]);
+        sink.absorb(&"1".parse().unwrap());
+        sink.absorb(&"0".parse().unwrap()); // beyond expectations: ignored
+        assert!(sink.verdict().is_pass());
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Pass.to_string(), "pass");
+        assert_eq!(Verdict::Fail { mismatches: 3 }.to_string(), "fail (3 mismatches)");
+        assert_eq!(Verdict::Undecided.to_string(), "undecided");
+    }
+
+    #[test]
+    fn sources_as_trait_objects() {
+        let mut sources: Vec<Box<dyn TestSource>> = vec![
+            Box::new(LfsrSource::new(lfsr8(), 2)),
+            Box::new(PatternSource::serial("1011".parse().unwrap())),
+        ];
+        assert_eq!(sources[0].drive().len(), 2);
+        assert_eq!(sources[1].drive().len(), 1);
+    }
+}

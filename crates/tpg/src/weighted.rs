@@ -1,0 +1,195 @@
+//! Weighted pseudo-random pattern generation.
+//!
+//! Plain LFSR patterns hit each input with probability ½, which leaves
+//! random-pattern-resistant faults (wide AND/OR cones) undetected. The
+//! classic remedy — used by weighted-random BIST hardware since the late
+//! 1980s — is to bias each input towards 0 or 1 by combining several LFSR
+//! bits. This module implements the standard power-of-two weight set
+//! {1/16, ⅛, ¼, ½, ¾, ⅞, 15/16} by AND/OR-ing 1–4 LFSR bits, exactly as a
+//! hardware weight network would.
+
+use std::fmt;
+
+use crate::bits::BitVec;
+use crate::lfsr::Lfsr;
+use crate::pattern::{Pattern, PatternSet};
+
+/// A per-input signal probability from the hardware-realisable set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Weight {
+    /// P(1) = 1/16 — AND of four LFSR bits.
+    Sixteenth,
+    /// P(1) = 1/8 — AND of three LFSR bits.
+    Eighth,
+    /// P(1) = 1/4 — AND of two LFSR bits.
+    Quarter,
+    /// P(1) = 1/2 — one LFSR bit (unweighted).
+    #[default]
+    Half,
+    /// P(1) = 3/4 — OR of two LFSR bits.
+    ThreeQuarters,
+    /// P(1) = 7/8 — OR of three LFSR bits.
+    SevenEighths,
+    /// P(1) = 15/16 — OR of four LFSR bits.
+    FifteenSixteenths,
+}
+
+impl Weight {
+    /// All weights, ascending probability.
+    pub const ALL: [Weight; 7] = [
+        Self::Sixteenth,
+        Self::Eighth,
+        Self::Quarter,
+        Self::Half,
+        Self::ThreeQuarters,
+        Self::SevenEighths,
+        Self::FifteenSixteenths,
+    ];
+
+    /// The signal probability this weight realises.
+    pub fn probability(self) -> f64 {
+        match self {
+            Self::Sixteenth => 1.0 / 16.0,
+            Self::Eighth => 1.0 / 8.0,
+            Self::Quarter => 0.25,
+            Self::Half => 0.5,
+            Self::ThreeQuarters => 0.75,
+            Self::SevenEighths => 7.0 / 8.0,
+            Self::FifteenSixteenths => 15.0 / 16.0,
+        }
+    }
+
+    /// LFSR bits consumed per output bit (the weight network's fan-in).
+    pub fn lfsr_bits(self) -> usize {
+        match self {
+            Self::Half => 1,
+            Self::Quarter | Self::ThreeQuarters => 2,
+            Self::Eighth | Self::SevenEighths => 3,
+            Self::Sixteenth | Self::FifteenSixteenths => 4,
+        }
+    }
+
+    /// Produces one output bit from the LFSR, like the hardware weight
+    /// network: AND for weights below ½, OR above, straight through at ½.
+    pub fn draw(self, lfsr: &mut Lfsr) -> bool {
+        let n = self.lfsr_bits();
+        let bits: Vec<bool> = (0..n).map(|_| lfsr.step()).collect();
+        match self {
+            Self::Half => bits[0],
+            Self::Quarter | Self::Eighth | Self::Sixteenth => bits.iter().all(|&b| b),
+            Self::ThreeQuarters | Self::SevenEighths | Self::FifteenSixteenths => {
+                bits.iter().any(|&b| b)
+            }
+        }
+    }
+
+    /// The closest realisable weight to a desired probability.
+    pub fn closest(p: f64) -> Weight {
+        *Self::ALL
+            .iter()
+            .min_by(|a, b| {
+                (a.probability() - p)
+                    .abs()
+                    .partial_cmp(&(b.probability() - p).abs())
+                    .expect("probabilities are finite")
+            })
+            .expect("ALL is non-empty")
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P(1)={:.4}", self.probability())
+    }
+}
+
+/// Generates `count` weighted patterns of `weights.len()` bits each, bit
+/// `j` biased per `weights[j]`, consuming bits from `lfsr`.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_tpg::{weighted::{weighted_patterns, Weight}, Lfsr, Polynomial};
+///
+/// let lfsr = Lfsr::fibonacci(Polynomial::primitive(16).unwrap(), 0xBEEF).unwrap();
+/// let set = weighted_patterns(lfsr, &[Weight::Quarter, Weight::Half], 100);
+/// assert_eq!(set.len(), 100);
+/// assert_eq!(set.width(), 2);
+/// ```
+pub fn weighted_patterns(mut lfsr: Lfsr, weights: &[Weight], count: usize) -> PatternSet {
+    let mut set = PatternSet::new(weights.len());
+    for _ in 0..count {
+        let stimulus: BitVec = weights.iter().map(|w| w.draw(&mut lfsr)).collect();
+        set.push(Pattern::stimulus_only(stimulus));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poly::Polynomial;
+
+    fn lfsr() -> Lfsr {
+        Lfsr::fibonacci(Polynomial::primitive(16).unwrap(), 0xACE1).unwrap()
+    }
+
+    #[test]
+    fn empirical_probabilities_track_the_weights() {
+        let trials = 16_000;
+        for weight in Weight::ALL {
+            let mut l = lfsr();
+            let ones = (0..trials).filter(|_| weight.draw(&mut l)).count();
+            let observed = ones as f64 / trials as f64;
+            let expected = weight.probability();
+            assert!(
+                (observed - expected).abs() < 0.02,
+                "{weight}: observed {observed:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn closest_picks_the_nearest_weight() {
+        assert_eq!(Weight::closest(0.5), Weight::Half);
+        assert_eq!(Weight::closest(0.0), Weight::Sixteenth);
+        assert_eq!(Weight::closest(1.0), Weight::FifteenSixteenths);
+        assert_eq!(Weight::closest(0.3), Weight::Quarter);
+        assert_eq!(Weight::closest(0.7), Weight::ThreeQuarters);
+    }
+
+    #[test]
+    fn pattern_set_shape_and_determinism() {
+        let weights = [Weight::Eighth, Weight::Half, Weight::SevenEighths];
+        let a = weighted_patterns(lfsr(), &weights, 64);
+        let b = weighted_patterns(lfsr(), &weights, 64);
+        assert_eq!(a, b, "same seed, same patterns");
+        assert_eq!(a.width(), 3);
+        // Column statistics: column 0 mostly 0, column 2 mostly 1.
+        let column_ones = |set: &PatternSet, col: usize| {
+            set.iter().filter(|p| p.stimulus.get(col) == Some(true)).count()
+        };
+        assert!(column_ones(&a, 0) < 20);
+        assert!(column_ones(&a, 2) > 44);
+    }
+
+    #[test]
+    fn lfsr_bit_budget() {
+        assert_eq!(Weight::Half.lfsr_bits(), 1);
+        assert_eq!(Weight::Sixteenth.lfsr_bits(), 4);
+        assert_eq!(Weight::FifteenSixteenths.lfsr_bits(), 4);
+    }
+
+    #[test]
+    fn weighted_patterns_reach_a_resistant_fault_faster() {
+        // An 8-wide AND cone needs all-ones: probability 1/256 unweighted,
+        // (15/16)^8 ≈ 0.6 with heavy weights.
+        let find_all_ones = |weights: &[Weight]| {
+            let set = weighted_patterns(lfsr(), weights, 400);
+            set.iter().position(|p| p.stimulus.count_ones() == 8)
+        };
+        let heavy = find_all_ones(&[Weight::FifteenSixteenths; 8]);
+        assert!(heavy.is_some(), "weighted patterns must hit the cone quickly");
+        assert!(heavy.unwrap() < 10);
+    }
+}

@@ -1,0 +1,49 @@
+//! Interconnect (EXTEST) testing between wrapped cores over the CAS-BUS:
+//! the CPU's output boundary cells drive the nets, the DSP's input cells
+//! capture them, and both boundary registers stream serially over disjoint
+//! CAS wire windows.
+//!
+//! Run with: `cargo run --example interconnect`
+
+use casbus_suite::casbus_sim::{interconnect, SocSimulator};
+use casbus_suite::casbus_soc::catalog;
+use casbus_suite::casbus_tpg::BitVec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = catalog::figure1_soc();
+    let mut sim = SocSimulator::new(&soc, 8)?;
+
+    // The board netlist: eight straight nets CPU -> DSP.
+    let connections: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+
+    // Walking-ones over the nets — the classic interconnect stimulus — plus
+    // an alternating background pattern.
+    let mut patterns: Vec<BitVec> = (0..8)
+        .map(|net| {
+            let mut p = BitVec::zeros(32);
+            p.set(net, true);
+            p
+        })
+        .collect();
+    patterns.push((0..32).map(|i| i % 2 == 0).collect());
+
+    for (idx, pattern) in patterns.iter().enumerate() {
+        let verdict = interconnect::run_interconnect_extest(
+            &mut sim,
+            "core1_cpu",
+            "core2_dsp",
+            &connections,
+            pattern,
+        )?;
+        println!("pattern {idx}: {verdict}");
+        assert!(verdict.is_pass());
+    }
+    println!(
+        "\n{} interconnect patterns verified in {} total cycles.",
+        patterns.len(),
+        sim.cycles()
+    );
+    println!("(Each pattern re-runs the CONFIGURATION phase — the reconfigurable");
+    println!("CAS makes interconnect sessions as routine as core sessions.)");
+    Ok(())
+}

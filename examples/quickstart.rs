@@ -1,0 +1,55 @@
+//! Quickstart: describe a small SoC, build its CAS-BUS, generate the CAS
+//! hardware, and run a verified test session — the whole library in one
+//! file.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use casbus_suite::casbus::{SchemeSet, Tam};
+use casbus_suite::casbus_rtl::vhdl;
+use casbus_suite::casbus_sim::{run_core_session, SocSimulator};
+use casbus_suite::casbus_soc::{CoreDescription, SocBuilder, TestMethod};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the SoC: two reusable cores with different test methods.
+    let soc = SocBuilder::new("quickstart")
+        .core(CoreDescription::new(
+            "cpu",
+            TestMethod::Scan { chains: vec![24, 22], patterns: 16 },
+        ))
+        .core(CoreDescription::new(
+            "sram",
+            TestMethod::Bist { width: 8, patterns: 64 },
+        ))
+        .build()?;
+
+    // 2. Size the test bus and build the TAM: one CAS per wrapped core.
+    let n = 3;
+    let tam = Tam::new(&soc, n)?;
+    println!("TAM for {:?}: {} CASes on a {}-wire test bus", soc.name(), tam.cas_count(), n);
+    println!("configuration chain: {} bits", tam.configuration_clocks());
+
+    // 3. Generate the hardware for the cpu's CAS (N=3, P=2), like the
+    //    paper's generator tool.
+    let geometry = tam.chain().cases()[0].geometry();
+    let set = SchemeSet::enumerate(geometry)?;
+    println!(
+        "\ncpu CAS {}: m = {} instructions, k = {} bits",
+        geometry,
+        geometry.combination_count(),
+        geometry.instruction_width()
+    );
+    let rtl = vhdl::generate_vhdl(&set);
+    println!("generated VHDL: {} lines (entity {})", rtl.lines().count(), format_args!("cas_n3_p2"));
+
+    // 4. Simulate complete test sessions: every bit travels
+    //    bus -> CAS -> P1500 wrapper -> core and back, checked against a
+    //    golden model.
+    let mut sim = SocSimulator::new(&soc, n)?;
+    for core in soc.cores() {
+        let report = run_core_session(&mut sim, core.name())?;
+        println!("session {report}");
+        assert!(report.verdict.is_pass());
+    }
+    println!("\ntotal cycles driven: {}", sim.cycles());
+    Ok(())
+}

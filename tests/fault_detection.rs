@@ -1,0 +1,112 @@
+//! Negative-path integration: every injectable defect class must be caught
+//! by the corresponding CAS-BUS test session. A TAM that only passes
+//! fault-free silicon has not been shown to test anything.
+
+use casbus_suite::casbus_p1500::{TestableCore, Wrapper};
+use casbus_suite::casbus_sim::{run_core_session, SocSimulator};
+use casbus_suite::casbus_soc::models::{BistCore, ExternalCore, MemoryCore, ScanCore};
+use casbus_suite::casbus_soc::catalog;
+
+fn swap_core(
+    sim: &mut SocSimulator,
+    name: &str,
+    core: Box<dyn TestableCore>,
+    terminals: (usize, usize),
+) {
+    let wrapper = sim.wrapper_mut(name).expect("core exists");
+    *wrapper = Wrapper::new(core, terminals.0, terminals.1);
+}
+
+#[test]
+fn scan_stuck_at_detected_at_every_position() {
+    let soc = catalog::figure2a_scan_soc();
+    // scan2 has chains [50, 47].
+    for (chain, pos, value) in [(0usize, 0usize, true), (0, 49, false), (1, 23, true)] {
+        let mut sim = SocSimulator::new(&soc, 4).expect("fits");
+        let mut faulty = ScanCore::new("scan2", vec![50, 47]);
+        faulty.inject_stuck_at(chain, pos, value);
+        swap_core(&mut sim, "scan2", Box::new(faulty), (8, 8));
+        let report = run_core_session(&mut sim, "scan2").expect("runs");
+        assert!(
+            !report.verdict.is_pass(),
+            "stuck-at-{value} on chain {chain} pos {pos} escaped: {report}"
+        );
+    }
+}
+
+#[test]
+fn bist_defect_detected_by_signature() {
+    let soc = catalog::figure2b_bist_soc();
+    let mut sim = SocSimulator::new(&soc, 3).expect("fits");
+    let mut faulty = BistCore::new("bist16", 16, 300);
+    faulty.inject_fault_after(150);
+    swap_core(&mut sim, "bist16", Box::new(faulty), (8, 8));
+    let report = run_core_session(&mut sim, "bist16").expect("runs");
+    assert!(!report.verdict.is_pass(), "signature must differ: {report}");
+}
+
+#[test]
+fn memory_stuck_cell_detected_by_march() {
+    let soc = catalog::maintenance_soc();
+    for value in [false, true] {
+        let mut sim = SocSimulator::new(&soc, 3).expect("fits");
+        let mut faulty = MemoryCore::new("dram", 128, 16);
+        faulty.inject_stuck_cell(64, 7, value);
+        swap_core(&mut sim, "dram", Box::new(faulty), (8, 8));
+        let report = run_core_session(&mut sim, "dram").expect("runs");
+        assert!(!report.verdict.is_pass(), "stuck-at-{value} cell escaped: {report}");
+    }
+}
+
+#[test]
+fn external_core_stuck_output_detected() {
+    let soc = catalog::figure2c_external_soc();
+    let mut sim = SocSimulator::new(&soc, 4).expect("fits");
+    let mut faulty = ExternalCore::new("ext4", 4);
+    faulty.inject_stuck_output(2, true);
+    swap_core(&mut sim, "ext4", Box::new(faulty), (8, 8));
+    let report = run_core_session(&mut sim, "ext4").expect("runs");
+    assert!(!report.verdict.is_pass(), "stuck output escaped: {report}");
+}
+
+#[test]
+fn hierarchical_sub_core_fault_detected_through_two_levels() {
+    use casbus_suite::casbus_soc::models::HierarchicalCore;
+    let soc = catalog::figure2d_hierarchical_soc();
+    let mut sim = SocSimulator::new(&soc, 4).expect("fits");
+    // Rebuild the parent with a defective child scan core.
+    let mut child = ScanCore::new("child_scan", vec![12, 14, 10]);
+    child.inject_stuck_at(2, 5, true);
+    let parent = HierarchicalCore::new(
+        "parent",
+        3,
+        vec![
+            Box::new(child) as Box<dyn TestableCore>,
+            Box::new(BistCore::new("child_bist", 8, 100)),
+        ],
+    );
+    swap_core(&mut sim, "parent", Box::new(parent), (8, 8));
+    let report = run_core_session(&mut sim, "parent").expect("runs");
+    assert!(
+        !report.verdict.is_pass(),
+        "a defect behind the internal bus must still be observable: {report}"
+    );
+}
+
+#[test]
+fn healthy_cores_always_pass_as_control() {
+    // The control arm: no injected fault, no false alarms anywhere.
+    for (soc, n) in [
+        (catalog::figure2a_scan_soc(), 4),
+        (catalog::figure2b_bist_soc(), 3),
+        (catalog::figure2c_external_soc(), 4),
+        (catalog::figure2d_hierarchical_soc(), 4),
+        (catalog::maintenance_soc(), 3),
+    ] {
+        let mut sim = SocSimulator::new(&soc, n).expect("fits");
+        for core in soc.cores() {
+            let report = run_core_session(&mut sim, core.name()).expect("runs");
+            assert!(report.verdict.is_pass(), "false alarm on {}", core.name());
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Gate-level system integration: two *synthesized* CAS netlists wired in
+//! series must behave exactly like a behavioural [`CasChain`] — including
+//! the shared serial configuration chain over wire 0 and mixed dense /
+//! crosspoint implementations on one bus.
+
+use casbus_suite::casbus::{
+    Cas, CasChain, CasControl, CasGeometry, CasInstruction, SchemeSet,
+};
+use casbus_suite::casbus_netlist::{crosspoint, synth, Netlist, Simulator, Value};
+use casbus_suite::casbus_tpg::BitVec;
+
+const N: usize = 4;
+
+/// Drives one clock of a gate-level CAS: applies inputs, samples outputs,
+/// fires the edge. Returns (s, o).
+fn clock_netlist(
+    sim: &mut Simulator<'_>,
+    p: usize,
+    config: bool,
+    update: bool,
+    e: &[Value],
+    i: &[bool],
+) -> (Vec<Value>, Vec<Value>) {
+    // Inputs: config, update, e0..eN-1, i0..iP-1. `e` may carry Z/X from an
+    // upstream stage; the Simulator input API takes bools, so resolve
+    // floating wires to 0 the way a bus keeper would.
+    let mut inputs = vec![false; 2 + N + p];
+    inputs[0] = config;
+    inputs[1] = update;
+    for w in 0..N {
+        inputs[2 + w] = e[w].to_bool().unwrap_or(false);
+    }
+    inputs[2 + N..].copy_from_slice(i);
+    sim.set_inputs(&inputs);
+    sim.eval();
+    let s = (0..N)
+        .map(|w| sim.output(&format!("s{w}")).expect("declared"))
+        .collect();
+    let o = (0..p)
+        .map(|j| sim.output(&format!("o{j}")).expect("declared"))
+        .collect();
+    sim.clock();
+    (s, o)
+}
+
+struct GateChain<'a> {
+    first: Simulator<'a>,
+    second: Simulator<'a>,
+    p1: usize,
+    p2: usize,
+}
+
+impl GateChain<'_> {
+    /// One bus clock through both gate-level CASes.
+    fn clock(
+        &mut self,
+        config: bool,
+        update: bool,
+        bus_in: &[bool],
+        i1: &[bool],
+        i2: &[bool],
+    ) -> (Vec<Value>, Vec<Value>, Vec<Value>) {
+        let e: Vec<Value> = bus_in.iter().map(|&b| Value::from_bool(b)).collect();
+        let (mid, o1) = clock_netlist(&mut self.first, self.p1, config, update, &e, i1);
+        let (out, o2) = clock_netlist(&mut self.second, self.p2, config, update, &mid, i2);
+        (out, o1, o2)
+    }
+}
+
+fn behavioural_chain(p1: usize, p2: usize) -> CasChain {
+    CasChain::new(vec![
+        Cas::for_geometry(CasGeometry::new(N, p1).expect("valid")).expect("budget"),
+        Cas::for_geometry(CasGeometry::new(N, p2).expect("valid")).expect("budget"),
+    ])
+    .expect("uniform width")
+}
+
+#[test]
+fn two_dense_cas_netlists_match_the_behavioural_chain() {
+    let set1 = SchemeSet::enumerate(CasGeometry::new(N, 2).expect("valid")).expect("budget");
+    let set2 = SchemeSet::enumerate(CasGeometry::new(N, 1).expect("valid")).expect("budget");
+    let nl1: Netlist = synth::synthesize_cas(&set1);
+    let nl2: Netlist = synth::synthesize_cas(&set2);
+    let mut gates = GateChain {
+        first: Simulator::new(&nl1).expect("valid"),
+        second: Simulator::new(&nl2).expect("valid"),
+        p1: 2,
+        p2: 1,
+    };
+    let mut behav = behavioural_chain(2, 1);
+
+    // Configure both implementations through the SAME serial protocol.
+    let instrs = vec![CasInstruction::Test(5), CasInstruction::Test(2)];
+    let stream = casbus_suite::casbus::ConfigStream::build(behav.cases(), &instrs)
+        .expect("valid instructions");
+    for bit in stream.bits().iter() {
+        let mut bus = vec![false; N];
+        bus[0] = bit;
+        gates.clock(true, false, &bus, &[false; 2], &[false; 1]);
+        let mut bus_bv = BitVec::zeros(N);
+        bus_bv.set(0, bit);
+        behav
+            .clock(
+                &bus_bv,
+                &[BitVec::zeros(2), BitVec::zeros(1)],
+                CasControl::shift_config(),
+            )
+            .expect("widths");
+    }
+    gates.clock(false, true, &[false; N], &[false; 2], &[false; 1]);
+    behav
+        .clock(
+            &BitVec::zeros(N),
+            &[BitVec::zeros(2), BitVec::zeros(1)],
+            CasControl::update(),
+        )
+        .expect("widths");
+
+    // Now stream data and compare bus outputs and core-side taps per cycle.
+    for t in 0..16u32 {
+        let bus: Vec<bool> = (0..N).map(|w| (t as usize + w) % 3 != 1).collect();
+        let i1 = [t % 2 == 0, t % 5 == 0];
+        let i2 = [t % 3 == 0];
+        let (g_out, g_o1, g_o2) = gates.clock(false, false, &bus, &i1, &i2);
+        let b_out = behav
+            .clock(
+                &bus.iter().copied().collect::<BitVec>(),
+                &[
+                    i1.iter().copied().collect::<BitVec>(),
+                    i2.iter().copied().collect::<BitVec>(),
+                ],
+                CasControl::run(),
+            )
+            .expect("widths");
+        for w in 0..N {
+            assert_eq!(g_out[w].to_bool(), b_out.bus_out.get(w), "cycle {t} wire {w}");
+        }
+        let core1 = b_out.core_in[0].as_ref().expect("CAS0 in TEST");
+        for j in 0..2 {
+            assert_eq!(g_o1[j].to_bool(), core1.get(j), "cycle {t} CAS0 o{j}");
+        }
+        let core2 = b_out.core_in[1].as_ref().expect("CAS1 in TEST");
+        assert_eq!(g_o2[0].to_bool(), core2.get(0), "cycle {t} CAS1 o0");
+    }
+}
+
+#[test]
+fn dense_and_crosspoint_implementations_interoperate_on_one_bus() {
+    // A dense CAS and a pass-transistor crosspoint CAS share the test bus:
+    // the TAM does not care how each switch is implemented.
+    let g1 = CasGeometry::new(N, 2).expect("valid");
+    let g2 = CasGeometry::new(N, 1).expect("valid");
+    let set1 = SchemeSet::enumerate(g1).expect("budget");
+    let nl1 = synth::synthesize_cas(&set1);
+    let nl2 = crosspoint::synthesize_crosspoint_cas(g2);
+    let mut first = Simulator::new(&nl1).expect("valid");
+    let mut second = Simulator::new(&nl2).expect("valid");
+
+    // Configure the dense CAS to scheme wires [1, 3]; leave it alone while
+    // the crosspoint's register loads (its own config phase) — drive each
+    // config phase separately, which the per-CAS `config` line allows.
+    let scheme_idx = set1.index_of(&[1, 3]).expect("exists");
+    let opcode = CasInstruction::Test(scheme_idx).encode(set1.len(), g1.instruction_width());
+    for bit in opcode.iter() {
+        let e: Vec<Value> = (0..N)
+            .map(|w| Value::from_bool(w == 0 && bit))
+            .collect();
+        clock_netlist(&mut first, 2, true, false, &e, &[false; 2]);
+    }
+    let idle: Vec<Value> = vec![Value::Zero; N];
+    clock_netlist(&mut first, 2, false, true, &idle, &[false; 2]);
+
+    // Crosspoint CAS: port 0 listens on wire 2.
+    let scheme2 = casbus_suite::casbus::SwitchScheme::new(g2, vec![2]).expect("injective");
+    for bit in crosspoint::encode_scheme(&scheme2).iter() {
+        let e: Vec<Value> = (0..N)
+            .map(|w| Value::from_bool(w == 0 && bit))
+            .collect();
+        clock_netlist(&mut second, 1, true, false, &e, &[false; 1]);
+    }
+    clock_netlist(&mut second, 1, false, true, &idle, &[false; 1]);
+
+    // Data: wire 1 and 3 serve the dense CAS; wire 2 threads through it
+    // (bypass) and reaches the crosspoint CAS's core.
+    let bus = [false, true, true, false];
+    let e: Vec<Value> = bus.iter().map(|&b| Value::from_bool(b)).collect();
+    let (mid, o1) = clock_netlist(&mut first, 2, false, false, &e, &[true, false]);
+    assert_eq!(o1[0].to_bool(), Some(true), "dense port 0 hears wire 1");
+    assert_eq!(o1[1].to_bool(), Some(false), "dense port 1 hears wire 3");
+    assert_eq!(mid[2].to_bool(), Some(true), "wire 2 bypasses the dense CAS");
+    let (out, o2) = clock_netlist(&mut second, 1, false, false, &mid, &[true]);
+    assert_eq!(o2[0].to_bool(), Some(true), "crosspoint port hears wire 2");
+    assert_eq!(out[2].to_bool(), Some(true), "return path drives wire 2");
+}

@@ -1,0 +1,158 @@
+//! Equivalence between the behavioural CAS and the synthesized gate-level
+//! netlist — the check the paper's synthesis flow had to take on faith.
+
+use casbus_suite::casbus::{Cas, CasControl, CasGeometry, CasInstruction, SchemeSet};
+use casbus_suite::casbus_netlist::{synth, Simulator, Value};
+use casbus_suite::casbus_tpg::BitVec;
+use proptest::prelude::*;
+
+/// Drives the netlist through the serial configuration protocol.
+fn configure_netlist(sim: &mut Simulator<'_>, set: &SchemeSet, instr: &CasInstruction) {
+    let g = set.geometry();
+    let (n, p, k) = (g.bus_width(), g.switched_wires(), g.instruction_width());
+    for bit in instr.encode(set.len(), k).iter() {
+        let mut inputs = vec![false; 2 + n + p];
+        inputs[0] = true; // config
+        inputs[2] = bit; // e0
+        sim.step(&inputs);
+    }
+    let mut inputs = vec![false; 2 + n + p];
+    inputs[1] = true; // update
+    sim.step(&inputs);
+}
+
+/// One data cycle on the netlist; returns (s, o) values.
+fn netlist_cycle(
+    sim: &mut Simulator<'_>,
+    n: usize,
+    p: usize,
+    e: &[bool],
+    i: &[bool],
+) -> (Vec<Value>, Vec<Value>) {
+    let mut inputs = vec![false; 2 + n + p];
+    inputs[2..2 + n].copy_from_slice(e);
+    inputs[2 + n..].copy_from_slice(i);
+    sim.set_inputs(&inputs);
+    sim.eval();
+    let s = (0..n)
+        .map(|w| sim.output(&format!("s{w}")).expect("declared"))
+        .collect();
+    let o = (0..p)
+        .map(|j| sim.output(&format!("o{j}")).expect("declared"))
+        .collect();
+    sim.clock();
+    (s, o)
+}
+
+fn check_equivalence(n: usize, p: usize, scheme_idx: usize, stimuli: &[(Vec<bool>, Vec<bool>)]) {
+    let set = SchemeSet::enumerate(CasGeometry::new(n, p).expect("valid")).expect("in budget");
+    let scheme_idx = scheme_idx % set.len();
+    let netlist = synth::synthesize_cas(&set);
+    let mut gate_sim = Simulator::new(&netlist).expect("well-formed");
+    let mut behav = Cas::new(set.clone());
+
+    let instr = CasInstruction::Test(scheme_idx);
+    configure_netlist(&mut gate_sim, &set, &instr);
+    behav.load_instruction(&instr);
+
+    for (e, i) in stimuli {
+        let (s_gate, o_gate) = netlist_cycle(&mut gate_sim, n, p, e, i);
+        let out = behav
+            .clock(
+                &e.iter().copied().collect::<BitVec>(),
+                &i.iter().copied().collect::<BitVec>(),
+                CasControl::run(),
+            )
+            .expect("widths match");
+        for w in 0..n {
+            assert_eq!(
+                s_gate[w].to_bool(),
+                out.bus_out.get(w),
+                "scheme {scheme_idx} wire {w}"
+            );
+        }
+        let core_in = out.core_in.expect("TEST mode");
+        for j in 0..p {
+            assert_eq!(o_gate[j].to_bool(), core_in.get(j), "scheme {scheme_idx} port {j}");
+        }
+    }
+}
+
+#[test]
+fn all_schemes_equivalent_for_small_geometries() {
+    for (n, p) in [(3usize, 1usize), (4, 2), (4, 3)] {
+        let set = SchemeSet::enumerate(CasGeometry::new(n, p).expect("valid")).expect("budget");
+        for idx in 0..set.len() {
+            let stimuli: Vec<(Vec<bool>, Vec<bool>)> = (0..4u32)
+                .map(|t| {
+                    (
+                        (0..n).map(|w| (t + w as u32) % 2 == 0).collect(),
+                        (0..p).map(|j| (t + j as u32) % 3 == 0).collect(),
+                    )
+                })
+                .collect();
+            check_equivalence(n, p, idx, &stimuli);
+        }
+    }
+}
+
+#[test]
+fn bypass_mode_equivalent() {
+    let set = SchemeSet::enumerate(CasGeometry::new(5, 2).expect("valid")).expect("budget");
+    let netlist = synth::synthesize_cas(&set);
+    let mut gate_sim = Simulator::new(&netlist).expect("well-formed");
+    configure_netlist(&mut gate_sim, &set, &CasInstruction::Bypass);
+    for t in 0..8u32 {
+        let e: Vec<bool> = (0..5).map(|w| (t * 3 + w as u32) % 2 == 0).collect();
+        let (s, o) = netlist_cycle(&mut gate_sim, 5, 2, &e, &[false, false]);
+        for w in 0..5 {
+            assert_eq!(s[w].to_bool(), Some(e[w]), "bypass passes wire {w}");
+        }
+        assert!(o.iter().all(|v| *v == Value::Z), "core side tri-stated");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_scheme_and_stimulus_equivalence(
+        scheme_seed in 0usize..1000,
+        stimuli in proptest::collection::vec(
+            (proptest::collection::vec(any::<bool>(), 5),
+             proptest::collection::vec(any::<bool>(), 2)),
+            1..6,
+        ),
+    ) {
+        check_equivalence(5, 2, scheme_seed, &stimuli);
+    }
+
+    #[test]
+    fn reconfiguration_tracks_behavioural_model(
+        first in 0usize..12,
+        second in 0usize..12,
+    ) {
+        let set = SchemeSet::enumerate(CasGeometry::new(4, 2).expect("valid")).expect("budget");
+        let netlist = synth::synthesize_cas(&set);
+        let mut gate_sim = Simulator::new(&netlist).expect("well-formed");
+        let mut behav = Cas::new(set.clone());
+        for idx in [first, second] {
+            let instr = CasInstruction::Test(idx);
+            configure_netlist(&mut gate_sim, &set, &instr);
+            behav.load_instruction(&instr);
+            let e = [true, false, true, true];
+            let i = [true, false];
+            let (s_gate, _) = netlist_cycle(&mut gate_sim, 4, 2, &e, &i);
+            let out = behav
+                .clock(
+                    &e.iter().copied().collect::<BitVec>(),
+                    &i.iter().copied().collect::<BitVec>(),
+                    CasControl::run(),
+                )
+                .expect("widths");
+            for w in 0..4 {
+                prop_assert_eq!(s_gate[w].to_bool(), out.bus_out.get(w));
+            }
+        }
+    }
+}

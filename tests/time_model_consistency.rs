@@ -1,0 +1,63 @@
+//! Cross-crate consistency: the controller's analytic test-time model must
+//! agree with the cycle counts the simulator actually drives — otherwise
+//! every schedule and every trade-off curve would be fiction.
+
+use casbus_suite::casbus_controller::time_model;
+use casbus_suite::casbus_sim::{run_core_session, session::SessionPlan, SocSimulator};
+use casbus_suite::casbus_soc::{catalog, CoreDescription, TestMethod};
+
+/// The session plan adds a bounded epilogue to the analytic time: the final
+/// response flush is included in the model, plus one retiming drain cycle.
+fn assert_close(core: &CoreDescription, plan_len: u64) {
+    let model = time_model::test_time(core);
+    let slack = plan_len.abs_diff(model);
+    assert!(
+        slack <= 2,
+        "{}: model {model} vs plan {plan_len} (slack {slack})",
+        core.name()
+    );
+}
+
+#[test]
+fn plans_track_the_model_for_every_method() {
+    let cores = [
+        CoreDescription::new("s", TestMethod::Scan { chains: vec![17, 9], patterns: 12 }),
+        CoreDescription::new("b", TestMethod::Bist { width: 12, patterns: 77 }),
+        CoreDescription::new("e", TestMethod::External { ports: 3, patterns: 40 }),
+        CoreDescription::new("m", TestMethod::Memory { words: 33, data_width: 5 }),
+    ];
+    for core in &cores {
+        let plan = SessionPlan::for_core(core);
+        assert_close(core, plan.len() as u64);
+    }
+}
+
+#[test]
+fn measured_session_cycles_match_the_model_for_figure1() {
+    let soc = catalog::figure1_soc();
+    let mut sim = SocSimulator::new(&soc, 4).expect("fits");
+    for core in soc.cores() {
+        if matches!(core.method(), TestMethod::Hierarchical { .. }) {
+            // Hierarchical sessions run a fixed 4-pass probe rather than the
+            // model's sum-of-children budget; skip the comparison.
+            continue;
+        }
+        let report = run_core_session(&mut sim, core.name()).expect("runs");
+        let model = time_model::test_time(core);
+        let measured = report.data_cycles;
+        assert!(
+            measured.abs_diff(model) <= 2,
+            "{}: model {model} vs measured {measured}",
+            core.name()
+        );
+    }
+}
+
+#[test]
+fn schedule_makespan_is_the_sum_of_models_when_serial() {
+    use casbus_suite::casbus_controller::schedule;
+    let soc = catalog::figure2a_scan_soc();
+    let serial = schedule::serial_schedule(&soc, 4).expect("fits");
+    let model_sum: u64 = soc.cores().iter().map(time_model::test_time).sum();
+    assert_eq!(serial.makespan(), model_sum);
+}

@@ -1,0 +1,145 @@
+//! Property-based tests of the CAS-BUS transport invariants.
+
+use casbus_suite::casbus::{
+    Cas, CasControl, CasChain, CasGeometry, CasInstruction, SchemeSet, SwitchScheme,
+};
+use casbus_suite::casbus_tpg::BitVec;
+use proptest::prelude::*;
+
+fn bitvec(len: usize) -> impl Strategy<Value = BitVec> {
+    proptest::collection::vec(any::<bool>(), len).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// BYPASS is the identity on the bus for any chain of CASes.
+    #[test]
+    fn bypass_chain_is_transparent(
+        bus in bitvec(5),
+        ps in proptest::collection::vec(1usize..=3, 1..5),
+    ) {
+        let cases: Vec<Cas> = ps
+            .iter()
+            .map(|&p| Cas::for_geometry(CasGeometry::new(5, p).expect("valid")).expect("budget"))
+            .collect();
+        let mut chain = CasChain::new(cases).expect("uniform width");
+        let cores: Vec<BitVec> = ps.iter().map(|&p| BitVec::zeros(p)).collect();
+        let out = chain.clock(&bus, &cores, CasControl::run()).expect("widths");
+        prop_assert_eq!(out.bus_out, bus);
+        prop_assert!(out.core_in.iter().all(Option::is_none));
+    }
+
+    /// In TEST mode, the routing is exactly the scheme: o_j = e_{w(j)},
+    /// s_{w(j)} = i_j, all other wires untouched.
+    #[test]
+    fn test_mode_routing_is_the_scheme(
+        bus in bitvec(6),
+        core in bitvec(3),
+        idx in 0usize..120,
+    ) {
+        let set = SchemeSet::enumerate(CasGeometry::new(6, 3).expect("valid")).expect("budget");
+        let mut cas = Cas::new(set.clone());
+        cas.load_instruction(&CasInstruction::Test(idx));
+        let out = cas.clock(&bus, &core, CasControl::run()).expect("widths");
+        let scheme = set.scheme(idx).expect("in range");
+        let core_in = out.core_in.expect("TEST drives core");
+        for port in 0..3 {
+            let wire = scheme.wire_for_port(port);
+            prop_assert_eq!(core_in.get(port), bus.get(wire));
+            prop_assert_eq!(out.bus_out.get(wire), core.get(port));
+        }
+        for wire in scheme.bypassed_wires() {
+            prop_assert_eq!(out.bus_out.get(wire), bus.get(wire));
+        }
+    }
+
+    /// Serial configuration loads exactly the requested instructions, for
+    /// any chain composition and any mix of instructions.
+    #[test]
+    fn serial_configuration_roundtrip(
+        picks in proptest::collection::vec((1usize..=3, 0usize..60), 1..5),
+    ) {
+        let cases: Vec<Cas> = picks
+            .iter()
+            .map(|&(p, _)| Cas::for_geometry(CasGeometry::new(5, p).expect("valid")).expect("budget"))
+            .collect();
+        let mut chain = CasChain::new(cases).expect("uniform width");
+        let instrs: Vec<CasInstruction> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, raw))| {
+                let scheme_count = chain.cases()[i].schemes().len();
+                match raw % 3 {
+                    0 => CasInstruction::Bypass,
+                    1 => CasInstruction::Configuration,
+                    _ => CasInstruction::Test(raw % scheme_count),
+                }
+            })
+            .collect();
+        chain.configure(&instrs).expect("valid instructions");
+        for (cas, want) in chain.cases().iter().zip(&instrs) {
+            prop_assert_eq!(cas.instruction(), want);
+        }
+    }
+
+    /// Scheme ranking is the inverse of enumeration for arbitrary schemes.
+    #[test]
+    fn scheme_rank_roundtrip(n in 2usize..7, raw in any::<u64>()) {
+        let p = 1 + (raw as usize) % n;
+        let geometry = CasGeometry::new(n, p).expect("valid");
+        let set = SchemeSet::enumerate(geometry).expect("budget");
+        let idx = (raw as usize) % set.len();
+        let scheme = set.scheme(idx).expect("in range");
+        prop_assert_eq!(scheme.rank(), idx);
+    }
+
+    /// Explicit schemes built from any injective wire pick are found by
+    /// index_of, and their instruction encodes/decodes losslessly.
+    #[test]
+    fn explicit_scheme_instruction_roundtrip(perm_seed in any::<u64>()) {
+        let geometry = CasGeometry::new(6, 2).expect("valid");
+        let set = SchemeSet::enumerate(geometry).expect("budget");
+        let a = (perm_seed % 6) as usize;
+        let b = ((perm_seed / 6) % 6) as usize;
+        prop_assume!(a != b);
+        let scheme = SwitchScheme::new(geometry, vec![a, b]).expect("injective");
+        let idx = set.index_of(scheme.wires()).expect("enumeration is complete");
+        let instr = CasInstruction::Test(idx);
+        let bits = instr.encode(set.len(), geometry.instruction_width());
+        prop_assert_eq!(CasInstruction::decode(&bits, set.len()), instr);
+    }
+
+    /// A chain preserves data under serial concatenation: a bit entering a
+    /// shared wire threads every tapped core exactly once per CAS.
+    #[test]
+    fn no_bits_invented_in_bypass(bus in bitvec(4), len in 1usize..6) {
+        let cases: Vec<Cas> = (0..len)
+            .map(|_| Cas::for_geometry(CasGeometry::new(4, 1).expect("valid")).expect("budget"))
+            .collect();
+        let mut chain = CasChain::new(cases).expect("uniform");
+        let cores = vec![BitVec::zeros(1); len];
+        let out = chain.clock(&bus, &cores, CasControl::run()).expect("widths");
+        prop_assert_eq!(out.bus_out.count_ones(), bus.count_ones());
+    }
+}
+
+#[test]
+fn configuration_mode_isolates_cores_for_any_previous_instruction() {
+    // Even while a TEST instruction is active, asserting config tri-states
+    // the core side (paper: "the tri-stated switcher outputs and inputs are
+    // switched to high impedance").
+    let set = SchemeSet::enumerate(CasGeometry::new(4, 2).expect("valid")).expect("budget");
+    for idx in 0..set.len() {
+        let mut cas = Cas::new(set.clone());
+        cas.load_instruction(&CasInstruction::Test(idx));
+        let out = cas
+            .clock(
+                &BitVec::ones(4),
+                &BitVec::ones(2),
+                CasControl::shift_config(),
+            )
+            .expect("widths");
+        assert_eq!(out.core_in, None, "scheme {idx}");
+    }
+}
