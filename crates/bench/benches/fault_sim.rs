@@ -1,5 +1,12 @@
 //! Criterion bench P1c — stuck-at fault simulation over synthesized CAS
 //! netlists (grading the testability of the test infrastructure itself).
+//!
+//! Each Table-1 size is graded twice: `packed` is the default bit-parallel
+//! PPSFP engine ([`fault::fault_simulate`]), `serial` the one-fault-at-a-time
+//! reference ([`fault::fault_simulate_serial`]). Both produce bit-identical
+//! coverage, so the ratio is a pure engine speedup. The larger sizes use a
+//! reduced pattern budget to keep the serial baseline measurable; the
+//! `fault_sim_speedup` binary records the same comparison machine-readably.
 
 use casbus::{CasGeometry, SchemeSet};
 use casbus_netlist::{fault, synth};
@@ -29,16 +36,32 @@ fn sequences(inputs: usize, count: usize, depth: usize) -> Vec<Vec<BitVec>> {
 fn bench_fault_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("fault_simulation");
     group.sample_size(10);
-    for (n, p) in [(3usize, 1usize), (4, 2)] {
+    // (n, p, sequence count, cycles per sequence) — the largest size gets a
+    // reduced pattern budget so the serial baseline finishes in bench time.
+    for (n, p, count, depth) in [
+        (3usize, 1usize, 8, 6),
+        (4, 2, 8, 6),
+        (6, 3, 8, 6),
+        (8, 4, 2, 3),
+    ] {
         let set = SchemeSet::enumerate(CasGeometry::new(n, p).expect("valid")).expect("in budget");
         let netlist = synth::synthesize_cas(&set);
         let inputs = 2 + n + p;
-        let seqs = sequences(inputs, 8, 6);
+        let seqs = sequences(inputs, count, depth);
         group.bench_with_input(
-            BenchmarkId::new("cas", format!("n{n}p{p}")),
-            &(netlist, seqs),
+            BenchmarkId::new("packed", format!("n{n}p{p}")),
+            &(&netlist, &seqs),
             |b, (nl, seqs)| {
                 b.iter(|| fault::fault_simulate(black_box(nl), black_box(seqs)).expect("valid"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("serial", format!("n{n}p{p}")),
+            &(&netlist, &seqs),
+            |b, (nl, seqs)| {
+                b.iter(|| {
+                    fault::fault_simulate_serial(black_box(nl), black_box(seqs)).expect("valid")
+                });
             },
         );
     }

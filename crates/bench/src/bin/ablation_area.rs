@@ -15,7 +15,15 @@ fn main() {
     println!();
     println!(
         "{:>2} {:>2} {:>6} | {:>12} {:>9} {:>15} {:>12} {:>12} | {:>9}",
-        "N", "P", "m", "synthesized", "CSE-opt", "optimized-gate", "xpoint-est", "xpoint-real", "xp/synth"
+        "N",
+        "P",
+        "m",
+        "synthesized",
+        "CSE-opt",
+        "optimized-gate",
+        "xpoint-est",
+        "xpoint-real",
+        "xp/synth"
     );
     println!("{:-<13}+{:-<68}+{:-<10}", "", "", "");
     for row in PAPER_TABLE1 {
@@ -34,7 +42,14 @@ fn main() {
         let xp_area = area::gate_equivalents(&xp);
         println!(
             "{:>2} {:>2} {:>6} | {:>12.0} {:>9.0} {:>15.0} {:>12.0} {:>12.0} | {:>9}",
-            row.n, row.p, row.m, synthesized, cse_area, optimized, pass_transistor, xp_area,
+            row.n,
+            row.p,
+            row.m,
+            synthesized,
+            cse_area,
+            optimized,
+            pass_transistor,
+            xp_area,
             ratio(xp_area, synthesized)
         );
     }

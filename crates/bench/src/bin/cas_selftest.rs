@@ -18,9 +18,11 @@ fn main() {
         "N", "P", "gates", "faults", "coverage", "sequences", "cycles", "tried"
     );
     println!("{:-<6}+{:-<16}+{:-<44}", "", "", "");
-    // The serial fault simulator is O(faults × candidates); stick to the
-    // small half of Table 1 for a quick run.
-    for row in PAPER_TABLE1.iter().filter(|r| r.m <= 30) {
+    // Grading runs on the packed PPSFP engine (64 candidates per pass,
+    // per-fault cone propagation), which covers every Table-1 row — the
+    // old serial grader was O(faults × candidates × gates) and had to stop
+    // at the small half (m <= 30).
+    for row in PAPER_TABLE1.iter() {
         let set = SchemeSet::enumerate(row.geometry()).expect("in budget");
         let netlist = synth::synthesize_cas(&set);
         let config = AtpgConfig {

@@ -13,8 +13,16 @@ fn main() {
     let cases = [
         ("(a) scan, N/P", catalog::figure2a_scan_soc(), 4),
         ("(b) BIST, N/1", catalog::figure2b_bist_soc(), 3),
-        ("(c) external source/sink", catalog::figure2c_external_soc(), 4),
-        ("(d) hierarchical, N/P_int", catalog::figure2d_hierarchical_soc(), 4),
+        (
+            "(c) external source/sink",
+            catalog::figure2c_external_soc(),
+            4,
+        ),
+        (
+            "(d) hierarchical, N/P_int",
+            catalog::figure2d_hierarchical_soc(),
+            4,
+        ),
     ];
     for (label, soc, n) in cases {
         println!("{label}  (SoC {:?}, N = {n})", soc.name());

@@ -11,8 +11,12 @@ use casbus_tpg::BitVec;
 fn main() {
     let geometry = CasGeometry::new(4, 2).expect("valid geometry");
     let mut cas = Cas::for_geometry(geometry).expect("within budget");
-    println!("Figure 4 — CAS modes on a {} switch (m = {}, k = {})", geometry,
-        geometry.combination_count(), geometry.instruction_width());
+    println!(
+        "Figure 4 — CAS modes on a {} switch (m = {}, k = {})",
+        geometry,
+        geometry.combination_count(),
+        geometry.instruction_width()
+    );
 
     // (b) BYPASS: power-on default.
     println!("\n(b) BYPASS — instruction register all zeros");
@@ -20,7 +24,10 @@ fn main() {
     let out = cas
         .clock(&bus, &BitVec::zeros(2), CasControl::run())
         .expect("widths match");
-    println!("    e = {bus}  ->  s = {}   o = {:?} (tri-stated)", out.bus_out, out.core_in);
+    println!(
+        "    e = {bus}  ->  s = {}   o = {:?} (tri-stated)",
+        out.bus_out, out.core_in
+    );
 
     // (a) CONFIGURATION: shift a TEST opcode over wire 0.
     let target = CasInstruction::Test(9);
@@ -41,14 +48,19 @@ fn main() {
     }
     cas.clock(&BitVec::zeros(4), &BitVec::zeros(2), CasControl::update())
         .expect("widths match");
-    println!("    update pulse -> active instruction: {}", cas.instruction());
+    println!(
+        "    update pulse -> active instruction: {}",
+        cas.instruction()
+    );
 
     // (c) TEST: the configured scheme routes, the rest bypasses.
     let scheme = cas.active_scheme().expect("TEST mode").clone();
     println!("\n(c) TEST — active scheme: {scheme}");
     let bus: BitVec = "1100".parse().expect("literal");
     let core: BitVec = "11".parse().expect("literal");
-    let out = cas.clock(&bus, &core, CasControl::run()).expect("widths match");
+    let out = cas
+        .clock(&bus, &core, CasControl::run())
+        .expect("widths match");
     println!(
         "    e = {bus}, i = {core}  ->  s = {}, o = {}",
         out.bus_out,

@@ -59,7 +59,10 @@ fn main() {
     let flops: usize = 310 + 12 + 44;
     for wires in 1..=8 {
         let chains = balance::repartition_flops(flops, wires);
-        let method = TestMethod::Scan { chains: chains.clone(), patterns: 150 };
+        let method = TestMethod::Scan {
+            chains: chains.clone(),
+            patterns: 150,
+        };
         let cycles = time_model::scan_time_with_chains(&method, &chains);
         println!("{:>7} {:>16} {:>10}", wires, format!("{chains:?}"), cycles);
     }

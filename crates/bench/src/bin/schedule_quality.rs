@@ -6,9 +6,7 @@
 //! test designer and the test programmer" (§4); this bench quantifies what
 //! that collaboration is worth.
 
-use casbus_controller::schedule::{
-    packed_schedule, serial_schedule, wave_optimal_schedule,
-};
+use casbus_controller::schedule::{packed_schedule, serial_schedule, wave_optimal_schedule};
 use casbus_soc::catalog;
 use rand::SeedableRng;
 
@@ -18,7 +16,10 @@ fn main() {
     let figure1 = catalog::figure1_soc();
     let mut rng = rand::rngs::StdRng::seed_from_u64(0xDA7E);
     let random10 = catalog::random_soc(&mut rng, 10, 3);
-    let cases = [("figure1 (6 cores)", figure1), ("random (10 cores)", random10)];
+    let cases = [
+        ("figure1 (6 cores)", figure1),
+        ("random (10 cores)", random10),
+    ];
     for (label, soc) in &cases {
         println!("{label}:");
         println!(
@@ -29,7 +30,9 @@ fn main() {
         for n in widths {
             let serial = serial_schedule(soc, n).expect("fits").makespan();
             let packed = packed_schedule(soc, n).expect("fits").makespan();
-            let optimal = wave_optimal_schedule(soc, n).expect("small enough").makespan();
+            let optimal = wave_optimal_schedule(soc, n)
+                .expect("small enough")
+                .makespan();
             println!(
                 "{:>4} | {:>10} {:>10} {:>12} | {:>8.3}x {:>8.3}x",
                 n,

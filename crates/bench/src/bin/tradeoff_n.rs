@@ -62,7 +62,10 @@ fn sweep(soc: &SocDescription, widths: impl IntoIterator<Item = usize>) {
         if let Some(prev) = last {
             if sched.makespan() > prev {
                 // Greedy packing can show small anomalies; flag them.
-                println!("    ^ note: greedy packing anomaly (+{} cycles)", sched.makespan() - prev);
+                println!(
+                    "    ^ note: greedy packing anomaly (+{} cycles)",
+                    sched.makespan() - prev
+                );
             }
         }
         last = Some(sched.makespan());

@@ -34,18 +34,90 @@ pub struct PaperRow {
 
 /// The paper's Table 1, verbatim.
 pub const PAPER_TABLE1: [PaperRow; 12] = [
-    PaperRow { n: 3, p: 1, m: 5, k: 3, gates: 16 },
-    PaperRow { n: 4, p: 1, m: 6, k: 3, gates: 23 },
-    PaperRow { n: 4, p: 2, m: 14, k: 4, gates: 64 },
-    PaperRow { n: 4, p: 3, m: 26, k: 5, gates: 118 },
-    PaperRow { n: 5, p: 1, m: 7, k: 3, gates: 28 },
-    PaperRow { n: 5, p: 2, m: 22, k: 5, gates: 85 },
-    PaperRow { n: 5, p: 3, m: 62, k: 6, gates: 205 },
-    PaperRow { n: 6, p: 1, m: 8, k: 3, gates: 33 },
-    PaperRow { n: 6, p: 2, m: 32, k: 5, gates: 134 },
-    PaperRow { n: 6, p: 3, m: 122, k: 7, gates: 280 },
-    PaperRow { n: 6, p: 5, m: 722, k: 10, gates: 1154 },
-    PaperRow { n: 8, p: 4, m: 1682, k: 11, gates: 4400 },
+    PaperRow {
+        n: 3,
+        p: 1,
+        m: 5,
+        k: 3,
+        gates: 16,
+    },
+    PaperRow {
+        n: 4,
+        p: 1,
+        m: 6,
+        k: 3,
+        gates: 23,
+    },
+    PaperRow {
+        n: 4,
+        p: 2,
+        m: 14,
+        k: 4,
+        gates: 64,
+    },
+    PaperRow {
+        n: 4,
+        p: 3,
+        m: 26,
+        k: 5,
+        gates: 118,
+    },
+    PaperRow {
+        n: 5,
+        p: 1,
+        m: 7,
+        k: 3,
+        gates: 28,
+    },
+    PaperRow {
+        n: 5,
+        p: 2,
+        m: 22,
+        k: 5,
+        gates: 85,
+    },
+    PaperRow {
+        n: 5,
+        p: 3,
+        m: 62,
+        k: 6,
+        gates: 205,
+    },
+    PaperRow {
+        n: 6,
+        p: 1,
+        m: 8,
+        k: 3,
+        gates: 33,
+    },
+    PaperRow {
+        n: 6,
+        p: 2,
+        m: 32,
+        k: 5,
+        gates: 134,
+    },
+    PaperRow {
+        n: 6,
+        p: 3,
+        m: 122,
+        k: 7,
+        gates: 280,
+    },
+    PaperRow {
+        n: 6,
+        p: 5,
+        m: 722,
+        k: 10,
+        gates: 1154,
+    },
+    PaperRow {
+        n: 8,
+        p: 4,
+        m: 1682,
+        k: 11,
+        gates: 4400,
+    },
 ];
 
 impl PaperRow {
@@ -76,8 +148,20 @@ mod tests {
     fn paper_rows_match_the_combinatorial_model() {
         for row in PAPER_TABLE1 {
             let g = row.geometry();
-            assert_eq!(g.combination_count(), row.m, "m for N={} P={}", row.n, row.p);
-            assert_eq!(g.instruction_width(), row.k, "k for N={} P={}", row.n, row.p);
+            assert_eq!(
+                g.combination_count(),
+                row.m,
+                "m for N={} P={}",
+                row.n,
+                row.p
+            );
+            assert_eq!(
+                g.instruction_width(),
+                row.k,
+                "k for N={} P={}",
+                row.n,
+                row.p
+            );
         }
     }
 

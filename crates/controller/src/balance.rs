@@ -77,7 +77,10 @@ mod tests {
     fn never_increases_depth() {
         let cases: [&[usize]; 4] = [&[19, 1], &[5, 5], &[100], &[3, 9, 2, 2]];
         for chains in cases {
-            assert!(depth(&balance_chains(chains)) <= depth(chains), "{chains:?}");
+            assert!(
+                depth(&balance_chains(chains)) <= depth(chains),
+                "{chains:?}"
+            );
         }
     }
 

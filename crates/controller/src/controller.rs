@@ -109,7 +109,10 @@ impl TestController {
             None => ControllerPhase::Configuring,
             Some((bits, pos)) if *pos < bits.len() => ControllerPhase::Configuring,
             Some(_) if self.update_pending => ControllerPhase::Updating,
-            Some(_) => ControllerPhase::Testing { step: self.step, elapsed: self.test_elapsed },
+            Some(_) => ControllerPhase::Testing {
+                step: self.step,
+                elapsed: self.test_elapsed,
+            },
         }
     }
 
@@ -177,8 +180,7 @@ impl TestController {
     /// Propagates encoding errors.
     pub fn stage_configuration(&mut self, tam: &Tam, step: usize) -> Result<(), CasError> {
         let config = &self.program.steps()[step].configuration;
-        let stream =
-            casbus::ConfigStream::build(tam.chain().cases(), config.instructions())?;
+        let stream = casbus::ConfigStream::build(tam.chain().cases(), config.instructions())?;
         self.config_bits = Some((stream.bits().clone(), 0));
         self.update_pending = true;
         Ok(())
@@ -284,7 +286,11 @@ mod tests {
             last_phase_was_test = now_test;
         }
         seen_test_sets.dedup();
-        assert_eq!(seen_test_sets.len(), 2, "two serial steps, two configurations");
+        assert_eq!(
+            seen_test_sets.len(),
+            2,
+            "two serial steps, two configurations"
+        );
         assert_ne!(seen_test_sets[0], seen_test_sets[1]);
     }
 
@@ -292,7 +298,11 @@ mod tests {
     fn phase_display() {
         assert_eq!(ControllerPhase::Updating.to_string(), "UPDATE");
         assert_eq!(
-            ControllerPhase::Testing { step: 2, elapsed: 0 }.to_string(),
+            ControllerPhase::Testing {
+                step: 2,
+                elapsed: 0
+            }
+            .to_string(),
             "TEST(step 2)"
         );
     }
@@ -306,7 +316,11 @@ mod tests {
         ctl.config_bits = Some((BitVec::new(), 0));
         ctl.update_pending = false;
         ctl.account_test_cycles(d0);
-        assert_eq!(ctl.phase(), ControllerPhase::Configuring, "next step reconfigures");
+        assert_eq!(
+            ctl.phase(),
+            ControllerPhase::Configuring,
+            "next step reconfigures"
+        );
     }
 
     #[test]

@@ -75,11 +75,7 @@ impl MaintenancePlan {
     /// Returns [`MaintenanceError::UnknownCore`] for a bad name and
     /// [`MaintenanceError::DoesNotFit`] when the combined widths exceed the
     /// bus.
-    pub fn plan(
-        tam: &Tam,
-        soc: &SocDescription,
-        cores: &[&str],
-    ) -> Result<Self, MaintenanceError> {
+    pub fn plan(tam: &Tam, soc: &SocDescription, cores: &[&str]) -> Result<Self, MaintenanceError> {
         let mut configuration = TamConfiguration::all_bypass(tam.cas_count());
         let mut wrappers = vec![WrapperInstruction::Normal; tam.cas_count()];
         let mut next_wire = 0usize;
@@ -165,9 +161,15 @@ mod tests {
         assert!(!plan.is_operational("dram"));
         // CPU and codec wrappers transparent, dram in BIST intest.
         let dram_cas = tam.cas_for_core("dram").unwrap();
-        assert_eq!(plan.wrapper_instructions()[dram_cas], WrapperInstruction::IntestBist);
+        assert_eq!(
+            plan.wrapper_instructions()[dram_cas],
+            WrapperInstruction::IntestBist
+        );
         let cpu_cas = tam.cas_for_core("app_cpu").unwrap();
-        assert_eq!(plan.wrapper_instructions()[cpu_cas], WrapperInstruction::Normal);
+        assert_eq!(
+            plan.wrapper_instructions()[cpu_cas],
+            WrapperInstruction::Normal
+        );
         assert_eq!(plan.configuration().cores_under_test(), vec![dram_cas]);
         assert!(plan.duration() > 0);
     }

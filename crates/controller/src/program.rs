@@ -124,9 +124,7 @@ impl TestProgram {
 /// The wrapper instruction a core's test method calls for.
 fn wrapper_mode_for(soc: &SocDescription, core_name: &str) -> WrapperInstruction {
     match soc.core_by_name(core_name).map(|(_, c)| c.method()) {
-        Some(TestMethod::Bist { .. } | TestMethod::Memory { .. }) => {
-            WrapperInstruction::IntestBist
-        }
+        Some(TestMethod::Bist { .. } | TestMethod::Memory { .. }) => WrapperInstruction::IntestBist,
         Some(_) => WrapperInstruction::IntestScan,
         // The wrapped system bus has no core entry: interconnect test.
         None => WrapperInstruction::Extest,
@@ -135,9 +133,18 @@ fn wrapper_mode_for(soc: &SocDescription, core_name: &str) -> WrapperInstruction
 
 impl fmt::Display for TestProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "test program: {} steps, {} test cycles", self.len(), self.test_cycles())?;
+        writeln!(
+            f,
+            "test program: {} steps, {} test cycles",
+            self.len(),
+            self.test_cycles()
+        )?;
         for (i, step) in self.steps.iter().enumerate() {
-            writeln!(f, "  step {i}: {} ({} cycles)", step.description, step.duration)?;
+            writeln!(
+                f,
+                "  step {i}: {} ({} cycles)",
+                step.description, step.duration
+            )?;
         }
         Ok(())
     }

@@ -52,9 +52,16 @@ impl fmt::Display for ScheduleError {
             }
             Self::ZeroWidth => f.write_str("the test bus needs at least one wire"),
             Self::TooManyCores { count, limit } => {
-                write!(f, "exact scheduling supports up to {limit} cores, got {count}")
+                write!(
+                    f,
+                    "exact scheduling supports up to {limit} cores, got {count}"
+                )
             }
-            Self::PowerBudgetTooSmall { core, power, budget } => write!(
+            Self::PowerBudgetTooSmall {
+                core,
+                power,
+                budget,
+            } => write!(
                 f,
                 "core {core:?} alone dissipates {power} against a budget of {budget}"
             ),
@@ -223,7 +230,10 @@ pub fn serial_schedule(soc: &SocDescription, n: usize) -> Result<Schedule, Sched
         });
         clock += duration;
     }
-    Ok(Schedule { bus_width: n, tests })
+    Ok(Schedule {
+        bus_width: n,
+        tests,
+    })
 }
 
 /// Greedy strip packing: longest tests first, each placed at the earliest
@@ -274,7 +284,10 @@ pub fn packed_schedule(soc: &SocDescription, n: usize) -> Result<Schedule, Sched
         });
     }
     placed.sort_by_key(|t| (t.start, t.wire_start));
-    Ok(Schedule { bus_width: n, tests: placed })
+    Ok(Schedule {
+        bus_width: n,
+        tests: placed,
+    })
 }
 
 /// Greedy strip packing under a **test-power budget**: like
@@ -363,7 +376,10 @@ pub fn power_aware_schedule(
     }
     let mut tests: Vec<ScheduledTest> = placed.into_iter().map(|(t, _)| t).collect();
     tests.sort_by_key(|t| (t.start, t.wire_start));
-    Ok(Schedule { bus_width: n, tests })
+    Ok(Schedule {
+        bus_width: n,
+        tests,
+    })
 }
 
 /// Peak concurrent test power of a schedule (checked at every test start).
@@ -409,7 +425,10 @@ pub fn wave_optimal_schedule(soc: &SocDescription, n: usize) -> Result<Schedule,
     let rects = rectangles(soc);
     let k = rects.len();
     if k > WAVE_OPTIMAL_CORE_LIMIT {
-        return Err(ScheduleError::TooManyCores { count: k, limit: WAVE_OPTIMAL_CORE_LIMIT });
+        return Err(ScheduleError::TooManyCores {
+            count: k,
+            limit: WAVE_OPTIMAL_CORE_LIMIT,
+        });
     }
     let widths: Vec<usize> = rects.iter().map(|(_, c, _)| c.required_ports()).collect();
     let durations: Vec<u64> = rects.iter().map(|&(_, _, d)| d).collect();
@@ -470,7 +489,10 @@ pub fn wave_optimal_schedule(soc: &SocDescription, n: usize) -> Result<Schedule,
         mask ^= wave;
     }
     tests.sort_by_key(|t| (t.start, t.wire_start));
-    Ok(Schedule { bus_width: n, tests })
+    Ok(Schedule {
+        bus_width: n,
+        tests,
+    })
 }
 
 /// Sweeps `packed_schedule` over bus widths, returning `(n, makespan)` —
@@ -584,16 +606,34 @@ mod tests {
         use casbus_soc::{CoreDescription, SocBuilder, TestMethod};
         let soc = SocBuilder::new("hot")
             .core(
-                CoreDescription::new("a", TestMethod::Bist { width: 8, patterns: 100 })
-                    .with_test_power(60),
+                CoreDescription::new(
+                    "a",
+                    TestMethod::Bist {
+                        width: 8,
+                        patterns: 100,
+                    },
+                )
+                .with_test_power(60),
             )
             .core(
-                CoreDescription::new("b", TestMethod::Bist { width: 8, patterns: 100 })
-                    .with_test_power(60),
+                CoreDescription::new(
+                    "b",
+                    TestMethod::Bist {
+                        width: 8,
+                        patterns: 100,
+                    },
+                )
+                .with_test_power(60),
             )
             .core(
-                CoreDescription::new("c", TestMethod::Bist { width: 8, patterns: 100 })
-                    .with_test_power(30),
+                CoreDescription::new(
+                    "c",
+                    TestMethod::Bist {
+                        width: 8,
+                        patterns: 100,
+                    },
+                )
+                .with_test_power(30),
             )
             .build()
             .unwrap();
@@ -622,7 +662,11 @@ mod tests {
         let soc = catalog::figure1_soc(); // default power 100 per core
         assert!(matches!(
             power_aware_schedule(&soc, 8, 50),
-            Err(ScheduleError::PowerBudgetTooSmall { power: 100, budget: 50, .. })
+            Err(ScheduleError::PowerBudgetTooSmall {
+                power: 100,
+                budget: 50,
+                ..
+            })
         ));
     }
 
@@ -707,8 +751,20 @@ mod tests {
         // Two 1-wide cores with equal times: a 2-wide bus halves the span.
         use casbus_soc::{CoreDescription, SocBuilder, TestMethod};
         let soc = SocBuilder::new("pair")
-            .core(CoreDescription::new("a", TestMethod::Bist { width: 8, patterns: 100 }))
-            .core(CoreDescription::new("b", TestMethod::Bist { width: 8, patterns: 100 }))
+            .core(CoreDescription::new(
+                "a",
+                TestMethod::Bist {
+                    width: 8,
+                    patterns: 100,
+                },
+            ))
+            .core(CoreDescription::new(
+                "b",
+                TestMethod::Bist {
+                    width: 8,
+                    patterns: 100,
+                },
+            ))
             .build()
             .unwrap();
         let narrow = wave_optimal_schedule(&soc, 1).unwrap().makespan();

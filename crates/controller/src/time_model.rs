@@ -42,9 +42,7 @@ fn method_time(method: &TestMethod) -> u64 {
         }
         TestMethod::Bist { width, patterns } => *patterns as u64 + u64::from(*width),
         TestMethod::External { patterns, .. } => *patterns as u64 + 1,
-        TestMethod::Hierarchical { sub_cores, .. } => {
-            sub_cores.iter().map(test_time).sum()
-        }
+        TestMethod::Hierarchical { sub_cores, .. } => sub_cores.iter().map(test_time).sum(),
         TestMethod::Memory { words, .. } => 3 * (*words as u64) + 2,
     }
 }
@@ -71,61 +69,109 @@ mod tests {
 
     #[test]
     fn scan_time_formula() {
-        let core = CoreDescription::new("c", TestMethod::Scan {
-            chains: vec![5, 9, 3],
-            patterns: 4,
-        });
+        let core = CoreDescription::new(
+            "c",
+            TestMethod::Scan {
+                chains: vec![5, 9, 3],
+                patterns: 4,
+            },
+        );
         // depth 9: 4·10 + 9.
         assert_eq!(test_time(&core), 49);
     }
 
     #[test]
     fn bist_time_formula() {
-        let core = CoreDescription::new("c", TestMethod::Bist { width: 16, patterns: 100 });
+        let core = CoreDescription::new(
+            "c",
+            TestMethod::Bist {
+                width: 16,
+                patterns: 100,
+            },
+        );
         assert_eq!(test_time(&core), 116);
     }
 
     #[test]
     fn external_time_formula() {
-        let core = CoreDescription::new("c", TestMethod::External { ports: 3, patterns: 64 });
+        let core = CoreDescription::new(
+            "c",
+            TestMethod::External {
+                ports: 3,
+                patterns: 64,
+            },
+        );
         assert_eq!(test_time(&core), 65);
     }
 
     #[test]
     fn memory_time_formula() {
-        let core = CoreDescription::new("c", TestMethod::Memory { words: 32, data_width: 8 });
+        let core = CoreDescription::new(
+            "c",
+            TestMethod::Memory {
+                words: 32,
+                data_width: 8,
+            },
+        );
         assert_eq!(test_time(&core), 98);
     }
 
     #[test]
     fn hierarchical_time_adds_children() {
         let subs = vec![
-            CoreDescription::new("a", TestMethod::Bist { width: 8, patterns: 10 }), // 18
-            CoreDescription::new("b", TestMethod::Scan { chains: vec![4], patterns: 2 }), // 14
+            CoreDescription::new(
+                "a",
+                TestMethod::Bist {
+                    width: 8,
+                    patterns: 10,
+                },
+            ), // 18
+            CoreDescription::new(
+                "b",
+                TestMethod::Scan {
+                    chains: vec![4],
+                    patterns: 2,
+                },
+            ), // 14
         ];
         let core = CoreDescription::new(
             "h",
-            TestMethod::Hierarchical { internal_bus_width: 1, sub_cores: subs },
+            TestMethod::Hierarchical {
+                internal_bus_width: 1,
+                sub_cores: subs,
+            },
         );
         assert_eq!(test_time(&core), 18 + 14);
     }
 
     #[test]
     fn deeper_chains_cost_more() {
-        let shallow = CoreDescription::new("s", TestMethod::Scan {
-            chains: vec![10, 10],
-            patterns: 50,
-        });
-        let deep = CoreDescription::new("d", TestMethod::Scan {
-            chains: vec![19, 1],
-            patterns: 50,
-        });
-        assert!(test_time(&deep) > test_time(&shallow), "same flops, worse balance");
+        let shallow = CoreDescription::new(
+            "s",
+            TestMethod::Scan {
+                chains: vec![10, 10],
+                patterns: 50,
+            },
+        );
+        let deep = CoreDescription::new(
+            "d",
+            TestMethod::Scan {
+                chains: vec![19, 1],
+                patterns: 50,
+            },
+        );
+        assert!(
+            test_time(&deep) > test_time(&shallow),
+            "same flops, worse balance"
+        );
     }
 
     #[test]
     fn rebalanced_time() {
-        let method = TestMethod::Scan { chains: vec![19, 1], patterns: 50 };
+        let method = TestMethod::Scan {
+            chains: vec![19, 1],
+            patterns: 50,
+        };
         let before = scan_time_with_chains(&method, &[19, 1]);
         let after = scan_time_with_chains(&method, &[10, 10]);
         assert!(after < before);
@@ -134,7 +180,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires a scan method")]
     fn rebalance_rejects_non_scan() {
-        let method = TestMethod::Bist { width: 4, patterns: 1 };
+        let method = TestMethod::Bist {
+            width: 4,
+            patterns: 1,
+        };
         let _ = scan_time_with_chains(&method, &[1]);
     }
 }

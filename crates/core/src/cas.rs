@@ -45,12 +45,18 @@ pub struct CasControl {
 impl CasControl {
     /// Control word for one configuration shift clock.
     pub fn shift_config() -> Self {
-        Self { config: true, update: false }
+        Self {
+            config: true,
+            update: false,
+        }
     }
 
     /// Control word for the update pulse ending the configuration phase.
     pub fn update() -> Self {
-        Self { config: false, update: true }
+        Self {
+            config: false,
+            update: true,
+        }
     }
 
     /// Control word for a plain data-transport clock.
@@ -203,7 +209,10 @@ impl Cas {
         let n = self.geometry().bus_width();
         let p = self.geometry().switched_wires();
         if bus_in.len() != n || core_out.len() != p {
-            return Err(CasError::BadGeometry { n: bus_in.len(), p: core_out.len() });
+            return Err(CasError::BadGeometry {
+                n: bus_in.len(),
+                p: core_out.len(),
+            });
         }
         self.config_line = ctrl.config;
         if ctrl.config {
@@ -216,7 +225,10 @@ impl Cas {
             if ctrl.update {
                 self.update_ir();
             }
-            return Ok(CasOutput { bus_out, core_in: None });
+            return Ok(CasOutput {
+                bus_out,
+                core_in: None,
+            });
         }
         if ctrl.update {
             self.update_ir();
@@ -227,7 +239,10 @@ impl Cas {
                 core_in: None,
             }),
             CasMode::Test => {
-                let scheme = self.active_scheme().expect("TEST mode has a scheme").clone();
+                let scheme = self
+                    .active_scheme()
+                    .expect("TEST mode has a scheme")
+                    .clone();
                 let mut bus_out = bus_in.clone();
                 let mut core_in = BitVec::zeros(p);
                 for port in 0..p {
@@ -236,7 +251,10 @@ impl Cas {
                     core_in.set(port, bus_in.get(wire).expect("wire < n"));
                     bus_out.set(wire, core_out.get(port).expect("port < p"));
                 }
-                Ok(CasOutput { bus_out, core_in: Some(core_in) })
+                Ok(CasOutput {
+                    bus_out,
+                    core_in: Some(core_in),
+                })
             }
         }
     }
@@ -301,7 +319,11 @@ mod tests {
         let idx = c.schemes().index_of(&[2, 0]).unwrap();
         c.load_instruction(&CasInstruction::Test(idx));
         let out = c
-            .clock(&"1010".parse().unwrap(), &"11".parse().unwrap(), CasControl::run())
+            .clock(
+                &"1010".parse().unwrap(),
+                &"11".parse().unwrap(),
+                CasControl::run(),
+            )
             .unwrap();
         let core_in = out.core_in.unwrap();
         assert_eq!(core_in.get(0), Some(true), "o0 = e2 = 1");
@@ -316,7 +338,9 @@ mod tests {
         let idx = c.schemes().index_of(&[4, 5]).unwrap();
         c.load_instruction(&CasInstruction::Test(idx));
         let bus: BitVec = "111100".parse().unwrap();
-        let out = c.clock(&bus, &"00".parse().unwrap(), CasControl::run()).unwrap();
+        let out = c
+            .clock(&bus, &"00".parse().unwrap(), CasControl::run())
+            .unwrap();
         // Wires 0–3 bypass unchanged; wires 4, 5 carry the core outputs (0).
         assert_eq!(out.bus_out.to_string(), "111100");
     }
@@ -331,7 +355,9 @@ mod tests {
         for bit in bits.iter() {
             let mut bus = BitVec::zeros(4);
             bus.set(0, bit);
-            let out = c.clock(&bus, &BitVec::zeros(2), CasControl::shift_config()).unwrap();
+            let out = c
+                .clock(&bus, &BitVec::zeros(2), CasControl::shift_config())
+                .unwrap();
             assert_eq!(out.core_in, None, "tri-stated during configuration");
         }
         assert_eq!(
@@ -339,7 +365,8 @@ mod tests {
             CasInstruction::Bypass,
             "not active before update"
         );
-        c.clock(&BitVec::zeros(4), &BitVec::zeros(2), CasControl::update()).unwrap();
+        c.clock(&BitVec::zeros(4), &BitVec::zeros(2), CasControl::update())
+            .unwrap();
         assert_eq!(*c.instruction(), target);
         assert_eq!(c.mode(), CasMode::Test);
     }
@@ -354,7 +381,9 @@ mod tests {
         let mut bus = BitVec::zeros(4);
         bus.set(1, true);
         bus.set(3, true);
-        let out = c.clock(&bus, &BitVec::zeros(1), CasControl::shift_config()).unwrap();
+        let out = c
+            .clock(&bus, &BitVec::zeros(1), CasControl::shift_config())
+            .unwrap();
         assert_eq!(out.bus_out.get(0), Some(true), "IR bit shifted out on s0");
         assert_eq!(out.bus_out.get(1), Some(true), "other wires bypass");
         assert_eq!(out.bus_out.get(3), Some(true));
@@ -413,8 +442,12 @@ mod tests {
     #[test]
     fn wrong_widths_rejected() {
         let mut c = cas(4, 2);
-        assert!(c.clock(&BitVec::zeros(3), &BitVec::zeros(2), CasControl::run()).is_err());
-        assert!(c.clock(&BitVec::zeros(4), &BitVec::zeros(1), CasControl::run()).is_err());
+        assert!(c
+            .clock(&BitVec::zeros(3), &BitVec::zeros(2), CasControl::run())
+            .is_err());
+        assert!(c
+            .clock(&BitVec::zeros(4), &BitVec::zeros(1), CasControl::run())
+            .is_err());
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl CasChain {
     /// Total configuration chain length: the sum of all instruction register
     /// widths (what one full configuration shift costs in clocks).
     pub fn config_chain_bits(&self) -> usize {
-        self.cases.iter().map(|c| c.instruction_width() as usize).sum()
+        self.cases
+            .iter()
+            .map(|c| c.instruction_width() as usize)
+            .sum()
     }
 
     /// One clock of the whole chain: `bus_in` enters CAS 0, each CAS's bus
@@ -136,11 +139,17 @@ impl CasChain {
         let mut bus = bus_in.clone();
         let mut core_in = Vec::with_capacity(self.cases.len());
         for (cas, core_out) in self.cases.iter_mut().zip(core_outs) {
-            let CasOutput { bus_out, core_in: ci } = cas.clock(&bus, core_out, ctrl)?;
+            let CasOutput {
+                bus_out,
+                core_in: ci,
+            } = cas.clock(&bus, core_out, ctrl)?;
             bus = bus_out;
             core_in.push(ci);
         }
-        Ok(ChainOutput { bus_out: bus, core_in })
+        Ok(ChainOutput {
+            bus_out: bus,
+            core_in,
+        })
     }
 
     /// Verifies that the currently-active TEST instructions give every CAS
@@ -273,7 +282,13 @@ mod tests {
     fn configure_wrong_length_rejected() {
         let mut ch = chain(&[(4, 1), (4, 1)]);
         let err = ch.configure(&[CasInstruction::Bypass]).unwrap_err();
-        assert_eq!(err, CasError::ConfigurationLengthMismatch { got: 1, expected: 2 });
+        assert_eq!(
+            err,
+            CasError::ConfigurationLengthMismatch {
+                got: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -331,10 +346,12 @@ mod tests {
     #[test]
     fn reconfigure_between_sessions() {
         let mut ch = chain(&[(3, 1), (3, 1)]);
-        ch.configure(&[CasInstruction::Test(0), CasInstruction::Bypass]).unwrap();
+        ch.configure(&[CasInstruction::Test(0), CasInstruction::Bypass])
+            .unwrap();
         assert!(ch.cases()[0].instruction().is_test());
         // Second session: swap roles — the paper's dynamic reconfiguration.
-        ch.configure(&[CasInstruction::Bypass, CasInstruction::Test(2)]).unwrap();
+        ch.configure(&[CasInstruction::Bypass, CasInstruction::Test(2)])
+            .unwrap();
         assert_eq!(*ch.cases()[0].instruction(), CasInstruction::Bypass);
         assert_eq!(*ch.cases()[1].instruction(), CasInstruction::Test(2));
     }

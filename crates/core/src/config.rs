@@ -104,7 +104,11 @@ mod tests {
         let cases = vec![cas(4, 1), cas(4, 2), cas(4, 3)];
         let stream = ConfigStream::build(
             &cases,
-            &[CasInstruction::Bypass, CasInstruction::Bypass, CasInstruction::Bypass],
+            &[
+                CasInstruction::Bypass,
+                CasInstruction::Bypass,
+                CasInstruction::Bypass,
+            ],
         )
         .unwrap();
         assert_eq!(stream.len(), 3 + 4 + 5);
@@ -164,7 +168,8 @@ mod tests {
             bus.set(0, bit);
             ch.clock(&bus, &cores, CasControl::shift_config()).unwrap();
         }
-        ch.clock(&BitVec::zeros(5), &cores, CasControl::update()).unwrap();
+        ch.clock(&BitVec::zeros(5), &cores, CasControl::update())
+            .unwrap();
         for (cas, want) in ch.cases().iter().zip(&instrs) {
             assert_eq!(cas.instruction(), want);
         }

@@ -64,7 +64,10 @@ impl fmt::Display for CasError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::BadGeometry { n, p } => {
-                write!(f, "invalid CAS geometry: need 1 <= P <= N, got N={n}, P={p}")
+                write!(
+                    f,
+                    "invalid CAS geometry: need 1 <= P <= N, got N={n}, P={p}"
+                )
             }
             Self::TooManySchemes { n, p, count } => write!(
                 f,
@@ -83,7 +86,11 @@ impl fmt::Display for CasError {
                 f,
                 "configuration has {got} instructions for {expected} CASes"
             ),
-            Self::WireConflict { wire, first_cas, second_cas } => write!(
+            Self::WireConflict {
+                wire,
+                first_cas,
+                second_cas,
+            } => write!(
                 f,
                 "bus wire {wire} claimed by both CAS {first_cas} and CAS {second_cas}"
             ),
@@ -102,12 +109,20 @@ mod tests {
         let cases: Vec<(CasError, &str)> = vec![
             (CasError::BadGeometry { n: 2, p: 3 }, "N=2, P=3"),
             (
-                CasError::TooManySchemes { n: 20, p: 10, count: 670442572800 },
+                CasError::TooManySchemes {
+                    n: 20,
+                    p: 10,
+                    count: 670442572800,
+                },
                 "670442572800",
             ),
             (CasError::UnknownCas(7), "index 7"),
             (
-                CasError::WireConflict { wire: 3, first_cas: 0, second_cas: 2 },
+                CasError::WireConflict {
+                    wire: 3,
+                    first_cas: 0,
+                    second_cas: 2,
+                },
                 "wire 3",
             ),
         ];

@@ -142,9 +142,18 @@ mod tests {
 
     #[test]
     fn invalid_geometries_rejected() {
-        assert_eq!(CasGeometry::new(4, 0), Err(CasError::BadGeometry { n: 4, p: 0 }));
-        assert_eq!(CasGeometry::new(3, 4), Err(CasError::BadGeometry { n: 3, p: 4 }));
-        assert_eq!(CasGeometry::new(0, 0), Err(CasError::BadGeometry { n: 0, p: 0 }));
+        assert_eq!(
+            CasGeometry::new(4, 0),
+            Err(CasError::BadGeometry { n: 4, p: 0 })
+        );
+        assert_eq!(
+            CasGeometry::new(3, 4),
+            Err(CasError::BadGeometry { n: 3, p: 4 })
+        );
+        assert_eq!(
+            CasGeometry::new(0, 0),
+            Err(CasError::BadGeometry { n: 0, p: 0 })
+        );
     }
 
     #[test]

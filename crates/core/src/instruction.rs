@@ -38,7 +38,10 @@ impl CasInstruction {
         set.index_of(scheme.wires())
             .map(CasInstruction::Test)
             .ok_or_else(|| {
-                CasError::InvalidScheme(format!("scheme {scheme} not in set for {}", set.geometry()))
+                CasError::InvalidScheme(format!(
+                    "scheme {scheme} not in set for {}",
+                    set.geometry()
+                ))
             })
     }
 
@@ -80,7 +83,10 @@ impl CasInstruction {
     /// not fit `k` bits.
     pub fn encode(&self, scheme_count: usize, k: u32) -> BitVec {
         let opcode = self.opcode(scheme_count);
-        assert!(k <= 64, "instruction registers wider than 64 bits are unsupported");
+        assert!(
+            k <= 64,
+            "instruction registers wider than 64 bits are unsupported"
+        );
         assert!(
             k == 64 || opcode < 1u128 << k,
             "opcode {opcode} does not fit {k} bits"
@@ -156,7 +162,10 @@ mod tests {
     fn unassigned_codes_decode_to_bypass() {
         let set = set42(); // m = 14, k = 4: codes 14, 15 unassigned
         let bits = BitVec::from_u64(15, 4);
-        assert_eq!(CasInstruction::decode(&bits, set.len()), CasInstruction::Bypass);
+        assert_eq!(
+            CasInstruction::decode(&bits, set.len()),
+            CasInstruction::Bypass
+        );
     }
 
     #[test]
@@ -166,7 +175,10 @@ mod tests {
             CasInstruction::from_opcode(13, 12),
             Ok(CasInstruction::Configuration)
         );
-        assert_eq!(CasInstruction::from_opcode(12, 12), Ok(CasInstruction::Test(11)));
+        assert_eq!(
+            CasInstruction::from_opcode(12, 12),
+            Ok(CasInstruction::Test(11))
+        );
     }
 
     #[test]

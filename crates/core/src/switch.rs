@@ -59,7 +59,9 @@ impl SwitchScheme {
                 )));
             }
             if seen[wire] {
-                return Err(CasError::InvalidScheme(format!("wire {wire} assigned twice")));
+                return Err(CasError::InvalidScheme(format!(
+                    "wire {wire} assigned twice"
+                )));
             }
             seen[wire] = true;
         }
@@ -177,7 +179,10 @@ impl SwitchScheme {
         let mut available: Vec<usize> = (0..n).collect();
         let mut rank = 0usize;
         for (j, &wire) in self.wires.iter().enumerate() {
-            let pos = available.iter().position(|&w| w == wire).expect("wire available");
+            let pos = available
+                .iter()
+                .position(|&w| w == wire)
+                .expect("wire available");
             rank += pos * radices[j];
             available.remove(pos);
         }
@@ -267,10 +272,12 @@ impl SchemeSet {
     ///
     /// Returns [`CasError::SchemeIndexOutOfRange`] when `index ≥ len()`.
     pub fn scheme(&self, index: usize) -> Result<&SwitchScheme, CasError> {
-        self.schemes.get(index).ok_or(CasError::SchemeIndexOutOfRange {
-            index,
-            available: self.schemes.len(),
-        })
+        self.schemes
+            .get(index)
+            .ok_or(CasError::SchemeIndexOutOfRange {
+                index,
+                available: self.schemes.len(),
+            })
     }
 
     /// Finds the index of a scheme with the given wire assignment.
@@ -300,7 +307,10 @@ fn enumerate_rec(
     out: &mut Vec<SwitchScheme>,
 ) {
     if current.len() == geometry.switched_wires() {
-        out.push(SwitchScheme { geometry, wires: current.clone() });
+        out.push(SwitchScheme {
+            geometry,
+            wires: current.clone(),
+        });
         return;
     }
     for wire in 0..geometry.bus_width() {
@@ -327,7 +337,11 @@ mod tests {
         for (n, p) in [(3, 1), (4, 2), (4, 3), (5, 3), (6, 3), (8, 4)] {
             let geometry = g(n, p);
             let set = SchemeSet::enumerate(geometry).unwrap();
-            assert_eq!(set.len() as u128, geometry.test_scheme_count(), "N={n}, P={p}");
+            assert_eq!(
+                set.len() as u128,
+                geometry.test_scheme_count(),
+                "N={n}, P={p}"
+            );
         }
     }
 
@@ -456,7 +470,10 @@ mod tests {
         let set = SchemeSet::enumerate(g(3, 1)).unwrap();
         assert_eq!(
             set.scheme(3).unwrap_err(),
-            CasError::SchemeIndexOutOfRange { index: 3, available: 3 }
+            CasError::SchemeIndexOutOfRange {
+                index: 3,
+                available: 3
+            }
         );
     }
 }

@@ -28,7 +28,9 @@ impl TamConfiguration {
 
     /// The all-BYPASS configuration for `cas_count` CASes.
     pub fn all_bypass(cas_count: usize) -> Self {
-        Self { instructions: vec![CasInstruction::Bypass; cas_count] }
+        Self {
+            instructions: vec![CasInstruction::Bypass; cas_count],
+        }
     }
 
     /// The per-CAS instructions.
@@ -186,7 +188,11 @@ impl Tam {
     ///
     /// Returns [`CasError::UnknownCas`] or [`CasError::InvalidScheme`] when
     /// the window does not fit.
-    pub fn contiguous_test(&self, cas_index: usize, start: usize) -> Result<CasInstruction, CasError> {
+    pub fn contiguous_test(
+        &self,
+        cas_index: usize,
+        start: usize,
+    ) -> Result<CasInstruction, CasError> {
         let cas = self
             .chain
             .cases()
@@ -201,7 +207,11 @@ impl Tam {
     /// # Errors
     ///
     /// Same as [`Tam::contiguous_test`], plus scheme validation errors.
-    pub fn explicit_test(&self, cas_index: usize, wires: Vec<usize>) -> Result<CasInstruction, CasError> {
+    pub fn explicit_test(
+        &self,
+        cas_index: usize,
+        wires: Vec<usize>,
+    ) -> Result<CasInstruction, CasError> {
         let cas = self
             .chain
             .cases()
@@ -324,7 +334,14 @@ mod tests {
     fn too_narrow_bus_rejected() {
         let soc = catalog::figure1_soc(); // max P = 4
         let err = Tam::new(&soc, 3).unwrap_err();
-        assert!(matches!(err, CasError::BusTooNarrow { needed: 4, n: 3, .. }));
+        assert!(matches!(
+            err,
+            CasError::BusTooNarrow {
+                needed: 4,
+                n: 3,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -378,7 +395,13 @@ mod tests {
     fn unwrapped_bus_gets_no_cas() {
         use casbus_soc::{CoreDescription, SocBuilder, SystemBusDescription, TestMethod};
         let soc = SocBuilder::new("x")
-            .core(CoreDescription::new("c", TestMethod::Bist { width: 8, patterns: 1 }))
+            .core(CoreDescription::new(
+                "c",
+                TestMethod::Bist {
+                    width: 8,
+                    patterns: 1,
+                },
+            ))
             .system_bus(SystemBusDescription::unwrapped(16))
             .build()
             .unwrap();
@@ -393,7 +416,9 @@ mod tests {
         for session in 0..5 {
             let mut config = TamConfiguration::all_bypass(tam.cas_count());
             let target = session % tam.cas_count();
-            config.set(target, tam.contiguous_test(target, 0).unwrap()).unwrap();
+            config
+                .set(target, tam.contiguous_test(target, 0).unwrap())
+                .unwrap();
             tam.configure(&config).unwrap();
             assert!(tam.chain().cases()[target].instruction().is_test());
         }
@@ -414,10 +439,16 @@ mod tests {
         clash.set(1, tam.contiguous_test(1, 2).unwrap()).unwrap();
         assert_eq!(
             tam.check_exclusive(&clash),
-            Err(CasError::WireConflict { wire: 2, first_cas: 0, second_cas: 1 })
+            Err(CasError::WireConflict {
+                wire: 2,
+                first_cas: 0,
+                second_cas: 1
+            })
         );
         // Bypass everywhere never conflicts.
-        assert!(tam.check_exclusive(&TamConfiguration::all_bypass(2)).is_ok());
+        assert!(tam
+            .check_exclusive(&TamConfiguration::all_bypass(2))
+            .is_ok());
     }
 
     #[test]

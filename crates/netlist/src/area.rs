@@ -26,7 +26,11 @@ use crate::netlist::Netlist;
 /// assert_eq!(area::gate_equivalents(&nl), 1.5);
 /// ```
 pub fn gate_equivalents(netlist: &Netlist) -> f64 {
-    netlist.gates().iter().map(|g| g.kind.gate_equivalents()).sum()
+    netlist
+        .gates()
+        .iter()
+        .map(|g| g.kind.gate_equivalents())
+        .sum()
 }
 
 /// The three CAS implementation styles whose areas the paper discusses.

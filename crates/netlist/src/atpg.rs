@@ -6,12 +6,18 @@
 //! by fault simulation with **fault dropping** (a sequence is kept only when
 //! it detects a still-undetected fault), followed by reverse-order
 //! compaction.
+//!
+//! Grading runs on the bit-parallel engine ([`crate::sim_packed`]):
+//! candidates are batched 64 per [`PackedEngine::grade_block`] call and the
+//! per-lane detection masks are then replayed in candidate order, so fault
+//! dropping, the stopping conditions and the kept set are all identical to
+//! grading one candidate at a time.
 
 use casbus_tpg::BitVec;
 
 use crate::fault::{enumerate_faults, FaultSite};
 use crate::netlist::{Netlist, NetlistError};
-use crate::sim::{Simulator, Value};
+use crate::sim_packed::{PackedEngine, LANES};
 
 /// The outcome of a pattern-generation run.
 #[derive(Debug, Clone)]
@@ -69,56 +75,16 @@ impl Default for AtpgConfig {
     }
 }
 
-/// Fault-free responses of a sequence.
-fn golden_responses(
-    netlist: &Netlist,
-    sequence: &[BitVec],
-) -> Result<Vec<Vec<Value>>, NetlistError> {
-    let mut sim = Simulator::new(netlist)?;
-    Ok(sequence
-        .iter()
-        .map(|v| {
-            let bits: Vec<bool> = v.iter().collect();
-            sim.step(&bits).into_iter().map(|(_, val)| val).collect()
-        })
-        .collect())
-}
-
-/// Whether `fault` is detected by `sequence` (golden responses supplied).
-fn detects(
-    netlist: &Netlist,
-    fault: FaultSite,
-    sequence: &[BitVec],
-    golden: &[Vec<Value>],
-) -> Result<bool, NetlistError> {
-    let mut sim = Simulator::new(netlist)?;
-    sim.force_net(fault.net, match fault.stuck {
-        crate::fault::StuckAt::Zero => Value::Zero,
-        crate::fault::StuckAt::One => Value::One,
-    });
-    for (vector, good) in sequence.iter().zip(golden) {
-        let bits: Vec<bool> = vector.iter().collect();
-        let outs = sim.step(&bits);
-        for ((_, observed), expected) in outs.iter().zip(good) {
-            let differs = match (observed.to_bool(), expected.to_bool()) {
-                (Some(a), Some(b)) => a != b,
-                (None, Some(_)) | (Some(_), None) => true,
-                (None, None) => false,
-            };
-            if differs {
-                return Ok(true);
-            }
-        }
-    }
-    Ok(false)
-}
-
 /// Generates a compact stuck-at test set for `netlist`.
 ///
 /// Candidates are pseudo-random multi-cycle sequences; each is kept only if
 /// it detects at least one still-undetected fault (fault dropping). A final
 /// reverse-order compaction pass discards sequences whose detections are
 /// covered by the rest.
+///
+/// Candidates are fault-graded 64 at a time on the packed PPSFP engine;
+/// the result (kept sequences, coverage, candidates tried) is identical to
+/// grading them one by one.
 ///
 /// # Errors
 ///
@@ -142,9 +108,10 @@ pub fn generate_patterns(
     netlist: &Netlist,
     config: &AtpgConfig,
 ) -> Result<AtpgResult, NetlistError> {
-    netlist.validate()?;
+    let engine = PackedEngine::new(netlist)?;
     let faults = enumerate_faults(netlist);
     let total = faults.len();
+    let target_detected = (config.target_coverage * total as f64) as usize;
     let inputs = netlist.inputs().len();
     let mut undetected: Vec<FaultSite> = faults;
     let mut kept: Vec<(Vec<BitVec>, Vec<FaultSite>)> = Vec::new();
@@ -158,27 +125,50 @@ pub fn generate_patterns(
 
     let mut tried = 0usize;
     while tried < config.max_candidates
-        && (total - undetected.len()) < (config.target_coverage * total as f64) as usize
+        && (total - undetected.len()) < target_detected
         && !undetected.is_empty()
     {
-        tried += 1;
-        let sequence: Vec<BitVec> = (0..config.sequence_depth)
-            .map(|_| (0..inputs).map(|_| next_bit()).collect())
+        // Pre-generate one lane-block of candidates and grade them all in
+        // a single packed pass. Candidate `i` only depends on the stream
+        // position, so over-generating past a stopping point changes
+        // nothing the serial loop would have observed.
+        let batch_size = (config.max_candidates - tried).min(LANES);
+        let batch: Vec<Vec<BitVec>> = (0..batch_size)
+            .map(|_| {
+                (0..config.sequence_depth)
+                    .map(|_| (0..inputs).map(|_| next_bit()).collect())
+                    .collect()
+            })
             .collect();
-        let golden = golden_responses(netlist, &sequence)?;
-        let mut caught = Vec::new();
-        let mut still = Vec::with_capacity(undetected.len());
-        for fault in undetected {
-            if detects(netlist, fault, &sequence, &golden)? {
-                caught.push(fault);
-            } else {
-                still.push(fault);
+        let block = engine.build_golden(&batch);
+        let masks = engine.grade_block(&block, &undetected);
+        // Replay the lanes in candidate order with exact serial semantics:
+        // recheck the stopping conditions before consuming each lane, and
+        // drop caught faults before looking at the next lane.
+        let mut remaining: Vec<(FaultSite, u64)> = undetected.drain(..).zip(masks).collect();
+        for (lane, sequence) in batch.into_iter().enumerate() {
+            if !(tried < config.max_candidates
+                && (total - remaining.len()) < target_detected
+                && !remaining.is_empty())
+            {
+                break;
+            }
+            tried += 1;
+            let bit = 1u64 << lane;
+            let mut caught = Vec::new();
+            remaining.retain(|&(fault, mask)| {
+                if mask & bit != 0 {
+                    caught.push(fault);
+                    false
+                } else {
+                    true
+                }
+            });
+            if !caught.is_empty() {
+                kept.push((sequence, caught));
             }
         }
-        undetected = still;
-        if !caught.is_empty() {
-            kept.push((sequence, caught));
-        }
+        undetected = remaining.into_iter().map(|(fault, _)| fault).collect();
     }
 
     // Reverse-order compaction: drop sequences whose faults are all caught
@@ -221,7 +211,12 @@ mod tests {
     fn full_coverage_on_xor() {
         let nl = xor_netlist();
         let result = generate_patterns(&nl, &AtpgConfig::default()).unwrap();
-        assert_eq!(result.coverage(), 1.0, "undetected: {:?}", result.undetected);
+        assert_eq!(
+            result.coverage(),
+            1.0,
+            "undetected: {:?}",
+            result.undetected
+        );
         assert!(result.total_cycles() > 0);
     }
 
@@ -237,7 +232,10 @@ mod tests {
     #[test]
     fn respects_candidate_budget() {
         let nl = xor_netlist();
-        let config = AtpgConfig { max_candidates: 3, ..AtpgConfig::default() };
+        let config = AtpgConfig {
+            max_candidates: 3,
+            ..AtpgConfig::default()
+        };
         let result = generate_patterns(&nl, &config).unwrap();
         assert!(result.candidates_tried <= 3);
     }
@@ -262,6 +260,99 @@ mod tests {
         );
         // Compaction makes the set much smaller than the candidate count.
         assert!(result.sequences.len() < result.candidates_tried);
+    }
+
+    /// The pre-batching algorithm: one candidate at a time, graded with
+    /// the serial engine. Used to pin the packed/batched path's semantics.
+    fn reference_patterns(netlist: &Netlist, config: &AtpgConfig) -> AtpgResult {
+        let faults = enumerate_faults(netlist);
+        let total = faults.len();
+        let inputs = netlist.inputs().len();
+        let mut undetected = faults;
+        let mut kept: Vec<(Vec<BitVec>, Vec<FaultSite>)> = Vec::new();
+        let mut state = config.seed | 1;
+        let mut next_bit = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 62 & 1 == 1
+        };
+        let mut tried = 0usize;
+        while tried < config.max_candidates
+            && (total - undetected.len()) < (config.target_coverage * total as f64) as usize
+            && !undetected.is_empty()
+        {
+            tried += 1;
+            let sequence: Vec<BitVec> = (0..config.sequence_depth)
+                .map(|_| (0..inputs).map(|_| next_bit()).collect())
+                .collect();
+            let graded =
+                crate::fault::fault_simulate_serial(netlist, std::slice::from_ref(&sequence))
+                    .unwrap();
+            let missed: std::collections::HashSet<FaultSite> =
+                graded.undetected.iter().copied().collect();
+            let mut caught = Vec::new();
+            let mut still = Vec::with_capacity(undetected.len());
+            for fault in undetected {
+                if missed.contains(&fault) {
+                    still.push(fault);
+                } else {
+                    caught.push(fault);
+                }
+            }
+            undetected = still;
+            if !caught.is_empty() {
+                kept.push((sequence, caught));
+            }
+        }
+        let mut compacted: Vec<Vec<BitVec>> = Vec::new();
+        let mut covered: std::collections::HashSet<FaultSite> = std::collections::HashSet::new();
+        for (sequence, caught) in kept.iter().rev() {
+            if caught.iter().any(|f| !covered.contains(f)) {
+                for f in caught {
+                    covered.insert(*f);
+                }
+                compacted.push(sequence.clone());
+            }
+        }
+        compacted.reverse();
+        AtpgResult {
+            detected: covered.len(),
+            sequences: compacted,
+            total,
+            undetected,
+            candidates_tried: tried,
+        }
+    }
+
+    #[test]
+    fn batched_grading_matches_one_at_a_time() {
+        use casbus::{CasGeometry, SchemeSet};
+        let set = SchemeSet::enumerate(CasGeometry::new(3, 1).unwrap()).unwrap();
+        let cas = crate::synth::synthesize_cas(&set);
+        let configs = [
+            AtpgConfig::default(),
+            AtpgConfig {
+                max_candidates: 3,
+                ..AtpgConfig::default()
+            },
+            AtpgConfig {
+                target_coverage: 0.9,
+                max_candidates: 40,
+                sequence_depth: 6,
+                seed: 7,
+            },
+        ];
+        for nl in [&xor_netlist(), &cas] {
+            for config in &configs {
+                let batched = generate_patterns(nl, config).unwrap();
+                let reference = reference_patterns(nl, config);
+                assert_eq!(batched.sequences, reference.sequences);
+                assert_eq!(batched.detected, reference.detected);
+                assert_eq!(batched.undetected, reference.undetected);
+                assert_eq!(batched.candidates_tried, reference.candidates_tried);
+            }
+        }
     }
 
     #[test]

@@ -73,15 +73,21 @@ pub fn synthesize_crosspoint_cas(geometry: CasGeometry) -> Netlist {
     // Per-port one-hot wire selects from each port's private field.
     // sel[j][w] = (field_j == w) AND not_config.
     let mut sel = vec![vec![NetId(usize::MAX); n]; p];
-    for j in 0..p {
+    for (j, sel_row) in sel.iter_mut().enumerate() {
         let field = &shadow[j * bits..(j + 1) * bits];
         let field_n = &shadow_n[j * bits..(j + 1) * bits];
-        for w in 0..n {
+        for (w, slot) in sel_row.iter_mut().enumerate() {
             let literals: Vec<NetId> = (0..bits)
-                .map(|b| if w >> b & 1 == 1 { field[b] } else { field_n[b] })
+                .map(|b| {
+                    if w >> b & 1 == 1 {
+                        field[b]
+                    } else {
+                        field_n[b]
+                    }
+                })
                 .collect();
             let hot = nl.and_tree(&literals);
-            sel[j][w] = nl.and2(hot, not_config);
+            *slot = nl.and2(hot, not_config);
         }
     }
 
@@ -187,8 +193,12 @@ mod tests {
         inputs[2 + n..].copy_from_slice(i);
         sim.set_inputs(&inputs);
         sim.eval();
-        let s = (0..n).map(|w| sim.output(&format!("s{w}")).unwrap()).collect();
-        let o = (0..p).map(|j| sim.output(&format!("o{j}")).unwrap()).collect();
+        let s = (0..n)
+            .map(|w| sim.output(&format!("s{w}")).unwrap())
+            .collect();
+        let o = (0..p)
+            .map(|j| sim.output(&format!("o{j}")).unwrap())
+            .collect();
         sim.clock();
         (s, o)
     }
@@ -215,9 +225,7 @@ mod tests {
     fn beats_dense_design_on_wide_busses() {
         // The paper's claim, measured on real netlists.
         for (n, p) in [(6usize, 5usize), (8, 4)] {
-            let dense = crate::synth::synthesize_cas(
-                &SchemeSet::enumerate(g(n, p)).unwrap(),
-            );
+            let dense = crate::synth::synthesize_cas(&SchemeSet::enumerate(g(n, p)).unwrap());
             let crosspoint = synthesize_crosspoint_cas(g(n, p));
             let dense_area = gate_equivalents(&dense);
             let xp_area = gate_equivalents(&crosspoint);

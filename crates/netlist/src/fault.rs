@@ -1,10 +1,17 @@
-//! Single-stuck-at fault model and serial fault simulation.
+//! Single-stuck-at fault model and fault simulation.
 //!
 //! Generated CASes become part of the SoC's test infrastructure, so they
 //! must themselves be testable. This module grades pattern sets against the
 //! classic single-stuck-at fault model: every gate output and primary input
 //! can be stuck at 0 or 1; a fault is *detected* by a pattern whose primary
 //! outputs differ from the fault-free response.
+//!
+//! [`fault_simulate`] routes through the bit-parallel PPSFP engine
+//! ([`crate::sim_packed`]): 64 pattern sequences per machine word, per-fault
+//! fanout-cone propagation, faults partitioned across OS threads. The
+//! straightforward one-fault-at-a-time implementation is kept as
+//! [`fault_simulate_serial`]; both produce identical [`FaultCoverage`]
+//! values (same `detected` count *and* the same `undetected` list).
 
 use std::fmt;
 
@@ -65,8 +72,14 @@ pub fn enumerate_faults(netlist: &Netlist) -> Vec<FaultSite> {
     nets.iter()
         .flat_map(|&net| {
             [
-                FaultSite { net, stuck: StuckAt::Zero },
-                FaultSite { net, stuck: StuckAt::One },
+                FaultSite {
+                    net,
+                    stuck: StuckAt::Zero,
+                },
+                FaultSite {
+                    net,
+                    stuck: StuckAt::One,
+                },
             ]
         })
         .collect()
@@ -113,12 +126,14 @@ fn faulty_simulator(netlist: &Netlist, fault: FaultSite) -> Result<Simulator<'_>
     Ok(sim)
 }
 
-/// Grades `patterns` (primary-input vectors, declaration order) against the
-/// full single-stuck-at fault list of `netlist`.
+/// Grades `sequences` (multi-cycle primary-input vector sequences, each
+/// starting from the power-on state) against the full single-stuck-at fault
+/// list of `netlist`.
 ///
-/// Each pattern is applied for one clock from the power-on state per fault
-/// (combinational grading with registers cleared); sequential depth can be
-/// exercised by passing multi-cycle vector sequences via `sequences`.
+/// This is the bit-parallel (PPSFP) path: sequences are packed 64 per
+/// machine word, each fault only re-simulates its fanout cone against the
+/// shared fault-free response, and the fault list is partitioned across OS
+/// threads. The result is bit-identical to [`fault_simulate_serial`].
 ///
 /// # Errors
 ///
@@ -127,14 +142,36 @@ pub fn fault_simulate(
     netlist: &Netlist,
     sequences: &[Vec<BitVec>],
 ) -> Result<FaultCoverage, NetlistError> {
+    let engine = crate::sim_packed::PackedEngine::new(netlist)?;
+    Ok(engine.fault_coverage(sequences))
+}
+
+/// The one-fault-at-a-time reference implementation of [`fault_simulate`].
+///
+/// Kept for differential testing of the packed engine and as executable
+/// documentation of the detection semantics. Input vectors are unpacked
+/// from [`BitVec`] to `Vec<bool>` once up front, outside the per-fault
+/// loop.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn fault_simulate_serial(
+    netlist: &Netlist,
+    sequences: &[Vec<BitVec>],
+) -> Result<FaultCoverage, NetlistError> {
+    // Unpack every vector once; the per-fault inner loop reuses the slices.
+    let unpacked: Vec<Vec<Vec<bool>>> = sequences
+        .iter()
+        .map(|seq| seq.iter().map(|vector| vector.iter().collect()).collect())
+        .collect();
     // Golden responses per sequence.
     let mut golden: Vec<Vec<Vec<Value>>> = Vec::with_capacity(sequences.len());
-    for seq in sequences {
+    for seq in &unpacked {
         let mut sim = Simulator::new(netlist)?;
         let mut responses = Vec::with_capacity(seq.len());
-        for vector in seq {
-            let bits: Vec<bool> = vector.iter().collect();
-            let outs = sim.step(&bits);
+        for bits in seq {
+            let outs = sim.step(bits);
             responses.push(outs.into_iter().map(|(_, v)| v).collect());
         }
         golden.push(responses);
@@ -145,12 +182,10 @@ pub fn fault_simulate(
     let mut undetected = Vec::new();
     for &fault in &faults {
         let mut caught = false;
-        'seqs: for (seq, gold) in sequences.iter().zip(&golden) {
+        'seqs: for (seq, gold) in unpacked.iter().zip(&golden) {
             let mut faulty = faulty_simulator(netlist, fault)?;
-            for (vector, good) in seq.iter().zip(gold) {
-                let bits: Vec<bool> = vector.iter().collect();
-                let outs: Vec<Value> =
-                    faulty.step(&bits).into_iter().map(|(_, v)| v).collect();
+            for (bits, good) in seq.iter().zip(gold) {
+                let outs: Vec<Value> = faulty.step(bits).into_iter().map(|(_, v)| v).collect();
                 let differs = outs.iter().zip(good).any(|(f, g)| {
                     match (f.to_bool(), g.to_bool()) {
                         (Some(a), Some(b)) => a != b,
@@ -171,7 +206,11 @@ pub fn fault_simulate(
             undetected.push(fault);
         }
     }
-    Ok(FaultCoverage { total: faults.len(), detected, undetected })
+    Ok(FaultCoverage {
+        total: faults.len(),
+        detected,
+        undetected,
+    })
 }
 
 #[cfg(test)]
@@ -256,10 +295,19 @@ mod tests {
 
     #[test]
     fn coverage_display() {
-        let cov = FaultCoverage { total: 10, detected: 9, undetected: vec![] };
+        let cov = FaultCoverage {
+            total: 10,
+            detected: 9,
+            undetected: vec![],
+        };
         assert!(cov.to_string().contains("90.0%"));
         assert_eq!(
-            FaultCoverage { total: 0, detected: 0, undetected: vec![] }.coverage(),
+            FaultCoverage {
+                total: 0,
+                detected: 0,
+                undetected: vec![]
+            }
+            .coverage(),
             1.0
         );
     }

@@ -15,8 +15,13 @@
 //! * [`area`] — gate counting and area models, including the two §3.3
 //!   "future work" variants (optimized gate-level and pass-transistor
 //!   estimates),
-//! * [`fault`] — a single-stuck-at fault model plus a serial fault
-//!   simulator, giving fault-coverage numbers for generated CASes.
+//! * [`fault`] — a single-stuck-at fault model plus fault simulation,
+//!   giving fault-coverage numbers for generated CASes,
+//! * [`sim_packed`] — the bit-parallel (PPSFP) fault-simulation engine:
+//!   64 patterns per machine word, per-fault fanout-cone propagation and
+//!   threaded fault partitioning. [`fault::fault_simulate`] uses it by
+//!   default; the serial reference remains as
+//!   [`fault::fault_simulate_serial`].
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@ pub mod gate;
 pub mod netlist;
 pub mod opt;
 pub mod sim;
+pub mod sim_packed;
 pub mod synth;
 
 pub use crate::netlist::{Gate, NetId, Netlist, NetlistError};
@@ -51,3 +57,4 @@ pub use area::{AreaModel, AreaReport};
 pub use fault::{FaultCoverage, FaultSite, StuckAt};
 pub use gate::GateKind;
 pub use sim::{Simulator, Value};
+pub use sim_packed::{GoldenBlock, PackedEngine, PackedWord, LANES};

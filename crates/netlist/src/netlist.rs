@@ -122,10 +122,7 @@ impl Netlist {
     /// Panics on a duplicate port name.
     pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
         let name = name.into();
-        assert!(
-            !self.port_exists(&name),
-            "duplicate port name {name:?}"
-        );
+        assert!(!self.port_exists(&name), "duplicate port name {name:?}");
         let net = self.new_net();
         self.inputs.push((name, net));
         net
@@ -138,10 +135,7 @@ impl Netlist {
     /// Panics on a duplicate port name.
     pub fn mark_output(&mut self, name: impl Into<String>, net: NetId) {
         let name = name.into();
-        assert!(
-            !self.port_exists(&name),
-            "duplicate port name {name:?}"
-        );
+        assert!(!self.port_exists(&name), "duplicate port name {name:?}");
         self.outputs.push((name, net));
     }
 
@@ -163,7 +157,11 @@ impl Netlist {
             inputs.len()
         );
         let output = self.new_net();
-        self.gates.push(Gate { kind, inputs, output });
+        self.gates.push(Gate {
+            kind,
+            inputs,
+            output,
+        });
         output
     }
 
@@ -406,7 +404,11 @@ mod tests {
         let a = nl.add_input("a");
         let x = nl.not(a);
         // Illegally drive x again with a non-tri-state gate.
-        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![a], output: x });
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![a],
+            output: x,
+        });
         assert_eq!(nl.validate(), Err(NetlistError::MultipleDrivers(x)));
     }
 
@@ -438,7 +440,11 @@ mod tests {
         let x = nl.new_net();
         let y = nl.and2(a, x);
         // Close the loop: x driven by a gate reading y.
-        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![y], output: x });
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![y],
+            output: x,
+        });
         assert_eq!(nl.validate(), Err(NetlistError::CombinationalCycle));
     }
 
@@ -451,7 +457,11 @@ mod tests {
         let d = nl.not(q_placeholder);
         let q = nl.dff_e(d, en);
         // Rewire: replace placeholder by aliasing with a Buf.
-        nl.gates.push(Gate { kind: GateKind::Buf, inputs: vec![q], output: q_placeholder });
+        nl.gates.push(Gate {
+            kind: GateKind::Buf,
+            inputs: vec![q],
+            output: q_placeholder,
+        });
         nl.mark_output("q", q);
         nl.validate().unwrap();
     }

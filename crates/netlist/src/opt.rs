@@ -166,8 +166,12 @@ impl Rewriter {
 fn commutative(kind: GateKind) -> bool {
     matches!(
         kind,
-        GateKind::And2 | GateKind::Or2 | GateKind::Nand2 | GateKind::Nor2
-            | GateKind::Xor2 | GateKind::Xnor2
+        GateKind::And2
+            | GateKind::Or2
+            | GateKind::Nand2
+            | GateKind::Nor2
+            | GateKind::Xor2
+            | GateKind::Xnor2
     )
 }
 
@@ -471,7 +475,7 @@ mod tests {
             for t in 0..6u32 {
                 let mut inputs = vec![false; 8];
                 for w in 0..4 {
-                    inputs[2 + w] = (t as usize + w) % 2 == 0;
+                    inputs[2 + w] = (t as usize + w).is_multiple_of(2);
                 }
                 inputs[6] = t % 3 == 0;
                 inputs[7] = t % 2 == 1;

@@ -73,42 +73,61 @@ impl fmt::Display for Value {
 /// Returns [`NetlistError::CombinationalCycle`] when no such order exists.
 pub fn levelize(netlist: &Netlist) -> Result<Vec<usize>, NetlistError> {
     let nets = netlist.net_count();
-    // pending[net] = number of *combinational* drivers not yet evaluated.
+    let gates = netlist.gates();
+    // pending[net] = number of *combinational* drivers not yet evaluated. A
+    // net is resolved once every such driver is scheduled; nets driven only
+    // by flip-flops or primary inputs are resolved from the start.
     let mut pending = vec![0usize; nets];
-    for gate in netlist.gates() {
+    let mut comb_total = 0usize;
+    for gate in gates {
         if !gate.kind.is_sequential() {
             pending[gate.output.0] += 1;
+            comb_total += 1;
         }
     }
-    let mut order = Vec::new();
-    let mut scheduled = vec![false; netlist.gates().len()];
-    let comb_total = netlist
-        .gates()
-        .iter()
-        .filter(|g| !g.kind.is_sequential())
-        .count();
-    // Iteratively schedule every combinational gate whose inputs are fully
-    // resolved. O(V·E) worst case, fine at CAS sizes.
-    loop {
-        let mut progressed = false;
-        for (idx, gate) in netlist.gates().iter().enumerate() {
-            if scheduled[idx] || gate.kind.is_sequential() {
-                continue;
-            }
-            let ready = gate.inputs.iter().all(|n| pending[n.0] == 0);
-            if ready {
-                scheduled[idx] = true;
-                pending[gate.output.0] -= 1;
-                order.push(idx);
-                progressed = true;
+    // readers[net] = combinational gates with that net on an input pin
+    // (counted once per pin, so a gate reading a net twice waits twice).
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); nets];
+    // waiting[gate] = input pins still connected to unresolved nets.
+    let mut waiting = vec![0usize; gates.len()];
+    for (idx, gate) in gates.iter().enumerate() {
+        if gate.kind.is_sequential() {
+            continue;
+        }
+        for input in &gate.inputs {
+            if pending[input.0] > 0 {
+                readers[input.0].push(idx);
+                waiting[idx] += 1;
             }
         }
-        if order.len() == comb_total {
-            return Ok(order);
+    }
+    // Kahn's algorithm over the net-resolution dependency graph: O(V+E).
+    // The FIFO is seeded in gate-index order, keeping the order
+    // deterministic for a given netlist.
+    let mut order = Vec::with_capacity(comb_total);
+    let mut queue = std::collections::VecDeque::new();
+    for (idx, gate) in gates.iter().enumerate() {
+        if !gate.kind.is_sequential() && waiting[idx] == 0 {
+            queue.push_back(idx);
         }
-        if !progressed {
-            return Err(NetlistError::CombinationalCycle);
+    }
+    while let Some(idx) = queue.pop_front() {
+        order.push(idx);
+        let output = gates[idx].output.0;
+        pending[output] -= 1;
+        if pending[output] == 0 {
+            for &reader in &readers[output] {
+                waiting[reader] -= 1;
+                if waiting[reader] == 0 {
+                    queue.push_back(reader);
+                }
+            }
         }
+    }
+    if order.len() == comb_total {
+        Ok(order)
+    } else {
+        Err(NetlistError::CombinationalCycle)
     }
 }
 
@@ -264,7 +283,7 @@ impl<'a> Simulator<'a> {
     }
 
     fn eval_gate(&self, gate_idx: usize) -> Value {
-        use Value::{One, X, Z, Zero};
+        use Value::{One, Zero, X, Z};
         let gate = &self.netlist.gates()[gate_idx];
         let input = |pin: usize| self.nets[gate.inputs[pin].0].as_logic();
         match gate.kind {
@@ -363,7 +382,7 @@ impl<'a> Simulator<'a> {
 }
 
 fn and(a: Value, b: Value) -> Value {
-    use Value::{One, X, Zero};
+    use Value::{One, Zero, X};
     match (a, b) {
         (Zero, _) | (_, Zero) => Zero,
         (One, One) => One,
@@ -372,7 +391,7 @@ fn and(a: Value, b: Value) -> Value {
 }
 
 fn or(a: Value, b: Value) -> Value {
-    use Value::{One, X, Zero};
+    use Value::{One, Zero, X};
     match (a, b) {
         (One, _) | (_, One) => One,
         (Zero, Zero) => Zero,
@@ -522,10 +541,7 @@ mod tests {
             seen.push(outs[0].1);
         }
         // Output is the input delayed by 3 clocks.
-        assert_eq!(
-            seen[3..],
-            [Value::One, Value::Zero, Value::One][..],
-        );
+        assert_eq!(seen[3..], [Value::One, Value::Zero, Value::One][..],);
     }
 
     #[test]

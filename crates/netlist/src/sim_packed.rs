@@ -1,0 +1,854 @@
+//! Bit-parallel (PPSFP) packed 4-value simulation and fault grading.
+//!
+//! The serial fault simulator rebuilds a full [`Simulator`](crate::Simulator)
+//! per fault and re-evaluates every gate for every pattern:
+//! O(faults × patterns × gates). This module is the industrial answer —
+//! *pattern-parallel single-fault propagation*:
+//!
+//! * **Packed values** — every net carries 64 simulation lanes per
+//!   [`PackedWord`]; one lane is one test *sequence* (its own power-on
+//!   register state). Gates evaluate all 64 lanes with a handful of bitwise
+//!   ops. The encoding is three disjoint planes (`one`/`zero`/`z`, with X as
+//!   "none set"), which represents the full 4-value algebra of
+//!   [`Value`](crate::Value) *exactly* — no conservative fallback to the
+//!   serial engine is ever needed, and results are bit-identical to it.
+//! * **Golden once, cones per fault** — the fault-free response of every net
+//!   at every cycle is computed once per 64-lane block. Each fault then only
+//!   re-evaluates its static fanout cone (levelized, closed over tri-state
+//!   bus driver groups and flip-flop boundaries), reading clean nets from
+//!   the golden snapshot, and stops at the first cycle whose output word
+//!   differs.
+//! * **Threaded fault partitioning** — the fault list is split across OS
+//!   threads with `std::thread::scope`; golden blocks are shared immutably,
+//!   each thread owns its scratch overlay. Results are merged in enumeration
+//!   order, so the outcome is deterministic and thread-count independent.
+
+use casbus_tpg::BitVec;
+
+use crate::fault::{enumerate_faults, FaultCoverage, FaultSite, StuckAt};
+use crate::gate::GateKind;
+use crate::netlist::{Netlist, NetlistError};
+use crate::sim::levelize;
+
+/// Lanes per packed word.
+pub const LANES: usize = 64;
+
+/// 64 lanes of 4-value logic, one bit per lane in each plane.
+///
+/// Exactly one plane bit is set for a lane at 0, 1 or Z; a lane with no
+/// plane bit set is X. The planes are kept disjoint by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PackedWord {
+    /// Lanes at logic 1.
+    pub one: u64,
+    /// Lanes at logic 0.
+    pub zero: u64,
+    /// Lanes at high impedance.
+    pub z: u64,
+}
+
+impl PackedWord {
+    /// All lanes at logic 0.
+    pub const ZERO: Self = Self {
+        one: 0,
+        zero: u64::MAX,
+        z: 0,
+    };
+    /// All lanes at high impedance.
+    pub const Z: Self = Self {
+        one: 0,
+        zero: 0,
+        z: u64::MAX,
+    };
+
+    /// A word with `mask` lanes at 1 and the remaining lanes at 0.
+    pub fn from_ones(mask: u64) -> Self {
+        Self {
+            one: mask,
+            zero: !mask,
+            z: 0,
+        }
+    }
+
+    /// Lanes holding a driven, known 0 or 1.
+    pub fn known(self) -> u64 {
+        self.one | self.zero
+    }
+
+    /// Lanes where this word and `golden` would be told apart by a tester:
+    /// both known with different values, or exactly one of the two known
+    /// (a driven-vs-floating discrepancy). Mirrors the serial detector.
+    pub fn detect(self, golden: Self) -> u64 {
+        let fk = self.known();
+        let gk = golden.known();
+        (fk & gk & (self.one ^ golden.one)) | (fk ^ gk)
+    }
+}
+
+/// `NOT` over a packed word (X and Z both yield X, as at a gate pin).
+fn not(a: PackedWord) -> PackedWord {
+    PackedWord {
+        one: a.zero,
+        zero: a.one,
+        z: 0,
+    }
+}
+
+/// `AND2` over packed words.
+fn and(a: PackedWord, b: PackedWord) -> PackedWord {
+    PackedWord {
+        one: a.one & b.one,
+        zero: a.zero | b.zero,
+        z: 0,
+    }
+}
+
+/// `OR2` over packed words.
+fn or(a: PackedWord, b: PackedWord) -> PackedWord {
+    PackedWord {
+        one: a.one | b.one,
+        zero: a.zero & b.zero,
+        z: 0,
+    }
+}
+
+/// `XOR2` over packed words (X wherever either side is unknown).
+fn xor(a: PackedWord, b: PackedWord) -> PackedWord {
+    let known = a.known() & b.known();
+    let v = a.one ^ b.one;
+    PackedWord {
+        one: known & v,
+        zero: known & !v,
+        z: 0,
+    }
+}
+
+/// `MUX2` (`sel ? b : a`), including the X-select "both sides agree" rule.
+fn mux(sel: PackedWord, a: PackedWord, b: PackedWord) -> PackedWord {
+    let sx = !(sel.one | sel.zero);
+    PackedWord {
+        one: (sel.zero & a.one) | (sel.one & b.one) | (sx & a.one & b.one),
+        zero: (sel.zero & a.zero) | (sel.one & b.zero) | (sx & a.zero & b.zero),
+        z: 0,
+    }
+}
+
+/// Tri-state buffer: drives `data` when `en` is 1, Z when 0, X otherwise.
+fn tribuf(en: PackedWord, data: PackedWord) -> PackedWord {
+    PackedWord {
+        one: en.one & data.one,
+        zero: en.one & data.zero,
+        z: en.zero,
+    }
+}
+
+/// Wired-bus resolution of one more driver against the current bus word.
+fn resolve_bus(current: PackedWord, driven: PackedWord) -> PackedWord {
+    PackedWord {
+        one: (current.z & driven.one) | (driven.z & current.one) | (current.one & driven.one),
+        zero: (current.z & driven.zero) | (driven.z & current.zero) | (current.zero & driven.zero),
+        z: current.z & driven.z,
+    }
+}
+
+/// Enabled flip-flop next-state: captures `d` where `en` is 1, holds where
+/// `en` is 0, and goes X where `en` is unknown.
+fn clock_dff(q: PackedWord, d: PackedWord, en: PackedWord) -> PackedWord {
+    PackedWord {
+        one: (en.one & d.one) | (en.zero & q.one),
+        zero: (en.one & d.zero) | (en.zero & q.zero),
+        z: 0,
+    }
+}
+
+/// The fault-free response of one ≤64-lane block: a post-evaluation
+/// snapshot of every net at every cycle, plus the per-cycle active-lane
+/// masks (lanes whose sequence is still supplying vectors).
+#[derive(Debug, Clone)]
+pub struct GoldenBlock {
+    cycles: usize,
+    net_count: usize,
+    /// `nets[cycle * net_count + net]`, values after combinational eval.
+    nets: Vec<PackedWord>,
+    /// Per cycle: lanes whose sequence length exceeds the cycle index.
+    active: Vec<u64>,
+    /// Union of all active lanes.
+    all_lanes: u64,
+}
+
+impl GoldenBlock {
+    /// Mask of every lane carried by this block.
+    pub fn lane_mask(&self) -> u64 {
+        self.all_lanes
+    }
+
+    fn cycle(&self, t: usize) -> &[PackedWord] {
+        &self.nets[t * self.net_count..(t + 1) * self.net_count]
+    }
+}
+
+/// Per-thread mutable state for fault propagation. Reused across faults;
+/// stale entries are invalidated by epoch stamps rather than clearing.
+#[derive(Debug)]
+struct Scratch {
+    /// Faulty net values, valid where `net_stamp` matches the fault epoch.
+    overlay: Vec<PackedWord>,
+    /// Fault epoch per net: marks the static dirty set of the current cone.
+    net_stamp: Vec<u64>,
+    /// Fault epoch per gate: marks cone membership during the BFS.
+    gate_stamp: Vec<u64>,
+    /// Cycle token per net: marks bus nets already Z-reset this cycle.
+    bus_stamp: Vec<u64>,
+    /// Faulty register state per flip-flop slot (cone slots only).
+    faulty_state: Vec<PackedWord>,
+    epoch: u64,
+    cycle_token: u64,
+    /// Combinational cone gates, levelized order.
+    cone_gates: Vec<usize>,
+    /// Sequential gates inside the cone.
+    cone_dffs: Vec<usize>,
+    /// Primary-output nets inside the dirty set.
+    dirty_outputs: Vec<usize>,
+    /// BFS worklist of dirty nets.
+    queue: Vec<usize>,
+}
+
+impl Scratch {
+    fn new(engine: &PackedEngine<'_>) -> Self {
+        let nets = engine.netlist.net_count();
+        let gates = engine.netlist.gates().len();
+        Self {
+            overlay: vec![PackedWord::Z; nets],
+            net_stamp: vec![0; nets],
+            gate_stamp: vec![0; gates],
+            bus_stamp: vec![0; nets],
+            faulty_state: vec![PackedWord::ZERO; engine.dff_gates.len()],
+            epoch: 0,
+            cycle_token: 0,
+            cone_gates: Vec::new(),
+            cone_dffs: Vec::new(),
+            dirty_outputs: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+}
+
+/// A reusable pattern-parallel single-fault-propagation engine over one
+/// netlist. Construction levelizes the circuit and prebuilds fanout and
+/// bus-driver indices; the engine can then grade any number of pattern
+/// blocks and fault lists without touching the netlist again.
+#[derive(Debug)]
+pub struct PackedEngine<'a> {
+    netlist: &'a Netlist,
+    /// Combinational gates in evaluation order.
+    order: Vec<usize>,
+    /// Evaluation-order position per gate (combinational gates only).
+    pos: Vec<usize>,
+    /// Per net: gates reading it on at least one pin.
+    readers: Vec<Vec<usize>>,
+    /// Per net: tri-state gates driving it (non-empty only for bus nets).
+    bus_drivers: Vec<Vec<usize>>,
+    /// Nets with at least one tri-state driver.
+    bus_nets: Vec<usize>,
+    /// Sequential gate indices; slot order matches the serial simulator.
+    dff_gates: Vec<usize>,
+    /// Per gate: its flip-flop slot, or `usize::MAX`.
+    dff_slot: Vec<usize>,
+    input_nets: Vec<usize>,
+    output_nets: Vec<usize>,
+    /// Worker-thread override; `None` means one per available core.
+    threads: Option<usize>,
+}
+
+impl<'a> PackedEngine<'a> {
+    /// Builds the engine; fails on malformed netlists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Netlist::validate`] errors.
+    pub fn new(netlist: &'a Netlist) -> Result<Self, NetlistError> {
+        netlist.validate()?;
+        let order = levelize(netlist)?;
+        let gates = netlist.gates();
+        let mut pos = vec![usize::MAX; gates.len()];
+        for (p, &g) in order.iter().enumerate() {
+            pos[g] = p;
+        }
+        let mut readers: Vec<Vec<usize>> = vec![Vec::new(); netlist.net_count()];
+        for (idx, gate) in gates.iter().enumerate() {
+            for input in &gate.inputs {
+                if readers[input.0].last() != Some(&idx) {
+                    readers[input.0].push(idx);
+                }
+            }
+        }
+        let mut bus_drivers: Vec<Vec<usize>> = vec![Vec::new(); netlist.net_count()];
+        for (idx, gate) in gates.iter().enumerate() {
+            if gate.kind.is_tristate() {
+                bus_drivers[gate.output.0].push(idx);
+            }
+        }
+        let bus_nets: Vec<usize> = (0..netlist.net_count())
+            .filter(|&n| !bus_drivers[n].is_empty())
+            .collect();
+        let dff_gates: Vec<usize> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind.is_sequential())
+            .map(|(i, _)| i)
+            .collect();
+        let mut dff_slot = vec![usize::MAX; gates.len()];
+        for (slot, &g) in dff_gates.iter().enumerate() {
+            dff_slot[g] = slot;
+        }
+        Ok(Self {
+            order,
+            pos,
+            readers,
+            bus_drivers,
+            bus_nets,
+            dff_gates,
+            dff_slot,
+            input_nets: netlist.inputs().iter().map(|&(_, n)| n.0).collect(),
+            output_nets: netlist.outputs().iter().map(|&(_, n)| n.0).collect(),
+            netlist,
+            threads: None,
+        })
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1). The
+    /// default is one worker per available core. Results are identical for
+    /// any thread count; this knob exists for scaling experiments and for
+    /// deterministic testing of the partitioned path.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// The underlying netlist.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Evaluates one combinational gate from packed input words.
+    fn eval_gate(&self, gate_idx: usize, read: &impl Fn(usize) -> PackedWord) -> PackedWord {
+        let gate = &self.netlist.gates()[gate_idx];
+        let input = |pin: usize| read(gate.inputs[pin].0);
+        match gate.kind {
+            GateKind::Const(b) => {
+                if b {
+                    PackedWord::from_ones(u64::MAX)
+                } else {
+                    PackedWord::ZERO
+                }
+            }
+            GateKind::Buf => not(not(input(0))),
+            GateKind::Not => not(input(0)),
+            GateKind::And2 => and(input(0), input(1)),
+            GateKind::Nand2 => not(and(input(0), input(1))),
+            GateKind::Or2 => or(input(0), input(1)),
+            GateKind::Nor2 => not(or(input(0), input(1))),
+            GateKind::Xor2 => xor(input(0), input(1)),
+            GateKind::Xnor2 => not(xor(input(0), input(1))),
+            GateKind::Mux2 => mux(input(0), input(1), input(2)),
+            GateKind::TriBuf => tribuf(input(0), input(1)),
+            GateKind::DffE => unreachable!("sequential gates are not levelized"),
+        }
+    }
+
+    /// Simulates the fault-free circuit over up to [`LANES`] sequences
+    /// (lane `l` runs `sequences[l]` from power-on) and snapshots every
+    /// net at every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than [`LANES`] sequences are supplied or a vector's
+    /// width differs from the primary-input count.
+    pub fn build_golden(&self, sequences: &[Vec<BitVec>]) -> GoldenBlock {
+        assert!(
+            sequences.len() <= LANES,
+            "a block holds at most {LANES} lanes"
+        );
+        let net_count = self.netlist.net_count();
+        let cycles = sequences.iter().map(Vec::len).max().unwrap_or(0);
+        let mut active = Vec::with_capacity(cycles);
+        for t in 0..cycles {
+            let mut mask = 0u64;
+            for (lane, seq) in sequences.iter().enumerate() {
+                if t < seq.len() {
+                    mask |= 1 << lane;
+                }
+            }
+            active.push(mask);
+        }
+        let all_lanes = active.iter().fold(0, |a, &m| a | m);
+
+        let gates = self.netlist.gates();
+        let mut nets = vec![PackedWord::Z; net_count];
+        let mut state = vec![PackedWord::ZERO; self.dff_gates.len()];
+        let mut snapshot = Vec::with_capacity(cycles * net_count);
+        for t in 0..cycles {
+            // Primary inputs, packed lane-wise via word-level BitVec access.
+            for (i, &net) in self.input_nets.iter().enumerate() {
+                let mut word = 0u64;
+                for (lane, seq) in sequences.iter().enumerate() {
+                    if t < seq.len() {
+                        let vector = &seq[t];
+                        assert_eq!(
+                            vector.len(),
+                            self.input_nets.len(),
+                            "input vector length mismatch"
+                        );
+                        word |= (vector.word(i / 64) >> (i % 64) & 1) << lane;
+                    }
+                }
+                nets[net] = PackedWord::from_ones(word);
+            }
+            // Register outputs drive their nets.
+            for (slot, &g) in self.dff_gates.iter().enumerate() {
+                nets[gates[g].output.0] = state[slot];
+            }
+            // Bus nets float until a driver claims them.
+            for &b in &self.bus_nets {
+                nets[b] = PackedWord::Z;
+            }
+            for &g in &self.order {
+                let out = gates[g].output.0;
+                let value = self.eval_gate(g, &|n| nets[n]);
+                nets[out] = if gates[g].kind.is_tristate() {
+                    resolve_bus(nets[out], value)
+                } else {
+                    value
+                };
+            }
+            snapshot.extend_from_slice(&nets);
+            // Clock edge.
+            for (slot, &g) in self.dff_gates.iter().enumerate() {
+                let gate = &gates[g];
+                state[slot] =
+                    clock_dff(state[slot], nets[gate.inputs[0].0], nets[gate.inputs[1].0]);
+            }
+        }
+        GoldenBlock {
+            cycles,
+            net_count,
+            nets: snapshot,
+            active,
+            all_lanes,
+        }
+    }
+
+    /// Computes the static fanout cone of `fault_net`: every net the fault
+    /// can reach (through gates, tri-state groups and flip-flops), the
+    /// combinational gates to re-evaluate (levelized), the flip-flops whose
+    /// state may diverge, and the primary outputs worth comparing.
+    fn build_cone(&self, scratch: &mut Scratch, fault_net: usize) {
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.cone_gates.clear();
+        scratch.cone_dffs.clear();
+        scratch.dirty_outputs.clear();
+        scratch.queue.clear();
+        scratch.net_stamp[fault_net] = epoch;
+        scratch.queue.push(fault_net);
+        let gates = self.netlist.gates();
+        while let Some(net) = scratch.queue.pop() {
+            for &g in &self.readers[net] {
+                if scratch.gate_stamp[g] == epoch {
+                    continue;
+                }
+                scratch.gate_stamp[g] = epoch;
+                let out = gates[g].output.0;
+                if gates[g].kind.is_sequential() {
+                    scratch.cone_dffs.push(g);
+                } else {
+                    scratch.cone_gates.push(g);
+                    // A dirty bus must be re-resolved from scratch, which
+                    // requires every driver of the group — even clean ones.
+                    if !self.bus_drivers[out].is_empty() && out != fault_net {
+                        for &driver in &self.bus_drivers[out] {
+                            if scratch.gate_stamp[driver] != epoch {
+                                scratch.gate_stamp[driver] = epoch;
+                                scratch.cone_gates.push(driver);
+                            }
+                        }
+                    }
+                }
+                if scratch.net_stamp[out] != epoch {
+                    scratch.net_stamp[out] = epoch;
+                    scratch.queue.push(out);
+                }
+            }
+        }
+        scratch.cone_gates.sort_unstable_by_key(|&g| self.pos[g]);
+        for (idx, &net) in self.output_nets.iter().enumerate() {
+            if scratch.net_stamp[net] == epoch {
+                scratch.dirty_outputs.push(idx);
+            }
+        }
+    }
+
+    /// Propagates one fault through one golden block, returning the lanes
+    /// that detect it. With `stop_any`, returns as soon as any lane
+    /// detects (coverage grading); otherwise runs until every `target`
+    /// lane has detected or the block ends (per-lane mask grading).
+    fn propagate_block(
+        &self,
+        block: &GoldenBlock,
+        scratch: &mut Scratch,
+        fault_net: usize,
+        forced: PackedWord,
+        target: u64,
+        stop_any: bool,
+    ) -> u64 {
+        let epoch = scratch.epoch;
+        let gates = self.netlist.gates();
+        // Lanes power on with cleared registers in every block.
+        for &g in &scratch.cone_dffs {
+            scratch.faulty_state[self.dff_slot[g]] = PackedWord::ZERO;
+        }
+        scratch.overlay[fault_net] = forced;
+        let mut mask = 0u64;
+        for t in 0..block.cycles {
+            scratch.cycle_token += 1;
+            let golden = block.cycle(t);
+            for &g in &scratch.cone_dffs {
+                let out = gates[g].output.0;
+                if out != fault_net {
+                    scratch.overlay[out] = scratch.faulty_state[self.dff_slot[g]];
+                }
+            }
+            for i in 0..scratch.cone_gates.len() {
+                let g = scratch.cone_gates[i];
+                let value = {
+                    let overlay = &scratch.overlay;
+                    let net_stamp = &scratch.net_stamp;
+                    self.eval_gate(g, &|n| {
+                        if net_stamp[n] == epoch {
+                            overlay[n]
+                        } else {
+                            golden[n]
+                        }
+                    })
+                };
+                let out = gates[g].output.0;
+                if out == fault_net {
+                    continue; // The injected fault overrides any driver.
+                }
+                if gates[g].kind.is_tristate() {
+                    if scratch.bus_stamp[out] != scratch.cycle_token {
+                        scratch.bus_stamp[out] = scratch.cycle_token;
+                        scratch.overlay[out] = PackedWord::Z;
+                    }
+                    scratch.overlay[out] = resolve_bus(scratch.overlay[out], value);
+                } else {
+                    scratch.overlay[out] = value;
+                }
+            }
+            let active = block.active[t];
+            for &oi in &scratch.dirty_outputs {
+                let net = self.output_nets[oi];
+                mask |= scratch.overlay[net].detect(golden[net]) & active;
+            }
+            if if stop_any {
+                mask != 0
+            } else {
+                mask & target == target
+            } {
+                break;
+            }
+            for &g in &scratch.cone_dffs {
+                let gate = &gates[g];
+                let read = |n: usize| {
+                    if scratch.net_stamp[n] == epoch {
+                        scratch.overlay[n]
+                    } else {
+                        golden[n]
+                    }
+                };
+                let slot = self.dff_slot[g];
+                scratch.faulty_state[slot] = clock_dff(
+                    scratch.faulty_state[slot],
+                    read(gate.inputs[0].0),
+                    read(gate.inputs[1].0),
+                );
+            }
+        }
+        mask & target
+    }
+
+    fn forced_word(fault: FaultSite) -> PackedWord {
+        match fault.stuck {
+            StuckAt::Zero => PackedWord::ZERO,
+            StuckAt::One => PackedWord::from_ones(u64::MAX),
+        }
+    }
+
+    /// Whether any lane of any block detects `fault`.
+    fn detects_any(&self, blocks: &[GoldenBlock], fault: FaultSite, scratch: &mut Scratch) -> bool {
+        self.build_cone(scratch, fault.net.0);
+        if scratch.dirty_outputs.is_empty() {
+            return false; // No primary output in the fanout cone.
+        }
+        let forced = Self::forced_word(fault);
+        blocks.iter().any(|block| {
+            block.all_lanes != 0
+                && self.propagate_block(block, scratch, fault.net.0, forced, block.all_lanes, true)
+                    != 0
+        })
+    }
+
+    /// Per-fault lane masks against one block: bit `l` of entry `i` is set
+    /// when lane `l`'s sequence detects `faults[i]`. The fault list is
+    /// partitioned across OS threads; output order matches `faults`.
+    pub fn grade_block(&self, block: &GoldenBlock, faults: &[FaultSite]) -> Vec<u64> {
+        self.partitioned(faults, |engine, fault, scratch| {
+            engine.build_cone(scratch, fault.net.0);
+            if scratch.dirty_outputs.is_empty() || block.all_lanes == 0 {
+                return 0;
+            }
+            let forced = Self::forced_word(fault);
+            engine.propagate_block(block, scratch, fault.net.0, forced, block.all_lanes, false)
+        })
+    }
+
+    /// Grades `sequences` against the full collapsed stuck-at fault list,
+    /// producing the same [`FaultCoverage`] as the serial reference engine,
+    /// bit for bit. Sequences are packed 64 lanes per block; faults are
+    /// partitioned across OS threads.
+    pub fn fault_coverage(&self, sequences: &[Vec<BitVec>]) -> FaultCoverage {
+        let faults = enumerate_faults(self.netlist);
+        let blocks: Vec<GoldenBlock> = sequences
+            .chunks(LANES)
+            .map(|chunk| self.build_golden(chunk))
+            .collect();
+        let detected_flags = self.partitioned(&faults, |engine, fault, scratch| {
+            engine.detects_any(&blocks, fault, scratch)
+        });
+        let mut detected = 0usize;
+        let mut undetected = Vec::new();
+        for (&fault, &hit) in faults.iter().zip(&detected_flags) {
+            if hit {
+                detected += 1;
+            } else {
+                undetected.push(fault);
+            }
+        }
+        FaultCoverage {
+            total: faults.len(),
+            detected,
+            undetected,
+        }
+    }
+
+    /// Runs `work` over every fault, splitting the list across OS threads
+    /// when it is large enough to amortize spawning. Results keep the input
+    /// order regardless of thread count.
+    fn partitioned<T, F>(&self, faults: &[FaultSite], work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Self, FaultSite, &mut Scratch) -> T + Sync,
+    {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        // Below ~4 faults per prospective thread, scratch setup dominates.
+        let threads = threads.min(faults.len() / 4).max(1);
+        if threads <= 1 {
+            let mut scratch = Scratch::new(self);
+            return faults
+                .iter()
+                .map(|&f| work(self, f, &mut scratch))
+                .collect();
+        }
+        let chunk_len = faults.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = faults
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let work = &work;
+                    scope.spawn(move || {
+                        let mut scratch = Scratch::new(self);
+                        chunk
+                            .iter()
+                            .map(|&f| work(self, f, &mut scratch))
+                            .collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fault-simulation worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::fault_simulate_serial;
+    use crate::netlist::Netlist;
+
+    fn vectors(patterns: &[&str]) -> Vec<Vec<BitVec>> {
+        patterns
+            .iter()
+            .map(|p| vec![p.parse::<BitVec>().unwrap()])
+            .collect()
+    }
+
+    fn assert_matches_serial(netlist: &Netlist, sequences: &[Vec<BitVec>]) {
+        let serial = fault_simulate_serial(netlist, sequences).unwrap();
+        let engine = PackedEngine::new(netlist).unwrap();
+        let packed = engine.fault_coverage(sequences);
+        assert_eq!(packed, serial);
+    }
+
+    #[test]
+    fn xor_matches_serial_exactly() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.xor2(a, b);
+        nl.mark_output("y", y);
+        assert_matches_serial(&nl, &vectors(&["00", "10", "01", "11"]));
+        assert_matches_serial(&nl, &vectors(&["10"]));
+    }
+
+    #[test]
+    fn tristate_bus_matches_serial() {
+        let mut nl = Netlist::new("bus");
+        let en1 = nl.add_input("en1");
+        let en2 = nl.add_input("en2");
+        let d1 = nl.add_input("d1");
+        let d2 = nl.add_input("d2");
+        let bus = nl.new_net();
+        nl.add_tribuf_onto(bus, en1, d1);
+        nl.add_tribuf_onto(bus, en2, d2);
+        let y = nl.not(bus);
+        nl.mark_output("bus", bus);
+        nl.mark_output("y", y);
+        let patterns: Vec<&str> = vec![
+            "0000", "1010", "0101", "1111", "1110", "0111", "1000", "0010",
+        ];
+        assert_matches_serial(&nl, &vectors(&patterns));
+    }
+
+    #[test]
+    fn sequential_faults_match_serial() {
+        let mut nl = Netlist::new("seq");
+        let d = nl.add_input("d");
+        let en = nl.add_input("en");
+        let q0 = nl.dff_e(d, en);
+        let q1 = nl.dff_e(q0, en);
+        let y = nl.xor2(q1, d);
+        nl.mark_output("y", y);
+        let sequences: Vec<Vec<BitVec>> = vec![
+            vec![
+                "11".parse().unwrap(),
+                "01".parse().unwrap(),
+                "11".parse().unwrap(),
+            ],
+            vec!["10".parse().unwrap(), "11".parse().unwrap()],
+            vec!["01".parse().unwrap()],
+        ];
+        assert_matches_serial(&nl, &sequences);
+    }
+
+    #[test]
+    fn threaded_partitioning_is_deterministic() {
+        use casbus::{CasGeometry, SchemeSet};
+        let set = SchemeSet::enumerate(CasGeometry::new(4, 2).unwrap()).unwrap();
+        let nl = crate::synth::synthesize_cas(&set);
+        let inputs = nl.inputs().len();
+        let sequences: Vec<Vec<BitVec>> = (0..6)
+            .map(|s: u64| {
+                (0..4)
+                    .map(|t| BitVec::from_u64(s.wrapping_mul(0x9E37_79B9).rotate_left(t), inputs))
+                    .collect()
+            })
+            .collect();
+        let serial = fault_simulate_serial(&nl, &sequences).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let engine = PackedEngine::new(&nl).unwrap().with_threads(threads);
+            assert_eq!(
+                engine.fault_coverage(&sequences),
+                serial,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn more_than_64_sequences_split_into_blocks() {
+        let mut nl = Netlist::new("wide");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.and2(a, b);
+        nl.mark_output("y", y);
+        // 70 one-cycle sequences cycling through the four input patterns.
+        let sequences: Vec<Vec<BitVec>> = (0..70u64)
+            .map(|i| vec![BitVec::from_u64(i % 4, 2)])
+            .collect();
+        assert_matches_serial(&nl, &sequences);
+    }
+
+    #[test]
+    fn cas_netlist_matches_serial() {
+        use casbus::{CasGeometry, SchemeSet};
+        let set = SchemeSet::enumerate(CasGeometry::new(3, 1).unwrap()).unwrap();
+        let nl = crate::synth::synthesize_cas(&set);
+        let inputs = nl.inputs().len();
+        let mut state = 0xBEEF_CAFE_1234_5678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 62 & 1 == 1
+        };
+        let sequences: Vec<Vec<BitVec>> = (0..12)
+            .map(|_| {
+                (0..5)
+                    .map(|_| (0..inputs).map(|_| next()).collect())
+                    .collect()
+            })
+            .collect();
+        assert_matches_serial(&nl, &sequences);
+    }
+
+    #[test]
+    fn grade_block_reports_per_lane_detection() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let y = nl.xor2(a, b);
+        nl.mark_output("y", y);
+        let engine = PackedEngine::new(&nl).unwrap();
+        let sequences = vectors(&["00", "10", "01", "11"]);
+        let block = engine.build_golden(&sequences);
+        let faults = enumerate_faults(&nl);
+        let masks = engine.grade_block(&block, &faults);
+        assert_eq!(masks.len(), faults.len());
+        // Every fault of the XOR cone is caught by at least one lane.
+        assert!(masks.iter().all(|&m| m != 0));
+        // And each mask agrees with a serial single-sequence check.
+        for (fault, mask) in faults.iter().zip(&masks) {
+            for (lane, seq) in sequences.iter().enumerate() {
+                let serial = fault_simulate_serial(&nl, std::slice::from_ref(seq)).unwrap();
+                let hit = !serial.undetected.contains(fault);
+                assert_eq!(mask >> lane & 1 == 1, hit, "fault {fault} lane {lane}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_set_detects_nothing() {
+        let mut nl = Netlist::new("x");
+        let a = nl.add_input("a");
+        let y = nl.not(a);
+        nl.mark_output("y", y);
+        let engine = PackedEngine::new(&nl).unwrap();
+        let cov = engine.fault_coverage(&[]);
+        assert_eq!(cov.detected, 0);
+        assert_eq!(cov.total, 4);
+    }
+}

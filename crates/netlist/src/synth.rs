@@ -93,13 +93,13 @@ pub fn synthesize_cas(set: &SchemeSet) -> Netlist {
     let in_range = nl.and2(nonzero, le_max);
     let test_active = nl.and2(in_range, not_config);
 
-    // Per-(wire, port) select lines: OR of the schemes assigning that wire
+    // Per-(port, wire) select lines: OR of the schemes assigning that wire
     // to that port.
-    let mut sel = vec![vec![None::<NetId>; p]; n];
+    let mut sel = vec![vec![None::<NetId>; n]; p];
     for (idx, scheme) in set.iter().enumerate() {
-        for port in 0..p {
+        for (port, row) in sel.iter_mut().enumerate() {
             let wire = scheme.wire_for_port(port);
-            sel[wire][port] = Some(match sel[wire][port] {
+            row[wire] = Some(match row[wire] {
                 None => scheme_sel[idx],
                 Some(existing) => nl.or2(existing, scheme_sel[idx]),
             });
@@ -107,9 +107,9 @@ pub fn synthesize_cas(set: &SchemeSet) -> Netlist {
     }
 
     // Core-side outputs o_j: tri-stated AND-OR over candidate wires.
-    for port in 0..p {
+    for (port, row) in sel.iter().enumerate() {
         let terms: Vec<NetId> = (0..n)
-            .filter_map(|wire| sel[wire][port].map(|s| (wire, s)))
+            .filter_map(|wire| row[wire].map(|s| (wire, s)))
             .map(|(wire, s)| nl.and2(s, e[wire]))
             .collect();
         let data = nl.or_tree(&terms);
@@ -122,14 +122,14 @@ pub fn synthesize_cas(set: &SchemeSet) -> Netlist {
     // carry the paired core return i_j); wire 0 additionally carries the
     // instruction register during configuration.
     for wire in 0..n {
-        let claims: Vec<NetId> = (0..p).filter_map(|port| sel[wire][port]).collect();
+        let claims: Vec<NetId> = (0..p).filter_map(|port| sel[port][wire]).collect();
         let routed = if claims.is_empty() {
             e[wire]
         } else {
             let claimed_raw = nl.or_tree(&claims);
             let claimed = nl.and2(claimed_raw, test_active);
             let returns: Vec<NetId> = (0..p)
-                .filter_map(|port| sel[wire][port].map(|s| (port, s)))
+                .filter_map(|port| sel[port][wire].map(|s| (port, s)))
                 .map(|(port, s)| nl.and2(s, i[port]))
                 .collect();
             let ret = nl.or_tree(&returns);
@@ -168,12 +168,7 @@ fn decode_full(nl: &mut Netlist, bits: &[NetId], negs: &[NetId]) -> Vec<NetId> {
 }
 
 /// Builds `value(bits) <= limit` as a ripple comparator from the MSB down.
-fn compare_le_const(
-    nl: &mut Netlist,
-    bits: &[NetId],
-    negs: &[NetId],
-    limit: u64,
-) -> NetId {
+fn compare_le_const(nl: &mut Netlist, bits: &[NetId], negs: &[NetId], limit: u64) -> NetId {
     // le = NOT gt, where gt is accumulated MSB-first:
     //   gt' = gt OR (eq AND bit AND NOT limit_bit)
     //   eq' = eq AND (bit == limit_bit)
@@ -252,8 +247,12 @@ mod tests {
         inputs[2 + n..].copy_from_slice(i);
         sim.set_inputs(&inputs);
         sim.eval();
-        let s: Vec<Value> = (0..n).map(|w| sim.output(&format!("s{w}")).unwrap()).collect();
-        let o: Vec<Value> = (0..p).map(|j| sim.output(&format!("o{j}")).unwrap()).collect();
+        let s: Vec<Value> = (0..n)
+            .map(|w| sim.output(&format!("s{w}")).unwrap())
+            .collect();
+        let o: Vec<Value> = (0..p)
+            .map(|j| sim.output(&format!("o{j}")).unwrap())
+            .collect();
         sim.clock();
         (s, o)
     }
@@ -272,8 +271,7 @@ mod tests {
         let s = set(4, 2);
         let nl = synthesize_cas(&s);
         let mut sim = Simulator::new(&nl).unwrap();
-        let (s_out, o_out) =
-            run_cycle(&mut sim, 4, 2, &[true, false, true, true], &[false, false]);
+        let (s_out, o_out) = run_cycle(&mut sim, 4, 2, &[true, false, true, true], &[false, false]);
         assert_eq!(
             s_out,
             vec![Value::One, Value::Zero, Value::One, Value::One],
@@ -356,7 +354,10 @@ mod tests {
         sim.step(&inputs);
         let (s_out, o_out) = run_cycle(&mut sim, 4, 2, &[true, true, false, false], &[true, true]);
         assert_eq!(
-            s_out.iter().map(|v| v.to_bool().unwrap()).collect::<Vec<_>>(),
+            s_out
+                .iter()
+                .map(|v| v.to_bool().unwrap())
+                .collect::<Vec<_>>(),
             vec![true, true, false, false]
         );
         assert_eq!(o_out[0], Value::Z);

@@ -13,7 +13,9 @@ type GateRecipe = (u8, u64, u64, u64);
 /// already-created nets, so the graph is a DAG by construction.
 fn build(n_inputs: usize, recipe: &[GateRecipe], n_outputs: usize) -> Netlist {
     let mut nl = Netlist::new("random");
-    let mut nets: Vec<NetId> = (0..n_inputs).map(|i| nl.add_input(format!("in{i}"))).collect();
+    let mut nets: Vec<NetId> = (0..n_inputs)
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
     let en = nl.const1();
     for &(kind_sel, a_seed, b_seed, c_seed) in recipe {
         let pick = |seed: u64, nets: &[NetId]| nets[(seed % nets.len() as u64) as usize];

@@ -1,0 +1,117 @@
+//! Property-based equivalence of the packed (PPSFP) fault-simulation
+//! engine against the serial reference: on randomly generated netlists —
+//! including tri-state buses (the X/Z stress case) and registers — both
+//! engines must report *exactly* the same [`FaultCoverage`]: the same
+//! detected count and the same undetected fault list, in the same order.
+
+use casbus_netlist::fault::{fault_simulate, fault_simulate_serial};
+use casbus_netlist::{GateKind, NetId, Netlist, PackedEngine};
+use casbus_tpg::BitVec;
+use proptest::prelude::*;
+
+/// Recipe for one random construction step: kind selector + pick seeds.
+type GateRecipe = (u8, u64, u64, u64);
+
+const N_INPUTS: usize = 4;
+
+/// Builds a random netlist from a recipe. Every gate draws operands from
+/// already-created nets, so the graph is a DAG by construction. Selector
+/// values 10–11 instantiate a two-driver tri-state bus, making floating
+/// nets, driver conflicts and X propagation reachable.
+fn build(recipe: &[GateRecipe]) -> Netlist {
+    let mut nl = Netlist::new("random");
+    let mut nets: Vec<NetId> = (0..N_INPUTS)
+        .map(|i| nl.add_input(format!("in{i}")))
+        .collect();
+    for &(kind_sel, a_seed, b_seed, c_seed) in recipe {
+        let pick = |seed: u64, nets: &[NetId]| nets[(seed % nets.len() as u64) as usize];
+        let a = pick(a_seed, &nets);
+        let b = pick(b_seed, &nets);
+        let c = pick(c_seed, &nets);
+        let out = match kind_sel % 12 {
+            0 => nl.add_gate(GateKind::And2, vec![a, b]),
+            1 => nl.add_gate(GateKind::Or2, vec![a, b]),
+            2 => nl.add_gate(GateKind::Xor2, vec![a, b]),
+            3 => nl.add_gate(GateKind::Nand2, vec![a, b]),
+            4 => nl.add_gate(GateKind::Nor2, vec![a, b]),
+            5 => nl.add_gate(GateKind::Xnor2, vec![a, b]),
+            6 => nl.not(a),
+            7 => nl.mux2(a, b, c),
+            8 => nl.add_gate(GateKind::Buf, vec![a]),
+            9 => nl.dff_e(a, c),
+            _ => {
+                // A shared bus with two tri-state drivers; depending on the
+                // picked enables it floats, drives, or conflicts (X).
+                let bus = nl.new_net();
+                nl.add_tribuf_onto(bus, a, b);
+                nl.add_tribuf_onto(bus, c, pick(a_seed ^ c_seed.rotate_left(17), &nets));
+                bus
+            }
+        };
+        nets.push(out);
+    }
+    for o in 0..3 {
+        nl.mark_output(format!("out{o}"), nets[nets.len() - 1 - (o % nets.len())]);
+    }
+    nl
+}
+
+fn to_sequences(raw: &[Vec<Vec<bool>>]) -> Vec<Vec<BitVec>> {
+    raw.iter()
+        .map(|seq| {
+            seq.iter()
+                .map(|bits| bits.iter().copied().collect())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn packed_matches_serial_exactly(
+        recipe in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            1..30,
+        ),
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), N_INPUTS),
+                1..5,
+            ),
+            1..8,
+        ),
+    ) {
+        let nl = build(&recipe);
+        nl.validate().expect("random netlists are DAGs by construction");
+        let sequences = to_sequences(&raw);
+        let serial = fault_simulate_serial(&nl, &sequences).expect("valid");
+        let packed = fault_simulate(&nl, &sequences).expect("valid");
+        prop_assert_eq!(&packed.undetected, &serial.undetected);
+        prop_assert_eq!(packed.detected, serial.detected);
+        prop_assert_eq!(packed.total, serial.total);
+    }
+
+    #[test]
+    fn thread_partitioning_does_not_change_results(
+        recipe in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<u64>()),
+            1..20,
+        ),
+        raw in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), N_INPUTS),
+                1..4,
+            ),
+            1..5,
+        ),
+        threads in 1usize..6,
+    ) {
+        let nl = build(&recipe);
+        let sequences = to_sequences(&raw);
+        let reference = fault_simulate_serial(&nl, &sequences).expect("valid");
+        let engine = PackedEngine::new(&nl).expect("valid").with_threads(threads);
+        prop_assert_eq!(engine.fault_coverage(&sequences), reference);
+    }
+}

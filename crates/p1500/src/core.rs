@@ -151,7 +151,10 @@ pub(crate) mod test_support {
         for s in ins {
             core.test_clock(&s.parse().unwrap());
         }
-        assert_eq!(core.chain(0).to_string(), "101".chars().rev().collect::<String>());
+        assert_eq!(
+            core.chain(0).to_string(),
+            "101".chars().rev().collect::<String>()
+        );
         core.reset();
         assert_eq!(core.chain(0).count_ones(), 0);
     }

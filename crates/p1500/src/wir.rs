@@ -145,8 +145,8 @@ impl Wir {
     ///
     /// Unknown opcodes activate [`WrapperInstruction::Bypass`].
     pub fn update(&mut self) {
-        self.active = WrapperInstruction::from_opcode(self.shift_stage)
-            .unwrap_or(WrapperInstruction::Bypass);
+        self.active =
+            WrapperInstruction::from_opcode(self.shift_stage).unwrap_or(WrapperInstruction::Bypass);
     }
 
     /// The currently active instruction.

@@ -25,27 +25,44 @@ pub struct WrapperControl {
 impl WrapperControl {
     /// Control word for one shift clock on the selected data register.
     pub fn shift_data() -> Self {
-        Self { shift: true, ..Self::default() }
+        Self {
+            shift: true,
+            ..Self::default()
+        }
     }
 
     /// Control word for one shift clock on the WIR.
     pub fn shift_wir() -> Self {
-        Self { select_wir: true, shift: true, ..Self::default() }
+        Self {
+            select_wir: true,
+            shift: true,
+            ..Self::default()
+        }
     }
 
     /// Control word updating the WIR after shifting.
     pub fn update_wir() -> Self {
-        Self { select_wir: true, update: true, ..Self::default() }
+        Self {
+            select_wir: true,
+            update: true,
+            ..Self::default()
+        }
     }
 
     /// Control word for a capture clock on the data register.
     pub fn capture_data() -> Self {
-        Self { capture: true, ..Self::default() }
+        Self {
+            capture: true,
+            ..Self::default()
+        }
     }
 
     /// Control word for an update clock on the data register.
     pub fn update_data() -> Self {
-        Self { update: true, ..Self::default() }
+        Self {
+            update: true,
+            ..Self::default()
+        }
     }
 }
 

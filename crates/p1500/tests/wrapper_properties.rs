@@ -14,7 +14,9 @@ struct EchoCore {
 
 impl EchoCore {
     fn new(ports: usize, depth: usize) -> Self {
-        Self { chains: vec![BitVec::zeros(depth); ports] }
+        Self {
+            chains: vec![BitVec::zeros(depth); ports],
+        }
     }
 }
 

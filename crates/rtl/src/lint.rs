@@ -37,10 +37,20 @@ pub enum LintIssue {
 impl fmt::Display for LintIssue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Unbalanced { construct, opened, closed } => {
-                write!(f, "unbalanced {construct}: {opened} opened, {closed} closed")
+            Self::Unbalanced {
+                construct,
+                opened,
+                closed,
+            } => {
+                write!(
+                    f,
+                    "unbalanced {construct}: {opened} opened, {closed} closed"
+                )
             }
-            Self::EntityMismatch { declared, referenced } => write!(
+            Self::EntityMismatch {
+                declared,
+                referenced,
+            } => write!(
                 f,
                 "architecture references entity {referenced:?} but {declared:?} is declared"
             ),
@@ -115,7 +125,10 @@ pub fn lint_vhdl(text: &str) -> Vec<LintIssue> {
             });
         }
     } else if referenced.is_some() && declared.is_none() {
-        issues.push(LintIssue::EntityMismatch { declared, referenced });
+        issues.push(LintIssue::EntityMismatch {
+            declared,
+            referenced,
+        });
     }
 
     // Identifier sanity on declared ports and signals.
@@ -168,7 +181,16 @@ mod tests {
 
     #[test]
     fn generated_vhdl_is_clean_for_table1_geometries() {
-        for (n, p) in [(3, 1), (4, 2), (4, 3), (5, 2), (5, 3), (6, 3), (6, 5), (8, 4)] {
+        for (n, p) in [
+            (3, 1),
+            (4, 2),
+            (4, 3),
+            (5, 2),
+            (5, 3),
+            (6, 3),
+            (6, 5),
+            (8, 4),
+        ] {
             let set = SchemeSet::enumerate(CasGeometry::new(n, p).unwrap()).unwrap();
             let issues = lint_vhdl(&generate_vhdl(&set));
             assert!(issues.is_empty(), "N={n} P={p}: {issues:?}");
@@ -191,16 +213,19 @@ mod tests {
         let bad = "entity x is\nend entity x;\narchitecture a of x is\nbegin\n\
                    p : process (clk)\nbegin\nend architecture a;";
         let issues = lint_vhdl(bad);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, LintIssue::Unbalanced { construct, .. } if construct == "process")));
+        assert!(issues.iter().any(
+            |i| matches!(i, LintIssue::Unbalanced { construct, .. } if construct == "process")
+        ));
     }
 
     #[test]
     fn entity_mismatch_flagged() {
-        let bad = "entity foo is\nend entity foo;\narchitecture a of bar is\nbegin\nend architecture a;";
+        let bad =
+            "entity foo is\nend entity foo;\narchitecture a of bar is\nbegin\nend architecture a;";
         let issues = lint_vhdl(bad);
-        assert!(issues.iter().any(|i| matches!(i, LintIssue::EntityMismatch { .. })));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::EntityMismatch { .. })));
     }
 
     #[test]
@@ -208,7 +233,9 @@ mod tests {
         let bad = "entity x is\nend entity x;\narchitecture a of x is\n\
                    signal 1bad : std_logic;\nbegin\nend architecture a;";
         let issues = lint_vhdl(bad);
-        assert!(issues.iter().any(|i| matches!(i, LintIssue::BadIdentifier(_))));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::BadIdentifier(_))));
     }
 
     #[test]
@@ -228,7 +255,11 @@ mod tests {
 
     #[test]
     fn issue_display() {
-        let issue = LintIssue::Unbalanced { construct: "case".into(), opened: 2, closed: 1 };
+        let issue = LintIssue::Unbalanced {
+            construct: "case".into(),
+            opened: 2,
+            closed: 1,
+        };
         assert!(issue.to_string().contains("unbalanced case"));
     }
 }

@@ -65,12 +65,21 @@ pub fn netlist_to_verilog(netlist: &Netlist) -> String {
     }
     let mut output_assigns = String::new();
     for (name, net) in netlist.outputs() {
-        let _ = writeln!(output_assigns, "  assign {} = n{};", sanitize(name), net.index());
+        let _ = writeln!(
+            output_assigns,
+            "  assign {} = n{};",
+            sanitize(name),
+            net.index()
+        );
     }
 
     for (idx, gate) in netlist.gates().iter().enumerate() {
         let o = gate.output.index();
-        let ins: Vec<String> = gate.inputs.iter().map(|n| format!("n{}", n.index())).collect();
+        let ins: Vec<String> = gate
+            .inputs
+            .iter()
+            .map(|n| format!("n{}", n.index()))
+            .collect();
         match gate.kind {
             GateKind::Const(false) => {
                 let _ = writeln!(out, "  assign n{o} = 1'b0;");
@@ -103,11 +112,7 @@ pub fn netlist_to_verilog(netlist: &Netlist) -> String {
                 let _ = writeln!(out, "  xnor g{idx} (n{o}, {}, {});", ins[0], ins[1]);
             }
             GateKind::Mux2 => {
-                let _ = writeln!(
-                    out,
-                    "  assign n{o} = {} ? {} : {};",
-                    ins[0], ins[2], ins[1]
-                );
+                let _ = writeln!(out, "  assign n{o} = {} ? {} : {};", ins[0], ins[2], ins[1]);
             }
             GateKind::TriBuf => {
                 let _ = writeln!(out, "  bufif1 g{idx} (n{o}, {}, {});", ins[1], ins[0]);
@@ -131,7 +136,13 @@ pub fn netlist_to_verilog(netlist: &Netlist) -> String {
 
 fn sanitize(name: &str) -> String {
     name.chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -147,7 +158,8 @@ mod tests {
         let nl = synthesize_cas(&set);
         let text = netlist_to_verilog(&nl);
         // Count instantiated primitives + behavioural registers + muxes.
-        let instanced = text.matches(" g").count() + text.matches("  reg r").count()
+        let instanced = text.matches(" g").count()
+            + text.matches("  reg r").count()
             + text.matches("? ").count();
         assert!(
             instanced >= nl.gate_count(),

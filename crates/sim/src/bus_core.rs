@@ -20,7 +20,11 @@ pub struct SystemBusCore {
 impl SystemBusCore {
     /// Creates a healthy bus model.
     pub fn new(name: &str) -> Self {
-        Self { name: name.to_owned(), stage: false, stuck: None }
+        Self {
+            name: name.to_owned(),
+            stage: false,
+            stuck: None,
+        }
     }
 
     /// Injects a stuck-at defect on the bus conductor.

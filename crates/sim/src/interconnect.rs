@@ -72,8 +72,14 @@ pub fn run_interconnect_extest(
 
     // Configure: driver on wire 0, receiver on wire 1, everyone else bypass.
     let mut config = TamConfiguration::all_bypass(cas_count);
-    config.set(driver_idx, sim.tam().explicit_test(driver_idx, driver_wires)?)?;
-    config.set(receiver_idx, sim.tam().explicit_test(receiver_idx, receiver_wires)?)?;
+    config.set(
+        driver_idx,
+        sim.tam().explicit_test(driver_idx, driver_wires)?,
+    )?;
+    config.set(
+        receiver_idx,
+        sim.tam().explicit_test(receiver_idx, receiver_wires)?,
+    )?;
     let mut wrappers = vec![WrapperInstruction::Bypass; cas_count];
     wrappers[driver_idx] = WrapperInstruction::Extest;
     wrappers[receiver_idx] = WrapperInstruction::Extest;
@@ -115,7 +121,8 @@ pub fn run_interconnect_extest(
     for &(from, to) in connections {
         received.set(to, driven.get(from).expect("driver cell in range"));
     }
-    sim.wrapper_mut(receiver)?.set_extest_inputs(received.clone());
+    sim.wrapper_mut(receiver)?
+        .set_extest_inputs(received.clone());
 
     // Capture at the receiver, then shift its WBR out over wire 1.
     kinds[receiver_idx] = ClockKind::Capture;
@@ -185,8 +192,10 @@ mod tests {
     fn unknown_cores_rejected() {
         let soc = catalog::figure1_soc();
         let mut sim = SocSimulator::new(&soc, 8).unwrap();
-        assert!(run_interconnect_extest(&mut sim, "ghost", "core1_cpu", &[], &BitVec::zeros(32))
-            .is_err());
+        assert!(
+            run_interconnect_extest(&mut sim, "ghost", "core1_cpu", &[], &BitVec::zeros(32))
+                .is_err()
+        );
     }
 
     #[test]
@@ -198,14 +207,9 @@ mod tests {
         for net in 0..4 {
             let mut pattern = BitVec::zeros(32);
             pattern.set(net, true);
-            let verdict = run_interconnect_extest(
-                &mut sim,
-                "core1_cpu",
-                "core2_dsp",
-                &connections,
-                &pattern,
-            )
-            .unwrap();
+            let verdict =
+                run_interconnect_extest(&mut sim, "core1_cpu", "core2_dsp", &connections, &pattern)
+                    .unwrap();
             assert!(verdict.is_pass(), "net {net}");
         }
     }

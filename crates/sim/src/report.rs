@@ -41,7 +41,11 @@ impl fmt::Display for SocTestReport {
             "SoC test: {} steps, {} cycles, {}",
             self.steps,
             self.total_cycles,
-            if self.all_pass() { "ALL PASS" } else { "FAILURES" }
+            if self.all_pass() {
+                "ALL PASS"
+            } else {
+                "FAILURES"
+            }
         )?;
         for (name, verdict) in &self.verdicts {
             writeln!(f, "  {name}: {verdict}")?;
@@ -92,7 +96,14 @@ pub fn run_program(
                 .expect("configured TEST scheme")
                 .wires()
                 .to_vec();
-            lanes.push(Lane { cas_index, name, plan, golden, wires, observed: Vec::new() });
+            lanes.push(Lane {
+                cas_index,
+                name,
+                plan,
+                golden,
+                wires,
+                observed: Vec::new(),
+            });
         }
         let horizon = lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
         let cas_count = sim.tam().cas_count();
@@ -110,8 +121,11 @@ pub fn run_program(
             let out = sim.data_clock(&bus, &kinds)?;
             for lane in &mut lanes {
                 if t < lane.plan.len() + 1 {
-                    let slice: BitVec =
-                        lane.wires.iter().map(|&w| out.get(w).expect("wire < n")).collect();
+                    let slice: BitVec = lane
+                        .wires
+                        .iter()
+                        .map(|&w| out.get(w).expect("wire < n"))
+                        .collect();
                     lane.observed.push(slice);
                 }
             }
@@ -173,7 +187,11 @@ pub fn run_bus_extest(sim: &mut SocSimulator) -> Result<Verdict, SimError> {
             mismatches += 1;
         }
     }
-    Ok(if mismatches == 0 { Verdict::Pass } else { Verdict::Fail { mismatches } })
+    Ok(if mismatches == 0 {
+        Verdict::Pass
+    } else {
+        Verdict::Fail { mismatches }
+    })
 }
 
 #[cfg(test)]

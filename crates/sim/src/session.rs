@@ -132,10 +132,9 @@ impl SessionPlan {
 
 fn stimulus_source(name: &str) -> Lfsr {
     let poly = Polynomial::primitive(16).expect("degree 16 tabulated");
-    let seed = name
-        .bytes()
-        .fold(0xacE1u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(b)))
-        & 0xffff;
+    let seed = name.bytes().fold(0xACE1u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(u64::from(b))
+    }) & 0xffff;
     Lfsr::fibonacci(poly, seed.max(1)).expect("non-zero seed")
 }
 
@@ -182,10 +181,7 @@ impl fmt::Display for SessionReport {
         write!(
             f,
             "{}: {} ({} config + {} data cycles)",
-            self.core_name,
-            self.verdict,
-            self.config_cycles,
-            self.data_cycles
+            self.core_name, self.verdict, self.config_cycles, self.data_cycles
         )
     }
 }
@@ -205,7 +201,10 @@ pub(crate) fn wrapper_instruction_for(method: &TestMethod) -> WrapperInstruction
 /// # Errors
 ///
 /// Returns [`SimError::UnknownCore`] for bad names; propagates TAM errors.
-pub fn run_core_session(sim: &mut SocSimulator, core_name: &str) -> Result<SessionReport, SimError> {
+pub fn run_core_session(
+    sim: &mut SocSimulator,
+    core_name: &str,
+) -> Result<SessionReport, SimError> {
     let (_, desc) = sim
         .soc()
         .core_by_name(core_name)
@@ -260,15 +259,13 @@ pub(crate) fn drive_plan(
 
 /// Compares golden shift outputs at cycle `t` with the bus observation at
 /// `t + 1` (the retiming register's latency).
-pub(crate) fn compare(
-    golden: &[Option<BitVec>],
-    observed: &[BitVec],
-    ports: usize,
-) -> Verdict {
+pub(crate) fn compare(golden: &[Option<BitVec>], observed: &[BitVec], ports: usize) -> Verdict {
     let mut mismatches = 0usize;
     for (t, gold) in golden.iter().enumerate() {
         let Some(gold) = gold else { continue };
-        let Some(seen) = observed.get(t + 1) else { continue };
+        let Some(seen) = observed.get(t + 1) else {
+            continue;
+        };
         for j in 0..ports {
             if gold.get(j) != seen.get(j) {
                 mismatches += 1;
@@ -356,19 +353,24 @@ mod tests {
             // is not possible through the trait, so rebuild with ScanCore.
             let mut faulty = casbus_soc::models::ScanCore::new("scan3", vec![30, 28, 32]);
             faulty.inject_stuck_at(1, 14, true);
-            *wrapper = casbus_p1500::Wrapper::new(
-                Box::new(faulty) as Box<dyn TestableCore>,
-                8,
-                8,
-            );
+            *wrapper = casbus_p1500::Wrapper::new(Box::new(faulty) as Box<dyn TestableCore>, 8, 8);
         }
         let report = run_core_session(&mut sim, "scan3").unwrap();
-        assert!(!report.verdict.is_pass(), "stuck-at must be caught: {report}");
+        assert!(
+            !report.verdict.is_pass(),
+            "stuck-at must be caught: {report}"
+        );
     }
 
     #[test]
     fn plan_shapes() {
-        let scan = CoreDescription::new("s", TestMethod::Scan { chains: vec![4, 6], patterns: 3 });
+        let scan = CoreDescription::new(
+            "s",
+            TestMethod::Scan {
+                chains: vec![4, 6],
+                patterns: 3,
+            },
+        );
         let plan = SessionPlan::for_core(&scan);
         // 3·(6 shifts + capture) + 6 flush + 1 drain.
         assert_eq!(plan.len(), 3 * 7 + 6 + 1);
@@ -378,7 +380,13 @@ mod tests {
 
     #[test]
     fn golden_run_is_reproducible() {
-        let desc = CoreDescription::new("g", TestMethod::Bist { width: 8, patterns: 20 });
+        let desc = CoreDescription::new(
+            "g",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 20,
+            },
+        );
         let plan = SessionPlan::for_core(&desc);
         assert_eq!(golden_run(&desc, &plan), golden_run(&desc, &plan));
     }
@@ -386,8 +394,15 @@ mod tests {
     #[test]
     fn compare_counts_mismatches() {
         let golden = vec![Some("11".parse::<BitVec>().unwrap()), None];
-        let observed = vec!["00".parse().unwrap(), "10".parse().unwrap(), "00".parse().unwrap()];
-        assert_eq!(compare(&golden, &observed, 2), Verdict::Fail { mismatches: 1 });
+        let observed = vec![
+            "00".parse().unwrap(),
+            "10".parse().unwrap(),
+            "00".parse().unwrap(),
+        ];
+        assert_eq!(
+            compare(&golden, &observed, 2),
+            Verdict::Fail { mismatches: 1 }
+        );
     }
 
     #[test]

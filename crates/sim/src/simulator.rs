@@ -99,7 +99,13 @@ impl SocSimulator {
             .iter()
             .map(|c| BitVec::zeros(c.geometry().switched_wires()))
             .collect();
-        Ok(Self { soc: soc.clone(), tam, wrappers, pending, cycles: 0 })
+        Ok(Self {
+            soc: soc.clone(),
+            tam,
+            wrappers,
+            pending,
+            cycles: 0,
+        })
     }
 
     /// The SoC description.
@@ -205,10 +211,12 @@ impl SocSimulator {
             });
         }
         if config.instructions().len() != self.wrappers.len() {
-            return Err(SimError::Tam(casbus::CasError::ConfigurationLengthMismatch {
-                got: config.instructions().len(),
-                expected: self.wrappers.len(),
-            }));
+            return Err(SimError::Tam(
+                casbus::CasError::ConfigurationLengthMismatch {
+                    got: config.instructions().len(),
+                    expected: self.wrappers.len(),
+                },
+            ));
         }
         // Build the combined stream: the earliest bits travel furthest, so
         // segments go in reverse chain order; within one CAS+wrapper unit
@@ -242,10 +250,7 @@ impl SocSimulator {
                 .zip(self.wrappers.iter_mut())
             {
                 carry = cas.shift_ir(carry);
-                carry = wrapper.clock_serial(
-                    carry,
-                    &casbus_p1500::WrapperControl::shift_wir(),
-                );
+                carry = wrapper.clock_serial(carry, &casbus_p1500::WrapperControl::shift_wir());
             }
             self.cycles += 1;
         }
@@ -287,11 +292,7 @@ impl SocSimulator {
             .chain_mut()
             .clock(bus_in, &self.pending, CasControl::run())?;
         for (idx, wrapper) in self.wrappers.iter_mut().enumerate() {
-            let p = out
-                .core_in
-                .get(idx)
-                .cloned()
-                .flatten();
+            let p = out.core_in.get(idx).cloned().flatten();
             let width = wrapper_port_width(wrapper);
             let ctrl = match kinds[idx] {
                 ClockKind::Shift => WrapperControl::shift_data(),
@@ -383,7 +384,8 @@ mod tests {
         let soc = catalog::figure2b_bist_soc();
         let mut sim = SocSimulator::new(&soc, 3).unwrap();
         let config = TamConfiguration::all_bypass(2);
-        sim.configure(&config, &[WrapperInstruction::Bypass; 2]).unwrap();
+        sim.configure(&config, &[WrapperInstruction::Bypass; 2])
+            .unwrap();
         assert_eq!(sim.cycles(), sim.tam().configuration_clocks() as u64 + 1);
     }
 
@@ -392,8 +394,16 @@ mod tests {
         let soc = catalog::figure2b_bist_soc();
         let mut sim = SocSimulator::new(&soc, 3).unwrap();
         let config = TamConfiguration::all_bypass(2);
-        let err = sim.configure(&config, &[WrapperInstruction::Bypass]).unwrap_err();
-        assert_eq!(err, SimError::WrapperLengthMismatch { got: 1, expected: 2 });
+        let err = sim
+            .configure(&config, &[WrapperInstruction::Bypass])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::WrapperLengthMismatch {
+                got: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -403,7 +413,13 @@ mod tests {
         let err = sim
             .data_clock(&BitVec::zeros(3), &[ClockKind::Idle])
             .unwrap_err();
-        assert_eq!(err, SimError::KindsLengthMismatch { got: 1, expected: 2 });
+        assert_eq!(
+            err,
+            SimError::KindsLengthMismatch {
+                got: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]
@@ -459,7 +475,9 @@ mod tests {
         let soc = catalog::figure2b_bist_soc();
         let mut sim = SocSimulator::new(&soc, 3).unwrap();
         let mut config = TamConfiguration::all_bypass(2);
-        config.set(1, sim.tam().contiguous_test(1, 0).unwrap()).unwrap();
+        config
+            .set(1, sim.tam().contiguous_test(1, 0).unwrap())
+            .unwrap();
         let wrappers = vec![WrapperInstruction::Bypass, WrapperInstruction::IntestBist];
         sim.configure_chained(&config, &wrappers).unwrap();
         assert!(sim.tam().chain().cases()[1].instruction().is_test());

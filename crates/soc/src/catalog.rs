@@ -19,28 +19,46 @@ pub fn figure1_soc() -> SocDescription {
         .core(
             CoreDescription::new(
                 "core1_cpu",
-                TestMethod::Scan { chains: vec![96, 88, 102, 90], patterns: 120 },
+                TestMethod::Scan {
+                    chains: vec![96, 88, 102, 90],
+                    patterns: 120,
+                },
             )
             .with_terminals(32, 32)
             .with_gate_count(180_000),
         )
         .core(
-            CoreDescription::new("core2_dsp", TestMethod::Scan {
-                chains: vec![64, 72],
-                patterns: 80,
-            })
+            CoreDescription::new(
+                "core2_dsp",
+                TestMethod::Scan {
+                    chains: vec![64, 72],
+                    patterns: 80,
+                },
+            )
             .with_terminals(24, 24)
             .with_gate_count(95_000),
         )
         .core(
-            CoreDescription::new("core3_sram", TestMethod::Bist { width: 16, patterns: 500 })
-                .with_terminals(20, 16)
-                .with_gate_count(60_000),
+            CoreDescription::new(
+                "core3_sram",
+                TestMethod::Bist {
+                    width: 16,
+                    patterns: 500,
+                },
+            )
+            .with_terminals(20, 16)
+            .with_gate_count(60_000),
         )
         .core(
-            CoreDescription::new("core4_dma", TestMethod::External { ports: 2, patterns: 256 })
-                .with_terminals(16, 16)
-                .with_gate_count(22_000),
+            CoreDescription::new(
+                "core4_dma",
+                TestMethod::External {
+                    ports: 2,
+                    patterns: 256,
+                },
+            )
+            .with_terminals(16, 16)
+            .with_gate_count(22_000),
         )
         .core(
             CoreDescription::new(
@@ -48,15 +66,21 @@ pub fn figure1_soc() -> SocDescription {
                 TestMethod::Hierarchical {
                     internal_bus_width: 2,
                     sub_cores: vec![
-                        CoreDescription::new("core5_mcu", TestMethod::Scan {
-                            chains: vec![40, 36],
-                            patterns: 48,
-                        })
+                        CoreDescription::new(
+                            "core5_mcu",
+                            TestMethod::Scan {
+                                chains: vec![40, 36],
+                                patterns: 48,
+                            },
+                        )
                         .with_gate_count(30_000),
-                        CoreDescription::new("core5_rom", TestMethod::Bist {
-                            width: 8,
-                            patterns: 255,
-                        })
+                        CoreDescription::new(
+                            "core5_rom",
+                            TestMethod::Bist {
+                                width: 8,
+                                patterns: 255,
+                            },
+                        )
                         .with_gate_count(12_000),
                     ],
                 },
@@ -65,9 +89,15 @@ pub fn figure1_soc() -> SocDescription {
             .with_gate_count(46_000),
         )
         .core(
-            CoreDescription::new("core6_eeprom", TestMethod::Memory { words: 64, data_width: 8 })
-                .with_terminals(14, 10)
-                .with_gate_count(35_000),
+            CoreDescription::new(
+                "core6_eeprom",
+                TestMethod::Memory {
+                    words: 64,
+                    data_width: 8,
+                },
+            )
+            .with_terminals(14, 10)
+            .with_gate_count(35_000),
         )
         .system_bus(SystemBusDescription::wrapped(32))
         .build()
@@ -77,14 +107,20 @@ pub fn figure1_soc() -> SocDescription {
 /// Figure 2 (a): scannable cores, `P` = number of scan chains.
 pub fn figure2a_scan_soc() -> SocDescription {
     SocBuilder::new("figure2a_scan")
-        .core(CoreDescription::new("scan3", TestMethod::Scan {
-            chains: vec![30, 28, 32],
-            patterns: 40,
-        }))
-        .core(CoreDescription::new("scan2", TestMethod::Scan {
-            chains: vec![50, 47],
-            patterns: 25,
-        }))
+        .core(CoreDescription::new(
+            "scan3",
+            TestMethod::Scan {
+                chains: vec![30, 28, 32],
+                patterns: 40,
+            },
+        ))
+        .core(CoreDescription::new(
+            "scan2",
+            TestMethod::Scan {
+                chains: vec![50, 47],
+                patterns: 25,
+            },
+        ))
         .build()
         .expect("valid by construction")
 }
@@ -92,8 +128,20 @@ pub fn figure2a_scan_soc() -> SocDescription {
 /// Figure 2 (b): BISTed cores, `P = 1`.
 pub fn figure2b_bist_soc() -> SocDescription {
     SocBuilder::new("figure2b_bist")
-        .core(CoreDescription::new("bist16", TestMethod::Bist { width: 16, patterns: 300 }))
-        .core(CoreDescription::new("bist8", TestMethod::Bist { width: 8, patterns: 200 }))
+        .core(CoreDescription::new(
+            "bist16",
+            TestMethod::Bist {
+                width: 16,
+                patterns: 300,
+            },
+        ))
+        .core(CoreDescription::new(
+            "bist8",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 200,
+            },
+        ))
         .build()
         .expect("valid by construction")
 }
@@ -101,8 +149,20 @@ pub fn figure2b_bist_soc() -> SocDescription {
 /// Figure 2 (c): cores tested from external sources and sinks.
 pub fn figure2c_external_soc() -> SocDescription {
     SocBuilder::new("figure2c_external")
-        .core(CoreDescription::new("ext1", TestMethod::External { ports: 1, patterns: 128 }))
-        .core(CoreDescription::new("ext4", TestMethod::External { ports: 4, patterns: 64 }))
+        .core(CoreDescription::new(
+            "ext1",
+            TestMethod::External {
+                ports: 1,
+                patterns: 128,
+            },
+        ))
+        .core(CoreDescription::new(
+            "ext4",
+            TestMethod::External {
+                ports: 4,
+                patterns: 64,
+            },
+        ))
         .build()
         .expect("valid by construction")
 }
@@ -116,21 +176,30 @@ pub fn figure2d_hierarchical_soc() -> SocDescription {
             TestMethod::Hierarchical {
                 internal_bus_width: 3,
                 sub_cores: vec![
-                    CoreDescription::new("child_scan", TestMethod::Scan {
-                        chains: vec![12, 14, 10],
-                        patterns: 16,
-                    }),
-                    CoreDescription::new("child_bist", TestMethod::Bist {
-                        width: 8,
-                        patterns: 100,
-                    }),
+                    CoreDescription::new(
+                        "child_scan",
+                        TestMethod::Scan {
+                            chains: vec![12, 14, 10],
+                            patterns: 16,
+                        },
+                    ),
+                    CoreDescription::new(
+                        "child_bist",
+                        TestMethod::Bist {
+                            width: 8,
+                            patterns: 100,
+                        },
+                    ),
                 ],
             },
         ))
-        .core(CoreDescription::new("sibling", TestMethod::Scan {
-            chains: vec![20],
-            patterns: 10,
-        }))
+        .core(CoreDescription::new(
+            "sibling",
+            TestMethod::Scan {
+                chains: vec![20],
+                patterns: 10,
+            },
+        ))
         .build()
         .expect("valid by construction")
 }
@@ -139,12 +208,27 @@ pub fn figure2d_hierarchical_soc() -> SocDescription {
 /// testing while the rest of the system keeps running.
 pub fn maintenance_soc() -> SocDescription {
     SocBuilder::new("maintenance")
-        .core(CoreDescription::new("app_cpu", TestMethod::Scan {
-            chains: vec![60, 55],
-            patterns: 30,
-        }))
-        .core(CoreDescription::new("dram", TestMethod::Memory { words: 128, data_width: 16 }))
-        .core(CoreDescription::new("codec", TestMethod::Bist { width: 12, patterns: 150 }))
+        .core(CoreDescription::new(
+            "app_cpu",
+            TestMethod::Scan {
+                chains: vec![60, 55],
+                patterns: 30,
+            },
+        ))
+        .core(CoreDescription::new(
+            "dram",
+            TestMethod::Memory {
+                words: 128,
+                data_width: 16,
+            },
+        ))
+        .core(CoreDescription::new(
+            "codec",
+            TestMethod::Bist {
+                width: 12,
+                patterns: 150,
+            },
+        ))
         .build()
         .expect("valid by construction")
 }
@@ -165,22 +249,46 @@ pub fn itc02_like_soc() -> SocDescription {
         .core(scan("dsp0", vec![150, 148], 260, 230_000))
         .core(scan("vu0", vec![96, 94, 92, 90], 180, 190_000))
         .core(
-            CoreDescription::new("sram0", TestMethod::Bist { width: 20, patterns: 1200 })
-                .with_gate_count(150_000),
+            CoreDescription::new(
+                "sram0",
+                TestMethod::Bist {
+                    width: 20,
+                    patterns: 1200,
+                },
+            )
+            .with_gate_count(150_000),
         )
         .core(
-            CoreDescription::new("sram1", TestMethod::Bist { width: 16, patterns: 900 })
-                .with_gate_count(90_000),
+            CoreDescription::new(
+                "sram1",
+                TestMethod::Bist {
+                    width: 16,
+                    patterns: 900,
+                },
+            )
+            .with_gate_count(90_000),
         )
         .core(
-            CoreDescription::new("drameric", TestMethod::Memory { words: 512, data_width: 32 })
-                .with_gate_count(260_000),
+            CoreDescription::new(
+                "drameric",
+                TestMethod::Memory {
+                    words: 512,
+                    data_width: 32,
+                },
+            )
+            .with_gate_count(260_000),
         )
         .core(scan("periph0", vec![44, 41], 90, 35_000))
         .core(scan("periph1", vec![38], 75, 22_000))
         .core(
-            CoreDescription::new("serdes", TestMethod::External { ports: 2, patterns: 300 })
-                .with_gate_count(48_000),
+            CoreDescription::new(
+                "serdes",
+                TestMethod::External {
+                    ports: 2,
+                    patterns: 300,
+                },
+            )
+            .with_gate_count(48_000),
         )
         .core(CoreDescription::new(
             "south_bridge",
@@ -188,8 +296,14 @@ pub fn itc02_like_soc() -> SocDescription {
                 internal_bus_width: 2,
                 sub_cores: vec![
                     scan("sb_uart", vec![24, 22], 40, 9_000),
-                    CoreDescription::new("sb_rom", TestMethod::Bist { width: 12, patterns: 300 })
-                        .with_gate_count(14_000),
+                    CoreDescription::new(
+                        "sb_rom",
+                        TestMethod::Bist {
+                            width: 12,
+                            patterns: 300,
+                        },
+                    )
+                    .with_gate_count(14_000),
                 ],
             },
         ))
@@ -205,8 +319,15 @@ pub fn itc02_like_soc() -> SocDescription {
 /// # Panics
 ///
 /// Panics if `n_cores` is zero or `max_ports` is zero.
-pub fn random_soc<R: Rng + ?Sized>(rng: &mut R, n_cores: usize, max_ports: usize) -> SocDescription {
-    assert!(n_cores > 0 && max_ports > 0, "need at least one core and one port");
+pub fn random_soc<R: Rng + ?Sized>(
+    rng: &mut R,
+    n_cores: usize,
+    max_ports: usize,
+) -> SocDescription {
+    assert!(
+        n_cores > 0 && max_ports > 0,
+        "need at least one core and one port"
+    );
     let mut builder = SocBuilder::new("random");
     for i in 0..n_cores {
         let name = format!("core{i}");
@@ -215,7 +336,10 @@ pub fn random_soc<R: Rng + ?Sized>(rng: &mut R, n_cores: usize, max_ports: usize
                 let chains = (0..rng.random_range(1..=max_ports))
                     .map(|_| rng.random_range(8..=128))
                     .collect();
-                TestMethod::Scan { chains, patterns: rng.random_range(8..=128) }
+                TestMethod::Scan {
+                    chains,
+                    patterns: rng.random_range(8..=128),
+                }
             }
             1 => TestMethod::Bist {
                 width: rng.random_range(4..=24),
@@ -234,7 +358,9 @@ pub fn random_soc<R: Rng + ?Sized>(rng: &mut R, n_cores: usize, max_ports: usize
             CoreDescription::new(name, method).with_gate_count(rng.random_range(5_000..200_000)),
         );
     }
-    builder.build().expect("random SoCs are valid by construction")
+    builder
+        .build()
+        .expect("random SoCs are valid by construction")
 }
 
 #[cfg(test)]

@@ -67,7 +67,9 @@ impl TestMethod {
             Self::Scan { chains, .. } => chains.len(),
             Self::Bist { .. } => 1,
             Self::External { ports, .. } => *ports,
-            Self::Hierarchical { internal_bus_width, .. } => *internal_bus_width,
+            Self::Hierarchical {
+                internal_bus_width, ..
+            } => *internal_bus_width,
             Self::Memory { .. } => 1,
         }
     }
@@ -102,7 +104,10 @@ impl fmt::Display for TestMethod {
             Self::External { ports, patterns } => {
                 write!(f, "external({ports} ports, {patterns} clocks)")
             }
-            Self::Hierarchical { internal_bus_width, sub_cores } => write!(
+            Self::Hierarchical {
+                internal_bus_width,
+                sub_cores,
+            } => write!(
                 f,
                 "hierarchical({} internal wires, {} sub-cores)",
                 internal_bus_width,
@@ -223,32 +228,82 @@ mod tests {
     #[test]
     fn required_ports_per_method() {
         assert_eq!(
-            TestMethod::Scan { chains: vec![10, 20, 30], patterns: 5 }.required_ports(),
+            TestMethod::Scan {
+                chains: vec![10, 20, 30],
+                patterns: 5
+            }
+            .required_ports(),
             3
         );
-        assert_eq!(TestMethod::Bist { width: 16, patterns: 100 }.required_ports(), 1);
-        assert_eq!(TestMethod::External { ports: 4, patterns: 50 }.required_ports(), 4);
-        assert_eq!(TestMethod::Memory { words: 64, data_width: 8 }.required_ports(), 1);
-        let sub = CoreDescription::new("s", TestMethod::Bist { width: 8, patterns: 10 });
         assert_eq!(
-            TestMethod::Hierarchical { internal_bus_width: 2, sub_cores: vec![sub] }
-                .required_ports(),
+            TestMethod::Bist {
+                width: 16,
+                patterns: 100
+            }
+            .required_ports(),
+            1
+        );
+        assert_eq!(
+            TestMethod::External {
+                ports: 4,
+                patterns: 50
+            }
+            .required_ports(),
+            4
+        );
+        assert_eq!(
+            TestMethod::Memory {
+                words: 64,
+                data_width: 8
+            }
+            .required_ports(),
+            1
+        );
+        let sub = CoreDescription::new(
+            "s",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 10,
+            },
+        );
+        assert_eq!(
+            TestMethod::Hierarchical {
+                internal_bus_width: 2,
+                sub_cores: vec![sub]
+            }
+            .required_ports(),
             2
         );
     }
 
     #[test]
     fn scan_flops_sums_chains() {
-        let m = TestMethod::Scan { chains: vec![10, 20, 30], patterns: 5 };
+        let m = TestMethod::Scan {
+            chains: vec![10, 20, 30],
+            patterns: 5,
+        };
         assert_eq!(m.scan_flops(), 60);
-        assert_eq!(TestMethod::Bist { width: 8, patterns: 1 }.scan_flops(), 0);
+        assert_eq!(
+            TestMethod::Bist {
+                width: 8,
+                patterns: 1
+            }
+            .scan_flops(),
+            0
+        );
     }
 
     #[test]
     fn builder_setters() {
-        let c = CoreDescription::new("dsp", TestMethod::Bist { width: 8, patterns: 255 })
-            .with_terminals(16, 12)
-            .with_gate_count(50_000);
+        let c = CoreDescription::new(
+            "dsp",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 255,
+            },
+        )
+        .with_terminals(16, 12)
+        .with_gate_count(50_000);
         assert_eq!(c.functional_inputs(), 16);
         assert_eq!(c.functional_outputs(), 12);
         assert_eq!(c.gate_count(), 50_000);
@@ -256,14 +311,34 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let c = CoreDescription::new("cpu", TestMethod::Scan { chains: vec![4], patterns: 2 });
+        let c = CoreDescription::new(
+            "cpu",
+            TestMethod::Scan {
+                chains: vec![4],
+                patterns: 2,
+            },
+        );
         assert_eq!(c.to_string(), "cpu [scan(1 chains, 2 patterns)]");
         assert_eq!(CoreId(3).to_string(), "core#3");
     }
 
     #[test]
     fn kind_names() {
-        assert_eq!(TestMethod::Memory { words: 1, data_width: 1 }.kind_name(), "memory");
-        assert_eq!(TestMethod::External { ports: 1, patterns: 1 }.kind_name(), "external");
+        assert_eq!(
+            TestMethod::Memory {
+                words: 1,
+                data_width: 1
+            }
+            .kind_name(),
+            "memory"
+        );
+        assert_eq!(
+            TestMethod::External {
+                ports: 1,
+                patterns: 1
+            }
+            .kind_name(),
+            "external"
+        );
     }
 }

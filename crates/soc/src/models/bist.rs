@@ -52,10 +52,15 @@ impl BistCore {
     /// Panics if no primitive polynomial of `width` is tabulated
     /// (supported widths: 1..=32).
     pub fn new(name: &str, width: u32, patterns: usize) -> Self {
-        let poly = Polynomial::primitive(width)
-            .unwrap_or_else(|e| panic!("BIST width {width}: {e}"));
+        let poly =
+            Polynomial::primitive(width).unwrap_or_else(|e| panic!("BIST width {width}: {e}"));
         let key = name_key(name);
-        let seed = (key | 1) & if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let seed = (key | 1)
+            & if width == 64 {
+                u64::MAX
+            } else {
+                (1 << width) - 1
+            };
         let lfsr = Lfsr::fibonacci(poly.clone(), seed.max(1)).expect("non-zero seed");
         let misr = Misr::new(poly, width).expect("width matches degree");
         Self {

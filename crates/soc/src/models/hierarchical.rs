@@ -57,7 +57,10 @@ impl HierarchicalCore {
     /// more ports than the internal bus has wires.
     pub fn new(name: &str, width: usize, sub_cores: Vec<Box<dyn TestableCore>>) -> Self {
         assert!(width > 0, "internal bus width must be non-zero");
-        assert!(!sub_cores.is_empty(), "a hierarchical core embeds at least one sub-core");
+        assert!(
+            !sub_cores.is_empty(),
+            "a hierarchical core embeds at least one sub-core"
+        );
         for sub in &sub_cores {
             assert!(
                 sub.test_ports() <= width,
@@ -67,7 +70,11 @@ impl HierarchicalCore {
                 width
             );
         }
-        Self { name: name.to_owned(), width, sub_cores }
+        Self {
+            name: name.to_owned(),
+            width,
+            sub_cores,
+        }
     }
 
     /// The embedded sub-cores.
@@ -161,7 +168,7 @@ mod tests {
         for _ in 0..6 {
             outputs.push(core.test_clock(&BitVec::zeros(2)).get(0).unwrap());
         }
-        assert_eq!(outputs[5], true, "bit emerges after total chain depth");
+        assert!(outputs[5], "bit emerges after total chain depth");
         assert!(outputs[..5].iter().all(|&b| !b));
     }
 
@@ -217,8 +224,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "needs 3 wires")]
     fn too_narrow_bus_rejected() {
-        let subs: Vec<Box<dyn TestableCore>> =
-            vec![Box::new(ScanCore::new("wide", vec![1, 1, 1]))];
+        let subs: Vec<Box<dyn TestableCore>> = vec![Box::new(ScanCore::new("wide", vec![1, 1, 1]))];
         let _ = HierarchicalCore::new("h", 2, subs);
     }
 

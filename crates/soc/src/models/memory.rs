@@ -62,7 +62,10 @@ impl MemoryCore {
     ///
     /// Panics if `words` or `data_width` is zero.
     pub fn new(name: &str, words: usize, data_width: usize) -> Self {
-        assert!(words > 0 && data_width > 0, "memory dimensions must be non-zero");
+        assert!(
+            words > 0 && data_width > 0,
+            "memory dimensions must be non-zero"
+        );
         Self {
             name: name.to_owned(),
             words,
@@ -88,7 +91,10 @@ impl MemoryCore {
     ///
     /// Panics if the location is out of range.
     pub fn inject_stuck_cell(&mut self, word: usize, bit: usize, value: bool) {
-        assert!(word < self.words && bit < self.data_width, "cell out of range");
+        assert!(
+            word < self.words && bit < self.data_width,
+            "cell out of range"
+        );
         self.stuck = Some((word, bit, value));
         self.apply_fault();
     }
@@ -146,7 +152,8 @@ impl MemoryCore {
     fn update_status(&mut self) {
         self.status = BitVec::zeros(2);
         self.status.set(0, self.self_test_done());
-        self.status.set(1, self.self_test_done() && self.failures == 0);
+        self.status
+            .set(1, self.self_test_done() && self.failures == 0);
     }
 }
 

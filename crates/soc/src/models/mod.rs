@@ -43,9 +43,16 @@ pub fn instantiate(desc: &CoreDescription) -> Box<dyn TestableCore> {
             Box::new(BistCore::new(desc.name(), *width, *patterns))
         }
         TestMethod::External { ports, .. } => Box::new(ExternalCore::new(desc.name(), *ports)),
-        TestMethod::Hierarchical { internal_bus_width, sub_cores } => {
+        TestMethod::Hierarchical {
+            internal_bus_width,
+            sub_cores,
+        } => {
             let subs = sub_cores.iter().map(instantiate).collect();
-            Box::new(HierarchicalCore::new(desc.name(), *internal_bus_width, subs))
+            Box::new(HierarchicalCore::new(
+                desc.name(),
+                *internal_bus_width,
+                subs,
+            ))
         }
         TestMethod::Memory { words, data_width } => {
             Box::new(MemoryCore::new(desc.name(), *words, *data_width))
@@ -78,10 +85,34 @@ mod tests {
     #[test]
     fn instantiate_matches_ports() {
         let descs = [
-            CoreDescription::new("a", TestMethod::Scan { chains: vec![5, 6, 7], patterns: 1 }),
-            CoreDescription::new("b", TestMethod::Bist { width: 8, patterns: 10 }),
-            CoreDescription::new("c", TestMethod::External { ports: 4, patterns: 10 }),
-            CoreDescription::new("d", TestMethod::Memory { words: 16, data_width: 4 }),
+            CoreDescription::new(
+                "a",
+                TestMethod::Scan {
+                    chains: vec![5, 6, 7],
+                    patterns: 1,
+                },
+            ),
+            CoreDescription::new(
+                "b",
+                TestMethod::Bist {
+                    width: 8,
+                    patterns: 10,
+                },
+            ),
+            CoreDescription::new(
+                "c",
+                TestMethod::External {
+                    ports: 4,
+                    patterns: 10,
+                },
+            ),
+            CoreDescription::new(
+                "d",
+                TestMethod::Memory {
+                    words: 16,
+                    data_width: 4,
+                },
+            ),
         ];
         let expected = [3, 1, 4, 1];
         for (desc, want) in descs.iter().zip(expected) {
@@ -91,10 +122,19 @@ mod tests {
 
     #[test]
     fn instantiate_hierarchical_recurses() {
-        let sub = CoreDescription::new("leaf", TestMethod::Scan { chains: vec![4], patterns: 1 });
+        let sub = CoreDescription::new(
+            "leaf",
+            TestMethod::Scan {
+                chains: vec![4],
+                patterns: 1,
+            },
+        );
         let desc = CoreDescription::new(
             "parent",
-            TestMethod::Hierarchical { internal_bus_width: 2, sub_cores: vec![sub] },
+            TestMethod::Hierarchical {
+                internal_bus_width: 2,
+                sub_cores: vec![sub],
+            },
         );
         let model = instantiate(&desc);
         assert_eq!(model.test_ports(), 2);

@@ -45,7 +45,10 @@ impl ScanCore {
     ///
     /// Panics if no chain is given or any chain is empty.
     pub fn new(name: &str, chain_lengths: Vec<usize>) -> Self {
-        assert!(!chain_lengths.is_empty(), "a scan core needs at least one chain");
+        assert!(
+            !chain_lengths.is_empty(),
+            "a scan core needs at least one chain"
+        );
         assert!(
             chain_lengths.iter().all(|&l| l > 0),
             "scan chains must be non-empty"

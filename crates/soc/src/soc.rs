@@ -19,12 +19,18 @@ pub struct SystemBusDescription {
 impl SystemBusDescription {
     /// A wrapped system bus of the given functional width.
     pub fn wrapped(width: usize) -> Self {
-        Self { width, wrapped: true }
+        Self {
+            width,
+            wrapped: true,
+        }
     }
 
     /// An unwrapped (functionally invisible to the TAM) system bus.
     pub fn unwrapped(width: usize) -> Self {
-        Self { width, wrapped: false }
+        Self {
+            width,
+            wrapped: false,
+        }
     }
 }
 
@@ -60,7 +66,12 @@ impl fmt::Display for SocError {
             Self::DuplicateName(n) => write!(f, "duplicate core name {n:?}"),
             Self::ZeroPorts(n) => write!(f, "core {n:?} requires zero test ports"),
             Self::EmptyScanChain(n) => write!(f, "core {n:?} declares an empty scan chain"),
-            Self::InternalBusTooNarrow { parent, sub_core, width, needed } => write!(
+            Self::InternalBusTooNarrow {
+                parent,
+                sub_core,
+                width,
+                needed,
+            } => write!(
                 f,
                 "hierarchical core {parent:?}: sub-core {sub_core:?} needs {needed} wires \
                  but the internal bus has only {width}"
@@ -128,7 +139,12 @@ impl SocDescription {
     /// The largest `P` any core (or the wrapped system bus) requires — a
     /// lower bound on a useful test bus width `N`.
     pub fn max_ports(&self) -> usize {
-        let core_max = self.cores.iter().map(CoreDescription::required_ports).max().unwrap_or(0);
+        let core_max = self
+            .cores
+            .iter()
+            .map(CoreDescription::required_ports)
+            .max()
+            .unwrap_or(0);
         // A wrapped system bus is EXTEST-ed serially: one wire.
         let bus = usize::from(self.system_bus.as_ref().is_some_and(|b| b.wrapped));
         core_max.max(bus)
@@ -158,7 +174,11 @@ impl fmt::Display for SocDescription {
                 f,
                 "  system bus: {} bits, {}",
                 bus.width,
-                if bus.wrapped { "wrapped (own CAS)" } else { "unwrapped" }
+                if bus.wrapped {
+                    "wrapped (own CAS)"
+                } else {
+                    "unwrapped"
+                }
             )?;
         }
         Ok(())
@@ -177,7 +197,11 @@ pub struct SocBuilder {
 impl SocBuilder {
     /// Starts a builder for an SoC of the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), cores: Vec::new(), system_bus: None }
+        Self {
+            name: name.into(),
+            cores: Vec::new(),
+            system_bus: None,
+        }
     }
 
     /// Adds a core (CAS order is insertion order).
@@ -227,12 +251,13 @@ fn validate_core<'a>(
         return Err(SocError::ZeroPorts(core.name().to_owned()));
     }
     match core.method() {
-        TestMethod::Scan { chains, .. } => {
-            if chains.contains(&0) {
-                return Err(SocError::EmptyScanChain(core.name().to_owned()));
-            }
+        TestMethod::Scan { chains, .. } if chains.contains(&0) => {
+            return Err(SocError::EmptyScanChain(core.name().to_owned()));
         }
-        TestMethod::Hierarchical { internal_bus_width, sub_cores } => {
+        TestMethod::Hierarchical {
+            internal_bus_width,
+            sub_cores,
+        } => {
             for sub in sub_cores {
                 if sub.required_ports() > *internal_bus_width {
                     return Err(SocError::InternalBusTooNarrow {
@@ -255,7 +280,13 @@ mod tests {
     use super::*;
 
     fn scan(name: &str, chains: Vec<usize>) -> CoreDescription {
-        CoreDescription::new(name, TestMethod::Scan { chains, patterns: 4 })
+        CoreDescription::new(
+            name,
+            TestMethod::Scan {
+                chains,
+                patterns: 4,
+            },
+        )
     }
 
     #[test]
@@ -278,7 +309,10 @@ mod tests {
         let sub = scan("a", vec![1]);
         let parent = CoreDescription::new(
             "h",
-            TestMethod::Hierarchical { internal_bus_width: 1, sub_cores: vec![sub] },
+            TestMethod::Hierarchical {
+                internal_bus_width: 1,
+                sub_cores: vec![sub],
+            },
         );
         let err = SocBuilder::new("x")
             .core(scan("a", vec![1]))
@@ -290,7 +324,13 @@ mod tests {
 
     #[test]
     fn zero_ports_rejected() {
-        let core = CoreDescription::new("z", TestMethod::Scan { chains: vec![], patterns: 1 });
+        let core = CoreDescription::new(
+            "z",
+            TestMethod::Scan {
+                chains: vec![],
+                patterns: 1,
+            },
+        );
         assert_eq!(
             SocBuilder::new("x").core(core).build(),
             Err(SocError::ZeroPorts("z".into()))
@@ -311,10 +351,20 @@ mod tests {
         let sub = scan("wide", vec![1, 1, 1]);
         let parent = CoreDescription::new(
             "h",
-            TestMethod::Hierarchical { internal_bus_width: 2, sub_cores: vec![sub] },
+            TestMethod::Hierarchical {
+                internal_bus_width: 2,
+                sub_cores: vec![sub],
+            },
         );
         let err = SocBuilder::new("x").core(parent).build().unwrap_err();
-        assert!(matches!(err, SocError::InternalBusTooNarrow { needed: 3, width: 2, .. }));
+        assert!(matches!(
+            err,
+            SocError::InternalBusTooNarrow {
+                needed: 3,
+                width: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -322,8 +372,14 @@ mod tests {
         let soc = SocBuilder::new("demo")
             .core(scan("cpu", vec![10, 20]).with_gate_count(1000))
             .core(
-                CoreDescription::new("ram", TestMethod::Bist { width: 8, patterns: 255 })
-                    .with_gate_count(500),
+                CoreDescription::new(
+                    "ram",
+                    TestMethod::Bist {
+                        width: 8,
+                        patterns: 255,
+                    },
+                )
+                .with_gate_count(500),
             )
             .system_bus(SystemBusDescription::wrapped(32))
             .build()

@@ -30,13 +30,12 @@ proptest! {
         let mut observed: Vec<Vec<bool>> = vec![Vec::new(); ports];
         for _ in 0..depth {
             let out = core.test_clock(&BitVec::zeros(ports));
-            for j in 0..ports {
-                observed[j].push(out.get(j).expect("port"));
+            for (j, chain) in observed.iter_mut().enumerate() {
+                chain.push(out.get(j).expect("port"));
             }
         }
-        for j in 0..ports {
-            let delay = lengths[j];
-            for t in 0..depth {
+        for (j, delay) in lengths.iter().copied().enumerate() {
+            for (t, stimulus) in stimuli.iter().enumerate() {
                 // Bit driven at clock t emerges at clock t + delay overall;
                 // we started reading at clock `depth`.
                 let read_index = (t + delay).checked_sub(depth);
@@ -44,7 +43,7 @@ proptest! {
                     if r < depth {
                         prop_assert_eq!(
                             observed[j][r],
-                            stimuli[t].get(j).expect("port"),
+                            stimulus.get(j).expect("port"),
                             "chain {} stimulus {}",
                             j,
                             t
@@ -119,13 +118,31 @@ fn soc_descriptions_reject_structural_nonsense() {
     // A battery of invalid descriptions, all rejected with precise errors.
     use casbus_soc::SocError;
     let zero_chain = SocBuilder::new("x")
-        .core(CoreDescription::new("a", TestMethod::Scan { chains: vec![0], patterns: 1 }))
+        .core(CoreDescription::new(
+            "a",
+            TestMethod::Scan {
+                chains: vec![0],
+                patterns: 1,
+            },
+        ))
         .build();
     assert_eq!(zero_chain, Err(SocError::EmptyScanChain("a".into())));
 
     let clash = SocBuilder::new("x")
-        .core(CoreDescription::new("a", TestMethod::Bist { width: 4, patterns: 1 }))
-        .core(CoreDescription::new("a", TestMethod::Bist { width: 4, patterns: 1 }))
+        .core(CoreDescription::new(
+            "a",
+            TestMethod::Bist {
+                width: 4,
+                patterns: 1,
+            },
+        ))
+        .core(CoreDescription::new(
+            "a",
+            TestMethod::Bist {
+                width: 4,
+                patterns: 1,
+            },
+        ))
         .build();
     assert_eq!(clash, Err(SocError::DuplicateName("a".into())));
 }

@@ -88,7 +88,11 @@ impl BitVec {
         assert!(len <= 64, "from_u64 supports at most 64 bits, got {len}");
         let mut v = Self::zeros(len);
         if len > 0 {
-            v.words[0] = if len == 64 { value } else { value & ((1 << len) - 1) };
+            v.words[0] = if len == 64 {
+                value
+            } else {
+                value & ((1 << len) - 1)
+            };
         }
         v
     }
@@ -134,7 +138,7 @@ impl BitVec {
         }
         let bit = self.get(self.len - 1).expect("index < len");
         self.len -= 1;
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.pop();
         } else {
             self.mask_tail();
@@ -156,7 +160,11 @@ impl BitVec {
     ///
     /// Panics if `index` is out of bounds.
     pub fn set(&mut self, index: usize, bit: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         if bit {
             self.words[index / 64] |= 1 << (index % 64);
         } else {
@@ -215,9 +223,24 @@ impl BitVec {
         out
     }
 
+    /// The backing 64-bit words, bit 0 in the LSB of word 0. Tail bits
+    /// beyond [`BitVec::len`] are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The backing word at `index`, or 0 past the end — so callers doing
+    /// word-at-a-time packing need not special-case short vectors.
+    pub fn word(&self, index: usize) -> u64 {
+        self.words.get(index).copied().unwrap_or(0)
+    }
+
     /// Iterates over the bits, first-pushed first.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { bits: self, index: 0 }
+        Iter {
+            bits: self,
+            index: 0,
+        }
     }
 
     /// Bitwise XOR with another vector of the same length.
@@ -365,7 +388,12 @@ impl FromStr for BitVec {
                 '0' => v.push(false),
                 '1' => v.push(true),
                 '_' => {}
-                _ => return Err(ParseBitVecError { character, position }),
+                _ => {
+                    return Err(ParseBitVecError {
+                        character,
+                        position,
+                    })
+                }
             }
         }
         Ok(v)
@@ -541,6 +569,22 @@ mod tests {
         assert_eq!(it.len(), 17);
         it.next();
         assert_eq!(it.len(), 16);
+    }
+
+    #[test]
+    fn word_access_is_lsb_first_and_zero_padded() {
+        let mut v = BitVec::from_u64(0b1011, 4);
+        assert_eq!(v.words(), &[0b1011]);
+        assert_eq!(v.word(0), 0b1011);
+        assert_eq!(v.word(1), 0, "past-the-end words read as zero");
+        for i in 0..70 {
+            v.push(i == 65);
+        }
+        assert_eq!(v.words().len(), 2);
+        assert_eq!(v.word(1) >> (69 - 64) & 1, 1);
+        // Tail bits beyond len stay clear even after pops.
+        v.pop();
+        assert_eq!(v.word(1) >> (73 - 64) & 1, 0);
     }
 
     #[test]

@@ -95,7 +95,13 @@ impl Lfsr {
             LfsrKind::Fibonacci => fibonacci_mask(&poly),
             LfsrKind::Galois => galois_mask(&poly),
         };
-        Ok(Self { poly, kind, state: seed, seed, mask })
+        Ok(Self {
+            poly,
+            kind,
+            state: seed,
+            seed,
+            mask,
+        })
     }
 
     /// Creates an external-XOR (Fibonacci) LFSR. See [`Lfsr::new`] for errors.
@@ -180,7 +186,11 @@ impl Lfsr {
     pub fn period(&self) -> u64 {
         let mut probe = self.clone();
         let start = probe.state;
-        let cap = if self.width() >= 63 { u64::MAX } else { 1u64 << (self.width() + 1) };
+        let cap = if self.width() >= 63 {
+            u64::MAX
+        } else {
+            1u64 << (self.width() + 1)
+        };
         let mut count = 0u64;
         loop {
             probe.step();
@@ -254,7 +264,10 @@ mod tests {
         let poly = Polynomial::primitive(4).unwrap();
         assert_eq!(
             Lfsr::fibonacci(poly, 0x10),
-            Err(LfsrError::SeedTooWide { width: 4, seed: 0x10 })
+            Err(LfsrError::SeedTooWide {
+                width: 4,
+                seed: 0x10
+            })
         );
     }
 

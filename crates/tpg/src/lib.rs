@@ -60,6 +60,4 @@ pub use misr::{Misr, MisrError};
 pub use pattern::{Pattern, PatternSet, PatternSetError};
 pub use poly::{Polynomial, PolynomialError};
 pub use signature::{aliasing_probability, golden_signature};
-pub use source::{
-    CompareSink, LfsrSource, MisrSink, PatternSource, TestSink, TestSource, Verdict,
-};
+pub use source::{CompareSink, LfsrSource, MisrSink, PatternSource, TestSink, TestSource, Verdict};

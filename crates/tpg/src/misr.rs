@@ -84,7 +84,13 @@ impl Misr {
                 mask |= 1 << (e - 1);
             }
         }
-        Ok(Self { poly, inputs, state: 0, mask, absorbed: 0 })
+        Ok(Self {
+            poly,
+            inputs,
+            state: 0,
+            mask,
+            absorbed: 0,
+        })
     }
 
     /// Creates a single-input signature register (SISR).
@@ -200,7 +206,10 @@ mod tests {
     fn too_many_inputs_rejected() {
         assert_eq!(
             Misr::new(Polynomial::primitive(4).unwrap(), 5),
-            Err(MisrError::TooManyInputs { width: 4, inputs: 5 })
+            Err(MisrError::TooManyInputs {
+                width: 4,
+                inputs: 5
+            })
         );
     }
 

@@ -23,12 +23,18 @@ pub struct Pattern {
 impl Pattern {
     /// Creates a stimulus-only pattern.
     pub fn stimulus_only(stimulus: BitVec) -> Self {
-        Self { stimulus, expected: None }
+        Self {
+            stimulus,
+            expected: None,
+        }
     }
 
     /// Creates a pattern with a known expected response.
     pub fn with_expected(stimulus: BitVec, expected: BitVec) -> Self {
-        Self { stimulus, expected: Some(expected) }
+        Self {
+            stimulus,
+            expected: Some(expected),
+        }
     }
 
     /// Stimulus width in bits.
@@ -56,10 +62,11 @@ pub enum PatternSetError {
 impl fmt::Display for PatternSetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::MixedWidths { expected, found, index } => write!(
-                f,
-                "pattern {index} has width {found}, expected {expected}"
-            ),
+            Self::MixedWidths {
+                expected,
+                found,
+                index,
+            } => write!(f, "pattern {index} has width {found}, expected {expected}"),
             Self::ExhaustiveTooWide(w) => {
                 write!(f, "exhaustive set over {w} bits exceeds the 24-bit limit")
             }
@@ -90,7 +97,10 @@ pub struct PatternSet {
 impl PatternSet {
     /// Creates an empty set of the given stimulus width.
     pub fn new(width: usize) -> Self {
-        Self { patterns: Vec::new(), width }
+        Self {
+            patterns: Vec::new(),
+            width,
+        }
     }
 
     /// Builds a set from existing patterns, validating widths.
@@ -170,7 +180,11 @@ impl PatternSet {
 
     /// `count` counting stimuli `0, 1, 2, …` (mod `2^width`).
     pub fn counting(width: usize, count: usize) -> Self {
-        let modulus = if width >= 64 { u64::MAX } else { (1u64 << width).max(1) };
+        let modulus = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width).max(1)
+        };
         let patterns = (0..count as u64)
             .map(|v| Pattern::stimulus_only(BitVec::from_u64(v % modulus, width.min(64))))
             .collect();
@@ -303,9 +317,7 @@ mod tests {
     #[test]
     fn lfsr_patterns_are_reproducible() {
         let poly = Polynomial::primitive(8).unwrap();
-        let make = || {
-            PatternSet::from_lfsr(Lfsr::fibonacci(poly.clone(), 1).unwrap(), 6, 10)
-        };
+        let make = || PatternSet::from_lfsr(Lfsr::fibonacci(poly.clone(), 1).unwrap(), 6, 10);
         assert_eq!(make(), make());
         assert_eq!(make().len(), 10);
     }
@@ -318,7 +330,11 @@ mod tests {
         ];
         assert_eq!(
             PatternSet::from_patterns(patterns),
-            Err(PatternSetError::MixedWidths { expected: 3, found: 4, index: 1 })
+            Err(PatternSetError::MixedWidths {
+                expected: 3,
+                found: 4,
+                index: 1
+            })
         );
     }
 

@@ -50,7 +50,10 @@ impl fmt::Display for PolynomialError {
         match self {
             Self::BadDegree(d) => write!(f, "polynomial degree {d} not in 1..=64"),
             Self::BadExponent { exponent, degree } => {
-                write!(f, "tap exponent {exponent} not strictly between 0 and {degree}")
+                write!(
+                    f,
+                    "tap exponent {exponent} not strictly between 0 and {degree}"
+                )
             }
             Self::NoPrimitive(d) => write!(f, "no tabulated primitive polynomial of degree {d}"),
         }
@@ -64,38 +67,38 @@ impl std::error::Error for PolynomialError {}
 /// `1` terms being implicit). Taken from the standard tables used in BIST
 /// literature (e.g. Bardell, McAnney & Savir, *Built-In Test for VLSI*).
 const PRIMITIVE_TAPS: [&[u32]; 32] = [
-    &[],           // x + 1
-    &[1],          // x^2 + x + 1
-    &[1],          // x^3 + x + 1
-    &[1],          // x^4 + x + 1
-    &[2],          // x^5 + x^2 + 1
-    &[1],          // x^6 + x + 1
-    &[1],          // x^7 + x + 1
-    &[6, 5, 1],    // x^8 + x^6 + x^5 + x + 1
-    &[4],          // x^9 + x^4 + 1
-    &[3],          // x^10 + x^3 + 1
-    &[2],          // x^11 + x^2 + 1
-    &[7, 4, 3],    // x^12 + x^7 + x^4 + x^3 + 1
-    &[4, 3, 1],    // x^13 + x^4 + x^3 + x + 1
-    &[12, 11, 1],  // x^14 + x^12 + x^11 + x + 1
-    &[1],          // x^15 + x + 1
-    &[5, 3, 2],    // x^16 + x^5 + x^3 + x^2 + 1
-    &[3],          // x^17 + x^3 + 1
-    &[7],          // x^18 + x^7 + 1
-    &[6, 5, 1],    // x^19 + x^6 + x^5 + x + 1
-    &[3],          // x^20 + x^3 + 1
-    &[2],          // x^21 + x^2 + 1
-    &[1],          // x^22 + x + 1
-    &[5],          // x^23 + x^5 + 1
-    &[4, 3, 1],    // x^24 + x^4 + x^3 + x + 1
-    &[3],          // x^25 + x^3 + 1
-    &[8, 7, 1],    // x^26 + x^8 + x^7 + x + 1
-    &[8, 7, 1],    // x^27 + x^8 + x^7 + x + 1
-    &[3],          // x^28 + x^3 + 1
-    &[2],          // x^29 + x^2 + 1
-    &[16, 15, 1],  // x^30 + x^16 + x^15 + x + 1
-    &[3],          // x^31 + x^3 + 1
-    &[28, 27, 1],  // x^32 + x^28 + x^27 + x + 1
+    &[],          // x + 1
+    &[1],         // x^2 + x + 1
+    &[1],         // x^3 + x + 1
+    &[1],         // x^4 + x + 1
+    &[2],         // x^5 + x^2 + 1
+    &[1],         // x^6 + x + 1
+    &[1],         // x^7 + x + 1
+    &[6, 5, 1],   // x^8 + x^6 + x^5 + x + 1
+    &[4],         // x^9 + x^4 + 1
+    &[3],         // x^10 + x^3 + 1
+    &[2],         // x^11 + x^2 + 1
+    &[7, 4, 3],   // x^12 + x^7 + x^4 + x^3 + 1
+    &[4, 3, 1],   // x^13 + x^4 + x^3 + x + 1
+    &[12, 11, 1], // x^14 + x^12 + x^11 + x + 1
+    &[1],         // x^15 + x + 1
+    &[5, 3, 2],   // x^16 + x^5 + x^3 + x^2 + 1
+    &[3],         // x^17 + x^3 + 1
+    &[7],         // x^18 + x^7 + 1
+    &[6, 5, 1],   // x^19 + x^6 + x^5 + x + 1
+    &[3],         // x^20 + x^3 + 1
+    &[2],         // x^21 + x^2 + 1
+    &[1],         // x^22 + x + 1
+    &[5],         // x^23 + x^5 + 1
+    &[4, 3, 1],   // x^24 + x^4 + x^3 + x + 1
+    &[3],         // x^25 + x^3 + 1
+    &[8, 7, 1],   // x^26 + x^8 + x^7 + x + 1
+    &[8, 7, 1],   // x^27 + x^8 + x^7 + x + 1
+    &[3],         // x^28 + x^3 + 1
+    &[2],         // x^29 + x^2 + 1
+    &[16, 15, 1], // x^30 + x^16 + x^15 + x + 1
+    &[3],         // x^31 + x^3 + 1
+    &[28, 27, 1], // x^32 + x^28 + x^27 + x + 1
 ];
 
 impl Polynomial {
@@ -134,7 +137,9 @@ impl Polynomial {
     /// assert_eq!(p.degree(), 16);
     /// ```
     pub fn primitive(degree: u32) -> Result<Self, PolynomialError> {
-        let idx = degree.checked_sub(1).ok_or(PolynomialError::NoPrimitive(degree))?;
+        let idx = degree
+            .checked_sub(1)
+            .ok_or(PolynomialError::NoPrimitive(degree))?;
         let taps = PRIMITIVE_TAPS
             .get(idx as usize)
             .ok_or(PolynomialError::NoPrimitive(degree))?;
@@ -174,13 +179,20 @@ impl Polynomial {
     /// Intermediate tap exponents (excluding leading and constant terms),
     /// descending.
     pub fn tap_exponents(&self) -> Vec<u32> {
-        (1..self.degree).rev().filter(|&e| self.has_term(e)).collect()
+        (1..self.degree)
+            .rev()
+            .filter(|&e| self.has_term(e))
+            .collect()
     }
 
     /// The reciprocal (reversed) polynomial `x^deg · p(1/x)`, which generates
     /// the time-reversed sequence and is primitive iff `self` is.
     pub fn reciprocal(&self) -> Polynomial {
-        let exponents: Vec<u32> = self.tap_exponents().iter().map(|&e| self.degree - e).collect();
+        let exponents: Vec<u32> = self
+            .tap_exponents()
+            .iter()
+            .map(|&e| self.degree - e)
+            .collect();
         Self::from_exponents(self.degree, &exponents).expect("reciprocal taps stay in range")
     }
 
@@ -247,7 +259,10 @@ mod tests {
     fn exponent_at_degree_rejected() {
         assert_eq!(
             Polynomial::from_exponents(4, &[4]),
-            Err(PolynomialError::BadExponent { exponent: 4, degree: 4 })
+            Err(PolynomialError::BadExponent {
+                exponent: 4,
+                degree: 4
+            })
         );
     }
 
@@ -259,15 +274,22 @@ mod tests {
     #[test]
     fn primitive_table_covers_1_to_32() {
         for degree in 1..=32 {
-            let p = Polynomial::primitive(degree).unwrap_or_else(|e| panic!("degree {degree}: {e}"));
+            let p =
+                Polynomial::primitive(degree).unwrap_or_else(|e| panic!("degree {degree}: {e}"));
             assert_eq!(p.degree(), degree);
         }
     }
 
     #[test]
     fn primitive_out_of_table() {
-        assert_eq!(Polynomial::primitive(0), Err(PolynomialError::NoPrimitive(0)));
-        assert_eq!(Polynomial::primitive(33), Err(PolynomialError::NoPrimitive(33)));
+        assert_eq!(
+            Polynomial::primitive(0),
+            Err(PolynomialError::NoPrimitive(0))
+        );
+        assert_eq!(
+            Polynomial::primitive(33),
+            Err(PolynomialError::NoPrimitive(33))
+        );
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl PatternSource {
     ///
     /// Panics if the streams have unequal lengths or no stream is given.
     pub fn new(streams: Vec<BitVec>) -> Self {
-        assert!(!streams.is_empty(), "PatternSource needs at least one stream");
+        assert!(
+            !streams.is_empty(),
+            "PatternSource needs at least one stream"
+        );
         let len = streams[0].len();
         assert!(
             streams.iter().all(|s| s.len() == len),
@@ -169,7 +172,10 @@ impl MisrSink {
     /// Wraps a MISR as a sink; the verdict stays
     /// [`Verdict::Undecided`] until an expected signature is supplied.
     pub fn new(misr: Misr) -> Self {
-        Self { misr, expected: None }
+        Self {
+            misr,
+            expected: None,
+        }
     }
 
     /// Sets the golden signature the final verdict is checked against.
@@ -224,13 +230,20 @@ impl CompareSink {
     ///
     /// Panics if the streams have unequal lengths or none is given.
     pub fn new(expected: Vec<BitVec>) -> Self {
-        assert!(!expected.is_empty(), "CompareSink needs at least one stream");
+        assert!(
+            !expected.is_empty(),
+            "CompareSink needs at least one stream"
+        );
         let len = expected[0].len();
         assert!(
             expected.iter().all(|s| s.len() == len),
             "all CompareSink streams must have equal length"
         );
-        Self { expected, cursor: 0, mismatches: 0 }
+        Self {
+            expected,
+            cursor: 0,
+            mismatches: 0,
+        }
     }
 
     /// Number of mismatching bits observed so far.
@@ -266,7 +279,9 @@ impl TestSink for CompareSink {
         if self.mismatches == 0 {
             Verdict::Pass
         } else {
-            Verdict::Fail { mismatches: self.mismatches }
+            Verdict::Fail {
+                mismatches: self.mismatches,
+            }
         }
     }
 }
@@ -291,10 +306,7 @@ mod tests {
 
     #[test]
     fn pattern_source_replays_and_exhausts() {
-        let mut src = PatternSource::new(vec![
-            "101".parse().unwrap(),
-            "011".parse().unwrap(),
-        ]);
+        let mut src = PatternSource::new(vec!["101".parse().unwrap(), "011".parse().unwrap()]);
         assert_eq!(src.width(), 2);
         assert_eq!(src.remaining(), Some(3));
         assert_eq!(src.drive().to_string(), "10");
@@ -341,8 +353,11 @@ mod tests {
     #[test]
     fn compare_sink_counts_mismatches() {
         let mut sink = CompareSink::new(vec!["110".parse().unwrap()]);
-        let bits: [BitVec; 3] =
-            ["1".parse().unwrap(), "0".parse().unwrap(), "0".parse().unwrap()];
+        let bits: [BitVec; 3] = [
+            "1".parse().unwrap(),
+            "0".parse().unwrap(),
+            "0".parse().unwrap(),
+        ];
         for b in &bits {
             sink.absorb(b);
         }
@@ -361,7 +376,10 @@ mod tests {
     #[test]
     fn verdict_display() {
         assert_eq!(Verdict::Pass.to_string(), "pass");
-        assert_eq!(Verdict::Fail { mismatches: 3 }.to_string(), "fail (3 mismatches)");
+        assert_eq!(
+            Verdict::Fail { mismatches: 3 }.to_string(),
+            "fail (3 mismatches)"
+        );
         assert_eq!(Verdict::Undecided.to_string(), "undecided");
     }
 

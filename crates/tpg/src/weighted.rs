@@ -167,7 +167,9 @@ mod tests {
         assert_eq!(a.width(), 3);
         // Column statistics: column 0 mostly 0, column 2 mostly 1.
         let column_ones = |set: &PatternSet, col: usize| {
-            set.iter().filter(|p| p.stimulus.get(col) == Some(true)).count()
+            set.iter()
+                .filter(|p| p.stimulus.get(col) == Some(true))
+                .count()
         };
         assert!(column_ones(&a, 0) < 20);
         assert!(column_ones(&a, 2) > 44);
@@ -189,7 +191,10 @@ mod tests {
             set.iter().position(|p| p.stimulus.count_ones() == 8)
         };
         let heavy = find_all_ones(&[Weight::FifteenSixteenths; 8]);
-        assert!(heavy.is_some(), "weighted patterns must hit the cone quickly");
+        assert!(
+            heavy.is_some(),
+            "weighted patterns must hit the cone quickly"
+        );
         assert!(heavy.unwrap() < 10);
     }
 }

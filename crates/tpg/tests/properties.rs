@@ -1,8 +1,6 @@
 //! Property-based tests of the TPG substrate invariants.
 
-use casbus_tpg::{
-    golden_signature, BitVec, Lfsr, LfsrKind, Misr, Pattern, PatternSet, Polynomial,
-};
+use casbus_tpg::{golden_signature, BitVec, Lfsr, LfsrKind, Misr, Pattern, PatternSet, Polynomial};
 use proptest::prelude::*;
 
 fn bits(len: std::ops::Range<usize>) -> impl Strategy<Value = BitVec> {

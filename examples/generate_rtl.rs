@@ -12,8 +12,18 @@ use casbus_suite::casbus_netlist::synth;
 use casbus_suite::casbus_rtl::{lint_vhdl, structural, verilog, vhdl};
 
 const TABLE1: [(usize, usize); 12] = [
-    (3, 1), (4, 1), (4, 2), (4, 3), (5, 1), (5, 2),
-    (5, 3), (6, 1), (6, 2), (6, 3), (6, 5), (8, 4),
+    (3, 1),
+    (4, 1),
+    (4, 2),
+    (4, 3),
+    (5, 1),
+    (5, 2),
+    (5, 3),
+    (6, 1),
+    (6, 2),
+    (6, 3),
+    (6, 5),
+    (8, 4),
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -47,7 +57,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     // The generic single-source alternative (paper §3.3).
-    fs::write(out_dir.join("cas_generic.vhd"), vhdl::generate_generic_vhdl())?;
-    println!("\nwrote RTL for all Table-1 configurations to {}", out_dir.display());
+    fs::write(
+        out_dir.join("cas_generic.vhd"),
+        vhdl::generate_generic_vhdl(),
+    )?;
+    println!(
+        "\nwrote RTL for all Table-1 configurations to {}",
+        out_dir.display()
+    );
     Ok(())
 }

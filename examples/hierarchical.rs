@@ -31,11 +31,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                             internal_bus_width: 2,
                             sub_cores: vec![CoreDescription::new(
                                 "l3_leaf",
-                                TestMethod::Scan { chains: vec![6, 5], patterns: 8 },
+                                TestMethod::Scan {
+                                    chains: vec![6, 5],
+                                    patterns: 8,
+                                },
                             )],
                         },
                     ),
-                    CoreDescription::new("l2_rom", TestMethod::Bist { width: 8, patterns: 50 }),
+                    CoreDescription::new(
+                        "l2_rom",
+                        TestMethod::Bist {
+                            width: 8,
+                            patterns: 50,
+                        },
+                    ),
                 ],
             },
         ))

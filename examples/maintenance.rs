@@ -20,7 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in ["app_cpu", "codec"] {
         println!(
             "  {name}: {}",
-            if plan.is_operational(name) { "keeps running (NORMAL mode)" } else { "under test" }
+            if plan.is_operational(name) {
+                "keeps running (NORMAL mode)"
+            } else {
+                "under test"
+            }
         );
     }
     println!("  TAM configuration: {}", plan.configuration());
@@ -47,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let report = run_core_session(&mut sim, "dram")?;
     println!("after defect: {report}");
-    assert!(!report.verdict.is_pass(), "the periodic march test must catch the stuck cell");
+    assert!(
+        !report.verdict.is_pass(),
+        "the periodic march test must catch the stuck cell"
+    );
     println!("\nThe stuck cell was detected while the rest of the SoC stayed online.");
     Ok(())
 }

@@ -14,18 +14,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = SocBuilder::new("quickstart")
         .core(CoreDescription::new(
             "cpu",
-            TestMethod::Scan { chains: vec![24, 22], patterns: 16 },
+            TestMethod::Scan {
+                chains: vec![24, 22],
+                patterns: 16,
+            },
         ))
         .core(CoreDescription::new(
             "sram",
-            TestMethod::Bist { width: 8, patterns: 64 },
+            TestMethod::Bist {
+                width: 8,
+                patterns: 64,
+            },
         ))
         .build()?;
 
     // 2. Size the test bus and build the TAM: one CAS per wrapped core.
     let n = 3;
     let tam = Tam::new(&soc, n)?;
-    println!("TAM for {:?}: {} CASes on a {}-wire test bus", soc.name(), tam.cas_count(), n);
+    println!(
+        "TAM for {:?}: {} CASes on a {}-wire test bus",
+        soc.name(),
+        tam.cas_count(),
+        n
+    );
     println!("configuration chain: {} bits", tam.configuration_clocks());
 
     // 3. Generate the hardware for the cpu's CAS (N=3, P=2), like the
@@ -39,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         geometry.instruction_width()
     );
     let rtl = vhdl::generate_vhdl(&set);
-    println!("generated VHDL: {} lines (entity {})", rtl.lines().count(), format_args!("cas_n3_p2"));
+    println!(
+        "generated VHDL: {} lines (entity {})",
+        rtl.lines().count(),
+        format_args!("cas_n3_p2")
+    );
 
     // 4. Simulate complete test sessions: every bit travels
     //    bus -> CAS -> P1500 wrapper -> core and back, checked against a

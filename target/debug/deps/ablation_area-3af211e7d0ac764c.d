@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_area-3af211e7d0ac764c.d: crates/bench/src/bin/ablation_area.rs
+
+/root/repo/target/debug/deps/ablation_area-3af211e7d0ac764c: crates/bench/src/bin/ablation_area.rs
+
+crates/bench/src/bin/ablation_area.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_area-6938c636e1ce10bc.d: crates/bench/src/bin/ablation_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_area-6938c636e1ce10bc.rmeta: crates/bench/src/bin/ablation_area.rs Cargo.toml
+
+crates/bench/src/bin/ablation_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_area-93e441a6ea74859f.d: crates/bench/src/bin/ablation_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_area-93e441a6ea74859f.rmeta: crates/bench/src/bin/ablation_area.rs Cargo.toml
+
+crates/bench/src/bin/ablation_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

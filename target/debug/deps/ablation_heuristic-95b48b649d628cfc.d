@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_heuristic-95b48b649d628cfc.d: crates/bench/src/bin/ablation_heuristic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_heuristic-95b48b649d628cfc.rmeta: crates/bench/src/bin/ablation_heuristic.rs Cargo.toml
+
+crates/bench/src/bin/ablation_heuristic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

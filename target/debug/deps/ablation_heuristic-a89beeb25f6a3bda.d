@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_heuristic-a89beeb25f6a3bda.d: crates/bench/src/bin/ablation_heuristic.rs
+
+/root/repo/target/debug/deps/ablation_heuristic-a89beeb25f6a3bda: crates/bench/src/bin/ablation_heuristic.rs
+
+crates/bench/src/bin/ablation_heuristic.rs:

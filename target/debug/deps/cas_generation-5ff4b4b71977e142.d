@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cas_generation-5ff4b4b71977e142.d: crates/bench/benches/cas_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcas_generation-5ff4b4b71977e142.rmeta: crates/bench/benches/cas_generation.rs Cargo.toml
+
+crates/bench/benches/cas_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cas_selftest-48fa06c485a4cda3.d: crates/bench/src/bin/cas_selftest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcas_selftest-48fa06c485a4cda3.rmeta: crates/bench/src/bin/cas_selftest.rs Cargo.toml
+
+crates/bench/src/bin/cas_selftest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cas_selftest-56d62c5fa79ba1a2.d: crates/bench/src/bin/cas_selftest.rs
+
+/root/repo/target/debug/deps/cas_selftest-56d62c5fa79ba1a2: crates/bench/src/bin/cas_selftest.rs
+
+crates/bench/src/bin/cas_selftest.rs:

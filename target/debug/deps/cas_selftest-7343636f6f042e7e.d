@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cas_selftest-7343636f6f042e7e.d: crates/bench/src/bin/cas_selftest.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcas_selftest-7343636f6f042e7e.rmeta: crates/bench/src/bin/cas_selftest.rs Cargo.toml
+
+crates/bench/src/bin/cas_selftest.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/casbus-0fc8e5fc09758d9e.d: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus-0fc8e5fc09758d9e.rmeta: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/cas.rs:
+crates/core/src/chain.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/geometry.rs:
+crates/core/src/instruction.rs:
+crates/core/src/switch.rs:
+crates/core/src/tam.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

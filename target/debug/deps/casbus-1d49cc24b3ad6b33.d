@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/casbus-1d49cc24b3ad6b33.d: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs
+
+/root/repo/target/debug/deps/casbus-1d49cc24b3ad6b33: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cas.rs:
+crates/core/src/chain.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/geometry.rs:
+crates/core/src/instruction.rs:
+crates/core/src/switch.rs:
+crates/core/src/tam.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/casbus-444133247bd6b701.d: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs
+
+/root/repo/target/debug/deps/libcasbus-444133247bd6b701.rlib: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs
+
+/root/repo/target/debug/deps/libcasbus-444133247bd6b701.rmeta: crates/core/src/lib.rs crates/core/src/cas.rs crates/core/src/chain.rs crates/core/src/config.rs crates/core/src/error.rs crates/core/src/geometry.rs crates/core/src/instruction.rs crates/core/src/switch.rs crates/core/src/tam.rs
+
+crates/core/src/lib.rs:
+crates/core/src/cas.rs:
+crates/core/src/chain.rs:
+crates/core/src/config.rs:
+crates/core/src/error.rs:
+crates/core/src/geometry.rs:
+crates/core/src/instruction.rs:
+crates/core/src/switch.rs:
+crates/core/src/tam.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casbus_bench-1928710ae4bfa7af.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_bench-1928710ae4bfa7af.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

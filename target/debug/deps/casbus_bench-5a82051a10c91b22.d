@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casbus_bench-5a82051a10c91b22.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/casbus_bench-5a82051a10c91b22: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/casbus_bench-80ab4bf2e484ebee.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcasbus_bench-80ab4bf2e484ebee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcasbus_bench-80ab4bf2e484ebee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/casbus_controller-2d3e18a9c5739067.d: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+/root/repo/target/debug/deps/casbus_controller-2d3e18a9c5739067: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/balance.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/maintenance.rs:
+crates/controller/src/program.rs:
+crates/controller/src/schedule.rs:
+crates/controller/src/time_model.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/casbus_controller-919cdebdaa123315.d: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_controller-919cdebdaa123315.rmeta: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs Cargo.toml
+
+crates/controller/src/lib.rs:
+crates/controller/src/balance.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/maintenance.rs:
+crates/controller/src/program.rs:
+crates/controller/src/schedule.rs:
+crates/controller/src/time_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

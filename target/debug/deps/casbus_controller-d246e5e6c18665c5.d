@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/casbus_controller-d246e5e6c18665c5.d: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+/root/repo/target/debug/deps/libcasbus_controller-d246e5e6c18665c5.rlib: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+/root/repo/target/debug/deps/libcasbus_controller-d246e5e6c18665c5.rmeta: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/balance.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/maintenance.rs:
+crates/controller/src/program.rs:
+crates/controller/src/schedule.rs:
+crates/controller/src/time_model.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/casbus_netlist-5e61afdabd00dd35.d: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs
+
+/root/repo/target/debug/deps/libcasbus_netlist-5e61afdabd00dd35.rlib: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs
+
+/root/repo/target/debug/deps/libcasbus_netlist-5e61afdabd00dd35.rmeta: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/area.rs:
+crates/netlist/src/atpg.rs:
+crates/netlist/src/crosspoint.rs:
+crates/netlist/src/fault.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/sim_packed.rs:
+crates/netlist/src/synth.rs:

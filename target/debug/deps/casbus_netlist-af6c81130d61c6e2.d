@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/casbus_netlist-af6c81130d61c6e2.d: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs
+
+/root/repo/target/debug/deps/casbus_netlist-af6c81130d61c6e2: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/area.rs:
+crates/netlist/src/atpg.rs:
+crates/netlist/src/crosspoint.rs:
+crates/netlist/src/fault.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/sim_packed.rs:
+crates/netlist/src/synth.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/casbus_netlist-b70b27fb16a7efc8.d: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_netlist-b70b27fb16a7efc8.rmeta: crates/netlist/src/lib.rs crates/netlist/src/area.rs crates/netlist/src/atpg.rs crates/netlist/src/crosspoint.rs crates/netlist/src/fault.rs crates/netlist/src/gate.rs crates/netlist/src/netlist.rs crates/netlist/src/opt.rs crates/netlist/src/sim.rs crates/netlist/src/sim_packed.rs crates/netlist/src/synth.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/area.rs:
+crates/netlist/src/atpg.rs:
+crates/netlist/src/crosspoint.rs:
+crates/netlist/src/fault.rs:
+crates/netlist/src/gate.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/opt.rs:
+crates/netlist/src/sim.rs:
+crates/netlist/src/sim_packed.rs:
+crates/netlist/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

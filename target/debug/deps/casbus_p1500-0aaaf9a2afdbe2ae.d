@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/casbus_p1500-0aaaf9a2afdbe2ae.d: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+/root/repo/target/debug/deps/libcasbus_p1500-0aaaf9a2afdbe2ae.rlib: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+/root/repo/target/debug/deps/libcasbus_p1500-0aaaf9a2afdbe2ae.rmeta: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+crates/p1500/src/lib.rs:
+crates/p1500/src/boundary.rs:
+crates/p1500/src/core.rs:
+crates/p1500/src/wir.rs:
+crates/p1500/src/wrapper.rs:

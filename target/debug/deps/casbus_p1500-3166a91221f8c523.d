@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casbus_p1500-3166a91221f8c523.d: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+/root/repo/target/debug/deps/casbus_p1500-3166a91221f8c523: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+crates/p1500/src/lib.rs:
+crates/p1500/src/boundary.rs:
+crates/p1500/src/core.rs:
+crates/p1500/src/wir.rs:
+crates/p1500/src/wrapper.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/casbus_p1500-9dc4c484b587fcbb.d: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_p1500-9dc4c484b587fcbb.rmeta: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs Cargo.toml
+
+crates/p1500/src/lib.rs:
+crates/p1500/src/boundary.rs:
+crates/p1500/src/core.rs:
+crates/p1500/src/wir.rs:
+crates/p1500/src/wrapper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/casbus_rtl-13bf1d849bcfdbb6.d: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/debug/deps/casbus_rtl-13bf1d849bcfdbb6: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/structural.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:

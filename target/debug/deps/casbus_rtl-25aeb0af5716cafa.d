@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/casbus_rtl-25aeb0af5716cafa.d: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_rtl-25aeb0af5716cafa.rmeta: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/structural.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/casbus_rtl-d486d0c07b494fc5.d: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/debug/deps/libcasbus_rtl-d486d0c07b494fc5.rlib: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/debug/deps/libcasbus_rtl-d486d0c07b494fc5.rmeta: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/structural.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:

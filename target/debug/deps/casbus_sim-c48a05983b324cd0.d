@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/casbus_sim-c48a05983b324cd0.d: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_sim-c48a05983b324cd0.rmeta: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus_core.rs:
+crates/sim/src/interconnect.rs:
+crates/sim/src/report.rs:
+crates/sim/src/session.rs:
+crates/sim/src/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

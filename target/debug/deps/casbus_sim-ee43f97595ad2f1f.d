@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/casbus_sim-ee43f97595ad2f1f.d: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+/root/repo/target/debug/deps/libcasbus_sim-ee43f97595ad2f1f.rlib: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+/root/repo/target/debug/deps/libcasbus_sim-ee43f97595ad2f1f.rmeta: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus_core.rs:
+crates/sim/src/interconnect.rs:
+crates/sim/src/report.rs:
+crates/sim/src/session.rs:
+crates/sim/src/simulator.rs:

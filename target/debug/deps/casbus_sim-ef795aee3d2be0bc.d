@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/casbus_sim-ef795aee3d2be0bc.d: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+/root/repo/target/debug/deps/casbus_sim-ef795aee3d2be0bc: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus_core.rs:
+crates/sim/src/interconnect.rs:
+crates/sim/src/report.rs:
+crates/sim/src/session.rs:
+crates/sim/src/simulator.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/casbus_soc-3790b46e5787413e.d: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_soc-3790b46e5787413e.rmeta: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs Cargo.toml
+
+crates/soc/src/lib.rs:
+crates/soc/src/catalog.rs:
+crates/soc/src/core.rs:
+crates/soc/src/models/mod.rs:
+crates/soc/src/models/bist.rs:
+crates/soc/src/models/external.rs:
+crates/soc/src/models/hierarchical.rs:
+crates/soc/src/models/memory.rs:
+crates/soc/src/models/scan.rs:
+crates/soc/src/soc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

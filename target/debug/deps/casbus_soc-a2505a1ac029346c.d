@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/casbus_soc-a2505a1ac029346c.d: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs
+
+/root/repo/target/debug/deps/libcasbus_soc-a2505a1ac029346c.rlib: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs
+
+/root/repo/target/debug/deps/libcasbus_soc-a2505a1ac029346c.rmeta: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/catalog.rs:
+crates/soc/src/core.rs:
+crates/soc/src/models/mod.rs:
+crates/soc/src/models/bist.rs:
+crates/soc/src/models/external.rs:
+crates/soc/src/models/hierarchical.rs:
+crates/soc/src/models/memory.rs:
+crates/soc/src/models/scan.rs:
+crates/soc/src/soc.rs:

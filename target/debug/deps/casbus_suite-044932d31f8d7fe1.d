@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/casbus_suite-044932d31f8d7fe1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_suite-044932d31f8d7fe1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

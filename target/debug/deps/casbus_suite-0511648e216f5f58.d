@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/casbus_suite-0511648e216f5f58.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcasbus_suite-0511648e216f5f58.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcasbus_suite-0511648e216f5f58.rmeta: src/lib.rs
+
+src/lib.rs:

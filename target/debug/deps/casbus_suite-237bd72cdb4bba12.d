@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/casbus_suite-237bd72cdb4bba12.d: src/lib.rs
+
+/root/repo/target/debug/deps/casbus_suite-237bd72cdb4bba12: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/casbus_tpg-16b94d85cef632c6.d: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+/root/repo/target/debug/deps/libcasbus_tpg-16b94d85cef632c6.rlib: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+/root/repo/target/debug/deps/libcasbus_tpg-16b94d85cef632c6.rmeta: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+crates/tpg/src/lib.rs:
+crates/tpg/src/bits.rs:
+crates/tpg/src/lfsr.rs:
+crates/tpg/src/misr.rs:
+crates/tpg/src/pattern.rs:
+crates/tpg/src/poly.rs:
+crates/tpg/src/signature.rs:
+crates/tpg/src/source.rs:
+crates/tpg/src/weighted.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/casbus_tpg-34c522730913b057.d: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcasbus_tpg-34c522730913b057.rmeta: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs Cargo.toml
+
+crates/tpg/src/lib.rs:
+crates/tpg/src/bits.rs:
+crates/tpg/src/lfsr.rs:
+crates/tpg/src/misr.rs:
+crates/tpg/src/pattern.rs:
+crates/tpg/src/poly.rs:
+crates/tpg/src/signature.rs:
+crates/tpg/src/source.rs:
+crates/tpg/src/weighted.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

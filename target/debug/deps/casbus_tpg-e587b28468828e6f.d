@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/casbus_tpg-e587b28468828e6f.d: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+/root/repo/target/debug/deps/casbus_tpg-e587b28468828e6f: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+crates/tpg/src/lib.rs:
+crates/tpg/src/bits.rs:
+crates/tpg/src/lfsr.rs:
+crates/tpg/src/misr.rs:
+crates/tpg/src/pattern.rs:
+crates/tpg/src/poly.rs:
+crates/tpg/src/signature.rs:
+crates/tpg/src/source.rs:
+crates/tpg/src/weighted.rs:

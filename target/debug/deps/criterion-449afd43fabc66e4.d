@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-449afd43fabc66e4.d: stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-449afd43fabc66e4: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-6be35941e36d706f.d: stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6be35941e36d706f.rlib: stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-6be35941e36d706f.rmeta: stubs/criterion/src/lib.rs
+
+stubs/criterion/src/lib.rs:

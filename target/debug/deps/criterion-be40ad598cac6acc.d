@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-be40ad598cac6acc.d: stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-be40ad598cac6acc.rmeta: stubs/criterion/src/lib.rs Cargo.toml
+
+stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-f321137e0c3baf91.d: stubs/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-f321137e0c3baf91.rmeta: stubs/criterion/src/lib.rs Cargo.toml
+
+stubs/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

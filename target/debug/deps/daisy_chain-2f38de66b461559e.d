@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/daisy_chain-2f38de66b461559e.d: tests/daisy_chain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdaisy_chain-2f38de66b461559e.rmeta: tests/daisy_chain.rs Cargo.toml
+
+tests/daisy_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

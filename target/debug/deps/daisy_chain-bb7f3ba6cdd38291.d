@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/daisy_chain-bb7f3ba6cdd38291.d: tests/daisy_chain.rs
+
+/root/repo/target/debug/deps/daisy_chain-bb7f3ba6cdd38291: tests/daisy_chain.rs
+
+tests/daisy_chain.rs:

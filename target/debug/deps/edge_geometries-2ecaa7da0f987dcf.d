@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/edge_geometries-2ecaa7da0f987dcf.d: tests/edge_geometries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_geometries-2ecaa7da0f987dcf.rmeta: tests/edge_geometries.rs Cargo.toml
+
+tests/edge_geometries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

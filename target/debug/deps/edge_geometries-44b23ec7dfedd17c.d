@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_geometries-44b23ec7dfedd17c.d: tests/edge_geometries.rs
+
+/root/repo/target/debug/deps/edge_geometries-44b23ec7dfedd17c: tests/edge_geometries.rs
+
+tests/edge_geometries.rs:

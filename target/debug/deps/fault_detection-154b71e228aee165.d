@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_detection-154b71e228aee165.d: tests/fault_detection.rs
+
+/root/repo/target/debug/deps/fault_detection-154b71e228aee165: tests/fault_detection.rs
+
+tests/fault_detection.rs:

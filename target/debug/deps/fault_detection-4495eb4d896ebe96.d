@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_detection-4495eb4d896ebe96.d: tests/fault_detection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_detection-4495eb4d896ebe96.rmeta: tests/fault_detection.rs Cargo.toml
+
+tests/fault_detection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

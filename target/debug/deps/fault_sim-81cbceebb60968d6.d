@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sim-81cbceebb60968d6.d: crates/bench/benches/fault_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sim-81cbceebb60968d6.rmeta: crates/bench/benches/fault_sim.rs Cargo.toml
+
+crates/bench/benches/fault_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

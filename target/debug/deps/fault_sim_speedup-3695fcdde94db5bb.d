@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sim_speedup-3695fcdde94db5bb.d: crates/bench/src/bin/fault_sim_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sim_speedup-3695fcdde94db5bb.rmeta: crates/bench/src/bin/fault_sim_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fault_sim_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

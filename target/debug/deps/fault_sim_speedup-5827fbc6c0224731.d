@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_sim_speedup-5827fbc6c0224731.d: crates/bench/src/bin/fault_sim_speedup.rs
+
+/root/repo/target/debug/deps/fault_sim_speedup-5827fbc6c0224731: crates/bench/src/bin/fault_sim_speedup.rs
+
+crates/bench/src/bin/fault_sim_speedup.rs:

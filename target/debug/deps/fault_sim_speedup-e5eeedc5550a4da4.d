@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_sim_speedup-e5eeedc5550a4da4.d: crates/bench/src/bin/fault_sim_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_sim_speedup-e5eeedc5550a4da4.rmeta: crates/bench/src/bin/fault_sim_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fault_sim_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_test_types-3536e4048a1f3bf6.d: crates/bench/src/bin/fig2_test_types.rs
+
+/root/repo/target/debug/deps/fig2_test_types-3536e4048a1f3bf6: crates/bench/src/bin/fig2_test_types.rs
+
+crates/bench/src/bin/fig2_test_types.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_test_types-905f22d295244e29.d: crates/bench/src/bin/fig2_test_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_test_types-905f22d295244e29.rmeta: crates/bench/src/bin/fig2_test_types.rs Cargo.toml
+
+crates/bench/src/bin/fig2_test_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

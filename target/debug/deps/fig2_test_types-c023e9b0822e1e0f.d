@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_test_types-c023e9b0822e1e0f.d: crates/bench/src/bin/fig2_test_types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_test_types-c023e9b0822e1e0f.rmeta: crates/bench/src/bin/fig2_test_types.rs Cargo.toml
+
+crates/bench/src/bin/fig2_test_types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

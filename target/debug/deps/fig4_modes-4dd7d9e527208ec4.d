@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_modes-4dd7d9e527208ec4.d: crates/bench/src/bin/fig4_modes.rs
+
+/root/repo/target/debug/deps/fig4_modes-4dd7d9e527208ec4: crates/bench/src/bin/fig4_modes.rs
+
+crates/bench/src/bin/fig4_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_modes-d4623d146a172e81.d: crates/bench/src/bin/fig4_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_modes-d4623d146a172e81.rmeta: crates/bench/src/bin/fig4_modes.rs Cargo.toml
+
+crates/bench/src/bin/fig4_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

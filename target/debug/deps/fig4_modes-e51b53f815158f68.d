@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_modes-e51b53f815158f68.d: crates/bench/src/bin/fig4_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_modes-e51b53f815158f68.rmeta: crates/bench/src/bin/fig4_modes.rs Cargo.toml
+
+crates/bench/src/bin/fig4_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figure1-68571e7948a9236a.d: tests/figure1.rs
+
+/root/repo/target/debug/deps/figure1-68571e7948a9236a: tests/figure1.rs
+
+tests/figure1.rs:

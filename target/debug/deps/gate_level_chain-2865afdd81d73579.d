@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gate_level_chain-2865afdd81d73579.d: tests/gate_level_chain.rs
+
+/root/repo/target/debug/deps/gate_level_chain-2865afdd81d73579: tests/gate_level_chain.rs
+
+tests/gate_level_chain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gate_level_chain-bc2f81714c8da356.d: tests/gate_level_chain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgate_level_chain-bc2f81714c8da356.rmeta: tests/gate_level_chain.rs Cargo.toml
+
+tests/gate_level_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-f7c6173ba7bfcae7.d: crates/soc/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-f7c6173ba7bfcae7: crates/soc/tests/model_properties.rs
+
+crates/soc/tests/model_properties.rs:

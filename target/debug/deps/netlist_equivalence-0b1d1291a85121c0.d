@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/netlist_equivalence-0b1d1291a85121c0.d: tests/netlist_equivalence.rs
+
+/root/repo/target/debug/deps/netlist_equivalence-0b1d1291a85121c0: tests/netlist_equivalence.rs
+
+tests/netlist_equivalence.rs:

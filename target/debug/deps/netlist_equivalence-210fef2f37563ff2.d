@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/netlist_equivalence-210fef2f37563ff2.d: tests/netlist_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetlist_equivalence-210fef2f37563ff2.rmeta: tests/netlist_equivalence.rs Cargo.toml
+
+tests/netlist_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

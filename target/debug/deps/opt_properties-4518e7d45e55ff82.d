@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/opt_properties-4518e7d45e55ff82.d: crates/netlist/tests/opt_properties.rs
+
+/root/repo/target/debug/deps/opt_properties-4518e7d45e55ff82: crates/netlist/tests/opt_properties.rs
+
+crates/netlist/tests/opt_properties.rs:

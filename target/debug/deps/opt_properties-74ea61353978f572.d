@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opt_properties-74ea61353978f572.d: crates/netlist/tests/opt_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopt_properties-74ea61353978f572.rmeta: crates/netlist/tests/opt_properties.rs Cargo.toml
+
+crates/netlist/tests/opt_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_budget-3f5912f81e5eb614.d: crates/bench/src/bin/power_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_budget-3f5912f81e5eb614.rmeta: crates/bench/src/bin/power_budget.rs Cargo.toml
+
+crates/bench/src/bin/power_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/power_budget-91e7ac845ce98f19.d: crates/bench/src/bin/power_budget.rs
+
+/root/repo/target/debug/deps/power_budget-91e7ac845ce98f19: crates/bench/src/bin/power_budget.rs
+
+crates/bench/src/bin/power_budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/power_budget-f919ad708bb6cbde.d: crates/bench/src/bin/power_budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpower_budget-f919ad708bb6cbde.rmeta: crates/bench/src/bin/power_budget.rs Cargo.toml
+
+crates/bench/src/bin/power_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ppsfp_equivalence-5b8dc3fad2034e4a.d: crates/netlist/tests/ppsfp_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libppsfp_equivalence-5b8dc3fad2034e4a.rmeta: crates/netlist/tests/ppsfp_equivalence.rs Cargo.toml
+
+crates/netlist/tests/ppsfp_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ppsfp_equivalence-7ff8852cfe5ac7bf.d: crates/netlist/tests/ppsfp_equivalence.rs
+
+/root/repo/target/debug/deps/ppsfp_equivalence-7ff8852cfe5ac7bf: crates/netlist/tests/ppsfp_equivalence.rs
+
+crates/netlist/tests/ppsfp_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b956863c269941e8.d: crates/tpg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b956863c269941e8: crates/tpg/tests/properties.rs
+
+crates/tpg/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e1e3243f33f76c5c.d: crates/tpg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e1e3243f33f76c5c.rmeta: crates/tpg/tests/properties.rs Cargo.toml
+
+crates/tpg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0ef2b5e46b62d8bd.d: stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0ef2b5e46b62d8bd: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

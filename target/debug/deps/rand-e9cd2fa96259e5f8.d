@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-e9cd2fa96259e5f8.d: stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e9cd2fa96259e5f8.rlib: stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e9cd2fa96259e5f8.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

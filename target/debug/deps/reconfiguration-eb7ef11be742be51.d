@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reconfiguration-eb7ef11be742be51.d: tests/reconfiguration.rs
+
+/root/repo/target/debug/deps/reconfiguration-eb7ef11be742be51: tests/reconfiguration.rs
+
+tests/reconfiguration.rs:

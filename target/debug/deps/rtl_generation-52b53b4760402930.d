@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rtl_generation-52b53b4760402930.d: tests/rtl_generation.rs Cargo.toml
+
+/root/repo/target/debug/deps/librtl_generation-52b53b4760402930.rmeta: tests/rtl_generation.rs Cargo.toml
+
+tests/rtl_generation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rtl_generation-bf39bbb77ea941c4.d: tests/rtl_generation.rs
+
+/root/repo/target/debug/deps/rtl_generation-bf39bbb77ea941c4: tests/rtl_generation.rs
+
+tests/rtl_generation.rs:

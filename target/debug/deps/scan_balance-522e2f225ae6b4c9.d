@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scan_balance-522e2f225ae6b4c9.d: crates/bench/src/bin/scan_balance.rs
+
+/root/repo/target/debug/deps/scan_balance-522e2f225ae6b4c9: crates/bench/src/bin/scan_balance.rs
+
+crates/bench/src/bin/scan_balance.rs:

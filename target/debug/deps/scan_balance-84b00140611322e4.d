@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scan_balance-84b00140611322e4.d: crates/bench/src/bin/scan_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscan_balance-84b00140611322e4.rmeta: crates/bench/src/bin/scan_balance.rs Cargo.toml
+
+crates/bench/src/bin/scan_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

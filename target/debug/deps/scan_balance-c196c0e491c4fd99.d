@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scan_balance-c196c0e491c4fd99.d: crates/bench/src/bin/scan_balance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscan_balance-c196c0e491c4fd99.rmeta: crates/bench/src/bin/scan_balance.rs Cargo.toml
+
+crates/bench/src/bin/scan_balance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

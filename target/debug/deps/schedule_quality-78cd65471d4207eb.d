@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_quality-78cd65471d4207eb.d: crates/bench/src/bin/schedule_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_quality-78cd65471d4207eb.rmeta: crates/bench/src/bin/schedule_quality.rs Cargo.toml
+
+crates/bench/src/bin/schedule_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

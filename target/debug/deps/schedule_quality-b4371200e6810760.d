@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/schedule_quality-b4371200e6810760.d: crates/bench/src/bin/schedule_quality.rs Cargo.toml
+
+/root/repo/target/debug/deps/libschedule_quality-b4371200e6810760.rmeta: crates/bench/src/bin/schedule_quality.rs Cargo.toml
+
+crates/bench/src/bin/schedule_quality.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

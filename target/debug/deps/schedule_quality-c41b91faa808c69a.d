@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/schedule_quality-c41b91faa808c69a.d: crates/bench/src/bin/schedule_quality.rs
+
+/root/repo/target/debug/deps/schedule_quality-c41b91faa808c69a: crates/bench/src/bin/schedule_quality.rs
+
+crates/bench/src/bin/schedule_quality.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling-c172324e81ff418b.d: crates/bench/benches/scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling-c172324e81ff418b.rmeta: crates/bench/benches/scheduling.rs Cargo.toml
+
+crates/bench/benches/scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

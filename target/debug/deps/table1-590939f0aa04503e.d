@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-590939f0aa04503e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-590939f0aa04503e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/time_model_consistency-9967d250ffba4598.d: tests/time_model_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtime_model_consistency-9967d250ffba4598.rmeta: tests/time_model_consistency.rs Cargo.toml
+
+tests/time_model_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

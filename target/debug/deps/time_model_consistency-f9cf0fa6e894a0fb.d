@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/time_model_consistency-f9cf0fa6e894a0fb.d: tests/time_model_consistency.rs
+
+/root/repo/target/debug/deps/time_model_consistency-f9cf0fa6e894a0fb: tests/time_model_consistency.rs
+
+tests/time_model_consistency.rs:

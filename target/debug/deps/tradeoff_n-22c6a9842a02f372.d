@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tradeoff_n-22c6a9842a02f372.d: crates/bench/src/bin/tradeoff_n.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtradeoff_n-22c6a9842a02f372.rmeta: crates/bench/src/bin/tradeoff_n.rs Cargo.toml
+
+crates/bench/src/bin/tradeoff_n.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

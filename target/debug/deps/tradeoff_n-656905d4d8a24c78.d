@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tradeoff_n-656905d4d8a24c78.d: crates/bench/src/bin/tradeoff_n.rs
+
+/root/repo/target/debug/deps/tradeoff_n-656905d4d8a24c78: crates/bench/src/bin/tradeoff_n.rs
+
+crates/bench/src/bin/tradeoff_n.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tradeoff_n-e58c940a839721cd.d: crates/bench/src/bin/tradeoff_n.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtradeoff_n-e58c940a839721cd.rmeta: crates/bench/src/bin/tradeoff_n.rs Cargo.toml
+
+crates/bench/src/bin/tradeoff_n.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

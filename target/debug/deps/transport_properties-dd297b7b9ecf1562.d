@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_properties-dd297b7b9ecf1562.d: tests/transport_properties.rs
+
+/root/repo/target/debug/deps/transport_properties-dd297b7b9ecf1562: tests/transport_properties.rs
+
+tests/transport_properties.rs:

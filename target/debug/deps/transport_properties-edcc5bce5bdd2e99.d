@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_properties-edcc5bce5bdd2e99.d: tests/transport_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_properties-edcc5bce5bdd2e99.rmeta: tests/transport_properties.rs Cargo.toml
+
+tests/transport_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wrapper_properties-41744e4e86f588ab.d: crates/p1500/tests/wrapper_properties.rs
+
+/root/repo/target/debug/deps/wrapper_properties-41744e4e86f588ab: crates/p1500/tests/wrapper_properties.rs
+
+crates/p1500/tests/wrapper_properties.rs:

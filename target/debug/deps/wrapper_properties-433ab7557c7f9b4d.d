@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wrapper_properties-433ab7557c7f9b4d.d: crates/p1500/tests/wrapper_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwrapper_properties-433ab7557c7f9b4d.rmeta: crates/p1500/tests/wrapper_properties.rs Cargo.toml
+
+crates/p1500/tests/wrapper_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

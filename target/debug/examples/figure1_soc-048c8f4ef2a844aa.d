@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/figure1_soc-048c8f4ef2a844aa.d: examples/figure1_soc.rs
+
+/root/repo/target/debug/examples/figure1_soc-048c8f4ef2a844aa: examples/figure1_soc.rs
+
+examples/figure1_soc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/figure1_soc-b3921ed681d9fb4c.d: examples/figure1_soc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfigure1_soc-b3921ed681d9fb4c.rmeta: examples/figure1_soc.rs Cargo.toml
+
+examples/figure1_soc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/generate_rtl-051366639801e2d0.d: examples/generate_rtl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgenerate_rtl-051366639801e2d0.rmeta: examples/generate_rtl.rs Cargo.toml
+
+examples/generate_rtl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/generate_rtl-3ae13d680eae2585.d: examples/generate_rtl.rs
+
+/root/repo/target/debug/examples/generate_rtl-3ae13d680eae2585: examples/generate_rtl.rs
+
+examples/generate_rtl.rs:

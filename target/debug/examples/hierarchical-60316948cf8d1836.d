@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hierarchical-60316948cf8d1836.d: examples/hierarchical.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhierarchical-60316948cf8d1836.rmeta: examples/hierarchical.rs Cargo.toml
+
+examples/hierarchical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hierarchical-83b37e00e02dc2c9.d: examples/hierarchical.rs
+
+/root/repo/target/debug/examples/hierarchical-83b37e00e02dc2c9: examples/hierarchical.rs
+
+examples/hierarchical.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/interconnect-255955e4097a3e2d.d: examples/interconnect.rs
+
+/root/repo/target/debug/examples/interconnect-255955e4097a3e2d: examples/interconnect.rs
+
+examples/interconnect.rs:

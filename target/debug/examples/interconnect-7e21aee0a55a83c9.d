@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/interconnect-7e21aee0a55a83c9.d: examples/interconnect.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinterconnect-7e21aee0a55a83c9.rmeta: examples/interconnect.rs Cargo.toml
+
+examples/interconnect.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

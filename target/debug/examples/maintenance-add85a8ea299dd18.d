@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/maintenance-add85a8ea299dd18.d: examples/maintenance.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmaintenance-add85a8ea299dd18.rmeta: examples/maintenance.rs Cargo.toml
+
+examples/maintenance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

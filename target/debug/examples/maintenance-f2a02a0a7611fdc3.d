@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maintenance-f2a02a0a7611fdc3.d: examples/maintenance.rs
+
+/root/repo/target/debug/examples/maintenance-f2a02a0a7611fdc3: examples/maintenance.rs
+
+examples/maintenance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cdbebbc1f64b73db.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cdbebbc1f64b73db: examples/quickstart.rs
+
+examples/quickstart.rs:

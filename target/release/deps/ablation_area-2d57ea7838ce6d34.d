@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_area-2d57ea7838ce6d34.d: crates/bench/src/bin/ablation_area.rs
+
+/root/repo/target/release/deps/ablation_area-2d57ea7838ce6d34: crates/bench/src/bin/ablation_area.rs
+
+crates/bench/src/bin/ablation_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_heuristic-bca9f1d416c187aa.d: crates/bench/src/bin/ablation_heuristic.rs
+
+/root/repo/target/release/deps/ablation_heuristic-bca9f1d416c187aa: crates/bench/src/bin/ablation_heuristic.rs
+
+crates/bench/src/bin/ablation_heuristic.rs:

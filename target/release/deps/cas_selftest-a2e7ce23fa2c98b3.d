@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cas_selftest-a2e7ce23fa2c98b3.d: crates/bench/src/bin/cas_selftest.rs
+
+/root/repo/target/release/deps/cas_selftest-a2e7ce23fa2c98b3: crates/bench/src/bin/cas_selftest.rs
+
+crates/bench/src/bin/cas_selftest.rs:

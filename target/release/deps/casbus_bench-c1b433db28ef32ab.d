@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/casbus_bench-c1b433db28ef32ab.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcasbus_bench-c1b433db28ef32ab.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcasbus_bench-c1b433db28ef32ab.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/casbus_controller-05556545c8f64214.d: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+/root/repo/target/release/deps/libcasbus_controller-05556545c8f64214.rlib: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+/root/repo/target/release/deps/libcasbus_controller-05556545c8f64214.rmeta: crates/controller/src/lib.rs crates/controller/src/balance.rs crates/controller/src/controller.rs crates/controller/src/maintenance.rs crates/controller/src/program.rs crates/controller/src/schedule.rs crates/controller/src/time_model.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/balance.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/maintenance.rs:
+crates/controller/src/program.rs:
+crates/controller/src/schedule.rs:
+crates/controller/src/time_model.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/casbus_p1500-d3acf78c6700ad8d.d: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+/root/repo/target/release/deps/libcasbus_p1500-d3acf78c6700ad8d.rlib: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+/root/repo/target/release/deps/libcasbus_p1500-d3acf78c6700ad8d.rmeta: crates/p1500/src/lib.rs crates/p1500/src/boundary.rs crates/p1500/src/core.rs crates/p1500/src/wir.rs crates/p1500/src/wrapper.rs
+
+crates/p1500/src/lib.rs:
+crates/p1500/src/boundary.rs:
+crates/p1500/src/core.rs:
+crates/p1500/src/wir.rs:
+crates/p1500/src/wrapper.rs:

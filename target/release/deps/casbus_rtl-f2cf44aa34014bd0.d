@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/casbus_rtl-f2cf44aa34014bd0.d: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/release/deps/libcasbus_rtl-f2cf44aa34014bd0.rlib: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+/root/repo/target/release/deps/libcasbus_rtl-f2cf44aa34014bd0.rmeta: crates/rtl/src/lib.rs crates/rtl/src/lint.rs crates/rtl/src/structural.rs crates/rtl/src/testbench.rs crates/rtl/src/verilog.rs crates/rtl/src/vhdl.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/lint.rs:
+crates/rtl/src/structural.rs:
+crates/rtl/src/testbench.rs:
+crates/rtl/src/verilog.rs:
+crates/rtl/src/vhdl.rs:

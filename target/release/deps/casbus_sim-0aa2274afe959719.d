@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/casbus_sim-0aa2274afe959719.d: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+/root/repo/target/release/deps/libcasbus_sim-0aa2274afe959719.rlib: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+/root/repo/target/release/deps/libcasbus_sim-0aa2274afe959719.rmeta: crates/sim/src/lib.rs crates/sim/src/bus_core.rs crates/sim/src/interconnect.rs crates/sim/src/report.rs crates/sim/src/session.rs crates/sim/src/simulator.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/bus_core.rs:
+crates/sim/src/interconnect.rs:
+crates/sim/src/report.rs:
+crates/sim/src/session.rs:
+crates/sim/src/simulator.rs:

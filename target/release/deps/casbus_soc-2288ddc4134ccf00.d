@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/casbus_soc-2288ddc4134ccf00.d: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs
+
+/root/repo/target/release/deps/libcasbus_soc-2288ddc4134ccf00.rlib: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs
+
+/root/repo/target/release/deps/libcasbus_soc-2288ddc4134ccf00.rmeta: crates/soc/src/lib.rs crates/soc/src/catalog.rs crates/soc/src/core.rs crates/soc/src/models/mod.rs crates/soc/src/models/bist.rs crates/soc/src/models/external.rs crates/soc/src/models/hierarchical.rs crates/soc/src/models/memory.rs crates/soc/src/models/scan.rs crates/soc/src/soc.rs
+
+crates/soc/src/lib.rs:
+crates/soc/src/catalog.rs:
+crates/soc/src/core.rs:
+crates/soc/src/models/mod.rs:
+crates/soc/src/models/bist.rs:
+crates/soc/src/models/external.rs:
+crates/soc/src/models/hierarchical.rs:
+crates/soc/src/models/memory.rs:
+crates/soc/src/models/scan.rs:
+crates/soc/src/soc.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/casbus_suite-a927d5f2ce760764.d: src/lib.rs
+
+/root/repo/target/release/deps/libcasbus_suite-a927d5f2ce760764.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcasbus_suite-a927d5f2ce760764.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/casbus_tpg-7e4f1a85fcea23ab.d: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+/root/repo/target/release/deps/libcasbus_tpg-7e4f1a85fcea23ab.rlib: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+/root/repo/target/release/deps/libcasbus_tpg-7e4f1a85fcea23ab.rmeta: crates/tpg/src/lib.rs crates/tpg/src/bits.rs crates/tpg/src/lfsr.rs crates/tpg/src/misr.rs crates/tpg/src/pattern.rs crates/tpg/src/poly.rs crates/tpg/src/signature.rs crates/tpg/src/source.rs crates/tpg/src/weighted.rs
+
+crates/tpg/src/lib.rs:
+crates/tpg/src/bits.rs:
+crates/tpg/src/lfsr.rs:
+crates/tpg/src/misr.rs:
+crates/tpg/src/pattern.rs:
+crates/tpg/src/poly.rs:
+crates/tpg/src/signature.rs:
+crates/tpg/src/source.rs:
+crates/tpg/src/weighted.rs:

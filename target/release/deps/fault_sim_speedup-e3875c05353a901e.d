@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_sim_speedup-e3875c05353a901e.d: crates/bench/src/bin/fault_sim_speedup.rs
+
+/root/repo/target/release/deps/fault_sim_speedup-e3875c05353a901e: crates/bench/src/bin/fault_sim_speedup.rs
+
+crates/bench/src/bin/fault_sim_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_test_types-bb1a046a5a85e73c.d: crates/bench/src/bin/fig2_test_types.rs
+
+/root/repo/target/release/deps/fig2_test_types-bb1a046a5a85e73c: crates/bench/src/bin/fig2_test_types.rs
+
+crates/bench/src/bin/fig2_test_types.rs:

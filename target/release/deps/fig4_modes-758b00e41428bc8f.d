@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_modes-758b00e41428bc8f.d: crates/bench/src/bin/fig4_modes.rs
+
+/root/repo/target/release/deps/fig4_modes-758b00e41428bc8f: crates/bench/src/bin/fig4_modes.rs
+
+crates/bench/src/bin/fig4_modes.rs:

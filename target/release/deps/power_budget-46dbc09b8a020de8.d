@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/power_budget-46dbc09b8a020de8.d: crates/bench/src/bin/power_budget.rs
+
+/root/repo/target/release/deps/power_budget-46dbc09b8a020de8: crates/bench/src/bin/power_budget.rs
+
+crates/bench/src/bin/power_budget.rs:

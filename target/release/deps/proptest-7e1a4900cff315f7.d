@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-7e1a4900cff315f7.d: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7e1a4900cff315f7.rlib: stubs/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-7e1a4900cff315f7.rmeta: stubs/proptest/src/lib.rs
+
+stubs/proptest/src/lib.rs:

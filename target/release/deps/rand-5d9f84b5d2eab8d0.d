@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-5d9f84b5d2eab8d0.d: stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5d9f84b5d2eab8d0.rlib: stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-5d9f84b5d2eab8d0.rmeta: stubs/rand/src/lib.rs
+
+stubs/rand/src/lib.rs:

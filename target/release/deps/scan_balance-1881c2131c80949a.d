@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scan_balance-1881c2131c80949a.d: crates/bench/src/bin/scan_balance.rs
+
+/root/repo/target/release/deps/scan_balance-1881c2131c80949a: crates/bench/src/bin/scan_balance.rs
+
+crates/bench/src/bin/scan_balance.rs:

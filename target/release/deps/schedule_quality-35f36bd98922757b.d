@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/schedule_quality-35f36bd98922757b.d: crates/bench/src/bin/schedule_quality.rs
+
+/root/repo/target/release/deps/schedule_quality-35f36bd98922757b: crates/bench/src/bin/schedule_quality.rs
+
+crates/bench/src/bin/schedule_quality.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-42e5560eaaeb5a35.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-42e5560eaaeb5a35: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tradeoff_n-b5537d4b1f2d903a.d: crates/bench/src/bin/tradeoff_n.rs
+
+/root/repo/target/release/deps/tradeoff_n-b5537d4b1f2d903a: crates/bench/src/bin/tradeoff_n.rs
+
+crates/bench/src/bin/tradeoff_n.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/figure1_soc-36cfa7825d46cc54.d: examples/figure1_soc.rs
+
+/root/repo/target/release/examples/figure1_soc-36cfa7825d46cc54: examples/figure1_soc.rs
+
+examples/figure1_soc.rs:

@@ -4,22 +4,28 @@
 //! same wire put their cores in series, like one long scan path.
 
 use casbus_suite::casbus::{CasError, TamConfiguration};
+use casbus_suite::casbus_p1500::TestableCore;
 use casbus_suite::casbus_p1500::WrapperInstruction;
 use casbus_suite::casbus_sim::{ClockKind, SocSimulator};
 use casbus_suite::casbus_soc::{models, CoreDescription, SocBuilder, TestMethod};
-use casbus_suite::casbus_p1500::TestableCore;
 use casbus_suite::casbus_tpg::BitVec;
 
 fn daisy_soc() -> casbus_suite::casbus_soc::SocDescription {
     SocBuilder::new("daisy")
-        .core(CoreDescription::new("front", TestMethod::Scan {
-            chains: vec![5],
-            patterns: 4,
-        }))
-        .core(CoreDescription::new("back", TestMethod::Scan {
-            chains: vec![7],
-            patterns: 4,
-        }))
+        .core(CoreDescription::new(
+            "front",
+            TestMethod::Scan {
+                chains: vec![5],
+                patterns: 4,
+            },
+        ))
+        .core(CoreDescription::new(
+            "back",
+            TestMethod::Scan {
+                chains: vec![7],
+                patterns: 4,
+            },
+        ))
         .build()
         .expect("valid")
 }
@@ -31,13 +37,21 @@ fn shared_wire_concatenates_two_scan_cores() {
 
     // Both CASes claim wire 0 — deliberately NOT exclusive.
     let mut config = TamConfiguration::all_bypass(2);
-    config.set(0, sim.tam().explicit_test(0, vec![0]).expect("fits")).unwrap();
-    config.set(1, sim.tam().explicit_test(1, vec![0]).expect("fits")).unwrap();
+    config
+        .set(0, sim.tam().explicit_test(0, vec![0]).expect("fits"))
+        .unwrap();
+    config
+        .set(1, sim.tam().explicit_test(1, vec![0]).expect("fits"))
+        .unwrap();
     assert!(
-        matches!(sim.tam().check_exclusive(&config), Err(CasError::WireConflict { wire: 0, .. })),
+        matches!(
+            sim.tam().check_exclusive(&config),
+            Err(CasError::WireConflict { wire: 0, .. })
+        ),
         "the exclusivity checker must flag the deliberate sharing"
     );
-    sim.configure(&config, &[WrapperInstruction::IntestScan; 2]).expect("configures");
+    sim.configure(&config, &[WrapperInstruction::IntestScan; 2])
+        .expect("configures");
 
     // Golden: the two scan models composed in series with the retiming
     // register's one-cycle delay between them.
@@ -84,9 +98,14 @@ fn concatenated_path_total_depth() {
     let soc = daisy_soc();
     let mut sim = SocSimulator::new(&soc, 2).expect("fits");
     let mut config = TamConfiguration::all_bypass(2);
-    config.set(0, sim.tam().explicit_test(0, vec![0]).unwrap()).unwrap();
-    config.set(1, sim.tam().explicit_test(1, vec![0]).unwrap()).unwrap();
-    sim.configure(&config, &[WrapperInstruction::IntestScan; 2]).unwrap();
+    config
+        .set(0, sim.tam().explicit_test(0, vec![0]).unwrap())
+        .unwrap();
+    config
+        .set(1, sim.tam().explicit_test(1, vec![0]).unwrap())
+        .unwrap();
+    sim.configure(&config, &[WrapperInstruction::IntestScan; 2])
+        .unwrap();
 
     let kinds = vec![ClockKind::Shift; 2];
     let mut first_seen = None;
@@ -110,9 +129,14 @@ fn wire_one_stays_free_for_another_core() {
     let soc = daisy_soc();
     let mut sim = SocSimulator::new(&soc, 2).expect("fits");
     let mut config = TamConfiguration::all_bypass(2);
-    config.set(0, sim.tam().explicit_test(0, vec![0]).unwrap()).unwrap();
-    config.set(1, sim.tam().explicit_test(1, vec![0]).unwrap()).unwrap();
-    sim.configure(&config, &[WrapperInstruction::IntestScan; 2]).unwrap();
+    config
+        .set(0, sim.tam().explicit_test(0, vec![0]).unwrap())
+        .unwrap();
+    config
+        .set(1, sim.tam().explicit_test(1, vec![0]).unwrap())
+        .unwrap();
+    sim.configure(&config, &[WrapperInstruction::IntestScan; 2])
+        .unwrap();
     let kinds = vec![ClockKind::Shift; 2];
     for t in 0..10u32 {
         let mut bus = BitVec::zeros(2);
@@ -126,7 +150,13 @@ fn wire_one_stays_free_for_another_core() {
 fn boxed_models_match_plain_models() {
     // Sanity for the golden used above: instantiate() and direct
     // construction agree.
-    let desc = CoreDescription::new("front", TestMethod::Scan { chains: vec![5], patterns: 4 });
+    let desc = CoreDescription::new(
+        "front",
+        TestMethod::Scan {
+            chains: vec![5],
+            patterns: 4,
+        },
+    );
     let mut boxed = models::instantiate(&desc);
     let mut plain = models::ScanCore::new("front", vec![5]);
     for t in 0..12u32 {

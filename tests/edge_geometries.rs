@@ -13,7 +13,13 @@ fn single_wire_tam_tests_a_bist_core() {
     assert_eq!(geometry.combination_count(), 3);
     assert_eq!(geometry.instruction_width(), 2);
     let soc = SocBuilder::new("minimal")
-        .core(CoreDescription::new("only", TestMethod::Bist { width: 8, patterns: 60 }))
+        .core(CoreDescription::new(
+            "only",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 60,
+            },
+        ))
         .build()
         .expect("valid");
     let mut sim = SocSimulator::new(&soc, 1).expect("one wire suffices");
@@ -25,10 +31,13 @@ fn single_wire_tam_tests_a_bist_core() {
 fn full_permutation_switch_serves_a_wide_scan_core() {
     // P = N = 3: every wire is switched, no bypass wires remain in TEST.
     let soc = SocBuilder::new("fullperm")
-        .core(CoreDescription::new("wide", TestMethod::Scan {
-            chains: vec![9, 8, 7],
-            patterns: 6,
-        }))
+        .core(CoreDescription::new(
+            "wide",
+            TestMethod::Scan {
+                chains: vec![9, 8, 7],
+                patterns: 6,
+            },
+        ))
         .build()
         .expect("valid");
     let mut sim = SocSimulator::new(&soc, 3).expect("exact fit");
@@ -50,10 +59,13 @@ fn unranked_schemes_drive_wide_busses() {
     }
 
     let soc = SocBuilder::new("wide_bus")
-        .core(CoreDescription::new("pair", TestMethod::Scan {
-            chains: vec![6, 5],
-            patterns: 3,
-        }))
+        .core(CoreDescription::new(
+            "pair",
+            TestMethod::Scan {
+                chains: vec![6, 5],
+                patterns: 3,
+            },
+        ))
         .build()
         .expect("valid");
     let tam = Tam::new(&soc, 16).expect("fits");
@@ -77,12 +89,24 @@ fn geometry_arithmetic_never_overflows_at_scale() {
 fn every_table1_geometry_runs_a_session() {
     // One scan core sized to each Table-1 (N, P); the whole path — scheme
     // enumeration, TAM, wrappers, session — works at every row.
-    for (n, p) in [(3usize, 1usize), (4, 2), (4, 3), (5, 2), (5, 3), (6, 3), (6, 5), (8, 4)] {
+    for (n, p) in [
+        (3usize, 1usize),
+        (4, 2),
+        (4, 3),
+        (5, 2),
+        (5, 3),
+        (6, 3),
+        (6, 5),
+        (8, 4),
+    ] {
         let soc = SocBuilder::new("row")
-            .core(CoreDescription::new("c", TestMethod::Scan {
-                chains: vec![4; p],
-                patterns: 3,
-            }))
+            .core(CoreDescription::new(
+                "c",
+                TestMethod::Scan {
+                    chains: vec![4; p],
+                    patterns: 3,
+                },
+            ))
             .build()
             .expect("valid");
         let mut sim = SocSimulator::new(&soc, n).expect("fits");

@@ -4,8 +4,8 @@
 
 use casbus_suite::casbus_p1500::{TestableCore, Wrapper};
 use casbus_suite::casbus_sim::{run_core_session, SocSimulator};
-use casbus_suite::casbus_soc::models::{BistCore, ExternalCore, MemoryCore, ScanCore};
 use casbus_suite::casbus_soc::catalog;
+use casbus_suite::casbus_soc::models::{BistCore, ExternalCore, MemoryCore, ScanCore};
 
 fn swap_core(
     sim: &mut SocSimulator,
@@ -54,7 +54,10 @@ fn memory_stuck_cell_detected_by_march() {
         faulty.inject_stuck_cell(64, 7, value);
         swap_core(&mut sim, "dram", Box::new(faulty), (8, 8));
         let report = run_core_session(&mut sim, "dram").expect("runs");
-        assert!(!report.verdict.is_pass(), "stuck-at-{value} cell escaped: {report}");
+        assert!(
+            !report.verdict.is_pass(),
+            "stuck-at-{value} cell escaped: {report}"
+        );
     }
 }
 

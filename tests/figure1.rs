@@ -54,7 +54,9 @@ fn serial_and_packed_programs_agree_on_verdicts() {
 fn system_bus_extest_passes_and_detects_defects() {
     let soc = catalog::figure1_soc();
     let mut sim = SocSimulator::new(&soc, 4).expect("fits");
-    assert!(report::run_bus_extest(&mut sim).expect("bus present").is_pass());
+    assert!(report::run_bus_extest(&mut sim)
+        .expect("bus present")
+        .is_pass());
 }
 
 #[test]
@@ -73,8 +75,7 @@ fn configuration_overhead_is_once_per_step_not_per_pattern() {
     let tam = Tam::new(&soc, n).expect("fits");
     let sched = schedule::packed_schedule(&soc, n).expect("fits");
     let program = TestProgram::from_schedule(&tam, &soc, &sched).expect("compiles");
-    let config_total =
-        program.len() as u64 * (tam.configuration_clocks() as u64 + 1);
+    let config_total = program.len() as u64 * (tam.configuration_clocks() as u64 + 1);
     assert!(
         config_total < program.test_cycles() / 10,
         "configuration ({config_total}) must be negligible next to test \

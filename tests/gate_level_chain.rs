@@ -3,9 +3,7 @@
 //! the shared serial configuration chain over wire 0 and mixed dense /
 //! crosspoint implementations on one bus.
 
-use casbus_suite::casbus::{
-    Cas, CasChain, CasControl, CasGeometry, CasInstruction, SchemeSet,
-};
+use casbus_suite::casbus::{Cas, CasChain, CasControl, CasGeometry, CasInstruction, SchemeSet};
 use casbus_suite::casbus_netlist::{crosspoint, synth, Netlist, Simulator, Value};
 use casbus_suite::casbus_tpg::BitVec;
 
@@ -132,12 +130,12 @@ fn two_dense_cas_netlists_match_the_behavioural_chain() {
                 CasControl::run(),
             )
             .expect("widths");
-        for w in 0..N {
-            assert_eq!(g_out[w].to_bool(), b_out.bus_out.get(w), "cycle {t} wire {w}");
+        for (w, value) in g_out.iter().enumerate() {
+            assert_eq!(value.to_bool(), b_out.bus_out.get(w), "cycle {t} wire {w}");
         }
         let core1 = b_out.core_in[0].as_ref().expect("CAS0 in TEST");
-        for j in 0..2 {
-            assert_eq!(g_o1[j].to_bool(), core1.get(j), "cycle {t} CAS0 o{j}");
+        for (j, value) in g_o1.iter().enumerate() {
+            assert_eq!(value.to_bool(), core1.get(j), "cycle {t} CAS0 o{j}");
         }
         let core2 = b_out.core_in[1].as_ref().expect("CAS1 in TEST");
         assert_eq!(g_o2[0].to_bool(), core2.get(0), "cycle {t} CAS1 o0");
@@ -162,9 +160,7 @@ fn dense_and_crosspoint_implementations_interoperate_on_one_bus() {
     let scheme_idx = set1.index_of(&[1, 3]).expect("exists");
     let opcode = CasInstruction::Test(scheme_idx).encode(set1.len(), g1.instruction_width());
     for bit in opcode.iter() {
-        let e: Vec<Value> = (0..N)
-            .map(|w| Value::from_bool(w == 0 && bit))
-            .collect();
+        let e: Vec<Value> = (0..N).map(|w| Value::from_bool(w == 0 && bit)).collect();
         clock_netlist(&mut first, 2, true, false, &e, &[false; 2]);
     }
     let idle: Vec<Value> = vec![Value::Zero; N];
@@ -173,9 +169,7 @@ fn dense_and_crosspoint_implementations_interoperate_on_one_bus() {
     // Crosspoint CAS: port 0 listens on wire 2.
     let scheme2 = casbus_suite::casbus::SwitchScheme::new(g2, vec![2]).expect("injective");
     for bit in crosspoint::encode_scheme(&scheme2).iter() {
-        let e: Vec<Value> = (0..N)
-            .map(|w| Value::from_bool(w == 0 && bit))
-            .collect();
+        let e: Vec<Value> = (0..N).map(|w| Value::from_bool(w == 0 && bit)).collect();
         clock_netlist(&mut second, 1, true, false, &e, &[false; 1]);
     }
     clock_netlist(&mut second, 1, false, true, &idle, &[false; 1]);
@@ -187,7 +181,11 @@ fn dense_and_crosspoint_implementations_interoperate_on_one_bus() {
     let (mid, o1) = clock_netlist(&mut first, 2, false, false, &e, &[true, false]);
     assert_eq!(o1[0].to_bool(), Some(true), "dense port 0 hears wire 1");
     assert_eq!(o1[1].to_bool(), Some(false), "dense port 1 hears wire 3");
-    assert_eq!(mid[2].to_bool(), Some(true), "wire 2 bypasses the dense CAS");
+    assert_eq!(
+        mid[2].to_bool(),
+        Some(true),
+        "wire 2 bypasses the dense CAS"
+    );
     let (out, o2) = clock_netlist(&mut second, 1, false, false, &mid, &[true]);
     assert_eq!(o2[0].to_bool(), Some(true), "crosspoint port hears wire 2");
     assert_eq!(out[2].to_bool(), Some(true), "return path drives wire 2");

@@ -64,16 +64,20 @@ fn check_equivalence(n: usize, p: usize, scheme_idx: usize, stimuli: &[(Vec<bool
                 CasControl::run(),
             )
             .expect("widths match");
-        for w in 0..n {
+        for (w, value) in s_gate.iter().enumerate() {
             assert_eq!(
-                s_gate[w].to_bool(),
+                value.to_bool(),
                 out.bus_out.get(w),
                 "scheme {scheme_idx} wire {w}"
             );
         }
         let core_in = out.core_in.expect("TEST mode");
-        for j in 0..p {
-            assert_eq!(o_gate[j].to_bool(), core_in.get(j), "scheme {scheme_idx} port {j}");
+        for (j, value) in o_gate.iter().enumerate() {
+            assert_eq!(
+                value.to_bool(),
+                core_in.get(j),
+                "scheme {scheme_idx} port {j}"
+            );
         }
     }
 }
@@ -86,8 +90,8 @@ fn all_schemes_equivalent_for_small_geometries() {
             let stimuli: Vec<(Vec<bool>, Vec<bool>)> = (0..4u32)
                 .map(|t| {
                     (
-                        (0..n).map(|w| (t + w as u32) % 2 == 0).collect(),
-                        (0..p).map(|j| (t + j as u32) % 3 == 0).collect(),
+                        (0..n).map(|w| (t + w as u32).is_multiple_of(2)).collect(),
+                        (0..p).map(|j| (t + j as u32).is_multiple_of(3)).collect(),
                     )
                 })
                 .collect();
@@ -103,7 +107,9 @@ fn bypass_mode_equivalent() {
     let mut gate_sim = Simulator::new(&netlist).expect("well-formed");
     configure_netlist(&mut gate_sim, &set, &CasInstruction::Bypass);
     for t in 0..8u32 {
-        let e: Vec<bool> = (0..5).map(|w| (t * 3 + w as u32) % 2 == 0).collect();
+        let e: Vec<bool> = (0..5)
+            .map(|w| (t * 3 + w as u32).is_multiple_of(2))
+            .collect();
         let (s, o) = netlist_cycle(&mut gate_sim, 5, 2, &e, &[false, false]);
         for w in 0..5 {
             assert_eq!(s[w].to_bool(), Some(e[w]), "bypass passes wire {w}");
@@ -150,8 +156,8 @@ proptest! {
                     CasControl::run(),
                 )
                 .expect("widths");
-            for w in 0..4 {
-                prop_assert_eq!(s_gate[w].to_bool(), out.bus_out.get(w));
+            for (w, value) in s_gate.iter().enumerate() {
+                prop_assert_eq!(value.to_bool(), out.bus_out.get(w));
             }
         }
     }

@@ -32,7 +32,10 @@ fn alternative_wire_windows_give_identical_verdicts() {
         let idx = sim.cas_index("bist8").expect("exists");
         let mut config = TamConfiguration::all_bypass(sim.tam().cas_count());
         config
-            .set(idx, sim.tam().contiguous_test(idx, window_start).expect("fits"))
+            .set(
+                idx,
+                sim.tam().contiguous_test(idx, window_start).expect("fits"),
+            )
             .unwrap();
         let mut wrappers = vec![WrapperInstruction::Bypass; sim.tam().cas_count()];
         wrappers[idx] = WrapperInstruction::IntestBist;

@@ -7,8 +7,18 @@ use casbus_suite::casbus_rtl::{lint_vhdl, structural, verilog, vhdl};
 use casbus_suite::casbus_tpg::BitVec;
 
 const TABLE1: [(usize, usize); 12] = [
-    (3, 1), (4, 1), (4, 2), (4, 3), (5, 1), (5, 2),
-    (5, 3), (6, 1), (6, 2), (6, 3), (6, 5), (8, 4),
+    (3, 1),
+    (4, 1),
+    (4, 2),
+    (4, 3),
+    (5, 1),
+    (5, 2),
+    (5, 3),
+    (6, 1),
+    (6, 2),
+    (6, 3),
+    (6, 5),
+    (8, 4),
 ];
 
 #[test]
@@ -43,11 +53,7 @@ fn structural_emission_covers_the_netlist() {
     let netlist = synth::synthesize_cas(&set);
     let text = structural::netlist_to_verilog(&netlist);
     // Every DFF appears as a behavioural register block.
-    let dffs = netlist
-        .gate_histogram()
-        .get("DFFE")
-        .copied()
-        .unwrap_or(0);
+    let dffs = netlist.gate_histogram().get("DFFE").copied().unwrap_or(0);
     assert_eq!(text.matches("always @(posedge tck)").count(), dffs);
     assert!(text.contains("module cas_n4_p2"));
 }
@@ -66,7 +72,9 @@ fn generated_netlists_are_testable() {
                 .map(|_| {
                     (0..inputs)
                         .map(|_| {
-                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
                             state >> 61 & 1 == 1
                         })
                         .collect()
@@ -97,7 +105,10 @@ fn area_report_consistent_with_synthesis() {
 fn generation_is_deterministic_across_calls() {
     let set = SchemeSet::enumerate(CasGeometry::new(5, 2).expect("valid")).expect("budget");
     assert_eq!(vhdl::generate_vhdl(&set), vhdl::generate_vhdl(&set));
-    assert_eq!(verilog::generate_verilog(&set), verilog::generate_verilog(&set));
+    assert_eq!(
+        verilog::generate_verilog(&set),
+        verilog::generate_verilog(&set)
+    );
     let a = synth::synthesize_cas(&set);
     let b = synth::synthesize_cas(&set);
     assert_eq!(a.gate_count(), b.gate_count());

@@ -21,10 +21,34 @@ fn assert_close(core: &CoreDescription, plan_len: u64) {
 #[test]
 fn plans_track_the_model_for_every_method() {
     let cores = [
-        CoreDescription::new("s", TestMethod::Scan { chains: vec![17, 9], patterns: 12 }),
-        CoreDescription::new("b", TestMethod::Bist { width: 12, patterns: 77 }),
-        CoreDescription::new("e", TestMethod::External { ports: 3, patterns: 40 }),
-        CoreDescription::new("m", TestMethod::Memory { words: 33, data_width: 5 }),
+        CoreDescription::new(
+            "s",
+            TestMethod::Scan {
+                chains: vec![17, 9],
+                patterns: 12,
+            },
+        ),
+        CoreDescription::new(
+            "b",
+            TestMethod::Bist {
+                width: 12,
+                patterns: 77,
+            },
+        ),
+        CoreDescription::new(
+            "e",
+            TestMethod::External {
+                ports: 3,
+                patterns: 40,
+            },
+        ),
+        CoreDescription::new(
+            "m",
+            TestMethod::Memory {
+                words: 33,
+                data_width: 5,
+            },
+        ),
     ];
     for core in &cores {
         let plan = SessionPlan::for_core(core);

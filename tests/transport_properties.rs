@@ -1,7 +1,7 @@
 //! Property-based tests of the CAS-BUS transport invariants.
 
 use casbus_suite::casbus::{
-    Cas, CasControl, CasChain, CasGeometry, CasInstruction, SchemeSet, SwitchScheme,
+    Cas, CasChain, CasControl, CasGeometry, CasInstruction, SchemeSet, SwitchScheme,
 };
 use casbus_suite::casbus_tpg::BitVec;
 use proptest::prelude::*;
