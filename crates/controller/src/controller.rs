@@ -8,8 +8,10 @@
 //! clock; the bit-level data path is driven by `casbus-sim`.
 
 use std::fmt;
+use std::sync::Arc;
 
 use casbus::{CasControl, CasError, Tam};
+use casbus_obs::{MetricsRegistry, TraceEvent, TraceSink};
 use casbus_tpg::BitVec;
 
 use crate::program::TestProgram;
@@ -64,7 +66,7 @@ impl fmt::Display for ControllerPhase {
 /// assert_eq!(cycles, controller.cycles_run());
 /// # Ok::<(), casbus::CasError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TestController {
     program: TestProgram,
     step: usize,
@@ -73,6 +75,23 @@ pub struct TestController {
     update_pending: bool,
     test_elapsed: u64,
     cycles_run: u64,
+    /// Cycles spent per phase kind, for the metrics export.
+    config_cycles: u64,
+    update_cycles: u64,
+    test_cycles: u64,
+    trace: Arc<dyn TraceSink>,
+    /// The phase span currently open in the trace: (name, start cycle).
+    open_span: Option<(String, u64)>,
+}
+
+impl fmt::Debug for TestController {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TestController")
+            .field("step", &self.step)
+            .field("phase", &self.phase())
+            .field("cycles_run", &self.cycles_run)
+            .finish_non_exhaustive()
+    }
 }
 
 impl TestController {
@@ -86,6 +105,59 @@ impl TestController {
             update_pending: false,
             test_elapsed: 0,
             cycles_run: 0,
+            config_cycles: 0,
+            update_cycles: 0,
+            test_cycles: 0,
+            trace: casbus_obs::trace::null_sink(),
+            open_span: None,
+        }
+    }
+
+    /// Installs a trace sink; each phase occurrence (CONFIGURATION, UPDATE,
+    /// every TEST step) becomes one complete span in cycle time, category
+    /// `"controller"`. The default sink is disabled and costs one branch.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Publishes phase cycle counters:
+    /// `controller.cycles.{total,configuration,update,test}`. The invariant
+    /// `total == configuration + update + test` always holds and `total`
+    /// equals [`TestController::cycles_run`].
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        metrics.set("controller.cycles.total", self.cycles_run);
+        metrics.set("controller.cycles.configuration", self.config_cycles);
+        metrics.set("controller.cycles.update", self.update_cycles);
+        metrics.set("controller.cycles.test", self.test_cycles);
+        metrics.set("controller.steps", self.step as u64);
+    }
+
+    /// Closes the currently open phase span, recording it.
+    fn close_span(&mut self) {
+        if let Some((name, start)) = self.open_span.take() {
+            let step = self.step;
+            self.trace.record(TraceEvent::span(
+                "controller",
+                name,
+                start,
+                self.cycles_run - start,
+                vec![("step", step.into())],
+            ));
+        }
+    }
+
+    /// Notes that the upcoming tick executes phase `phase`, opening a new
+    /// span on transitions. Only called when the sink is enabled.
+    fn note_phase(&mut self, phase: ControllerPhase) {
+        let name = phase.to_string();
+        match &self.open_span {
+            Some((open, _)) if *open == name => {}
+            _ => {
+                self.close_span();
+                self.open_span = Some((name, self.cycles_run));
+            }
         }
     }
 
@@ -129,7 +201,14 @@ impl TestController {
     ///
     /// Propagates TAM errors.
     pub fn tick(&mut self, tam: &mut Tam) -> Result<bool, CasError> {
-        match self.phase() {
+        let phase = self.phase();
+        if self.trace.enabled() {
+            match phase {
+                ControllerPhase::Done => self.close_span(),
+                _ => self.note_phase(phase),
+            }
+        }
+        match phase {
             ControllerPhase::Done => Ok(false),
             ControllerPhase::Configuring => {
                 if self.config_bits.is_none() {
@@ -150,6 +229,7 @@ impl TestController {
                 let cores = idle_cores(tam);
                 tam.clock(&bus, &cores, CasControl::shift_config())?;
                 self.cycles_run += 1;
+                self.config_cycles += 1;
                 Ok(true)
             }
             ControllerPhase::Updating => {
@@ -158,12 +238,14 @@ impl TestController {
                 tam.clock(&bus, &cores, CasControl::update())?;
                 self.update_pending = false;
                 self.cycles_run += 1;
+                self.update_cycles += 1;
                 Ok(true)
             }
             ControllerPhase::Testing { step, .. } => {
                 tam.clock_idle_cores(&BitVec::zeros(tam.bus_width()))?;
                 self.test_elapsed += 1;
                 self.cycles_run += 1;
+                self.test_cycles += 1;
                 if self.test_elapsed >= self.program.steps()[step].duration {
                     self.advance_step();
                 }
@@ -191,6 +273,7 @@ impl TestController {
     /// the duration is reached.
     pub fn account_test_cycles(&mut self, cycles: u64) {
         self.cycles_run += cycles;
+        self.test_cycles += cycles;
         self.test_elapsed += cycles;
         if self.step < self.program.len()
             && self.test_elapsed >= self.program.steps()[self.step].duration
@@ -320,6 +403,37 @@ mod tests {
             ctl.phase(),
             ControllerPhase::Configuring,
             "next step reconfigures"
+        );
+    }
+
+    #[test]
+    fn phase_spans_tile_the_run_and_metrics_balance() {
+        let (mut tam, ctl) = make();
+        let sink = casbus_obs::MemorySink::new();
+        let mut ctl = ctl.with_trace(sink.clone());
+        while ctl.tick(&mut tam).unwrap() {}
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(
+            names,
+            [
+                "CONFIGURATION",
+                "UPDATE",
+                "TEST(step 0)",
+                "CONFIGURATION",
+                "UPDATE",
+                "TEST(step 1)"
+            ]
+        );
+        let span_total: u64 = sink.events().iter().map(|e| e.dur).sum();
+        assert_eq!(span_total, ctl.cycles_run(), "spans tile the run exactly");
+        let metrics = casbus_obs::MetricsRegistry::new();
+        ctl.export_metrics(&metrics);
+        assert_eq!(metrics.counter("controller.cycles.total"), ctl.cycles_run());
+        assert_eq!(
+            metrics.counter("controller.cycles.total"),
+            metrics.counter("controller.cycles.configuration")
+                + metrics.counter("controller.cycles.update")
+                + metrics.counter("controller.cycles.test"),
         );
     }
 

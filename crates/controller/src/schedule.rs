@@ -157,6 +157,32 @@ impl Schedule {
         let used: u64 = self.tests.iter().map(|t| t.duration * t.wires as u64).sum();
         used as f64 / (span * self.bus_width as u64) as f64
     }
+
+    /// Publishes the schedule's static properties into a metrics registry:
+    /// `schedule.{makespan,waves,tests,bus_width,utilisation_permille}`
+    /// counters plus per-wire planned occupancy
+    /// (`schedule.wire<i>.planned_cycles`) and a `schedule.test_cycles`
+    /// histogram over the per-core durations.
+    pub fn record_metrics(&self, metrics: &casbus_obs::MetricsRegistry) {
+        metrics.set("schedule.makespan", self.makespan());
+        metrics.set("schedule.waves", self.configuration_waves() as u64);
+        metrics.set("schedule.tests", self.tests.len() as u64);
+        metrics.set("schedule.bus_width", self.bus_width as u64);
+        metrics.set(
+            "schedule.utilisation_permille",
+            (self.utilisation() * 1000.0).round() as u64,
+        );
+        let mut planned = vec![0u64; self.bus_width];
+        for test in &self.tests {
+            metrics.observe("schedule.test_cycles", test.duration);
+            for slot in planned.iter_mut().skip(test.wire_start).take(test.wires) {
+                *slot += test.duration;
+            }
+        }
+        for (wire, cycles) in planned.iter().enumerate() {
+            metrics.set(&format!("schedule.wire{wire}.planned_cycles"), *cycles);
+        }
+    }
 }
 
 impl fmt::Display for Schedule {
@@ -521,6 +547,32 @@ mod tests {
         assert_eq!(sched.makespan(), total);
         assert!(sched.is_conflict_free());
         assert_eq!(sched.configuration_waves(), soc.cores().len());
+    }
+
+    #[test]
+    fn recorded_metrics_match_schedule_properties() {
+        let soc = catalog::figure1_soc();
+        let sched = packed_schedule(&soc, 6).unwrap();
+        let metrics = casbus_obs::MetricsRegistry::new();
+        sched.record_metrics(&metrics);
+        assert_eq!(metrics.counter("schedule.makespan"), sched.makespan());
+        assert_eq!(
+            metrics.counter("schedule.waves"),
+            sched.configuration_waves() as u64
+        );
+        assert_eq!(
+            metrics.counter("schedule.tests"),
+            sched.tests().len() as u64
+        );
+        let hist = metrics.histogram("schedule.test_cycles").unwrap();
+        assert_eq!(hist.count, sched.tests().len() as u64);
+        // Planned per-wire occupancy sums to the total wire·cycle area.
+        let area: u64 = sched
+            .tests()
+            .iter()
+            .map(|t| t.duration * t.wires as u64)
+            .sum();
+        assert_eq!(metrics.counter_sum("schedule.wire"), area);
     }
 
     #[test]

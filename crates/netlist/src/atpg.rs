@@ -109,6 +109,15 @@ pub fn generate_patterns(
     config: &AtpgConfig,
 ) -> Result<AtpgResult, NetlistError> {
     let engine = PackedEngine::new(netlist)?;
+    Ok(generate_patterns_with_engine(&engine, config))
+}
+
+/// [`generate_patterns`] over a caller-supplied engine, so an instrumented
+/// engine (see [`PackedEngine::with_trace`] and [`PackedEngine::with_metrics`])
+/// observes every grading pass. Semantics are identical to
+/// [`generate_patterns`] on the engine's netlist.
+pub fn generate_patterns_with_engine(engine: &PackedEngine<'_>, config: &AtpgConfig) -> AtpgResult {
+    let netlist = engine.netlist();
     let faults = enumerate_faults(netlist);
     let total = faults.len();
     let target_detected = (config.target_coverage * total as f64) as usize;
@@ -185,13 +194,13 @@ pub fn generate_patterns(
     }
     compacted.reverse();
 
-    Ok(AtpgResult {
+    AtpgResult {
         detected: covered.len(),
         sequences: compacted,
         total,
         undetected,
         candidates_tried: tried,
-    })
+    }
 }
 
 #[cfg(test)]

@@ -23,12 +23,22 @@
 //!   each thread owns its scratch overlay. Results are merged in enumeration
 //!   order, so the outcome is deterministic and thread-count independent.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use casbus_obs::{trace::CAT_SCHED, MetricsRegistry, TraceEvent, TraceSink};
 use casbus_tpg::BitVec;
 
 use crate::fault::{enumerate_faults, FaultCoverage, FaultSite, StuckAt};
 use crate::gate::GateKind;
 use crate::netlist::{Netlist, NetlistError};
 use crate::sim::levelize;
+
+/// A deterministic, thread-count-independent logical timestamp for one
+/// fault's trace event (net id with the stuck-at polarity in the low bit).
+fn fault_ts(fault: FaultSite) -> u64 {
+    (fault.net.0 as u64) << 1 | u64::from(fault.stuck == StuckAt::One)
+}
 
 /// Lanes per packed word.
 pub const LANES: usize = 64;
@@ -237,7 +247,6 @@ impl Scratch {
 /// netlist. Construction levelizes the circuit and prebuilds fanout and
 /// bus-driver indices; the engine can then grade any number of pattern
 /// blocks and fault lists without touching the netlist again.
-#[derive(Debug)]
 pub struct PackedEngine<'a> {
     netlist: &'a Netlist,
     /// Combinational gates in evaluation order.
@@ -258,6 +267,21 @@ pub struct PackedEngine<'a> {
     output_nets: Vec<usize>,
     /// Worker-thread override; `None` means one per available core.
     threads: Option<usize>,
+    /// Event sink; the default [`casbus_obs::NullSink`] is disabled and
+    /// costs one branch per emission site on the grading path.
+    trace: Arc<dyn TraceSink>,
+    /// Optional aggregate-metrics registry (throughput, fault totals).
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl std::fmt::Debug for PackedEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedEngine")
+            .field("netlist", &self.netlist.name())
+            .field("gates", &self.netlist.gates().len())
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> PackedEngine<'a> {
@@ -313,6 +337,8 @@ impl<'a> PackedEngine<'a> {
             output_nets: netlist.outputs().iter().map(|&(_, n)| n.0).collect(),
             netlist,
             threads: None,
+            trace: casbus_obs::trace::null_sink(),
+            metrics: None,
         })
     }
 
@@ -323,6 +349,27 @@ impl<'a> PackedEngine<'a> {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Installs a trace sink. Per-fault grading results are recorded as
+    /// `"ppsfp"` instants with deterministic logical timestamps (identical
+    /// for any thread count); partition work items are recorded as
+    /// [`CAT_SCHED`] spans (worker id, faults graded, wall-clock µs), the
+    /// one category the canonical trace export excludes.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// Installs a metrics registry; [`PackedEngine::fault_coverage`] then
+    /// publishes `ppsfp.{faults.total,faults.detected,patterns,elapsed_us,
+    /// faults_per_sec,patterns_per_sec}` and
+    /// [`PackedEngine::grade_block`] counts `ppsfp.{blocks,faults}_graded`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -603,14 +650,33 @@ impl<'a> PackedEngine<'a> {
     /// when lane `l`'s sequence detects `faults[i]`. The fault list is
     /// partitioned across OS threads; output order matches `faults`.
     pub fn grade_block(&self, block: &GoldenBlock, faults: &[FaultSite]) -> Vec<u64> {
-        self.partitioned(faults, |engine, fault, scratch| {
+        let masks = self.partitioned(faults, |engine, fault, scratch| {
             engine.build_cone(scratch, fault.net.0);
-            if scratch.dirty_outputs.is_empty() || block.all_lanes == 0 {
-                return 0;
+            let mask = if scratch.dirty_outputs.is_empty() || block.all_lanes == 0 {
+                0
+            } else {
+                let forced = Self::forced_word(fault);
+                engine.propagate_block(block, scratch, fault.net.0, forced, block.all_lanes, false)
+            };
+            if engine.trace.enabled() {
+                engine.trace.record(TraceEvent::instant(
+                    "ppsfp",
+                    "grade",
+                    fault_ts(fault),
+                    vec![
+                        ("net", fault.net.0.into()),
+                        ("stuck_one", (fault.stuck == StuckAt::One).into()),
+                        ("lanes", u64::from(mask.count_ones()).into()),
+                    ],
+                ));
             }
-            let forced = Self::forced_word(fault);
-            engine.propagate_block(block, scratch, fault.net.0, forced, block.all_lanes, false)
-        })
+            mask
+        });
+        if let Some(metrics) = &self.metrics {
+            metrics.inc("ppsfp.blocks_graded", 1);
+            metrics.inc("ppsfp.faults_graded", faults.len() as u64);
+        }
+        masks
     }
 
     /// Grades `sequences` against the full collapsed stuck-at fault list,
@@ -618,13 +684,27 @@ impl<'a> PackedEngine<'a> {
     /// bit for bit. Sequences are packed 64 lanes per block; faults are
     /// partitioned across OS threads.
     pub fn fault_coverage(&self, sequences: &[Vec<BitVec>]) -> FaultCoverage {
+        let started = Instant::now();
         let faults = enumerate_faults(self.netlist);
         let blocks: Vec<GoldenBlock> = sequences
             .chunks(LANES)
             .map(|chunk| self.build_golden(chunk))
             .collect();
         let detected_flags = self.partitioned(&faults, |engine, fault, scratch| {
-            engine.detects_any(&blocks, fault, scratch)
+            let hit = engine.detects_any(&blocks, fault, scratch);
+            if engine.trace.enabled() {
+                engine.trace.record(TraceEvent::instant(
+                    "ppsfp",
+                    "fault",
+                    fault_ts(fault),
+                    vec![
+                        ("net", fault.net.0.into()),
+                        ("stuck_one", (fault.stuck == StuckAt::One).into()),
+                        ("detected", hit.into()),
+                    ],
+                ));
+            }
+            hit
         });
         let mut detected = 0usize;
         let mut undetected = Vec::new();
@@ -633,6 +713,21 @@ impl<'a> PackedEngine<'a> {
                 detected += 1;
             } else {
                 undetected.push(fault);
+            }
+        }
+        if let Some(metrics) = &self.metrics {
+            let elapsed = started.elapsed();
+            metrics.set("ppsfp.faults.total", faults.len() as u64);
+            metrics.set("ppsfp.faults.detected", detected as u64);
+            metrics.set("ppsfp.patterns", sequences.len() as u64);
+            metrics.set("ppsfp.elapsed_us", elapsed.as_micros() as u64);
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                metrics.set("ppsfp.faults_per_sec", (faults.len() as f64 / secs) as u64);
+                metrics.set(
+                    "ppsfp.patterns_per_sec",
+                    (sequences.len() as f64 / secs) as u64,
+                );
             }
         }
         FaultCoverage {
@@ -656,24 +751,31 @@ impl<'a> PackedEngine<'a> {
         // Below ~4 faults per prospective thread, scratch setup dominates.
         let threads = threads.min(faults.len() / 4).max(1);
         if threads <= 1 {
+            let started = Instant::now();
             let mut scratch = Scratch::new(self);
-            return faults
+            let out: Vec<T> = faults
                 .iter()
                 .map(|&f| work(self, f, &mut scratch))
                 .collect();
+            self.record_partition_span(0, faults.len(), started);
+            return out;
         }
         let chunk_len = faults.len().div_ceil(threads);
         std::thread::scope(|scope| {
             let handles: Vec<_> = faults
                 .chunks(chunk_len)
-                .map(|chunk| {
+                .enumerate()
+                .map(|(index, chunk)| {
                     let work = &work;
                     scope.spawn(move || {
+                        let started = Instant::now();
                         let mut scratch = Scratch::new(self);
-                        chunk
+                        let out = chunk
                             .iter()
                             .map(|&f| work(self, f, &mut scratch))
-                            .collect::<Vec<T>>()
+                            .collect::<Vec<T>>();
+                        self.record_partition_span(index, chunk.len(), started);
+                        out
                     })
                 })
                 .collect();
@@ -682,6 +784,27 @@ impl<'a> PackedEngine<'a> {
                 .flat_map(|h| h.join().expect("fault-simulation worker panicked"))
                 .collect()
         })
+    }
+
+    /// Records a scheduling-category span for one fault partition. These
+    /// events carry wall-clock timestamps and a thread id, so they live in
+    /// [`CAT_SCHED`] and are dropped by the canonical (determinism-checked)
+    /// trace export.
+    fn record_partition_span(&self, index: usize, faults: usize, started: Instant) {
+        if !self.trace.enabled() {
+            return;
+        }
+        let dur = started.elapsed().as_micros() as u64;
+        self.trace.record(
+            TraceEvent::span(
+                CAT_SCHED,
+                "partition",
+                0,
+                dur,
+                vec![("faults", (faults as u64).into())],
+            )
+            .on_thread(index as u64),
+        );
     }
 }
 

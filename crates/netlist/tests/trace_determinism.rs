@@ -1,0 +1,129 @@
+//! Trace-determinism contract of the instrumented PPSFP engine: the
+//! canonical trace export (scheduling category dropped, thread ids
+//! normalized, lines sorted) must be byte-identical no matter how the
+//! fault list is partitioned across OS threads, and a disabled sink must
+//! never see a single `record` call on the grading hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use casbus_netlist::{GateKind, Netlist, PackedEngine};
+use casbus_obs::{MemorySink, TraceEvent, TraceSink};
+use casbus_tpg::BitVec;
+
+/// A fixed combinational netlist big enough that every thread count under
+/// test actually partitions the fault list (threads are capped at
+/// `faults / 4`).
+fn fixture() -> Netlist {
+    let mut nl = Netlist::new("trace_fixture");
+    let inputs: Vec<_> = (0..6).map(|i| nl.add_input(format!("in{i}"))).collect();
+    let mut nets = inputs.clone();
+    for layer in 0..4 {
+        let mut next = Vec::new();
+        for (i, pair) in nets.chunks(2).enumerate() {
+            let a = pair[0];
+            let b = pair[pair.len() - 1];
+            let g = match (layer + i) % 4 {
+                0 => nl.add_gate(GateKind::And2, vec![a, b]),
+                1 => nl.add_gate(GateKind::Xor2, vec![a, b]),
+                2 => nl.add_gate(GateKind::Nor2, vec![a, b]),
+                _ => nl.add_gate(GateKind::Or2, vec![a, b]),
+            };
+            next.push(g);
+        }
+        next.extend_from_slice(&nets[..2]);
+        nets = next;
+    }
+    for (o, &net) in nets.iter().take(3).enumerate() {
+        nl.mark_output(format!("out{o}"), net);
+    }
+    nl.validate().expect("fixture is a DAG");
+    nl
+}
+
+fn patterns(inputs: usize) -> Vec<Vec<BitVec>> {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    (0..12)
+        .map(|_| {
+            vec![(0..inputs)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state >> 62 & 1 == 1
+                })
+                .collect::<BitVec>()]
+        })
+        .collect()
+}
+
+#[test]
+fn canonical_trace_is_identical_across_thread_counts() {
+    let nl = fixture();
+    let sequences = patterns(nl.inputs().len());
+    let mut exports = Vec::new();
+    let mut coverages = Vec::new();
+    for threads in [1usize, 2, 4, 7] {
+        let sink = MemorySink::new();
+        let engine = PackedEngine::new(&nl)
+            .expect("valid")
+            .with_threads(threads)
+            .with_trace(sink.clone());
+        coverages.push(engine.fault_coverage(&sequences));
+        assert!(
+            !sink.is_empty(),
+            "traced run with {threads} thread(s) must emit events"
+        );
+        exports.push((threads, sink.canonical_jsonl()));
+    }
+    let (_, reference) = &exports[0];
+    assert!(
+        reference.lines().count() > 0,
+        "canonical export must keep the per-fault events"
+    );
+    for (threads, export) in &exports[1..] {
+        assert_eq!(
+            export, reference,
+            "canonical trace diverged at {threads} threads"
+        );
+    }
+    for coverage in &coverages[1..] {
+        assert_eq!(coverage, &coverages[0]);
+    }
+}
+
+/// A sink that reports itself disabled but counts any `record` call that
+/// reaches it anyway: the zero-cost-when-disabled contract says the hot
+/// path must check `enabled()` *before* building an event.
+#[derive(Debug, Default)]
+struct DisabledCountingSink {
+    calls: AtomicU64,
+}
+
+impl TraceSink for DisabledCountingSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: TraceEvent) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn disabled_sink_sees_zero_events() {
+    let nl = fixture();
+    let sequences = patterns(nl.inputs().len());
+    let sink = Arc::new(DisabledCountingSink::default());
+    let engine = PackedEngine::new(&nl)
+        .expect("valid")
+        .with_threads(4)
+        .with_trace(sink.clone());
+    let coverage = engine.fault_coverage(&sequences);
+    assert!(coverage.total > 0);
+    assert_eq!(
+        sink.calls.load(Ordering::Relaxed),
+        0,
+        "disabled sink must never be handed an event"
+    );
+}

@@ -1,0 +1,67 @@
+//! Minimal JSON serialization helpers shared by the trace and metrics
+//! exporters. The observability layer is std-only, so the handful of JSON
+//! shapes it emits (strings, integers, floats, flat objects) are written by
+//! hand here rather than pulled from a serializer crate.
+
+use std::fmt::Write;
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a `"key":` member prefix (with a leading comma when `first` is
+/// false), returning the new `first` flag.
+pub fn write_key(out: &mut String, key: &str, first: bool) -> bool {
+    if !first {
+        out.push(',');
+    }
+    write_escaped(out, key);
+    out.push(':');
+    false
+}
+
+/// Formats an `f64` the way JSON expects (no NaN/inf; finite shortest-ish).
+pub fn write_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn keys_and_floats() {
+        let mut s = String::new();
+        let first = write_key(&mut s, "x", true);
+        write_f64(&mut s, 1.5);
+        write_key(&mut s, "y", first);
+        write_f64(&mut s, f64::NAN);
+        assert_eq!(s, "\"x\":1.5,\"y\":null");
+    }
+}

@@ -1,0 +1,63 @@
+//! Observability for the CAS-BUS reproduction: waveforms, traces, metrics.
+//!
+//! The CAS-BUS protocol is defined by what happens on wires over clocks
+//! (Fig. 4's CONFIGURATION / UPDATE / TEST phases, serial instruction shifts
+//! on bus wire 0), so a failing run must be inspectable at exactly that
+//! granularity. This crate is the cross-cutting layer every simulator,
+//! controller and fault-simulation crate reports into. Three pillars:
+//!
+//! * [`vcd`] — a standard **Value Change Dump** writer (viewable in GTKWave)
+//!   with hierarchical scopes and full 4-value (`0`/`1`/`X`/`Z`) support,
+//!   driven through the [`Probe`](probe::Probe) trait so instrumented code
+//!   never depends on the output format. [`vcd_check`] parses VCD files back
+//!   for golden tests and CI self-checks without external tools.
+//! * [`trace`] — structured event tracing behind the zero-cost-when-disabled
+//!   [`TraceSink`](trace::TraceSink) trait, exportable as JSON Lines or as a
+//!   Chrome-trace (`chrome://tracing` / Perfetto) file.
+//! * [`metrics`] — a thread-safe registry of counters and histograms
+//!   (cycles per phase, bus utilisation per wire, shift/capture/idle cycles
+//!   per core, faults/sec) with `Display` and JSON export.
+//!
+//! # Overhead contract
+//!
+//! Instrumented hot paths hold an `Arc<dyn TraceSink>` (default
+//! [`NullSink`](trace::NullSink)) and an `Option`al probe/metrics handle.
+//! Every emission site is gated on [`TraceSink::enabled`](trace::TraceSink)
+//! or `Option::is_some` *before* any argument is allocated, so the disabled
+//! configuration costs one predictable branch per coarse-grained event —
+//! nothing per simulated gate or lane.
+//!
+//! # Example
+//!
+//! ```
+//! use casbus_obs::probe::Probe;
+//! use casbus_obs::vcd::{VcdWriter, Wire4};
+//!
+//! let mut vcd = VcdWriter::new("1ns");
+//! vcd.push_scope("bus");
+//! let w0 = vcd.add_wire("wire0", 1);
+//! vcd.pop_scope();
+//! vcd.set_time(0);
+//! vcd.change(w0, &[Wire4::V1]);
+//! vcd.set_time(5);
+//! vcd.change(w0, &[Wire4::V0]);
+//! let text = vcd.render();
+//! assert!(text.contains("$enddefinitions"));
+//! let doc = casbus_obs::vcd_check::parse(&text).unwrap();
+//! assert_eq!(doc.change_count(), 2 + 1); // initial X dump + two edges
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod probe;
+pub mod trace;
+pub mod vcd;
+pub mod vcd_check;
+
+pub use metrics::MetricsRegistry;
+pub use probe::{Probe, SignalId};
+pub use trace::{MemorySink, NullSink, TraceEvent, TraceSink};
+pub use vcd::{VcdWriter, Wire4};

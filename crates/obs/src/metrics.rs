@@ -1,0 +1,272 @@
+//! A run-metrics registry: named counters and histograms, thread-safe,
+//! with `Display` and JSON export.
+//!
+//! Instrumented crates record coarse-grained aggregates here — cycles per
+//! controller phase, per-core shift/capture/idle cycles, per-wire bus busy
+//! cycles, faults and patterns per second from the PPSFP engine. Names are
+//! dotted paths (`sim.cycles.total`, `core.cpu.shift_cycles`); the registry
+//! keeps them sorted so `Display` and JSON output are deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::json;
+
+/// Summary statistics of observed values (a lightweight histogram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observations (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The registry. Shared as `Arc<MetricsRegistry>`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh shareable registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Adds `delta` to counter `name` (created at zero on first use).
+    pub fn inc(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.counters.get_mut(name) {
+            Some(slot) => *slot += delta,
+            None => {
+                inner.counters.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Sets counter `name` to `value` (last write wins).
+    pub fn set(&self, name: &str, value: u64) {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                inner.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .histograms
+            .get(name)
+            .copied()
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Sum of every counter whose name starts with `prefix`.
+    pub fn counter_sum(&self, prefix: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Drops every counter and histogram.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+
+    /// JSON export: `{"counters":{…},"histograms":{name:{count,sum,min,max,mean}}}`.
+    pub fn to_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (name, value) in &inner.counters {
+            first = json::write_key(&mut out, name, first);
+            out.push_str(&value.to_string());
+        }
+        out.push_str("},\"histograms\":{");
+        let mut first = true;
+        for (name, h) in &inner.histograms {
+            first = json::write_key(&mut out, name, first);
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":",
+                h.count, h.sum, h.min, h.max
+            ));
+            json::write_f64(&mut out, h.mean());
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().expect("metrics poisoned");
+        writeln!(
+            f,
+            "metrics: {} counters, {} histograms",
+            inner.counters.len(),
+            inner.histograms.len()
+        )?;
+        for (name, value) in &inner.counters {
+            writeln!(f, "  {name:<44} {value}")?;
+        }
+        for (name, h) in &inner.histograms {
+            writeln!(
+                f,
+                "  {name:<44} n={} mean={:.1} min={} max={}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc("a.x", 3);
+        m.inc("a.x", 2);
+        m.inc("a.y", 1);
+        m.set("b", 9);
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.counter_sum("a."), 6);
+        assert_eq!(m.counters().len(), 3);
+    }
+
+    #[test]
+    fn histograms_track_extremes() {
+        let m = MetricsRegistry::new();
+        for v in [5u64, 1, 9] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 15, 1, 9));
+        assert!((h.mean() - 5.0).abs() < 1e-9);
+        assert!(m.histogram("none").is_none());
+    }
+
+    #[test]
+    fn display_and_json_are_sorted_and_complete() {
+        let m = MetricsRegistry::new();
+        m.inc("z.last", 1);
+        m.inc("a.first", 2);
+        m.observe("lat", 7);
+        let text = m.to_string();
+        assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
+        let json = m.to_json();
+        assert!(json.contains("\"a.first\":2"));
+        assert!(json.contains("\"lat\":{\"count\":1,\"sum\":7,\"min\":7,\"max\":7,\"mean\":7}"));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let m = MetricsRegistry::new();
+        m.inc("c", 1);
+        m.observe("h", 1);
+        m.clear();
+        assert_eq!(m.counters().len(), 0);
+        assert!(m.histogram("h").is_none());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let m = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        m.inc("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(m.counter("n"), 400);
+    }
+}

@@ -1,0 +1,161 @@
+//! The [`Probe`] trait: how instrumented components publish cycle-accurate
+//! signal activity without knowing what consumes it.
+//!
+//! A component (the SoC simulator, the controller) first *declares* its
+//! signal hierarchy — scopes and wires — receiving one opaque [`SignalId`]
+//! per wire, then repeatedly advances time and reports values. The two
+//! standard consumers are [`VcdWriter`](crate::vcd::VcdWriter) (real
+//! waveforms) and [`NullProbe`] (discards everything); tests plug in their
+//! own recorders.
+
+use crate::vcd::Wire4;
+
+/// Opaque handle for one declared signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// The raw declaration index (stable, declaration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A consumer of declared signals and their per-cycle values.
+///
+/// Contract: all declarations happen before the first [`Probe::set_time`];
+/// time is monotonically non-decreasing; [`Probe::change`] passes exactly
+/// `width` values, most-significant first (index 0 of the slice is the
+/// highest bit, matching VCD vector notation).
+pub trait Probe {
+    /// Opens a named hierarchical scope. Scopes nest.
+    fn push_scope(&mut self, name: &str);
+
+    /// Closes the innermost open scope.
+    fn pop_scope(&mut self);
+
+    /// Declares a wire of `width` bits in the current scope.
+    fn add_wire(&mut self, name: &str, width: usize) -> SignalId;
+
+    /// Advances simulation time (same unit for all signals; the CAS-BUS
+    /// instrumentation uses test-clock cycles).
+    fn set_time(&mut self, t: u64);
+
+    /// Reports the current value of a signal. Consumers deduplicate: a
+    /// value equal to the last reported one produces no output.
+    fn change(&mut self, id: SignalId, value: &[Wire4]);
+
+    /// Reports a multi-bit value from the low bits of `bits`.
+    fn change_u64(&mut self, id: SignalId, bits: u64, width: usize) {
+        let mut values = [Wire4::V0; 64];
+        let width = width.min(64);
+        for (i, slot) in values[..width].iter_mut().enumerate() {
+            // Slice index 0 is the MSB.
+            *slot = if bits >> (width - 1 - i) & 1 == 1 {
+                Wire4::V1
+            } else {
+                Wire4::V0
+            };
+        }
+        self.change(id, &values[..width]);
+    }
+
+    /// Reports a single-bit value.
+    fn change_bit(&mut self, id: SignalId, bit: bool) {
+        self.change(id, &[if bit { Wire4::V1 } else { Wire4::V0 }]);
+    }
+}
+
+impl<P: Probe + ?Sized> Probe for Box<P> {
+    fn push_scope(&mut self, name: &str) {
+        (**self).push_scope(name);
+    }
+    fn pop_scope(&mut self) {
+        (**self).pop_scope();
+    }
+    fn add_wire(&mut self, name: &str, width: usize) -> SignalId {
+        (**self).add_wire(name, width)
+    }
+    fn set_time(&mut self, t: u64) {
+        (**self).set_time(t);
+    }
+    fn change(&mut self, id: SignalId, value: &[Wire4]) {
+        (**self).change(id, value);
+    }
+}
+
+/// Shared-ownership probe: the instrumented component holds one handle, the
+/// caller keeps another to render the dump afterwards.
+impl<P: Probe> Probe for std::rc::Rc<std::cell::RefCell<P>> {
+    fn push_scope(&mut self, name: &str) {
+        self.borrow_mut().push_scope(name);
+    }
+    fn pop_scope(&mut self) {
+        self.borrow_mut().pop_scope();
+    }
+    fn add_wire(&mut self, name: &str, width: usize) -> SignalId {
+        self.borrow_mut().add_wire(name, width)
+    }
+    fn set_time(&mut self, t: u64) {
+        self.borrow_mut().set_time(t);
+    }
+    fn change(&mut self, id: SignalId, value: &[Wire4]) {
+        self.borrow_mut().change(id, value);
+    }
+}
+
+/// A probe that discards everything (useful as an explicit placeholder; the
+/// instrumented crates prefer `Option<Box<dyn Probe>> = None`, which skips
+/// even the virtual calls).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    fn push_scope(&mut self, _name: &str) {}
+    fn pop_scope(&mut self) {}
+    fn add_wire(&mut self, _name: &str, _width: usize) -> SignalId {
+        SignalId(0)
+    }
+    fn set_time(&mut self, _t: u64) {}
+    fn change(&mut self, _id: SignalId, _value: &[Wire4]) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A recording probe used to pin the default-method bit order.
+    #[derive(Default)]
+    struct Recorder {
+        last: Vec<Wire4>,
+    }
+
+    impl Probe for Recorder {
+        fn push_scope(&mut self, _name: &str) {}
+        fn pop_scope(&mut self) {}
+        fn add_wire(&mut self, _name: &str, _width: usize) -> SignalId {
+            SignalId(0)
+        }
+        fn set_time(&mut self, _t: u64) {}
+        fn change(&mut self, _id: SignalId, value: &[Wire4]) {
+            self.last = value.to_vec();
+        }
+    }
+
+    #[test]
+    fn change_u64_is_msb_first() {
+        let mut r = Recorder::default();
+        r.change_u64(SignalId(0), 0b110, 3);
+        assert_eq!(r.last, vec![Wire4::V1, Wire4::V1, Wire4::V0]);
+    }
+
+    #[test]
+    fn null_probe_accepts_everything() {
+        let mut p = NullProbe;
+        p.push_scope("s");
+        let id = p.add_wire("w", 4);
+        p.set_time(3);
+        p.change_bit(id, true);
+        p.pop_scope();
+    }
+}

@@ -1,0 +1,386 @@
+//! A minimal VCD reader for structural self-checks.
+//!
+//! This is not a general waveform loader — it parses exactly the subset the
+//! [`VcdWriter`](crate::vcd::VcdWriter) emits (which is also the common
+//! subset every EDA tool emits): `$scope`/`$upscope`/`$var` declarations,
+//! `$enddefinitions`, `$dumpvars`, `#time` stamps and scalar/vector value
+//! changes. Golden-file tests and the CI self-check binary use it to verify
+//! dumps without external tools.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::vcd::Wire4;
+
+/// A parse or structural error in a VCD file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdCheckError(String);
+
+impl fmt::Display for VcdCheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VCD check: {}", self.0)
+    }
+}
+
+impl std::error::Error for VcdCheckError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, VcdCheckError> {
+    Err(VcdCheckError(msg.into()))
+}
+
+/// One declared variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdVar {
+    /// Short identifier code.
+    pub code: String,
+    /// Declared bit width.
+    pub width: usize,
+    /// Reference name (without the `[msb:0]` range suffix).
+    pub name: String,
+    /// Full hierarchical scope path, e.g. `["soc", "bus"]`.
+    pub scope: Vec<String>,
+}
+
+impl VcdVar {
+    /// The dotted full path, e.g. `soc.bus.wire0`.
+    pub fn path(&self) -> String {
+        let mut p = self.scope.join(".");
+        if !p.is_empty() {
+            p.push('.');
+        }
+        p.push_str(&self.name);
+        p
+    }
+}
+
+/// One timestamped value change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VcdChange {
+    /// Time of the change.
+    pub time: u64,
+    /// Identifier code of the variable.
+    pub code: String,
+    /// New value, MSB first.
+    pub value: Vec<Wire4>,
+}
+
+/// A parsed VCD document.
+#[derive(Debug, Clone)]
+pub struct VcdDocument {
+    /// Declared variables, declaration order.
+    pub vars: Vec<VcdVar>,
+    /// Initial `$dumpvars` values by identifier code.
+    pub initial: BTreeMap<String, Vec<Wire4>>,
+    /// Value changes after the initial dump, file order.
+    pub changes: Vec<VcdChange>,
+}
+
+impl VcdDocument {
+    /// Variables whose full dotted path equals `path`.
+    pub fn var_by_path(&self, path: &str) -> Option<&VcdVar> {
+        self.vars.iter().find(|v| v.path() == path)
+    }
+
+    /// All distinct scope paths, dotted, sorted.
+    pub fn scope_paths(&self) -> Vec<String> {
+        let mut paths: Vec<String> = self.vars.iter().map(|v| v.scope.join(".")).collect();
+        paths.sort();
+        paths.dedup();
+        paths
+    }
+
+    /// Changes recorded for one variable (by dotted path), time order.
+    pub fn changes_of(&self, path: &str) -> Vec<&VcdChange> {
+        match self.var_by_path(path) {
+            None => Vec::new(),
+            Some(var) => self.changes.iter().filter(|c| c.code == var.code).collect(),
+        }
+    }
+
+    /// Total recorded changes, counting the initial dump as one.
+    pub fn change_count(&self) -> usize {
+        self.changes.len() + usize::from(!self.initial.is_empty())
+    }
+
+    /// The value of variable `path` at time `t` (last change at or before
+    /// `t`, falling back to the initial dump).
+    pub fn value_at(&self, path: &str, t: u64) -> Option<Vec<Wire4>> {
+        let var = self.var_by_path(path)?;
+        let mut value = self.initial.get(&var.code).cloned();
+        for change in &self.changes {
+            if change.time > t {
+                break;
+            }
+            if change.code == var.code {
+                value = Some(change.value.clone());
+            }
+        }
+        value
+    }
+
+    /// Structural invariants every well-formed dump satisfies: timestamps
+    /// monotone, every change references a declared variable at its declared
+    /// width, and consecutive changes of one variable actually differ.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first violated invariant.
+    pub fn check_well_formed(&self) -> Result<(), VcdCheckError> {
+        let widths: BTreeMap<&str, usize> = self
+            .vars
+            .iter()
+            .map(|v| (v.code.as_str(), v.width))
+            .collect();
+        let mut last_time = 0u64;
+        let mut last_value: BTreeMap<&str, &[Wire4]> = self
+            .initial
+            .iter()
+            .map(|(code, v)| (code.as_str(), v.as_slice()))
+            .collect();
+        for (i, change) in self.changes.iter().enumerate() {
+            if change.time < last_time {
+                return err(format!(
+                    "change {i}: time {} after {last_time}",
+                    change.time
+                ));
+            }
+            last_time = change.time;
+            match widths.get(change.code.as_str()) {
+                None => return err(format!("change {i}: undeclared code {:?}", change.code)),
+                Some(&w) if w != change.value.len() => {
+                    return err(format!(
+                        "change {i}: width {} declared {w}",
+                        change.value.len()
+                    ));
+                }
+                Some(_) => {}
+            }
+            if last_value.get(change.code.as_str()) == Some(&change.value.as_slice()) {
+                return err(format!(
+                    "change {i}: {:?} did not change value",
+                    change.code
+                ));
+            }
+            last_value.insert(&change.code, &change.value);
+        }
+        Ok(())
+    }
+}
+
+/// Parses a VCD file.
+///
+/// # Errors
+///
+/// Reports malformed declarations, value records or timestamps.
+pub fn parse(text: &str) -> Result<VcdDocument, VcdCheckError> {
+    let mut vars = Vec::new();
+    let mut scope_stack: Vec<String> = Vec::new();
+    let mut initial = BTreeMap::new();
+    let mut changes = Vec::new();
+    let mut in_definitions = true;
+    let mut in_dumpvars = false;
+    let mut time: Option<u64> = None;
+
+    let mut tokens = text.split_whitespace().peekable();
+    while let Some(tok) = tokens.next() {
+        match tok {
+            "$date" | "$version" | "$comment" | "$timescale" => {
+                for t in tokens.by_ref() {
+                    if t == "$end" {
+                        break;
+                    }
+                }
+            }
+            "$scope" => {
+                let _kind = tokens.next();
+                let name = tokens.next().map_or_else(String::new, str::to_owned);
+                if tokens.next() != Some("$end") {
+                    return err("$scope not closed by $end");
+                }
+                scope_stack.push(name);
+            }
+            "$upscope" => {
+                if scope_stack.pop().is_none() {
+                    return err("$upscope without open scope");
+                }
+                if tokens.next() != Some("$end") {
+                    return err("$upscope not closed by $end");
+                }
+            }
+            "$var" => {
+                let _kind = tokens.next();
+                let width: usize = tokens
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| VcdCheckError("bad $var width".into()))?;
+                let code = tokens
+                    .next()
+                    .ok_or_else(|| VcdCheckError("missing $var code".into()))?
+                    .to_owned();
+                let name = tokens
+                    .next()
+                    .ok_or_else(|| VcdCheckError("missing $var name".into()))?
+                    .to_owned();
+                // Optional `[msb:0]` range token before $end.
+                loop {
+                    match tokens.next() {
+                        Some("$end") => break,
+                        Some(_) => {}
+                        None => return err("$var not closed by $end"),
+                    }
+                }
+                vars.push(VcdVar {
+                    code,
+                    width,
+                    name,
+                    scope: scope_stack.clone(),
+                });
+            }
+            "$enddefinitions" => {
+                if tokens.next() != Some("$end") {
+                    return err("$enddefinitions not closed by $end");
+                }
+                in_definitions = false;
+            }
+            "$dumpvars" => {
+                in_dumpvars = true;
+            }
+            "$end" if in_dumpvars => {
+                in_dumpvars = false;
+            }
+            t if t.starts_with('#') => {
+                let stamp: u64 = t[1..]
+                    .parse()
+                    .map_err(|_| VcdCheckError(format!("bad timestamp {t:?}")))?;
+                time = Some(stamp);
+            }
+            t if !in_definitions => {
+                let (value, code) = parse_value(t, &mut tokens)?;
+                if in_dumpvars {
+                    initial.insert(code, value);
+                } else {
+                    let time =
+                        time.ok_or_else(|| VcdCheckError("value change before #time".into()))?;
+                    changes.push(VcdChange { time, code, value });
+                }
+            }
+            t => return err(format!("unexpected token {t:?} in declarations")),
+        }
+    }
+    if !scope_stack.is_empty() {
+        return err("unclosed $scope at end of file");
+    }
+    Ok(VcdDocument {
+        vars,
+        initial,
+        changes,
+    })
+}
+
+fn parse_value<'a>(
+    tok: &'a str,
+    tokens: &mut impl Iterator<Item = &'a str>,
+) -> Result<(Vec<Wire4>, String), VcdCheckError> {
+    if let Some(rest) = tok.strip_prefix(['b', 'B']) {
+        let value: Option<Vec<Wire4>> = rest.chars().map(Wire4::from_char).collect();
+        let value = value.ok_or_else(|| VcdCheckError(format!("bad vector {tok:?}")))?;
+        let code = tokens
+            .next()
+            .ok_or_else(|| VcdCheckError("vector value without code".into()))?;
+        Ok((value, code.to_owned()))
+    } else {
+        let mut chars = tok.chars();
+        let v = chars
+            .next()
+            .and_then(Wire4::from_char)
+            .ok_or_else(|| VcdCheckError(format!("bad scalar {tok:?}")))?;
+        let code: String = chars.collect();
+        if code.is_empty() {
+            return err(format!("scalar {tok:?} without code"));
+        }
+        Ok((vec![v], code))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::Probe;
+    use crate::vcd::VcdWriter;
+
+    fn sample_doc() -> VcdDocument {
+        let mut vcd = VcdWriter::new("1ns");
+        vcd.push_scope("soc");
+        vcd.push_scope("bus");
+        let w0 = vcd.add_wire("wire0", 1);
+        vcd.pop_scope();
+        let mode = vcd.add_wire("mode", 2);
+        vcd.pop_scope();
+        vcd.set_time(0);
+        vcd.change_bit(w0, true);
+        vcd.change_u64(mode, 0b10, 2);
+        vcd.set_time(7);
+        vcd.change_bit(w0, false);
+        parse(&vcd.render()).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let doc = sample_doc();
+        assert_eq!(doc.vars.len(), 2);
+        assert_eq!(doc.vars[0].path(), "soc.bus.wire0");
+        assert_eq!(doc.vars[1].path(), "soc.mode");
+        assert_eq!(doc.scope_paths(), vec!["soc".to_owned(), "soc.bus".into()]);
+        assert_eq!(doc.initial.len(), 2);
+        assert_eq!(doc.changes.len(), 3);
+        doc.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn value_at_follows_time() {
+        let doc = sample_doc();
+        assert_eq!(doc.value_at("soc.bus.wire0", 0), Some(vec![Wire4::V1]));
+        assert_eq!(doc.value_at("soc.bus.wire0", 6), Some(vec![Wire4::V1]));
+        assert_eq!(doc.value_at("soc.bus.wire0", 7), Some(vec![Wire4::V0]));
+        assert_eq!(
+            doc.value_at("soc.mode", 100),
+            Some(vec![Wire4::V1, Wire4::V0])
+        );
+        assert_eq!(doc.value_at("nope", 0), None);
+    }
+
+    #[test]
+    fn detects_non_monotone_time() {
+        let text = "$var wire 1 ! a $end $enddefinitions $end #5\n1!\n#3\n0!\n";
+        let doc = parse(text).unwrap();
+        let e = doc.check_well_formed().unwrap_err();
+        assert!(e.to_string().contains("after"), "{e}");
+    }
+
+    #[test]
+    fn detects_no_op_change() {
+        let text = "$var wire 1 ! a $end $enddefinitions $end #1\n1!\n#2\n1!\n";
+        let doc = parse(text).unwrap();
+        assert!(doc.check_well_formed().is_err());
+    }
+
+    #[test]
+    fn detects_undeclared_code_and_bad_width() {
+        let undeclared = "$var wire 1 ! a $end $enddefinitions $end #1\n1?\n";
+        assert!(parse(undeclared)
+            .unwrap()
+            .check_well_formed()
+            .unwrap_err()
+            .to_string()
+            .contains("undeclared"));
+        let wide = "$var wire 2 ! a $end $enddefinitions $end #1\nb101 !\n";
+        assert!(parse(wide).unwrap().check_well_formed().is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_files() {
+        assert!(parse("$scope module x $end").is_err()); // unclosed scope
+        assert!(parse("$upscope $end").is_err());
+        assert!(parse("$enddefinitions $end\n1!\n").is_err()); // change before #time
+    }
+}

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use casbus_controller::TestProgram;
+use casbus_obs::{MetricsRegistry, TraceEvent};
 use casbus_tpg::{BitVec, Verdict};
 
 use crate::session::{compare, golden_run, ClockKind, SessionPlan};
@@ -17,6 +18,12 @@ pub struct SocTestReport {
     pub total_cycles: u64,
     /// Steps executed.
     pub steps: usize,
+    /// Data clocks each core's wrapper observed during this program, in CAS
+    /// order (aggregated through the metrics registry).
+    pub per_core_cycles: Vec<(String, u64)>,
+    /// Busy wire-cycles across the whole test bus (each wire routed to an
+    /// active TEST-mode CAS counts one per non-idle data clock).
+    pub bus_cycles: u64,
 }
 
 impl SocTestReport {
@@ -50,6 +57,12 @@ impl fmt::Display for SocTestReport {
         for (name, verdict) in &self.verdicts {
             writeln!(f, "  {name}: {verdict}")?;
         }
+        if !self.per_core_cycles.is_empty() {
+            writeln!(f, "  bus busy wire-cycles: {}", self.bus_cycles)?;
+            for (name, cycles) in &self.per_core_cycles {
+                writeln!(f, "  {name}: {cycles} wrapper data clocks")?;
+            }
+        }
         Ok(())
     }
 }
@@ -67,9 +80,28 @@ pub fn run_program(
     sim: &mut SocSimulator,
     program: &TestProgram,
 ) -> Result<SocTestReport, SimError> {
+    run_program_with_metrics(sim, program, &MetricsRegistry::new())
+}
+
+/// [`run_program`], additionally publishing the simulator's cycle
+/// aggregates into `metrics` (see [`SocSimulator::export_metrics`]); the
+/// report's per-core and bus cycle fields are read back from the registry.
+///
+/// # Errors
+///
+/// Propagates configuration and width errors.
+pub fn run_program_with_metrics(
+    sim: &mut SocSimulator,
+    program: &TestProgram,
+    metrics: &MetricsRegistry,
+) -> Result<SocTestReport, SimError> {
     let start_cycles = sim.cycles();
+    // Baselines, so a reused simulator reports only this program's cycles.
+    let core_baseline: Vec<u64> = sim.core_stats().iter().map(|s| s.total()).collect();
+    let busy_baseline: u64 = sim.wire_busy().iter().sum();
     let mut verdicts: Vec<(String, Verdict)> = Vec::new();
-    for step in program.steps() {
+    for (step_index, step) in program.steps().iter().enumerate() {
+        let step_start = sim.cycles();
         sim.configure(&step.configuration, &step.wrapper_instructions)?;
         // Collect the concurrent cores of this step, their plans, goldens
         // and wire windows (from the now-active schemes).
@@ -130,15 +162,40 @@ pub fn run_program(
                 }
             }
         }
+        let trace = sim.trace();
         for lane in lanes {
             let verdict = compare(&lane.golden, &lane.observed, lane.plan.ports());
+            if trace.enabled() {
+                trace.record(TraceEvent::span(
+                    "session",
+                    lane.name.clone(),
+                    step_start,
+                    sim.cycles() - step_start,
+                    vec![
+                        ("step", step_index.into()),
+                        ("cas", lane.cas_index.into()),
+                        ("data_cycles", lane.plan.len().into()),
+                        ("pass", verdict.is_pass().into()),
+                    ],
+                ));
+            }
             verdicts.push((lane.name, verdict));
         }
     }
+    sim.export_metrics(metrics);
+    let mut per_core_cycles = Vec::new();
+    for (idx, baseline) in core_baseline.iter().enumerate() {
+        let name = sim.tam().label(idx)?.to_owned();
+        let total = metrics.counter_sum(&crate::simulator::core_metric_prefix(&name));
+        per_core_cycles.push((name, total - baseline));
+    }
+    let bus_cycles = metrics.counter_sum("bus.wire") - busy_baseline;
     Ok(SocTestReport {
         verdicts,
         total_cycles: sim.cycles() - start_cycles,
         steps: program.steps().len(),
+        per_core_cycles,
+        bus_cycles,
     })
 }
 
@@ -264,9 +321,36 @@ mod tests {
             verdicts: vec![("a".into(), Verdict::Pass)],
             total_cycles: 100,
             steps: 1,
+            per_core_cycles: vec![("a".into(), 80)],
+            bus_cycles: 160,
         };
-        assert!(report.to_string().contains("ALL PASS"));
+        let text = report.to_string();
+        assert!(text.contains("ALL PASS"));
+        assert!(text.contains("bus busy wire-cycles: 160"));
+        assert!(text.contains("a: 80 wrapper data clocks"));
         assert!(report.verdict("a").is_some());
         assert!(report.verdict("zz").is_none());
+    }
+
+    #[test]
+    fn program_report_cycle_fields_match_registry() {
+        let soc = catalog::figure2a_scan_soc();
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        let program = program_for(&soc, 4, false);
+        let metrics = casbus_obs::MetricsRegistry::new();
+        let report = run_program_with_metrics(&mut sim, &program, &metrics).unwrap();
+        assert!(report.all_pass(), "{report}");
+        // Fresh simulator: registry totals are exactly this program's.
+        assert_eq!(metrics.counter("sim.cycles.total"), sim.cycles());
+        assert_eq!(report.per_core_cycles.len(), 2);
+        let wrapper_total: u64 = report.per_core_cycles.iter().map(|(_, c)| c).sum();
+        // Every data clock touches every wrapper (idle counts included).
+        assert_eq!(
+            wrapper_total,
+            metrics.counter("sim.cycles.test") * 2,
+            "{report}"
+        );
+        assert_eq!(report.bus_cycles, metrics.counter_sum("bus.wire"));
+        assert!(report.bus_cycles > 0);
     }
 }

@@ -224,6 +224,21 @@ pub fn run_core_session(
 
     let observed = drive_plan(sim, cas_index, &plan, 0)?;
     let verdict = compare(&golden, &observed, plan.ports());
+    let trace = sim.trace();
+    if trace.enabled() {
+        trace.record(casbus_obs::TraceEvent::span(
+            "session",
+            core_name,
+            start,
+            sim.cycles() - start,
+            vec![
+                ("cas", cas_index.into()),
+                ("config_cycles", config_cycles.into()),
+                ("data_cycles", (plan.len() as u64).into()),
+                ("pass", verdict.is_pass().into()),
+            ],
+        ));
+    }
     Ok(SessionReport {
         core_name: core_name.to_owned(),
         verdict,

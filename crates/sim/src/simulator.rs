@@ -1,8 +1,10 @@
 //! The assembled SoC simulator: TAM + wrappers + behavioural cores.
 
 use std::fmt;
+use std::sync::Arc;
 
-use casbus::{CasControl, CasError, Tam, TamConfiguration};
+use casbus::{CasControl, CasError, CasMode, ConfigStream, Tam, TamConfiguration};
+use casbus_obs::{MetricsRegistry, Probe, SignalId, TraceEvent, TraceSink, Wire4};
 use casbus_p1500::{TestableCore, Wrapper, WrapperControl, WrapperInstruction};
 use casbus_soc::{models, SocDescription};
 use casbus_tpg::BitVec;
@@ -56,6 +58,77 @@ impl From<CasError> for SimError {
     }
 }
 
+/// Per-core clock-kind cycle counts, maintained by
+/// [`SocSimulator::data_clock`] at plain-field-increment cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCycleStats {
+    /// Shift clocks seen by this wrapper.
+    pub shift: u64,
+    /// Capture clocks.
+    pub capture: u64,
+    /// Update clocks.
+    pub update: u64,
+    /// Idle/hold clocks.
+    pub idle: u64,
+}
+
+impl CoreCycleStats {
+    /// All data clocks this core's wrapper observed.
+    pub fn total(&self) -> u64 {
+        self.shift + self.capture + self.update + self.idle
+    }
+}
+
+/// VCD signal handles declared by [`SocSimulator::attach_probe`].
+struct ProbeSignals {
+    /// Controller-visible phase: 00 CONFIGURATION, 01 UPDATE, 10 TEST.
+    phase: SignalId,
+    /// One scalar per test bus wire.
+    bus: Vec<SignalId>,
+    /// Per-CAS functional mode (2 bits).
+    cas_mode: Vec<SignalId>,
+    /// Per-CAS active scheme index (8 bits; X when not in TEST).
+    cas_scheme: Vec<SignalId>,
+    /// Per-wrapper WIR opcode (3 bits).
+    wir: Vec<SignalId>,
+    /// Per-wrapper data-clock kind (2 bits).
+    wrapper_ctrl: Vec<SignalId>,
+}
+
+/// Phase codes on the `controller.phase` VCD wire.
+const PHASE_CONFIGURATION: u64 = 0b00;
+const PHASE_UPDATE: u64 = 0b01;
+const PHASE_TEST: u64 = 0b10;
+
+fn clock_kind_code(kind: ClockKind) -> u64 {
+    match kind {
+        ClockKind::Shift => 0,
+        ClockKind::Capture => 1,
+        ClockKind::Update => 2,
+        ClockKind::Idle => 3,
+    }
+}
+
+fn cas_mode_code(mode: CasMode) -> u64 {
+    match mode {
+        CasMode::Configuration => 0,
+        CasMode::Bypass => 1,
+        CasMode::Test => 2,
+    }
+}
+
+/// Metric-name prefix for one core's cycle counters.
+pub(crate) fn core_metric_prefix(name: &str) -> String {
+    format!("core.{}.", sanitize(name))
+}
+
+/// Replaces characters VCD identifiers dislike.
+pub(crate) fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
 /// The fully-assembled SoC under test: one wrapper + behavioural core per
 /// CAS (the wrapped system bus, when present, is the last entry), threaded
 /// on the CAS-BUS.
@@ -67,6 +140,20 @@ pub struct SocSimulator {
     /// CAS core-side input.
     pending: Vec<BitVec>,
     cycles: u64,
+    /// Cycles spent in CONFIGURATION/UPDATE phases.
+    config_cycles: u64,
+    /// Cycles spent on data clocks (TEST phase, including idles).
+    test_cycles: u64,
+    /// Per-core clock-kind counts, indexed like `wrappers`.
+    core_stats: Vec<CoreCycleStats>,
+    /// Busy data-clock count per bus wire.
+    wire_busy: Vec<u64>,
+    /// Bus wires currently routed to each CAS (empty unless in TEST mode);
+    /// recomputed after every configuration.
+    routed: Vec<Vec<usize>>,
+    probe: Option<Box<dyn Probe>>,
+    signals: Option<ProbeSignals>,
+    trace: Arc<dyn TraceSink>,
 }
 
 impl SocSimulator {
@@ -99,12 +186,22 @@ impl SocSimulator {
             .iter()
             .map(|c| BitVec::zeros(c.geometry().switched_wires()))
             .collect();
+        let cas_count = wrappers.len();
+        let wire_busy = vec![0; tam.bus_width()];
         Ok(Self {
             soc: soc.clone(),
             tam,
             wrappers,
             pending,
             cycles: 0,
+            config_cycles: 0,
+            test_cycles: 0,
+            core_stats: vec![CoreCycleStats::default(); cas_count],
+            wire_busy,
+            routed: vec![Vec::new(); cas_count],
+            probe: None,
+            signals: None,
+            trace: casbus_obs::trace::null_sink(),
         })
     }
 
@@ -126,6 +223,172 @@ impl SocSimulator {
     /// Total clocks driven so far (configuration + data).
     pub fn cycles(&self) -> u64 {
         self.cycles
+    }
+
+    /// Clocks spent in CONFIGURATION/UPDATE phases.
+    pub fn config_cycles(&self) -> u64 {
+        self.config_cycles
+    }
+
+    /// Clocks spent on data (TEST-phase) clocks, idles included.
+    pub fn test_cycles(&self) -> u64 {
+        self.test_cycles
+    }
+
+    /// Per-core clock-kind cycle counts, indexed by CAS position.
+    pub fn core_stats(&self) -> &[CoreCycleStats] {
+        &self.core_stats
+    }
+
+    /// Busy data-clock count per bus wire (a wire is busy when it is routed
+    /// to a CAS in TEST mode whose wrapper performed a non-idle operation).
+    pub fn wire_busy(&self) -> &[u64] {
+        &self.wire_busy
+    }
+
+    /// Installs a trace sink. The default [`casbus_obs::NullSink`] is
+    /// disabled, so instrumentation costs one branch per emission site.
+    pub fn set_trace(&mut self, sink: Arc<dyn TraceSink>) {
+        self.trace = sink;
+    }
+
+    /// The active trace sink (shared with helpers like
+    /// [`crate::session::run_core_session`]).
+    pub fn trace(&self) -> Arc<dyn TraceSink> {
+        Arc::clone(&self.trace)
+    }
+
+    /// Attaches a waveform probe and declares the full signal hierarchy:
+    ///
+    /// ```text
+    /// <soc>/controller/phase
+    /// <soc>/bus/wire0..wireN-1
+    /// <soc>/cas<i>_<core>/{mode, scheme}
+    /// <soc>/wrapper<i>_<core>/{wir, ctrl}
+    /// ```
+    ///
+    /// Subsequent [`SocSimulator::configure`] /
+    /// [`SocSimulator::data_clock`] calls stream value changes into it.
+    /// Pass an `Rc<RefCell<VcdWriter>>` clone (it implements [`Probe`]) to
+    /// keep a handle for rendering the dump afterwards.
+    pub fn attach_probe(&mut self, mut probe: Box<dyn Probe>) {
+        probe.push_scope(&sanitize(self.soc.name()));
+        probe.push_scope("controller");
+        let phase = probe.add_wire("phase", 2);
+        probe.pop_scope();
+        probe.push_scope("bus");
+        let bus = (0..self.tam.bus_width())
+            .map(|w| probe.add_wire(&format!("wire{w}"), 1))
+            .collect();
+        probe.pop_scope();
+        let mut cas_mode = Vec::new();
+        let mut cas_scheme = Vec::new();
+        let mut wir = Vec::new();
+        let mut wrapper_ctrl = Vec::new();
+        for idx in 0..self.wrappers.len() {
+            let label = sanitize(self.tam.label(idx).unwrap_or("core"));
+            probe.push_scope(&format!("cas{idx}_{label}"));
+            cas_mode.push(probe.add_wire("mode", 2));
+            cas_scheme.push(probe.add_wire("scheme", 8));
+            probe.pop_scope();
+            probe.push_scope(&format!("wrapper{idx}_{label}"));
+            wir.push(probe.add_wire("wir", 3));
+            wrapper_ctrl.push(probe.add_wire("ctrl", 2));
+            probe.pop_scope();
+        }
+        probe.pop_scope();
+        self.probe = Some(probe);
+        self.signals = Some(ProbeSignals {
+            phase,
+            bus,
+            cas_mode,
+            cas_scheme,
+            wir,
+            wrapper_ctrl,
+        });
+    }
+
+    /// Removes and returns the attached probe, if any.
+    pub fn detach_probe(&mut self) -> Option<Box<dyn Probe>> {
+        self.signals = None;
+        self.probe.take()
+    }
+
+    /// Emits the post-configuration steady state (CAS modes/schemes, WIR
+    /// opcodes) into the probe at the current time.
+    fn probe_configuration_state(&mut self) {
+        let Some(probe) = self.probe.as_mut() else {
+            return;
+        };
+        let signals = self.signals.as_ref().expect("signals follow probe");
+        for (idx, cas) in self.tam.chain().cases().iter().enumerate() {
+            probe.change_u64(signals.cas_mode[idx], cas_mode_code(cas.mode()), 2);
+            match cas.instruction() {
+                casbus::CasInstruction::Test(i) => {
+                    probe.change_u64(signals.cas_scheme[idx], *i as u64, 8);
+                }
+                _ => probe.change(signals.cas_scheme[idx], &[Wire4::X; 8]),
+            }
+        }
+        for (idx, wrapper) in self.wrappers.iter().enumerate() {
+            probe.change_u64(
+                signals.wir[idx],
+                u64::from(wrapper.instruction().opcode()),
+                3,
+            );
+        }
+    }
+
+    /// Streams the serial configuration bits over the wire-0 waveform: one
+    /// bit per clock with the phase wire at CONFIGURATION, then the update
+    /// pulse.
+    fn probe_config_stream(&mut self, stream: &BitVec, start: u64) {
+        let Some(probe) = self.probe.as_mut() else {
+            return;
+        };
+        let signals = self.signals.as_ref().expect("signals follow probe");
+        for (i, bit) in stream.iter().enumerate() {
+            probe.set_time(start + i as u64);
+            probe.change_u64(signals.phase, PHASE_CONFIGURATION, 2);
+            probe.change_bit(signals.bus[0], bit);
+            for wire in &signals.bus[1..] {
+                probe.change(*wire, &[Wire4::Z]);
+            }
+        }
+        probe.set_time(start + stream.len() as u64);
+        probe.change_u64(signals.phase, PHASE_UPDATE, 2);
+        probe.change(signals.bus[0], &[Wire4::Z]);
+    }
+
+    /// Recomputes the per-CAS routed-wire sets after a configuration.
+    fn refresh_routing(&mut self) {
+        for (slot, cas) in self.routed.iter_mut().zip(self.tam.chain().cases()) {
+            *slot = cas
+                .active_scheme()
+                .map(|s| s.wires().to_vec())
+                .unwrap_or_default();
+        }
+    }
+
+    /// Publishes the cycle aggregates into a metrics registry. Counter
+    /// names: `sim.cycles.{total,config,test}`, `core.<name>.{shift,capture,
+    /// update,idle}_cycles`, `bus.wire<i>.busy_cycles`. The invariant
+    /// `sim.cycles.total == sim.cycles.config + sim.cycles.test` always
+    /// holds, and `sim.cycles.total` equals [`SocSimulator::cycles`].
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        metrics.set("sim.cycles.total", self.cycles);
+        metrics.set("sim.cycles.config", self.config_cycles);
+        metrics.set("sim.cycles.test", self.test_cycles);
+        for (idx, stats) in self.core_stats.iter().enumerate() {
+            let name = sanitize(self.tam.label(idx).unwrap_or("core"));
+            metrics.set(&format!("core.{name}.shift_cycles"), stats.shift);
+            metrics.set(&format!("core.{name}.capture_cycles"), stats.capture);
+            metrics.set(&format!("core.{name}.update_cycles"), stats.update);
+            metrics.set(&format!("core.{name}.idle_cycles"), stats.idle);
+        }
+        for (wire, busy) in self.wire_busy.iter().enumerate() {
+            metrics.set(&format!("bus.wire{wire}.busy_cycles"), *busy);
+        }
     }
 
     /// CAS index of a named core.
@@ -170,8 +433,21 @@ impl SocSimulator {
                 expected: self.wrappers.len(),
             });
         }
+        // Reconstruct the serial stream up front when a probe wants the
+        // wire-0 waveform; `Tam::configure` performs the shifts internally.
+        let stream = if self.probe.is_some() {
+            Some(ConfigStream::build(
+                self.tam.chain().cases(),
+                config.instructions(),
+            )?)
+        } else {
+            None
+        };
+        let start = self.cycles;
         self.tam.configure(config)?;
-        self.cycles += self.tam.configuration_clocks() as u64 + 1;
+        let clocks = self.tam.configuration_clocks() as u64 + 1;
+        self.cycles += clocks;
+        self.config_cycles += clocks;
         for (wrapper, instr) in self.wrappers.iter_mut().zip(wrapper_instructions) {
             wrapper.apply_instruction(*instr);
             // Loading a WIR costs its opcode width + update, synchronized
@@ -181,6 +457,20 @@ impl SocSimulator {
         // Clear boundary retiming registers for the new session.
         for (pending, cas) in self.pending.iter_mut().zip(self.tam.chain().cases()) {
             *pending = BitVec::zeros(cas.geometry().switched_wires());
+        }
+        self.refresh_routing();
+        if let Some(stream) = stream {
+            self.probe_config_stream(stream.bits(), start);
+            self.probe_configuration_state();
+        }
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::span(
+                "sim",
+                "configure",
+                start,
+                clocks,
+                vec![("bits", (clocks - 1).into()), ("chained", false.into())],
+            ));
         }
         Ok(())
     }
@@ -240,6 +530,7 @@ impl SocSimulator {
             stream.extend_from(&instr.encode(cas.schemes().len(), cas.instruction_width()));
         }
         // Shift the chain one bit per clock, then one global update pulse.
+        let start = self.cycles;
         for bit in stream.iter() {
             let mut carry = bit;
             for (cas, wrapper) in self
@@ -265,8 +556,23 @@ impl SocSimulator {
             wrapper.clock_serial(false, &casbus_p1500::WrapperControl::update_wir());
         }
         self.cycles += 1;
+        self.config_cycles += self.cycles - start;
         for (pending, cas) in self.pending.iter_mut().zip(self.tam.chain().cases()) {
             *pending = BitVec::zeros(cas.geometry().switched_wires());
+        }
+        self.refresh_routing();
+        if self.probe.is_some() {
+            self.probe_config_stream(&stream, start);
+            self.probe_configuration_state();
+        }
+        if self.trace.enabled() {
+            self.trace.record(TraceEvent::span(
+                "sim",
+                "configure",
+                start,
+                self.cycles - start,
+                vec![("bits", stream.len().into()), ("chained", true.into())],
+            ));
         }
         Ok(())
     }
@@ -287,10 +593,25 @@ impl SocSimulator {
                 expected: self.wrappers.len(),
             });
         }
+        let t = self.cycles;
         let out = self
             .tam
             .chain_mut()
             .clock(bus_in, &self.pending, CasControl::run())?;
+        for (idx, kind) in kinds.iter().enumerate() {
+            let stats = &mut self.core_stats[idx];
+            match kind {
+                ClockKind::Shift => stats.shift += 1,
+                ClockKind::Capture => stats.capture += 1,
+                ClockKind::Update => stats.update += 1,
+                ClockKind::Idle => stats.idle += 1,
+            }
+            if !matches!(kind, ClockKind::Idle) {
+                for wire in &self.routed[idx] {
+                    self.wire_busy[*wire] += 1;
+                }
+            }
+        }
         for (idx, wrapper) in self.wrappers.iter_mut().enumerate() {
             let p = out.core_in.get(idx).cloned().flatten();
             let width = wrapper_port_width(wrapper);
@@ -314,6 +635,18 @@ impl SocSimulator {
             self.pending[idx] = resize(&wpo, cas_p);
         }
         self.cycles += 1;
+        self.test_cycles += 1;
+        if let Some(probe) = self.probe.as_mut() {
+            let signals = self.signals.as_ref().expect("signals follow probe");
+            probe.set_time(t);
+            probe.change_u64(signals.phase, PHASE_TEST, 2);
+            for (wire, id) in signals.bus.iter().enumerate() {
+                probe.change_bit(*id, out.bus_out.get(wire).unwrap_or(false));
+            }
+            for (idx, kind) in kinds.iter().enumerate() {
+                probe.change_u64(signals.wrapper_ctrl[idx], clock_kind_code(*kind), 2);
+            }
+        }
         Ok(out.bus_out)
     }
 

@@ -2,16 +2,38 @@
 //! wrapped system bus on one CAS-BUS, scheduled, programmed, executed and
 //! verified.
 //!
-//! Run with: `cargo run --example figure1_soc`
+//! Run with: `cargo run --example figure1_soc [-- --trace-dir DIR]`
+//!
+//! With `--trace-dir`, each bus width additionally dumps a cycle-accurate
+//! VCD waveform (`figure1_n<N>.vcd`) into `DIR`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use casbus_suite::casbus::Tam;
 use casbus_suite::casbus_controller::{schedule, TestProgram};
+use casbus_suite::casbus_obs::VcdWriter;
 use casbus_suite::casbus_sim::{report, SocSimulator};
 use casbus_suite::casbus_soc::catalog;
+
+/// `--trace-dir DIR` from the command line, if given.
+fn trace_dir() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-dir" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let soc = catalog::figure1_soc();
     println!("{soc}");
+    let dir = trace_dir();
+    if let Some(dir) = &dir {
+        std::fs::create_dir_all(dir)?;
+    }
 
     for n in [4usize, 6, 8] {
         // Plan: pack the six core tests onto the N-wire bus.
@@ -24,9 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Execute: every scheduled wave runs concurrently, bit-exact.
         let mut sim = SocSimulator::new(&soc, n)?;
+        let vcd = Rc::new(RefCell::new(VcdWriter::new("1ns")));
+        if dir.is_some() {
+            sim.attach_probe(Box::new(Rc::clone(&vcd)));
+        }
         let outcome = report::run_program(&mut sim, &program)?;
         println!("{outcome}");
         assert!(outcome.all_pass(), "the fault-free Figure-1 SoC must pass");
+        if let Some(dir) = &dir {
+            let path = dir.join(format!("figure1_n{n}.vcd"));
+            std::fs::write(&path, vcd.borrow_mut().render())?;
+            println!("wrote {}", path.display());
+        }
 
         // The wrapped system bus is interconnect-tested through EXTEST.
         let bus_verdict = report::run_bus_extest(&mut sim)?;

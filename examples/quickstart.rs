@@ -2,12 +2,31 @@
 //! hardware, and run a verified test session — the whole library in one
 //! file.
 //!
-//! Run with: `cargo run --example quickstart`
+//! Run with: `cargo run --example quickstart [-- --trace-dir DIR]`
+//!
+//! With `--trace-dir`, the run additionally writes a cycle-accurate VCD
+//! waveform (`quickstart.vcd`) and a JSONL event trace (`trace.jsonl`)
+//! into `DIR`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use casbus_suite::casbus::{SchemeSet, Tam};
+use casbus_suite::casbus_obs::{MemorySink, VcdWriter};
 use casbus_suite::casbus_rtl::vhdl;
 use casbus_suite::casbus_sim::{run_core_session, SocSimulator};
 use casbus_suite::casbus_soc::{CoreDescription, SocBuilder, TestMethod};
+
+/// `--trace-dir DIR` from the command line, if given.
+fn trace_dir() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace-dir" {
+            return args.next().map(Into::into);
+        }
+    }
+    None
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the SoC: two reusable cores with different test methods.
@@ -60,11 +79,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    bus -> CAS -> P1500 wrapper -> core and back, checked against a
     //    golden model.
     let mut sim = SocSimulator::new(&soc, n)?;
+    let dir = trace_dir();
+    let sink = MemorySink::new();
+    let vcd = Rc::new(RefCell::new(VcdWriter::new("1ns")));
+    if dir.is_some() {
+        sim.set_trace(sink.clone());
+        sim.attach_probe(Box::new(Rc::clone(&vcd)));
+    }
     for core in soc.cores() {
         let report = run_core_session(&mut sim, core.name())?;
         println!("session {report}");
         assert!(report.verdict.is_pass());
     }
     println!("\ntotal cycles driven: {}", sim.cycles());
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join("quickstart.vcd"), vcd.borrow_mut().render())?;
+        std::fs::write(dir.join("trace.jsonl"), sink.jsonl())?;
+        println!("wrote quickstart.vcd and trace.jsonl to {}", dir.display());
+    }
     Ok(())
 }

@@ -13,13 +13,15 @@
 //! * [`casbus_soc`] — the SoC description substrate,
 //! * [`casbus_tpg`] — test sources, sinks and pattern generation,
 //! * [`casbus_controller`] — the central SoC test controller,
-//! * [`casbus_sim`] — the cycle-accurate end-to-end simulator.
+//! * [`casbus_sim`] — the cycle-accurate end-to-end simulator,
+//! * [`casbus_obs`] — observability: VCD waveforms, trace events, metrics.
 
 #![forbid(unsafe_code)]
 
 pub use casbus;
 pub use casbus_controller;
 pub use casbus_netlist;
+pub use casbus_obs;
 pub use casbus_p1500;
 pub use casbus_rtl;
 pub use casbus_sim;
