@@ -1,0 +1,184 @@
+//! Bit-serial reference vs compiled word-level session engine throughput.
+//!
+//! Executes complete scheduled test programs (packed schedules — concurrent
+//! waves, dynamic reconfiguration between waves) on Table-1-sized SoCs with
+//! three engines:
+//!
+//! * the bit-serial reference interpreter
+//!   ([`casbus_sim::run_program_reference`]),
+//! * the compiled engine at 1 worker thread, and
+//! * the compiled engine with one worker per available CPU.
+//!
+//! The reports from all three are asserted bit-identical before any time
+//! is recorded, so the numbers below always describe *equivalent* work.
+//! Results go to stdout and to `BENCH_soc_sim.json` at the workspace root
+//! (machine-readable, for tracking across commits).
+//!
+//! ```text
+//! cargo run --release -p casbus-bench --bin soc_sim_throughput
+//! ```
+//!
+//! Set `CASBUS_BENCH_SMOKE=1` for a fast CI configuration (fewer repeat
+//! runs, small SoCs only).
+
+use std::time::{Duration, Instant};
+
+use casbus::Tam;
+use casbus_controller::{schedule, TestProgram};
+use casbus_sim::{run_program_reference, CompiledEngine, SocSimulator, SocTestReport};
+use casbus_soc::{catalog, SocDescription};
+
+/// Runs `f` at least once and at most `max_runs` times or `budget` total,
+/// returning the fastest observed wall-clock time.
+fn best_of<T>(max_runs: usize, budget: Duration, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let started = Instant::now();
+    let t0 = Instant::now();
+    let mut result = f();
+    let mut best = t0.elapsed();
+    for _ in 1..max_runs {
+        if started.elapsed() > budget {
+            break;
+        }
+        let t0 = Instant::now();
+        result = f();
+        let run = t0.elapsed();
+        if run < best {
+            best = run;
+        }
+    }
+    (best, result)
+}
+
+struct Row {
+    soc: &'static str,
+    n: usize,
+    cores: usize,
+    test_cycles: u64,
+    reference: Duration,
+    compiled: Duration,
+    threaded: Duration,
+}
+
+impl Row {
+    fn speedup_compiled(&self) -> f64 {
+        self.reference.as_secs_f64() / self.compiled.as_secs_f64().max(1e-9)
+    }
+
+    fn speedup_threaded(&self) -> f64 {
+        self.reference.as_secs_f64() / self.threaded.as_secs_f64().max(1e-9)
+    }
+}
+
+fn program_for(soc: &SocDescription, n: usize) -> TestProgram {
+    let tam = Tam::new(soc, n).expect("bus wide enough");
+    let sched = schedule::packed_schedule(soc, n).expect("schedule");
+    TestProgram::from_schedule(&tam, soc, &sched).expect("program")
+}
+
+fn measure(name: &'static str, soc: &SocDescription, n: usize, threads: usize, smoke: bool) -> Row {
+    let program = program_for(soc, n);
+    let (runs, budget) = if smoke {
+        (2, Duration::from_secs(2))
+    } else {
+        (5, Duration::from_secs(20))
+    };
+
+    let run_reference = || -> SocTestReport {
+        let mut sim = SocSimulator::new(soc, n).expect("simulator");
+        run_program_reference(&mut sim, &program).expect("reference run")
+    };
+    let run_compiled = |threads: usize| -> SocTestReport {
+        let mut sim = SocSimulator::new(soc, n).expect("simulator");
+        CompiledEngine::with_threads(threads)
+            .run(&mut sim, &program)
+            .expect("compiled run")
+    };
+
+    let (compiled_t, compiled) = best_of(runs, budget, || run_compiled(1));
+    let (threaded_t, threaded) = best_of(runs, budget, || run_compiled(threads));
+    let (reference_t, reference) = best_of(runs.min(3), budget, run_reference);
+    assert_eq!(compiled, reference, "compiled engine diverged on {name}");
+    assert_eq!(threaded, reference, "threaded engine diverged on {name}");
+    assert!(reference.all_pass(), "fault-free {name} must pass");
+
+    Row {
+        soc: name,
+        n,
+        cores: soc.cores().len(),
+        test_cycles: reference.total_cycles,
+        reference: reference_t,
+        compiled: compiled_t,
+        threaded: threaded_t,
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("CASBUS_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let threads = std::thread::available_parallelism().map_or(1, |t| t.get());
+    println!(
+        "SoC session-engine comparison (packed schedules, {} worker threads{})",
+        threads,
+        if smoke { ", smoke" } else { "" }
+    );
+    println!();
+    println!(
+        "{:<14} {:>3} {:>5} {:>10} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
+        "soc", "N", "cores", "cycles", "reference", "compiled", "threaded", "x1", "xT"
+    );
+    println!("{:-<36}+{:-<40}+{:-<18}", "", "", "");
+
+    let mut targets: Vec<(&'static str, SocDescription, usize)> = vec![
+        ("figure1", catalog::figure1_soc(), 8),
+        ("figure2d_hier", catalog::figure2d_hierarchical_soc(), 4),
+    ];
+    if !smoke {
+        targets.push(("itc02_like", catalog::itc02_like_soc(), 16));
+    }
+
+    let mut rows = Vec::new();
+    for (name, soc, n) in &targets {
+        let row = measure(name, soc, *n, threads, smoke);
+        println!(
+            "{:<14} {:>3} {:>5} {:>10} | {:>10.2}ms {:>10.2}ms {:>10.2}ms | {:>7.1}x {:>7.1}x",
+            row.soc,
+            row.n,
+            row.cores,
+            row.test_cycles,
+            row.reference.as_secs_f64() * 1e3,
+            row.compiled.as_secs_f64() * 1e3,
+            row.threaded.as_secs_f64() * 1e3,
+            row.speedup_compiled(),
+            row.speedup_threaded()
+        );
+        rows.push(row);
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"soc\": \"{}\", \"n\": {}, \"cores\": {}, \"test_cycles\": {}, \
+                 \"reference_ms\": {:.3}, \"compiled_ms\": {:.3}, \"threaded_ms\": {:.3}, \
+                 \"speedup_compiled\": {:.2}, \"speedup_threaded\": {:.2}}}",
+                r.soc,
+                r.n,
+                r.cores,
+                r.test_cycles,
+                r.reference.as_secs_f64() * 1e3,
+                r.compiled.as_secs_f64() * 1e3,
+                r.threaded.as_secs_f64() * 1e3,
+                r.speedup_compiled(),
+                r.speedup_threaded()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"soc_session_simulation\",\n  \"engines\": [\"reference_bit_serial\", \"compiled_word_level\", \"compiled_threaded\"],\n  \"threads\": {threads},\n  \"smoke\": {smoke},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_soc_sim.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+}

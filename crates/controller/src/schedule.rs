@@ -158,6 +158,58 @@ impl Schedule {
         used as f64 / (span * self.bus_width as u64) as f64
     }
 
+    /// Tests grouped into configuration waves, by ascending start time.
+    /// Tests inside one wave occupy disjoint wire windows (the packing
+    /// invariant), so a session engine may run them on concurrent workers
+    /// and join at the wave boundary — exactly what
+    /// `casbus_sim::CompiledEngine::with_threads` does per program step.
+    pub fn waves(&self) -> Vec<Vec<&ScheduledTest>> {
+        let mut starts: Vec<u64> = self.tests.iter().map(|t| t.start).collect();
+        starts.sort_unstable();
+        starts.dedup();
+        starts
+            .into_iter()
+            .map(|s| self.tests.iter().filter(|t| t.start == s).collect())
+            .collect()
+    }
+
+    /// Concurrent-session count of each wave, in wave order.
+    pub fn wave_concurrency(&self) -> Vec<usize> {
+        self.waves().iter().map(Vec::len).collect()
+    }
+
+    /// The most wire-disjoint sessions any wave runs at once: the useful
+    /// upper bound on engine worker threads (more workers than this can
+    /// never be busy simultaneously).
+    pub fn max_parallel_lanes(&self) -> usize {
+        self.wave_concurrency().into_iter().max().unwrap_or(0)
+    }
+
+    /// Splits one wave's tests across `workers` buckets,
+    /// longest-processing-time first (each test goes to the currently
+    /// lightest bucket), returning the [`CoreId`]s per bucket. All tests in
+    /// a wave are wire-disjoint, so any split is safe; LPT keeps the
+    /// per-worker cycle loads balanced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn partition_wave(wave: &[&ScheduledTest], workers: usize) -> Vec<Vec<CoreId>> {
+        assert!(workers > 0, "at least one worker");
+        let mut order: Vec<&&ScheduledTest> = wave.iter().collect();
+        order.sort_by_key(|t| (std::cmp::Reverse(t.duration), t.core));
+        let mut buckets: Vec<(u64, Vec<CoreId>)> = vec![(0, Vec::new()); workers.min(wave.len())];
+        for test in order {
+            let lightest = buckets
+                .iter_mut()
+                .min_by_key(|(load, _)| *load)
+                .expect("workers > 0");
+            lightest.0 += test.duration;
+            lightest.1.push(test.core);
+        }
+        buckets.into_iter().map(|(_, cores)| cores).collect()
+    }
+
     /// Publishes the schedule's static properties into a metrics registry:
     /// `schedule.{makespan,waves,tests,bus_width,utilisation_permille}`
     /// counters plus per-wire planned occupancy
@@ -822,6 +874,56 @@ mod tests {
         let narrow = wave_optimal_schedule(&soc, 1).unwrap().makespan();
         let wide = wave_optimal_schedule(&soc, 2).unwrap().makespan();
         assert_eq!(wide * 2, narrow);
+    }
+
+    #[test]
+    fn waves_group_by_start_and_cover_everything() {
+        let soc = catalog::figure1_soc();
+        let sched = packed_schedule(&soc, 8).unwrap();
+        let waves = sched.waves();
+        assert_eq!(waves.len(), sched.configuration_waves());
+        let total: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(total, sched.tests().len());
+        // Ascending start times, and within a wave all starts agree.
+        let mut last_start = None;
+        for wave in &waves {
+            let start = wave[0].start;
+            assert!(wave.iter().all(|t| t.start == start));
+            assert!(last_start.is_none_or(|s| s < start));
+            last_start = Some(start);
+        }
+        assert_eq!(
+            sched.max_parallel_lanes(),
+            sched.wave_concurrency().into_iter().max().unwrap()
+        );
+        // Serial schedules never run two sessions at once.
+        let serial = serial_schedule(&soc, 8).unwrap();
+        assert_eq!(serial.max_parallel_lanes(), 1);
+        assert!(sched.max_parallel_lanes() >= serial.max_parallel_lanes());
+    }
+
+    #[test]
+    fn partition_wave_balances_and_covers() {
+        let soc = catalog::figure1_soc();
+        let sched = packed_schedule(&soc, 12).unwrap();
+        let waves = sched.waves();
+        let widest = waves
+            .iter()
+            .max_by_key(|w| w.len())
+            .expect("non-empty schedule");
+        for workers in 1..=4 {
+            let buckets = Schedule::partition_wave(widest, workers);
+            assert!(buckets.len() <= workers);
+            assert!(buckets.iter().all(|b| !b.is_empty()));
+            let mut cores: Vec<CoreId> = buckets.iter().flatten().copied().collect();
+            cores.sort();
+            let mut expected: Vec<CoreId> = widest.iter().map(|t| t.core).collect();
+            expected.sort();
+            assert_eq!(cores, expected, "every lane assigned exactly once");
+        }
+        // LPT with one worker per test gives singleton buckets.
+        let buckets = Schedule::partition_wave(widest, widest.len());
+        assert!(buckets.iter().all(|b| b.len() == 1));
     }
 
     #[test]

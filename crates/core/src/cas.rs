@@ -206,11 +206,36 @@ impl Cas {
         core_out: &BitVec,
         ctrl: CasControl,
     ) -> Result<CasOutput, CasError> {
+        let mut bus = bus_in.clone();
+        let core_in = self.clock_in_place(&mut bus, core_out, ctrl)?;
+        Ok(CasOutput {
+            bus_out: bus,
+            core_in,
+        })
+    }
+
+    /// One clock of the CAS, transforming `bus` in place instead of
+    /// allocating a fresh bus vector — the hot-path form of [`Cas::clock`]
+    /// used by [`CasChain::clock`](crate::CasChain::clock), which threads a
+    /// single scratch buffer through the whole chain. In-place is safe
+    /// because each TEST port taps and drives the *same* wire (the scheme
+    /// is injective), and the tap is read before the drive is written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::BadGeometry`] if `bus` is not `N` bits or
+    /// `core_out` is not `P` bits.
+    pub fn clock_in_place(
+        &mut self,
+        bus: &mut BitVec,
+        core_out: &BitVec,
+        ctrl: CasControl,
+    ) -> Result<Option<BitVec>, CasError> {
         let n = self.geometry().bus_width();
         let p = self.geometry().switched_wires();
-        if bus_in.len() != n || core_out.len() != p {
+        if bus.len() != n || core_out.len() != p {
             return Err(CasError::BadGeometry {
-                n: bus_in.len(),
+                n: bus.len(),
                 p: core_out.len(),
             });
         }
@@ -219,42 +244,28 @@ impl Cas {
             // CONFIGURATION (Fig. 4 (a)): wire 0 threads the instruction
             // register; the remaining wires bypass so downstream CASes keep
             // their own configuration chains intact.
-            let shifted_out = self.shift_ir(bus_in.get(0).expect("n >= 1"));
-            let mut bus_out = bus_in.clone();
-            bus_out.set(0, shifted_out);
+            let shifted_out = self.shift_ir(bus.get(0).expect("n >= 1"));
+            bus.set(0, shifted_out);
             if ctrl.update {
                 self.update_ir();
             }
-            return Ok(CasOutput {
-                bus_out,
-                core_in: None,
-            });
+            return Ok(None);
         }
         if ctrl.update {
             self.update_ir();
         }
         match self.mode() {
-            CasMode::Bypass | CasMode::Configuration => Ok(CasOutput {
-                bus_out: bus_in.clone(),
-                core_in: None,
-            }),
+            CasMode::Bypass | CasMode::Configuration => Ok(None),
             CasMode::Test => {
-                let scheme = self
-                    .active_scheme()
-                    .expect("TEST mode has a scheme")
-                    .clone();
-                let mut bus_out = bus_in.clone();
+                let scheme = self.active_scheme().expect("TEST mode has a scheme");
                 let mut core_in = BitVec::zeros(p);
                 for port in 0..p {
                     let wire = scheme.wire_for_port(port);
                     // Paper heuristic: e_wire -> o_port and i_port -> s_wire.
-                    core_in.set(port, bus_in.get(wire).expect("wire < n"));
-                    bus_out.set(wire, core_out.get(port).expect("port < p"));
+                    core_in.set(port, bus.get(wire).expect("wire < n"));
+                    bus.set(wire, core_out.get(port).expect("port < p"));
                 }
-                Ok(CasOutput {
-                    bus_out,
-                    core_in: Some(core_in),
-                })
+                Ok(Some(core_in))
             }
         }
     }

@@ -2,7 +2,7 @@
 
 use casbus_tpg::BitVec;
 
-use crate::cas::{Cas, CasControl, CasOutput};
+use crate::cas::{Cas, CasControl};
 use crate::error::CasError;
 use crate::instruction::CasInstruction;
 
@@ -37,6 +37,9 @@ use crate::instruction::CasInstruction;
 pub struct CasChain {
     cases: Vec<Cas>,
     n: usize,
+    /// Reusable working bus for [`CasChain::clock`], so the steady-state
+    /// data path performs no per-CAS (and no per-cycle working) allocation.
+    scratch: BitVec,
 }
 
 /// The result of clocking a whole chain.
@@ -68,7 +71,11 @@ impl CasChain {
                 });
             }
         }
-        Ok(Self { cases, n })
+        Ok(Self {
+            cases,
+            n,
+            scratch: BitVec::zeros(n),
+        })
     }
 
     /// The shared bus width `N`.
@@ -136,18 +143,15 @@ impl CasChain {
                 expected: self.cases.len(),
             });
         }
-        let mut bus = bus_in.clone();
+        // One scratch buffer threads every CAS in place: the per-CAS
+        // bus clones of the naive fold are gone from the steady-state path.
+        self.scratch.copy_from(bus_in);
         let mut core_in = Vec::with_capacity(self.cases.len());
         for (cas, core_out) in self.cases.iter_mut().zip(core_outs) {
-            let CasOutput {
-                bus_out,
-                core_in: ci,
-            } = cas.clock(&bus, core_out, ctrl)?;
-            bus = bus_out;
-            core_in.push(ci);
+            core_in.push(cas.clock_in_place(&mut self.scratch, core_out, ctrl)?);
         }
         Ok(ChainOutput {
-            bus_out: bus,
+            bus_out: self.scratch.clone(),
             core_in,
         })
     }

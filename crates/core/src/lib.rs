@@ -59,6 +59,7 @@ pub mod config;
 pub mod error;
 pub mod geometry;
 pub mod instruction;
+pub mod route;
 pub mod switch;
 pub mod tam;
 
@@ -68,5 +69,6 @@ pub use config::ConfigStream;
 pub use error::CasError;
 pub use geometry::CasGeometry;
 pub use instruction::CasInstruction;
+pub use route::{RouteTable, WireSource};
 pub use switch::{SchemeSet, SwitchScheme};
 pub use tam::{Tam, TamConfiguration};

@@ -1,0 +1,387 @@
+//! Compiled routing tables: flatten a configured chain into table lookups.
+//!
+//! Between two configuration waves every CAS keeps its mode and switch
+//! scheme, so the whole chain's steady-state TEST-cycle behaviour is a
+//! *fixed* routing function: each bus output wire is driven by exactly one
+//! source (a chain-level bus input or one core's test output), and each
+//! TEST CAS port taps exactly one source. [`RouteTable::compile`] walks the
+//! chain once per wave and records those sources, so per-cycle transport
+//! becomes table lookups instead of per-CAS `match` interpretation — the
+//! word-level session engine in `casbus-sim` is built on top of this.
+
+use casbus_tpg::BitVec;
+
+use crate::cas::CasMode;
+use crate::chain::{CasChain, ChainOutput};
+use crate::error::CasError;
+
+/// Where a routed signal originates, relative to one data clock of the
+/// whole chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireSource {
+    /// The chain-level bus input `e_w` (no TEST CAS drove the wire before
+    /// the observation point).
+    Bus(usize),
+    /// Test output `i_port` of the core behind CAS `cas` (the most recent
+    /// injection on the wire before the observation point).
+    Core {
+        /// Chain index of the injecting CAS.
+        cas: usize,
+        /// Core test-port index on that CAS.
+        port: usize,
+    },
+}
+
+/// The compiled routing program of one configured [`CasChain`], valid for
+/// plain data-transport clocks ([`CasControl::run`](crate::CasControl::run))
+/// until the next configuration wave.
+///
+/// Serial wire sharing is captured exactly: when two TEST CASes tap the
+/// same wire, the downstream tap resolves to the upstream CAS's core
+/// output, concatenating the cores just as the cycle-by-cycle interpreter
+/// does. [`RouteTable::apply`] reproduces [`CasChain::clock`] bit for bit
+/// (an equivalence test pins this), and [`RouteTable::is_independent`]
+/// tells fast-path engines which CASes own their wires exclusively.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::{Cas, CasChain, CasGeometry, CasInstruction, RouteTable, WireSource};
+///
+/// let mut chain = CasChain::new(vec![
+///     Cas::for_geometry(CasGeometry::new(4, 1)?)?,
+/// ])?;
+/// let idx = chain.cases()[0].schemes().index_of(&[2]).unwrap();
+/// chain.cas_mut(0)?.load_instruction(&CasInstruction::Test(idx));
+/// let routes = RouteTable::compile(&chain);
+/// assert_eq!(routes.wire_source(2), WireSource::Core { cas: 0, port: 0 });
+/// assert!(routes.is_independent(0));
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteTable {
+    n: usize,
+    /// Driver of each bus wire at the chain output.
+    wire_out: Vec<WireSource>,
+    /// Per CAS: `Some(sources feeding ports 0..P)` when in TEST mode.
+    taps: Vec<Option<Vec<WireSource>>>,
+    /// Per CAS: `Some(scheme wires for ports 0..P)` when in TEST mode.
+    wires: Vec<Option<Vec<usize>>>,
+    /// Per CAS: core-side width `P` (for input validation in `apply`).
+    core_widths: Vec<usize>,
+}
+
+impl RouteTable {
+    /// Compiles the chain's *current* active instructions into a flat
+    /// routing program. Walks the CASes once, tracking each wire's most
+    /// recent driver: a TEST CAS's port taps the driver its scheme wire
+    /// holds at that chain position, then becomes the wire's driver itself.
+    pub fn compile(chain: &CasChain) -> Self {
+        let n = chain.bus_width();
+        let mut driver: Vec<WireSource> = (0..n).map(WireSource::Bus).collect();
+        let mut taps = Vec::with_capacity(chain.len());
+        let mut wires = Vec::with_capacity(chain.len());
+        let mut core_widths = Vec::with_capacity(chain.len());
+        for (idx, cas) in chain.cases().iter().enumerate() {
+            core_widths.push(cas.geometry().switched_wires());
+            let scheme = match cas.mode() {
+                CasMode::Test => cas.active_scheme(),
+                _ => None,
+            };
+            match scheme {
+                Some(scheme) => {
+                    let p = cas.geometry().switched_wires();
+                    let mut cas_taps = Vec::with_capacity(p);
+                    let mut cas_wires = Vec::with_capacity(p);
+                    for port in 0..p {
+                        let wire = scheme.wire_for_port(port);
+                        cas_taps.push(driver[wire]);
+                        driver[wire] = WireSource::Core { cas: idx, port };
+                        cas_wires.push(wire);
+                    }
+                    taps.push(Some(cas_taps));
+                    wires.push(Some(cas_wires));
+                }
+                None => {
+                    taps.push(None);
+                    wires.push(None);
+                }
+            }
+        }
+        Self {
+            n,
+            wire_out: driver,
+            taps,
+            wires,
+            core_widths,
+        }
+    }
+
+    /// The bus width `N`.
+    pub fn bus_width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of CAS positions covered.
+    pub fn cas_count(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Driver of bus output wire `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire >= N`.
+    pub fn wire_source(&self, wire: usize) -> WireSource {
+        self.wire_out[wire]
+    }
+
+    /// Sources feeding the core test inputs of CAS `cas`, one per port, or
+    /// `None` when that CAS is not in TEST mode.
+    pub fn taps(&self, cas: usize) -> Option<&[WireSource]> {
+        self.taps[cas].as_deref()
+    }
+
+    /// Scheme wires of CAS `cas` (ports in order), or `None` outside TEST.
+    pub fn scheme_wires(&self, cas: usize) -> Option<&[usize]> {
+        self.wires[cas].as_deref()
+    }
+
+    /// Chain indices of every TEST-mode CAS.
+    pub fn test_cas_indices(&self) -> Vec<usize> {
+        self.taps
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, t)| t.as_ref().map(|_| idx))
+            .collect()
+    }
+
+    /// Whether TEST CAS `cas` has exclusive, straight-through use of its
+    /// wires: every port taps the chain-level bus input of its own scheme
+    /// wire (no upstream injection) and still drives that wire at the chain
+    /// output (no downstream overwrite). Exactly the property a per-lane
+    /// fast path needs; serial wire sharing makes this `false`.
+    pub fn is_independent(&self, cas: usize) -> bool {
+        match (&self.taps[cas], &self.wires[cas]) {
+            (Some(taps), Some(wires)) => {
+                taps.iter()
+                    .zip(wires)
+                    .enumerate()
+                    .all(|(port, (tap, &wire))| {
+                        *tap == WireSource::Bus(wire)
+                            && self.wire_out[wire] == WireSource::Core { cas, port }
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether every TEST CAS is [independent](RouteTable::is_independent).
+    pub fn all_independent(&self) -> bool {
+        self.test_cas_indices()
+            .into_iter()
+            .all(|cas| self.is_independent(cas))
+    }
+
+    /// Evaluates the compiled routes for one data clock: the table-lookup
+    /// equivalent of [`CasChain::clock`] with
+    /// [`CasControl::run`](crate::CasControl::run), producing the same
+    /// [`ChainOutput`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CasError::ConfigurationLengthMismatch`] when
+    /// `core_outs.len()` differs from the CAS count, and
+    /// [`CasError::BadGeometry`] on a bus or core-output width mismatch —
+    /// the same validation the interpreted path performs.
+    pub fn apply(&self, bus_in: &BitVec, core_outs: &[BitVec]) -> Result<ChainOutput, CasError> {
+        if core_outs.len() != self.taps.len() {
+            return Err(CasError::ConfigurationLengthMismatch {
+                got: core_outs.len(),
+                expected: self.taps.len(),
+            });
+        }
+        if bus_in.len() != self.n {
+            return Err(CasError::BadGeometry {
+                n: bus_in.len(),
+                p: 0,
+            });
+        }
+        for (core_out, &width) in core_outs.iter().zip(&self.core_widths) {
+            if core_out.len() != width {
+                return Err(CasError::BadGeometry {
+                    n: self.n,
+                    p: core_out.len(),
+                });
+            }
+        }
+        let resolve = |source: WireSource| -> bool {
+            match source {
+                WireSource::Bus(w) => bus_in.get(w).expect("wire < n"),
+                WireSource::Core { cas, port } => core_outs[cas].get(port).expect("port < p"),
+            }
+        };
+        let mut bus_out = BitVec::with_capacity(self.n);
+        for &source in &self.wire_out {
+            bus_out.push(resolve(source));
+        }
+        let core_in = self
+            .taps
+            .iter()
+            .map(|taps| {
+                taps.as_ref()
+                    .map(|taps| taps.iter().map(|&s| resolve(s)).collect())
+            })
+            .collect();
+        Ok(ChainOutput { bus_out, core_in })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cas::{Cas, CasControl};
+    use crate::geometry::CasGeometry;
+    use crate::instruction::CasInstruction;
+
+    fn chain(geoms: &[(usize, usize)]) -> CasChain {
+        let cases = geoms
+            .iter()
+            .map(|&(n, p)| Cas::for_geometry(CasGeometry::new(n, p).unwrap()).unwrap())
+            .collect();
+        CasChain::new(cases).unwrap()
+    }
+
+    /// Drives both the interpreter and the compiled table over a sweep of
+    /// stimuli and checks bit-identical outputs.
+    fn assert_equivalent(mut ch: CasChain, samples: usize) {
+        let routes = RouteTable::compile(&ch);
+        let n = ch.bus_width();
+        let widths: Vec<usize> = ch
+            .cases()
+            .iter()
+            .map(|c| c.geometry().switched_wires())
+            .collect();
+        let mut stamp = 0x1357_9bdf_2468_aceeu64;
+        for round in 0..samples {
+            stamp = stamp.rotate_left(13).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let bus_in = BitVec::from_u64(stamp, n.min(64));
+            let core_outs: Vec<BitVec> = widths
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| BitVec::from_u64(stamp >> (i * 7 + round % 5), p.min(64)))
+                .collect();
+            let interpreted = ch.clock(&bus_in, &core_outs, CasControl::run()).unwrap();
+            let compiled = routes.apply(&bus_in, &core_outs).unwrap();
+            assert_eq!(compiled, interpreted, "round {round}");
+        }
+    }
+
+    #[test]
+    fn all_bypass_routes_bus_straight_through() {
+        let ch = chain(&[(4, 2), (4, 1)]);
+        let routes = RouteTable::compile(&ch);
+        for w in 0..4 {
+            assert_eq!(routes.wire_source(w), WireSource::Bus(w));
+        }
+        assert!(routes.test_cas_indices().is_empty());
+        assert!(routes.all_independent());
+        assert_equivalent(ch, 8);
+    }
+
+    #[test]
+    fn disjoint_test_cases_compile_independent_lanes() {
+        let mut ch = chain(&[(4, 2), (4, 1)]);
+        let i0 = ch.cases()[0].schemes().index_of(&[0, 1]).unwrap();
+        let i1 = ch.cases()[1].schemes().index_of(&[3]).unwrap();
+        ch.configure(&[CasInstruction::Test(i0), CasInstruction::Test(i1)])
+            .unwrap();
+        let routes = RouteTable::compile(&ch);
+        assert_eq!(routes.wire_source(0), WireSource::Core { cas: 0, port: 0 });
+        assert_eq!(routes.wire_source(1), WireSource::Core { cas: 0, port: 1 });
+        assert_eq!(routes.wire_source(2), WireSource::Bus(2));
+        assert_eq!(routes.wire_source(3), WireSource::Core { cas: 1, port: 0 });
+        assert_eq!(
+            routes.taps(0).unwrap(),
+            &[WireSource::Bus(0), WireSource::Bus(1)]
+        );
+        assert_eq!(routes.scheme_wires(1).unwrap(), &[3]);
+        assert_eq!(routes.test_cas_indices(), vec![0, 1]);
+        assert!(routes.all_independent());
+        assert_equivalent(ch, 16);
+    }
+
+    #[test]
+    fn serial_wire_sharing_resolves_to_upstream_core() {
+        let mut ch = chain(&[(2, 1), (2, 1)]);
+        let i = ch.cases()[0].schemes().index_of(&[1]).unwrap();
+        ch.configure(&[CasInstruction::Test(i), CasInstruction::Test(i)])
+            .unwrap();
+        let routes = RouteTable::compile(&ch);
+        // Downstream CAS 1 taps CAS 0's injection, not the bus input.
+        assert_eq!(routes.taps(0).unwrap(), &[WireSource::Bus(1)]);
+        assert_eq!(
+            routes.taps(1).unwrap(),
+            &[WireSource::Core { cas: 0, port: 0 }]
+        );
+        assert_eq!(routes.wire_source(1), WireSource::Core { cas: 1, port: 0 });
+        assert!(!routes.is_independent(0), "overwritten downstream");
+        assert!(!routes.is_independent(1), "taps a core, not the bus");
+        assert!(!routes.all_independent());
+        assert_equivalent(ch, 16);
+    }
+
+    #[test]
+    fn heterogeneous_figure1_like_chain_is_equivalent() {
+        // Mixed P values with a bypassed CAS in the middle.
+        let mut ch = chain(&[(6, 2), (6, 1), (6, 3)]);
+        let i0 = ch.cases()[0].schemes().index_of(&[0, 1]).unwrap();
+        let i2 = ch.cases()[2].schemes().index_of(&[3, 4, 5]).unwrap();
+        ch.configure(&[
+            CasInstruction::Test(i0),
+            CasInstruction::Bypass,
+            CasInstruction::Test(i2),
+        ])
+        .unwrap();
+        let routes = RouteTable::compile(&ch);
+        assert_eq!(routes.taps(1), None);
+        assert_eq!(routes.scheme_wires(1), None);
+        assert!(routes.all_independent());
+        assert_equivalent(ch, 32);
+    }
+
+    #[test]
+    fn apply_validates_widths_like_the_interpreter() {
+        let ch = chain(&[(4, 2)]);
+        let routes = RouteTable::compile(&ch);
+        assert!(matches!(
+            routes.apply(&BitVec::zeros(3), &[BitVec::zeros(2)]),
+            Err(CasError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            routes.apply(&BitVec::zeros(4), &[BitVec::zeros(1)]),
+            Err(CasError::BadGeometry { .. })
+        ));
+        assert!(matches!(
+            routes.apply(&BitVec::zeros(4), &[]),
+            Err(CasError::ConfigurationLengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reconfiguration_invalidates_nothing_silently() {
+        // A table compiled before a wave keeps describing the old wave;
+        // recompiling after the wave reflects the new routing.
+        let mut ch = chain(&[(3, 1), (3, 1)]);
+        ch.configure(&[CasInstruction::Test(0), CasInstruction::Bypass])
+            .unwrap();
+        let before = RouteTable::compile(&ch);
+        ch.configure(&[CasInstruction::Bypass, CasInstruction::Test(2)])
+            .unwrap();
+        let after = RouteTable::compile(&ch);
+        assert_ne!(before, after);
+        assert_eq!(before.test_cas_indices(), vec![0]);
+        assert_eq!(after.test_cas_indices(), vec![1]);
+        assert_equivalent(ch, 8);
+    }
+}

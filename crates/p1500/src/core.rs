@@ -15,7 +15,11 @@ use casbus_tpg::BitVec;
 ///
 /// Implementations live in `casbus-soc` (behavioural models) so that this
 /// crate stays a pure wrapper library.
-pub trait TestableCore {
+///
+/// `Send` is a supertrait so that disjoint per-core test sessions can run
+/// on worker threads; every model is plain owned data, so this costs
+/// implementations nothing.
+pub trait TestableCore: Send {
     /// The core's instance name.
     fn name(&self) -> &str;
 
@@ -43,6 +47,44 @@ pub trait TestableCore {
 
     /// Puts the core back into its power-on state.
     fn reset(&mut self);
+
+    /// Advances up to 64 *test* clocks at once. `inputs` holds one plane
+    /// per test port; bit `t` of plane `j` is the port-`j` input at cycle
+    /// `t`. The returned planes carry the outputs in the same layout.
+    ///
+    /// The provided implementation simply loops over [`test_clock`]
+    /// (`TestableCore::test_clock`), so every model stays bit-exact by
+    /// construction; models with word-level internal state (e.g. scan
+    /// chains stored as `BitVec`s) override this to shift whole words.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs.len() != self.test_ports()` or `cycles > 64`.
+    fn test_clock_words(&mut self, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.test_ports(),
+            "one input plane per test port"
+        );
+        assert!(
+            cycles <= 64,
+            "test_clock_words supports at most 64 cycles, got {cycles}"
+        );
+        let mut outs = vec![0u64; inputs.len()];
+        let mut wpi = BitVec::zeros(inputs.len());
+        for t in 0..cycles {
+            for (j, plane) in inputs.iter().enumerate() {
+                wpi.set(j, (plane >> t) & 1 == 1);
+            }
+            let wpo = self.test_clock(&wpi);
+            for (j, out) in outs.iter_mut().enumerate() {
+                if wpo.get(j) == Some(true) {
+                    *out |= 1 << t;
+                }
+            }
+        }
+        outs
+    }
 }
 
 impl<T: TestableCore + ?Sized> TestableCore for Box<T> {
@@ -68,6 +110,12 @@ impl<T: TestableCore + ?Sized> TestableCore for Box<T> {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    // Explicit delegation so a boxed model's word-level override is used
+    // instead of the provided bit-serial loop.
+    fn test_clock_words(&mut self, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        (**self).test_clock_words(inputs, cycles)
     }
 }
 
@@ -164,6 +212,26 @@ pub(crate) mod test_support {
         let mut core = ShiftCore::new("u0", 1, 2);
         core.capture_clock();
         assert_eq!(core.chain(0).to_string(), "11");
+    }
+
+    #[test]
+    fn default_test_clock_words_matches_serial_loop() {
+        let mut word_core = ShiftCore::new("u0", 2, 5);
+        let mut bit_core = ShiftCore::new("u0", 2, 5);
+        let planes = [0x5a5a_f0f0_1234_8001u64, 0x0ff0_55aa_9999_c3c3];
+        let out_planes = word_core.test_clock_words(&planes, 64);
+        for t in 0..64usize {
+            let mut wpi = BitVec::new();
+            for plane in &planes {
+                wpi.push((plane >> t) & 1 == 1);
+            }
+            let wpo = bit_core.test_clock(&wpi);
+            for (j, plane) in out_planes.iter().enumerate() {
+                assert_eq!((plane >> t) & 1 == 1, wpo.get(j).unwrap(), "cycle {t}");
+            }
+        }
+        assert_eq!(word_core.chain(0), bit_core.chain(0));
+        assert_eq!(word_core.chain(1), bit_core.chain(1));
     }
 
     #[test]

@@ -294,6 +294,53 @@ impl<C: TestableCore> Wrapper<C> {
         }
     }
 
+    /// Runs up to 64 consecutive *shift* clocks on the parallel path in one
+    /// call. `inputs` holds one plane per parallel port; bit `t` of plane
+    /// `j` is the port-`j` WPI value at cycle `t`, and the returned planes
+    /// carry the WPO values in the same layout.
+    ///
+    /// Behaviourally identical to `cycles` calls of
+    /// [`Wrapper::clock_parallel`] with [`WrapperControl::shift_data`]; the
+    /// word-level session engine uses it to stream scan data 64 cycles at
+    /// a time. INTEST modes go straight to the core's word-level path;
+    /// EXTEST falls back to the per-cycle WBR shift, and in NORMAL/BYPASS
+    /// the port is inactive and all-zero planes come back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`Wrapper::parallel_width`]
+    /// or `cycles > 64`.
+    pub fn clock_parallel_words(&mut self, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        assert_eq!(
+            inputs.len(),
+            self.parallel_width(),
+            "parallel port width mismatch on core {}",
+            self.core.name()
+        );
+        assert!(
+            cycles <= 64,
+            "clock_parallel_words supports at most 64 cycles, got {cycles}"
+        );
+        match self.instruction() {
+            WrapperInstruction::IntestScan | WrapperInstruction::IntestBist => {
+                self.core.test_clock_words(inputs, cycles)
+            }
+            WrapperInstruction::Extest => {
+                let ctrl = WrapperControl::shift_data();
+                let mut out = 0u64;
+                for t in 0..cycles {
+                    let mut wpi = BitVec::new();
+                    wpi.push((inputs[0] >> t) & 1 == 1);
+                    if self.clock_parallel(&wpi, &ctrl).get(0) == Some(true) {
+                        out |= 1 << t;
+                    }
+                }
+                vec![out]
+            }
+            WrapperInstruction::Normal | WrapperInstruction::Bypass => vec![0u64; inputs.len()],
+        }
+    }
+
     /// Resets the wrapper and the core to power-on state.
     pub fn reset(&mut self) {
         self.wir.reset();
@@ -425,6 +472,38 @@ mod tests {
         second.clock_serial(false, &WrapperControl::update_wir());
         assert_eq!(first.instruction(), WrapperInstruction::Extest);
         assert_eq!(second.instruction(), WrapperInstruction::IntestBist);
+    }
+
+    #[test]
+    fn clock_parallel_words_matches_per_cycle_shifts() {
+        for instruction in [
+            WrapperInstruction::IntestScan,
+            WrapperInstruction::Extest,
+            WrapperInstruction::Bypass,
+        ] {
+            let mut fast = wrapper();
+            let mut slow = wrapper();
+            fast.apply_instruction(instruction);
+            slow.apply_instruction(instruction);
+            let width = fast.parallel_width();
+            let planes: Vec<u64> = (0..width)
+                .map(|j| 0x0123_4567_89ab_cdefu64.rotate_left(j as u32 * 13))
+                .collect();
+            let cycles = 37;
+            let out_planes = fast.clock_parallel_words(&planes, cycles);
+            let ctrl = WrapperControl::shift_data();
+            for t in 0..cycles {
+                let wpi: BitVec = planes.iter().map(|p| (p >> t) & 1 == 1).collect();
+                let wpo = slow.clock_parallel(&wpi, &ctrl);
+                for (j, plane) in out_planes.iter().enumerate() {
+                    assert_eq!(
+                        (plane >> t) & 1 == 1,
+                        wpo.get(j).unwrap(),
+                        "{instruction:?} cycle {t} port {j}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

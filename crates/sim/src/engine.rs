@@ -1,0 +1,533 @@
+//! The compiled word-level execution engine.
+//!
+//! [`run_program`](crate::run_program) semantics, ~10–100× faster: instead
+//! of interpreting the CAS chain bit by bit every data clock, each step's
+//! configuration wave is compiled once into a [`RouteTable`], and every
+//! core whose routes are exclusive (no serial wire sharing) becomes an
+//! independent *lane* whose scan traffic streams through the word-level
+//! wrapper/model paths 64 cycles per call. Cycle counters, per-core stats,
+//! wire-busy counts, verdicts, and session signatures are reproduced
+//! exactly — the differential suite in `tests/` pins the engine against
+//! the bit-serial reference across engines and thread counts.
+//!
+//! Exactness is preserved by falling back to the cycle-by-cycle
+//! interpreter whenever the fast path cannot be bit-faithful:
+//!
+//! * a waveform probe is attached or a trace sink is enabled (every bus
+//!   value change must be emitted),
+//! * a step's routing shares wires serially between TEST CASes (cores
+//!   concatenate through each other),
+//! * a lane's wrapper is not in an INTEST mode, or its port/wire widths
+//!   disagree (the interpreter's resize semantics would apply).
+
+use casbus::RouteTable;
+use casbus_controller::TestProgram;
+use casbus_obs::MetricsRegistry;
+use casbus_p1500::{TestableCore, Wrapper, WrapperControl, WrapperInstruction};
+use casbus_soc::models;
+use casbus_tpg::{BitVec, Verdict};
+
+use crate::report::{
+    collect_lanes, drive_lanes_reference, finish_report, Lane, ReportBaseline, SocTestReport,
+};
+use crate::session::{lane_signature, ClockKind};
+use crate::simulator::{SimError, SocSimulator};
+
+/// A lane index paired with the disjoint wrapper borrow that executes it.
+type LaneWork<'a> = (usize, &'a mut Wrapper<Box<dyn TestableCore>>);
+
+/// The compiled word-level TAM/session engine. Drop-in for the reference
+/// interpreter: identical [`SocTestReport`]s, cycle counters, and metrics.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::Tam;
+/// use casbus_controller::{schedule, TestProgram};
+/// use casbus_sim::{CompiledEngine, SocSimulator};
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure1_soc();
+/// let tam = Tam::new(&soc, 8).unwrap();
+/// let sched = schedule::packed_schedule(&soc, 8).unwrap();
+/// let program = TestProgram::from_schedule(&tam, &soc, &sched).unwrap();
+/// let mut sim = SocSimulator::new(&soc, 8).unwrap();
+/// let report = CompiledEngine::with_threads(2).run(&mut sim, &program).unwrap();
+/// assert!(report.all_pass());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledEngine {
+    threads: usize,
+}
+
+impl Default for CompiledEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompiledEngine {
+    /// Single-threaded compiled engine (the default used by
+    /// [`run_program`](crate::run_program)).
+    pub fn new() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// Compiled engine running each step's independent lanes on up to
+    /// `threads` worker threads, joined at wave boundaries. `0` means one
+    /// worker per available hardware thread.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// Worker threads this engine will use (after resolving `0`).
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+
+    /// Executes a test program; see [`run_program`](crate::run_program) for
+    /// the step semantics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and width errors.
+    pub fn run(
+        &self,
+        sim: &mut SocSimulator,
+        program: &TestProgram,
+    ) -> Result<SocTestReport, SimError> {
+        self.run_with_metrics(sim, program, &MetricsRegistry::new())
+    }
+
+    /// [`CompiledEngine::run`] with metrics publication (identical counter
+    /// values to the reference interpreter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and width errors.
+    pub fn run_with_metrics(
+        &self,
+        sim: &mut SocSimulator,
+        program: &TestProgram,
+        metrics: &MetricsRegistry,
+    ) -> Result<SocTestReport, SimError> {
+        let baseline = ReportBaseline::capture(sim);
+        // Observability wants every per-cycle bus value: stay bit-serial.
+        let exact_only = sim.has_probe() || sim.trace().enabled();
+        let mut results = Vec::new();
+        for (step_index, step) in program.steps().iter().enumerate() {
+            let step_start = sim.cycles();
+            sim.configure(&step.configuration, &step.wrapper_instructions)?;
+            let lanes = collect_lanes(sim, &step.configuration)?;
+            if exact_only || !step_is_compilable(sim, &lanes) {
+                results.extend(drive_lanes_reference(sim, &lanes, step_index, step_start)?);
+            } else {
+                results.extend(self.drive_lanes_compiled(sim, &lanes)?);
+            }
+        }
+        finish_report(sim, metrics, &baseline, results, program.steps().len())
+    }
+
+    /// Runs one compilable step's lanes word-at-a-time, then accounts for
+    /// every counter the interpreter would have bumped.
+    fn drive_lanes_compiled(
+        &self,
+        sim: &mut SocSimulator,
+        lanes: &[Lane],
+    ) -> Result<Vec<(String, Verdict, u64)>, SimError> {
+        let horizon = lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
+        let mut lane_of_cas: Vec<Option<usize>> = vec![None; sim.tam().cas_count()];
+        for (pos, lane) in lanes.iter().enumerate() {
+            lane_of_cas[lane.cas_index] = Some(pos);
+        }
+        let mut outcomes: Vec<Option<LaneOutcome>> = (0..lanes.len()).map(|_| None).collect();
+        {
+            // Pair every lane with its wrapper: iterating the slice hands
+            // out one disjoint `&mut` per lane.
+            let work: Vec<LaneWork<'_>> = sim
+                .wrappers_mut_slice()
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(idx, wrapper)| lane_of_cas[idx].map(|pos| (pos, wrapper)))
+                .collect();
+            let workers = self.threads().min(lanes.len()).max(1);
+            if workers <= 1 {
+                for (pos, wrapper) in work {
+                    outcomes[pos] = Some(run_lane(wrapper, &lanes[pos], horizon));
+                }
+            } else {
+                let mut buckets: Vec<Vec<LaneWork<'_>>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, item) in work.into_iter().enumerate() {
+                    buckets[i % workers].push(item);
+                }
+                let computed = std::thread::scope(|scope| {
+                    let handles: Vec<_> = buckets
+                        .into_iter()
+                        .map(|bucket| {
+                            scope.spawn(move || {
+                                bucket
+                                    .into_iter()
+                                    .map(|(pos, wrapper)| {
+                                        (pos, run_lane(wrapper, &lanes[pos], horizon))
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("lane worker panicked"))
+                        .collect::<Vec<_>>()
+                });
+                for (pos, outcome) in computed {
+                    outcomes[pos] = Some(outcome);
+                }
+            }
+        }
+        // Arithmetic accounting: what the interpreter's per-cycle loop would
+        // have added over `horizon` data clocks.
+        sim.advance_data_cycles(horizon as u64);
+        let stats = sim.core_stats_mut();
+        for (idx, slot) in lane_of_cas.iter().enumerate() {
+            match slot {
+                Some(pos) => {
+                    let plan = &lanes[*pos].plan;
+                    let shifts = plan.shift_cycles() as u64;
+                    stats[idx].shift += shifts;
+                    stats[idx].capture += plan.len() as u64 - shifts;
+                    stats[idx].idle += (horizon - plan.len()) as u64;
+                }
+                None => stats[idx].idle += horizon as u64,
+            }
+        }
+        let busy = sim.wire_busy_mut();
+        for lane in lanes {
+            // Every plan cycle is Shift or Capture (compilability), so the
+            // lane's wires are busy for exactly `plan.len()` clocks.
+            for &wire in &lane.wires {
+                busy[wire] += lane.plan.len() as u64;
+            }
+        }
+        let mut step_results = Vec::with_capacity(lanes.len());
+        for (lane, outcome) in lanes.iter().zip(outcomes) {
+            let outcome = outcome.expect("every lane ran");
+            sim.set_pending(lane.cas_index, outcome.pending);
+            let verdict = if outcome.mismatches == 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail {
+                    mismatches: outcome.mismatches,
+                }
+            };
+            step_results.push((lane.name.clone(), verdict, outcome.signature));
+        }
+        Ok(step_results)
+    }
+}
+
+/// Whether the configured step can run on the word-level fast path while
+/// staying bit-identical to the interpreter.
+fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane]) -> bool {
+    let routes = RouteTable::compile(sim.tam().chain());
+    let mut is_lane = vec![false; sim.tam().cas_count()];
+    for lane in lanes {
+        is_lane[lane.cas_index] = true;
+        // Exclusive straight-through wires: no serial concatenation.
+        if !routes.is_independent(lane.cas_index) {
+            return false;
+        }
+        let wrapper = sim.wrapper_at(lane.cas_index);
+        // INTEST modes are transparent shift pipes (wrapper output =
+        // model output); EXTEST threads the boundary register per cycle.
+        if !matches!(
+            wrapper.instruction(),
+            WrapperInstruction::IntestScan | WrapperInstruction::IntestBist
+        ) {
+            return false;
+        }
+        let ports = lane.plan.ports();
+        // Identity resize: scheme width == plan width == wrapper width.
+        if lane.wires.len() != ports || wrapper.parallel_width() != ports {
+            return false;
+        }
+        if lane
+            .plan
+            .cycles()
+            .iter()
+            .any(|(_, kind)| matches!(kind, ClockKind::Update | ClockKind::Idle))
+        {
+            return false;
+        }
+    }
+    // A test-mode wrapper outside the lanes (e.g. a wrapped system bus left
+    // armed) would still be clocked by the interpreter: stay exact.
+    (0..sim.tam().cas_count())
+        .all(|idx| is_lane[idx] || !sim.wrapper_at(idx).instruction().is_test_mode())
+}
+
+/// What one lane's batched session produced.
+struct LaneOutcome {
+    /// Bit mismatches against the golden model (the interpreter's
+    /// `compare`, including its observation-window skip rule).
+    mismatches: usize,
+    /// [`lane_signature`] over the port-major observed streams.
+    signature: u64,
+    /// End-of-step value of the CAS boundary retiming register.
+    pending: BitVec,
+}
+
+/// Streams one lane's whole session plan through the word-level wrapper and
+/// golden-model paths, 64 cycles per call.
+///
+/// Equivalence to the interpreter, per data clock `t` of the step: the bus
+/// slice the interpreter records at `t` is the retimed wrapper output of
+/// cycle `t - 1` (zeros at `t = 0`, because `configure` clears the retiming
+/// register), and it records slices only while `t < plan.len() + 1`. So with
+/// `limit = min(horizon, plan.len() + 1)` observation slots, cycle `t`'s
+/// output is compared/recorded iff `t + 1 < limit` — the longest lane's
+/// final drain shift falls outside the window, exactly as in the reference.
+fn run_lane(
+    wrapper: &mut Wrapper<Box<dyn TestableCore>>,
+    lane: &Lane,
+    horizon: usize,
+) -> LaneOutcome {
+    let ports = lane.plan.ports();
+    let len = lane.plan.len();
+    let limit = horizon.min(len + 1);
+    let mut golden = models::instantiate(&lane.desc);
+    let mut mismatches = 0usize;
+    let mut streams: Vec<BitVec> = (0..ports)
+        .map(|_| {
+            let mut stream = BitVec::new();
+            if limit > 0 {
+                stream.push(false);
+            }
+            stream
+        })
+        .collect();
+    let mut last_bits = BitVec::zeros(ports);
+    let cycles = lane.plan.cycles();
+    let mut planes = vec![0u64; ports];
+    let mut t = 0usize;
+    while t < len {
+        if cycles[t].1 == ClockKind::Shift {
+            let mut run = 1usize;
+            while run < 64 && t + run < len && cycles[t + run].1 == ClockKind::Shift {
+                run += 1;
+            }
+            // Transpose the stimuli into per-port planes (bit c = cycle t+c).
+            planes.iter_mut().for_each(|p| *p = 0);
+            for (c, (stim, _)) in cycles[t..t + run].iter().enumerate() {
+                for (j, plane) in planes.iter_mut().enumerate() {
+                    if stim.get(j).expect("stim P wide") {
+                        *plane |= 1 << c;
+                    }
+                }
+            }
+            let produced = wrapper.clock_parallel_words(&planes, run);
+            let expected = golden.test_clock_words(&planes, run);
+            let kept = run.min(limit.saturating_sub(t + 1));
+            let mask = if kept == 64 {
+                u64::MAX
+            } else {
+                (1u64 << kept) - 1
+            };
+            for j in 0..ports {
+                mismatches += ((produced[j] ^ expected[j]) & mask).count_ones() as usize;
+                streams[j].push_word(produced[j], kept);
+                last_bits.set(j, (produced[j] >> (run - 1)) & 1 == 1);
+            }
+            t += run;
+        } else {
+            // Capture: fire the functional clock on both sides. The wrapper
+            // returns zeros on non-shift clocks, so the observed slice for
+            // this cycle is all-zero.
+            wrapper.clock_parallel(&BitVec::zeros(ports), &WrapperControl::capture_data());
+            golden.capture_clock();
+            if t + 1 < limit {
+                for stream in streams.iter_mut() {
+                    stream.push(false);
+                }
+            }
+            for j in 0..ports {
+                last_bits.set(j, false);
+            }
+            t += 1;
+        }
+    }
+    // Idle clocks past the plan leave the wrapper untouched and drive zeros
+    // into the retiming register; only the step's longest lane keeps its
+    // final shifted word pending.
+    let pending = if horizon > len {
+        BitVec::zeros(ports)
+    } else {
+        last_bits
+    };
+    LaneOutcome {
+        mismatches,
+        signature: lane_signature(&streams),
+        pending,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus::Tam;
+    use casbus_controller::{schedule, TestProgram};
+    use casbus_obs::MetricsRegistry;
+    use casbus_soc::catalog;
+
+    use crate::report::{run_program_reference_with_metrics, run_program_with_metrics};
+
+    fn program_for(soc: &casbus_soc::SocDescription, n: usize, packed: bool) -> TestProgram {
+        let tam = Tam::new(soc, n).unwrap();
+        let sched = if packed {
+            schedule::packed_schedule(soc, n).unwrap()
+        } else {
+            schedule::serial_schedule(soc, n).unwrap()
+        };
+        TestProgram::from_schedule(&tam, soc, &sched).unwrap()
+    }
+
+    /// Runs a program on the reference interpreter and on the compiled
+    /// engine at several thread counts; everything must be bit-identical.
+    fn assert_engines_agree(soc: &casbus_soc::SocDescription, n: usize, packed: bool) {
+        let program = program_for(soc, n, packed);
+        let ref_metrics = MetricsRegistry::new();
+        let mut ref_sim = SocSimulator::new(soc, n).unwrap();
+        let reference =
+            run_program_reference_with_metrics(&mut ref_sim, &program, &ref_metrics).unwrap();
+        for threads in [1usize, 2, 4] {
+            let metrics = MetricsRegistry::new();
+            let mut sim = SocSimulator::new(soc, n).unwrap();
+            let compiled = CompiledEngine::with_threads(threads)
+                .run_with_metrics(&mut sim, &program, &metrics)
+                .unwrap();
+            assert_eq!(compiled, reference, "report diverged at {threads} threads");
+            assert_eq!(sim.cycles(), ref_sim.cycles(), "{threads} threads");
+            assert_eq!(sim.config_cycles(), ref_sim.config_cycles());
+            assert_eq!(sim.test_cycles(), ref_sim.test_cycles());
+            assert_eq!(sim.core_stats(), ref_sim.core_stats());
+            assert_eq!(sim.wire_busy(), ref_sim.wire_busy());
+            assert_eq!(
+                metrics.to_json(),
+                ref_metrics.to_json(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn figure1_packed_matches_reference() {
+        assert_engines_agree(&catalog::figure1_soc(), 8, true);
+    }
+
+    #[test]
+    fn figure1_serial_matches_reference() {
+        assert_engines_agree(&catalog::figure1_soc(), 8, false);
+    }
+
+    #[test]
+    fn scan_soc_narrow_bus_matches_reference() {
+        assert_engines_agree(&catalog::figure2a_scan_soc(), 4, false);
+    }
+
+    #[test]
+    fn bist_soc_matches_reference() {
+        assert_engines_agree(&catalog::figure2b_bist_soc(), 3, true);
+    }
+
+    #[test]
+    fn external_soc_matches_reference() {
+        assert_engines_agree(&catalog::figure2c_external_soc(), 4, true);
+    }
+
+    #[test]
+    fn hierarchical_soc_matches_reference() {
+        assert_engines_agree(&catalog::figure2d_hierarchical_soc(), 4, false);
+    }
+
+    #[test]
+    fn itc02_like_soc_matches_reference() {
+        assert_engines_agree(&catalog::itc02_like_soc(), 16, true);
+    }
+
+    #[test]
+    fn compiled_engine_detects_injected_fault() {
+        let soc = catalog::figure2a_scan_soc();
+        let program = program_for(&soc, 4, false);
+        let break_core = |sim: &mut SocSimulator| {
+            let wrapper = sim.wrapper_mut("scan3").unwrap();
+            let mut faulty = casbus_soc::models::ScanCore::new("scan3", vec![30, 28, 32]);
+            faulty.inject_stuck_at(1, 14, true);
+            *wrapper = casbus_p1500::Wrapper::new(Box::new(faulty) as Box<dyn TestableCore>, 8, 8);
+        };
+        let mut ref_sim = SocSimulator::new(&soc, 4).unwrap();
+        break_core(&mut ref_sim);
+        let reference = crate::report::run_program_reference(&mut ref_sim, &program).unwrap();
+        assert!(!reference.all_pass());
+
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        break_core(&mut sim);
+        let compiled = CompiledEngine::new().run(&mut sim, &program).unwrap();
+        assert_eq!(compiled, reference, "identical failure report");
+        assert_eq!(
+            compiled.verdict("scan3"),
+            reference.verdict("scan3"),
+            "same mismatch count"
+        );
+    }
+
+    #[test]
+    fn attached_probe_forces_reference_path_and_stays_exact() {
+        use casbus_obs::VcdWriter;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let soc = catalog::figure2a_scan_soc();
+        let program = program_for(&soc, 4, false);
+        let mut plain = SocSimulator::new(&soc, 4).unwrap();
+        let baseline =
+            run_program_with_metrics(&mut plain, &program, &MetricsRegistry::new()).unwrap();
+
+        let mut probed = SocSimulator::new(&soc, 4).unwrap();
+        let vcd = Rc::new(RefCell::new(VcdWriter::new("probe")));
+        probed.attach_probe(Box::new(Rc::clone(&vcd)));
+        let report =
+            run_program_with_metrics(&mut probed, &program, &MetricsRegistry::new()).unwrap();
+        assert_eq!(report, baseline);
+        let dump = vcd.borrow_mut().render();
+        assert!(dump.contains("$var"), "probe observed the run");
+    }
+
+    #[test]
+    fn default_engine_is_single_threaded() {
+        assert_eq!(CompiledEngine::new().threads(), 1);
+        assert_eq!(CompiledEngine::default(), CompiledEngine::new());
+        assert!(CompiledEngine::with_threads(0).threads() >= 1);
+    }
+
+    #[test]
+    fn reused_simulator_reports_only_its_own_program() {
+        // Dynamic reconfiguration across programs: run twice on one
+        // simulator; the second report's cycle fields cover only itself.
+        let soc = catalog::figure2a_scan_soc();
+        let program = program_for(&soc, 4, false);
+        let mut sim = SocSimulator::new(&soc, 4).unwrap();
+        let first = CompiledEngine::new().run(&mut sim, &program).unwrap();
+        let second = CompiledEngine::new().run(&mut sim, &program).unwrap();
+        assert_eq!(first, second, "re-running is deterministic");
+
+        let mut ref_sim = SocSimulator::new(&soc, 4).unwrap();
+        let ref_first = crate::report::run_program_reference(&mut ref_sim, &program).unwrap();
+        let ref_second = crate::report::run_program_reference(&mut ref_sim, &program).unwrap();
+        assert_eq!(first, ref_first);
+        assert_eq!(second, ref_second);
+    }
+}

@@ -45,13 +45,18 @@
 #![warn(missing_docs)]
 
 pub mod bus_core;
+pub mod engine;
 pub mod interconnect;
 pub mod report;
 pub mod session;
 pub mod simulator;
 
 pub use bus_core::SystemBusCore;
+pub use engine::CompiledEngine;
 pub use interconnect::run_interconnect_extest;
-pub use report::{run_program, SocTestReport};
+pub use report::{
+    run_program, run_program_reference, run_program_reference_with_metrics,
+    run_program_with_metrics, SocTestReport,
+};
 pub use session::{run_core_session, ClockKind, SessionReport};
 pub use simulator::{SimError, SocSimulator};

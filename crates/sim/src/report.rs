@@ -4,9 +4,10 @@ use std::fmt;
 
 use casbus_controller::TestProgram;
 use casbus_obs::{MetricsRegistry, TraceEvent};
+use casbus_soc::CoreDescription;
 use casbus_tpg::{BitVec, Verdict};
 
-use crate::session::{compare, golden_run, ClockKind, SessionPlan};
+use crate::session::{compare, golden_run, lane_signature, ClockKind, SessionPlan};
 use crate::simulator::{SimError, SocSimulator};
 
 /// The outcome of executing a whole test program.
@@ -24,6 +25,10 @@ pub struct SocTestReport {
     /// Busy wire-cycles across the whole test bus (each wire routed to an
     /// active TEST-mode CAS counts one per non-idle data clock).
     pub bus_cycles: u64,
+    /// Per-session signature of everything the TAM returned for each tested
+    /// core (a 64-bit fold over the port-major observed streams), in verdict
+    /// order. Every execution engine must reproduce these bit for bit.
+    pub signatures: Vec<(String, u64)>,
 }
 
 impl SocTestReport {
@@ -67,11 +72,175 @@ impl fmt::Display for SocTestReport {
     }
 }
 
+/// One concurrently-tested core of a step: its description, deterministic
+/// session plan, and scheduled wire window (from the now-active scheme).
+pub(crate) struct Lane {
+    pub(crate) cas_index: usize,
+    pub(crate) name: String,
+    pub(crate) desc: CoreDescription,
+    pub(crate) plan: SessionPlan,
+    pub(crate) wires: Vec<usize>,
+}
+
+/// Collects the lanes of one configured step, in `cores_under_test` order.
+/// Call after [`SocSimulator::configure`] so the active schemes are loaded.
+pub(crate) fn collect_lanes(
+    sim: &SocSimulator,
+    config: &casbus::TamConfiguration,
+) -> Result<Vec<Lane>, SimError> {
+    let mut lanes = Vec::new();
+    for cas_index in config.cores_under_test() {
+        let name = sim.tam().label(cas_index)?.to_owned();
+        let Some((_, desc)) = sim.soc().core_by_name(&name) else {
+            // The wrapped system bus: exercised via run_bus_extest.
+            continue;
+        };
+        let desc = desc.clone();
+        let plan = SessionPlan::for_core(&desc);
+        let wires = sim.tam().chain().cases()[cas_index]
+            .active_scheme()
+            .expect("configured TEST scheme")
+            .wires()
+            .to_vec();
+        lanes.push(Lane {
+            cas_index,
+            name,
+            desc,
+            plan,
+            wires,
+        });
+    }
+    Ok(lanes)
+}
+
+/// Runs one configured step's lanes through the cycle-by-cycle interpreter
+/// (the reference path, exact under probes, traces, and serial wire
+/// sharing). Returns `(name, verdict, signature)` per lane, in lane order.
+pub(crate) fn drive_lanes_reference(
+    sim: &mut SocSimulator,
+    lanes: &[Lane],
+    step_index: usize,
+    step_start: u64,
+) -> Result<Vec<(String, Verdict, u64)>, SimError> {
+    let goldens: Vec<Vec<Option<BitVec>>> = lanes
+        .iter()
+        .map(|lane| golden_run(&lane.desc, &lane.plan))
+        .collect();
+    let mut observed: Vec<Vec<BitVec>> = lanes.iter().map(|_| Vec::new()).collect();
+    let horizon = lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
+    let cas_count = sim.tam().cas_count();
+    for t in 0..horizon {
+        let mut bus = BitVec::zeros(sim.bus_width());
+        let mut kinds = vec![ClockKind::Idle; cas_count];
+        for lane in lanes {
+            if let Some((stim, kind)) = lane.plan.cycles().get(t) {
+                kinds[lane.cas_index] = *kind;
+                for (j, &wire) in lane.wires.iter().enumerate() {
+                    bus.set(wire, stim.get(j).expect("stim P wide"));
+                }
+            }
+        }
+        let out = sim.data_clock(&bus, &kinds)?;
+        for (lane, seen) in lanes.iter().zip(observed.iter_mut()) {
+            if t < lane.plan.len() + 1 {
+                let slice: BitVec = lane
+                    .wires
+                    .iter()
+                    .map(|&w| out.get(w).expect("wire < n"))
+                    .collect();
+                seen.push(slice);
+            }
+        }
+    }
+    let trace = sim.trace();
+    let mut results = Vec::with_capacity(lanes.len());
+    for ((lane, golden), seen) in lanes.iter().zip(&goldens).zip(&observed) {
+        let verdict = compare(golden, seen, lane.plan.ports());
+        // Port-major streams of everything observed, for the signature.
+        let streams: Vec<BitVec> = (0..lane.plan.ports())
+            .map(|j| seen.iter().map(|o| o.get(j).expect("P wide")).collect())
+            .collect();
+        let signature = lane_signature(&streams);
+        if trace.enabled() {
+            trace.record(TraceEvent::span(
+                "session",
+                lane.name.clone(),
+                step_start,
+                sim.cycles() - step_start,
+                vec![
+                    ("step", step_index.into()),
+                    ("cas", lane.cas_index.into()),
+                    ("data_cycles", lane.plan.len().into()),
+                    ("pass", verdict.is_pass().into()),
+                ],
+            ));
+        }
+        results.push((lane.name.clone(), verdict, signature));
+    }
+    Ok(results)
+}
+
+/// Cycle/stat baselines captured before a program, so a reused simulator
+/// reports only that program's cycles.
+pub(crate) struct ReportBaseline {
+    start_cycles: u64,
+    core: Vec<u64>,
+    busy: u64,
+}
+
+impl ReportBaseline {
+    pub(crate) fn capture(sim: &SocSimulator) -> Self {
+        Self {
+            start_cycles: sim.cycles(),
+            core: sim.core_stats().iter().map(|s| s.total()).collect(),
+            busy: sim.wire_busy().iter().sum(),
+        }
+    }
+}
+
+/// Publishes the simulator aggregates into `metrics` and assembles the
+/// final report from the per-lane `(name, verdict, signature)` results.
+pub(crate) fn finish_report(
+    sim: &SocSimulator,
+    metrics: &MetricsRegistry,
+    baseline: &ReportBaseline,
+    results: Vec<(String, Verdict, u64)>,
+    steps: usize,
+) -> Result<SocTestReport, SimError> {
+    sim.export_metrics(metrics);
+    let mut per_core_cycles = Vec::new();
+    for (idx, core_baseline) in baseline.core.iter().enumerate() {
+        let name = sim.tam().label(idx)?.to_owned();
+        let total = metrics.counter_sum(&crate::simulator::core_metric_prefix(&name));
+        per_core_cycles.push((name, total - core_baseline));
+    }
+    let bus_cycles = metrics.counter_sum("bus.wire") - baseline.busy;
+    let mut verdicts = Vec::with_capacity(results.len());
+    let mut signatures = Vec::with_capacity(results.len());
+    for (name, verdict, signature) in results {
+        signatures.push((name.clone(), signature));
+        verdicts.push((name, verdict));
+    }
+    Ok(SocTestReport {
+        verdicts,
+        total_cycles: sim.cycles() - baseline.start_cycles,
+        steps,
+        per_core_cycles,
+        bus_cycles,
+        signatures,
+    })
+}
+
 /// Executes a test program end to end: for every step, the CONFIGURATION
 /// phase loads the step's CAS and wrapper instructions, then the concurrent
-/// cores' session plans run cycle-interleaved on their scheduled wire
-/// windows, and every shifted-out bit is compared against that core's golden
-/// model.
+/// cores' session plans run on their scheduled wire windows, and every bit
+/// returned over the TAM is compared against that core's golden model.
+///
+/// Runs on the compiled word-level engine ([`crate::CompiledEngine`]),
+/// which batches shifting through route tables and falls back to the
+/// cycle-by-cycle interpreter whenever exactness demands it (probes,
+/// traces, serial wire sharing). [`run_program_reference`] forces the
+/// interpreter; both produce identical reports.
 ///
 /// # Errors
 ///
@@ -80,7 +249,7 @@ pub fn run_program(
     sim: &mut SocSimulator,
     program: &TestProgram,
 ) -> Result<SocTestReport, SimError> {
-    run_program_with_metrics(sim, program, &MetricsRegistry::new())
+    crate::engine::CompiledEngine::new().run(sim, program)
 }
 
 /// [`run_program`], additionally publishing the simulator's cycle
@@ -95,108 +264,42 @@ pub fn run_program_with_metrics(
     program: &TestProgram,
     metrics: &MetricsRegistry,
 ) -> Result<SocTestReport, SimError> {
-    let start_cycles = sim.cycles();
-    // Baselines, so a reused simulator reports only this program's cycles.
-    let core_baseline: Vec<u64> = sim.core_stats().iter().map(|s| s.total()).collect();
-    let busy_baseline: u64 = sim.wire_busy().iter().sum();
-    let mut verdicts: Vec<(String, Verdict)> = Vec::new();
+    crate::engine::CompiledEngine::new().run_with_metrics(sim, program, metrics)
+}
+
+/// [`run_program`] on the bit-serial cycle-by-cycle interpreter, the
+/// reference semantics every optimized engine is differentially tested
+/// against.
+///
+/// # Errors
+///
+/// Propagates configuration and width errors.
+pub fn run_program_reference(
+    sim: &mut SocSimulator,
+    program: &TestProgram,
+) -> Result<SocTestReport, SimError> {
+    run_program_reference_with_metrics(sim, program, &MetricsRegistry::new())
+}
+
+/// [`run_program_reference`] with metrics publication.
+///
+/// # Errors
+///
+/// Propagates configuration and width errors.
+pub fn run_program_reference_with_metrics(
+    sim: &mut SocSimulator,
+    program: &TestProgram,
+    metrics: &MetricsRegistry,
+) -> Result<SocTestReport, SimError> {
+    let baseline = ReportBaseline::capture(sim);
+    let mut results: Vec<(String, Verdict, u64)> = Vec::new();
     for (step_index, step) in program.steps().iter().enumerate() {
         let step_start = sim.cycles();
         sim.configure(&step.configuration, &step.wrapper_instructions)?;
-        // Collect the concurrent cores of this step, their plans, goldens
-        // and wire windows (from the now-active schemes).
-        struct Lane {
-            cas_index: usize,
-            name: String,
-            plan: SessionPlan,
-            golden: Vec<Option<BitVec>>,
-            wires: Vec<usize>,
-            observed: Vec<BitVec>,
-        }
-        let mut lanes = Vec::new();
-        for cas_index in step.configuration.cores_under_test() {
-            let name = sim.tam().label(cas_index)?.to_owned();
-            let Some((_, desc)) = sim.soc().core_by_name(&name) else {
-                // The wrapped system bus: exercised via run_bus_extest.
-                continue;
-            };
-            let desc = desc.clone();
-            let plan = SessionPlan::for_core(&desc);
-            let golden = golden_run(&desc, &plan);
-            let wires = sim.tam().chain().cases()[cas_index]
-                .active_scheme()
-                .expect("configured TEST scheme")
-                .wires()
-                .to_vec();
-            lanes.push(Lane {
-                cas_index,
-                name,
-                plan,
-                golden,
-                wires,
-                observed: Vec::new(),
-            });
-        }
-        let horizon = lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
-        let cas_count = sim.tam().cas_count();
-        for t in 0..horizon {
-            let mut bus = BitVec::zeros(sim.bus_width());
-            let mut kinds = vec![ClockKind::Idle; cas_count];
-            for lane in &lanes {
-                if let Some((stim, kind)) = lane.plan.cycles().get(t) {
-                    kinds[lane.cas_index] = *kind;
-                    for (j, &wire) in lane.wires.iter().enumerate() {
-                        bus.set(wire, stim.get(j).expect("stim P wide"));
-                    }
-                }
-            }
-            let out = sim.data_clock(&bus, &kinds)?;
-            for lane in &mut lanes {
-                if t < lane.plan.len() + 1 {
-                    let slice: BitVec = lane
-                        .wires
-                        .iter()
-                        .map(|&w| out.get(w).expect("wire < n"))
-                        .collect();
-                    lane.observed.push(slice);
-                }
-            }
-        }
-        let trace = sim.trace();
-        for lane in lanes {
-            let verdict = compare(&lane.golden, &lane.observed, lane.plan.ports());
-            if trace.enabled() {
-                trace.record(TraceEvent::span(
-                    "session",
-                    lane.name.clone(),
-                    step_start,
-                    sim.cycles() - step_start,
-                    vec![
-                        ("step", step_index.into()),
-                        ("cas", lane.cas_index.into()),
-                        ("data_cycles", lane.plan.len().into()),
-                        ("pass", verdict.is_pass().into()),
-                    ],
-                ));
-            }
-            verdicts.push((lane.name, verdict));
-        }
+        let lanes = collect_lanes(sim, &step.configuration)?;
+        results.extend(drive_lanes_reference(sim, &lanes, step_index, step_start)?);
     }
-    sim.export_metrics(metrics);
-    let mut per_core_cycles = Vec::new();
-    for (idx, baseline) in core_baseline.iter().enumerate() {
-        let name = sim.tam().label(idx)?.to_owned();
-        let total = metrics.counter_sum(&crate::simulator::core_metric_prefix(&name));
-        per_core_cycles.push((name, total - baseline));
-    }
-    let bus_cycles = metrics.counter_sum("bus.wire") - busy_baseline;
-    Ok(SocTestReport {
-        verdicts,
-        total_cycles: sim.cycles() - start_cycles,
-        steps: program.steps().len(),
-        per_core_cycles,
-        bus_cycles,
-    })
+    finish_report(sim, metrics, &baseline, results, program.steps().len())
 }
 
 /// Tests the wrapped system bus through its wrapper's EXTEST path: a bit
@@ -323,6 +426,7 @@ mod tests {
             steps: 1,
             per_core_cycles: vec![("a".into(), 80)],
             bus_cycles: 160,
+            signatures: vec![("a".into(), 0xdead_beef)],
         };
         let text = report.to_string();
         assert!(text.contains("ALL PASS"));

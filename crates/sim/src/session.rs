@@ -294,6 +294,26 @@ pub(crate) fn compare(golden: &[Option<BitVec>], observed: &[BitVec], ports: usi
     }
 }
 
+/// A 64-bit FNV-style fold over a lane's port-major observed streams
+/// (stream `j` = the bits core port `j` returned over the TAM, cycle
+/// order). Both execution engines compute session signatures through this
+/// one helper, so the differential suite can demand bit-identity.
+pub(crate) fn lane_signature(streams: &[BitVec]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for (port, stream) in streams.iter().enumerate() {
+        hash ^= (port as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+        hash = hash.wrapping_mul(PRIME);
+        hash ^= stream.len() as u64;
+        hash = hash.wrapping_mul(PRIME);
+        for word in stream.words() {
+            hash ^= *word;
+            hash = hash.wrapping_mul(PRIME);
+        }
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -650,6 +650,46 @@ impl SocSimulator {
         Ok(out.bus_out)
     }
 
+    /// Whether a waveform probe is attached (the compiled engine falls back
+    /// to the cycle-by-cycle path so every bus value change is emitted).
+    pub(crate) fn has_probe(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// One wrapper by CAS index (for engine eligibility checks).
+    pub(crate) fn wrapper_at(&self, idx: usize) -> &Wrapper<Box<dyn TestableCore>> {
+        &self.wrappers[idx]
+    }
+
+    /// All wrappers, mutably (the compiled engine hands disjoint lanes to
+    /// worker threads).
+    pub(crate) fn wrappers_mut_slice(&mut self) -> &mut [Wrapper<Box<dyn TestableCore>>] {
+        &mut self.wrappers
+    }
+
+    /// Advances the data-clock counters by `n` cycles without simulating
+    /// them (the compiled engine accounts for batched cycles arithmetically).
+    pub(crate) fn advance_data_cycles(&mut self, n: u64) {
+        self.cycles += n;
+        self.test_cycles += n;
+    }
+
+    /// Per-core stats, mutably (engine arithmetic accounting).
+    pub(crate) fn core_stats_mut(&mut self) -> &mut [CoreCycleStats] {
+        &mut self.core_stats
+    }
+
+    /// Per-wire busy counters, mutably (engine arithmetic accounting).
+    pub(crate) fn wire_busy_mut(&mut self) -> &mut [u64] {
+        &mut self.wire_busy
+    }
+
+    /// Overwrites one CAS's boundary retiming register (the engine computes
+    /// its end-of-step value directly from the last batched word).
+    pub(crate) fn set_pending(&mut self, idx: usize, bits: BitVec) {
+        self.pending[idx] = bits;
+    }
+
     /// Drives `cycles` idle clocks (bus zeros, wrappers holding).
     ///
     /// # Errors

@@ -1,0 +1,142 @@
+//! Differential property tests: the compiled word-level engine
+//! ([`CompiledEngine`]) must be a drop-in replacement for the bit-serial
+//! reference interpreter. For randomly generated SoCs, bus widths,
+//! schedules (serial and packed — multi-step programs reconfigure the
+//! TAM between waves, exercising dynamic reconfiguration) and thread
+//! counts, both engines must produce the same [`SocTestReport`] (verdicts,
+//! cycle breakdown *and* captured response signatures), the same simulator
+//! counters and the same exported metrics.
+
+use casbus::Tam;
+use casbus_controller::{schedule, TestProgram};
+use casbus_obs::MetricsRegistry;
+use casbus_sim::{run_program_reference_with_metrics, CompiledEngine, SocSimulator};
+use casbus_soc::{catalog, SocDescription};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a program for `soc` on an `n`-wire bus. Packed schedules group
+/// wire-disjoint tests into concurrent waves; serial schedules run one
+/// core per step. Either way every step beyond the first is a dynamic
+/// mid-run reconfiguration of the TAM.
+fn program_for(soc: &SocDescription, n: usize, packed: bool) -> TestProgram {
+    let tam = Tam::new(soc, n).expect("bus wide enough by construction");
+    let sched = if packed {
+        schedule::packed_schedule(soc, n).expect("schedule")
+    } else {
+        schedule::serial_schedule(soc, n).expect("schedule")
+    };
+    TestProgram::from_schedule(&tam, soc, &sched).expect("program")
+}
+
+/// Runs `program` through the reference interpreter and through the
+/// compiled engine at 1, 2 and 4 worker threads, each on a fresh
+/// simulator, and asserts that every observable output is bit-identical.
+fn assert_drop_in(soc: &SocDescription, n: usize, packed: bool) {
+    let program = program_for(soc, n, packed);
+    let ref_metrics = MetricsRegistry::new();
+    let mut ref_sim = SocSimulator::new(soc, n).expect("simulator");
+    let reference = run_program_reference_with_metrics(&mut ref_sim, &program, &ref_metrics)
+        .expect("reference run");
+    assert!(
+        reference.all_pass(),
+        "fault-free random SoC must pass the reference run"
+    );
+    for threads in [1usize, 2, 4] {
+        let metrics = MetricsRegistry::new();
+        let mut sim = SocSimulator::new(soc, n).expect("simulator");
+        let compiled = CompiledEngine::with_threads(threads)
+            .run_with_metrics(&mut sim, &program, &metrics)
+            .expect("compiled run");
+        // The report comparison covers verdicts, total/config/test cycle
+        // counts, per-core cycles, bus-wire busy cycles and the per-session
+        // response signatures in one shot.
+        assert_eq!(compiled, reference, "report diverged at {threads} threads");
+        assert_eq!(sim.cycles(), ref_sim.cycles(), "{threads} threads");
+        assert_eq!(sim.config_cycles(), ref_sim.config_cycles());
+        assert_eq!(sim.test_cycles(), ref_sim.test_cycles());
+        assert_eq!(sim.core_stats(), ref_sim.core_stats());
+        assert_eq!(sim.wire_busy(), ref_sim.wire_busy());
+        assert_eq!(
+            metrics.to_json(),
+            ref_metrics.to_json(),
+            "metrics diverged at {threads} threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random (N, P) sweep: random cores (scan / BIST / external / memory,
+    /// random chain lengths and pattern counts), random bus width with
+    /// slack wires beyond the minimum, serial and packed schedules.
+    #[test]
+    fn compiled_engine_is_drop_in_for_random_socs(
+        seed in any::<u64>(),
+        n_cores in 2usize..=6,
+        max_ports in 1usize..=4,
+        slack in 0usize..=3,
+        packed in any::<bool>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, n_cores, max_ports);
+        let n = soc.max_ports() + slack;
+        assert_drop_in(&soc, n, packed);
+    }
+
+    /// Packed schedules on wider-than-minimum buses maximise concurrent
+    /// lanes per wave, stressing the parallel-session join logic.
+    #[test]
+    fn compiled_engine_is_drop_in_with_many_parallel_lanes(
+        seed in any::<u64>(),
+        n_cores in 4usize..=8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.rotate_left(17) ^ 0x9e37_79b9);
+        let soc = catalog::random_soc(&mut rng, n_cores, 2);
+        let n = soc.max_ports() * 2 + 2;
+        assert_drop_in(&soc, n, true);
+    }
+}
+
+/// A mid-run reconfiguration built by hand: two single-step programs run
+/// back-to-back on the *same* simulator. The compiled engine must leave
+/// the simulator in exactly the state the reference leaves it in, so the
+/// second program's results agree too.
+#[test]
+fn back_to_back_programs_reconfigure_identically() {
+    let soc = catalog::figure1_soc();
+    let serial = program_for(&soc, 8, false);
+    let packed = program_for(&soc, 8, true);
+
+    let mut ref_sim = SocSimulator::new(&soc, 8).expect("simulator");
+    let ref_a = casbus_sim::run_program_reference(&mut ref_sim, &serial).expect("reference serial");
+    let ref_b = casbus_sim::run_program_reference(&mut ref_sim, &packed).expect("reference packed");
+
+    let mut sim = SocSimulator::new(&soc, 8).expect("simulator");
+    let engine = CompiledEngine::with_threads(2);
+    let got_a = engine.run(&mut sim, &serial).expect("compiled serial");
+    let got_b = engine.run(&mut sim, &packed).expect("compiled packed");
+
+    assert_eq!(got_a, ref_a, "first program");
+    assert_eq!(got_b, ref_b, "second program after reconfiguration");
+    assert_eq!(sim.cycles(), ref_sim.cycles());
+    assert_eq!(sim.core_stats(), ref_sim.core_stats());
+    assert_eq!(sim.wire_busy(), ref_sim.wire_busy());
+}
+
+/// The random generator occasionally produces SoCs whose minimum-width
+/// bus forces serial wire sharing in packed mode; pin one deterministic
+/// seed known to exercise the reference fallback path so coverage does
+/// not depend on proptest's sampling.
+#[test]
+fn minimum_width_bus_random_soc_agrees() {
+    for seed in [3u64, 11, 42, 1999] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, 5, 3);
+        let n = soc.max_ports().max(1);
+        assert_drop_in(&soc, n, true);
+        assert_drop_in(&soc, n, false);
+    }
+}

@@ -103,6 +103,58 @@ impl TestableCore for ExternalCore {
     fn reset(&mut self) {
         self.previous = BitVec::zeros(self.ports);
     }
+
+    /// Word-level response: the 1-clock pipeline makes the previous-input
+    /// plane just the current plane shifted up one cycle with the stored
+    /// `previous` bit filling cycle 0, so a whole 64-cycle batch is a
+    /// handful of XORs per port. Stuck outputs keep the per-cycle path.
+    fn test_clock_words(&mut self, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.ports, "stimulus width mismatch");
+        assert!(
+            cycles <= 64,
+            "test_clock_words supports at most 64 cycles, got {cycles}"
+        );
+        if cycles == 0 {
+            return vec![0u64; self.ports];
+        }
+        if self.stuck_output.is_some() {
+            let mut outs = vec![0u64; self.ports];
+            let mut wpi = BitVec::zeros(self.ports);
+            for t in 0..cycles {
+                for (j, plane) in inputs.iter().enumerate() {
+                    wpi.set(j, (plane >> t) & 1 == 1);
+                }
+                let wpo = self.test_clock(&wpi);
+                for (j, out) in outs.iter_mut().enumerate() {
+                    if wpo.get(j) == Some(true) {
+                        *out |= 1 << t;
+                    }
+                }
+            }
+            return outs;
+        }
+        let live = if cycles == 64 {
+            u64::MAX
+        } else {
+            (1u64 << cycles) - 1
+        };
+        let mut outs = Vec::with_capacity(self.ports);
+        for i in 0..self.ports {
+            let neighbour = (i + 1) % self.ports;
+            let prev_plane = (inputs[neighbour] << 1)
+                | u64::from(self.previous.get(neighbour).expect("in range"));
+            let key_plane = if self.key >> (i % 64) & 1 == 1 {
+                live
+            } else {
+                0
+            };
+            outs.push((inputs[i] ^ prev_plane ^ key_plane) & live);
+        }
+        for (j, plane) in inputs.iter().enumerate() {
+            self.previous.set(j, (plane >> (cycles - 1)) & 1 == 1);
+        }
+        outs
+    }
 }
 
 #[cfg(test)]
@@ -148,6 +200,36 @@ mod tests {
             core.test_clock(&"01".parse().unwrap()),
             fresh.test_clock(&"01".parse().unwrap())
         );
+    }
+
+    #[test]
+    fn word_level_response_matches_bit_serial() {
+        for fault in [false, true] {
+            let mut fast = ExternalCore::new("dma", 3);
+            let mut slow = fast.clone();
+            if fault {
+                fast.inject_stuck_output(2, true);
+                slow.inject_stuck_output(2, true);
+            }
+            for cycles in [1usize, 19, 64] {
+                let planes: Vec<u64> = (0..3)
+                    .map(|j| 0xfeed_face_dead_beefu64.rotate_left(j * 9 + cycles as u32))
+                    .collect();
+                let fast_out = fast.test_clock_words(&planes, cycles);
+                let mut slow_out = vec![0u64; 3];
+                for t in 0..cycles {
+                    let wpi: BitVec = planes.iter().map(|p| (p >> t) & 1 == 1).collect();
+                    let wpo = slow.test_clock(&wpi);
+                    for (j, out) in slow_out.iter_mut().enumerate() {
+                        if wpo.get(j).unwrap() {
+                            *out |= 1 << t;
+                        }
+                    }
+                }
+                assert_eq!(fast_out, slow_out, "fault {fault} cycles {cycles}");
+                assert_eq!(fast.previous, slow.previous);
+            }
+        }
     }
 
     #[test]

@@ -131,6 +131,25 @@ impl TestableCore for HierarchicalCore {
             sub.reset();
         }
     }
+
+    /// Word-level pass: there is no cross-cycle feedback between sub-cores
+    /// — each sub-core's cycle-`t` input is the cycle-`t` output of the
+    /// previous one — so the whole batch threads the sub-cores once, each
+    /// transforming its tapped planes with its own word-level path.
+    fn test_clock_words(&mut self, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.width, "internal bus width mismatch");
+        assert!(
+            cycles <= 64,
+            "test_clock_words supports at most 64 cycles, got {cycles}"
+        );
+        let mut planes = inputs.to_vec();
+        for sub in &mut self.sub_cores {
+            let ports = sub.test_ports();
+            let produced = sub.test_clock_words(&planes[..ports], cycles);
+            planes[..ports].copy_from_slice(&produced);
+        }
+        planes
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +238,29 @@ mod tests {
             all_zero &= core.test_clock(&BitVec::zeros(2)).count_ones() == 0;
         }
         assert!(all_zero);
+    }
+
+    #[test]
+    fn word_level_pass_matches_bit_serial() {
+        let mut fast = two_level();
+        let mut slow = two_level();
+        for cycles in [1usize, 11, 64] {
+            let planes: Vec<u64> = (0..2)
+                .map(|j| 0xc0ff_ee00_dead_10ccu64.rotate_left(j * 21 + cycles as u32))
+                .collect();
+            let fast_out = fast.test_clock_words(&planes, cycles);
+            let mut slow_out = vec![0u64; 2];
+            for t in 0..cycles {
+                let wpi: BitVec = planes.iter().map(|p| (p >> t) & 1 == 1).collect();
+                let wpo = slow.test_clock(&wpi);
+                for (j, out) in slow_out.iter_mut().enumerate() {
+                    if wpo.get(j).unwrap() {
+                        *out |= 1 << t;
+                    }
+                }
+            }
+            assert_eq!(fast_out, slow_out, "cycles {cycles}");
+        }
     }
 
     #[test]

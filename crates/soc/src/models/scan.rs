@@ -158,6 +158,39 @@ impl TestableCore for ScanCore {
         }
         self.apply_fault();
     }
+
+    /// Word-level shifting: each chain is already stored as a `BitVec`, so
+    /// `cycles` shifts collapse into one [`BitVec::scan_shift_word`] call
+    /// per chain. An injected stuck-at fault must re-assert after *every*
+    /// shift, so faulty cores keep the bit-exact per-cycle path.
+    fn test_clock_words(&mut self, inputs: &[u64], cycles: usize) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.chains.len(), "scan-in width mismatch");
+        assert!(
+            cycles <= 64,
+            "test_clock_words supports at most 64 cycles, got {cycles}"
+        );
+        if self.stuck_at.is_some() {
+            let mut outs = vec![0u64; inputs.len()];
+            let mut wpi = BitVec::zeros(inputs.len());
+            for t in 0..cycles {
+                for (j, plane) in inputs.iter().enumerate() {
+                    wpi.set(j, (plane >> t) & 1 == 1);
+                }
+                let wpo = self.test_clock(&wpi);
+                for (j, out) in outs.iter_mut().enumerate() {
+                    if wpo.get(j) == Some(true) {
+                        *out |= 1 << t;
+                    }
+                }
+            }
+            return outs;
+        }
+        self.chains
+            .iter_mut()
+            .zip(inputs)
+            .map(|(chain, &plane)| chain.scan_shift_word(plane, cycles))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +288,46 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_chain_rejected() {
         let _ = ScanCore::new("u", vec![3, 0]);
+    }
+
+    #[test]
+    fn word_level_shift_matches_bit_serial() {
+        // Covers chains shorter and longer than a 64-bit word, and the
+        // faulty-core fallback path.
+        for fault in [false, true] {
+            let mut fast = ScanCore::new("u", vec![5, 70, 64]);
+            let mut slow = fast.clone();
+            if fault {
+                fast.inject_stuck_at(1, 33, true);
+                slow.inject_stuck_at(1, 33, true);
+            }
+            let mut stamp = 0x9e37_79b9_7f4a_7c15u64;
+            for cycles in [1usize, 7, 64, 40] {
+                let planes: Vec<u64> = (0..3)
+                    .map(|j| {
+                        stamp = stamp
+                            .rotate_left(17 + j)
+                            .wrapping_mul(0x2545_f491_4f6c_dd1d);
+                        stamp
+                    })
+                    .collect();
+                let fast_out = fast.test_clock_words(&planes, cycles);
+                let mut slow_out = vec![0u64; 3];
+                for t in 0..cycles {
+                    let wpi: BitVec = planes.iter().map(|p| (p >> t) & 1 == 1).collect();
+                    let wpo = slow.test_clock(&wpi);
+                    for (j, out) in slow_out.iter_mut().enumerate() {
+                        if wpo.get(j).unwrap() {
+                            *out |= 1 << t;
+                        }
+                    }
+                }
+                assert_eq!(fast_out, slow_out, "fault {fault} cycles {cycles}");
+            }
+            for c in 0..3 {
+                assert_eq!(fast.chain(c), slow.chain(c), "fault {fault} chain {c}");
+            }
+        }
     }
 
     #[test]

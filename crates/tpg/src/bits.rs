@@ -188,11 +188,132 @@ impl BitVec {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
+    /// Overwrites `self` with the contents of `other`, reusing the existing
+    /// word allocation — the scratch-buffer primitive for per-cycle hot
+    /// loops where `clone()` would allocate every call.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.len = other.len;
+    }
+
     /// Appends all bits from `other`.
     pub fn extend_from(&mut self, other: &BitVec) {
         for bit in other.iter() {
             self.push(bit);
         }
+    }
+
+    /// Appends the low `count` bits of `word`, least-significant bit first,
+    /// in O(1) words instead of `count` single-bit pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    ///
+    /// ```
+    /// use casbus_tpg::BitVec;
+    /// let mut v: BitVec = "101".parse().unwrap();
+    /// v.push_word(0b0110, 4);
+    /// assert_eq!(v.to_string(), "1010110");
+    /// ```
+    pub fn push_word(&mut self, word: u64, count: usize) {
+        assert!(
+            count <= 64,
+            "push_word supports at most 64 bits, got {count}"
+        );
+        if count == 0 {
+            return;
+        }
+        let word = if count == 64 {
+            word
+        } else {
+            word & ((1u64 << count) - 1)
+        };
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(word);
+        } else {
+            *self.words.last_mut().expect("non-empty at off != 0") |= word << off;
+            let spill = 64 - off;
+            if count > spill {
+                self.words.push(word >> spill);
+            }
+        }
+        self.len += count;
+    }
+
+    /// Performs `cycles` serial scan shifts in one call.
+    ///
+    /// The vector models a scan chain whose serial input is bit index `0`
+    /// and whose serial output is bit index `len - 1`. Each cycle `t`
+    /// (for `t` in `0..cycles`) the bit at the output end leaves into bit
+    /// `t` of the returned word while bit `t` of `input` enters at index
+    /// `0`, shifting every stored bit one index up — exactly the
+    /// per-cycle rebuild loop the behavioral core models use, but word
+    /// at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles > 64`.
+    ///
+    /// ```
+    /// use casbus_tpg::BitVec;
+    /// let mut chain: BitVec = "011".parse().unwrap();
+    /// let out = chain.scan_shift_word(0b10, 2);
+    /// assert_eq!(out, 0b11); // bits at indices 2, then 1
+    /// assert_eq!(chain.to_string(), "100"); // [in_1, in_0, old_0]
+    /// ```
+    pub fn scan_shift_word(&mut self, input: u64, cycles: usize) -> u64 {
+        assert!(
+            cycles <= 64,
+            "scan_shift_word supports at most 64 cycles, got {cycles}"
+        );
+        let len = self.len;
+        if cycles == 0 {
+            return 0;
+        }
+        if len == 0 {
+            // A zero-length chain passes the input straight through.
+            return if cycles == 64 {
+                input
+            } else {
+                input & ((1u64 << cycles) - 1)
+            };
+        }
+        let mut out = 0u64;
+        for t in 0..cycles {
+            let bit = if t < len {
+                self.get(len - 1 - t).expect("in range")
+            } else {
+                (input >> (t - len)) & 1 == 1
+            };
+            if bit {
+                out |= 1 << t;
+            }
+        }
+        // After `cycles` shifts, bit i holds input bit (cycles - 1 - i) for
+        // i < min(cycles, len), and old bit (i - cycles) above that.
+        let rev_in = input.reverse_bits() >> (64 - cycles);
+        if cycles >= len {
+            // len <= cycles <= 64, so a single word holds the whole chain.
+            self.words[0] = rev_in;
+            self.mask_tail();
+        } else if cycles == 64 {
+            // Whole-word shift: len > 64 here.
+            for i in (1..self.words.len()).rev() {
+                self.words[i] = self.words[i - 1];
+            }
+            self.words[0] = rev_in;
+            self.mask_tail();
+        } else {
+            for i in (1..self.words.len()).rev() {
+                self.words[i] = (self.words[i] << cycles) | (self.words[i - 1] >> (64 - cycles));
+            }
+            self.words[0] = (self.words[0] << cycles) | rev_in;
+            self.mask_tail();
+        }
+        out
     }
 
     /// Returns a sub-range `[start, start+len)` as a new vector.
@@ -547,6 +668,16 @@ mod tests {
     }
 
     #[test]
+    fn copy_from_overwrites_in_place() {
+        let mut dst = BitVec::ones(130);
+        let src: BitVec = "1011".parse().unwrap();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.push(true);
+        assert_eq!(dst.to_string(), "10111");
+    }
+
+    #[test]
     fn extend_from_appends() {
         let mut a: BitVec = "10".parse().unwrap();
         let b: BitVec = "01".parse().unwrap();
@@ -590,5 +721,71 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert_eq!(format!("{:?}", BitVec::new()), "BitVec(\"\")");
+    }
+
+    #[test]
+    fn push_word_matches_bit_pushes() {
+        // Exercise every alignment of the write head against the word
+        // boundary, including full-word and zero-length appends.
+        for prefix in [0usize, 1, 31, 63, 64, 65] {
+            for count in [0usize, 1, 7, 33, 63, 64] {
+                let word = 0xDEAD_BEEF_CAFE_F00D_u64.rotate_left((prefix + count) as u32);
+                let mut fast = BitVec::new();
+                let mut slow = BitVec::new();
+                for i in 0..prefix {
+                    fast.push(i % 5 == 0);
+                    slow.push(i % 5 == 0);
+                }
+                fast.push_word(word, count);
+                for t in 0..count {
+                    slow.push((word >> t) & 1 == 1);
+                }
+                assert_eq!(fast, slow, "prefix {prefix} count {count}");
+                assert_eq!(fast.words().len(), (prefix + count).div_ceil(64));
+            }
+        }
+    }
+
+    /// Bit-serial reference for [`BitVec::scan_shift_word`]: the rebuild
+    /// loop the behavioral scan models use, one cycle at a time.
+    fn scan_shift_serial(chain: &mut BitVec, input: u64, cycles: usize) -> u64 {
+        let mut out = 0u64;
+        for t in 0..cycles {
+            let len = chain.len();
+            if len == 0 {
+                if (input >> t) & 1 == 1 {
+                    out |= 1 << t;
+                }
+                continue;
+            }
+            if chain.get(len - 1).expect("in range") {
+                out |= 1 << t;
+            }
+            let mut next = BitVec::with_capacity(len);
+            next.push((input >> t) & 1 == 1);
+            for i in 0..len - 1 {
+                next.push(chain.get(i).expect("in range"));
+            }
+            *chain = next;
+        }
+        out
+    }
+
+    #[test]
+    fn scan_shift_word_matches_serial_reference() {
+        for len in [0usize, 1, 3, 17, 63, 64, 65, 100, 130] {
+            for cycles in [0usize, 1, 5, len.min(64), 63, 64] {
+                let mut chain = BitVec::new();
+                for i in 0..len {
+                    chain.push((i * 7 + len) % 3 == 0);
+                }
+                let mut reference = chain.clone();
+                let input = 0x0005_EED0_FACE_u64.wrapping_mul((len + cycles + 1) as u64);
+                let fast = chain.scan_shift_word(input, cycles);
+                let slow = scan_shift_serial(&mut reference, input, cycles);
+                assert_eq!(fast, slow, "output word, len {len} cycles {cycles}");
+                assert_eq!(chain, reference, "chain state, len {len} cycles {cycles}");
+            }
+        }
     }
 }

@@ -145,9 +145,58 @@ impl Lfsr {
         out
     }
 
+    /// Advances up to 64 clocks and packs the output bits into a word,
+    /// first output in the LSB.
+    ///
+    /// Behaviourally identical to calling [`Lfsr::step`] `cycles` times
+    /// (the bit-serial path is kept as the reference and an equivalence
+    /// test pins the two together), but runs entirely on the compiled
+    /// `u64` tap mask with no per-bit allocation, so pattern generation
+    /// keeps up with the word-level session engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles > 64`.
+    pub fn step_word(&mut self, cycles: usize) -> u64 {
+        assert!(
+            cycles <= 64,
+            "step_word supports at most 64 cycles, got {cycles}"
+        );
+        let width = self.poly.degree();
+        let mut out = 0u64;
+        match self.kind {
+            LfsrKind::Fibonacci => {
+                for t in 0..cycles {
+                    out |= (self.state & 1) << t;
+                    let fb = (self.state & self.mask).count_ones() & 1;
+                    self.state >>= 1;
+                    self.state |= u64::from(fb) << (width - 1);
+                }
+            }
+            LfsrKind::Galois => {
+                for t in 0..cycles {
+                    let bit = self.state & 1;
+                    out |= bit << t;
+                    self.state >>= 1;
+                    if bit == 1 {
+                        self.state ^= self.mask;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Advances `n` clocks and collects the output bits.
     pub fn step_n(&mut self, n: usize) -> BitVec {
-        (0..n).map(|_| self.step()).collect()
+        let mut out = BitVec::with_capacity(n);
+        let mut remaining = n;
+        while remaining > 0 {
+            let chunk = remaining.min(64);
+            out.push_word(self.step_word(chunk), chunk);
+            remaining -= chunk;
+        }
+        out
     }
 
     /// Current register state, stage 0 in the LSB.
@@ -350,6 +399,38 @@ mod tests {
         let gal = Lfsr::galois(poly, 1).unwrap();
         assert_eq!(fib.period(), 127);
         assert_eq!(gal.period(), 127);
+    }
+
+    #[test]
+    fn step_word_matches_bit_serial_reference() {
+        for degree in [3u32, 8, 16, 24] {
+            let poly = Polynomial::primitive(degree).unwrap();
+            for kind in [LfsrKind::Fibonacci, LfsrKind::Galois] {
+                let mut fast = Lfsr::new(kind, poly.clone(), 0b101).unwrap();
+                let mut slow = fast.clone();
+                for cycles in [0usize, 1, 7, 13, 64] {
+                    let word = fast.step_word(cycles);
+                    let mut reference = 0u64;
+                    for t in 0..cycles {
+                        if slow.step() {
+                            reference |= 1 << t;
+                        }
+                    }
+                    assert_eq!(word, reference, "{kind} degree {degree} cycles {cycles}");
+                    assert_eq!(fast.state(), slow.state(), "state after {cycles} cycles");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn step_n_crosses_word_boundaries() {
+        let poly = Polynomial::primitive(16).unwrap();
+        let mut fast = Lfsr::fibonacci(poly.clone(), 0xace1).unwrap();
+        let mut slow = Lfsr::fibonacci(poly, 0xace1).unwrap();
+        let bits = fast.step_n(200);
+        let reference: BitVec = (0..200).map(|_| slow.step()).collect();
+        assert_eq!(bits, reference);
     }
 
     #[test]

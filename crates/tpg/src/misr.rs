@@ -153,6 +153,35 @@ impl Misr {
         }
     }
 
+    /// Absorbs up to 64 serial clocks from a packed word through stage 0,
+    /// bit 0 first. Behaviourally identical to [`Misr::absorb_stream`] on
+    /// the same bits (the bit-serial path is the reference; an equivalence
+    /// test pins the two together), but runs on `u64` ops with no per-bit
+    /// `BitVec` construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register has more than one input or `cycles > 64`.
+    pub fn absorb_stream_word(&mut self, word: u64, cycles: usize) {
+        assert_eq!(
+            self.inputs, 1,
+            "absorb_stream_word requires a single-input MISR"
+        );
+        assert!(
+            cycles <= 64,
+            "absorb_stream_word supports at most 64 cycles, got {cycles}"
+        );
+        for t in 0..cycles {
+            let out = self.state & 1 == 1;
+            self.state >>= 1;
+            if out {
+                self.state ^= self.mask;
+            }
+            self.state ^= (word >> t) & 1;
+        }
+        self.absorbed += cycles as u64;
+    }
+
     /// The current signature, stage 0 first.
     pub fn signature(&self) -> BitVec {
         BitVec::from_u64(self.state, self.poly.degree() as usize)
@@ -290,6 +319,23 @@ mod tests {
         m.reset();
         assert_eq!(m.signature().count_ones(), 0);
         assert_eq!(m.absorbed_clocks(), 0);
+    }
+
+    #[test]
+    fn absorb_stream_word_matches_bit_serial_reference() {
+        let poly = Polynomial::primitive(16).unwrap();
+        let mut fast = Misr::single_input(poly.clone()).unwrap();
+        let mut slow = Misr::single_input(poly).unwrap();
+        let mut stamp = 0x1234_5678_9abc_def0u64;
+        for cycles in [0usize, 1, 15, 64, 33] {
+            stamp = stamp.rotate_left(11) ^ 0xa5a5;
+            fast.absorb_stream_word(stamp, cycles);
+            let mut bits = BitVec::new();
+            bits.push_word(stamp, cycles);
+            slow.absorb_stream(&bits);
+            assert_eq!(fast.signature(), slow.signature(), "after {cycles} cycles");
+            assert_eq!(fast.absorbed_clocks(), slow.absorbed_clocks());
+        }
     }
 
     #[test]
