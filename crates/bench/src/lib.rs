@@ -140,6 +140,67 @@ pub fn ratio(ours: f64, paper: f64) -> String {
     }
 }
 
+/// One scheduling experiment instance: a deterministic pseudo-random SoC
+/// tested over the bus width of one Table-1 row.
+#[derive(Debug, Clone)]
+pub struct ScheduleCase {
+    /// Test bus width (the row's `N`).
+    pub n: usize,
+    /// Maximum switched wires per core (the row's `P`).
+    pub p: usize,
+    /// The generated SoC.
+    pub soc: casbus_soc::SocDescription,
+}
+
+/// Deterministic per-row SoC instances for the scheduling experiments: one
+/// pseudo-random SoC per Table-1 `(N, P)` row, every core needing at most
+/// `P` wires on an `N`-wire bus. Core counts vary per row, and several rows
+/// exceed the exact wave-DP's core limit on purpose, so the benches cover
+/// both the regime where `wave_optimal_schedule` is available and the one
+/// where only the greedy heuristics and the search can run.
+///
+/// Unlike [`casbus_soc::catalog::random_soc`] (whose core durations span
+/// orders of magnitude, so the longest single test is the makespan and no
+/// scheduler can matter), these SoCs are *packing-heavy*: external-test
+/// cores with comparable pattern counts and mixed port widths, many layers
+/// of rectangles deep on the bus — the regime where scheduling policy is
+/// actually worth cycles.
+pub fn table1_schedule_cases() -> Vec<ScheduleCase> {
+    use casbus_soc::{CoreDescription, SocBuilder, TestMethod};
+    use rand::{RngExt, SeedableRng};
+    // Per-row core counts: mixed small (exact DP available) and large
+    // (past `WAVE_OPTIMAL_CORE_LIMIT = 14`) instances.
+    const CORES: [usize; 12] = [8, 10, 12, 9, 16, 12, 10, 18, 14, 12, 9, 20];
+    PAPER_TABLE1
+        .iter()
+        .zip(CORES)
+        .enumerate()
+        .map(|(row, (paper, cores))| {
+            let seed = 0xCA5B_0000_u64 + row as u64;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut builder = SocBuilder::new("table1_schedule");
+            for i in 0..cores {
+                // `External { ports, patterns }` tests for exactly
+                // `patterns + 1` cycles on exactly `ports` wires: precise
+                // rectangles, durations within one order of magnitude.
+                let method = TestMethod::External {
+                    ports: rng.random_range(1..=paper.p),
+                    patterns: rng.random_range(120..=1200),
+                };
+                builder = builder.core(
+                    CoreDescription::new(format!("ext{i}"), method)
+                        .with_gate_count(rng.random_range(5_000..60_000)),
+                );
+            }
+            ScheduleCase {
+                n: paper.n,
+                p: paper.p,
+                soc: builder.build().expect("generated SoCs are valid"),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,6 +14,9 @@
 //! * [`schedule`] — wire-allocation scheduling: pack core tests onto the
 //!   `N`-wire bus over time (greedy strip packing) or serially, giving the
 //!   test-time-vs-`N` trade-off of §3.2/§4,
+//! * [`search`] — simulation-in-the-loop makespan search: an annealed local
+//!   search seeded from the heuristics, with execution-backed validation of
+//!   the survivor pool,
 //! * [`balance`] — the §4 scan-chain balancing optimization,
 //! * [`program`] — executable test programs: a sequence of TAM
 //!   configurations plus matching wrapper instructions,
@@ -43,11 +46,15 @@ pub mod controller;
 pub mod maintenance;
 pub mod program;
 pub mod schedule;
+pub mod search;
 pub mod time_model;
 
 pub use balance::{balance_chains, repartition_flops};
 pub use controller::{ControllerPhase, TestController};
 pub use maintenance::MaintenancePlan;
 pub use program::{TestProgram, TestStep};
-pub use schedule::{Schedule, ScheduleError, ScheduledTest};
+pub use schedule::{partition_lpt, Schedule, ScheduleError, ScheduledTest};
+pub use search::{
+    search_schedule, search_schedule_with, CandidateValidator, NoValidation, SearchBudget,
+};
 pub use time_model::test_time;

@@ -42,6 +42,13 @@ pub enum ScheduleError {
         /// The budget.
         budget: u32,
     },
+    /// Two explicit placements overlap in both wires and time.
+    Conflict {
+        /// One core.
+        a: String,
+        /// The other core.
+        b: String,
+    },
 }
 
 impl fmt::Display for ScheduleError {
@@ -65,6 +72,12 @@ impl fmt::Display for ScheduleError {
                 f,
                 "core {core:?} alone dissipates {power} against a budget of {budget}"
             ),
+            Self::Conflict { a, b } => {
+                write!(
+                    f,
+                    "placements for {a:?} and {b:?} overlap in wires and time"
+                )
+            }
         }
     }
 }
@@ -111,6 +124,50 @@ pub struct Schedule {
 }
 
 impl Schedule {
+    /// Builds a schedule from explicit placements, validating the packing
+    /// invariants: every wire window lies inside the bus and no two tests
+    /// conflict. Tests are canonically reordered by `(start, wire_start)`,
+    /// matching what the heuristic constructors produce. This is the
+    /// constructor the [`search`](crate::search) optimizer funnels its
+    /// winning candidate through, so an evaluator bug can never leak an
+    /// invalid schedule out of the crate.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::ZeroWidth`] on an empty bus,
+    /// [`ScheduleError::CoreTooWide`] when a wire window runs off the bus,
+    /// [`ScheduleError::Conflict`] when two placements overlap in both
+    /// wires and time.
+    pub fn from_tests(
+        bus_width: usize,
+        mut tests: Vec<ScheduledTest>,
+    ) -> Result<Self, ScheduleError> {
+        if bus_width == 0 {
+            return Err(ScheduleError::ZeroWidth);
+        }
+        for t in &tests {
+            if t.wire_start + t.wires > bus_width {
+                return Err(ScheduleError::CoreTooWide {
+                    core: t.core_name.clone(),
+                    needed: t.wire_start + t.wires,
+                    n: bus_width,
+                });
+            }
+        }
+        tests.sort_by_key(|t| (t.start, t.wire_start, t.core));
+        for (i, a) in tests.iter().enumerate() {
+            for b in &tests[i + 1..] {
+                if a.conflicts_with(b) {
+                    return Err(ScheduleError::Conflict {
+                        a: a.core_name.clone(),
+                        b: b.core_name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(Self { bus_width, tests })
+    }
+
     /// The bus width the schedule targets.
     pub fn bus_width(&self) -> usize {
         self.bus_width
@@ -195,19 +252,11 @@ impl Schedule {
     ///
     /// Panics if `workers` is zero.
     pub fn partition_wave(wave: &[&ScheduledTest], workers: usize) -> Vec<Vec<CoreId>> {
-        assert!(workers > 0, "at least one worker");
-        let mut order: Vec<&&ScheduledTest> = wave.iter().collect();
-        order.sort_by_key(|t| (std::cmp::Reverse(t.duration), t.core));
-        let mut buckets: Vec<(u64, Vec<CoreId>)> = vec![(0, Vec::new()); workers.min(wave.len())];
-        for test in order {
-            let lightest = buckets
-                .iter_mut()
-                .min_by_key(|(load, _)| *load)
-                .expect("workers > 0");
-            lightest.0 += test.duration;
-            lightest.1.push(test.core);
-        }
-        buckets.into_iter().map(|(_, cores)| cores).collect()
+        let mut items: Vec<(u64, CoreId)> = wave.iter().map(|t| (t.duration, t.core)).collect();
+        // `partition_lpt`'s sort is stable, so pre-ordering by core id makes
+        // equal-duration ties deterministic.
+        items.sort_by_key(|&(_, core)| core);
+        partition_lpt(items, workers)
     }
 
     /// Publishes the schedule's static properties into a metrics registry:
@@ -260,6 +309,38 @@ impl fmt::Display for Schedule {
         }
         Ok(())
     }
+}
+
+/// Longest-processing-time-first partition: splits weighted `items` across
+/// at most `workers` buckets, heaviest first, each item going to the
+/// currently lightest bucket. Never returns an empty bucket (at most
+/// `items.len()` buckets are created).
+///
+/// This is the one load-balancing primitive shared by
+/// [`Schedule::partition_wave`] (planning worker lanes ahead of time) and
+/// `casbus_sim::CompiledEngine`'s per-step lane bucketing (doing it live):
+/// both slice a wire-disjoint wave across workers, so they must agree on
+/// the policy. The weight sort is stable — callers control equal-weight
+/// ties by pre-ordering `items`.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn partition_lpt<T>(items: Vec<(u64, T)>, workers: usize) -> Vec<Vec<T>> {
+    assert!(workers > 0, "at least one worker");
+    let mut order = items;
+    order.sort_by_key(|&(weight, _)| std::cmp::Reverse(weight));
+    let mut buckets: Vec<(u64, Vec<T>)> = Vec::new();
+    buckets.resize_with(workers.min(order.len()), || (0, Vec::new()));
+    for (weight, item) in order {
+        let lightest = buckets
+            .iter_mut()
+            .min_by_key(|(load, _)| *load)
+            .expect("workers > 0 and items non-empty");
+        lightest.0 += weight;
+        lightest.1.push(item);
+    }
+    buckets.into_iter().map(|(_, bucket)| bucket).collect()
 }
 
 fn check_fit(soc: &SocDescription, n: usize) -> Result<(), ScheduleError> {
@@ -924,6 +1005,60 @@ mod tests {
         // LPT with one worker per test gives singleton buckets.
         let buckets = Schedule::partition_wave(widest, widest.len());
         assert!(buckets.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn from_tests_validates_and_canonicalises() {
+        let soc = catalog::figure1_soc();
+        let packed = packed_schedule(&soc, 6).unwrap();
+        // Shuffled placements round-trip into the identical schedule.
+        let mut shuffled = packed.tests().to_vec();
+        shuffled.reverse();
+        let rebuilt = Schedule::from_tests(6, shuffled).unwrap();
+        assert_eq!(rebuilt, packed);
+        // A window running off the bus is rejected.
+        let mut off_bus = packed.tests().to_vec();
+        off_bus[0].wire_start = 6;
+        assert!(matches!(
+            Schedule::from_tests(6, off_bus),
+            Err(ScheduleError::CoreTooWide { n: 6, .. })
+        ));
+        // Two overlapping placements are rejected.
+        let a = ScheduledTest {
+            core: CoreId(0),
+            core_name: "a".into(),
+            wire_start: 0,
+            wires: 2,
+            start: 0,
+            duration: 10,
+        };
+        let mut b = a.clone();
+        b.core = CoreId(1);
+        b.core_name = "b".into();
+        b.wire_start = 1;
+        assert!(matches!(
+            Schedule::from_tests(4, vec![a.clone(), b]),
+            Err(ScheduleError::Conflict { .. })
+        ));
+        assert_eq!(
+            Schedule::from_tests(0, vec![a]),
+            Err(ScheduleError::ZeroWidth)
+        );
+    }
+
+    #[test]
+    fn partition_lpt_balances_generic_items() {
+        // Four weights onto two workers: LPT pairs 9+1 and 7+3.
+        let items = vec![(9u64, "a"), (7, "b"), (3, "c"), (1, "d")];
+        let buckets = partition_lpt(items, 2);
+        assert_eq!(buckets, vec![vec!["a", "d"], vec!["b", "c"]]);
+        // More workers than items: singleton buckets, none empty.
+        let buckets = partition_lpt(vec![(5u64, 0usize), (2, 1)], 8);
+        assert_eq!(buckets, vec![vec![0], vec![1]]);
+        // Equal weights keep the caller's order (stable sort).
+        let buckets = partition_lpt(vec![(4u64, "x"), (4, "y"), (4, "z")], 1);
+        assert_eq!(buckets, vec![vec!["x", "y", "z"]]);
+        assert!(partition_lpt(Vec::<(u64, ())>::new(), 3).is_empty());
     }
 
     #[test]

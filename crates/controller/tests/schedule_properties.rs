@@ -1,0 +1,134 @@
+//! Property-based tests of the scheduling layer: the power-aware packer
+//! never violates its budget, and the annealed search never loses to the
+//! heuristics it is seeded from — across randomly generated SoCs, bus
+//! widths, and budgets.
+
+use casbus_controller::schedule::{
+    packed_schedule, power_aware_schedule, serial_schedule, ScheduleError,
+};
+use casbus_controller::search::{search_schedule, SearchBudget};
+use casbus_controller::Schedule;
+use casbus_soc::{catalog, SocDescription};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Peak instantaneous test power of a schedule. The concurrent-power sum is
+/// piecewise constant and only rises when a session starts, so probing at
+/// every session start finds the true maximum.
+fn peak_power(soc: &SocDescription, sched: &Schedule) -> u32 {
+    sched
+        .tests()
+        .iter()
+        .map(|probe| {
+            sched
+                .tests()
+                .iter()
+                .filter(|t| t.start <= probe.start && probe.start < t.end())
+                .map(|t| soc.cores()[t.core.0].test_power())
+                .sum()
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// A bus just wide enough for the SoC's widest core, plus some slack.
+fn fitting_width(soc: &SocDescription, slack: usize) -> usize {
+    soc.cores()
+        .iter()
+        .map(|c| c.required_ports())
+        .max()
+        .expect("random_soc always has cores")
+        + slack
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The power-aware packer schedules every core exactly once, stays
+    /// conflict-free, and the summed power of simultaneously-running tests
+    /// never exceeds the budget at any instant.
+    #[test]
+    fn power_aware_schedule_respects_budget_and_stays_conflict_free(
+        seed in any::<u64>(),
+        cores in 1usize..10,
+        max_ports in 1usize..5,
+        width_slack in 0usize..5,
+        budget_slack in 0u32..20_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, cores, max_ports);
+        let n = fitting_width(&soc, width_slack);
+        let max_core_power = soc
+            .cores()
+            .iter()
+            .map(|c| c.test_power())
+            .max()
+            .expect("cores exist");
+        let budget = max_core_power.saturating_add(budget_slack);
+
+        let sched = power_aware_schedule(&soc, n, budget).expect("budget fits every core");
+        prop_assert!(sched.is_conflict_free());
+        prop_assert_eq!(sched.tests().len(), soc.cores().len(), "every core scheduled once");
+        let peak = peak_power(&soc, &sched);
+        prop_assert!(
+            peak <= budget,
+            "instantaneous power {} exceeds budget {}",
+            peak,
+            budget
+        );
+
+        // Tightening the constraint can only lengthen the schedule.
+        let unconstrained = power_aware_schedule(&soc, n, u32::MAX).expect("no budget");
+        prop_assert!(unconstrained.makespan() <= sched.makespan());
+    }
+
+    /// A budget below the hungriest single core is rejected up front with
+    /// the dedicated error, never a bogus schedule.
+    #[test]
+    fn power_budget_below_any_single_core_is_rejected(
+        seed in any::<u64>(),
+        cores in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, cores, 3);
+        let n = fitting_width(&soc, 2);
+        let max_core_power = soc
+            .cores()
+            .iter()
+            .map(|c| c.test_power())
+            .max()
+            .expect("cores exist");
+        prop_assume!(max_core_power > 0);
+        prop_assert!(matches!(
+            power_aware_schedule(&soc, n, max_core_power - 1),
+            Err(ScheduleError::PowerBudgetTooSmall { .. })
+        ));
+    }
+
+    /// The searched schedule is always complete, conflict-free, and at
+    /// least as short as the best seeding heuristic, on arbitrary SoCs.
+    #[test]
+    fn search_never_loses_to_its_seeds_on_random_socs(
+        seed in any::<u64>(),
+        cores in 2usize..9,
+        width_slack in 0usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, cores, 3);
+        let n = fitting_width(&soc, width_slack);
+        let budget = SearchBudget {
+            rounds: 2,
+            moves_per_round: 80,
+            ..SearchBudget::smoke()
+        };
+        let searched = search_schedule(&soc, n, budget).expect("bus fits every core");
+        prop_assert!(searched.is_conflict_free());
+        prop_assert_eq!(searched.tests().len(), soc.cores().len());
+        let best_heuristic = packed_schedule(&soc, n)
+            .expect("fits")
+            .makespan()
+            .min(serial_schedule(&soc, n).expect("fits").makespan());
+        prop_assert!(searched.makespan() <= best_heuristic);
+    }
+}

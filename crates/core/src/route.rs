@@ -8,6 +8,17 @@
 //! chain once per wave and records those sources, so per-cycle transport
 //! becomes table lookups instead of per-CAS `match` interpretation — the
 //! word-level session engine in `casbus-sim` is built on top of this.
+//!
+//! Schedule-search workloads evaluate hundreds of candidate schedules whose
+//! waves repeat the same few wire-assignment shapes, so compiling the same
+//! table over and over is pure waste. [`WaveKey`] captures exactly the
+//! routing-relevant part of a configured chain (bus width + per-CAS active
+//! scheme wires) and [`RouteTableCache`] memoizes compilation behind it,
+//! thread-safe and with hit/miss accounting for the search metrics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use casbus_tpg::BitVec;
 
@@ -58,7 +69,7 @@ pub enum WireSource {
 /// assert!(routes.is_independent(0));
 /// # Ok::<(), casbus::CasError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RouteTable {
     n: usize,
     /// Driver of each bus wire at the chain output.
@@ -237,6 +248,139 @@ impl RouteTable {
     }
 }
 
+/// The routing-relevant shape of one configuration wave: bus width plus,
+/// per CAS, the active TEST scheme's wire assignment (`None` outside TEST).
+///
+/// Two chains with equal [`WaveKey`]s compile to identical [`RouteTable`]s
+/// — the table is a pure function of exactly these inputs — so the key is
+/// what a compilation cache must hash.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WaveKey {
+    n: usize,
+    /// Per CAS: `Some(scheme wires for ports 0..P)` when in TEST mode.
+    schemes: Vec<Option<Vec<usize>>>,
+}
+
+impl WaveKey {
+    /// Extracts the wave key of the chain's current configuration.
+    pub fn for_chain(chain: &CasChain) -> Self {
+        let schemes = chain
+            .cases()
+            .iter()
+            .map(|cas| match cas.mode() {
+                CasMode::Test => cas.active_scheme().map(|scheme| scheme.wires().to_vec()),
+                _ => None,
+            })
+            .collect();
+        Self {
+            n: chain.bus_width(),
+            schemes,
+        }
+    }
+
+    /// The bus width component of the key.
+    pub fn bus_width(&self) -> usize {
+        self.n
+    }
+
+    /// Number of CAS positions covered.
+    pub fn cas_count(&self) -> usize {
+        self.schemes.len()
+    }
+}
+
+/// A memoizing, thread-safe [`RouteTable`] compilation cache keyed by
+/// [`WaveKey`].
+///
+/// Candidate schedules in a makespan search share wave shapes heavily (a
+/// local move touches one or two sessions and leaves every other wave
+/// intact), so `get_or_compile` turns the per-wave compile into a hash
+/// lookup after the first encounter. Tables are handed out as
+/// [`Arc`]s, so concurrent validation workers share one compiled copy.
+///
+/// # Examples
+///
+/// ```
+/// use casbus::{Cas, CasChain, CasGeometry, RouteTableCache};
+///
+/// let chain = CasChain::new(vec![
+///     Cas::for_geometry(CasGeometry::new(4, 1)?)?,
+/// ])?;
+/// let cache = RouteTableCache::default();
+/// let first = cache.get_or_compile(&chain);
+/// let again = cache.get_or_compile(&chain);
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// assert_eq!((cache.hits(), cache.misses()), (1, 1));
+/// # Ok::<(), casbus::CasError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct RouteTableCache {
+    tables: Mutex<HashMap<WaveKey, Arc<RouteTable>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl RouteTableCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The compiled table for the chain's current configuration, compiling
+    /// and inserting it on first encounter of this wave shape.
+    pub fn get_or_compile(&self, chain: &CasChain) -> Arc<RouteTable> {
+        let key = WaveKey::for_chain(chain);
+        let mut tables = self.tables.lock().expect("route cache poisoned");
+        if let Some(table) = tables.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(table);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let table = Arc::new(RouteTable::compile(chain));
+        tables.insert(key, Arc::clone(&table));
+        table
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct wave shapes currently cached.
+    pub fn len(&self) -> usize {
+        self.tables.lock().expect("route cache poisoned").len()
+    }
+
+    /// Whether the cache holds no tables yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fraction of lookups served from the cache, in `[0, 1]` (0.0 before
+    /// the first lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Drops every cached table and resets the hit/miss counters.
+    pub fn clear(&self) {
+        self.tables.lock().expect("route cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +510,55 @@ mod tests {
             routes.apply(&BitVec::zeros(4), &[]),
             Err(CasError::ConfigurationLengthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn cache_shares_tables_across_identical_wave_shapes() {
+        let cache = RouteTableCache::new();
+        let mut ch = chain(&[(4, 2), (4, 1)]);
+        let i0 = ch.cases()[0].schemes().index_of(&[0, 1]).unwrap();
+        let i1 = ch.cases()[1].schemes().index_of(&[3]).unwrap();
+        ch.configure(&[CasInstruction::Test(i0), CasInstruction::Test(i1)])
+            .unwrap();
+        let a = cache.get_or_compile(&ch);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 1, 1));
+
+        // A different wave shape compiles its own table…
+        ch.configure(&[CasInstruction::Bypass, CasInstruction::Test(i1)])
+            .unwrap();
+        let b = cache.get_or_compile(&ch);
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 2, 2));
+        assert_ne!(*a, *b);
+
+        // …and reconfiguring back to the first shape is a pure hit.
+        ch.configure(&[CasInstruction::Test(i0), CasInstruction::Test(i1)])
+            .unwrap();
+        let c = cache.get_or_compile(&ch);
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 2, 2));
+        assert!((cache.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(*c, RouteTable::compile(&ch), "cached table is the table");
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn wave_key_captures_exactly_the_routing_inputs() {
+        let mut ch = chain(&[(3, 1), (3, 1)]);
+        let bypass = WaveKey::for_chain(&ch);
+        assert_eq!(bypass.bus_width(), 3);
+        assert_eq!(bypass.cas_count(), 2);
+        ch.configure(&[CasInstruction::Test(0), CasInstruction::Bypass])
+            .unwrap();
+        let test = WaveKey::for_chain(&ch);
+        assert_ne!(bypass, test, "mode change changes the key");
+        // Same configuration loaded again: identical key.
+        ch.configure(&[CasInstruction::Test(0), CasInstruction::Bypass])
+            .unwrap();
+        assert_eq!(test, WaveKey::for_chain(&ch));
     }
 
     #[test]

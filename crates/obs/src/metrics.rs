@@ -53,6 +53,7 @@ impl Histogram {
 struct Inner {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, Vec<u64>>,
 }
 
 /// The registry. Shared as `Arc<MetricsRegistry>`; all methods take `&self`.
@@ -100,6 +101,32 @@ impl MetricsRegistry {
         }
     }
 
+    /// Appends one point to series `name` (created empty on first use).
+    ///
+    /// A series is an append-only ordered list of values — the right shape
+    /// for trajectories such as "best makespan after each accepted search
+    /// move", where a counter would lose the history and a histogram the
+    /// order.
+    pub fn append(&self, name: &str, value: u64) {
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        match inner.series.get_mut(name) {
+            Some(points) => points.push(value),
+            None => {
+                inner.series.insert(name.to_owned(), vec![value]);
+            }
+        }
+    }
+
+    /// Snapshot of series `name`, in append order.
+    pub fn series(&self, name: &str) -> Option<Vec<u64>> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .series
+            .get(name)
+            .cloned()
+    }
+
     /// Current value of counter `name` (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.inner
@@ -144,14 +171,16 @@ impl MetricsRegistry {
             .sum()
     }
 
-    /// Drops every counter and histogram.
+    /// Drops every counter, histogram and series.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("metrics poisoned");
         inner.counters.clear();
         inner.histograms.clear();
+        inner.series.clear();
     }
 
-    /// JSON export: `{"counters":{…},"histograms":{name:{count,sum,min,max,mean}}}`.
+    /// JSON export:
+    /// `{"counters":{…},"histograms":{name:{count,sum,min,max,mean}},"series":{name:[…]}}`.
     pub fn to_json(&self) -> String {
         let inner = self.inner.lock().expect("metrics poisoned");
         let mut out = String::from("{\"counters\":{");
@@ -171,6 +200,19 @@ impl MetricsRegistry {
             json::write_f64(&mut out, h.mean());
             out.push('}');
         }
+        out.push_str("},\"series\":{");
+        let mut first = true;
+        for (name, points) in &inner.series {
+            first = json::write_key(&mut out, name, first);
+            out.push('[');
+            for (i, point) in points.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&point.to_string());
+            }
+            out.push(']');
+        }
         out.push_str("}}");
         out
     }
@@ -181,9 +223,10 @@ impl fmt::Display for MetricsRegistry {
         let inner = self.inner.lock().expect("metrics poisoned");
         writeln!(
             f,
-            "metrics: {} counters, {} histograms",
+            "metrics: {} counters, {} histograms, {} series",
             inner.counters.len(),
-            inner.histograms.len()
+            inner.histograms.len(),
+            inner.series.len()
         )?;
         for (name, value) in &inner.counters {
             writeln!(f, "  {name:<44} {value}")?;
@@ -197,6 +240,10 @@ impl fmt::Display for MetricsRegistry {
                 h.min,
                 h.max
             )?;
+        }
+        for (name, points) in &inner.series {
+            let last = points.last().copied().unwrap_or(0);
+            writeln!(f, "  {name:<44} {} points, last {last}", points.len())?;
         }
         Ok(())
     }
@@ -245,13 +292,28 @@ mod tests {
     }
 
     #[test]
+    fn series_preserve_append_order() {
+        let m = MetricsRegistry::new();
+        for v in [9u64, 7, 7, 3] {
+            m.append("search.best", v);
+        }
+        assert_eq!(m.series("search.best").unwrap(), vec![9, 7, 7, 3]);
+        assert!(m.series("missing").is_none());
+        let json = m.to_json();
+        assert!(json.contains("\"series\":{\"search.best\":[9,7,7,3]}"));
+        assert!(m.to_string().contains("4 points, last 3"));
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let m = MetricsRegistry::new();
         m.inc("c", 1);
         m.observe("h", 1);
+        m.append("s", 1);
         m.clear();
         assert_eq!(m.counters().len(), 0);
         assert!(m.histogram("h").is_none());
+        assert!(m.series("s").is_none());
     }
 
     #[test]

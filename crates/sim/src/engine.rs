@@ -20,8 +20,10 @@
 //! * a lane's wrapper is not in an INTEST mode, or its port/wire widths
 //!   disagree (the interpreter's resize semantics would apply).
 
-use casbus::RouteTable;
-use casbus_controller::TestProgram;
+use std::sync::Arc;
+
+use casbus::{CasChain, RouteTable, RouteTableCache};
+use casbus_controller::{partition_lpt, TestProgram};
 use casbus_obs::MetricsRegistry;
 use casbus_p1500::{TestableCore, Wrapper, WrapperControl, WrapperInstruction};
 use casbus_soc::models;
@@ -55,10 +57,24 @@ type LaneWork<'a> = (usize, &'a mut Wrapper<Box<dyn TestableCore>>);
 /// let report = CompiledEngine::with_threads(2).run(&mut sim, &program).unwrap();
 /// assert!(report.all_pass());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CompiledEngine {
     threads: usize,
+    cache: Option<Arc<RouteTableCache>>,
 }
+
+impl PartialEq for CompiledEngine {
+    fn eq(&self, other: &Self) -> bool {
+        let same_cache = match (&self.cache, &other.cache) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.threads == other.threads && same_cache
+    }
+}
+
+impl Eq for CompiledEngine {}
 
 impl Default for CompiledEngine {
     fn default() -> Self {
@@ -70,14 +86,44 @@ impl CompiledEngine {
     /// Single-threaded compiled engine (the default used by
     /// [`run_program`](crate::run_program)).
     pub fn new() -> Self {
-        Self { threads: 1 }
+        Self {
+            threads: 1,
+            cache: None,
+        }
     }
 
     /// Compiled engine running each step's independent lanes on up to
     /// `threads` worker threads, joined at wave boundaries. `0` means one
     /// worker per available hardware thread.
     pub fn with_threads(threads: usize) -> Self {
-        Self { threads }
+        Self {
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Attaches a shared [`RouteTableCache`]: per-step route compilation
+    /// becomes a hash lookup whenever the wave shape repeats, and every
+    /// engine (or validation worker) holding a clone of the same `Arc`
+    /// shares one compiled copy per shape. Routing results are unchanged —
+    /// the cache is keyed on exactly the compilation inputs.
+    pub fn with_cache(mut self, cache: Arc<RouteTableCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached route-table cache, if any.
+    pub fn route_cache(&self) -> Option<&Arc<RouteTableCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The step's compiled routes: through the attached cache when present,
+    /// a fresh compile otherwise.
+    fn routes_for(&self, chain: &CasChain) -> Arc<RouteTable> {
+        match &self.cache {
+            Some(cache) => cache.get_or_compile(chain),
+            None => Arc::new(RouteTable::compile(chain)),
+        }
     }
 
     /// Worker threads this engine will use (after resolving `0`).
@@ -122,14 +168,49 @@ impl CompiledEngine {
         for (step_index, step) in program.steps().iter().enumerate() {
             let step_start = sim.cycles();
             sim.configure(&step.configuration, &step.wrapper_instructions)?;
+            let routes = self.routes_for(sim.tam().chain());
             let lanes = collect_lanes(sim, &step.configuration)?;
-            if exact_only || !step_is_compilable(sim, &lanes) {
+            if exact_only || !step_is_compilable(sim, &lanes, &routes) {
                 results.extend(drive_lanes_reference(sim, &lanes, step_index, step_start)?);
             } else {
                 results.extend(self.drive_lanes_compiled(sim, &lanes)?);
             }
         }
         finish_report(sim, metrics, &baseline, results, program.steps().len())
+    }
+
+    /// Predicts the exact total tester cycles of `program` without driving
+    /// a single data clock. Each step's configuration wave is loaded for
+    /// real (measuring the CONFIGURATION-phase cost and warming the
+    /// attached route cache on the step's wave shape), then the data phase
+    /// is scored analytically as the step horizon — both execution paths
+    /// drive exactly `max(plan.len())` data clocks per step, so the sum
+    /// equals the executed [`SocTestReport::total_cycles`] (pinned by
+    /// tests). This is the cheap scoring entry point schedule search uses
+    /// before committing to full candidate execution.
+    ///
+    /// Leaves the simulator configured at the final step; hand it a fresh
+    /// instance afterwards, as with any run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and width errors.
+    pub fn dry_run_cycles(
+        &self,
+        sim: &mut SocSimulator,
+        program: &TestProgram,
+    ) -> Result<u64, SimError> {
+        let start = sim.cycles();
+        let mut data_cycles = 0u64;
+        for step in program.steps() {
+            sim.configure(&step.configuration, &step.wrapper_instructions)?;
+            if let Some(cache) = &self.cache {
+                cache.get_or_compile(sim.tam().chain());
+            }
+            let lanes = collect_lanes(sim, &step.configuration)?;
+            data_cycles += lanes.iter().map(|l| l.plan.len() as u64).max().unwrap_or(0);
+        }
+        Ok(sim.cycles() - start + data_cycles)
     }
 
     /// Runs one compilable step's lanes word-at-a-time, then accounts for
@@ -160,11 +241,15 @@ impl CompiledEngine {
                     outcomes[pos] = Some(run_lane(wrapper, &lanes[pos], horizon));
                 }
             } else {
-                let mut buckets: Vec<Vec<LaneWork<'_>>> =
-                    (0..workers).map(|_| Vec::new()).collect();
-                for (i, item) in work.into_iter().enumerate() {
-                    buckets[i % workers].push(item);
-                }
+                // LPT balance by plan length — the same helper the
+                // controller's wave partitioner uses, so schedule-time
+                // predictions and run-time bucketing agree. `work` is in
+                // CAS order, keeping ties deterministic.
+                let weighted: Vec<(u64, LaneWork<'_>)> = work
+                    .into_iter()
+                    .map(|(pos, wrapper)| (lanes[pos].plan.len() as u64, (pos, wrapper)))
+                    .collect();
+                let buckets = partition_lpt(weighted, workers);
                 let computed = std::thread::scope(|scope| {
                     let handles: Vec<_> = buckets
                         .into_iter()
@@ -231,9 +316,9 @@ impl CompiledEngine {
 }
 
 /// Whether the configured step can run on the word-level fast path while
-/// staying bit-identical to the interpreter.
-fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane]) -> bool {
-    let routes = RouteTable::compile(sim.tam().chain());
+/// staying bit-identical to the interpreter. `routes` must be compiled from
+/// the chain's current (post-`configure`) state.
+fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &RouteTable) -> bool {
     let mut is_lane = vec![false; sim.tam().cas_count()];
     for lane in lanes {
         is_lane[lane.cas_index] = true;
@@ -529,5 +614,53 @@ mod tests {
         let ref_second = crate::report::run_program_reference(&mut ref_sim, &program).unwrap();
         assert_eq!(first, ref_first);
         assert_eq!(second, ref_second);
+    }
+
+    #[test]
+    fn cached_engine_is_bit_identical_and_reuses_tables() {
+        use casbus::RouteTableCache;
+        use std::sync::Arc;
+
+        let soc = catalog::figure1_soc();
+        let program = program_for(&soc, 8, true);
+        let mut plain_sim = SocSimulator::new(&soc, 8).unwrap();
+        let plain = CompiledEngine::new().run(&mut plain_sim, &program).unwrap();
+
+        let cache = Arc::new(RouteTableCache::new());
+        let engine = CompiledEngine::new().with_cache(Arc::clone(&cache));
+        assert_eq!(engine, engine.clone(), "clones share the cache Arc");
+        assert_ne!(engine, CompiledEngine::new(), "cached != uncached");
+
+        let mut sim = SocSimulator::new(&soc, 8).unwrap();
+        let first = engine.run(&mut sim, &program).unwrap();
+        assert_eq!(first, plain, "cache never changes routing results");
+        let misses_after_first = cache.misses();
+        assert!(misses_after_first > 0, "first run compiles every shape");
+
+        // Re-running the same program repeats every wave shape: pure hits.
+        let mut sim2 = SocSimulator::new(&soc, 8).unwrap();
+        let second = engine.run(&mut sim2, &program).unwrap();
+        assert_eq!(second, plain);
+        assert_eq!(cache.misses(), misses_after_first, "no new compiles");
+        assert!(cache.hits() >= program.steps().len() as u64);
+    }
+
+    #[test]
+    fn dry_run_predicts_executed_cycles_exactly() {
+        for (soc, n, packed) in [
+            (catalog::figure1_soc(), 8, true),
+            (catalog::figure1_soc(), 8, false),
+            (catalog::figure2a_scan_soc(), 4, false),
+            (catalog::figure2b_bist_soc(), 3, true),
+        ] {
+            let program = program_for(&soc, n, packed);
+            let mut dry_sim = SocSimulator::new(&soc, n).unwrap();
+            let predicted = CompiledEngine::new()
+                .dry_run_cycles(&mut dry_sim, &program)
+                .unwrap();
+            let mut sim = SocSimulator::new(&soc, n).unwrap();
+            let report = CompiledEngine::new().run(&mut sim, &program).unwrap();
+            assert_eq!(predicted, report.total_cycles, "{}", soc.name());
+        }
     }
 }

@@ -26,6 +26,10 @@
 //! * [`report::run_program`] — execute a whole scheduled
 //!   [`TestProgram`](casbus_controller::TestProgram) (concurrent cores and
 //!   all) and get per-core verdicts plus the measured SoC test time,
+//! * [`search::run_program_searched`] — let the controller's annealed
+//!   makespan search pick the schedule, validating survivors on the
+//!   compiled engine and gating the winner bit-exactly against the
+//!   reference interpreter,
 //! * fault injection — flip a core defect on and watch the session fail.
 //!
 //! # Example
@@ -48,6 +52,7 @@ pub mod bus_core;
 pub mod engine;
 pub mod interconnect;
 pub mod report;
+pub mod search;
 pub mod session;
 pub mod simulator;
 
@@ -58,5 +63,6 @@ pub use report::{
     run_program, run_program_reference, run_program_reference_with_metrics,
     run_program_with_metrics, SocTestReport,
 };
+pub use search::{run_program_searched, run_program_searched_with_metrics, CompiledValidator};
 pub use session::{run_core_session, ClockKind, SessionReport};
 pub use simulator::{SimError, SocSimulator};

@@ -1,0 +1,318 @@
+//! Simulation-in-the-loop schedule search: the execution half.
+//!
+//! `casbus-controller`'s annealed makespan search scores candidates
+//! analytically and hands its survivor pool to a
+//! [`CandidateValidator`] — the controller cannot depend on this crate, so
+//! the hook is injected. [`CompiledValidator`] is that hook: it executes
+//! each candidate on the compiled word-level engine ([`CompiledEngine`]),
+//! fanned out across a scoped thread pool, all workers sharing one
+//! [`RouteTableCache`] so a wave shape is compiled once per search, not
+//! once per candidate.
+//!
+//! [`run_program_searched`] is the opt-in end-to-end entry point: search,
+//! validate, then refuse to return a winner whose compiled report is not
+//! bit-identical to the cycle-by-cycle reference interpreter.
+
+use std::sync::Arc;
+
+use casbus::{RouteTableCache, Tam};
+use casbus_controller::search::{search_schedule_with, CandidateValidator, SearchBudget};
+use casbus_controller::{partition_lpt, Schedule, TestProgram};
+use casbus_obs::MetricsRegistry;
+use casbus_soc::SocDescription;
+
+use crate::engine::CompiledEngine;
+use crate::report::{run_program_reference, SocTestReport};
+use crate::simulator::{SimError, SocSimulator};
+
+/// Execution-backed candidate validation on the compiled engine.
+///
+/// Candidates are spread over up to `threads` scoped workers by LPT on
+/// their makespans (the same [`partition_lpt`] the engine uses for lanes),
+/// and every worker's engine shares this validator's [`RouteTableCache`]:
+/// survivor pools repeat wave shapes heavily, so most steps route-compile
+/// as a hash lookup. A candidate that fails to build, configure, or pass
+/// is vetoed (`None`) — the search then drops it from the pool.
+///
+/// [`CompiledValidator::dry_run`] swaps full execution for
+/// [`CompiledEngine::dry_run_cycles`], which configures each wave for real
+/// but scores the data phase analytically; the prediction is exact (pinned
+/// by tests), so it measures identically at a fraction of the cost —
+/// without the pass/fail gate that only real data clocks can provide.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_controller::search::{CandidateValidator, SearchBudget};
+/// use casbus_controller::schedule::packed_schedule;
+/// use casbus_sim::CompiledValidator;
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure1_soc();
+/// let packed = packed_schedule(&soc, 8).unwrap();
+/// let validator = CompiledValidator::new(2);
+/// let measured = validator.measure(&soc, &[packed]);
+/// assert!(measured[0].is_some(), "a heuristic schedule executes cleanly");
+/// ```
+#[derive(Debug)]
+pub struct CompiledValidator {
+    threads: usize,
+    analytic_data_phase: bool,
+    cache: Arc<RouteTableCache>,
+}
+
+impl CompiledValidator {
+    /// A validator that fully executes every candidate on up to `threads`
+    /// workers (`0` is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            analytic_data_phase: false,
+            cache: Arc::new(RouteTableCache::new()),
+        }
+    }
+
+    /// A validator that scores candidates with
+    /// [`CompiledEngine::dry_run_cycles`] instead of full execution.
+    pub fn dry_run(threads: usize) -> Self {
+        Self {
+            analytic_data_phase: true,
+            ..Self::new(threads)
+        }
+    }
+
+    /// The route-table cache shared by every validation worker (and, via
+    /// [`CompiledEngine::with_cache`], reusable for the winner's final run).
+    pub fn cache(&self) -> &Arc<RouteTableCache> {
+        &self.cache
+    }
+
+    /// Builds, configures, and runs one candidate; `None` vetoes it.
+    fn measure_one(&self, soc: &SocDescription, candidate: &Schedule) -> Option<u64> {
+        let n = candidate.bus_width();
+        let tam = Tam::new(soc, n).ok()?;
+        let program = TestProgram::from_schedule(&tam, soc, candidate).ok()?;
+        let mut sim = SocSimulator::new(soc, n).ok()?;
+        // One engine thread per candidate: parallelism lives across the
+        // candidates here, not within one run.
+        let engine = CompiledEngine::new().with_cache(Arc::clone(&self.cache));
+        if self.analytic_data_phase {
+            return engine.dry_run_cycles(&mut sim, &program).ok();
+        }
+        let report = engine.run(&mut sim, &program).ok()?;
+        report.all_pass().then_some(report.total_cycles)
+    }
+}
+
+impl CandidateValidator for CompiledValidator {
+    fn measure(&self, soc: &SocDescription, candidates: &[Schedule]) -> Vec<Option<u64>> {
+        let workers = self.threads.min(candidates.len()).max(1);
+        if workers <= 1 {
+            return candidates
+                .iter()
+                .map(|candidate| self.measure_one(soc, candidate))
+                .collect();
+        }
+        let weighted: Vec<(u64, usize)> = candidates
+            .iter()
+            .enumerate()
+            .map(|(idx, candidate)| (candidate.makespan(), idx))
+            .collect();
+        let mut measured = vec![None; candidates.len()];
+        let computed = std::thread::scope(|scope| {
+            let handles: Vec<_> = partition_lpt(weighted, workers)
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|idx| (idx, self.measure_one(soc, &candidates[idx])))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("validation worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (idx, value) in computed {
+            measured[idx] = value;
+        }
+        measured
+    }
+}
+
+/// Plans *and* proves a test program: searches the schedule space with
+/// execution-backed validation ([`CompiledValidator`] on every hardware
+/// thread), then runs the winner and gates it bit-exactly against the
+/// cycle-by-cycle reference interpreter before returning. The opt-in,
+/// search-backed counterpart of [`run_program`](crate::run_program) — pay
+/// a bounded search budget, get the shortest schedule the search found,
+/// never a silently wrong one.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_controller::search::SearchBudget;
+/// use casbus_controller::schedule::packed_schedule;
+/// use casbus_sim::run_program_searched;
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure1_soc();
+/// let (schedule, report) = run_program_searched(&soc, 8, SearchBudget::smoke())?;
+/// assert!(report.all_pass());
+/// assert!(schedule.makespan() <= packed_schedule(&soc, 8).unwrap().makespan());
+/// # Ok::<(), casbus_sim::SimError>(())
+/// ```
+///
+/// # Errors
+///
+/// [`SimError::Schedule`] when the SoC cannot be scheduled on `n` wires at
+/// all, [`SimError::SearchDiverged`] if the winner's compiled report fails
+/// the reference gate (a bug, never an expected outcome), and the usual
+/// configuration errors.
+pub fn run_program_searched(
+    soc: &SocDescription,
+    n: usize,
+    budget: SearchBudget,
+) -> Result<(Schedule, SocTestReport), SimError> {
+    run_program_searched_with_metrics(soc, n, budget, &MetricsRegistry::new())
+}
+
+/// [`run_program_searched`] publishing search telemetry: the controller's
+/// `search.*` counters and trajectory, plus `search.route_cache.hits`,
+/// `search.route_cache.misses`, and `search.route_cache.shapes` from the
+/// shared route-compilation cache, and the winner run's engine counters.
+///
+/// # Errors
+///
+/// Same as [`run_program_searched`].
+pub fn run_program_searched_with_metrics(
+    soc: &SocDescription,
+    n: usize,
+    budget: SearchBudget,
+    metrics: &MetricsRegistry,
+) -> Result<(Schedule, SocTestReport), SimError> {
+    let threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+    let validator = CompiledValidator::new(threads);
+    let schedule = search_schedule_with(soc, n, budget, &validator, metrics)?;
+    metrics.set("search.route_cache.hits", validator.cache().hits());
+    metrics.set("search.route_cache.misses", validator.cache().misses());
+    metrics.set("search.route_cache.shapes", validator.cache().len() as u64);
+
+    let tam = Tam::new(soc, n)?;
+    let program = TestProgram::from_schedule(&tam, soc, &schedule)?;
+    let mut sim = SocSimulator::new(soc, n)?;
+    let engine = CompiledEngine::new().with_cache(Arc::clone(validator.cache()));
+    let report = engine.run_with_metrics(&mut sim, &program, metrics)?;
+
+    // The bit-exact gate: the winner is only a winner if the compiled
+    // engine's report of it is indistinguishable from the reference
+    // interpreter's, signature for signature.
+    let mut reference_sim = SocSimulator::new(soc, n)?;
+    let reference = run_program_reference(&mut reference_sim, &program)?;
+    if report != reference {
+        return Err(SimError::SearchDiverged);
+    }
+    Ok((schedule, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_controller::schedule::{packed_schedule, serial_schedule};
+    use casbus_soc::catalog;
+
+    #[test]
+    fn compiled_validator_measures_real_total_cycles() {
+        let soc = catalog::figure1_soc();
+        let packed = packed_schedule(&soc, 8).unwrap();
+        let serial = serial_schedule(&soc, 8).unwrap();
+
+        let tam = Tam::new(&soc, 8).unwrap();
+        let expected: Vec<u64> = [&packed, &serial]
+            .into_iter()
+            .map(|sched| {
+                let program = TestProgram::from_schedule(&tam, &soc, sched).unwrap();
+                let mut sim = SocSimulator::new(&soc, 8).unwrap();
+                crate::report::run_program(&mut sim, &program)
+                    .unwrap()
+                    .total_cycles
+            })
+            .collect();
+
+        for threads in [1usize, 4] {
+            let validator = CompiledValidator::new(threads);
+            let measured =
+                validator.measure(&soc, &[packed.clone(), serial.clone(), packed.clone()]);
+            assert_eq!(
+                measured,
+                vec![Some(expected[0]), Some(expected[1]), Some(expected[0])],
+                "{threads} threads"
+            );
+            // The duplicate candidate repeats every wave shape: the shared
+            // cache must have served hits.
+            assert!(validator.cache().hits() > 0, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn dry_run_validator_agrees_with_full_execution() {
+        let soc = catalog::figure2a_scan_soc();
+        let candidates = [
+            packed_schedule(&soc, 4).unwrap(),
+            serial_schedule(&soc, 4).unwrap(),
+        ];
+        let full = CompiledValidator::new(2).measure(&soc, &candidates);
+        let dry = CompiledValidator::dry_run(2).measure(&soc, &candidates);
+        assert_eq!(full, dry, "analytic data phase predicts exact cycles");
+        assert!(full.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn unschedulable_candidates_are_vetoed_not_fatal() {
+        let soc = catalog::figure1_soc();
+        // A 2-wire bus cannot host figure 1's 4-port cores: building the
+        // TAM/program for such a candidate must veto, not panic.
+        let narrow = Schedule::from_tests(2, vec![]).unwrap();
+        let validator = CompiledValidator::new(1);
+        assert_eq!(validator.measure(&soc, &[narrow]), vec![None]);
+    }
+
+    #[test]
+    fn searched_run_is_gated_bit_exact_and_beats_no_heuristic() {
+        let soc = catalog::figure1_soc();
+        let metrics = MetricsRegistry::new();
+        let (schedule, report) =
+            run_program_searched_with_metrics(&soc, 8, SearchBudget::smoke(), &metrics).unwrap();
+        assert!(report.all_pass());
+        assert!(schedule.is_conflict_free());
+        let best_heuristic = packed_schedule(&soc, 8)
+            .unwrap()
+            .makespan()
+            .min(serial_schedule(&soc, 8).unwrap().makespan());
+        assert!(schedule.makespan() <= best_heuristic);
+
+        // The gate re-ran the program on both engines; telemetry from the
+        // search and the shared route cache must be published.
+        assert!(metrics.counter("search.validations") > 0);
+        assert!(metrics.counter("search.route_cache.misses") > 0);
+        assert!(
+            metrics.counter("search.route_cache.hits") > 0,
+            "survivor pools repeat wave shapes across rounds"
+        );
+        assert_eq!(metrics.counter("search.best_makespan"), schedule.makespan());
+    }
+
+    #[test]
+    fn searched_run_propagates_schedule_errors() {
+        let soc = catalog::figure1_soc();
+        assert!(matches!(
+            run_program_searched(&soc, 0, SearchBudget::smoke()),
+            Err(SimError::Schedule(
+                casbus_controller::ScheduleError::ZeroWidth
+            ))
+        ));
+    }
+}

@@ -33,6 +33,13 @@ pub enum SimError {
         /// Wrappers present.
         expected: usize,
     },
+    /// Schedule construction or search failed.
+    Schedule(casbus_controller::ScheduleError),
+    /// A searched schedule's compiled-engine report did not reproduce the
+    /// bit-serial reference — the bit-exact gate of
+    /// [`run_program_searched`](crate::run_program_searched) refused to
+    /// return it.
+    SearchDiverged,
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +53,11 @@ impl fmt::Display for SimError {
             Self::WrapperLengthMismatch { got, expected } => {
                 write!(f, "{got} wrapper instructions for {expected} wrappers")
             }
+            Self::Schedule(e) => write!(f, "schedule error: {e}"),
+            Self::SearchDiverged => write!(
+                f,
+                "searched schedule's compiled report diverged from the bit-serial reference"
+            ),
         }
     }
 }
@@ -55,6 +67,12 @@ impl std::error::Error for SimError {}
 impl From<CasError> for SimError {
     fn from(e: CasError) -> Self {
         Self::Tam(e)
+    }
+}
+
+impl From<casbus_controller::ScheduleError> for SimError {
+    fn from(e: casbus_controller::ScheduleError) -> Self {
+        Self::Schedule(e)
     }
 }
 
