@@ -1,0 +1,162 @@
+//! Fleet batch serving vs per-device planning throughput.
+//!
+//! The naive way to test N simulated devices with a searched schedule is a
+//! loop of [`casbus_sim::run_program_searched`] calls: every device pays
+//! the annealed schedule search, TAM build, program compilation, and route
+//! compilation again. [`casbus_sim::FleetRunner`] pays all of that once
+//! and serves the compiled plan to the whole fleet from a persistent
+//! worker pool.
+//!
+//! Before any throughput is recorded, every fleet device's report — at
+//! every thread count — is asserted bit-identical to the looped baseline's
+//! report, so the numbers always describe *equivalent* work. Results go to
+//! stdout and to `BENCH_fleet.json` at the workspace root.
+//!
+//! ```text
+//! cargo run --release -p casbus-bench --bin fleet_throughput
+//! ```
+//!
+//! Set `CASBUS_BENCH_SMOKE=1` for a fast CI configuration (smaller fleet,
+//! fewer baseline iterations).
+
+use std::time::Instant;
+
+use casbus_controller::search::SearchBudget;
+use casbus_sim::{run_program_searched, FleetRunner, VariationSpec};
+use casbus_soc::catalog;
+
+struct Row {
+    threads: usize,
+    wall_ms: f64,
+    devices_per_sec: f64,
+    wire_cycles_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let smoke = std::env::var("CASBUS_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let available = std::thread::available_parallelism().map_or(1, |t| t.get());
+    let (fleet_size, baseline_runs) = if smoke { (64u64, 4usize) } else { (256, 8) };
+    let soc = catalog::figure1_soc();
+    let n = 8;
+    let budget = SearchBudget::smoke();
+
+    println!(
+        "Fleet batch serving: figure1 SoC, N={n}, fleet of {fleet_size} devices{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!();
+
+    // Baseline: every device re-plans from scratch. Each iteration does
+    // identical work, so the per-device rate from `baseline_runs` devices
+    // is the rate a fleet-sized loop would sustain.
+    let t0 = Instant::now();
+    let (baseline_schedule, baseline_report) =
+        run_program_searched(&soc, n, budget).expect("searched run");
+    for _ in 1..baseline_runs {
+        let (schedule, report) = run_program_searched(&soc, n, budget).expect("searched run");
+        assert_eq!(schedule, baseline_schedule, "search must be deterministic");
+        assert_eq!(report, baseline_report);
+    }
+    let baseline_wall = t0.elapsed();
+    let baseline_per_device = baseline_wall.as_secs_f64() / baseline_runs as f64;
+    let baseline_devices_per_sec = 1.0 / baseline_per_device.max(1e-9);
+    println!(
+        "baseline (looped run_program_searched): {:.1} ms/device, {:.2} devices/s",
+        baseline_per_device * 1e3,
+        baseline_devices_per_sec
+    );
+
+    // Fleet: the search, TAM build, program and route compilation happen
+    // once, at construction.
+    let t0 = Instant::now();
+    let mut runner = FleetRunner::searched(&soc, n, budget).expect("searched runner");
+    let setup = t0.elapsed();
+    assert_eq!(
+        runner.schedule(),
+        &baseline_schedule,
+        "fleet serves the same searched schedule"
+    );
+    println!(
+        "fleet one-time setup (search + compile): {:.1} ms",
+        setup.as_secs_f64() * 1e3
+    );
+    println!();
+    println!(
+        "{:>7} {:>10} {:>13} {:>16} {:>9}",
+        "threads", "wall", "devices/s", "wire-cycles/s", "speedup"
+    );
+
+    let mut thread_counts = vec![1usize];
+    if available > 1 {
+        thread_counts.push(available);
+    }
+    let mut rows = Vec::new();
+    for &threads in &thread_counts {
+        runner = runner.with_threads(threads);
+        let fleet = runner
+            .run(&VariationSpec::perfect(), fleet_size)
+            .expect("fleet run");
+        for device in &fleet.devices {
+            assert_eq!(
+                device.report, baseline_report,
+                "device {} diverged from the looped baseline at {threads} threads",
+                device.device_id
+            );
+        }
+        assert_eq!(fleet.passed, fleet_size as usize);
+        let speedup = fleet.devices_per_sec() / baseline_devices_per_sec;
+        println!(
+            "{:>7} {:>8.1}ms {:>13.1} {:>16.0} {:>8.1}x",
+            threads,
+            fleet.wall.as_secs_f64() * 1e3,
+            fleet.devices_per_sec(),
+            fleet.wire_cycles_per_sec(),
+            speedup
+        );
+        rows.push(Row {
+            threads,
+            wall_ms: fleet.wall.as_secs_f64() * 1e3,
+            devices_per_sec: fleet.devices_per_sec(),
+            wire_cycles_per_sec: fleet.wire_cycles_per_sec(),
+            speedup,
+        });
+    }
+
+    let best = rows
+        .iter()
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best >= 5.0,
+        "fleet serving must beat per-device planning by >=5x at fleet {fleet_size} \
+         (best observed: {best:.1}x)"
+    );
+    println!("\nbest speedup vs looped run_program_searched: {best:.1}x");
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"threads\": {}, \"wall_ms\": {:.3}, \"devices_per_sec\": {:.2}, \
+                 \"wire_cycles_per_sec\": {:.0}, \"speedup_vs_searched_loop\": {:.2}}}",
+                r.threads, r.wall_ms, r.devices_per_sec, r.wire_cycles_per_sec, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"benchmark\": \"fleet_batch_serving\",\n  \"soc\": \"figure1\",\n  \
+         \"n\": {n},\n  \"fleet_size\": {fleet_size},\n  \"smoke\": {smoke},\n  \
+         \"baseline_ms_per_device\": {:.3},\n  \"baseline_devices_per_sec\": {:.2},\n  \
+         \"setup_ms\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        baseline_per_device * 1e3,
+        baseline_devices_per_sec,
+        setup.as_secs_f64() * 1e3,
+        json_rows.join(",\n")
+    );
+    let path = "BENCH_fleet.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

@@ -52,7 +52,7 @@ pub mod time_model;
 pub use balance::{balance_chains, repartition_flops};
 pub use controller::{ControllerPhase, TestController};
 pub use maintenance::MaintenancePlan;
-pub use program::{TestProgram, TestStep};
+pub use program::{CompiledProgram, TestProgram, TestStep};
 pub use schedule::{partition_lpt, Schedule, ScheduleError, ScheduledTest};
 pub use search::{
     search_schedule, search_schedule_with, CandidateValidator, NoValidation, SearchBudget,

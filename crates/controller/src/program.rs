@@ -121,6 +121,80 @@ impl TestProgram {
     }
 }
 
+/// A schedule compiled once, ready to be executed many times: the TAM
+/// geometry, the winning [`Schedule`], and its [`TestProgram`], bundled so
+/// the compilation cost is paid exactly once per design.
+///
+/// Manufacturing test applies one test program to every die on the line;
+/// recompiling the TAM and program per device would make compile cost scale
+/// with fleet size. Execution layers (e.g. a fleet runner in `casbus-sim`)
+/// hold a `CompiledProgram` behind an `Arc` and hand every device the same
+/// immutable plan.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_controller::{schedule, CompiledProgram};
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure1_soc();
+/// let plan = CompiledProgram::compile(&soc, 8, schedule::packed_schedule(&soc, 8)?)?;
+/// assert_eq!(plan.bus_width(), 8);
+/// assert_eq!(plan.program().len(), plan.schedule().configuration_waves());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    tam: Tam,
+    schedule: Schedule,
+    program: TestProgram,
+}
+
+impl CompiledProgram {
+    /// Builds the TAM for `soc` on an `n`-wire bus and compiles `schedule`
+    /// into its executable program, all in one shot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CasError`] when the bus cannot host the SoC or a wire
+    /// window cannot be expressed as a scheme.
+    pub fn compile(soc: &SocDescription, n: usize, schedule: Schedule) -> Result<Self, CasError> {
+        let tam = Tam::new(soc, n)?;
+        let program = TestProgram::from_schedule(&tam, soc, &schedule)?;
+        Ok(Self {
+            tam,
+            schedule,
+            program,
+        })
+    }
+
+    /// The TAM the program was compiled against.
+    pub fn tam(&self) -> &Tam {
+        &self.tam
+    }
+
+    /// The schedule this program realises.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// The executable step sequence.
+    pub fn program(&self) -> &TestProgram {
+        &self.program
+    }
+
+    /// Test bus width the plan was compiled for.
+    pub fn bus_width(&self) -> usize {
+        self.schedule.bus_width()
+    }
+
+    /// Total cycles one execution costs (TEST phases plus one
+    /// CONFIGURATION phase per step).
+    pub fn total_cycles(&self) -> u64 {
+        self.program.total_cycles(&self.tam)
+    }
+}
+
 /// The wrapper instruction a core's test method calls for.
 fn wrapper_mode_for(soc: &SocDescription, core_name: &str) -> WrapperInstruction {
     match soc.core_by_name(core_name).map(|(_, c)| c.method()) {
@@ -178,6 +252,28 @@ mod tests {
         for step in program.steps() {
             assert!(!step.configuration.cores_under_test().is_empty());
         }
+    }
+
+    #[test]
+    fn compiled_program_bundles_tam_schedule_and_program() {
+        let soc = catalog::figure1_soc();
+        let schedule = packed_schedule(&soc, 8).unwrap();
+        let plan = CompiledProgram::compile(&soc, 8, schedule.clone()).unwrap();
+        assert_eq!(plan.bus_width(), 8);
+        assert_eq!(plan.schedule(), &schedule);
+        let tam = Tam::new(&soc, 8).unwrap();
+        let expected = TestProgram::from_schedule(&tam, &soc, &schedule).unwrap();
+        assert_eq!(plan.program(), &expected);
+        assert_eq!(plan.total_cycles(), expected.total_cycles(&tam));
+        assert_eq!(plan.tam().bus_width(), 8);
+    }
+
+    #[test]
+    fn compiled_program_rejects_impossible_buses() {
+        let soc = catalog::figure1_soc();
+        let schedule = packed_schedule(&soc, 8).unwrap();
+        // A 2-wire TAM cannot host figure 1's 4-port cores.
+        assert!(CompiledProgram::compile(&soc, 2, schedule).is_err());
     }
 
     #[test]

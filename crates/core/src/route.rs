@@ -289,14 +289,31 @@ impl WaveKey {
     }
 }
 
+/// Cached tables plus the logical clock backing the LRU policy.
+#[derive(Debug, Default)]
+struct CacheState {
+    /// Per wave shape: the compiled table and its last-use stamp.
+    tables: HashMap<WaveKey, (Arc<RouteTable>, u64)>,
+    /// Monotonic lookup clock; every hit or insert advances it.
+    stamp: u64,
+}
+
 /// A memoizing, thread-safe [`RouteTable`] compilation cache keyed by
-/// [`WaveKey`].
+/// [`WaveKey`], with an optional capacity cap under LRU eviction.
 ///
 /// Candidate schedules in a makespan search share wave shapes heavily (a
 /// local move touches one or two sessions and leaves every other wave
 /// intact), so `get_or_compile` turns the per-wave compile into a hash
 /// lookup after the first encounter. Tables are handed out as
 /// [`Arc`]s, so concurrent validation workers share one compiled copy.
+///
+/// The default cache is unbounded — right for one search over one SoC.
+/// Long-lived serving workloads (a fleet runner executing one program
+/// across thousands of devices, or many searches over changing designs)
+/// should bound it with [`RouteTableCache::with_capacity`]: once the cap is
+/// reached, inserting a new shape evicts the least-recently-used table
+/// (handed-out [`Arc`]s stay valid — eviction only drops the cache's
+/// reference). [`RouteTableCache::evictions`] counts the drops.
 ///
 /// # Examples
 ///
@@ -313,31 +330,70 @@ impl WaveKey {
 /// assert_eq!((cache.hits(), cache.misses()), (1, 1));
 /// # Ok::<(), casbus::CasError>(())
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RouteTableCache {
-    tables: Mutex<HashMap<WaveKey, Arc<RouteTable>>>,
+    state: Mutex<CacheState>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for RouteTableCache {
+    fn default() -> Self {
+        Self::with_capacity(usize::MAX)
+    }
 }
 
 impl RouteTableCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache holding at most `capacity` tables (clamped to at
+    /// least 1), evicting the least-recently-used shape beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(CacheState::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of tables kept (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The compiled table for the chain's current configuration, compiling
-    /// and inserting it on first encounter of this wave shape.
+    /// and inserting it on first encounter of this wave shape. At capacity,
+    /// the insert evicts the least-recently-used shape first.
     pub fn get_or_compile(&self, chain: &CasChain) -> Arc<RouteTable> {
         let key = WaveKey::for_chain(chain);
-        let mut tables = self.tables.lock().expect("route cache poisoned");
-        if let Some(table) = tables.get(&key) {
+        let mut state = self.state.lock().expect("route cache poisoned");
+        state.stamp += 1;
+        let stamp = state.stamp;
+        if let Some((table, last_use)) = state.tables.get_mut(&key) {
+            *last_use = stamp;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(table);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if state.tables.len() >= self.capacity {
+            let coldest = state
+                .tables
+                .iter()
+                .min_by_key(|(_, (_, last_use))| *last_use)
+                .map(|(key, _)| key.clone())
+                .expect("cache at capacity is non-empty");
+            state.tables.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         let table = Arc::new(RouteTable::compile(chain));
-        tables.insert(key, Arc::clone(&table));
+        state.tables.insert(key, (Arc::clone(&table), stamp));
         table
     }
 
@@ -351,9 +407,18 @@ impl RouteTableCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Distinct wave shapes currently cached.
+    /// Tables dropped to stay within the capacity cap.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Distinct wave shapes currently cached (never exceeds the capacity).
     pub fn len(&self) -> usize {
-        self.tables.lock().expect("route cache poisoned").len()
+        self.state
+            .lock()
+            .expect("route cache poisoned")
+            .tables
+            .len()
     }
 
     /// Whether the cache holds no tables yet.
@@ -373,11 +438,14 @@ impl RouteTableCache {
         }
     }
 
-    /// Drops every cached table and resets the hit/miss counters.
+    /// Drops every cached table and resets the hit/miss/evict counters.
     pub fn clear(&self) {
-        self.tables.lock().expect("route cache poisoned").clear();
+        let mut state = self.state.lock().expect("route cache poisoned");
+        state.tables.clear();
+        state.stamp = 0;
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -543,6 +611,63 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
         assert_eq!(cache.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn bounded_cache_caps_len_and_evicts_least_recently_used() {
+        // Four distinct wave shapes on a 2-CAS chain.
+        let mut ch = chain(&[(4, 1), (4, 1)]);
+        let shapes: [[CasInstruction; 2]; 4] = [
+            [CasInstruction::Test(0), CasInstruction::Bypass],
+            [CasInstruction::Bypass, CasInstruction::Test(0)],
+            [CasInstruction::Test(1), CasInstruction::Bypass],
+            [CasInstruction::Bypass, CasInstruction::Test(1)],
+        ];
+        let cache = RouteTableCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+
+        // Fill to capacity: shapes 0 and 1.
+        for shape in &shapes[..2] {
+            ch.configure(shape).unwrap();
+            cache.get_or_compile(&ch);
+        }
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+
+        // Touch shape 0 so shape 1 becomes the LRU entry, then insert
+        // shape 2: the cap holds and exactly one table is evicted.
+        ch.configure(&shapes[0]).unwrap();
+        cache.get_or_compile(&ch);
+        ch.configure(&shapes[2]).unwrap();
+        cache.get_or_compile(&ch);
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+
+        // Shape 0 was kept warm: looking it up again is a hit, not a
+        // recompile; shape 1 was the eviction victim and must miss.
+        let misses = cache.misses();
+        ch.configure(&shapes[0]).unwrap();
+        cache.get_or_compile(&ch);
+        assert_eq!(cache.misses(), misses, "warm shape survived the cap");
+        ch.configure(&shapes[1]).unwrap();
+        cache.get_or_compile(&ch);
+        assert_eq!(cache.misses(), misses + 1, "LRU shape was evicted");
+
+        // The cap is an invariant, not a high-water mark.
+        for _ in 0..3 {
+            for shape in &shapes {
+                ch.configure(shape).unwrap();
+                cache.get_or_compile(&ch);
+            }
+            assert!(cache.len() <= cache.capacity());
+        }
+        assert!(cache.evictions() > 1);
+
+        cache.clear();
+        assert_eq!((cache.len(), cache.evictions()), (0, 0));
+
+        // Capacity 0 is clamped so the cache stays usable.
+        assert_eq!(RouteTableCache::with_capacity(0).capacity(), 1);
+        // The default cache never evicts.
+        assert_eq!(RouteTableCache::new().capacity(), usize::MAX);
     }
 
     #[test]

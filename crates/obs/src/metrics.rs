@@ -171,6 +171,46 @@ impl MetricsRegistry {
             .sum()
     }
 
+    /// Folds another registry into this one: counters are summed,
+    /// histograms combined observation-wise, and series appended in order.
+    ///
+    /// Batch-serving layers use this to aggregate per-unit registries (one
+    /// per device in a fleet run) into one fleet-level registry; merging in
+    /// a fixed unit order keeps the result identical across worker-thread
+    /// counts, since counter addition is commutative and the caller controls
+    /// series order.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        if std::ptr::eq(self, other) {
+            return;
+        }
+        let (counters, histograms, series) = {
+            let theirs = other.inner.lock().expect("metrics poisoned");
+            (
+                theirs.counters.clone(),
+                theirs.histograms.clone(),
+                theirs.series.clone(),
+            )
+        };
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        for (name, value) in counters {
+            *inner.counters.entry(name).or_insert(0) += value;
+        }
+        for (name, h) in histograms {
+            let slot = inner.histograms.entry(name).or_default();
+            if slot.count == 0 {
+                *slot = h;
+            } else if h.count > 0 {
+                slot.count += h.count;
+                slot.sum += h.sum;
+                slot.min = slot.min.min(h.min);
+                slot.max = slot.max.max(h.max);
+            }
+        }
+        for (name, points) in series {
+            inner.series.entry(name).or_default().extend(points);
+        }
+    }
+
     /// Drops every counter, histogram and series.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("metrics poisoned");
@@ -302,6 +342,34 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"series\":{\"search.best\":[9,7,7,3]}"));
         assert!(m.to_string().contains("4 points, last 3"));
+    }
+
+    #[test]
+    fn merge_from_sums_counters_and_combines_histograms() {
+        let a = MetricsRegistry::new();
+        a.inc("fleet.devices", 2);
+        a.observe("cycles", 10);
+        a.append("trend", 1);
+        let b = MetricsRegistry::new();
+        b.inc("fleet.devices", 3);
+        b.inc("fleet.failed", 1);
+        b.observe("cycles", 4);
+        b.observe("lat", 7);
+        b.append("trend", 2);
+
+        a.merge_from(&b);
+        assert_eq!(a.counter("fleet.devices"), 5);
+        assert_eq!(a.counter("fleet.failed"), 1);
+        let h = a.histogram("cycles").unwrap();
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 14, 4, 10));
+        assert_eq!(a.histogram("lat").unwrap().count, 1);
+        assert_eq!(a.series("trend").unwrap(), vec![1, 2]);
+        // The source registry is untouched.
+        assert_eq!(b.counter("fleet.devices"), 3);
+
+        // Self-merge is a no-op, not a deadlock or a double-count.
+        a.merge_from(&a);
+        assert_eq!(a.counter("fleet.devices"), 5);
     }
 
     #[test]

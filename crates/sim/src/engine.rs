@@ -23,12 +23,13 @@
 use std::sync::Arc;
 
 use casbus::{CasChain, RouteTable, RouteTableCache};
-use casbus_controller::{partition_lpt, TestProgram};
+use casbus_controller::TestProgram;
 use casbus_obs::MetricsRegistry;
 use casbus_p1500::{TestableCore, Wrapper, WrapperControl, WrapperInstruction};
 use casbus_soc::models;
 use casbus_tpg::{BitVec, Verdict};
 
+use crate::pool::lpt_fanout;
 use crate::report::{
     collect_lanes, drive_lanes_reference, finish_report, Lane, ReportBaseline, SocTestReport,
 };
@@ -235,43 +236,21 @@ impl CompiledEngine {
                 .enumerate()
                 .filter_map(|(idx, wrapper)| lane_of_cas[idx].map(|pos| (pos, wrapper)))
                 .collect();
+            // Weight each lane by plan length and hand the fan-out to the
+            // shared scoped LPT helper — the same bucketing the controller's
+            // wave partitioner predicts with, so schedule-time estimates and
+            // run-time placement agree. `work` is in CAS order, keeping ties
+            // deterministic.
             let workers = self.threads().min(lanes.len()).max(1);
-            if workers <= 1 {
-                for (pos, wrapper) in work {
-                    outcomes[pos] = Some(run_lane(wrapper, &lanes[pos], horizon));
-                }
-            } else {
-                // LPT balance by plan length — the same helper the
-                // controller's wave partitioner uses, so schedule-time
-                // predictions and run-time bucketing agree. `work` is in
-                // CAS order, keeping ties deterministic.
-                let weighted: Vec<(u64, LaneWork<'_>)> = work
-                    .into_iter()
-                    .map(|(pos, wrapper)| (lanes[pos].plan.len() as u64, (pos, wrapper)))
-                    .collect();
-                let buckets = partition_lpt(weighted, workers);
-                let computed = std::thread::scope(|scope| {
-                    let handles: Vec<_> = buckets
-                        .into_iter()
-                        .map(|bucket| {
-                            scope.spawn(move || {
-                                bucket
-                                    .into_iter()
-                                    .map(|(pos, wrapper)| {
-                                        (pos, run_lane(wrapper, &lanes[pos], horizon))
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("lane worker panicked"))
-                        .collect::<Vec<_>>()
-                });
-                for (pos, outcome) in computed {
-                    outcomes[pos] = Some(outcome);
-                }
+            let weighted: Vec<(u64, LaneWork<'_>)> = work
+                .into_iter()
+                .map(|(pos, wrapper)| (lanes[pos].plan.len() as u64, (pos, wrapper)))
+                .collect();
+            let computed = lpt_fanout(weighted, workers, |(pos, wrapper)| {
+                (pos, run_lane(wrapper, &lanes[pos], horizon))
+            });
+            for (pos, outcome) in computed {
+                outcomes[pos] = Some(outcome);
             }
         }
         // Arithmetic accounting: what the interpreter's per-cycle loop would

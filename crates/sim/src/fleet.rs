@@ -1,0 +1,693 @@
+//! Fleet-scale batch serving: one compiled program, thousands of devices.
+//!
+//! Silicon test programs are written once and executed against every die
+//! that comes off the line. [`FleetRunner`] mirrors that economics in
+//! simulation: the schedule is compiled into a [`CompiledProgram`] and its
+//! wave shapes route-compiled into a shared [`RouteTableCache`] exactly
+//! once, then any number of independent simulated devices execute the same
+//! immutable plan on a persistent [`WorkerPool`](crate::pool::WorkerPool).
+//! Adding a device costs one queue push, never a schedule search, a route
+//! compilation, or a thread spawn.
+//!
+//! Devices are not clones: a [`VariationSpec`] decides, deterministically
+//! per device id, whether a die carries a manufacturing defect (a stuck-at
+//! fault on a random scan chain) — defective dies produce diverging
+//! signatures and failing verdicts, so a fleet run yields a *yield*.
+//! Per-device [`DeviceReport`]s stream back through a bounded channel as
+//! they complete; the final [`FleetReport`] aggregates pass counts, cycle
+//! totals, and throughput.
+//!
+//! Determinism contract: every device's report depends only on
+//! `(spec, device_id, plan)`, never on the worker that ran it, so the full
+//! sorted report list — and every `fleet.*` metric — is bit-identical
+//! across thread counts and identical to running the devices one by one.
+
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use casbus::RouteTableCache;
+use casbus_controller::search::{search_schedule_with, SearchBudget};
+use casbus_controller::{CompiledProgram, Schedule};
+use casbus_obs::{MetricsRegistry, TraceEvent, TraceSink};
+use casbus_p1500::TestableCore;
+use casbus_soc::models::ScanCore;
+use casbus_soc::{SocDescription, TestMethod};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::engine::CompiledEngine;
+use crate::pool::WorkerPool;
+use crate::report::{run_program_reference, SocTestReport};
+use crate::search::CompiledValidator;
+use crate::simulator::{SimError, SocSimulator};
+
+/// Deterministic per-device manufacturing variation.
+///
+/// Each device id maps — pure function of `(seed, defect_rate, id)` — to
+/// either a defect-free die or one stuck-at fault on a scan chain. The same
+/// spec always stamps the same fleet, so differential runs across thread
+/// counts or fleet orderings see identical devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpec {
+    seed: u64,
+    defect_rate: f64,
+}
+
+impl VariationSpec {
+    /// Every die defect-free: the bring-up baseline.
+    pub fn perfect() -> Self {
+        Self {
+            seed: 0,
+            defect_rate: 0.0,
+        }
+    }
+
+    /// Dies are defective with probability `defect_rate` (clamped to
+    /// `[0, 1]`), drawn deterministically from `seed`.
+    pub fn new(seed: u64, defect_rate: f64) -> Self {
+        Self {
+            seed,
+            defect_rate: defect_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The stamping seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probability that a die carries a defect.
+    pub fn defect_rate(&self) -> f64 {
+        self.defect_rate
+    }
+
+    /// The defect stamped onto device `device_id`, if any. `None` for a
+    /// healthy die — and always `None` when the SoC has no scan cores to
+    /// inject into.
+    pub fn fault_for(&self, soc: &SocDescription, device_id: u64) -> Option<InjectedFault> {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ device_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        if rng.random::<f64>() >= self.defect_rate {
+            return None;
+        }
+        let scan_cores: Vec<(&str, &[usize])> = soc
+            .cores()
+            .iter()
+            .filter_map(|core| match core.method() {
+                TestMethod::Scan { chains, .. } if !chains.is_empty() => {
+                    Some((core.name(), chains.as_slice()))
+                }
+                _ => None,
+            })
+            .collect();
+        if scan_cores.is_empty() {
+            return None;
+        }
+        let (name, chains) = scan_cores[rng.random_range(0..scan_cores.len())];
+        let chain = rng.random_range(0..chains.len());
+        Some(InjectedFault {
+            core: name.to_owned(),
+            chain,
+            position: rng.random_range(0..chains[chain].max(1)),
+            stuck_at: rng.random(),
+        })
+    }
+}
+
+/// One stuck-at defect on a scan chain of a named core.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Core carrying the defect.
+    pub core: String,
+    /// Scan chain index within the core.
+    pub chain: usize,
+    /// Flip-flop position along the chain.
+    pub position: usize,
+    /// The value the flop is stuck at.
+    pub stuck_at: bool,
+}
+
+impl InjectedFault {
+    /// Replaces the core's wrapper content with a faulty twin of itself.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownCore`] if the core does not exist or is not a
+    /// scan core.
+    pub fn apply(&self, sim: &mut SocSimulator) -> Result<(), SimError> {
+        let (inputs, outputs, chains) = {
+            let (_, desc) = sim
+                .soc()
+                .core_by_name(&self.core)
+                .ok_or_else(|| SimError::UnknownCore(self.core.clone()))?;
+            let TestMethod::Scan { chains, .. } = desc.method() else {
+                return Err(SimError::UnknownCore(self.core.clone()));
+            };
+            (
+                desc.functional_inputs(),
+                desc.functional_outputs(),
+                chains.clone(),
+            )
+        };
+        let mut faulty = ScanCore::new(&self.core, chains);
+        faulty.inject_stuck_at(self.chain, self.position, self.stuck_at);
+        *sim.wrapper_mut(&self.core)? =
+            casbus_p1500::Wrapper::new(Box::new(faulty) as Box<dyn TestableCore>, inputs, outputs);
+        Ok(())
+    }
+}
+
+/// The outcome of testing one simulated device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceReport {
+    /// Fleet-unique device id (`0..fleet_size`).
+    pub device_id: u64,
+    /// The defect this die was stamped with, if any.
+    pub fault: Option<InjectedFault>,
+    /// Full per-core test report for this device.
+    pub report: SocTestReport,
+}
+
+impl DeviceReport {
+    /// Whether every core of this device passed.
+    pub fn passed(&self) -> bool {
+        self.report.all_pass()
+    }
+}
+
+/// Aggregate outcome of a whole fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Every device's report, sorted by device id.
+    pub devices: Vec<DeviceReport>,
+    /// Devices whose every core passed.
+    pub passed: usize,
+    /// Sum of per-device test cycles.
+    pub total_cycles: u64,
+    /// Sum of per-device busy bus wire-cycles.
+    pub wire_cycles: u64,
+    /// Wall-clock time of the whole run (scheduling-dependent; excluded
+    /// from the determinism contract and from exported metrics).
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Number of devices tested.
+    pub fn fleet_size(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Devices with at least one failing core.
+    pub fn failed(&self) -> usize {
+        self.fleet_size() - self.passed
+    }
+
+    /// Fraction of devices that passed, in `[0, 1]` (1.0 for an empty
+    /// fleet).
+    pub fn yield_fraction(&self) -> f64 {
+        if self.devices.is_empty() {
+            1.0
+        } else {
+            self.passed as f64 / self.devices.len() as f64
+        }
+    }
+
+    /// Devices tested per wall-clock second.
+    pub fn devices_per_sec(&self) -> f64 {
+        self.fleet_size() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Simulated test cycles executed per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.total_cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    /// Busy bus wire-cycles simulated per wall-clock second.
+    pub fn wire_cycles_per_sec(&self) -> f64 {
+        self.wire_cycles as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+impl std::fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} devices, {} pass / {} fail (yield {:.2}%)",
+            self.fleet_size(),
+            self.passed,
+            self.failed(),
+            self.yield_fraction() * 100.0
+        )?;
+        write!(
+            f,
+            "  {} cycles, {} wire-cycles, {:.1} devices/s, {:.0} wire-cycles/s",
+            self.total_cycles,
+            self.wire_cycles,
+            self.devices_per_sec(),
+            self.wire_cycles_per_sec()
+        )
+    }
+}
+
+/// Batch test server: one compiled plan, N simulated devices.
+///
+/// Construction pays every one-time cost — TAM build, program compilation,
+/// optionally a full schedule search, worker-thread spawn — and `run*`
+/// calls amortise them over the whole fleet. Devices execute on the
+/// persistent pool; each device's engine shares the runner's
+/// [`RouteTableCache`], so a wave shape is route-compiled once for the
+/// entire fleet regardless of its size.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_controller::schedule::packed_schedule;
+/// use casbus_sim::{FleetRunner, VariationSpec};
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure1_soc();
+/// let runner = FleetRunner::new(&soc, 8, packed_schedule(&soc, 8).unwrap())?;
+/// let fleet = runner.run(&VariationSpec::perfect(), 16)?;
+/// assert_eq!(fleet.passed, 16, "healthy dies all pass");
+/// # Ok::<(), casbus_sim::SimError>(())
+/// ```
+pub struct FleetRunner {
+    soc: Arc<SocDescription>,
+    plan: Arc<CompiledProgram>,
+    cache: Arc<RouteTableCache>,
+    pool: WorkerPool,
+    trace: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for FleetRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetRunner")
+            .field("soc", &self.soc.name())
+            .field("bus_width", &self.plan.bus_width())
+            .field("steps", &self.plan.program().len())
+            .field("threads", &self.pool.threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetRunner {
+    /// A runner serving `schedule` compiled for an `n`-wire bus, with one
+    /// worker per available hardware thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TAM/program compilation errors.
+    pub fn new(soc: &SocDescription, n: usize, schedule: Schedule) -> Result<Self, SimError> {
+        let plan = CompiledProgram::compile(soc, n, schedule)?;
+        Ok(Self {
+            soc: Arc::new(soc.clone()),
+            plan: Arc::new(plan),
+            cache: Arc::new(RouteTableCache::new()),
+            pool: WorkerPool::new(0),
+            trace: casbus_obs::trace::null_sink(),
+        })
+    }
+
+    /// A runner whose schedule comes from the annealed makespan search
+    /// ([`search_schedule_with`] with execution-backed validation), gated
+    /// bit-exactly against the reference interpreter before serving —
+    /// exactly the plan [`run_program_searched`](crate::run_program_searched)
+    /// would execute, compiled once for the whole fleet. The validator
+    /// shares this runner's route cache, so shapes compiled during the
+    /// search are already warm when devices arrive.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Schedule`] when the SoC cannot be scheduled on `n`
+    /// wires, [`SimError::SearchDiverged`] if the winner fails the
+    /// reference gate.
+    pub fn searched(
+        soc: &SocDescription,
+        n: usize,
+        budget: SearchBudget,
+    ) -> Result<Self, SimError> {
+        let threads = std::thread::available_parallelism().map_or(1, |c| c.get());
+        let cache = Arc::new(RouteTableCache::new());
+        let validator = CompiledValidator::new(threads).with_cache(Arc::clone(&cache));
+        let schedule = search_schedule_with(soc, n, budget, &validator, &MetricsRegistry::new())?;
+        let plan = CompiledProgram::compile(soc, n, schedule)?;
+
+        // The same bit-exact gate run_program_searched applies: refuse to
+        // serve a plan whose compiled execution differs from the reference
+        // interpreter on a healthy device.
+        let mut sim = SocSimulator::new(soc, n)?;
+        let engine = CompiledEngine::new().with_cache(Arc::clone(&cache));
+        let compiled = engine.run(&mut sim, plan.program())?;
+        let mut reference_sim = SocSimulator::new(soc, n)?;
+        let reference = run_program_reference(&mut reference_sim, plan.program())?;
+        if compiled != reference {
+            return Err(SimError::SearchDiverged);
+        }
+
+        Ok(Self {
+            soc: Arc::new(soc.clone()),
+            plan: Arc::new(plan),
+            cache,
+            pool: WorkerPool::new(0),
+            trace: casbus_obs::trace::null_sink(),
+        })
+    }
+
+    /// Replaces the worker pool with one of `threads` workers (`0` means
+    /// one per available hardware thread).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pool = WorkerPool::new(threads);
+        self
+    }
+
+    /// Bounds the shared route cache to `capacity` tables (LRU eviction).
+    /// Replaces the cache, dropping anything already compiled into it.
+    #[must_use]
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Arc::new(RouteTableCache::with_capacity(capacity));
+        self
+    }
+
+    /// Installs a trace sink: each run emits one `fleet` span per device,
+    /// in device order on a logical timeline (cumulative test cycles), so
+    /// traces are deterministic across thread counts.
+    #[must_use]
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// The plan every device executes.
+    pub fn plan(&self) -> &CompiledProgram {
+        &self.plan
+    }
+
+    /// The schedule the plan realises.
+    pub fn schedule(&self) -> &Schedule {
+        self.plan.schedule()
+    }
+
+    /// The route cache shared by the fleet.
+    pub fn cache(&self) -> &Arc<RouteTableCache> {
+        &self.cache
+    }
+
+    /// Worker threads serving the fleet.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Tests `fleet_size` devices stamped by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first device-level simulation error (healthy plans
+    /// do not produce any).
+    pub fn run(&self, spec: &VariationSpec, fleet_size: u64) -> Result<FleetReport, SimError> {
+        self.run_with(spec, fleet_size, |_| {})
+    }
+
+    /// [`run`](Self::run), invoking `on_report` for every device report as
+    /// it streams in — **completion order**, not device order; use the
+    /// returned [`FleetReport::devices`] for the sorted view.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with(
+        &self,
+        spec: &VariationSpec,
+        fleet_size: u64,
+        on_report: impl FnMut(&DeviceReport),
+    ) -> Result<FleetReport, SimError> {
+        self.run_with_metrics(spec, fleet_size, &MetricsRegistry::new(), on_report)
+    }
+
+    /// [`run_with`](Self::run_with), also publishing `fleet.*` metrics:
+    /// device/pass/fail/defect counts, cycle and wire-cycle totals, the
+    /// shared route cache's hit/miss/eviction counters, and a per-device
+    /// cycle histogram (observed in device order). Metrics never include
+    /// wall-clock quantities, so they are bit-identical across thread
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_with_metrics(
+        &self,
+        spec: &VariationSpec,
+        fleet_size: u64,
+        metrics: &MetricsRegistry,
+        mut on_report: impl FnMut(&DeviceReport),
+    ) -> Result<FleetReport, SimError> {
+        let started = Instant::now();
+        // Bounded: a lagging consumer backpressures the workers instead of
+        // buffering the whole fleet's reports.
+        let (tx, rx) = mpsc::sync_channel::<Result<DeviceReport, SimError>>(
+            self.pool.threads().saturating_mul(2).max(1),
+        );
+        for device_id in 0..fleet_size {
+            let soc = Arc::clone(&self.soc);
+            let plan = Arc::clone(&self.plan);
+            let cache = Arc::clone(&self.cache);
+            let fault = spec.fault_for(&self.soc, device_id);
+            let tx = tx.clone();
+            self.pool.execute(move || {
+                // The receiver hangs up after a first error: discard late
+                // results instead of panicking the worker.
+                let _ = tx.send(test_device(&soc, &plan, &cache, device_id, fault));
+            });
+        }
+        drop(tx);
+
+        let mut devices: Vec<DeviceReport> = Vec::with_capacity(fleet_size as usize);
+        for outcome in rx {
+            let report = outcome?;
+            on_report(&report);
+            devices.push(report);
+        }
+        let wall = started.elapsed();
+        devices.sort_by_key(|d| d.device_id);
+
+        let passed = devices.iter().filter(|d| d.passed()).count();
+        let total_cycles: u64 = devices.iter().map(|d| d.report.total_cycles).sum();
+        let wire_cycles: u64 = devices.iter().map(|d| d.report.bus_cycles).sum();
+
+        metrics.set("fleet.devices", fleet_size);
+        metrics.set("fleet.passed", passed as u64);
+        metrics.set("fleet.failed", devices.len() as u64 - passed as u64);
+        metrics.set(
+            "fleet.defects.injected",
+            devices.iter().filter(|d| d.fault.is_some()).count() as u64,
+        );
+        metrics.set("fleet.cycles.total", total_cycles);
+        metrics.set("fleet.bus.wire_cycles", wire_cycles);
+        metrics.set("fleet.threads", self.pool.threads() as u64);
+        metrics.set("fleet.route_cache.hits", self.cache.hits());
+        metrics.set("fleet.route_cache.misses", self.cache.misses());
+        metrics.set("fleet.route_cache.evictions", self.cache.evictions());
+        metrics.set("fleet.route_cache.shapes", self.cache.len() as u64);
+        for device in &devices {
+            metrics.observe("fleet.device.cycles", device.report.total_cycles);
+        }
+
+        if self.trace.enabled() {
+            // Post-hoc, device-ordered, on a logical cycle timeline: the
+            // trace describes the fleet, not the scheduler.
+            let mut ts = 0u64;
+            for device in &devices {
+                self.trace.record(TraceEvent::span(
+                    "fleet",
+                    format!("device{}", device.device_id),
+                    ts,
+                    device.report.total_cycles,
+                    vec![
+                        ("pass", device.passed().into()),
+                        ("defective", device.fault.is_some().into()),
+                    ],
+                ));
+                ts += device.report.total_cycles;
+            }
+        }
+
+        Ok(FleetReport {
+            devices,
+            passed,
+            total_cycles,
+            wire_cycles,
+            wall,
+        })
+    }
+}
+
+/// Tests one device: fresh simulator, optional stamped defect, compiled
+/// engine over the shared route cache. Single-threaded per device — the
+/// fleet's parallelism lives across devices.
+fn test_device(
+    soc: &SocDescription,
+    plan: &CompiledProgram,
+    cache: &Arc<RouteTableCache>,
+    device_id: u64,
+    fault: Option<InjectedFault>,
+) -> Result<DeviceReport, SimError> {
+    let mut sim = SocSimulator::new(soc, plan.bus_width())?;
+    if let Some(fault) = &fault {
+        fault.apply(&mut sim)?;
+    }
+    let engine = CompiledEngine::new().with_cache(Arc::clone(cache));
+    let report = engine.run(&mut sim, plan.program())?;
+    Ok(DeviceReport {
+        device_id,
+        fault,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_controller::schedule::packed_schedule;
+    use casbus_soc::catalog;
+
+    #[test]
+    fn variation_spec_is_deterministic_and_respects_rate() {
+        let soc = catalog::figure1_soc();
+        let spec = VariationSpec::new(7, 0.5);
+        for id in 0..32 {
+            assert_eq!(spec.fault_for(&soc, id), spec.fault_for(&soc, id));
+        }
+        let perfect = VariationSpec::perfect();
+        assert!((0..32).all(|id| perfect.fault_for(&soc, id).is_none()));
+
+        let always = VariationSpec::new(3, 1.0);
+        let faults: Vec<InjectedFault> = (0..32)
+            .map(|id| always.fault_for(&soc, id).expect("rate 1.0 stamps all"))
+            .collect();
+        assert!(
+            faults.windows(2).any(|w| w[0] != w[1]),
+            "devices draw distinct defects"
+        );
+        for fault in &faults {
+            let (_, desc) = soc.core_by_name(&fault.core).unwrap();
+            let TestMethod::Scan { chains, .. } = desc.method() else {
+                panic!("faults land on scan cores only");
+            };
+            assert!(fault.position < chains[fault.chain]);
+        }
+
+        // Out-of-range rates clamp instead of misbehaving.
+        assert_eq!(VariationSpec::new(1, 7.0).defect_rate(), 1.0);
+        assert_eq!(VariationSpec::new(1, -1.0).defect_rate(), 0.0);
+    }
+
+    #[test]
+    fn fleet_of_one_matches_run_program() {
+        let soc = catalog::figure1_soc();
+        let schedule = packed_schedule(&soc, 8).unwrap();
+        let runner = FleetRunner::new(&soc, 8, schedule.clone()).unwrap();
+        let fleet = runner.run(&VariationSpec::perfect(), 1).unwrap();
+
+        let plan = CompiledProgram::compile(&soc, 8, schedule).unwrap();
+        let mut sim = SocSimulator::new(&soc, 8).unwrap();
+        let expected = crate::report::run_program(&mut sim, plan.program()).unwrap();
+        assert_eq!(fleet.devices.len(), 1);
+        assert_eq!(fleet.devices[0].report, expected);
+        assert!(fleet.devices[0].fault.is_none());
+        assert_eq!(fleet.passed, 1);
+    }
+
+    #[test]
+    fn healthy_fleet_reports_identical_devices_and_full_yield() {
+        let soc = catalog::figure2a_scan_soc();
+        let runner = FleetRunner::new(&soc, 4, packed_schedule(&soc, 4).unwrap())
+            .unwrap()
+            .with_threads(3);
+        let metrics = MetricsRegistry::new();
+        let mut streamed = 0usize;
+        let fleet = runner
+            .run_with_metrics(&VariationSpec::perfect(), 9, &metrics, |_| streamed += 1)
+            .unwrap();
+
+        assert_eq!(streamed, 9, "every report streams through the callback");
+        assert_eq!(fleet.passed, 9);
+        assert!((fleet.yield_fraction() - 1.0).abs() < f64::EPSILON);
+        let ids: Vec<u64> = fleet.devices.iter().map(|d| d.device_id).collect();
+        assert_eq!(ids, (0..9).collect::<Vec<_>>(), "sorted by device id");
+        assert!(fleet.devices.windows(2).all(|w| w[0].report == w[1].report));
+        assert_eq!(metrics.counter("fleet.devices"), 9);
+        assert_eq!(metrics.counter("fleet.passed"), 9);
+        assert_eq!(metrics.counter("fleet.cycles.total"), fleet.total_cycles);
+        assert_eq!(metrics.histogram("fleet.device.cycles").unwrap().count, 9);
+    }
+
+    #[test]
+    fn defective_dies_fail_only_if_defective() {
+        // Detection of a random stuck-at is not guaranteed (the fault may
+        // sit on a don't-care position), but a failing device is always a
+        // defective one: healthy dies never fail.
+        let soc = catalog::figure2a_scan_soc();
+        let runner = FleetRunner::new(&soc, 4, packed_schedule(&soc, 4).unwrap())
+            .unwrap()
+            .with_threads(2);
+        let fleet = runner.run(&VariationSpec::new(11, 0.5), 24).unwrap();
+        assert!(fleet.failed() > 0, "a 50% defect rate catches some dies");
+        for device in &fleet.devices {
+            if !device.passed() {
+                assert!(device.fault.is_some(), "device {}", device.device_id);
+            }
+            if device.fault.is_none() {
+                assert!(device.passed(), "device {}", device.device_id);
+            }
+        }
+    }
+
+    #[test]
+    fn route_compilations_are_independent_of_fleet_size() {
+        let soc = catalog::figure2a_scan_soc();
+        let schedule = packed_schedule(&soc, 4).unwrap();
+        let misses_for = |fleet_size: u64| {
+            let runner = FleetRunner::new(&soc, 4, schedule.clone())
+                .unwrap()
+                .with_threads(4);
+            runner.run(&VariationSpec::perfect(), fleet_size).unwrap();
+            runner.cache().misses()
+        };
+        let small = misses_for(2);
+        let large = misses_for(16);
+        assert!(small > 0, "first device compiles the shapes");
+        assert_eq!(small, large, "identical devices never recompile");
+    }
+
+    #[test]
+    fn fleet_traces_are_device_ordered_and_logical() {
+        let soc = catalog::figure2a_scan_soc();
+        let sink = casbus_obs::MemorySink::new();
+        let runner = FleetRunner::new(&soc, 4, packed_schedule(&soc, 4).unwrap())
+            .unwrap()
+            .with_threads(4)
+            .with_trace(sink.clone());
+        runner.run(&VariationSpec::perfect(), 6).unwrap();
+        let events = sink.events();
+        assert_eq!(events.len(), 6);
+        for (idx, event) in events.iter().enumerate() {
+            assert_eq!(event.name, format!("device{idx}"));
+        }
+        assert!(
+            events.windows(2).all(|w| w[1].ts == w[0].ts + w[0].dur),
+            "cumulative logical timeline"
+        );
+    }
+
+    #[test]
+    fn searched_runner_serves_the_searched_schedule() {
+        let soc = catalog::figure1_soc();
+        let budget = SearchBudget::smoke();
+        let runner = FleetRunner::searched(&soc, 8, budget).unwrap();
+        let (expected_schedule, expected_report) =
+            crate::search::run_program_searched(&soc, 8, budget).unwrap();
+        assert_eq!(runner.schedule(), &expected_schedule);
+        let fleet = runner.run(&VariationSpec::perfect(), 3).unwrap();
+        assert!(fleet.devices.iter().all(|d| d.report == expected_report));
+    }
+}

@@ -30,6 +30,9 @@
 //!   makespan search pick the schedule, validating survivors on the
 //!   compiled engine and gating the winner bit-exactly against the
 //!   reference interpreter,
+//! * [`fleet::FleetRunner`] — compile one test program once and serve it
+//!   across thousands of simulated devices on a persistent worker pool,
+//!   streaming per-device pass/fail reports and a fleet yield summary,
 //! * fault injection — flip a core defect on and watch the session fail.
 //!
 //! # Example
@@ -50,7 +53,9 @@
 
 pub mod bus_core;
 pub mod engine;
+pub mod fleet;
 pub mod interconnect;
+pub mod pool;
 pub mod report;
 pub mod search;
 pub mod session;
@@ -58,7 +63,9 @@ pub mod simulator;
 
 pub use bus_core::SystemBusCore;
 pub use engine::CompiledEngine;
+pub use fleet::{DeviceReport, FleetReport, FleetRunner, InjectedFault, VariationSpec};
 pub use interconnect::run_interconnect_extest;
+pub use pool::WorkerPool;
 pub use report::{
     run_program, run_program_reference, run_program_reference_with_metrics,
     run_program_with_metrics, SocTestReport,

@@ -1,0 +1,269 @@
+//! Execution pools for the simulator's parallel paths.
+//!
+//! Two shapes of parallelism live here:
+//!
+//! * [`lpt_fanout`] — the *scoped* fan-out every per-wave / per-candidate
+//!   path uses: weighted items are balanced over short-lived workers by
+//!   longest-processing-time (the same [`partition_lpt`] the schedule
+//!   partitioner uses, so schedule-time predictions and run-time bucketing
+//!   agree), joined before returning. Borrowed data is fine; thread churn is
+//!   paid per call.
+//! * [`WorkerPool`] — the *persistent* pool fleet serving runs on:
+//!   long-lived workers pull whole jobs from one shared injector queue, so
+//!   a thousand-device run spawns its threads exactly once. Jobs must be
+//!   `'static` (they outlive the submitting call); results stream back over
+//!   whatever channel the job captured.
+//!
+//! The split is deliberate: a persistent pool cannot safely borrow from the
+//! submitting stack frame, and a scoped pool cannot amortise thread startup
+//! across calls. Per-device work (owns its simulator) takes the persistent
+//! pool; per-lane work (borrows the device's wrappers) takes the scoped
+//! fan-out.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use casbus_controller::partition_lpt;
+
+/// Runs `f` over every item, spreading the work across up to `workers`
+/// scoped threads balanced by LPT on the supplied weights, and returns the
+/// results **in input order**. With one worker (or one item) everything
+/// runs inline on the caller's thread — no spawn, no churn.
+///
+/// Deterministic by construction: each item's result depends only on that
+/// item, and the output order is the input order regardless of how the
+/// buckets interleave.
+pub fn lpt_fanout<T, R, F>(weighted: Vec<(u64, T)>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = workers.min(weighted.len()).max(1);
+    if workers <= 1 {
+        return weighted.into_iter().map(|(_, item)| f(item)).collect();
+    }
+    let slotted: Vec<(u64, (usize, T))> = weighted
+        .into_iter()
+        .enumerate()
+        .map(|(slot, (weight, item))| (weight, (slot, item)))
+        .collect();
+    let mut results: Vec<Option<R>> = (0..slotted.len()).map(|_| None).collect();
+    let computed = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = partition_lpt(slotted, workers)
+            .into_iter()
+            .map(|bucket| {
+                scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(slot, item)| (slot, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fan-out worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    for (slot, result) in computed {
+        results[slot] = Some(result);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot computed"))
+        .collect()
+}
+
+/// A job the pool executes: owns everything it touches.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between the submitting side and the workers.
+#[derive(Default)]
+struct PoolState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_ready: Condvar,
+    executed: AtomicU64,
+}
+
+/// A persistent pool of worker threads pulling jobs from one shared queue.
+///
+/// Workers are spawned once, at construction, and live until the pool is
+/// dropped: submitting ten thousand jobs costs ten thousand queue pushes,
+/// not ten thousand thread spawns. Idle workers block on a condvar and
+/// steal the next available job the moment one lands, so load balances
+/// itself — a worker stuck on a long device simply stops pulling while the
+/// others drain the queue.
+///
+/// Jobs are `FnOnce() + Send + 'static`; anything they produce streams back
+/// through channels the job captured. Dropping the pool finishes every
+/// queued job first, then joins the workers (tests rely on nothing being
+/// silently discarded).
+///
+/// # Examples
+///
+/// ```
+/// use casbus_sim::pool::WorkerPool;
+/// use std::sync::mpsc;
+///
+/// let pool = WorkerPool::new(4);
+/// let (tx, rx) = mpsc::sync_channel(8);
+/// for device in 0..32u64 {
+///     let tx = tx.clone();
+///     pool.execute(move || tx.send(device * device).unwrap());
+/// }
+/// drop(tx);
+/// let mut squares: Vec<u64> = rx.iter().collect();
+/// squares.sort_unstable();
+/// assert_eq!(squares[31], 31 * 31);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("executed", &self.jobs_executed())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` long-lived workers (`0` means one per
+    /// available hardware thread).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            work_ready: Condvar::new(),
+            executed: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || Self::worker_loop(&shared))
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    fn worker_loop(shared: &PoolShared) {
+        loop {
+            let job = {
+                let mut state = shared.state.lock().expect("worker pool poisoned");
+                loop {
+                    if let Some(job) = state.jobs.pop_front() {
+                        break job;
+                    }
+                    if state.shutdown {
+                        return;
+                    }
+                    state = shared.work_ready.wait(state).expect("worker pool poisoned");
+                }
+            };
+            job();
+            shared.executed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Enqueues one job; the first idle worker picks it up.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let mut state = self.shared.state.lock().expect("worker pool poisoned");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs completed over the pool's lifetime.
+    pub fn jobs_executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("worker pool poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            worker.join().expect("pool worker panicked");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn lpt_fanout_preserves_input_order_at_every_worker_count() {
+        let items: Vec<(u64, usize)> = (0..13).map(|i| ((13 - i) as u64, i)).collect();
+        let expected: Vec<usize> = (0..13).map(|i| i * 3).collect();
+        for workers in [1usize, 2, 4, 16] {
+            let got = lpt_fanout(items.clone(), workers, |i| i * 3);
+            assert_eq!(got, expected, "{workers} workers");
+        }
+        assert!(lpt_fanout::<usize, usize, _>(vec![], 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn pool_executes_every_job_before_dropping() {
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..100u64 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        drop(pool);
+    }
+
+    #[test]
+    fn pool_survives_multiple_submission_rounds() {
+        // The persistent pool is reused across runs: same workers, more jobs.
+        let pool = WorkerPool::new(2);
+        for round in 0..3 {
+            let (tx, rx) = mpsc::sync_channel(4);
+            for i in 0..10u64 {
+                let tx = tx.clone();
+                pool.execute(move || tx.send(i).unwrap());
+            }
+            drop(tx);
+            assert_eq!(rx.iter().sum::<u64>(), 45, "round {round}");
+        }
+        assert_eq!(pool.jobs_executed(), 30);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+    }
+}

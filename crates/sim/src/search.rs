@@ -17,19 +17,20 @@ use std::sync::Arc;
 
 use casbus::{RouteTableCache, Tam};
 use casbus_controller::search::{search_schedule_with, CandidateValidator, SearchBudget};
-use casbus_controller::{partition_lpt, Schedule, TestProgram};
+use casbus_controller::{Schedule, TestProgram};
 use casbus_obs::MetricsRegistry;
 use casbus_soc::SocDescription;
 
 use crate::engine::CompiledEngine;
+use crate::pool::lpt_fanout;
 use crate::report::{run_program_reference, SocTestReport};
 use crate::simulator::{SimError, SocSimulator};
 
 /// Execution-backed candidate validation on the compiled engine.
 ///
 /// Candidates are spread over up to `threads` scoped workers by LPT on
-/// their makespans (the same [`partition_lpt`] the engine uses for lanes),
-/// and every worker's engine shares this validator's [`RouteTableCache`]:
+/// their makespans (the shared [`lpt_fanout`] the engine also uses for
+/// lanes), and every worker's engine shares this validator's [`RouteTableCache`]:
 /// survivor pools repeat wave shapes heavily, so most steps route-compile
 /// as a hash lookup. A candidate that fails to build, configure, or pass
 /// is vetoed (`None`) — the search then drops it from the pool.
@@ -87,6 +88,16 @@ impl CompiledValidator {
         &self.cache
     }
 
+    /// Replaces the validator's route-table cache with a shared (possibly
+    /// capacity-bounded) one, so a longer-lived owner — the fleet runner
+    /// compiles through the very cache its devices will execute from — pays
+    /// each wave shape's compilation exactly once across search *and*
+    /// serving.
+    pub fn with_cache(mut self, cache: Arc<RouteTableCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     /// Builds, configures, and runs one candidate; `None` vetoes it.
     fn measure_one(&self, soc: &SocDescription, candidate: &Schedule) -> Option<u64> {
         let n = candidate.bus_width();
@@ -106,40 +117,16 @@ impl CompiledValidator {
 
 impl CandidateValidator for CompiledValidator {
     fn measure(&self, soc: &SocDescription, candidates: &[Schedule]) -> Vec<Option<u64>> {
-        let workers = self.threads.min(candidates.len()).max(1);
-        if workers <= 1 {
-            return candidates
-                .iter()
-                .map(|candidate| self.measure_one(soc, candidate))
-                .collect();
-        }
+        // Candidates spread over the shared scoped LPT fan-out by makespan;
+        // results come back in candidate order.
         let weighted: Vec<(u64, usize)> = candidates
             .iter()
             .enumerate()
             .map(|(idx, candidate)| (candidate.makespan(), idx))
             .collect();
-        let mut measured = vec![None; candidates.len()];
-        let computed = std::thread::scope(|scope| {
-            let handles: Vec<_> = partition_lpt(weighted, workers)
-                .into_iter()
-                .map(|bucket| {
-                    scope.spawn(move || {
-                        bucket
-                            .into_iter()
-                            .map(|idx| (idx, self.measure_one(soc, &candidates[idx])))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("validation worker panicked"))
-                .collect::<Vec<_>>()
-        });
-        for (idx, value) in computed {
-            measured[idx] = value;
-        }
-        measured
+        lpt_fanout(weighted, self.threads, |idx| {
+            self.measure_one(soc, &candidates[idx])
+        })
     }
 }
 

@@ -1,0 +1,218 @@
+//! Differential property tests for fleet batch serving: a [`FleetRunner`]
+//! over N devices must be bit-identical — device reports, signatures,
+//! verdicts, and every wall-clock-free `fleet.*` metric — to testing the
+//! same N devices one at a time with a plain per-device engine, at every
+//! fleet size and worker-thread count, with and without stamped defects.
+
+use casbus_controller::schedule::packed_schedule;
+use casbus_controller::search::SearchBudget;
+use casbus_controller::CompiledProgram;
+use casbus_obs::MetricsRegistry;
+use casbus_sim::{
+    run_program_searched, CompiledEngine, DeviceReport, FleetRunner, SocSimulator, VariationSpec,
+};
+use casbus_soc::{catalog, SocDescription};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// The sequential baseline: each device tested on its own, in device-id
+/// order, on a fresh single-threaded engine — defects stamped by the same
+/// [`VariationSpec`] the fleet uses.
+fn sequential_baseline(
+    soc: &SocDescription,
+    plan: &CompiledProgram,
+    spec: &VariationSpec,
+    fleet_size: u64,
+) -> Vec<DeviceReport> {
+    (0..fleet_size)
+        .map(|device_id| {
+            let fault = spec.fault_for(soc, device_id);
+            let mut sim = SocSimulator::new(soc, plan.bus_width()).expect("simulator");
+            if let Some(fault) = &fault {
+                fault.apply(&mut sim).expect("inject");
+            }
+            let report = CompiledEngine::new()
+                .run(&mut sim, plan.program())
+                .expect("device run");
+            DeviceReport {
+                device_id,
+                fault,
+                report,
+            }
+        })
+        .collect()
+}
+
+/// Runs the fleet at every `(fleet_size, threads)` combination and asserts
+/// bit-identity with the sequential baseline.
+fn assert_fleet_matches_sequential(soc: &SocDescription, n: usize, spec: &VariationSpec) {
+    let schedule = packed_schedule(soc, n).expect("schedule");
+    let plan = CompiledProgram::compile(soc, n, schedule.clone()).expect("plan");
+
+    for fleet_size in [1u64, 2, 16] {
+        let baseline = sequential_baseline(soc, &plan, spec, fleet_size);
+        let expected_passed = baseline.iter().filter(|d| d.passed()).count();
+        let expected_cycles: u64 = baseline.iter().map(|d| d.report.total_cycles).sum();
+
+        let mut reference_metrics: Option<String> = None;
+        for threads in [1usize, 2, 4] {
+            let runner = FleetRunner::new(soc, n, schedule.clone())
+                .expect("runner")
+                .with_threads(threads);
+            let metrics = MetricsRegistry::new();
+            let fleet = runner
+                .run_with_metrics(spec, fleet_size, &metrics, |_| {})
+                .expect("fleet run");
+
+            assert_eq!(
+                fleet.devices, baseline,
+                "device reports diverged at fleet {fleet_size}, {threads} threads"
+            );
+            assert_eq!(fleet.passed, expected_passed);
+            assert_eq!(fleet.total_cycles, expected_cycles);
+
+            // Metrics (wall-clock-free by contract) must not depend on the
+            // thread count; fleet.threads is the one key that names it.
+            metrics.set("fleet.threads", 0);
+            let json = metrics.to_json();
+            match &reference_metrics {
+                None => reference_metrics = Some(json),
+                Some(reference) => assert_eq!(
+                    &json, reference,
+                    "metrics diverged at fleet {fleet_size}, {threads} threads"
+                ),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random SoCs, healthy fleets: batch serving is observationally a
+    /// loop of per-device runs.
+    #[test]
+    fn healthy_fleet_matches_sequential_runs(
+        seed in any::<u64>(),
+        n_cores in 2usize..=5,
+        max_ports in 1usize..=3,
+        slack in 0usize..=2,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let soc = catalog::random_soc(&mut rng, n_cores, max_ports);
+        let n = soc.max_ports() + slack;
+        assert_fleet_matches_sequential(&soc, n, &VariationSpec::perfect());
+    }
+
+    /// Same, with ~25% of dies stamped defective: fault injection is part
+    /// of the determinism contract, and failing signatures must match the
+    /// sequential baseline bit for bit too.
+    #[test]
+    fn defective_fleet_matches_sequential_runs(
+        seed in any::<u64>(),
+        n_cores in 2usize..=5,
+        variation_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed.rotate_left(29) ^ 0x5bd1_e995);
+        let soc = catalog::random_soc(&mut rng, n_cores, 3);
+        let n = soc.max_ports();
+        let spec = VariationSpec::new(variation_seed, 0.25);
+        assert_fleet_matches_sequential(&soc, n, &spec);
+    }
+}
+
+/// A searched fleet serves exactly the plan [`run_program_searched`] would
+/// execute: same schedule, and every healthy device's report equals the
+/// report a literal loop of `run_program_searched` calls produces.
+#[test]
+fn searched_fleet_matches_run_program_searched_loop() {
+    let soc = catalog::figure1_soc();
+    let budget = SearchBudget::smoke();
+    let runner = FleetRunner::searched(&soc, 8, budget)
+        .expect("searched runner")
+        .with_threads(4);
+    let fleet = runner.run(&VariationSpec::perfect(), 8).expect("fleet run");
+
+    for device in &fleet.devices {
+        let (schedule, report) = run_program_searched(&soc, 8, budget).expect("searched run");
+        assert_eq!(runner.schedule(), &schedule, "device {}", device.device_id);
+        assert_eq!(device.report, report, "device {}", device.device_id);
+    }
+}
+
+/// Route-table compilation work is a property of the plan, not the fleet:
+/// growing the fleet (at any thread count) adds cache hits, never misses.
+#[test]
+fn cache_misses_are_independent_of_fleet_size_and_threads() {
+    let soc = catalog::itc02_like_soc();
+    let schedule = packed_schedule(&soc, 16).expect("schedule");
+    let mut observed = Vec::new();
+    for (fleet_size, threads) in [(1u64, 1usize), (4, 2), (12, 4)] {
+        let runner = FleetRunner::new(&soc, 16, schedule.clone())
+            .expect("runner")
+            .with_threads(threads);
+        runner
+            .run(&VariationSpec::perfect(), fleet_size)
+            .expect("fleet run");
+        observed.push(runner.cache().misses());
+    }
+    assert!(observed[0] > 0, "shapes compile once");
+    assert!(
+        observed.windows(2).all(|w| w[0] == w[1]),
+        "misses grew with fleet size: {observed:?}"
+    );
+}
+
+/// A bounded cache under the per-plan working set must evict and recompile
+/// — but results stay bit-identical to the unbounded runner.
+#[test]
+fn bounded_cache_thrashes_but_stays_correct() {
+    let soc = catalog::figure1_soc();
+    let schedule = packed_schedule(&soc, 8).expect("schedule");
+    let unbounded = FleetRunner::new(&soc, 8, schedule.clone()).expect("runner");
+    let reference = unbounded
+        .run(&VariationSpec::perfect(), 4)
+        .expect("fleet run");
+    let shapes = unbounded.cache().misses();
+    assert!(shapes > 1, "figure 1 reconfigures across several waves");
+
+    let bounded = FleetRunner::new(&soc, 8, schedule)
+        .expect("runner")
+        .with_cache_capacity(1)
+        .with_threads(2);
+    let got = bounded
+        .run(&VariationSpec::perfect(), 4)
+        .expect("fleet run");
+    assert_eq!(
+        got.devices, reference.devices,
+        "eviction must not change results"
+    );
+    assert!(bounded.cache().evictions() > 0, "capacity 1 must evict");
+    assert!(bounded.cache().len() <= 1, "cap holds after the run");
+}
+
+/// The shared cache is an `Arc`: two runners can serve different fleets
+/// off one cache without recompiling shared shapes.
+#[test]
+fn runners_share_arc_plans_cheaply() {
+    let soc = catalog::figure2a_scan_soc();
+    let schedule = packed_schedule(&soc, 4).expect("schedule");
+    let first = FleetRunner::new(&soc, 4, schedule.clone()).expect("runner");
+    let a = first.run(&VariationSpec::perfect(), 3).expect("fleet run");
+    let misses_after_first = first.cache().misses();
+
+    let cache = Arc::clone(first.cache());
+    drop(first);
+    // The cache outlives its first runner; a fresh engine over it serves
+    // every shape as a hit.
+    let plan = CompiledProgram::compile(&soc, 4, schedule).expect("plan");
+    let mut sim = SocSimulator::new(&soc, 4).expect("simulator");
+    let report = CompiledEngine::new()
+        .with_cache(Arc::clone(&cache))
+        .run(&mut sim, plan.program())
+        .expect("run");
+    assert_eq!(report, a.devices[0].report);
+    assert_eq!(cache.misses(), misses_after_first, "all hits after warm-up");
+}

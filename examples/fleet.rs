@@ -1,0 +1,114 @@
+//! Fleet batch serving on the paper's Figure-1 SoC: compile one searched
+//! test program, then serve it to a 256-device simulated production lot
+//! with a 2% stamped defect rate, streaming per-device reports as they
+//! complete and closing with a yield summary.
+//!
+//! Run with: `cargo run --release --example fleet`
+//!
+//! The binary doubles as a CI self-check: it asserts the invariants the
+//! fleet layer guarantees — every failing die is a stamped-defective die
+//! (healthy silicon never fails), route-table compilation work does not
+//! grow with the fleet, and the yield arithmetic is consistent — and exits
+//! non-zero if any is violated.
+
+use casbus_suite::casbus_controller::search::SearchBudget;
+use casbus_suite::casbus_obs::MetricsRegistry;
+use casbus_suite::casbus_sim::{FleetRunner, VariationSpec};
+use casbus_suite::casbus_soc::catalog;
+
+const BUS_WIDTH: usize = 8;
+const FLEET_SIZE: u64 = 256;
+const DEFECT_RATE: f64 = 0.02;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let soc = catalog::figure1_soc();
+    println!(
+        "fleet serving: {} ({} cores) on an {BUS_WIDTH}-wire bus",
+        soc.name(),
+        soc.cores().len()
+    );
+
+    // One-time planning: annealed schedule search with execution-backed
+    // validation, compiled and gated bit-exactly against the reference
+    // interpreter. Every device below reuses this plan and its route cache.
+    let runner = FleetRunner::searched(&soc, BUS_WIDTH, SearchBudget::smoke())?;
+    println!(
+        "searched schedule: makespan {} cycles, {} configuration waves, {} worker threads",
+        runner.schedule().makespan(),
+        runner.schedule().configuration_waves(),
+        runner.threads()
+    );
+
+    let spec = VariationSpec::new(2026, DEFECT_RATE);
+    let metrics = MetricsRegistry::new();
+    let mut failures = Vec::new();
+    let fleet = runner.run_with_metrics(&spec, FLEET_SIZE, &metrics, |device| {
+        if !device.passed() {
+            // Streaming: failures print the moment the device finishes,
+            // long before the lot completes.
+            let fault = device.fault.as_ref().expect("only defective dies fail");
+            println!(
+                "  device {:3} FAIL — stuck-at-{} on {} chain {} position {}",
+                device.device_id,
+                u8::from(fault.stuck_at),
+                fault.core,
+                fault.chain,
+                fault.position
+            );
+            failures.push(device.device_id);
+        }
+    })?;
+
+    let defective = fleet.devices.iter().filter(|d| d.fault.is_some()).count();
+    let escapes = defective - fleet.failed();
+    println!("{fleet}");
+    println!(
+        "  {defective} dies stamped defective, {} detected, {escapes} test escapes",
+        fleet.failed()
+    );
+    println!(
+        "  route cache: {} misses / {} hits across the whole lot",
+        runner.cache().misses(),
+        runner.cache().hits()
+    );
+
+    // --- Self-check: the invariants CI relies on. ---
+
+    // 1. Failing ⊆ defective: a healthy die never fails. (The converse is
+    // not guaranteed — a stuck-at can sit on a don't-care position — so
+    // undetected defects are reported as escapes, not errors.)
+    for device in &fleet.devices {
+        assert!(
+            device.passed() || device.fault.is_some(),
+            "healthy device {} failed",
+            device.device_id
+        );
+    }
+
+    // 2. Yield arithmetic is consistent between the report, the streaming
+    // callback, and the metrics registry.
+    assert_eq!(fleet.fleet_size() as u64, FLEET_SIZE);
+    assert_eq!(fleet.passed + fleet.failed(), fleet.fleet_size());
+    assert_eq!(failures.len(), fleet.failed());
+    assert_eq!(metrics.counter("fleet.devices"), FLEET_SIZE);
+    assert_eq!(metrics.counter("fleet.passed"), fleet.passed as u64);
+    assert_eq!(metrics.counter("fleet.defects.injected"), defective as u64);
+
+    // 3. Route compilation is a property of the plan, not the fleet: lots
+    // of different sizes on fresh runners compile exactly as many tables.
+    // (The searched runner's own counter also includes shapes explored
+    // during the search, so fresh serving-only runners are compared.)
+    let misses_for = |lot: u64| -> Result<u64, Box<dyn std::error::Error>> {
+        let fresh = FleetRunner::new(&soc, BUS_WIDTH, runner.schedule().clone())?;
+        fresh.run(&spec, lot)?;
+        Ok(fresh.cache().misses())
+    };
+    assert_eq!(
+        misses_for(FLEET_SIZE / 16)?,
+        misses_for(FLEET_SIZE / 4)?,
+        "route compilations grew with fleet size"
+    );
+
+    println!("fleet self-check passed");
+    Ok(())
+}
