@@ -1,16 +1,21 @@
-//! Instrumentation overhead of the observability layer on the two hot
-//! paths it touches: the bit-parallel (PPSFP) fault-simulation engine and
-//! the cycle-accurate SoC simulator.
+//! Instrumentation overhead of the observability layer on the hot paths it
+//! touches: the bit-parallel (PPSFP) fault-simulation engine, the
+//! cycle-accurate SoC simulator, and fleet batch serving under a live
+//! [`FleetMonitor`](casbus_sim::FleetMonitor).
 //!
-//! Each workload runs three ways — instrumentation disabled (the default
-//! `NullSink` / no probe), with a full JSONL event trace, and (for the SoC
-//! simulator) with a cycle-accurate VCD probe — and reports the best-of-N
-//! wall-clock time plus the overhead relative to the disabled baseline, to
-//! stdout and to `BENCH_observability.json` at the workspace root.
+//! Each workload runs several ways — instrumentation disabled (the default
+//! `NullSink` / no probe / no monitor), with a full JSONL event trace, with
+//! a cycle-accurate VCD probe (SoC simulator), and with streaming health
+//! snapshots or per-device flight recorders (fleet) — and reports the
+//! best-of-N wall-clock time plus the overhead relative to the disabled
+//! baseline, to stdout and to `BENCH_observability.json` at the workspace
+//! root.
 //!
 //! The contract stated in `casbus-obs` is that the *disabled* configuration
-//! costs one predictable branch per coarse event; this binary is the
-//! regression check behind that claim.
+//! costs one predictable branch per coarse event, and that a live monitor
+//! stays within a couple of percent of the unmonitored fleet; this binary
+//! is the regression check behind both claims. Set `CASBUS_BENCH_SMOKE=1`
+//! for the fast CI configuration (a 64-device lot instead of 256).
 //!
 //! ```text
 //! cargo run --release -p casbus-bench --bin observability_overhead
@@ -24,7 +29,7 @@ use casbus_netlist::crosspoint::synthesize_crosspoint_cas;
 use casbus_netlist::fault::enumerate_faults;
 use casbus_netlist::PackedEngine;
 use casbus_obs::{MemorySink, VcdWriter};
-use casbus_sim::{report, SocSimulator};
+use casbus_sim::{report, FleetMonitor, FleetRunner, MonitorConfig, SocSimulator, VariationSpec};
 use casbus_soc::catalog;
 use casbus_tpg::BitVec;
 
@@ -32,6 +37,7 @@ const COUNT: usize = 8;
 const DEPTH: usize = 6;
 const RUNS: usize = 7;
 const BUDGET: Duration = Duration::from_secs(5);
+const FLEET_BUDGET: Duration = Duration::from_secs(45);
 
 fn sequences(inputs: usize) -> Vec<Vec<BitVec>> {
     let mut state = 0x1234_5678_9abc_def0u64;
@@ -91,25 +97,46 @@ fn ppsfp_rows(rows: &mut Vec<Row>) {
     let faults = enumerate_faults(&netlist).len();
 
     // Single-threaded engines: partitioning noise would drown a 2% signal.
+    // Sub-millisecond runs are hostage to scheduler jitter, so the two
+    // configs are interleaved over many rounds and best-of is taken per
+    // config — a block of one config can land in a noisy stretch and fake
+    // a 2x "overhead" otherwise.
     let disabled = PackedEngine::new(&netlist).expect("valid").with_threads(1);
-    let base = best_of(|| disabled.fault_coverage(&seqs));
+    let sink = MemorySink::new();
+    let traced = PackedEngine::new(&netlist)
+        .expect("valid")
+        .with_threads(1)
+        .with_trace(sink.clone());
+    let mut base = Duration::MAX;
+    let mut jsonl = Duration::MAX;
+    let mut render = Duration::MAX;
+    let started = Instant::now();
+    for round in 0..200 {
+        if round > 0 && started.elapsed() > BUDGET {
+            break;
+        }
+        let t0 = Instant::now();
+        disabled.fault_coverage(&seqs);
+        base = base.min(t0.elapsed());
+
+        sink.clear();
+        let t0 = Instant::now();
+        traced.fault_coverage(&seqs);
+        jsonl = jsonl.min(t0.elapsed());
+        // JSONL rendering is a post-run export, not part of the traced
+        // workload; timing it separately keeps this row an honest measure
+        // of in-loop recording cost. (Earlier recordings of this workload
+        // folded the render into the timed region — see EXPERIMENTS.md §P3.)
+        let t0 = Instant::now();
+        let _ = sink.jsonl().len();
+        render = render.min(t0.elapsed());
+    }
     rows.push(Row {
         workload: "ppsfp_fault_coverage",
         config: "disabled",
         best: base,
         overhead_pct: 0.0,
         events: 0,
-    });
-
-    let sink = MemorySink::new();
-    let traced = PackedEngine::new(&netlist)
-        .expect("valid")
-        .with_threads(1)
-        .with_trace(sink.clone());
-    let jsonl = best_of(|| {
-        sink.clear();
-        traced.fault_coverage(&seqs);
-        sink.jsonl().len()
     });
     rows.push(Row {
         workload: "ppsfp_fault_coverage",
@@ -119,10 +146,11 @@ fn ppsfp_rows(rows: &mut Vec<Row>) {
         events: sink.len(),
     });
     println!(
-        "ppsfp ({faults} faults): disabled {:.3}ms, jsonl {:.3}ms ({:+.1}%)",
+        "ppsfp ({faults} faults): disabled {:.3}ms, jsonl {:.3}ms ({:+.1}%), export {:.3}ms",
         base.as_secs_f64() * 1e3,
         jsonl.as_secs_f64() * 1e3,
-        pct(base, jsonl)
+        pct(base, jsonl),
+        render.as_secs_f64() * 1e3,
     );
 }
 
@@ -186,10 +214,137 @@ fn soc_rows(rows: &mut Vec<Row>) {
     );
 }
 
+fn fleet_rows(rows: &mut Vec<Row>) {
+    let smoke = std::env::var("CASBUS_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let fleet_size: u64 = if smoke { 64 } else { 256 };
+
+    // The example lot: Figure-1 on an 8-wire bus with a 2% defect stamp.
+    // Monitoring must watch this run without slowing it down: the issue's
+    // budget is 2% throughput overhead with snapshots streaming.
+    let soc = catalog::figure1_soc();
+    let n = 8;
+    let sched = schedule::packed_schedule(&soc, n).expect("schedulable");
+    let spec = VariationSpec::new(2026, 0.02);
+
+    let baseline = FleetRunner::new(&soc, n, sched.clone()).expect("valid");
+    let snap_runner = FleetRunner::new(&soc, n, sched.clone()).expect("valid");
+    let rec_runner = FleetRunner::new(&soc, n, sched).expect("valid");
+
+    // Nothing drains the channel while the lot runs (the receiver is read
+    // after the fact), so size it for the whole snapshot stream — a live
+    // consumer like `examples/fleet.rs --monitor` gets by with the default.
+    let deep_channel = MonitorConfig {
+        channel_capacity: 1024,
+        ..MonitorConfig::default()
+    };
+
+    // A lot run is seconds, not microseconds, so the three configs are
+    // interleaved round-robin: machine-load drift hits all of them equally
+    // instead of biasing whichever config happened to run in a quiet
+    // stretch. Each config keeps its runner (and warm route cache) across
+    // rounds; per-config best-of is taken over the rounds.
+    let mut best = [Duration::MAX; 3];
+    let mut snapshots = Vec::new();
+    let mut dumps = 0usize;
+    let mut defective = 0usize;
+    let started = Instant::now();
+    for round in 0..RUNS {
+        if round > 0 && started.elapsed() > FLEET_BUDGET {
+            break;
+        }
+
+        let t0 = Instant::now();
+        baseline.run(&spec, fleet_size).expect("runs");
+        best[0] = best[0].min(t0.elapsed());
+
+        // Snapshots on, flight recorders off: the live-dashboard state.
+        let t0 = Instant::now();
+        let (monitor, rx) = FleetMonitor::with_config(MonitorConfig {
+            recorder_capacity: 0,
+            ..deep_channel
+        });
+        snap_runner
+            .run_monitored(&spec, fleet_size, &monitor)
+            .expect("runs");
+        best[1] = best[1].min(t0.elapsed());
+        snapshots = rx.try_iter().collect::<Vec<_>>();
+
+        // Snapshots plus a per-device flight recorder; every defective
+        // die must leave a post-mortem dump behind.
+        let t0 = Instant::now();
+        let (monitor, _rx) = FleetMonitor::with_config(deep_channel);
+        let fleet = rec_runner
+            .run_monitored(&spec, fleet_size, &monitor)
+            .expect("runs");
+        best[2] = best[2].min(t0.elapsed());
+        let recorded = monitor.dumps();
+        for device in fleet.devices.iter().filter(|d| d.fault.is_some()) {
+            assert!(
+                recorded.iter().any(|x| x.device_id == device.device_id),
+                "defective device {} left no flight-recorder dump",
+                device.device_id
+            );
+        }
+        dumps = recorded.len();
+        defective = fleet.devices.iter().filter(|d| d.fault.is_some()).count();
+    }
+    let [base, snap, rec] = best;
+
+    let last = snapshots.last().expect("final snapshot");
+    assert!(last.last, "the closing snapshot is flagged");
+    assert_eq!(last.completed, fleet_size, "the closing snapshot is total");
+    assert!(
+        last.queue_wait_us.p50 < last.queue_wait_us.p99,
+        "queue-wait quantiles must spread: {}",
+        last.queue_wait_us
+    );
+    if !smoke {
+        assert!(
+            snapshots.len() >= 10,
+            "a full lot emits >= 10 snapshots, got {}",
+            snapshots.len()
+        );
+    }
+    assert!(defective > 0, "the 2% stamp marks at least one die");
+    rows.push(Row {
+        workload: "fleet_monitor",
+        config: "disabled",
+        best: base,
+        overhead_pct: 0.0,
+        events: 0,
+    });
+    rows.push(Row {
+        workload: "fleet_monitor",
+        config: "snapshots",
+        best: snap,
+        overhead_pct: pct(base, snap),
+        events: snapshots.len(),
+    });
+    rows.push(Row {
+        workload: "fleet_monitor",
+        config: "recorder",
+        best: rec,
+        overhead_pct: pct(base, rec),
+        events: dumps,
+    });
+
+    println!(
+        "fleet_monitor ({fleet_size} devices): disabled {:.3}ms, snapshots {:.3}ms ({:+.1}%, \
+         {} snapshots), recorder {:.3}ms ({:+.1}%, {dumps} dumps / {defective} defective)",
+        base.as_secs_f64() * 1e3,
+        snap.as_secs_f64() * 1e3,
+        pct(base, snap),
+        snapshots.len(),
+        rec.as_secs_f64() * 1e3,
+        pct(base, rec)
+    );
+}
+
 fn main() {
     let mut rows = Vec::new();
     ppsfp_rows(&mut rows);
     soc_rows(&mut rows);
+    fleet_rows(&mut rows);
 
     let json_rows: Vec<String> = rows
         .iter()
@@ -207,7 +362,8 @@ fn main() {
         .collect();
     let json = format!(
         "{{\n  \"benchmark\": \"observability_overhead\",\n  \"configs\": \
-         [\"disabled\", \"jsonl\", \"vcd\"],\n  \"rows\": [\n{}\n  ]\n}}\n",
+         [\"disabled\", \"jsonl\", \"vcd\", \"snapshots\", \"recorder\"],\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
         json_rows.join(",\n")
     );
     let path = "BENCH_observability.json";

@@ -412,7 +412,7 @@ mod tests {
         let sink = casbus_obs::MemorySink::new();
         let mut ctl = ctl.with_trace(sink.clone());
         while ctl.tick(&mut tam).unwrap() {}
-        let names: Vec<String> = sink.events().iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> = sink.events().iter().map(|e| e.name.to_string()).collect();
         assert_eq!(
             names,
             [

@@ -197,6 +197,9 @@ impl GoldenBlock {
     }
 }
 
+/// Per-worker trace events buffered before one batched push to the sink.
+const TRACE_FLUSH_EVENTS: usize = 1024;
+
 /// Per-thread mutable state for fault propagation. Reused across faults;
 /// stale entries are invalidated by epoch stamps rather than clearing.
 #[derive(Debug)]
@@ -221,6 +224,9 @@ struct Scratch {
     dirty_outputs: Vec<usize>,
     /// BFS worklist of dirty nets.
     queue: Vec<usize>,
+    /// Buffered per-fault trace events, flushed once per partition so the
+    /// sink's lock is taken per chunk rather than per fault.
+    events: Vec<TraceEvent>,
 }
 
 impl Scratch {
@@ -239,6 +245,7 @@ impl Scratch {
             cone_dffs: Vec::new(),
             dirty_outputs: Vec::new(),
             queue: Vec::new(),
+            events: Vec::new(),
         }
     }
 }
@@ -659,7 +666,7 @@ impl<'a> PackedEngine<'a> {
                 engine.propagate_block(block, scratch, fault.net.0, forced, block.all_lanes, false)
             };
             if engine.trace.enabled() {
-                engine.trace.record(TraceEvent::instant(
+                scratch.events.push(TraceEvent::instant(
                     "ppsfp",
                     "grade",
                     fault_ts(fault),
@@ -693,7 +700,7 @@ impl<'a> PackedEngine<'a> {
         let detected_flags = self.partitioned(&faults, |engine, fault, scratch| {
             let hit = engine.detects_any(&blocks, fault, scratch);
             if engine.trace.enabled() {
-                engine.trace.record(TraceEvent::instant(
+                scratch.events.push(TraceEvent::instant(
                     "ppsfp",
                     "fault",
                     fault_ts(fault),
@@ -755,8 +762,13 @@ impl<'a> PackedEngine<'a> {
             let mut scratch = Scratch::new(self);
             let out: Vec<T> = faults
                 .iter()
-                .map(|&f| work(self, f, &mut scratch))
+                .map(|&f| {
+                    let r = work(self, f, &mut scratch);
+                    self.flush_events(&mut scratch, false);
+                    r
+                })
                 .collect();
+            self.flush_events(&mut scratch, true);
             self.record_partition_span(0, faults.len(), started);
             return out;
         }
@@ -772,8 +784,13 @@ impl<'a> PackedEngine<'a> {
                         let mut scratch = Scratch::new(self);
                         let out = chunk
                             .iter()
-                            .map(|&f| work(self, f, &mut scratch))
+                            .map(|&f| {
+                                let r = work(self, f, &mut scratch);
+                                self.flush_events(&mut scratch, false);
+                                r
+                            })
                             .collect::<Vec<T>>();
+                        self.flush_events(&mut scratch, true);
                         self.record_partition_span(index, chunk.len(), started);
                         out
                     })
@@ -784,6 +801,17 @@ impl<'a> PackedEngine<'a> {
                 .flat_map(|h| h.join().expect("fault-simulation worker panicked"))
                 .collect()
         })
+    }
+
+    /// Pushes buffered per-fault events to the sink in one batch. `force`
+    /// drains unconditionally (end of a partition); otherwise only a full
+    /// buffer flushes, so the sink's lock is taken once per
+    /// [`TRACE_FLUSH_EVENTS`] faults instead of once per fault.
+    fn flush_events(&self, scratch: &mut Scratch, force: bool) {
+        if scratch.events.is_empty() || (!force && scratch.events.len() < TRACE_FLUSH_EVENTS) {
+            return;
+        }
+        self.trace.record_batch(std::mem::take(&mut scratch.events));
     }
 
     /// Records a scheduling-category span for one fault partition. These

@@ -44,6 +44,23 @@ pub fn write_f64(out: &mut String, value: f64) {
     }
 }
 
+/// Appends a `u64` in decimal without the intermediate `String` that
+/// `to_string` allocates — hot exporters write many numbers per event.
+pub fn write_u64(out: &mut String, value: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    let mut v = value;
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("ascii digits"));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +70,15 @@ mod tests {
         let mut s = String::new();
         write_escaped(&mut s, "a\"b\\c\nd\u{1}");
         assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        for v in [0u64, 1, 9, 10, 1234567890, u64::MAX] {
+            let mut s = String::new();
+            write_u64(&mut s, v);
+            assert_eq!(s, v.to_string());
+        }
     }
 
     #[test]

@@ -14,9 +14,14 @@
 //! * [`trace`] — structured event tracing behind the zero-cost-when-disabled
 //!   [`TraceSink`](trace::TraceSink) trait, exportable as JSON Lines or as a
 //!   Chrome-trace (`chrome://tracing` / Perfetto) file.
-//! * [`metrics`] — a thread-safe registry of counters and histograms
-//!   (cycles per phase, bus utilisation per wire, shift/capture/idle cycles
-//!   per core, faults/sec) with `Display` and JSON export.
+//! * [`metrics`] — a thread-safe registry of counters and log-bucketed
+//!   quantile histograms (cycles per phase, bus utilisation per wire,
+//!   shift/capture/idle cycles per core, faults/sec; p50/p90/p99/max in
+//!   fixed memory, exactly mergeable) with `Display`, JSON and
+//!   Prometheus-style text export.
+//! * [`ring`] — the [`FlightRecorder`](ring::FlightRecorder), a
+//!   fixed-capacity ring buffer of recent trace events dumped on failure
+//!   for focused post-mortems at fleet scale.
 //!
 //! # Overhead contract
 //!
@@ -53,11 +58,13 @@
 pub mod json;
 pub mod metrics;
 pub mod probe;
+pub mod ring;
 pub mod trace;
 pub mod vcd;
 pub mod vcd_check;
 
-pub use metrics::MetricsRegistry;
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry};
 pub use probe::{Probe, SignalId};
+pub use ring::{FlightDump, FlightRecorder};
 pub use trace::{MemorySink, NullSink, TraceEvent, TraceSink};
 pub use vcd::{VcdWriter, Wire4};

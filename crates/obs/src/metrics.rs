@@ -13,8 +13,46 @@ use std::sync::{Arc, Mutex};
 
 use crate::json;
 
-/// Summary statistics of observed values (a lightweight histogram).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Sub-buckets per power of two: 3 bits of mantissa below the leading one.
+const SUB_BUCKETS: usize = 8;
+/// Bucket count for the full `u64` range at 8 sub-buckets per octave:
+/// values `0..8` get exact buckets, every higher octave gets 8.
+const NUM_BUCKETS: usize = SUB_BUCKETS + (64 - 3) * SUB_BUCKETS;
+
+/// The bucket a value lands in: exact below 8, log-linear above (leading
+/// bit picks the octave, the next 3 bits the sub-bucket), so the relative
+/// quantile error is bounded by 12.5% with fixed memory for any `u64`.
+fn bucket_index(value: u64) -> usize {
+    if value < 8 {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        ((msb - 3) as usize) * SUB_BUCKETS + (value >> (msb - 3)) as usize
+    }
+}
+
+/// Largest value contained in bucket `index` (inverse of [`bucket_index`]).
+fn bucket_upper(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        index as u64
+    } else {
+        let octave = index / SUB_BUCKETS - 1;
+        let mantissa = (SUB_BUCKETS + index % SUB_BUCKETS) as u64;
+        // The topmost bucket's exclusive upper bound is 2^64, which wraps
+        // to 0; the wrapping subtraction then lands on u64::MAX as intended.
+        ((mantissa + 1) << octave).wrapping_sub(1)
+    }
+}
+
+/// A mergeable quantile histogram over `u64` observations.
+///
+/// Log-bucketed with 8 sub-buckets per power of two: fixed memory
+/// (`NUM_BUCKETS` counters) for the full `u64` range, exact `count`, `sum`,
+/// `min` and `max`, and quantiles with a bounded 12.5% relative error.
+/// Merging two histograms bucket-wise ([`Histogram::merge`]) produces
+/// exactly the histogram of the concatenated observations, so per-worker
+/// histograms can be folded into fleet-level ones without losing the tail.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     /// Number of observations.
     pub count: u64,
@@ -24,10 +62,29 @@ pub struct Histogram {
     pub min: u64,
     /// Largest observation (0 when empty).
     pub max: u64,
+    buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
 }
 
 impl Histogram {
-    fn observe(&mut self, value: u64) {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
         if self.count == 0 {
             self.min = value;
             self.max = value;
@@ -37,6 +94,28 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += value;
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Folds `other` into `self` bucket-wise: the result is exactly the
+    /// histogram of the concatenated observation streams (same quantiles,
+    /// same extremes), independent of merge order.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        for (slot, add) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += add;
+        }
     }
 
     /// Mean of the observations (0.0 when empty).
@@ -46,6 +125,97 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The nearest-rank `q`-quantile (`q` in `[0, 1]`): the upper bound of
+    /// the bucket holding the rank-`ceil(q·count)` observation, clamped to
+    /// the exact `[min, max]` envelope. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return bucket_upper(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// A flat, copyable digest (count/extremes/mean/p50/p90/p99) for
+    /// embedding in streamed snapshots without dragging the buckets along.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: self.mean(),
+            p50: self.p50(),
+            p90: self.p90(),
+            p99: self.p99(),
+        }
+    }
+}
+
+/// The flat digest of a [`Histogram`] at one point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Mean of the observations (0.0 when empty).
+    pub mean: f64,
+    /// Median (nearest-rank, log-bucket resolution).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Appends this summary as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str(&format!(
+            "{{\"count\":{},\"min\":{},\"max\":{},\"mean\":",
+            self.count, self.min, self.max
+        ));
+        json::write_f64(out, self.mean);
+        out.push_str(&format!(
+            ",\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            self.p50, self.p90, self.p99
+        ));
+    }
+}
+
+impl fmt::Display for HistogramSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count, self.p50, self.p90, self.p99, self.max
+        )
     }
 }
 
@@ -145,7 +315,7 @@ impl MetricsRegistry {
             .expect("metrics poisoned")
             .histograms
             .get(name)
-            .copied()
+            .cloned()
     }
 
     /// All counters, sorted by name.
@@ -156,6 +326,17 @@ impl MetricsRegistry {
             .counters
             .iter()
             .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .lock()
+            .expect("metrics poisoned")
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
     }
 
@@ -196,15 +377,9 @@ impl MetricsRegistry {
             *inner.counters.entry(name).or_insert(0) += value;
         }
         for (name, h) in histograms {
-            let slot = inner.histograms.entry(name).or_default();
-            if slot.count == 0 {
-                *slot = h;
-            } else if h.count > 0 {
-                slot.count += h.count;
-                slot.sum += h.sum;
-                slot.min = slot.min.min(h.min);
-                slot.max = slot.max.max(h.max);
-            }
+            // Bucket-wise: merged quantiles equal the quantiles of the
+            // concatenated observation streams.
+            inner.histograms.entry(name).or_default().merge(&h);
         }
         for (name, points) in series {
             inner.series.entry(name).or_default().extend(points);
@@ -220,7 +395,7 @@ impl MetricsRegistry {
     }
 
     /// JSON export:
-    /// `{"counters":{…},"histograms":{name:{count,sum,min,max,mean}},"series":{name:[…]}}`.
+    /// `{"counters":{…},"histograms":{name:{count,sum,min,max,mean,p50,p90,p99}},"series":{name:[…]}}`.
     pub fn to_json(&self) -> String {
         let inner = self.inner.lock().expect("metrics poisoned");
         let mut out = String::from("{\"counters\":{");
@@ -238,6 +413,12 @@ impl MetricsRegistry {
                 h.count, h.sum, h.min, h.max
             ));
             json::write_f64(&mut out, h.mean());
+            out.push_str(&format!(
+                ",\"p50\":{},\"p90\":{},\"p99\":{}",
+                h.p50(),
+                h.p90(),
+                h.p99()
+            ));
             out.push('}');
         }
         out.push_str("},\"series\":{");
@@ -254,6 +435,38 @@ impl MetricsRegistry {
             out.push(']');
         }
         out.push_str("}}");
+        out
+    }
+
+    /// Prometheus text exposition (v0.0.4): counters become gauges,
+    /// histograms become summaries with `quantile` labels plus `_sum` and
+    /// `_count`. Dotted metric names are rewritten to underscores
+    /// (`fleet.devices` → `fleet_devices`); output is sorted by name.
+    pub fn to_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect()
+        }
+        let inner = self.inner.lock().expect("metrics poisoned");
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &inner.histograms {
+            let name = sanitize(name);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (label, value) in [
+                ("0.5", h.p50()),
+                ("0.9", h.p90()),
+                ("0.99", h.p99()),
+                ("1", h.max),
+            ] {
+                out.push_str(&format!("{name}{{quantile=\"{label}\"}} {value}\n"));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
         out
     }
 }
@@ -274,9 +487,11 @@ impl fmt::Display for MetricsRegistry {
         for (name, h) in &inner.histograms {
             writeln!(
                 f,
-                "  {name:<44} n={} mean={:.1} min={} max={}",
+                "  {name:<44} n={} mean={:.1} p50={} p99={} min={} max={}",
                 h.count,
                 h.mean(),
+                h.p50(),
+                h.p99(),
                 h.min,
                 h.max
             )?;
@@ -319,6 +534,93 @@ mod tests {
     }
 
     #[test]
+    fn bucket_layout_round_trips() {
+        // Every bucket's upper bound must land back in that bucket, and
+        // bucket indices must be monotone in the value.
+        for index in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_upper(index)), index, "index {index}");
+        }
+        let mut last = 0usize;
+        for value in (0u64..4096).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let index = bucket_index(value);
+            assert!(index >= last, "non-monotone at {value}");
+            assert!(index < NUM_BUCKETS);
+            assert!(bucket_upper(index) >= value, "upper bound below {value}");
+            last = index;
+        }
+        // Small values are exact.
+        for value in 0u64..8 {
+            assert_eq!(bucket_upper(bucket_index(value)), value);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_exact_for_small_values_and_bounded_above() {
+        let mut h = Histogram::new();
+        for v in 1u64..=100 {
+            h.observe(v);
+        }
+        // Log-bucket resolution: a quantile is never below the true value
+        // and within 12.5% above it.
+        for (q, exact) in [(0.5, 50u64), (0.9, 90), (0.99, 99), (1.0, 100)] {
+            let got = h.quantile(q);
+            assert!(got >= exact, "q{q}: {got} < exact {exact}");
+            assert!(got as f64 <= exact as f64 * 1.125 + 1.0, "q{q}: {got}");
+        }
+        assert!(h.p50() < h.p99(), "spread data has non-trivial quantiles");
+        assert_eq!(h.quantile(0.0), 1, "q0 clamps to min");
+        assert_eq!(h.quantile(1.0), 100, "q1 is the exact max");
+        assert_eq!(Histogram::new().quantile(0.5), 0, "empty histogram");
+
+        // A constant stream has degenerate quantiles at exactly the value.
+        let mut flat = Histogram::new();
+        for _ in 0..1000 {
+            flat.observe(4096);
+        }
+        assert_eq!((flat.p50(), flat.p99()), (4096, 4096), "clamped to max");
+    }
+
+    #[test]
+    fn merged_quantiles_equal_concatenated_observations() {
+        // Two disjoint populations (fast path vs slow tail), observed into
+        // separate histograms and merged, must yield exactly the quantiles
+        // of one histogram fed the concatenated stream.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut concatenated = Histogram::new();
+        for i in 0u64..900 {
+            let v = 100 + i % 50;
+            a.observe(v);
+            concatenated.observe(v);
+        }
+        for i in 0u64..100 {
+            let v = 10_000 + i * 37;
+            b.observe(v);
+            concatenated.observe(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, concatenated, "bucket-wise merge is exact");
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), concatenated.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.summary(), concatenated.summary());
+        // The tail lives in b; the merge must not lose it.
+        assert!(merged.p99() >= 10_000, "p99 {}", merged.p99());
+        assert!(merged.p50() < merged.p99());
+
+        // Merge order does not matter, and empty merges are no-ops.
+        let mut reversed = b.clone();
+        reversed.merge(&a);
+        assert_eq!(reversed, merged);
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, concatenated);
+        let mut empty = Histogram::new();
+        empty.merge(&concatenated);
+        assert_eq!(empty, concatenated);
+    }
+
+    #[test]
     fn display_and_json_are_sorted_and_complete() {
         let m = MetricsRegistry::new();
         m.inc("z.last", 1);
@@ -328,7 +630,30 @@ mod tests {
         assert!(text.find("a.first").unwrap() < text.find("z.last").unwrap());
         let json = m.to_json();
         assert!(json.contains("\"a.first\":2"));
-        assert!(json.contains("\"lat\":{\"count\":1,\"sum\":7,\"min\":7,\"max\":7,\"mean\":7}"));
+        assert!(json.contains(
+            "\"lat\":{\"count\":1,\"sum\":7,\"min\":7,\"max\":7,\"mean\":7,\
+             \"p50\":7,\"p90\":7,\"p99\":7}"
+        ));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_scrapeable() {
+        let m = MetricsRegistry::new();
+        m.inc("fleet.devices", 256);
+        for v in [1u64, 2, 3] {
+            m.observe("fleet.device.cycles", v);
+        }
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE fleet_devices gauge\nfleet_devices 256\n"));
+        assert!(text.contains("# TYPE fleet_device_cycles summary\n"));
+        assert!(text.contains("fleet_device_cycles{quantile=\"0.5\"} 2\n"));
+        assert!(text.contains("fleet_device_cycles{quantile=\"1\"} 3\n"));
+        assert!(text.contains("fleet_device_cycles_sum 6\n"));
+        assert!(text.contains("fleet_device_cycles_count 3\n"));
+        assert!(
+            !text.contains("fleet.devices") && !text.contains("fleet.device.cycles"),
+            "metric names are sanitized"
+        );
     }
 
     #[test]

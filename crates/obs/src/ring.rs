@@ -1,0 +1,244 @@
+//! A flight recorder: a fixed-capacity ring buffer of recent trace events.
+//!
+//! Post-mortem debugging at fleet scale cannot afford a full trace of every
+//! device — a healthy 10k-die lot would bury the one interesting failure
+//! under gigabytes of passing history. The [`FlightRecorder`] is the
+//! aircraft-style answer: every unit of work records into its own small,
+//! fixed-capacity ring (old events overwritten, memory bounded by
+//! construction), and only when the unit *fails* is the ring dumped. A bad
+//! die yields a focused log of its last moments; good dies cost a bounded
+//! ring that is simply dropped.
+//!
+//! The recorder implements [`TraceSink`], so any instrumented component
+//! (the compiled session engine's per-step spans, controller phases, …)
+//! can record into it unchanged. It is designed for the one-writer case —
+//! each fleet worker drives one device at a time, so its mutex is
+//! uncontended and a record costs a push plus, at capacity, a pop.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crate::trace::{TraceEvent, TraceSink};
+
+/// What a [`FlightRecorder`] held when it was dumped: the retained events
+/// in emission order, plus how many older events the ring had discarded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// The retained events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events overwritten before the dump (0 while under capacity).
+    pub overwritten: u64,
+}
+
+impl FlightDump {
+    /// JSON Lines rendering of the retained events (one object per line),
+    /// prefixed by nothing — callers add their own framing.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 128);
+        for event in &self.events {
+            out.push_str(&event.to_json(false));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    overwritten: u64,
+}
+
+/// A fixed-capacity ring-buffer [`TraceSink`] holding the most recent
+/// events. See the [module docs](self) for the post-mortem workflow.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_obs::{FlightRecorder, TraceEvent, TraceSink};
+///
+/// let recorder = FlightRecorder::new(2);
+/// for i in 0..5u64 {
+///     recorder.record(TraceEvent::instant("engine", format!("step{i}"), i, vec![]));
+/// }
+/// let dump = recorder.dump();
+/// assert_eq!(dump.events.len(), 2, "ring keeps only the newest events");
+/// assert_eq!(dump.events[0].name, "step3");
+/// assert_eq!(dump.overwritten, 3);
+/// ```
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &state.events.len())
+            .field("overwritten", &state.overwritten)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder retaining at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            state: Mutex::new(RingState {
+                events: VecDeque::with_capacity(capacity),
+                overwritten: 0,
+            }),
+        }
+    }
+
+    /// The fixed event capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("flight recorder poisoned")
+            .events
+            .len()
+    }
+
+    /// Whether nothing has been recorded (or everything cleared).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the ring: retained events oldest-first plus the
+    /// overwrite count. The ring keeps recording afterwards.
+    pub fn dump(&self) -> FlightDump {
+        let state = self.state.lock().expect("flight recorder poisoned");
+        FlightDump {
+            events: state.events.iter().cloned().collect(),
+            overwritten: state.overwritten,
+        }
+    }
+
+    /// Empties the ring and resets the overwrite counter (e.g. between
+    /// devices when a worker reuses one recorder).
+    pub fn clear(&self) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        state.events.clear();
+        state.overwritten = 0;
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: TraceEvent) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        if state.events.len() == self.capacity {
+            state.events.pop_front();
+            state.overwritten += 1;
+        }
+        state.events.push_back(event);
+    }
+
+    fn record_batch(&self, events: Vec<TraceEvent>) {
+        let mut state = self.state.lock().expect("flight recorder poisoned");
+        for event in events {
+            if state.events.len() == self.capacity {
+                state.events.pop_front();
+                state.overwritten += 1;
+            }
+            state.events.push_back(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(i: u64) -> TraceEvent {
+        TraceEvent::instant("t", format!("e{i}"), i, vec![])
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything_in_order() {
+        let recorder = FlightRecorder::new(8);
+        for i in 0..5 {
+            recorder.record(event(i));
+        }
+        let dump = recorder.dump();
+        assert_eq!(dump.overwritten, 0);
+        let names: Vec<&str> = dump.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, ["e0", "e1", "e2", "e3", "e4"]);
+        assert_eq!(recorder.len(), 5);
+        assert!(!recorder.is_empty());
+    }
+
+    #[test]
+    fn over_capacity_retains_newest_and_counts_overwrites() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..10 {
+            recorder.record(event(i));
+        }
+        let dump = recorder.dump();
+        assert_eq!(dump.overwritten, 7);
+        let names: Vec<&str> = dump.events.iter().map(|e| e.name.as_ref()).collect();
+        assert_eq!(names, ["e7", "e8", "e9"]);
+        // Dumping does not stop the ring.
+        recorder.record(event(10));
+        assert_eq!(recorder.dump().events.last().unwrap().name, "e10");
+    }
+
+    #[test]
+    fn batch_recording_matches_one_by_one() {
+        let singles = FlightRecorder::new(4);
+        let batched = FlightRecorder::new(4);
+        let events: Vec<TraceEvent> = (0..9).map(event).collect();
+        for e in events.clone() {
+            singles.record(e);
+        }
+        batched.record_batch(events);
+        assert_eq!(singles.dump(), batched.dump());
+        assert_eq!(singles.dump().overwritten, 5);
+    }
+
+    #[test]
+    fn clear_resets_ring_and_counter() {
+        let recorder = FlightRecorder::new(2);
+        for i in 0..5 {
+            recorder.record(event(i));
+        }
+        recorder.clear();
+        assert!(recorder.is_empty());
+        assert_eq!(recorder.dump().overwritten, 0);
+        recorder.record(event(9));
+        assert_eq!(recorder.dump().events[0].name, "e9");
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let recorder = FlightRecorder::new(0);
+        assert_eq!(recorder.capacity(), 1);
+        recorder.record(event(0));
+        recorder.record(event(1));
+        assert_eq!(recorder.dump().events.len(), 1);
+    }
+
+    #[test]
+    fn dump_jsonl_is_one_object_per_line() {
+        let recorder = FlightRecorder::new(4);
+        recorder.record(event(0));
+        recorder.record(event(1));
+        let jsonl = recorder.dump().jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+}

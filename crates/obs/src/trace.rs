@@ -53,7 +53,7 @@ pub enum ArgValue {
 impl ArgValue {
     fn write_json(&self, out: &mut String) {
         match self {
-            Self::U64(v) => out.push_str(&v.to_string()),
+            Self::U64(v) => json::write_u64(out, *v),
             Self::F64(v) => json::write_f64(out, *v),
             Self::Str(s) => json::write_escaped(out, s),
             Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -97,8 +97,10 @@ impl From<bool> for ArgValue {
 pub struct TraceEvent {
     /// Category (`"controller"`, `"session"`, `"ppsfp"`, [`CAT_SCHED`], …).
     pub cat: &'static str,
-    /// Event name.
-    pub name: String,
+    /// Event name. `Cow` so the common case — a static name like
+    /// `"fault"` emitted once per graded fault — costs no allocation,
+    /// while formatted names (`format!("step{i}")`) still fit.
+    pub name: std::borrow::Cow<'static, str>,
     /// Kind.
     pub phase: TracePhase,
     /// Start timestamp (logical units — cycles or indices — except for
@@ -116,7 +118,7 @@ impl TraceEvent {
     /// A complete span.
     pub fn span(
         cat: &'static str,
-        name: impl Into<String>,
+        name: impl Into<std::borrow::Cow<'static, str>>,
         ts: u64,
         dur: u64,
         args: Vec<(&'static str, ArgValue)>,
@@ -135,7 +137,7 @@ impl TraceEvent {
     /// A point event.
     pub fn instant(
         cat: &'static str,
-        name: impl Into<String>,
+        name: impl Into<std::borrow::Cow<'static, str>>,
         ts: u64,
         args: Vec<(&'static str, ArgValue)>,
     ) -> Self {
@@ -162,37 +164,43 @@ impl TraceEvent {
     /// which OS worker processed a partition is scheduling noise.
     pub fn to_json(&self, normalize_tid: bool) -> String {
         let mut out = String::with_capacity(96);
+        self.write_json(&mut out, normalize_tid);
+        out
+    }
+
+    /// Appends the [`to_json`](Self::to_json) object to `out` — the
+    /// allocation-free form bulk exporters use.
+    pub fn write_json(&self, out: &mut String, normalize_tid: bool) {
         out.push('{');
         let mut first = true;
-        first = json::write_key(&mut out, "cat", first);
-        json::write_escaped(&mut out, self.cat);
-        first = json::write_key(&mut out, "name", first);
-        json::write_escaped(&mut out, &self.name);
-        first = json::write_key(&mut out, "ph", first);
-        json::write_escaped(&mut out, self.phase.chrome_code());
-        first = json::write_key(&mut out, "ts", first);
-        out.push_str(&self.ts.to_string());
+        first = json::write_key(out, "cat", first);
+        json::write_escaped(out, self.cat);
+        first = json::write_key(out, "name", first);
+        json::write_escaped(out, &self.name);
+        first = json::write_key(out, "ph", first);
+        json::write_escaped(out, self.phase.chrome_code());
+        first = json::write_key(out, "ts", first);
+        json::write_u64(out, self.ts);
         if self.phase == TracePhase::Complete {
-            first = json::write_key(&mut out, "dur", first);
-            out.push_str(&self.dur.to_string());
+            first = json::write_key(out, "dur", first);
+            json::write_u64(out, self.dur);
         }
-        first = json::write_key(&mut out, "tid", first);
+        first = json::write_key(out, "tid", first);
         if normalize_tid {
             out.push('0');
         } else {
-            out.push_str(&self.tid.to_string());
+            json::write_u64(out, self.tid);
         }
-        json::write_key(&mut out, "args", first);
+        json::write_key(out, "args", first);
         out.push('{');
         let mut afirst = true;
         for (key, value) in &self.args {
-            afirst = json::write_key(&mut out, key, afirst);
-            value.write_json(&mut out);
+            afirst = json::write_key(out, key, afirst);
+            value.write_json(out);
         }
         let _ = afirst;
         out.push('}');
         out.push('}');
-        out
     }
 }
 
@@ -205,6 +213,17 @@ pub trait TraceSink: Send + Sync {
 
     /// Records one event.
     fn record(&self, event: TraceEvent);
+
+    /// Records a batch of events, preserving their order. Hot paths that
+    /// emit one event per item (e.g. per graded fault) buffer locally and
+    /// flush per work chunk through this, so a shared sink pays one
+    /// synchronization per chunk instead of one per event. The default
+    /// forwards to [`TraceSink::record`] event by event.
+    fn record_batch(&self, events: Vec<TraceEvent>) {
+        for event in events {
+            self.record(event);
+        }
+    }
 }
 
 /// The default sink: disabled, drops everything.
@@ -257,9 +276,10 @@ impl MemorySink {
 
     /// JSON Lines export: one event object per line, emission order.
     pub fn jsonl(&self) -> String {
-        let mut out = String::new();
-        for event in self.events.lock().expect("trace sink poisoned").iter() {
-            out.push_str(&event.to_json(false));
+        let events = self.events.lock().expect("trace sink poisoned");
+        let mut out = String::with_capacity(events.len() * 128);
+        for event in events.iter() {
+            event.write_json(&mut out, false);
             out.push('\n');
         }
         out
@@ -312,6 +332,14 @@ impl TraceSink for MemorySink {
 
     fn record(&self, event: TraceEvent) {
         self.events.lock().expect("trace sink poisoned").push(event);
+    }
+
+    fn record_batch(&self, events: Vec<TraceEvent>) {
+        // One lock per chunk, not per event.
+        self.events
+            .lock()
+            .expect("trace sink poisoned")
+            .extend(events);
     }
 }
 
@@ -380,6 +408,21 @@ mod tests {
         assert!(chrome.starts_with("{\"traceEvents\":["));
         assert!(chrome.ends_with("\"displayTimeUnit\":\"ns\"}"));
         assert_eq!(chrome.matches("\"pid\":1").count(), 2);
+    }
+
+    #[test]
+    fn record_batch_preserves_order_and_matches_record() {
+        let one_by_one = MemorySink::new();
+        let batched = MemorySink::new();
+        let events: Vec<TraceEvent> = (0..10u64)
+            .map(|i| TraceEvent::instant("x", format!("e{i}"), i, vec![]))
+            .collect();
+        for event in events.clone() {
+            one_by_one.record(event);
+        }
+        batched.record_batch(events);
+        assert_eq!(one_by_one.events(), batched.events());
+        assert_eq!(one_by_one.jsonl(), batched.jsonl());
     }
 
     #[test]

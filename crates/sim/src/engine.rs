@@ -21,10 +21,11 @@
 //!   disagree (the interpreter's resize semantics would apply).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use casbus::{CasChain, RouteTable, RouteTableCache};
 use casbus_controller::TestProgram;
-use casbus_obs::MetricsRegistry;
+use casbus_obs::{FlightRecorder, MetricsRegistry, TraceEvent, TraceSink};
 use casbus_p1500::{TestableCore, Wrapper, WrapperControl, WrapperInstruction};
 use casbus_soc::models;
 use casbus_tpg::{BitVec, Verdict};
@@ -62,16 +63,23 @@ type LaneWork<'a> = (usize, &'a mut Wrapper<Box<dyn TestableCore>>);
 pub struct CompiledEngine {
     threads: usize,
     cache: Option<Arc<RouteTableCache>>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl PartialEq for CompiledEngine {
     fn eq(&self, other: &Self) -> bool {
-        let same_cache = match (&self.cache, &other.cache) {
+        let same_arc =
+            |a: &Option<Arc<RouteTableCache>>, b: &Option<Arc<RouteTableCache>>| match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            };
+        let same_recorder = match (&self.recorder, &other.recorder) {
             (None, None) => true,
             (Some(a), Some(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
-        self.threads == other.threads && same_cache
+        self.threads == other.threads && same_arc(&self.cache, &other.cache) && same_recorder
     }
 }
 
@@ -90,6 +98,7 @@ impl CompiledEngine {
         Self {
             threads: 1,
             cache: None,
+            recorder: None,
         }
     }
 
@@ -100,6 +109,7 @@ impl CompiledEngine {
         Self {
             threads,
             cache: None,
+            recorder: None,
         }
     }
 
@@ -116,6 +126,23 @@ impl CompiledEngine {
     /// The attached route-table cache, if any.
     pub fn route_cache(&self) -> Option<&Arc<RouteTableCache>> {
         self.cache.as_ref()
+    }
+
+    /// Attaches a [`FlightRecorder`]: after each program step the engine
+    /// records one coarse `engine` span (cycle-accurate `ts`/`dur`, plus
+    /// lane count, executed path, and step wall time as args) into the
+    /// ring. Unlike a simulator trace sink — which forces the bit-serial
+    /// reference path so every bus value change can be emitted — the
+    /// recorder observes only step boundaries, so the word-level fast path
+    /// stays enabled and results are unchanged.
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// The step's compiled routes: through the attached cache when present,
@@ -168,13 +195,31 @@ impl CompiledEngine {
         let mut results = Vec::new();
         for (step_index, step) in program.steps().iter().enumerate() {
             let step_start = sim.cycles();
+            let wall_start = self.recorder.as_ref().map(|_| Instant::now());
             sim.configure(&step.configuration, &step.wrapper_instructions)?;
             let routes = self.routes_for(sim.tam().chain());
             let lanes = collect_lanes(sim, &step.configuration)?;
-            if exact_only || !step_is_compilable(sim, &lanes, &routes) {
-                results.extend(drive_lanes_reference(sim, &lanes, step_index, step_start)?);
-            } else {
+            let fast_path = !exact_only && step_is_compilable(sim, &lanes, &routes);
+            if fast_path {
                 results.extend(self.drive_lanes_compiled(sim, &lanes)?);
+            } else {
+                results.extend(drive_lanes_reference(sim, &lanes, step_index, step_start)?);
+            }
+            if let (Some(recorder), Some(wall_start)) = (&self.recorder, wall_start) {
+                recorder.record(TraceEvent::span(
+                    "engine",
+                    format!("step{step_index}"),
+                    step_start,
+                    sim.cycles() - step_start,
+                    vec![
+                        ("lanes", lanes.len().into()),
+                        (
+                            "path",
+                            if fast_path { "compiled" } else { "reference" }.into(),
+                        ),
+                        ("wall_us", (wall_start.elapsed().as_micros() as u64).into()),
+                    ],
+                ));
             }
         }
         finish_report(sim, metrics, &baseline, results, program.steps().len())
@@ -622,6 +667,46 @@ mod tests {
         assert_eq!(second, plain);
         assert_eq!(cache.misses(), misses_after_first, "no new compiles");
         assert!(cache.hits() >= program.steps().len() as u64);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_fast_path_and_records_step_spans() {
+        use casbus_obs::trace::ArgValue;
+        use casbus_obs::FlightRecorder;
+
+        let soc = catalog::figure1_soc();
+        let program = program_for(&soc, 8, true);
+        let mut plain_sim = SocSimulator::new(&soc, 8).unwrap();
+        let plain = CompiledEngine::new().run(&mut plain_sim, &program).unwrap();
+
+        let recorder = Arc::new(FlightRecorder::new(256));
+        let engine = CompiledEngine::new().with_recorder(Arc::clone(&recorder));
+        assert!(engine.recorder().is_some());
+        let mut sim = SocSimulator::new(&soc, 8).unwrap();
+        let recorded = engine.run(&mut sim, &program).unwrap();
+        assert_eq!(recorded, plain, "recorder never changes results");
+
+        let dump = recorder.dump();
+        assert_eq!(dump.events.len(), program.steps().len());
+        assert!(
+            dump.events
+                .windows(2)
+                .all(|w| w[1].ts == w[0].ts + w[0].dur),
+            "step spans tile the cycle timeline"
+        );
+        let compiled_steps = dump
+            .events
+            .iter()
+            .filter(|e| {
+                e.args
+                    .iter()
+                    .any(|(k, v)| *k == "path" && *v == ArgValue::Str("compiled".to_owned()))
+            })
+            .count();
+        assert!(
+            compiled_steps > 0,
+            "the recorder must not force the reference path"
+        );
     }
 
     #[test]

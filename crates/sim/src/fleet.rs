@@ -36,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::engine::CompiledEngine;
+use crate::monitor::{DeviceDump, FleetMonitor, MonitorShared};
 use crate::pool::WorkerPool;
 use crate::report::{run_program_reference, SocTestReport};
 use crate::search::CompiledValidator;
@@ -439,34 +440,124 @@ impl FleetRunner {
         spec: &VariationSpec,
         fleet_size: u64,
         metrics: &MetricsRegistry,
+        on_report: impl FnMut(&DeviceReport),
+    ) -> Result<FleetReport, SimError> {
+        self.run_inner(spec, fleet_size, metrics, None, on_report)
+    }
+
+    /// [`run`](Self::run) with a live [`FleetMonitor`] attached: the
+    /// monitor's sampler streams [`FleetSnapshot`](crate::FleetSnapshot)s
+    /// over its bounded channel while devices execute, per-device phase
+    /// timers feed the monitor's `obs.*` telemetry histograms, and any
+    /// defective or failing device dumps its flight-recorder ring into
+    /// [`FleetMonitor::dumps`]. The report — and every non-`obs.*` metric —
+    /// is bit-identical to an unmonitored run (pinned by
+    /// `tests/fleet_differential.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_monitored(
+        &self,
+        spec: &VariationSpec,
+        fleet_size: u64,
+        monitor: &FleetMonitor,
+    ) -> Result<FleetReport, SimError> {
+        self.run_monitored_with_metrics(spec, fleet_size, &MetricsRegistry::new(), monitor, |_| {})
+    }
+
+    /// [`run_monitored`](Self::run_monitored) that also publishes the
+    /// standard `fleet.*` metrics plus the monitor's `obs.*` telemetry
+    /// (merged in after the run) into `metrics`, streaming reports through
+    /// `on_report` in completion order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_monitored_with_metrics(
+        &self,
+        spec: &VariationSpec,
+        fleet_size: u64,
+        metrics: &MetricsRegistry,
+        monitor: &FleetMonitor,
+        on_report: impl FnMut(&DeviceReport),
+    ) -> Result<FleetReport, SimError> {
+        self.run_inner(spec, fleet_size, metrics, Some(monitor), on_report)
+    }
+
+    fn run_inner(
+        &self,
+        spec: &VariationSpec,
+        fleet_size: u64,
+        metrics: &MetricsRegistry,
+        monitor: Option<&FleetMonitor>,
         mut on_report: impl FnMut(&DeviceReport),
     ) -> Result<FleetReport, SimError> {
         let started = Instant::now();
+        if let Some(monitor) = monitor {
+            monitor.shared().begin_run(fleet_size);
+            self.pool.set_metrics(Some(Arc::clone(monitor.telemetry())));
+        }
         // Bounded: a lagging consumer backpressures the workers instead of
         // buffering the whole fleet's reports.
         let (tx, rx) = mpsc::sync_channel::<Result<DeviceReport, SimError>>(
             self.pool.threads().saturating_mul(2).max(1),
         );
-        for device_id in 0..fleet_size {
-            let soc = Arc::clone(&self.soc);
-            let plan = Arc::clone(&self.plan);
-            let cache = Arc::clone(&self.cache);
-            let fault = spec.fault_for(&self.soc, device_id);
-            let tx = tx.clone();
-            self.pool.execute(move || {
-                // The receiver hangs up after a first error: discard late
-                // results instead of panicking the worker.
-                let _ = tx.send(test_device(&soc, &plan, &cache, device_id, fault));
-            });
-        }
-        drop(tx);
+        let collected: Result<Vec<DeviceReport>, SimError> = std::thread::scope(|scope| {
+            if let Some(monitor) = monitor {
+                let shared = Arc::clone(monitor.shared());
+                let cache = Arc::clone(&self.cache);
+                scope.spawn(move || shared.sampler_loop(&cache));
+            }
+            for device_id in 0..fleet_size {
+                let soc = Arc::clone(&self.soc);
+                let plan = Arc::clone(&self.plan);
+                let cache = Arc::clone(&self.cache);
+                let fault = spec.fault_for(&self.soc, device_id);
+                let tx = tx.clone();
+                let shared = monitor.map(|m| Arc::clone(m.shared()));
+                self.pool.execute(move || {
+                    let outcome = match &shared {
+                        Some(shared) => {
+                            test_device_monitored(&soc, &plan, &cache, device_id, fault, shared)
+                        }
+                        None => test_device(&soc, &plan, &cache, device_id, fault),
+                    };
+                    // The receiver hangs up after a first error: discard
+                    // late results instead of panicking the worker.
+                    let _ = tx.send(outcome);
+                });
+            }
+            drop(tx);
 
-        let mut devices: Vec<DeviceReport> = Vec::with_capacity(fleet_size as usize);
-        for outcome in rx {
-            let report = outcome?;
-            on_report(&report);
-            devices.push(report);
+            let mut devices: Vec<DeviceReport> = Vec::with_capacity(fleet_size as usize);
+            let mut error = None;
+            for outcome in rx {
+                match outcome {
+                    Ok(report) => {
+                        on_report(&report);
+                        devices.push(report);
+                    }
+                    Err(err) => {
+                        error = Some(err);
+                        break;
+                    }
+                }
+            }
+            // Always release the sampler before the scope joins it, even on
+            // the error path.
+            if let Some(monitor) = monitor {
+                monitor.shared().finish_run();
+            }
+            match error {
+                Some(err) => Err(err),
+                None => Ok(devices),
+            }
+        });
+        if monitor.is_some() {
+            self.pool.set_metrics(None);
         }
+        let mut devices = collected?;
         let wall = started.elapsed();
         devices.sort_by_key(|d| d.device_id);
 
@@ -490,6 +581,15 @@ impl FleetRunner {
         metrics.set("fleet.route_cache.shapes", self.cache.len() as u64);
         for device in &devices {
             metrics.observe("fleet.device.cycles", device.report.total_cycles);
+        }
+        if let Some(monitor) = monitor {
+            // Everything wall-clock lands under obs.* so differential runs
+            // can compare monitored and unmonitored registries by filtering
+            // the prefix.
+            metrics.merge_from(monitor.telemetry());
+            metrics.set("obs.fleet.snapshots.emitted", monitor.snapshots_emitted());
+            metrics.set("obs.fleet.snapshots.dropped", monitor.snapshots_dropped());
+            metrics.set("obs.fleet.recorder.dumps", monitor.dumps().len() as u64);
         }
 
         if self.trace.enabled() {
@@ -542,6 +642,61 @@ fn test_device(
         fault,
         report,
     })
+}
+
+/// [`test_device`] under a live monitor: phase timers feed the `obs.*`
+/// telemetry histograms, a per-device flight recorder captures coarse
+/// engine spans, and defective or failing devices dump their ring. The
+/// report itself is built exactly as in [`test_device`] — the monitor only
+/// observes.
+fn test_device_monitored(
+    soc: &SocDescription,
+    plan: &CompiledProgram,
+    cache: &Arc<RouteTableCache>,
+    device_id: u64,
+    fault: Option<InjectedFault>,
+    monitor: &MonitorShared,
+) -> Result<DeviceReport, SimError> {
+    monitor.device_started(device_id);
+    let started = Instant::now();
+    let mut sim = SocSimulator::new(soc, plan.bus_width())?;
+    if let Some(fault) = &fault {
+        fault.apply(&mut sim)?;
+    }
+    let mut engine = CompiledEngine::new().with_cache(Arc::clone(cache));
+    let recorder = monitor.new_recorder();
+    if let Some(recorder) = &recorder {
+        engine = engine.with_recorder(Arc::clone(recorder));
+    }
+    monitor.telemetry().observe(
+        "obs.fleet.device.setup_us",
+        started.elapsed().as_micros() as u64,
+    );
+    let run_started = Instant::now();
+    let report = engine.run(&mut sim, plan.program())?;
+    monitor.telemetry().observe(
+        "obs.fleet.device.run_us",
+        run_started.elapsed().as_micros() as u64,
+    );
+    let report = DeviceReport {
+        device_id,
+        fault,
+        report,
+    };
+    let passed = report.passed();
+    let defective = report.fault.is_some();
+    if defective || !passed {
+        if let Some(recorder) = recorder {
+            monitor.add_dump(DeviceDump {
+                device_id,
+                defective,
+                passed,
+                dump: recorder.dump(),
+            });
+        }
+    }
+    monitor.device_finished(device_id, passed, defective, started.elapsed());
+    Ok(report)
 }
 
 #[cfg(test)]

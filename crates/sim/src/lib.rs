@@ -33,6 +33,10 @@
 //! * [`fleet::FleetRunner`] — compile one test program once and serve it
 //!   across thousands of simulated devices on a persistent worker pool,
 //!   streaming per-device pass/fail reports and a fleet yield summary,
+//! * [`monitor::FleetMonitor`] — watch an in-flight fleet run live:
+//!   streaming health snapshots (yield, throughput, latency quantiles,
+//!   stragglers) over a bounded channel, plus per-device flight-recorder
+//!   dumps for failing dies,
 //! * fault injection — flip a core defect on and watch the session fail.
 //!
 //! # Example
@@ -55,6 +59,7 @@ pub mod bus_core;
 pub mod engine;
 pub mod fleet;
 pub mod interconnect;
+pub mod monitor;
 pub mod pool;
 pub mod report;
 pub mod search;
@@ -65,6 +70,7 @@ pub use bus_core::SystemBusCore;
 pub use engine::CompiledEngine;
 pub use fleet::{DeviceReport, FleetReport, FleetRunner, InjectedFault, VariationSpec};
 pub use interconnect::run_interconnect_extest;
+pub use monitor::{DeviceDump, FleetMonitor, FleetSnapshot, MonitorConfig, Straggler};
 pub use pool::WorkerPool;
 pub use report::{
     run_program, run_program_reference, run_program_reference_with_metrics,

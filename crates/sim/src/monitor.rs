@@ -1,0 +1,619 @@
+//! Live fleet telemetry: streaming health snapshots and post-mortem dumps.
+//!
+//! A fleet run is a black box between "go" and the final
+//! [`FleetReport`](crate::FleetReport) — unacceptable on a real test floor,
+//! where operators watch in-flight yield curves, device-latency tails, and
+//! per-die post-mortems. [`FleetMonitor`] opens the box without touching
+//! the determinism contract:
+//!
+//! * A sampler thread (spawned inside
+//!   [`FleetRunner::run_monitored`](crate::FleetRunner::run_monitored))
+//!   periodically assembles a [`FleetSnapshot`] — devices completed /
+//!   passed / defective, rolling yield, devices/s, route-cache hit rate,
+//!   per-device elapsed and queue-wait quantiles, and the current
+//!   straggler list — and pushes it over a **bounded** channel with
+//!   `try_send`: a lagging consumer drops snapshots (counted), never
+//!   backpressures the fleet.
+//! * Each device job records coarse engine spans into a per-device
+//!   [`FlightRecorder`]; any defective or failing die dumps its ring as a
+//!   [`DeviceDump`], so post-mortems are focused event logs instead of a
+//!   full-fleet trace.
+//! * All wall-clock measurements live in an `obs.*`-prefixed namespace
+//!   inside the monitor's [telemetry](FleetMonitor::telemetry) registry.
+//!   Fleet results and every `fleet.*` metric stay bit-identical to an
+//!   unmonitored run (pinned by `tests/fleet_differential.rs`).
+//!
+//! Snapshots export as single-line JSON ([`FleetSnapshot::to_json`], ready
+//! for a JSONL stream) and as Prometheus-style text
+//! ([`FleetSnapshot::to_prometheus`]).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use casbus::RouteTableCache;
+use casbus_obs::{json, FlightDump, FlightRecorder, Histogram, HistogramSummary, MetricsRegistry};
+
+/// Tuning for a [`FleetMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorConfig {
+    /// Period between snapshots.
+    pub interval: Duration,
+    /// Bounded snapshot-channel capacity; overflow drops (and counts)
+    /// snapshots instead of stalling the fleet.
+    pub channel_capacity: usize,
+    /// Per-device flight-recorder ring capacity in events; `0` disables
+    /// the recorder (no per-device ring, no dumps).
+    pub recorder_capacity: usize,
+    /// Longest-running in-flight devices listed per snapshot.
+    pub stragglers: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            interval: Duration::from_millis(25),
+            channel_capacity: 64,
+            recorder_capacity: 64,
+            stragglers: 4,
+        }
+    }
+}
+
+/// One in-flight device and how long it has been running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Straggler {
+    /// The device still being tested.
+    pub device_id: u64,
+    /// Time since its job started, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// A point-in-time health readout of an in-flight fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSnapshot {
+    /// Monotonic snapshot sequence number (0-based per run).
+    pub seq: u64,
+    /// Set on the final snapshot emitted after the run completes.
+    pub last: bool,
+    /// Wall-clock time since the run started, in microseconds.
+    pub elapsed_us: u64,
+    /// Devices the run was asked to test.
+    pub fleet_size: u64,
+    /// Devices finished so far.
+    pub completed: u64,
+    /// Finished devices whose every core passed.
+    pub passed: u64,
+    /// Finished devices with at least one failing core.
+    pub failed: u64,
+    /// Finished devices that were stamped with a defect.
+    pub defective: u64,
+    /// Devices currently executing.
+    pub in_flight: u64,
+    /// `passed / completed` (1.0 before anything completes).
+    pub yield_fraction: f64,
+    /// Completed devices per wall-clock second so far.
+    pub devices_per_sec: f64,
+    /// Route-cache hits over the runner's lifetime.
+    pub cache_hits: u64,
+    /// Route-cache misses over the runner's lifetime.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)` (0.0 before any lookup).
+    pub cache_hit_rate: f64,
+    /// Quantile digest of per-device wall time (µs), completed devices.
+    pub device_elapsed_us: HistogramSummary,
+    /// Quantile digest of job queue-wait time (µs) on the worker pool.
+    pub queue_wait_us: HistogramSummary,
+    /// Longest-running in-flight devices, longest first.
+    pub stragglers: Vec<Straggler>,
+}
+
+impl FleetSnapshot {
+    /// Single-line JSON rendering, ready for a JSONL snapshot stream.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!(
+            "{{\"seq\":{},\"last\":{},\"elapsed_us\":{},\"fleet_size\":{},\
+             \"completed\":{},\"passed\":{},\"failed\":{},\"defective\":{},\
+             \"in_flight\":{},\"yield\":",
+            self.seq,
+            self.last,
+            self.elapsed_us,
+            self.fleet_size,
+            self.completed,
+            self.passed,
+            self.failed,
+            self.defective,
+            self.in_flight,
+        ));
+        json::write_f64(&mut out, self.yield_fraction);
+        out.push_str(",\"devices_per_sec\":");
+        json::write_f64(&mut out, self.devices_per_sec);
+        out.push_str(&format!(
+            ",\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":",
+            self.cache_hits, self.cache_misses
+        ));
+        json::write_f64(&mut out, self.cache_hit_rate);
+        out.push_str(",\"device_elapsed_us\":");
+        self.device_elapsed_us.write_json(&mut out);
+        out.push_str(",\"queue_wait_us\":");
+        self.queue_wait_us.write_json(&mut out);
+        out.push_str(",\"stragglers\":[");
+        for (idx, straggler) in self.stragglers.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"device_id\":{},\"elapsed_us\":{}}}",
+                straggler.device_id, straggler.elapsed_us
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Prometheus-style text exposition of this snapshot.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let gauge = |out: &mut String, name: &str, value: String| {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        };
+        let f64_text = |v: f64| {
+            let mut s = String::new();
+            json::write_f64(&mut s, v);
+            s
+        };
+        gauge(&mut out, "fleet_size", self.fleet_size.to_string());
+        gauge(&mut out, "fleet_completed", self.completed.to_string());
+        gauge(&mut out, "fleet_passed", self.passed.to_string());
+        gauge(&mut out, "fleet_failed", self.failed.to_string());
+        gauge(&mut out, "fleet_defective", self.defective.to_string());
+        gauge(&mut out, "fleet_in_flight", self.in_flight.to_string());
+        gauge(&mut out, "fleet_yield", f64_text(self.yield_fraction));
+        gauge(
+            &mut out,
+            "fleet_devices_per_sec",
+            f64_text(self.devices_per_sec),
+        );
+        gauge(
+            &mut out,
+            "fleet_route_cache_hit_rate",
+            f64_text(self.cache_hit_rate),
+        );
+        for (name, summary) in [
+            ("fleet_device_elapsed_us", &self.device_elapsed_us),
+            ("fleet_queue_wait_us", &self.queue_wait_us),
+        ] {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, v) in [
+                ("0.5", summary.p50),
+                ("0.9", summary.p90),
+                ("0.99", summary.p99),
+                ("1", summary.max),
+            ] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            out.push_str(&format!("{name}_count {}\n", summary.count));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for FleetSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:>7.3}s] {:>4}/{} done, yield {:>5.1}%, {:>6.1} dev/s, \
+             cache {:>5.1}%, wait p50/p99 {}/{} us",
+            self.elapsed_us as f64 / 1e6,
+            self.completed,
+            self.fleet_size,
+            self.yield_fraction * 100.0,
+            self.devices_per_sec,
+            self.cache_hit_rate * 100.0,
+            self.queue_wait_us.p50,
+            self.queue_wait_us.p99,
+        )
+    }
+}
+
+/// One failing (or defect-stamped) device's flight-recorder dump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDump {
+    /// The device the ring belonged to.
+    pub device_id: u64,
+    /// Whether the die was stamped with a manufacturing defect.
+    pub defective: bool,
+    /// Whether the device nevertheless passed (a defect on a don't-care
+    /// position is undetectable — the dump still lands for triage).
+    pub passed: bool,
+    /// The retained events and overwrite count.
+    pub dump: FlightDump,
+}
+
+/// Internal state shared between the fleet's device jobs, the sampler
+/// thread, and the monitor handle the caller keeps.
+pub(crate) struct MonitorShared {
+    config: MonitorConfig,
+    fleet_size: AtomicU64,
+    completed: AtomicU64,
+    passed: AtomicU64,
+    defective: AtomicU64,
+    seq: AtomicU64,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
+    started: Mutex<Option<Instant>>,
+    in_flight: Mutex<BTreeMap<u64, Instant>>,
+    device_elapsed: Mutex<Histogram>,
+    dumps: Mutex<Vec<DeviceDump>>,
+    telemetry: Arc<MetricsRegistry>,
+    tx: SyncSender<FleetSnapshot>,
+    stop: Mutex<bool>,
+    stopped: Condvar,
+}
+
+impl MonitorShared {
+    /// Arms the monitor for a run of `fleet_size` devices, resetting every
+    /// live counter and the dump list (telemetry histograms accumulate
+    /// across runs by design — they describe the monitor's lifetime).
+    pub(crate) fn begin_run(&self, fleet_size: u64) {
+        self.fleet_size.store(fleet_size, Ordering::Relaxed);
+        self.completed.store(0, Ordering::Relaxed);
+        self.passed.store(0, Ordering::Relaxed);
+        self.defective.store(0, Ordering::Relaxed);
+        self.seq.store(0, Ordering::Relaxed);
+        *self.started.lock().expect("monitor poisoned") = Some(Instant::now());
+        self.in_flight.lock().expect("monitor poisoned").clear();
+        *self.device_elapsed.lock().expect("monitor poisoned") = Histogram::new();
+        self.dumps.lock().expect("monitor poisoned").clear();
+        *self.stop.lock().expect("monitor poisoned") = false;
+    }
+
+    /// Signals the sampler to emit its final snapshot and exit.
+    pub(crate) fn finish_run(&self) {
+        *self.stop.lock().expect("monitor poisoned") = true;
+        self.stopped.notify_all();
+    }
+
+    pub(crate) fn device_started(&self, device_id: u64) {
+        self.in_flight
+            .lock()
+            .expect("monitor poisoned")
+            .insert(device_id, Instant::now());
+    }
+
+    pub(crate) fn device_finished(
+        &self,
+        device_id: u64,
+        passed: bool,
+        defective: bool,
+        elapsed: Duration,
+    ) {
+        self.in_flight
+            .lock()
+            .expect("monitor poisoned")
+            .remove(&device_id);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if passed {
+            self.passed.fetch_add(1, Ordering::Relaxed);
+        }
+        if defective {
+            self.defective.fetch_add(1, Ordering::Relaxed);
+        }
+        self.device_elapsed
+            .lock()
+            .expect("monitor poisoned")
+            .observe(elapsed.as_micros() as u64);
+    }
+
+    /// A fresh per-device flight recorder, or `None` when disabled.
+    pub(crate) fn new_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        (self.config.recorder_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(self.config.recorder_capacity)))
+    }
+
+    pub(crate) fn add_dump(&self, dump: DeviceDump) {
+        self.dumps.lock().expect("monitor poisoned").push(dump);
+    }
+
+    pub(crate) fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        &self.telemetry
+    }
+
+    /// The sampler: one snapshot per interval while devices run, plus a
+    /// final `last = true` snapshot after [`finish_run`](Self::finish_run).
+    pub(crate) fn sampler_loop(&self, cache: &RouteTableCache) {
+        loop {
+            let guard = self.stop.lock().expect("monitor poisoned");
+            let (guard, _timeout) = self
+                .stopped
+                .wait_timeout_while(guard, self.config.interval, |stop| !*stop)
+                .expect("monitor poisoned");
+            let stop = *guard;
+            drop(guard);
+            if stop {
+                break;
+            }
+            self.emit(self.snapshot(cache, false));
+        }
+        self.emit(self.snapshot(cache, true));
+    }
+
+    fn snapshot(&self, cache: &RouteTableCache, last: bool) -> FleetSnapshot {
+        let elapsed = self
+            .started
+            .lock()
+            .expect("monitor poisoned")
+            .map_or(Duration::ZERO, |s| s.elapsed());
+        let completed = self.completed.load(Ordering::Relaxed);
+        let passed = self.passed.load(Ordering::Relaxed);
+        let mut stragglers: Vec<Straggler> = {
+            let in_flight = self.in_flight.lock().expect("monitor poisoned");
+            in_flight
+                .iter()
+                .map(|(&device_id, since)| Straggler {
+                    device_id,
+                    elapsed_us: since.elapsed().as_micros() as u64,
+                })
+                .collect()
+        };
+        let in_flight = stragglers.len() as u64;
+        stragglers.sort_by(|a, b| {
+            b.elapsed_us
+                .cmp(&a.elapsed_us)
+                .then(a.device_id.cmp(&b.device_id))
+        });
+        stragglers.truncate(self.config.stragglers);
+        let (cache_hits, cache_misses) = (cache.hits(), cache.misses());
+        let lookups = cache_hits + cache_misses;
+        FleetSnapshot {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            last,
+            elapsed_us: elapsed.as_micros() as u64,
+            fleet_size: self.fleet_size.load(Ordering::Relaxed),
+            completed,
+            passed,
+            failed: completed - passed,
+            defective: self.defective.load(Ordering::Relaxed),
+            in_flight,
+            yield_fraction: if completed == 0 {
+                1.0
+            } else {
+                passed as f64 / completed as f64
+            },
+            devices_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / lookups as f64
+            },
+            device_elapsed_us: self
+                .device_elapsed
+                .lock()
+                .expect("monitor poisoned")
+                .summary(),
+            queue_wait_us: self
+                .telemetry
+                .histogram("obs.pool.job.wait_us")
+                .map(|h| h.summary())
+                .unwrap_or_default(),
+            stragglers,
+        }
+    }
+
+    fn emit(&self, snapshot: FleetSnapshot) {
+        match self.tx.try_send(snapshot) {
+            Ok(()) => {
+                self.emitted.fetch_add(1, Ordering::Relaxed);
+            }
+            // Full channel or a hung-up receiver: the fleet never waits on
+            // its observer.
+            Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A live observer for [`FleetRunner::run_monitored`](crate::FleetRunner::run_monitored).
+///
+/// Construction hands back the monitor and the receiving end of its bounded
+/// snapshot channel; consume the receiver from any thread (or not at all —
+/// overflow drops snapshots, never stalls the fleet). After the run,
+/// [`dumps`](Self::dumps) holds a flight-recorder dump per defective or
+/// failing device and [`telemetry`](Self::telemetry) the wall-clock
+/// (`obs.*`) phase histograms.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_controller::schedule::packed_schedule;
+/// use casbus_sim::{FleetMonitor, FleetRunner, VariationSpec};
+/// use casbus_soc::catalog;
+///
+/// let soc = catalog::figure2a_scan_soc();
+/// let runner = FleetRunner::new(&soc, 4, packed_schedule(&soc, 4).unwrap())?;
+/// let (monitor, snapshots) = FleetMonitor::new();
+/// let fleet = runner.run_monitored(&VariationSpec::new(11, 0.5), 12, &monitor)?;
+/// // The run is over, so drain what's buffered (a blocking `iter()` would
+/// // wait forever: the monitor still holds the sender).
+/// let last = snapshots.try_iter().last().expect("final snapshot always lands");
+/// assert!(last.last && last.completed == 12);
+/// assert!(monitor.dumps().len() >= fleet.failed(), "every failure dumps");
+/// # Ok::<(), casbus_sim::SimError>(())
+/// ```
+pub struct FleetMonitor {
+    shared: Arc<MonitorShared>,
+}
+
+impl std::fmt::Debug for FleetMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetMonitor")
+            .field("config", &self.shared.config)
+            .field("emitted", &self.snapshots_emitted())
+            .field("dropped", &self.snapshots_dropped())
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetMonitor {
+    /// A monitor with [`MonitorConfig::default`] and its snapshot receiver.
+    pub fn new() -> (Self, Receiver<FleetSnapshot>) {
+        Self::with_config(MonitorConfig::default())
+    }
+
+    /// A monitor with explicit tuning and its snapshot receiver.
+    pub fn with_config(config: MonitorConfig) -> (Self, Receiver<FleetSnapshot>) {
+        let (tx, rx) = mpsc::sync_channel(config.channel_capacity.max(1));
+        let shared = Arc::new(MonitorShared {
+            config,
+            fleet_size: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            passed: AtomicU64::new(0),
+            defective: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            started: Mutex::new(None),
+            in_flight: Mutex::new(BTreeMap::new()),
+            device_elapsed: Mutex::new(Histogram::new()),
+            dumps: Mutex::new(Vec::new()),
+            telemetry: MetricsRegistry::new(),
+            tx,
+            stop: Mutex::new(false),
+            stopped: Condvar::new(),
+        });
+        (Self { shared }, rx)
+    }
+
+    /// The tuning this monitor was built with.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.shared.config
+    }
+
+    /// Wall-clock phase telemetry (`obs.fleet.device.setup_us`,
+    /// `obs.fleet.device.run_us`, `obs.pool.job.wait_us`,
+    /// `obs.pool.job.exec_us`, …). Accumulates across runs of this monitor.
+    pub fn telemetry(&self) -> &Arc<MetricsRegistry> {
+        self.shared.telemetry()
+    }
+
+    /// Flight-recorder dumps collected so far — one per defective or
+    /// failing device of the current (or just-finished) run.
+    pub fn dumps(&self) -> Vec<DeviceDump> {
+        self.shared.dumps.lock().expect("monitor poisoned").clone()
+    }
+
+    /// Snapshots successfully handed to the receiver.
+    pub fn snapshots_emitted(&self) -> u64 {
+        self.shared.emitted.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots dropped on a full (or hung-up) channel.
+    pub fn snapshots_dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<MonitorShared> {
+        &self.shared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reports_counts_yield_and_stragglers() {
+        let (monitor, rx) = FleetMonitor::with_config(MonitorConfig {
+            stragglers: 2,
+            ..MonitorConfig::default()
+        });
+        let shared = monitor.shared();
+        shared.begin_run(8);
+        for id in 0..5 {
+            shared.device_started(id);
+        }
+        shared.device_finished(0, true, false, Duration::from_micros(500));
+        shared.device_finished(1, false, true, Duration::from_micros(900));
+        shared.telemetry().observe("obs.pool.job.wait_us", 10);
+
+        let cache = RouteTableCache::new();
+        let snap = shared.snapshot(&cache, false);
+        assert_eq!(snap.fleet_size, 8);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.passed, 1);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.defective, 1);
+        assert_eq!(snap.in_flight, 3);
+        assert!((snap.yield_fraction - 0.5).abs() < 1e-12);
+        assert_eq!(snap.device_elapsed_us.count, 2);
+        assert_eq!(snap.queue_wait_us.count, 1);
+        assert_eq!(snap.stragglers.len(), 2, "straggler list is truncated");
+
+        let json = snap.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"completed\":2"));
+        assert!(json.contains("\"stragglers\":[{\"device_id\":"));
+        assert!(!json.contains('\n'), "single line for JSONL streams");
+
+        let prom = snap.to_prometheus();
+        assert!(prom.contains("fleet_completed 2\n"));
+        assert!(prom.contains("fleet_queue_wait_us{quantile=\"0.5\"} 10\n"));
+        drop(rx);
+    }
+
+    #[test]
+    fn emit_counts_drops_on_a_full_channel() {
+        let (monitor, rx) = FleetMonitor::with_config(MonitorConfig {
+            channel_capacity: 1,
+            ..MonitorConfig::default()
+        });
+        let shared = monitor.shared();
+        shared.begin_run(1);
+        let cache = RouteTableCache::new();
+        shared.emit(shared.snapshot(&cache, false));
+        shared.emit(shared.snapshot(&cache, false));
+        shared.emit(shared.snapshot(&cache, false));
+        assert_eq!(monitor.snapshots_emitted(), 1);
+        assert_eq!(monitor.snapshots_dropped(), 2);
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+
+    #[test]
+    fn sampler_always_emits_a_final_snapshot() {
+        let (monitor, rx) = FleetMonitor::with_config(MonitorConfig {
+            interval: Duration::from_millis(200),
+            ..MonitorConfig::default()
+        });
+        let shared = Arc::clone(monitor.shared());
+        shared.begin_run(0);
+        let cache = RouteTableCache::new();
+        std::thread::scope(|scope| {
+            let sampler = scope.spawn(|| shared.sampler_loop(&cache));
+            // Stop well before the first interval elapses: only the final
+            // snapshot should be emitted.
+            shared.finish_run();
+            sampler.join().expect("sampler panicked");
+        });
+        let snaps: Vec<FleetSnapshot> = rx.try_iter().collect();
+        assert_eq!(snaps.len(), 1);
+        assert!(snaps[0].last);
+        assert_eq!(snaps[0].seq, 0);
+    }
+
+    #[test]
+    fn recorder_is_gated_on_capacity() {
+        let (on, _rx) = FleetMonitor::new();
+        assert!(on.shared().new_recorder().is_some());
+        let (off, _rx) = FleetMonitor::with_config(MonitorConfig {
+            recorder_capacity: 0,
+            ..MonitorConfig::default()
+        });
+        assert!(off.shared().new_recorder().is_none());
+    }
+}

@@ -24,8 +24,10 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use casbus_controller::partition_lpt;
+use casbus_obs::MetricsRegistry;
 
 /// Runs `f` over every item, spreading the work across up to `workers`
 /// scoped threads balanced by LPT on the supplied weights, and returns the
@@ -81,10 +83,17 @@ where
 /// A job the pool executes: owns everything it touches.
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued job plus its enqueue instant, so workers can report how long
+/// it waited for a free thread.
+struct QueuedJob {
+    run: Job,
+    enqueued: Instant,
+}
+
 /// Queue state shared between the submitting side and the workers.
 #[derive(Default)]
 struct PoolState {
-    jobs: VecDeque<Job>,
+    jobs: VecDeque<QueuedJob>,
     shutdown: bool,
 }
 
@@ -92,6 +101,11 @@ struct PoolShared {
     state: Mutex<PoolState>,
     work_ready: Condvar,
     executed: AtomicU64,
+    /// When set, workers observe `obs.pool.job.wait_us` (enqueue → pickup)
+    /// and `obs.pool.job.exec_us` (run time) per job. Wall-clock values:
+    /// intentionally namespaced under `obs.*`, outside the determinism
+    /// contract.
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 /// A persistent pool of worker threads pulling jobs from one shared queue.
@@ -152,6 +166,7 @@ impl WorkerPool {
             state: Mutex::new(PoolState::default()),
             work_ready: Condvar::new(),
             executed: AtomicU64::new(0),
+            metrics: Mutex::new(None),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -176,17 +191,41 @@ impl WorkerPool {
                     state = shared.work_ready.wait(state).expect("worker pool poisoned");
                 }
             };
-            job();
+            let metrics = shared.metrics.lock().expect("worker pool poisoned").clone();
+            match metrics {
+                Some(metrics) => {
+                    metrics.observe(
+                        "obs.pool.job.wait_us",
+                        job.enqueued.elapsed().as_micros() as u64,
+                    );
+                    let started = Instant::now();
+                    (job.run)();
+                    metrics.observe("obs.pool.job.exec_us", started.elapsed().as_micros() as u64);
+                }
+                None => (job.run)(),
+            }
             shared.executed.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     /// Enqueues one job; the first idle worker picks it up.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        let queued = QueuedJob {
+            run: Box::new(job),
+            enqueued: Instant::now(),
+        };
         let mut state = self.shared.state.lock().expect("worker pool poisoned");
-        state.jobs.push_back(Box::new(job));
+        state.jobs.push_back(queued);
         drop(state);
         self.shared.work_ready.notify_one();
+    }
+
+    /// Attaches (or with `None` detaches) a registry receiving per-job
+    /// queue-wait and execution-time observations. Jobs already queued when
+    /// the registry changes report to whichever registry is installed when
+    /// a worker picks them up.
+    pub fn set_metrics(&self, metrics: Option<Arc<MetricsRegistry>>) {
+        *self.shared.metrics.lock().expect("worker pool poisoned") = metrics;
     }
 
     /// Number of worker threads.
@@ -265,5 +304,34 @@ mod tests {
     fn zero_threads_resolves_to_available_parallelism() {
         let pool = WorkerPool::new(0);
         assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn attached_metrics_observe_wait_and_exec_per_job() {
+        let pool = WorkerPool::new(2);
+        let metrics = MetricsRegistry::new();
+        pool.set_metrics(Some(Arc::clone(&metrics)));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..20u64 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 20);
+
+        // Detached: further jobs leave the registry untouched.
+        pool.set_metrics(None);
+        let (tx, rx) = mpsc::channel::<u64>();
+        for _ in 0..5 {
+            let tx = tx.clone();
+            pool.execute(move || tx.send(1).unwrap());
+        }
+        drop(tx);
+        assert_eq!(rx.iter().count(), 5);
+
+        // Joining the workers guarantees every observation landed.
+        drop(pool);
+        assert_eq!(metrics.histogram("obs.pool.job.wait_us").unwrap().count, 20);
+        assert_eq!(metrics.histogram("obs.pool.job.exec_us").unwrap().count, 20);
     }
 }

@@ -60,6 +60,7 @@ pub struct CompiledValidator {
     threads: usize,
     analytic_data_phase: bool,
     cache: Arc<RouteTableCache>,
+    telemetry: Option<Arc<MetricsRegistry>>,
 }
 
 impl CompiledValidator {
@@ -70,6 +71,7 @@ impl CompiledValidator {
             threads: threads.max(1),
             analytic_data_phase: false,
             cache: Arc::new(RouteTableCache::new()),
+            telemetry: None,
         }
     }
 
@@ -98,8 +100,29 @@ impl CompiledValidator {
         self
     }
 
+    /// Attaches a registry observing `obs.search.validate_us` — the wall
+    /// time of every candidate measurement — into the new quantile
+    /// histograms. Wall-clock telemetry lives under the `obs.*` prefix and
+    /// is excluded from the determinism contract.
+    pub fn with_telemetry(mut self, telemetry: Arc<MetricsRegistry>) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
     /// Builds, configures, and runs one candidate; `None` vetoes it.
     fn measure_one(&self, soc: &SocDescription, candidate: &Schedule) -> Option<u64> {
+        let started = self.telemetry.as_ref().map(|_| std::time::Instant::now());
+        let measured = self.measure_inner(soc, candidate);
+        if let (Some(telemetry), Some(started)) = (&self.telemetry, started) {
+            telemetry.observe(
+                "obs.search.validate_us",
+                started.elapsed().as_micros() as u64,
+            );
+        }
+        measured
+    }
+
+    fn measure_inner(&self, soc: &SocDescription, candidate: &Schedule) -> Option<u64> {
         let n = candidate.bus_width();
         let tam = Tam::new(soc, n).ok()?;
         let program = TestProgram::from_schedule(&tam, soc, candidate).ok()?;
@@ -170,7 +193,10 @@ pub fn run_program_searched(
 /// [`run_program_searched`] publishing search telemetry: the controller's
 /// `search.*` counters and trajectory, plus `search.route_cache.hits`,
 /// `search.route_cache.misses`, and `search.route_cache.shapes` from the
-/// shared route-compilation cache, and the winner run's engine counters.
+/// shared route-compilation cache, the winner run's engine counters, and an
+/// `obs.search.validate_us` wall-clock histogram (p50/p99 of per-candidate
+/// validation time; `obs.*` names are excluded from the determinism
+/// contract).
 ///
 /// # Errors
 ///
@@ -182,8 +208,10 @@ pub fn run_program_searched_with_metrics(
     metrics: &MetricsRegistry,
 ) -> Result<(Schedule, SocTestReport), SimError> {
     let threads = std::thread::available_parallelism().map_or(1, |c| c.get());
-    let validator = CompiledValidator::new(threads);
+    let telemetry = MetricsRegistry::new();
+    let validator = CompiledValidator::new(threads).with_telemetry(Arc::clone(&telemetry));
     let schedule = search_schedule_with(soc, n, budget, &validator, metrics)?;
+    metrics.merge_from(&telemetry);
     metrics.set("search.route_cache.hits", validator.cache().hits());
     metrics.set("search.route_cache.misses", validator.cache().misses());
     metrics.set("search.route_cache.shapes", validator.cache().len() as u64);
@@ -290,6 +318,25 @@ mod tests {
             "survivor pools repeat wave shapes across rounds"
         );
         assert_eq!(metrics.counter("search.best_makespan"), schedule.makespan());
+        let validate = metrics
+            .histogram("obs.search.validate_us")
+            .expect("per-candidate wall-time histogram");
+        assert_eq!(validate.count, metrics.counter("search.validations"));
+    }
+
+    #[test]
+    fn validator_telemetry_observes_each_candidate() {
+        let soc = catalog::figure1_soc();
+        let telemetry = MetricsRegistry::new();
+        let validator = CompiledValidator::new(2).with_telemetry(Arc::clone(&telemetry));
+        let candidates = [
+            packed_schedule(&soc, 8).unwrap(),
+            serial_schedule(&soc, 8).unwrap(),
+            packed_schedule(&soc, 8).unwrap(),
+        ];
+        validator.measure(&soc, &candidates);
+        let hist = telemetry.histogram("obs.search.validate_us").unwrap();
+        assert_eq!(hist.count, 3);
     }
 
     #[test]

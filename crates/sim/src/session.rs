@@ -228,7 +228,7 @@ pub fn run_core_session(
     if trace.enabled() {
         trace.record(casbus_obs::TraceEvent::span(
             "session",
-            core_name,
+            core_name.to_owned(),
             start,
             sim.cycles() - start,
             vec![

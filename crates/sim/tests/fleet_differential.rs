@@ -193,6 +193,102 @@ fn bounded_cache_thrashes_but_stays_correct() {
     assert!(bounded.cache().len() <= 1, "cap holds after the run");
 }
 
+/// Counters outside the wall-clock `obs.*` namespace.
+fn visible_counters(metrics: &MetricsRegistry) -> Vec<(String, u64)> {
+    metrics
+        .counters()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("obs."))
+        .collect()
+}
+
+/// Histograms outside the wall-clock `obs.*` namespace.
+fn visible_histograms(metrics: &MetricsRegistry) -> Vec<(String, casbus_obs::Histogram)> {
+    metrics
+        .histograms()
+        .into_iter()
+        .filter(|(name, _)| !name.starts_with("obs."))
+        .collect()
+}
+
+/// A fleet run with a [`FleetMonitor`](casbus_sim::FleetMonitor) attached
+/// is bit-identical — device reports, and every counter/histogram outside
+/// the wall-clock `obs.*` namespace — to a monitor-less run, at every
+/// thread count. Monitoring observes; it never participates.
+#[test]
+fn monitored_fleet_is_bit_identical_to_unmonitored() {
+    use casbus_sim::{FleetMonitor, MonitorConfig};
+    use std::time::Duration;
+
+    let soc = catalog::figure2a_scan_soc();
+    let schedule = packed_schedule(&soc, 4).expect("schedule");
+    let spec = VariationSpec::new(11, 0.5);
+    const FLEET: u64 = 24;
+
+    for threads in [1usize, 2, 4] {
+        let plain_runner = FleetRunner::new(&soc, 4, schedule.clone())
+            .expect("runner")
+            .with_threads(threads);
+        let plain_metrics = MetricsRegistry::new();
+        let plain = plain_runner
+            .run_with_metrics(&spec, FLEET, &plain_metrics, |_| {})
+            .expect("plain run");
+
+        let monitored_runner = FleetRunner::new(&soc, 4, schedule.clone())
+            .expect("runner")
+            .with_threads(threads);
+        let (monitor, snapshots) = FleetMonitor::with_config(MonitorConfig {
+            interval: Duration::from_millis(5),
+            ..MonitorConfig::default()
+        });
+        let monitored_metrics = MetricsRegistry::new();
+        let monitored = monitored_runner
+            .run_monitored_with_metrics(&spec, FLEET, &monitored_metrics, &monitor, |_| {})
+            .expect("monitored run");
+
+        assert_eq!(monitored.devices, plain.devices, "{threads} threads");
+        assert_eq!(monitored.passed, plain.passed, "{threads} threads");
+        assert_eq!(monitored.total_cycles, plain.total_cycles);
+        assert_eq!(
+            visible_counters(&monitored_metrics),
+            visible_counters(&plain_metrics),
+            "{threads} threads"
+        );
+        assert_eq!(
+            visible_histograms(&monitored_metrics),
+            visible_histograms(&plain_metrics),
+            "{threads} threads"
+        );
+        assert!(
+            monitored_metrics
+                .counters()
+                .iter()
+                .any(|(name, _)| name.starts_with("obs.")),
+            "the monitored run does publish obs.* telemetry"
+        );
+
+        // The final snapshot always lands and agrees with the report.
+        let last = snapshots.try_iter().last().expect("final snapshot");
+        assert!(last.last);
+        assert_eq!(last.completed, FLEET);
+        assert_eq!(last.passed as usize, plain.passed);
+
+        // Every defective or failing device dumped its flight recorder.
+        let dumps = monitor.dumps();
+        for device in &monitored.devices {
+            if device.fault.is_some() || !device.passed() {
+                assert!(
+                    dumps.iter().any(|d| d.device_id == device.device_id),
+                    "device {} missing its dump",
+                    device.device_id
+                );
+            }
+        }
+        assert!(!dumps.is_empty(), "a 50% defect rate stamps some dies");
+        assert!(dumps.iter().all(|d| !d.dump.events.is_empty()));
+    }
+}
+
 /// The shared cache is an `Arc`: two runners can serve different fleets
 /// off one cache without recompiling shared shapes.
 #[test]

@@ -5,15 +5,24 @@
 //!
 //! Run with: `cargo run --release --example fleet`
 //!
+//! Pass `--monitor` to attach a live [`FleetMonitor`]: periodic health
+//! snapshots (yield, devices/s, latency quantiles, stragglers) print while
+//! the lot is in flight, every failing die leaves a flight-recorder dump,
+//! and the final snapshot + Prometheus exposition + JSONL snapshot log are
+//! exported under `target/fleet_monitor/`.
+//!
 //! The binary doubles as a CI self-check: it asserts the invariants the
 //! fleet layer guarantees — every failing die is a stamped-defective die
 //! (healthy silicon never fails), route-table compilation work does not
-//! grow with the fleet, and the yield arithmetic is consistent — and exits
-//! non-zero if any is violated.
+//! grow with the fleet, the yield arithmetic is consistent, and (under
+//! `--monitor`) the snapshot stream and recorder dumps are complete — and
+//! exits non-zero if any is violated.
 
 use casbus_suite::casbus_controller::search::SearchBudget;
 use casbus_suite::casbus_obs::MetricsRegistry;
-use casbus_suite::casbus_sim::{FleetRunner, VariationSpec};
+use casbus_suite::casbus_sim::{
+    DeviceReport, FleetMonitor, FleetReport, FleetRunner, VariationSpec,
+};
 use casbus_suite::casbus_soc::catalog;
 
 const BUS_WIDTH: usize = 8;
@@ -39,10 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runner.threads()
     );
 
+    let monitored = std::env::args().any(|arg| arg == "--monitor");
     let spec = VariationSpec::new(2026, DEFECT_RATE);
     let metrics = MetricsRegistry::new();
     let mut failures = Vec::new();
-    let fleet = runner.run_with_metrics(&spec, FLEET_SIZE, &metrics, |device| {
+    let on_report = |device: &DeviceReport| {
         if !device.passed() {
             // Streaming: failures print the moment the device finishes,
             // long before the lot completes.
@@ -57,7 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             failures.push(device.device_id);
         }
-    })?;
+    };
+    let fleet = if monitored {
+        run_monitored(&runner, &spec, &metrics, on_report)?
+    } else {
+        runner.run_with_metrics(&spec, FLEET_SIZE, &metrics, on_report)?
+    };
 
     let defective = fleet.devices.iter().filter(|d| d.fault.is_some()).count();
     let escapes = defective - fleet.failed();
@@ -111,4 +126,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("fleet self-check passed");
     Ok(())
+}
+
+/// Serves the lot with a live [`FleetMonitor`] attached: a consumer thread
+/// prints each health snapshot the moment it lands, every failing die
+/// leaves a flight-recorder dump, and after the run the snapshot log, the
+/// Prometheus exposition, and the dumps are exported under
+/// `target/fleet_monitor/`.
+fn run_monitored(
+    runner: &FleetRunner,
+    spec: &VariationSpec,
+    metrics: &MetricsRegistry,
+    on_report: impl FnMut(&DeviceReport),
+) -> Result<FleetReport, Box<dyn std::error::Error>> {
+    let (monitor, rx) = FleetMonitor::new();
+    let printer = std::thread::spawn(move || {
+        let mut seen = Vec::new();
+        for snapshot in rx {
+            println!("  [monitor] {snapshot}");
+            seen.push(snapshot);
+        }
+        seen
+    });
+
+    let fleet =
+        runner.run_monitored_with_metrics(spec, FLEET_SIZE, metrics, &monitor, on_report)?;
+
+    let dumps = monitor.dumps();
+    let emitted = monitor.snapshots_emitted();
+    let dropped = monitor.snapshots_dropped();
+    // Dropping the monitor closes the snapshot channel; the printer drains
+    // what is left and returns everything it saw.
+    drop(monitor);
+    let snapshots = printer.join().expect("snapshot printer");
+
+    // Export the artifacts a live dashboard would scrape.
+    let dir = std::path::Path::new("target/fleet_monitor");
+    std::fs::create_dir_all(dir)?;
+    let jsonl: String = snapshots.iter().map(|s| s.to_json() + "\n").collect();
+    std::fs::write(dir.join("snapshots.jsonl"), jsonl)?;
+    let last = snapshots.last().expect("final snapshot");
+    let prom = format!("{}{}", last.to_prometheus(), metrics.to_prometheus());
+    std::fs::write(dir.join("fleet.prom"), prom)?;
+    for dump in &dumps {
+        std::fs::write(
+            dir.join(format!("dump_device_{}.jsonl", dump.device_id)),
+            dump.dump.jsonl(),
+        )?;
+    }
+    println!(
+        "  [monitor] {} snapshots ({dropped} dropped), {} flight-recorder dumps -> {}/",
+        snapshots.len(),
+        dumps.len(),
+        dir.display()
+    );
+
+    // Monitor self-checks: the stream is complete, the closing snapshot
+    // covers the whole lot, and every failing die left a post-mortem.
+    assert_eq!(snapshots.len() as u64, emitted, "receiver saw every emit");
+    assert!(last.last, "the closing snapshot is flagged last");
+    assert_eq!(last.completed, FLEET_SIZE);
+    assert_eq!(metrics.counter("obs.fleet.snapshots.emitted"), emitted);
+    for device in fleet.devices.iter().filter(|d| !d.passed()) {
+        assert!(
+            dumps.iter().any(|d| d.device_id == device.device_id),
+            "failing device {} left no flight-recorder dump",
+            device.device_id
+        );
+    }
+    Ok(fleet)
 }
