@@ -5,12 +5,22 @@
 //! the annealed schedule search, TAM build, program compilation, and route
 //! compilation again. [`casbus_sim::FleetRunner`] pays all of that once
 //! and serves the compiled plan to the whole fleet from a persistent
-//! worker pool.
+//! worker pool — in two modes, both measured here:
 //!
-//! Before any throughput is recorded, every fleet device's report — at
-//! every thread count — is asserted bit-identical to the looped baseline's
-//! report, so the numbers always describe *equivalent* work. Results go to
-//! stdout and to `BENCH_fleet.json` at the workspace root.
+//! * **scalar** — one compiled-engine run per device, with the simulator
+//!   and engine reused in place on each worker thread, and
+//! * **packed** — cohorts of up to 64 devices share one word-level
+//!   execution (healthy dies clone a baseline report, defective dies run
+//!   as bit-lanes of a packed scan model).
+//!
+//! Before any throughput is recorded, packed and scalar runs of the same
+//! defective fleet are asserted bit-identical to each other, and every
+//! healthy device's report bit-identical to the looped baseline's — so the
+//! numbers always describe *equivalent* work. One-time setup (search +
+//! compile) is timed separately from steady-state devices/s: each timed
+//! row is preceded by an untimed priming run that compiles the packed
+//! engine and warms the per-worker simulator slots. Results go to stdout
+//! and to `BENCH_fleet.json` at the workspace root.
 //!
 //! ```text
 //! cargo run --release -p casbus-bench --bin fleet_throughput
@@ -25,8 +35,13 @@ use casbus_controller::search::SearchBudget;
 use casbus_sim::{run_program_searched, FleetRunner, VariationSpec};
 use casbus_soc::catalog;
 
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+const DEFECT_RATE: f64 = 0.25;
+const DEFECT_SEED: u64 = 7;
+
 struct Row {
     threads: usize,
+    mode: &'static str,
     wall_ms: f64,
     devices_per_sec: f64,
     wire_cycles_per_sec: f64,
@@ -35,14 +50,15 @@ struct Row {
 
 fn main() {
     let smoke = std::env::var("CASBUS_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
-    let available = std::thread::available_parallelism().map_or(1, |t| t.get());
     let (fleet_size, baseline_runs) = if smoke { (64u64, 4usize) } else { (256, 8) };
     let soc = catalog::figure1_soc();
     let n = 8;
     let budget = SearchBudget::smoke();
+    let spec = VariationSpec::new(DEFECT_SEED, DEFECT_RATE);
 
     println!(
-        "Fleet batch serving: figure1 SoC, N={n}, fleet of {fleet_size} devices{}",
+        "Fleet batch serving: figure1 SoC, N={n}, fleet of {fleet_size} devices, \
+         defect rate {DEFECT_RATE}{}",
         if smoke { " (smoke)" } else { "" }
     );
     println!();
@@ -81,77 +97,122 @@ fn main() {
         "fleet one-time setup (search + compile): {:.1} ms",
         setup.as_secs_f64() * 1e3
     );
-    println!();
-    println!(
-        "{:>7} {:>10} {:>13} {:>16} {:>9}",
-        "threads", "wall", "devices/s", "wire-cycles/s", "speedup"
-    );
 
-    let mut thread_counts = vec![1usize];
-    if available > 1 {
-        thread_counts.push(available);
-    }
-    let mut rows = Vec::new();
-    for &threads in &thread_counts {
-        runner = runner.with_threads(threads);
-        let fleet = runner
-            .run(&VariationSpec::perfect(), fleet_size)
-            .expect("fleet run");
-        for device in &fleet.devices {
+    // Equivalence gate: the packed and scalar modes must agree bit for bit
+    // on the defective fleet, and healthy dies must match the looped
+    // baseline, before either mode's throughput means anything.
+    runner = runner
+        .with_threads(THREAD_COUNTS[THREAD_COUNTS.len() - 1])
+        .with_packed(false);
+    let scalar_fleet = runner.run(&spec, fleet_size).expect("scalar fleet run");
+    runner = runner.with_packed(true);
+    let packed_fleet = runner.run(&spec, fleet_size).expect("packed fleet run");
+    assert_eq!(scalar_fleet.devices.len(), packed_fleet.devices.len());
+    for (s, p) in scalar_fleet.devices.iter().zip(&packed_fleet.devices) {
+        assert_eq!(s.device_id, p.device_id);
+        assert_eq!(
+            s.report, p.report,
+            "packed report diverged from scalar on device {}",
+            s.device_id
+        );
+        if spec.fault_for(&soc, s.device_id).is_none() {
             assert_eq!(
-                device.report, baseline_report,
-                "device {} diverged from the looped baseline at {threads} threads",
-                device.device_id
+                s.report, baseline_report,
+                "healthy device {} diverged from the looped baseline",
+                s.device_id
             );
         }
-        assert_eq!(fleet.passed, fleet_size as usize);
-        let speedup = fleet.devices_per_sec() / baseline_devices_per_sec;
-        println!(
-            "{:>7} {:>8.1}ms {:>13.1} {:>16.0} {:>8.1}x",
-            threads,
-            fleet.wall.as_secs_f64() * 1e3,
-            fleet.devices_per_sec(),
-            fleet.wire_cycles_per_sec(),
-            speedup
-        );
-        rows.push(Row {
-            threads,
-            wall_ms: fleet.wall.as_secs_f64() * 1e3,
-            devices_per_sec: fleet.devices_per_sec(),
-            wire_cycles_per_sec: fleet.wire_cycles_per_sec(),
-            speedup,
-        });
+    }
+    println!(
+        "equivalence gate: {} devices bit-identical across modes ({} defective)",
+        fleet_size,
+        fleet_size as usize - scalar_fleet.passed
+    );
+
+    println!();
+    println!(
+        "{:>7} {:>7} {:>10} {:>13} {:>16} {:>9}",
+        "threads", "mode", "wall", "devices/s", "wire-cycles/s", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for mode in ["scalar", "packed"] {
+        runner = runner.with_packed(mode == "packed");
+        for &threads in &THREAD_COUNTS {
+            runner = runner.with_threads(threads);
+            // Untimed priming run: compiles the packed engine (if packed)
+            // and warms the fresh pool's per-worker simulator slots, so the
+            // timed run below is steady state, not setup.
+            runner.run(&spec, fleet_size).expect("priming run");
+            let fleet = runner.run(&spec, fleet_size).expect("fleet run");
+            assert_eq!(fleet.passed, scalar_fleet.passed, "yield drifted");
+            let speedup = fleet.devices_per_sec() / baseline_devices_per_sec;
+            println!(
+                "{:>7} {:>7} {:>8.1}ms {:>13.1} {:>16.0} {:>8.1}x",
+                threads,
+                mode,
+                fleet.wall.as_secs_f64() * 1e3,
+                fleet.devices_per_sec(),
+                fleet.wire_cycles_per_sec(),
+                speedup
+            );
+            rows.push(Row {
+                threads,
+                mode,
+                wall_ms: fleet.wall.as_secs_f64() * 1e3,
+                devices_per_sec: fleet.devices_per_sec(),
+                wire_cycles_per_sec: fleet.wire_cycles_per_sec(),
+                speedup,
+            });
+        }
     }
 
-    let best = rows
-        .iter()
-        .map(|r| r.speedup)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let best_of = |mode: &str| {
+        rows.iter()
+            .filter(|r| r.mode == mode)
+            .map(|r| r.speedup)
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let scalar_best = best_of("scalar");
+    let packed_best = best_of("packed");
     assert!(
-        best >= 5.0,
-        "fleet serving must beat per-device planning by >=5x at fleet {fleet_size} \
-         (best observed: {best:.1}x)"
+        scalar_best >= 5.0,
+        "scalar fleet serving must beat per-device planning by >=5x at fleet {fleet_size} \
+         (best observed: {scalar_best:.1}x)"
     );
-    println!("\nbest speedup vs looped run_program_searched: {best:.1}x");
+    assert!(
+        packed_best >= 5.0,
+        "packed fleet serving must beat per-device planning by >=5x at fleet {fleet_size} \
+         (best observed: {packed_best:.1}x)"
+    );
+    let packed_vs_scalar = packed_best / scalar_best;
+    println!();
+    println!("best scalar speedup vs looped run_program_searched: {scalar_best:.1}x");
+    println!("best packed speedup vs looped run_program_searched: {packed_best:.1}x");
+    println!("packed vs scalar (best rows): {packed_vs_scalar:.1}x");
 
     let json_rows: Vec<String> = rows
         .iter()
         .map(|r| {
             format!(
-                "    {{\"threads\": {}, \"wall_ms\": {:.3}, \"devices_per_sec\": {:.2}, \
-                 \"wire_cycles_per_sec\": {:.0}, \"speedup_vs_searched_loop\": {:.2}}}",
-                r.threads, r.wall_ms, r.devices_per_sec, r.wire_cycles_per_sec, r.speedup
+                "    {{\"threads\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
+                 \"devices_per_sec\": {:.2}, \"wire_cycles_per_sec\": {:.0}, \
+                 \"speedup_vs_searched_loop\": {:.2}}}",
+                r.threads, r.mode, r.wall_ms, r.devices_per_sec, r.wire_cycles_per_sec, r.speedup
             )
         })
         .collect();
     let json = format!(
         "{{\n  \"benchmark\": \"fleet_batch_serving\",\n  \"soc\": \"figure1\",\n  \
          \"n\": {n},\n  \"fleet_size\": {fleet_size},\n  \"smoke\": {smoke},\n  \
+         \"defect_rate\": {DEFECT_RATE},\n  \
          \"baseline_ms_per_device\": {:.3},\n  \"baseline_devices_per_sec\": {:.2},\n  \
-         \"setup_ms\": {:.3},\n  \"rows\": [\n{}\n  ]\n}}\n",
+         \"setup_ms\": {:.3},\n  \"packed_vs_scalar_best\": {:.2},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
         baseline_per_device * 1e3,
         baseline_devices_per_sec,
         setup.as_secs_f64() * 1e3,
+        packed_vs_scalar,
         json_rows.join(",\n")
     );
     let path = "BENCH_fleet.json";

@@ -341,8 +341,11 @@ impl CompiledEngine {
 
 /// Whether the configured step can run on the word-level fast path while
 /// staying bit-identical to the interpreter. `routes` must be compiled from
-/// the chain's current (post-`configure`) state.
-fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &RouteTable) -> bool {
+/// the chain's current (post-`configure`) state. Also the gate the packed
+/// device-parallel fleet path uses: its lane-containment argument (a defect
+/// on one core perturbs only that core's verdict and signature) holds
+/// exactly when every step satisfies these conditions.
+pub(crate) fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &RouteTable) -> bool {
     let mut is_lane = vec![false; sim.tam().cas_count()];
     for lane in lanes {
         is_lane[lane.cas_index] = true;

@@ -1,0 +1,456 @@
+//! Packed device-parallel fleet execution: up to 64 devices per word.
+//!
+//! Every die in a fleet runs the *identical* compiled test program and
+//! differs only by at most one stuck-at defect
+//! ([`VariationSpec`](crate::VariationSpec)). [`PackedDeviceEngine`]
+//! exploits that structure along the device axis, the way the PPSFP fault
+//! simulator exploits it along the sequence axis:
+//!
+//! * **Healthy dies are one run, ever.** The engine executes the compiled
+//!   program once on a defect-free device and keeps the resulting
+//!   [`SocTestReport`] as the *baseline*. Every healthy device's report is a
+//!   clone of it — the scalar engine is deterministic, so a fresh healthy
+//!   run could not produce anything else.
+//! * **Defective dies run 64 to a word.** Devices of one cohort (≤ 64)
+//!   whose defects land on the same scan core become *lanes* of one
+//!   [`PackedScanLanes`] model: each flip-flop of each chain is one `u64`,
+//!   bit `l` belonging to device-lane `l`, and the per-device stuck-at
+//!   defects become per-lane force/mask words at the injected flop. One
+//!   shift or capture clock then advances all of them at once against a
+//!   single shared golden model (stimuli are broadcast — every lane sees
+//!   the same plan). Per-lane mismatch counts and signatures are extracted
+//!   at the session boundary by transposing the time-major observation
+//!   words back into per-lane streams and feeding the *same*
+//!   `lane_signature` fold the scalar engines use.
+//! * **Everything else falls back, per device.** Monitored runs, programs
+//!   with any step the word-level fast path cannot express, and defects the
+//!   lane encoding cannot carry are executed by the unchanged scalar
+//!   [`test_device`](crate::fleet) path — bit-identity is never traded for
+//!   speed.
+//!
+//! # Why patching the baseline is sound
+//!
+//! The packed path is only used when **every** step of the program passes
+//! [`step_is_compilable`]: all routes independent (no serial wire sharing
+//! between cores), all tested wrappers in transparent INTEST modes with
+//! exact widths, no Update/Idle plan cycles. Under those conditions a
+//! defect inside core X can influence *only* X's own produced bits: each
+//! `configure` reloads every CAS instruction and clears every retiming
+//! register, session plans are pure functions of the core descriptions, and
+//! every lane's traffic flows over exclusive wires. Cycle counters are
+//! plan-arithmetic, identical for every device. So a defective device's
+//! report differs from the healthy baseline in exactly two places — the
+//! verdict and the signature of the defective core's session(s) — and those
+//! are what the packed lane run recomputes. The differential suite in
+//! `tests/fleet_differential.rs` pins this bit for bit across fleet sizes
+//! {1, 2, 63, 64, 65, 256} and thread counts {1, 2, 4}.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use casbus::RouteTableCache;
+use casbus_controller::CompiledProgram;
+use casbus_soc::models::{self, PackedScanLanes};
+use casbus_soc::{CoreDescription, SocDescription, TestMethod};
+use casbus_tpg::lanes::{broadcast, LaneStreams, LANES};
+use casbus_tpg::Verdict;
+
+use crate::engine::{step_is_compilable, CompiledEngine};
+use crate::fleet::{test_device, DeviceReport, InjectedFault};
+use crate::report::{collect_lanes, SocTestReport};
+use crate::session::{lane_signature, ClockKind, SessionPlan};
+use crate::simulator::{SimError, SocSimulator};
+
+/// Devices per cohort: the lane capacity of one machine word.
+pub const COHORT_LANES: usize = LANES;
+
+/// One tested occurrence of a core in the program: where its verdict and
+/// signature live in the report, and the plan/window it executes.
+struct PackedLaneSpec {
+    /// Index into [`SocTestReport::verdicts`] / `signatures`.
+    slot: usize,
+    desc: CoreDescription,
+    plan: SessionPlan,
+    /// The step's data-clock horizon (longest concurrent plan).
+    horizon: usize,
+}
+
+/// The compiled packed device-parallel engine: one healthy baseline report
+/// plus per-core lane specs, shared read-only by every cohort job of a
+/// fleet run.
+///
+/// Built once per [`FleetRunner`](crate::FleetRunner) (lazily, on the first
+/// packed run) from exactly the artifacts the scalar path uses — the shared
+/// SoC description, compiled program, and route cache — so route-table
+/// cache misses stay independent of fleet size and execution mode.
+pub struct PackedDeviceEngine {
+    baseline: SocTestReport,
+    /// Lane specs per core name (one entry per tested occurrence).
+    lanes: HashMap<String, Vec<PackedLaneSpec>>,
+    /// Every step passed [`step_is_compilable`]: the defect-containment
+    /// argument holds and defective dies may take the packed lane path.
+    all_steps_packable: bool,
+    soc: Arc<SocDescription>,
+    plan: Arc<CompiledProgram>,
+    cache: Arc<RouteTableCache>,
+}
+
+impl std::fmt::Debug for PackedDeviceEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedDeviceEngine")
+            .field("cores", &self.lanes.len())
+            .field("all_steps_packable", &self.all_steps_packable)
+            .field("baseline_pass", &self.baseline.all_pass())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PackedDeviceEngine {
+    /// Compiles the packed engine: runs the healthy baseline once (warming
+    /// `cache` on every wave shape, exactly as the first scalar device
+    /// would) and records each step's lane plans plus whether the whole
+    /// program is expressible on the word-level fast path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration and width errors from the baseline run.
+    pub fn compile(
+        soc: &Arc<SocDescription>,
+        plan: &Arc<CompiledProgram>,
+        cache: &Arc<RouteTableCache>,
+    ) -> Result<Self, SimError> {
+        let mut sim = SocSimulator::new_shared(Arc::clone(soc), plan.bus_width())?;
+        let engine = CompiledEngine::new().with_cache(Arc::clone(cache));
+        let baseline = engine.run(&mut sim, plan.program())?;
+
+        // Configuration-only spec pass (no data clocks): compilability and
+        // lane plans depend only on post-`configure` state, never on data
+        // traffic — the same invariant `dry_run_cycles` relies on.
+        let mut lanes: HashMap<String, Vec<PackedLaneSpec>> = HashMap::new();
+        let mut all_steps_packable = true;
+        let mut slot = 0usize;
+        for step in plan.program().steps() {
+            sim.configure(&step.configuration, &step.wrapper_instructions)?;
+            let routes = cache.get_or_compile(sim.tam().chain());
+            let step_lanes = collect_lanes(&sim, &step.configuration)?;
+            if !step_is_compilable(&sim, &step_lanes, &routes) {
+                all_steps_packable = false;
+            }
+            let horizon = step_lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
+            for lane in step_lanes {
+                debug_assert_eq!(baseline.verdicts[slot].0, lane.name, "slot order");
+                lanes
+                    .entry(lane.name.clone())
+                    .or_default()
+                    .push(PackedLaneSpec {
+                        slot,
+                        desc: lane.desc,
+                        plan: lane.plan,
+                        horizon,
+                    });
+                slot += 1;
+            }
+        }
+        if slot != baseline.verdicts.len() {
+            // A lane/verdict mismatch would make slot patching unsound;
+            // structurally impossible, but fail safe to scalar if it ever
+            // happens.
+            all_steps_packable = false;
+        }
+        Ok(Self {
+            baseline,
+            lanes,
+            all_steps_packable,
+            soc: Arc::clone(soc),
+            plan: Arc::clone(plan),
+            cache: Arc::clone(cache),
+        })
+    }
+
+    /// The healthy device's report — what every defect-free die receives.
+    pub fn baseline(&self) -> &SocTestReport {
+        &self.baseline
+    }
+
+    /// Whether `fault` can ride a packed lane: the whole program must be
+    /// fast-path expressible, and the defective core must be a tested scan
+    /// core (the lane model is the scan model's word-wise lift).
+    pub fn fault_packable(&self, fault: &InjectedFault) -> bool {
+        self.all_steps_packable
+            && self.lanes.get(&fault.core).is_some_and(|specs| {
+                !specs.is_empty()
+                    && specs
+                        .iter()
+                        .all(|s| matches!(s.desc.method(), TestMethod::Scan { .. }))
+            })
+    }
+
+    /// Tests one cohort of up to [`COHORT_LANES`] devices: healthy dies
+    /// clone the baseline, packable defective dies share packed lane runs
+    /// grouped by defective core, and inexpressible dies fall back to the
+    /// scalar per-device path. Reports come back in member order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scalar-fallback simulation errors (packed lanes and
+    /// baseline clones are infallible).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cohort exceeds [`COHORT_LANES`] members.
+    pub fn run_cohort(
+        &self,
+        members: Vec<(u64, Option<InjectedFault>)>,
+    ) -> Result<Vec<DeviceReport>, SimError> {
+        assert!(
+            members.len() <= COHORT_LANES,
+            "cohort exceeds lane capacity"
+        );
+        let mut reports: Vec<Option<SocTestReport>> = vec![None; members.len()];
+        // Group packable defective members by defective core, preserving
+        // member order so lane assignment is deterministic.
+        let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+        for (idx, (device_id, fault)) in members.iter().enumerate() {
+            match fault {
+                None => reports[idx] = Some(self.baseline.clone()),
+                Some(f) if self.fault_packable(f) => {
+                    match groups.iter_mut().find(|(name, _)| *name == f.core) {
+                        Some((_, group)) => group.push(idx),
+                        None => groups.push((f.core.as_str(), vec![idx])),
+                    }
+                }
+                Some(f) => {
+                    let scalar = test_device(
+                        &self.soc,
+                        &self.plan,
+                        &self.cache,
+                        *device_id,
+                        Some(f.clone()),
+                    )?;
+                    reports[idx] = Some(scalar.report);
+                }
+            }
+        }
+        for (core, group) in groups {
+            let specs = self.lanes.get(core).expect("packable core has specs");
+            let faults: Vec<&InjectedFault> = group
+                .iter()
+                .map(|&idx| members[idx].1.as_ref().expect("defective member"))
+                .collect();
+            for &idx in &group {
+                reports[idx] = Some(self.baseline.clone());
+            }
+            for spec in specs {
+                let outcomes = run_packed_lane(spec, &faults);
+                for (&idx, (verdict, signature)) in group.iter().zip(outcomes) {
+                    let report = reports[idx].as_mut().expect("baseline installed");
+                    report.verdicts[spec.slot].1 = verdict;
+                    report.signatures[spec.slot].1 = signature;
+                }
+            }
+        }
+        Ok(members
+            .into_iter()
+            .zip(reports)
+            .map(|((device_id, fault), report)| DeviceReport {
+                device_id,
+                fault,
+                report: report.expect("every member resolved"),
+            })
+            .collect())
+    }
+}
+
+/// Runs one core's session once for up to 64 defective devices: lane `l`
+/// carries `faults[l]`. Returns each lane's `(verdict, signature)`.
+///
+/// Per-cycle mirror of the scalar engine's `run_lane`, with the device axis
+/// packed into words: `limit = min(horizon, len + 1)` observation slots,
+/// one initial all-zero slot (the retimed zeros of `t = 0`), shift cycle
+/// `t` observed iff `t + 1 < limit`, capture cycles recording a zero slot.
+/// The golden model is shared — stimuli are broadcast, so every lane's
+/// expected response is the same healthy response.
+fn run_packed_lane(spec: &PackedLaneSpec, faults: &[&InjectedFault]) -> Vec<(Verdict, u64)> {
+    let TestMethod::Scan { chains, .. } = spec.desc.method() else {
+        unreachable!("packable faults land on scan cores");
+    };
+    let ports = spec.plan.ports();
+    let len = spec.plan.len();
+    let limit = spec.horizon.min(len + 1);
+    let n_lanes = faults.len();
+    debug_assert!(0 < n_lanes && n_lanes <= LANES);
+    let active_mask = if n_lanes == LANES {
+        u64::MAX
+    } else {
+        (1u64 << n_lanes) - 1
+    };
+
+    let mut packed = PackedScanLanes::new(spec.desc.name(), chains);
+    for (lane, fault) in faults.iter().enumerate() {
+        packed.inject_stuck_at(lane, fault.chain, fault.position, fault.stuck_at);
+    }
+    let mut golden = models::instantiate(&spec.desc);
+    let mut mismatches = vec![0usize; n_lanes];
+    let mut streams = LaneStreams::new(ports);
+    if limit > 0 {
+        streams.push_zeros();
+    }
+    let mut in_words = vec![0u64; ports];
+    for (t, (stim, kind)) in spec.plan.cycles().iter().enumerate() {
+        let observe = t + 1 < limit;
+        match kind {
+            ClockKind::Shift => {
+                for (j, word) in in_words.iter_mut().enumerate() {
+                    *word = broadcast(stim.get(j).expect("stim P wide"));
+                }
+                let produced = packed.test_clock_lanes(&in_words);
+                let expected = golden.test_clock(stim);
+                if observe {
+                    for (j, &word) in produced.iter().enumerate() {
+                        let mut diff =
+                            (word ^ broadcast(expected.get(j).expect("P wide"))) & active_mask;
+                        while diff != 0 {
+                            mismatches[diff.trailing_zeros() as usize] += 1;
+                            diff &= diff - 1;
+                        }
+                    }
+                    streams.push(&produced);
+                }
+            }
+            ClockKind::Capture => {
+                packed.capture_clock_lanes();
+                golden.capture_clock();
+                if observe {
+                    streams.push_zeros();
+                }
+            }
+            ClockKind::Update | ClockKind::Idle => {
+                unreachable!("packable plans contain only shifts and captures")
+            }
+        }
+    }
+    (0..n_lanes)
+        .map(|lane| {
+            let signature = lane_signature(&streams.lane_streams(lane));
+            let verdict = if mismatches[lane] == 0 {
+                Verdict::Pass
+            } else {
+                Verdict::Fail {
+                    mismatches: mismatches[lane],
+                }
+            };
+            (verdict, signature)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use casbus_controller::schedule::packed_schedule;
+    use casbus_soc::catalog;
+
+    fn engine_for(soc: &SocDescription, n: usize) -> PackedDeviceEngine {
+        let schedule = packed_schedule(soc, n).expect("schedule");
+        let plan = Arc::new(CompiledProgram::compile(soc, n, schedule).expect("plan"));
+        let soc = Arc::new(soc.clone());
+        let cache = Arc::new(RouteTableCache::new());
+        PackedDeviceEngine::compile(&soc, &plan, &cache).expect("compile")
+    }
+
+    /// Scalar twin of one device, built exactly like the fleet's fallback.
+    fn scalar_report(
+        soc: &SocDescription,
+        n: usize,
+        fault: Option<InjectedFault>,
+    ) -> SocTestReport {
+        let schedule = packed_schedule(soc, n).expect("schedule");
+        let plan = CompiledProgram::compile(soc, n, schedule).expect("plan");
+        let mut sim = SocSimulator::new(soc, n).expect("sim");
+        if let Some(fault) = &fault {
+            fault.apply(&mut sim).expect("inject");
+        }
+        CompiledEngine::new()
+            .run(&mut sim, plan.program())
+            .expect("run")
+    }
+
+    #[test]
+    fn healthy_cohort_members_clone_the_baseline() {
+        let soc = catalog::figure2a_scan_soc();
+        let engine = engine_for(&soc, 4);
+        let members: Vec<(u64, Option<InjectedFault>)> = (0..5).map(|id| (id, None)).collect();
+        let reports = engine.run_cohort(members).expect("cohort");
+        assert_eq!(reports.len(), 5);
+        for report in &reports {
+            assert_eq!(&report.report, engine.baseline());
+            assert!(report.passed());
+        }
+        assert_eq!(reports[3].device_id, 3, "member order preserved");
+    }
+
+    #[test]
+    fn packed_defective_lanes_match_scalar_reports() {
+        let soc = catalog::figure2a_scan_soc();
+        let engine = engine_for(&soc, 4);
+        assert!(engine.all_steps_packable, "scan SoC is fully packable");
+        // A full 64-lane cohort of distinct defects across both cores.
+        let spec = crate::VariationSpec::new(11, 1.0);
+        let members: Vec<(u64, Option<InjectedFault>)> = (0..64)
+            .map(|id| (id, Some(spec.fault_for(&soc, id).expect("rate 1.0"))))
+            .collect();
+        for (_, fault) in &members {
+            assert!(engine.fault_packable(fault.as_ref().unwrap()));
+        }
+        let reports = engine.run_cohort(members.clone()).expect("cohort");
+        for (idx, report) in reports.iter().enumerate() {
+            let expected = scalar_report(&soc, 4, members[idx].1.clone());
+            assert_eq!(report.report, expected, "device {idx}");
+        }
+    }
+
+    #[test]
+    fn forced_fallback_matches_scalar_reports() {
+        // Flip the packability gate off by hand: every defective member
+        // must take the scalar per-device branch and still produce the
+        // exact scalar report.
+        let soc = catalog::figure2a_scan_soc();
+        let mut engine = engine_for(&soc, 4);
+        engine.all_steps_packable = false;
+        let spec = crate::VariationSpec::new(5, 0.7);
+        let members: Vec<(u64, Option<InjectedFault>)> =
+            (0..8).map(|id| (id, spec.fault_for(&soc, id))).collect();
+        assert!(
+            members.iter().any(|(_, f)| f.is_some()),
+            "spec stamps some defects"
+        );
+        for (_, fault) in &members {
+            if let Some(fault) = fault {
+                assert!(!engine.fault_packable(fault), "gate forced off");
+            }
+        }
+        let reports = engine.run_cohort(members.clone()).expect("cohort");
+        for (idx, report) in reports.iter().enumerate() {
+            let expected = scalar_report(&soc, 4, members[idx].1.clone());
+            assert_eq!(report.report, expected, "device {idx}");
+        }
+    }
+
+    #[test]
+    fn socs_without_scan_cores_serve_pure_baselines() {
+        // No scan cores means the spec never stamps a defect: every member
+        // is a baseline clone, valid even on programs the word-level fast
+        // path cannot express.
+        let soc = catalog::figure2b_bist_soc();
+        let engine = engine_for(&soc, 3);
+        let spec = crate::VariationSpec::new(3, 1.0);
+        let members: Vec<(u64, Option<InjectedFault>)> =
+            (0..4).map(|id| (id, spec.fault_for(&soc, id))).collect();
+        assert!(members.iter().all(|(_, f)| f.is_none()));
+        let reports = engine.run_cohort(members).expect("cohort");
+        let expected = scalar_report(&soc, 3, None);
+        for report in &reports {
+            assert_eq!(report.report, expected);
+        }
+    }
+}

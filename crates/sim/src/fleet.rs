@@ -21,21 +21,35 @@
 //! `(spec, device_id, plan)`, never on the worker that ran it, so the full
 //! sorted report list — and every `fleet.*` metric — is bit-identical
 //! across thread counts and identical to running the devices one by one.
+//!
+//! Two execution modes serve the fleet, both bit-identical:
+//!
+//! * **Packed device-parallel** (default, unmonitored runs): devices are
+//!   grouped into cohorts of up to 64 and executed through a shared
+//!   [`PackedDeviceEngine`] — healthy dies clone one baseline report,
+//!   defective dies run 64 per machine word as bit-lanes of a packed scan
+//!   model, and inexpressible defects fall back per device to the scalar
+//!   path. See [`crate::engine_packed`].
+//! * **Scalar per-device** (monitored runs, or [`FleetRunner::with_packed`]
+//!   `(false)`): one simulator per device — reused in place per worker
+//!   thread, with a power-on reset between devices instead of a rebuild.
 
-use std::sync::{mpsc, Arc};
+use std::cell::RefCell;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use casbus::RouteTableCache;
 use casbus_controller::search::{search_schedule_with, SearchBudget};
 use casbus_controller::{CompiledProgram, Schedule};
 use casbus_obs::{MetricsRegistry, TraceEvent, TraceSink};
-use casbus_p1500::TestableCore;
+use casbus_p1500::{TestableCore, Wrapper};
 use casbus_soc::models::ScanCore;
 use casbus_soc::{SocDescription, TestMethod};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use crate::engine::CompiledEngine;
+use crate::engine_packed::{PackedDeviceEngine, COHORT_LANES};
 use crate::monitor::{DeviceDump, FleetMonitor, MonitorShared};
 use crate::pool::WorkerPool;
 use crate::report::{run_program_reference, SocTestReport};
@@ -136,6 +150,17 @@ impl InjectedFault {
     /// [`SimError::UnknownCore`] if the core does not exist or is not a
     /// scan core.
     pub fn apply(&self, sim: &mut SocSimulator) -> Result<(), SimError> {
+        self.apply_displacing(sim).map(|_| ())
+    }
+
+    /// [`apply`](Self::apply), returning the displaced healthy wrapper so
+    /// a reused simulator can swap it back after the device's run — model
+    /// resets keep injected faults, so restoring the original wrapper is
+    /// the only way to cleanly un-stamp a defect.
+    pub(crate) fn apply_displacing(
+        &self,
+        sim: &mut SocSimulator,
+    ) -> Result<Wrapper<Box<dyn TestableCore>>, SimError> {
         let (inputs, outputs, chains) = {
             let (_, desc) = sim
                 .soc()
@@ -152,9 +177,11 @@ impl InjectedFault {
         };
         let mut faulty = ScanCore::new(&self.core, chains);
         faulty.inject_stuck_at(self.chain, self.position, self.stuck_at);
-        *sim.wrapper_mut(&self.core)? =
-            casbus_p1500::Wrapper::new(Box::new(faulty) as Box<dyn TestableCore>, inputs, outputs);
-        Ok(())
+        let wrapper = sim.wrapper_mut(&self.core)?;
+        Ok(std::mem::replace(
+            wrapper,
+            Wrapper::new(Box::new(faulty) as Box<dyn TestableCore>, inputs, outputs),
+        ))
     }
 }
 
@@ -278,6 +305,11 @@ pub struct FleetRunner {
     cache: Arc<RouteTableCache>,
     pool: WorkerPool,
     trace: Arc<dyn TraceSink>,
+    /// Packed device-parallel mode: unmonitored runs execute cohorts of up
+    /// to 64 devices per word through a shared [`PackedDeviceEngine`].
+    packed: bool,
+    /// Lazily compiled packed engine, shared by every run of this runner.
+    packed_engine: Mutex<Option<Arc<PackedDeviceEngine>>>,
 }
 
 impl std::fmt::Debug for FleetRunner {
@@ -306,6 +338,8 @@ impl FleetRunner {
             cache: Arc::new(RouteTableCache::new()),
             pool: WorkerPool::new(0),
             trace: casbus_obs::trace::null_sink(),
+            packed: true,
+            packed_engine: Mutex::new(None),
         })
     }
 
@@ -351,6 +385,8 @@ impl FleetRunner {
             cache,
             pool: WorkerPool::new(0),
             trace: casbus_obs::trace::null_sink(),
+            packed: true,
+            packed_engine: Mutex::new(None),
         })
     }
 
@@ -363,10 +399,30 @@ impl FleetRunner {
     }
 
     /// Bounds the shared route cache to `capacity` tables (LRU eviction).
-    /// Replaces the cache, dropping anything already compiled into it.
+    /// Replaces the cache, dropping anything already compiled into it
+    /// (along with any packed engine compiled against the old cache).
     #[must_use]
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
         self.cache = Arc::new(RouteTableCache::with_capacity(capacity));
+        self.packed_engine = Mutex::new(None);
+        self
+    }
+
+    /// Enables or disables packed device-parallel execution (on by
+    /// default). When on, unmonitored runs group devices into cohorts of up
+    /// to 64 and execute each cohort through one [`PackedDeviceEngine`]:
+    /// healthy dies clone a shared baseline report, defective dies run 64
+    /// per word as bit-lanes of a packed scan model, and anything the lane
+    /// encoding cannot express falls back to the scalar per-device path.
+    /// Reports are bit-identical either way (pinned by
+    /// `tests/fleet_differential.rs`); only `fleet.packed.*` and
+    /// `fleet.route_cache.*` metrics reveal which mode ran. Monitored runs
+    /// always use the scalar path so per-device telemetry and
+    /// flight-recorder dumps stay meaningful.
+    #[must_use]
+    pub fn with_packed(mut self, packed: bool) -> Self {
+        self.packed = packed;
+        self.packed_engine = Mutex::new(None);
         self
     }
 
@@ -397,6 +453,29 @@ impl FleetRunner {
     /// Worker threads serving the fleet.
     pub fn threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Whether packed device-parallel execution is enabled.
+    pub fn packed(&self) -> bool {
+        self.packed
+    }
+
+    /// The lazily compiled packed engine, building (and memoising) it on
+    /// first use. Compilation runs the healthy baseline once, warming the
+    /// shared route cache on exactly the shapes the first scalar device
+    /// would have compiled.
+    fn packed_engine(&self) -> Result<Arc<PackedDeviceEngine>, SimError> {
+        let mut slot = self.packed_engine.lock().expect("packed engine poisoned");
+        if let Some(engine) = &*slot {
+            return Ok(Arc::clone(engine));
+        }
+        let engine = Arc::new(PackedDeviceEngine::compile(
+            &self.soc,
+            &self.plan,
+            &self.cache,
+        )?);
+        *slot = Some(Arc::clone(&engine));
+        Ok(engine)
     }
 
     /// Tests `fleet_size` devices stamped by `spec`.
@@ -494,6 +573,15 @@ impl FleetRunner {
         mut on_report: impl FnMut(&DeviceReport),
     ) -> Result<FleetReport, SimError> {
         let started = Instant::now();
+        // Packed mode serves unmonitored runs only: a monitored run needs
+        // per-device phase timers and flight recorders, which are
+        // inherently scalar. The report is bit-identical either way.
+        let packed_engine: Option<Arc<PackedDeviceEngine>> =
+            if self.packed && monitor.is_none() && fleet_size > 0 {
+                Some(self.packed_engine()?)
+            } else {
+                None
+            };
         if let Some(monitor) = monitor {
             monitor.shared().begin_run(fleet_size);
             self.pool.set_metrics(Some(Arc::clone(monitor.telemetry())));
@@ -509,24 +597,53 @@ impl FleetRunner {
                 let cache = Arc::clone(&self.cache);
                 scope.spawn(move || shared.sampler_loop(&cache));
             }
-            for device_id in 0..fleet_size {
-                let soc = Arc::clone(&self.soc);
-                let plan = Arc::clone(&self.plan);
-                let cache = Arc::clone(&self.cache);
-                let fault = spec.fault_for(&self.soc, device_id);
-                let tx = tx.clone();
-                let shared = monitor.map(|m| Arc::clone(m.shared()));
-                self.pool.execute(move || {
-                    let outcome = match &shared {
-                        Some(shared) => {
-                            test_device_monitored(&soc, &plan, &cache, device_id, fault, shared)
-                        }
-                        None => test_device(&soc, &plan, &cache, device_id, fault),
-                    };
-                    // The receiver hangs up after a first error: discard
-                    // late results instead of panicking the worker.
-                    let _ = tx.send(outcome);
-                });
+            if let Some(engine) = &packed_engine {
+                // Cohort dispatch: one pool job per ≤64 devices. Faults are
+                // stamped on the dispatch thread, so lane assignment is a
+                // pure function of device id regardless of worker timing.
+                let mut cohort: Vec<(u64, Option<InjectedFault>)> =
+                    Vec::with_capacity(COHORT_LANES);
+                for device_id in 0..fleet_size {
+                    cohort.push((device_id, spec.fault_for(&self.soc, device_id)));
+                    if cohort.len() == COHORT_LANES || device_id + 1 == fleet_size {
+                        let members = std::mem::take(&mut cohort);
+                        cohort = Vec::with_capacity(COHORT_LANES);
+                        let engine = Arc::clone(engine);
+                        let tx = tx.clone();
+                        self.pool.execute(move || match engine.run_cohort(members) {
+                            Ok(reports) => {
+                                for report in reports {
+                                    if tx.send(Ok(report)).is_err() {
+                                        break;
+                                    }
+                                }
+                            }
+                            Err(err) => {
+                                let _ = tx.send(Err(err));
+                            }
+                        });
+                    }
+                }
+            } else {
+                for device_id in 0..fleet_size {
+                    let soc = Arc::clone(&self.soc);
+                    let plan = Arc::clone(&self.plan);
+                    let cache = Arc::clone(&self.cache);
+                    let fault = spec.fault_for(&self.soc, device_id);
+                    let tx = tx.clone();
+                    let shared = monitor.map(|m| Arc::clone(m.shared()));
+                    self.pool.execute(move || {
+                        let outcome = match &shared {
+                            Some(shared) => {
+                                test_device_monitored(&soc, &plan, &cache, device_id, fault, shared)
+                            }
+                            None => test_device(&soc, &plan, &cache, device_id, fault),
+                        };
+                        // The receiver hangs up after a first error: discard
+                        // late results instead of panicking the worker.
+                        let _ = tx.send(outcome);
+                    });
+                }
             }
             drop(tx);
 
@@ -579,6 +696,29 @@ impl FleetRunner {
         metrics.set("fleet.route_cache.misses", self.cache.misses());
         metrics.set("fleet.route_cache.evictions", self.cache.evictions());
         metrics.set("fleet.route_cache.shapes", self.cache.len() as u64);
+        if let Some(engine) = &packed_engine {
+            // Per-device accounting (not per-cohort): how many devices each
+            // packed serving path handled. Pure functions of (spec, id), so
+            // bit-identical across thread counts like every fleet.* metric.
+            let defective = devices.iter().filter(|d| d.fault.is_some()).count();
+            let lane_devices = devices
+                .iter()
+                .filter(|d| d.fault.as_ref().is_some_and(|f| engine.fault_packable(f)))
+                .count();
+            metrics.set(
+                "fleet.packed.cohorts",
+                fleet_size.div_ceil(COHORT_LANES as u64),
+            );
+            metrics.set(
+                "fleet.packed.baseline.devices",
+                (devices.len() - defective) as u64,
+            );
+            metrics.set("fleet.packed.lane.devices", lane_devices as u64);
+            metrics.set(
+                "fleet.packed.fallback.devices",
+                (defective - lane_devices) as u64,
+            );
+        }
         for device in &devices {
             metrics.observe("fleet.device.cycles", device.report.total_cycles);
         }
@@ -621,22 +761,97 @@ impl FleetRunner {
     }
 }
 
-/// Tests one device: fresh simulator, optional stamped defect, compiled
-/// engine over the shared route cache. Single-threaded per device — the
-/// fleet's parallelism lives across devices.
-fn test_device(
-    soc: &SocDescription,
+/// One worker thread's reusable device simulator: a simulator plus engine
+/// kept alive between devices, keyed by the artifacts it was built from.
+struct WorkerSlot {
+    soc: Arc<SocDescription>,
+    cache: Arc<RouteTableCache>,
+    width: usize,
+    sim: SocSimulator,
+    engine: CompiledEngine,
+}
+
+thread_local! {
+    /// Per-worker simulator slot ([`WorkerSlot`]): fleet workers are
+    /// persistent pool threads, so consecutive devices of one runner reuse
+    /// one simulator (reset in place) instead of re-cloning the SoC and
+    /// rebuilding TAM + wrappers per device.
+    static WORKER_SLOT: RefCell<Option<WorkerSlot>> = const { RefCell::new(None) };
+}
+
+/// Runs `body` with this worker's reusable simulator and engine for
+/// `(soc, plan, cache)`, building or rebuilding the slot when the runner's
+/// artifacts change and resetting the simulator to power-on state when
+/// reusing it. On any error the slot is discarded — a failed run leaves the
+/// simulator in an unknown state.
+fn with_worker_slot<T>(
+    soc: &Arc<SocDescription>,
+    plan: &CompiledProgram,
+    cache: &Arc<RouteTableCache>,
+    body: impl FnOnce(&mut SocSimulator, &CompiledEngine) -> Result<T, SimError>,
+) -> Result<T, SimError> {
+    WORKER_SLOT.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let reusable = slot.as_ref().is_some_and(|w| {
+            Arc::ptr_eq(&w.soc, soc) && Arc::ptr_eq(&w.cache, cache) && w.width == plan.bus_width()
+        });
+        if reusable {
+            slot.as_mut().expect("checked above").sim.reset_device();
+        } else {
+            let sim = SocSimulator::new_shared(Arc::clone(soc), plan.bus_width())?;
+            let engine = CompiledEngine::new().with_cache(Arc::clone(cache));
+            *slot = Some(WorkerSlot {
+                soc: Arc::clone(soc),
+                cache: Arc::clone(cache),
+                width: plan.bus_width(),
+                sim,
+                engine,
+            });
+        }
+        let worker = slot.as_mut().expect("slot installed");
+        let outcome = body(&mut worker.sim, &worker.engine);
+        if outcome.is_err() {
+            *slot = None;
+        }
+        outcome
+    })
+}
+
+/// Stamps `fault` (if any), runs the program, and restores the displaced
+/// healthy wrapper so the simulator is clean for the next device on this
+/// worker.
+fn run_stamped(
+    sim: &mut SocSimulator,
+    engine: &CompiledEngine,
+    plan: &CompiledProgram,
+    fault: Option<&InjectedFault>,
+) -> Result<SocTestReport, SimError> {
+    let displaced = match fault {
+        Some(fault) => Some((fault.core.as_str(), fault.apply_displacing(sim)?)),
+        None => None,
+    };
+    let report = engine.run(sim, plan.program())?;
+    if let Some((core, healthy)) = displaced {
+        *sim.wrapper_mut(core)? = healthy;
+    }
+    Ok(report)
+}
+
+/// Tests one device on this worker's reused simulator: in-place power-on
+/// reset, optional stamped defect (undone afterwards), compiled engine over
+/// the shared route cache. Single-threaded per device — the fleet's
+/// parallelism lives across devices. Also the scalar fallback the packed
+/// path uses for defects its lane encoding cannot express.
+pub(crate) fn test_device(
+    soc: &Arc<SocDescription>,
     plan: &CompiledProgram,
     cache: &Arc<RouteTableCache>,
     device_id: u64,
     fault: Option<InjectedFault>,
 ) -> Result<DeviceReport, SimError> {
-    let mut sim = SocSimulator::new(soc, plan.bus_width())?;
-    if let Some(fault) = &fault {
-        fault.apply(&mut sim)?;
-    }
-    let engine = CompiledEngine::new().with_cache(Arc::clone(cache));
-    let report = engine.run(&mut sim, plan.program())?;
+    let report = with_worker_slot(soc, plan, cache, |sim, engine| {
+        run_stamped(sim, engine, plan, fault.as_ref())
+    })?;
     Ok(DeviceReport {
         device_id,
         fault,
@@ -650,7 +865,7 @@ fn test_device(
 /// report itself is built exactly as in [`test_device`] — the monitor only
 /// observes.
 fn test_device_monitored(
-    soc: &SocDescription,
+    soc: &Arc<SocDescription>,
     plan: &CompiledProgram,
     cache: &Arc<RouteTableCache>,
     device_id: u64,
@@ -659,25 +874,24 @@ fn test_device_monitored(
 ) -> Result<DeviceReport, SimError> {
     monitor.device_started(device_id);
     let started = Instant::now();
-    let mut sim = SocSimulator::new(soc, plan.bus_width())?;
-    if let Some(fault) = &fault {
-        fault.apply(&mut sim)?;
-    }
-    let mut engine = CompiledEngine::new().with_cache(Arc::clone(cache));
     let recorder = monitor.new_recorder();
-    if let Some(recorder) = &recorder {
-        engine = engine.with_recorder(Arc::clone(recorder));
-    }
-    monitor.telemetry().observe(
-        "obs.fleet.device.setup_us",
-        started.elapsed().as_micros() as u64,
-    );
-    let run_started = Instant::now();
-    let report = engine.run(&mut sim, plan.program())?;
-    monitor.telemetry().observe(
-        "obs.fleet.device.run_us",
-        run_started.elapsed().as_micros() as u64,
-    );
+    let report = with_worker_slot(soc, plan, cache, |sim, engine| {
+        let mut engine = engine.clone();
+        if let Some(recorder) = &recorder {
+            engine = engine.with_recorder(Arc::clone(recorder));
+        }
+        monitor.telemetry().observe(
+            "obs.fleet.device.setup_us",
+            started.elapsed().as_micros() as u64,
+        );
+        let run_started = Instant::now();
+        let report = run_stamped(sim, &engine, plan, fault.as_ref())?;
+        monitor.telemetry().observe(
+            "obs.fleet.device.run_us",
+            run_started.elapsed().as_micros() as u64,
+        );
+        Ok(report)
+    })?;
     let report = DeviceReport {
         device_id,
         fault,

@@ -33,6 +33,10 @@
 //! * [`fleet::FleetRunner`] — compile one test program once and serve it
 //!   across thousands of simulated devices on a persistent worker pool,
 //!   streaming per-device pass/fail reports and a fleet yield summary,
+//! * [`engine_packed::PackedDeviceEngine`] — the fleet's packed
+//!   device-parallel mode: cohorts of up to 64 devices share one word-level
+//!   execution, each device one bit-lane, with per-device reports extracted
+//!   bit-identical to the scalar path,
 //! * [`monitor::FleetMonitor`] — watch an in-flight fleet run live:
 //!   streaming health snapshots (yield, throughput, latency quantiles,
 //!   stragglers) over a bounded channel, plus per-device flight-recorder
@@ -57,6 +61,7 @@
 
 pub mod bus_core;
 pub mod engine;
+pub mod engine_packed;
 pub mod fleet;
 pub mod interconnect;
 pub mod monitor;
@@ -68,6 +73,7 @@ pub mod simulator;
 
 pub use bus_core::SystemBusCore;
 pub use engine::CompiledEngine;
+pub use engine_packed::PackedDeviceEngine;
 pub use fleet::{DeviceReport, FleetReport, FleetRunner, InjectedFault, VariationSpec};
 pub use interconnect::run_interconnect_extest;
 pub use monitor::{DeviceDump, FleetMonitor, FleetSnapshot, MonitorConfig, Straggler};

@@ -22,6 +22,13 @@
 //!   inside the monitor's [telemetry](FleetMonitor::telemetry) registry.
 //!   Fleet results and every `fleet.*` metric stay bit-identical to an
 //!   unmonitored run (pinned by `tests/fleet_differential.rs`).
+//! * Monitored runs always execute the **scalar** per-device path. Packed
+//!   cohort execution
+//!   ([`FleetRunner::with_packed`](crate::FleetRunner::with_packed), the
+//!   default for unmonitored runs) shares one word-level execution across
+//!   up to 64 devices, which would leave per-device spans, latency
+//!   quantiles, and flight recorders with nothing truthful to measure —
+//!   so the monitor opts out of it. Results stay bit-identical either way.
 //!
 //! Snapshots export as single-line JSON ([`FleetSnapshot::to_json`], ready
 //! for a JSONL stream) and as Prometheus-style text

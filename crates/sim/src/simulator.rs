@@ -151,7 +151,7 @@ pub(crate) fn sanitize(name: &str) -> String {
 /// CAS (the wrapped system bus, when present, is the last entry), threaded
 /// on the CAS-BUS.
 pub struct SocSimulator {
-    soc: SocDescription,
+    soc: Arc<SocDescription>,
     tam: Tam,
     wrappers: Vec<Wrapper<Box<dyn TestableCore>>>,
     /// Retiming register between each wrapper's parallel output and its
@@ -181,7 +181,18 @@ impl SocSimulator {
     ///
     /// Propagates TAM construction errors (bus too narrow, etc.).
     pub fn new(soc: &SocDescription, n: usize) -> Result<Self, SimError> {
-        let tam = Tam::new(soc, n)?;
+        Self::new_shared(Arc::new(soc.clone()), n)
+    }
+
+    /// [`new`](Self::new) over an already-shared description: the simulator
+    /// keeps the `Arc` instead of cloning the SoC, so fleet workers building
+    /// thousands of devices from one description pay zero per-device copies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates TAM construction errors (bus too narrow, etc.).
+    pub fn new_shared(soc: Arc<SocDescription>, n: usize) -> Result<Self, SimError> {
+        let tam = Tam::new(&soc, n)?;
         let mut wrappers: Vec<Wrapper<Box<dyn TestableCore>>> = Vec::new();
         for core in soc.cores() {
             wrappers.push(Wrapper::new(
@@ -207,7 +218,7 @@ impl SocSimulator {
         let cas_count = wrappers.len();
         let wire_busy = vec![0; tam.bus_width()];
         Ok(Self {
-            soc: soc.clone(),
+            soc,
             tam,
             wrappers,
             pending,
@@ -432,6 +443,27 @@ impl SocSimulator {
     ) -> Result<&mut Wrapper<Box<dyn TestableCore>>, SimError> {
         let idx = self.cas_index(core_name)?;
         Ok(&mut self.wrappers[idx])
+    }
+
+    /// Restores power-on *device* state so a fleet worker can reuse one
+    /// simulator across devices instead of rebuilding it: every wrapper is
+    /// reset (WIR to Normal, boundary register rebuilt, core state
+    /// cleared — injected faults on a swapped-in faulty core re-assert)
+    /// and every CAS boundary retiming register is zeroed.
+    ///
+    /// Cycle counters and per-core statistics deliberately keep running —
+    /// program reports subtract their starting baseline (see
+    /// `ReportBaseline`), so a reused simulator reports exactly what a
+    /// fresh one would. CAS instruction registers are left as-is: every
+    /// program step begins with a full `configure`, which reloads them all
+    /// before the first data clock.
+    pub fn reset_device(&mut self) {
+        for wrapper in &mut self.wrappers {
+            wrapper.reset();
+        }
+        for (pending, cas) in self.pending.iter_mut().zip(self.tam.chain().cases()) {
+            *pending = BitVec::zeros(cas.geometry().switched_wires());
+        }
     }
 
     /// Applies a TAM configuration through the serial protocol and sets each

@@ -226,8 +226,13 @@ fn monitored_fleet_is_bit_identical_to_unmonitored() {
     const FLEET: u64 = 24;
 
     for threads in [1usize, 2, 4] {
+        // Packed mode off: the monitored run is scalar by construction, and
+        // this comparison checks that monitoring (not the execution mode)
+        // leaves every visible metric untouched. Packed-vs-scalar metric
+        // equivalence is pinned separately by the packed differential suite.
         let plain_runner = FleetRunner::new(&soc, 4, schedule.clone())
             .expect("runner")
+            .with_packed(false)
             .with_threads(threads);
         let plain_metrics = MetricsRegistry::new();
         let plain = plain_runner
@@ -287,6 +292,179 @@ fn monitored_fleet_is_bit_identical_to_unmonitored() {
         assert!(!dumps.is_empty(), "a 50% defect rate stamps some dies");
         assert!(dumps.iter().all(|d| !d.dump.events.is_empty()));
     }
+}
+
+/// Metric keys that legitimately differ between the packed and scalar
+/// execution modes: wall-clock (`obs.*`), the thread-count label, the
+/// route-cache traffic (the packed baseline run and the per-device scalar
+/// engines hit the shared cache on different schedules), and the packed
+/// path's own accounting.
+fn mode_dependent(name: &str) -> bool {
+    name.starts_with("obs.")
+        || name == "fleet.threads"
+        || name.starts_with("fleet.route_cache.")
+        || name.starts_with("fleet.packed.")
+}
+
+/// The tentpole differential: a packed fleet run must be bit-identical to
+/// the scalar fleet across cohort-boundary sizes (under, at, and over one
+/// 64-lane cohort, and a 4-cohort fleet) and thread counts, defective dies
+/// included. Every metric outside the mode-dependent set must match too.
+#[test]
+fn packed_fleet_is_bit_identical_to_scalar_fleet() {
+    let soc = catalog::figure2a_scan_soc();
+    let schedule = packed_schedule(&soc, 4).expect("schedule");
+    let spec = VariationSpec::new(11, 0.5);
+
+    for fleet_size in [1u64, 2, 63, 64, 65, 256] {
+        let scalar_runner = FleetRunner::new(&soc, 4, schedule.clone())
+            .expect("runner")
+            .with_packed(false)
+            .with_threads(4);
+        let scalar_metrics = MetricsRegistry::new();
+        let scalar = scalar_runner
+            .run_with_metrics(&spec, fleet_size, &scalar_metrics, |_| {})
+            .expect("scalar run");
+
+        for threads in [1usize, 2, 4] {
+            let packed_runner = FleetRunner::new(&soc, 4, schedule.clone())
+                .expect("runner")
+                .with_threads(threads);
+            assert!(packed_runner.packed(), "packed mode is the default");
+            let packed_metrics = MetricsRegistry::new();
+            let packed = packed_runner
+                .run_with_metrics(&spec, fleet_size, &packed_metrics, |_| {})
+                .expect("packed run");
+
+            assert_eq!(
+                packed.devices, scalar.devices,
+                "fleet {fleet_size}, {threads} threads"
+            );
+            assert_eq!(packed.passed, scalar.passed);
+            assert_eq!(packed.total_cycles, scalar.total_cycles);
+            assert_eq!(packed.wire_cycles, scalar.wire_cycles);
+
+            let visible = |m: &MetricsRegistry| {
+                m.counters()
+                    .into_iter()
+                    .filter(|(name, _)| !mode_dependent(name))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(
+                visible(&packed_metrics),
+                visible(&scalar_metrics),
+                "fleet {fleet_size}, {threads} threads"
+            );
+            assert_eq!(
+                visible_histograms(&packed_metrics),
+                visible_histograms(&scalar_metrics),
+                "fleet {fleet_size}, {threads} threads"
+            );
+
+            // The packed accounting itself is deterministic and complete:
+            // every device is served by exactly one path.
+            let counter = |name: &str| packed_metrics.counter(name);
+            assert_eq!(
+                counter("fleet.packed.cohorts"),
+                fleet_size.div_ceil(64),
+                "fleet {fleet_size}"
+            );
+            assert_eq!(
+                counter("fleet.packed.baseline.devices")
+                    + counter("fleet.packed.lane.devices")
+                    + counter("fleet.packed.fallback.devices"),
+                fleet_size,
+                "fleet {fleet_size}"
+            );
+        }
+    }
+}
+
+/// A cohort whose every lane is defective (yield 0 at `defect_rate` 1.0)
+/// still matches the scalar loop — the all-lanes-active mask path and the
+/// per-core lane grouping hold at full occupancy.
+#[test]
+fn all_defective_cohorts_match_scalar_fleet() {
+    let soc = catalog::figure2a_scan_soc();
+    let schedule = packed_schedule(&soc, 4).expect("schedule");
+    let spec = VariationSpec::new(23, 1.0);
+    const FLEET: u64 = 96; // one full cohort + one partial, all defective
+
+    let scalar = FleetRunner::new(&soc, 4, schedule.clone())
+        .expect("runner")
+        .with_packed(false)
+        .with_threads(4)
+        .run(&spec, FLEET)
+        .expect("scalar run");
+    assert!(
+        scalar.devices.iter().all(|d| d.fault.is_some()),
+        "rate 1.0 stamps every die"
+    );
+
+    let packed = FleetRunner::new(&soc, 4, schedule)
+        .expect("runner")
+        .with_threads(2)
+        .run(&spec, FLEET)
+        .expect("packed run");
+    assert_eq!(packed.devices, scalar.devices);
+    assert_eq!(packed.passed, scalar.passed);
+}
+
+/// [`VariationSpec`] edge cases: the extreme rates stamp none/all, the
+/// empty and single-device fleets behave, and `fault_for` is a pure
+/// function — identical across repeated runs and across thread counts.
+#[test]
+fn variation_spec_edge_cases_and_determinism() {
+    let soc = catalog::figure2a_scan_soc();
+    let schedule = packed_schedule(&soc, 4).expect("schedule");
+
+    // Rate 0.0 stamps nothing; rate 1.0 stamps everything.
+    let none = VariationSpec::new(9, 0.0);
+    let all = VariationSpec::new(9, 1.0);
+    for id in 0..128 {
+        assert!(none.fault_for(&soc, id).is_none(), "device {id}");
+        assert!(all.fault_for(&soc, id).is_some(), "device {id}");
+    }
+
+    // fault_for is deterministic: same spec, same device, same fault —
+    // regardless of how many times (or from how many threads) it's asked.
+    let spec = VariationSpec::new(41, 0.5);
+    let reference: Vec<_> = (0..64).map(|id| spec.fault_for(&soc, id)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            scope.spawn(|| {
+                for (id, expected) in reference.iter().enumerate() {
+                    assert_eq!(&spec.fault_for(&soc, id as u64), expected);
+                }
+            });
+        }
+    });
+
+    // Fleet size 0: an empty report, full yield, no packed accounting.
+    let runner = FleetRunner::new(&soc, 4, schedule.clone()).expect("runner");
+    let metrics = MetricsRegistry::new();
+    let empty = runner
+        .run_with_metrics(&spec, 0, &metrics, |_| {})
+        .expect("empty run");
+    assert_eq!(empty.fleet_size(), 0);
+    assert!((empty.yield_fraction() - 1.0).abs() < f64::EPSILON);
+    assert_eq!(metrics.counter("fleet.devices"), 0);
+    assert_eq!(metrics.counter("fleet.packed.cohorts"), 0);
+
+    // Fleet size 1: packed and scalar agree on a singleton fleet too (the
+    // proptests cover this shape, but pin it explicitly as an edge).
+    let one_packed = runner.run(&spec, 1).expect("packed singleton");
+    let one_scalar = FleetRunner::new(&soc, 4, schedule)
+        .expect("runner")
+        .with_packed(false)
+        .run(&spec, 1)
+        .expect("scalar singleton");
+    assert_eq!(one_packed.devices, one_scalar.devices);
+
+    // Repeated runs of one runner are bit-identical (per-worker simulator
+    // reuse and the memoised packed engine never leak state).
+    let again = runner.run(&spec, 1).expect("repeat run");
+    assert_eq!(again.devices, one_packed.devices);
 }
 
 /// The shared cache is an `Arc`: two runners can serve different fleets

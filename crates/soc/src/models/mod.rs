@@ -11,12 +11,14 @@ mod external;
 mod hierarchical;
 mod memory;
 mod scan;
+mod scan_packed;
 
 pub use bist::BistCore;
 pub use external::ExternalCore;
 pub use hierarchical::HierarchicalCore;
 pub use memory::MemoryCore;
 pub use scan::ScanCore;
+pub use scan_packed::PackedScanLanes;
 
 use casbus_p1500::TestableCore;
 

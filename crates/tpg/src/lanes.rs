@@ -1,0 +1,237 @@
+//! Lane-parallel word utilities for packed device execution.
+//!
+//! The packed fleet engine simulates up to 64 independent devices ("lanes")
+//! at once by carrying one `u64` per wire or flop, bit `l` belonging to
+//! lane `l` — the device axis twin of the PPSFP packing the fault simulator
+//! uses for test sequences. Everything here is the glue that moves data
+//! between the scalar world (one device, one [`BitVec`] stream per port)
+//! and the lane world (one word per observation slot):
+//!
+//! * [`broadcast`] — replicate one stimulus bit into all 64 lanes,
+//! * [`transpose64`] — in-place 64×64 bit-matrix transpose, turning
+//!   time-major slot words into lane-major streams,
+//! * [`LaneStreams`] — an accumulator that collects one word per port per
+//!   observation slot and hands back any single lane's streams as the exact
+//!   per-port [`BitVec`]s a scalar run would have recorded.
+//!
+//! The extraction path is what keeps packed signatures bit-identical to the
+//! scalar engine: the per-lane `BitVec`s feed the very same signature fold,
+//! so a lane cannot drift from the device it represents.
+
+use crate::bits::BitVec;
+
+/// Number of lanes one word carries.
+pub const LANES: usize = 64;
+
+/// Replicates one bit into every lane: `true` → all-ones, `false` → zero.
+#[inline]
+#[must_use]
+pub fn broadcast(bit: bool) -> u64 {
+    if bit {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+/// Transposes a 64×64 bit matrix in place (Hacker's Delight 7-3):
+/// afterwards `a[r]` bit `c` holds what `a[c]` bit `r` held before.
+///
+/// Self-inverse — transposing twice restores the input.
+pub fn transpose64(a: &mut [u64; 64]) {
+    let mut j: usize = 32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let mut k: usize = 0;
+        while k < 64 {
+            let t = ((a[k] >> j) ^ a[k | j]) & m;
+            a[k | j] ^= t;
+            a[k] ^= t << j;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
+}
+
+/// Time-major observation accumulator for one packed lane group.
+///
+/// A packed run pushes one slot per observed cycle: `words[port]` carries
+/// the 64 lanes' response bits for that port at that cycle. At session end,
+/// [`lane_streams`](Self::lane_streams) transposes the accumulated slots
+/// into the per-port serial streams of any single lane — exactly the
+/// `Vec<BitVec>` the scalar engine's observation window would have built
+/// for that device.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_tpg::lanes::{broadcast, LaneStreams};
+///
+/// let mut streams = LaneStreams::new(2);
+/// streams.push(&[broadcast(true), 0b10]); // port 0: all lanes 1; port 1: lane 1 only
+/// streams.push(&[0, 0]);
+/// assert_eq!(streams.slots(), 2);
+/// let lane1 = streams.lane_streams(1);
+/// assert_eq!(lane1[0].to_string(), "10"); // LSB-first display: t0=1, t1=0
+/// assert_eq!(lane1[1].to_string(), "10");
+/// let lane0 = streams.lane_streams(0);
+/// assert_eq!(lane0[1].to_string(), "00");
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneStreams {
+    /// `slots[port]` — one word per observation slot, time-major.
+    slots: Vec<Vec<u64>>,
+}
+
+impl LaneStreams {
+    /// An empty accumulator over `ports` parallel ports.
+    #[must_use]
+    pub fn new(ports: usize) -> Self {
+        Self {
+            slots: vec![Vec::new(); ports],
+        }
+    }
+
+    /// Number of ports per slot.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Observation slots accumulated so far.
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        self.slots.first().map_or(0, Vec::len)
+    }
+
+    /// Appends one observation slot: `words[port]` is the lane word the
+    /// port produced this cycle.
+    ///
+    /// # Panics
+    ///
+    /// If `words.len()` differs from the port count.
+    pub fn push(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.slots.len(), "one word per port");
+        for (port, &word) in self.slots.iter_mut().zip(words) {
+            port.push(word);
+        }
+    }
+
+    /// Appends one all-zero observation slot (capture cycles record a zero
+    /// placeholder in the scalar window).
+    pub fn push_zeros(&mut self) {
+        for port in &mut self.slots {
+            port.push(0);
+        }
+    }
+
+    /// Extracts lane `lane`'s per-port serial streams, bit `t` of each
+    /// stream being that lane's response at observation slot `t`.
+    ///
+    /// # Panics
+    ///
+    /// If `lane >= 64`.
+    #[must_use]
+    pub fn lane_streams(&self, lane: usize) -> Vec<BitVec> {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.slots
+            .iter()
+            .map(|port| {
+                let mut stream = BitVec::with_capacity(port.len());
+                for chunk in port.chunks(LANES) {
+                    let mut block = [0u64; LANES];
+                    block[..chunk.len()].copy_from_slice(chunk);
+                    transpose64(&mut block);
+                    stream.push_word(block[lane], chunk.len());
+                }
+                stream
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap deterministic word mixer for test data.
+    fn mix(i: u64) -> u64 {
+        let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x853c_49e6_748f_ea9b;
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^ (x >> 33)
+    }
+
+    #[test]
+    fn broadcast_fills_or_clears_all_lanes() {
+        assert_eq!(broadcast(true), u64::MAX);
+        assert_eq!(broadcast(false), 0);
+    }
+
+    #[test]
+    fn transpose_moves_single_bits_to_mirrored_coordinates() {
+        for (r, c) in [(0usize, 0usize), (0, 63), (63, 0), (17, 42), (5, 5)] {
+            let mut m = [0u64; 64];
+            m[r] = 1u64 << c;
+            transpose64(&mut m);
+            for (row, &word) in m.iter().enumerate() {
+                let expected = if row == c { 1u64 << r } else { 0 };
+                assert_eq!(word, expected, "bit ({r},{c}), row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_is_self_inverse_on_dense_data() {
+        let original: Vec<u64> = (0..64).map(mix).collect();
+        let mut m = [0u64; 64];
+        m.copy_from_slice(&original);
+        transpose64(&mut m);
+        transpose64(&mut m);
+        assert_eq!(m.as_slice(), original.as_slice());
+    }
+
+    #[test]
+    fn lane_streams_match_scalar_bit_accounting() {
+        // 3 ports, 130 slots (crosses two word boundaries), 64 lanes: every
+        // lane's extracted stream must equal the bit-by-bit scalar view.
+        let ports = 3;
+        let slots = 130;
+        let mut streams = LaneStreams::new(ports);
+        let word_at = |slot: usize, port: usize| mix((slot * ports + port) as u64);
+        for slot in 0..slots {
+            let words: Vec<u64> = (0..ports).map(|p| word_at(slot, p)).collect();
+            streams.push(&words);
+        }
+        assert_eq!(streams.slots(), slots);
+        assert_eq!(streams.ports(), ports);
+
+        for lane in [0usize, 1, 31, 63] {
+            let got = streams.lane_streams(lane);
+            assert_eq!(got.len(), ports);
+            for (port, stream) in got.iter().enumerate() {
+                assert_eq!(stream.len(), slots);
+                for slot in 0..slots {
+                    let expected = (word_at(slot, port) >> lane) & 1 == 1;
+                    assert_eq!(
+                        stream.get(slot),
+                        Some(expected),
+                        "lane {lane} port {port} slot {slot}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_zeros_records_a_blank_slot() {
+        let mut streams = LaneStreams::new(2);
+        streams.push(&[u64::MAX, u64::MAX]);
+        streams.push_zeros();
+        streams.push(&[u64::MAX, 0]);
+        let lane = streams.lane_streams(9);
+        assert_eq!(lane[0].to_string(), "101");
+        assert_eq!(lane[1].to_string(), "100");
+    }
+}

@@ -23,6 +23,9 @@
 //! * [`PatternSet`] — deterministic / random / exhaustive pattern generation,
 //! * [`weighted`] — weighted pseudo-random patterns for random-pattern-
 //!   resistant faults,
+//! * [`lanes`] — lane-parallel word utilities (broadcast, 64×64 bit
+//!   transpose, per-lane stream extraction) backing packed device-parallel
+//!   simulation,
 //! * [`source`] — the [`TestSource`] /
 //!   [`TestSink`] traits tying the above together.
 //!
@@ -46,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+pub mod lanes;
 pub mod lfsr;
 pub mod misr;
 pub mod pattern;
