@@ -11,7 +11,7 @@
 //!   and engine reused in place on each worker thread, and
 //! * **packed** — cohorts of up to 64 devices share one word-level
 //!   execution (healthy dies clone a baseline report, defective dies run
-//!   as bit-lanes of a packed scan model).
+//!   as bit-lanes of packed scan, BIST, and memory models).
 //!
 //! Before any throughput is recorded, packed and scalar runs of the same
 //! defective fleet are asserted bit-identical to each other, and every
@@ -19,8 +19,22 @@
 //! numbers always describe *equivalent* work. One-time setup (search +
 //! compile) is timed separately from steady-state devices/s: each timed
 //! row is preceded by an untimed priming run that compiles the packed
-//! engine and warms the per-worker simulator slots. Results go to stdout
-//! and to `BENCH_fleet.json` at the workspace root.
+//! engine and warms the per-worker simulator slots.
+//!
+//! Two workloads run back to back:
+//!
+//! 1. the figure-1 SoC at a 25% defect rate (the mixed production lot), and
+//! 2. a BIST + memory SoC at a 100% defect rate — the workload whose every
+//!    defect used to force a scalar fallback and now rides the lane
+//!    encoding (`fleet.packed.fallback.devices` is asserted to be 0).
+//!
+//! Each workload reports a per-mode `scaling_efficiency`: the best
+//! multi-thread devices/s divided by the single-thread devices/s. Values
+//! below 1.0 mean worker threads actively hurt and are flagged loudly.
+//! Set `CASBUS_BENCH_REQUIRE_SCALING=1` to turn the packed 4-vs-1-thread
+//! ratio into a hard failure (skipped, loudly, on single-core hosts where
+//! no thread count can help). Results go to stdout and to
+//! `BENCH_fleet.json` at the workspace root.
 //!
 //! ```text
 //! cargo run --release -p casbus-bench --bin fleet_throughput
@@ -31,9 +45,11 @@
 
 use std::time::Instant;
 
+use casbus_controller::schedule::packed_schedule;
 use casbus_controller::search::SearchBudget;
+use casbus_obs::MetricsRegistry;
 use casbus_sim::{run_program_searched, FleetRunner, VariationSpec};
-use casbus_soc::catalog;
+use casbus_soc::{catalog, CoreDescription, SocBuilder, TestMethod};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const DEFECT_RATE: f64 = 0.25;
@@ -48,8 +64,145 @@ struct Row {
     speedup: f64,
 }
 
+/// Times every `(mode, threads)` combination: an untimed priming run per
+/// row (compiles the packed engine, warms the per-worker simulator slots),
+/// then one timed fleet run. `speedup` is relative to the caller's
+/// baseline rate.
+fn measure_modes(
+    mut runner: FleetRunner,
+    spec: &VariationSpec,
+    fleet_size: u64,
+    expected_passed: usize,
+    baseline_devices_per_sec: f64,
+) -> (FleetRunner, Vec<Row>) {
+    println!(
+        "{:>7} {:>7} {:>10} {:>13} {:>16} {:>9}",
+        "threads", "mode", "wall", "devices/s", "wire-cycles/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for mode in ["scalar", "packed"] {
+        runner = runner.with_packed(mode == "packed");
+        for &threads in &THREAD_COUNTS {
+            runner = runner.with_threads(threads);
+            runner.run(spec, fleet_size).expect("priming run");
+            let fleet = runner.run(spec, fleet_size).expect("fleet run");
+            assert_eq!(fleet.passed, expected_passed, "yield drifted");
+            let speedup = fleet.devices_per_sec() / baseline_devices_per_sec;
+            println!(
+                "{:>7} {:>7} {:>8.1}ms {:>13.1} {:>16.0} {:>8.1}x",
+                threads,
+                mode,
+                fleet.wall.as_secs_f64() * 1e3,
+                fleet.devices_per_sec(),
+                fleet.wire_cycles_per_sec(),
+                speedup
+            );
+            rows.push(Row {
+                threads,
+                mode,
+                wall_ms: fleet.wall.as_secs_f64() * 1e3,
+                devices_per_sec: fleet.devices_per_sec(),
+                wire_cycles_per_sec: fleet.wire_cycles_per_sec(),
+                speedup,
+            });
+        }
+    }
+    (runner, rows)
+}
+
+fn best_speedup(rows: &[Row], mode: &str) -> f64 {
+    rows.iter()
+        .filter(|r| r.mode == mode)
+        .map(|r| r.speedup)
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+fn rate_at(rows: &[Row], mode: &str, threads: usize) -> f64 {
+    rows.iter()
+        .find(|r| r.mode == mode && r.threads == threads)
+        .map(|r| r.devices_per_sec)
+        .expect("row measured")
+}
+
+/// Best multi-thread devices/s over the single-thread devices/s for one
+/// mode. Above 1.0: threads help. Below 1.0: cross-thread overhead eats
+/// more than the parallelism returns.
+fn scaling_efficiency(rows: &[Row], mode: &str) -> f64 {
+    let single = rate_at(rows, mode, 1);
+    let multi = rows
+        .iter()
+        .filter(|r| r.mode == mode && r.threads > 1)
+        .map(|r| r.devices_per_sec)
+        .fold(f64::NEG_INFINITY, f64::max);
+    multi / single
+}
+
+/// Warns loudly when a mode's throughput shrinks as threads are added.
+fn report_scaling(rows: &[Row], hardware_threads: usize) -> (f64, f64) {
+    let scalar = scaling_efficiency(rows, "scalar");
+    let packed = scaling_efficiency(rows, "packed");
+    println!("scaling efficiency (best multi-thread / single-thread): scalar {scalar:.2}, packed {packed:.2}");
+    for (mode, efficiency) in [("scalar", scalar), ("packed", packed)] {
+        if efficiency < 1.0 {
+            eprintln!(
+                "WARNING: {mode} fleet throughput does NOT scale — adding worker threads \
+                 yields {efficiency:.2}x the single-thread rate \
+                 (host has {hardware_threads} hardware thread(s))"
+            );
+        }
+    }
+    (scalar, packed)
+}
+
+fn rows_json(rows: &[Row], speedup_key: &str, indent: &str) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "{indent}{{\"threads\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
+                 \"devices_per_sec\": {:.2}, \"wire_cycles_per_sec\": {:.0}, \
+                 \"{speedup_key}\": {:.2}}}",
+                r.threads, r.mode, r.wall_ms, r.devices_per_sec, r.wire_cycles_per_sec, r.speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+/// The second workload: every defect targets a BIST or memory core, the
+/// shape that fell back to a scalar run per defective device before those
+/// sessions joined the lane encoding.
+fn bist_memory_soc() -> casbus_soc::SocDescription {
+    SocBuilder::new("bist_memory")
+        .core(CoreDescription::new(
+            "bist16",
+            TestMethod::Bist {
+                width: 16,
+                patterns: 300,
+            },
+        ))
+        .core(CoreDescription::new(
+            "dram",
+            TestMethod::Memory {
+                words: 64,
+                data_width: 8,
+            },
+        ))
+        .core(CoreDescription::new(
+            "bist8",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 200,
+            },
+        ))
+        .build()
+        .expect("valid by construction")
+}
+
 fn main() {
     let smoke = std::env::var("CASBUS_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let require_scaling =
+        std::env::var("CASBUS_BENCH_REQUIRE_SCALING").is_ok_and(|v| v != "0" && !v.is_empty());
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (fleet_size, baseline_runs) = if smoke { (64u64, 4usize) } else { (256, 8) };
     let soc = catalog::figure1_soc();
     let n = 8;
@@ -58,7 +211,7 @@ fn main() {
 
     println!(
         "Fleet batch serving: figure1 SoC, N={n}, fleet of {fleet_size} devices, \
-         defect rate {DEFECT_RATE}{}",
+         defect rate {DEFECT_RATE}, {hardware_threads} hardware thread(s){}",
         if smoke { " (smoke)" } else { "" }
     );
     println!();
@@ -128,53 +281,18 @@ fn main() {
         fleet_size,
         fleet_size as usize - scalar_fleet.passed
     );
-
     println!();
-    println!(
-        "{:>7} {:>7} {:>10} {:>13} {:>16} {:>9}",
-        "threads", "mode", "wall", "devices/s", "wire-cycles/s", "speedup"
+
+    let (_, rows) = measure_modes(
+        runner,
+        &spec,
+        fleet_size,
+        scalar_fleet.passed,
+        baseline_devices_per_sec,
     );
 
-    let mut rows = Vec::new();
-    for mode in ["scalar", "packed"] {
-        runner = runner.with_packed(mode == "packed");
-        for &threads in &THREAD_COUNTS {
-            runner = runner.with_threads(threads);
-            // Untimed priming run: compiles the packed engine (if packed)
-            // and warms the fresh pool's per-worker simulator slots, so the
-            // timed run below is steady state, not setup.
-            runner.run(&spec, fleet_size).expect("priming run");
-            let fleet = runner.run(&spec, fleet_size).expect("fleet run");
-            assert_eq!(fleet.passed, scalar_fleet.passed, "yield drifted");
-            let speedup = fleet.devices_per_sec() / baseline_devices_per_sec;
-            println!(
-                "{:>7} {:>7} {:>8.1}ms {:>13.1} {:>16.0} {:>8.1}x",
-                threads,
-                mode,
-                fleet.wall.as_secs_f64() * 1e3,
-                fleet.devices_per_sec(),
-                fleet.wire_cycles_per_sec(),
-                speedup
-            );
-            rows.push(Row {
-                threads,
-                mode,
-                wall_ms: fleet.wall.as_secs_f64() * 1e3,
-                devices_per_sec: fleet.devices_per_sec(),
-                wire_cycles_per_sec: fleet.wire_cycles_per_sec(),
-                speedup,
-            });
-        }
-    }
-
-    let best_of = |mode: &str| {
-        rows.iter()
-            .filter(|r| r.mode == mode)
-            .map(|r| r.speedup)
-            .fold(f64::NEG_INFINITY, f64::max)
-    };
-    let scalar_best = best_of("scalar");
-    let packed_best = best_of("packed");
+    let scalar_best = best_speedup(&rows, "scalar");
+    let packed_best = best_speedup(&rows, "packed");
     assert!(
         scalar_best >= 5.0,
         "scalar fleet serving must beat per-device planning by >=5x at fleet {fleet_size} \
@@ -190,30 +308,121 @@ fn main() {
     println!("best scalar speedup vs looped run_program_searched: {scalar_best:.1}x");
     println!("best packed speedup vs looped run_program_searched: {packed_best:.1}x");
     println!("packed vs scalar (best rows): {packed_vs_scalar:.1}x");
+    let (scalar_efficiency, packed_efficiency) = report_scaling(&rows, hardware_threads);
 
-    let json_rows: Vec<String> = rows
-        .iter()
-        .map(|r| {
-            format!(
-                "    {{\"threads\": {}, \"mode\": \"{}\", \"wall_ms\": {:.3}, \
-                 \"devices_per_sec\": {:.2}, \"wire_cycles_per_sec\": {:.0}, \
-                 \"speedup_vs_searched_loop\": {:.2}}}",
-                r.threads, r.mode, r.wall_ms, r.devices_per_sec, r.wire_cycles_per_sec, r.speedup
-            )
-        })
-        .collect();
+    // The hard scaling gate, opted into by CI: packed at the highest
+    // thread count must not be slower than single-threaded beyond noise.
+    // Meaningless on a single-core host, where it is skipped out loud.
+    let max_threads = THREAD_COUNTS[THREAD_COUNTS.len() - 1];
+    let packed_4_vs_1 = rate_at(&rows, "packed", max_threads) / rate_at(&rows, "packed", 1);
+    if require_scaling {
+        if hardware_threads < 2 {
+            eprintln!(
+                "NOTE: CASBUS_BENCH_REQUIRE_SCALING set, but this host has only \
+                 {hardware_threads} hardware thread(s) — the {max_threads}-vs-1-thread \
+                 packed gate is skipped (no thread count can help on one core)"
+            );
+        } else {
+            assert!(
+                packed_4_vs_1 >= 0.9,
+                "packed fleet at {max_threads} threads is slower than single-threaded beyond \
+                 noise: {packed_4_vs_1:.2}x (>= 0.90x required on this \
+                 {hardware_threads}-thread host)"
+            );
+        }
+    }
+
+    // Workload 2: BIST + memory cores only, every die defective — the
+    // all-fallback worst case before those sessions joined the lane
+    // encoding. The defect placements must now ride lanes exclusively.
+    let bm_soc = bist_memory_soc();
+    let bm_n = bm_soc.max_ports();
+    let bm_fleet = fleet_size;
+    let bm_spec = VariationSpec::new(DEFECT_SEED, 1.0);
+    let bm_schedule = packed_schedule(&bm_soc, bm_n).expect("schedule");
+    println!();
+    println!(
+        "BIST/memory-defect workload: bist_memory SoC, N={bm_n}, fleet of {bm_fleet} devices, \
+         defect rate 1.0"
+    );
+    println!();
+
+    let mut bm_runner = FleetRunner::new(&bm_soc, bm_n, bm_schedule)
+        .expect("runner")
+        .with_threads(THREAD_COUNTS[THREAD_COUNTS.len() - 1])
+        .with_packed(false);
+    let bm_scalar = bm_runner.run(&bm_spec, bm_fleet).expect("scalar fleet run");
+    bm_runner = bm_runner.with_packed(true);
+    let bm_metrics = MetricsRegistry::new();
+    let bm_packed = bm_runner
+        .run_with_metrics(&bm_spec, bm_fleet, &bm_metrics, |_| {})
+        .expect("packed fleet run");
+    assert_eq!(
+        bm_packed.devices, bm_scalar.devices,
+        "packed BIST/memory fleet diverged from scalar"
+    );
+    let bm_fallbacks = bm_metrics.counter("fleet.packed.fallback.devices");
+    assert_eq!(
+        bm_fallbacks, 0,
+        "BIST/memory defects must ride lanes, not fall back to scalar runs"
+    );
+    assert_eq!(
+        bm_metrics.counter("fleet.packed.lane.devices"),
+        bm_fleet,
+        "every defective die rides a lane"
+    );
+    println!(
+        "equivalence gate: {bm_fleet} devices bit-identical across modes, \
+         {bm_fallbacks} scalar fallbacks"
+    );
+    println!();
+
+    // Speedup for this workload is measured against the scalar
+    // single-thread fleet rate (there is no searched-loop baseline here:
+    // the schedule is the fixed packed schedule on both sides).
+    bm_runner = bm_runner.with_packed(false).with_threads(1);
+    bm_runner.run(&bm_spec, bm_fleet).expect("priming run");
+    let bm_reference = bm_runner.run(&bm_spec, bm_fleet).expect("reference run");
+    let (_, bm_rows) = measure_modes(
+        bm_runner,
+        &bm_spec,
+        bm_fleet,
+        bm_scalar.passed,
+        bm_reference.devices_per_sec(),
+    );
+    let bm_packed_vs_scalar = best_speedup(&bm_rows, "packed") / best_speedup(&bm_rows, "scalar");
+    println!();
+    println!("packed vs scalar on all-defective BIST/memory fleet (best rows): {bm_packed_vs_scalar:.1}x");
+    assert!(
+        bm_packed_vs_scalar >= 5.0,
+        "lane-encoded BIST/memory sessions must beat scalar fallback by >=5x \
+         (observed: {bm_packed_vs_scalar:.1}x)"
+    );
+    let (bm_scalar_efficiency, bm_packed_efficiency) = report_scaling(&bm_rows, hardware_threads);
+
     let json = format!(
-        "{{\n  \"benchmark\": \"fleet_batch_serving\",\n  \"soc\": \"figure1\",\n  \
+        "{{\n  \"benchmark\": \"fleet_batch_serving\",\n  \
+         \"hardware_threads\": {hardware_threads},\n  \"soc\": \"figure1\",\n  \
          \"n\": {n},\n  \"fleet_size\": {fleet_size},\n  \"smoke\": {smoke},\n  \
          \"defect_rate\": {DEFECT_RATE},\n  \
          \"baseline_ms_per_device\": {:.3},\n  \"baseline_devices_per_sec\": {:.2},\n  \
          \"setup_ms\": {:.3},\n  \"packed_vs_scalar_best\": {:.2},\n  \
-         \"rows\": [\n{}\n  ]\n}}\n",
+         \"scaling_efficiency\": {{\"scalar\": {scalar_efficiency:.2}, \
+         \"packed\": {packed_efficiency:.2}}},\n  \
+         \"rows\": [\n{}\n  ],\n  \
+         \"bist_memory\": {{\n    \"soc\": \"bist_memory\",\n    \"n\": {bm_n},\n    \
+         \"fleet_size\": {bm_fleet},\n    \"defect_rate\": 1.0,\n    \
+         \"packed_fallback_devices\": {bm_fallbacks},\n    \
+         \"packed_vs_scalar_best\": {bm_packed_vs_scalar:.2},\n    \
+         \"scaling_efficiency\": {{\"scalar\": {bm_scalar_efficiency:.2}, \
+         \"packed\": {bm_packed_efficiency:.2}}},\n    \
+         \"rows\": [\n{}\n    ]\n  }}\n}}\n",
         baseline_per_device * 1e3,
         baseline_devices_per_sec,
         setup.as_secs_f64() * 1e3,
         packed_vs_scalar,
-        json_rows.join(",\n")
+        rows_json(&rows, "speedup_vs_searched_loop", "    "),
+        rows_json(&bm_rows, "speedup_vs_scalar_1thread", "      "),
     );
     let path = "BENCH_fleet.json";
     match std::fs::write(path, &json) {

@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, RwLock};
 
 use casbus_tpg::BitVec;
 
@@ -315,6 +315,11 @@ struct CacheState {
 /// (handed-out [`Arc`]s stay valid — eviction only drops the cache's
 /// reference). [`RouteTableCache::evictions`] counts the drops.
 ///
+/// Unbounded caches serve hits under a shared read lock — after warmup
+/// (every wave shape of a program seen once) concurrent fleet workers
+/// never contend on a writer. Bounded caches must bump the LRU stamp per
+/// hit and therefore take the write lock on every lookup.
+///
 /// # Examples
 ///
 /// ```
@@ -332,7 +337,7 @@ struct CacheState {
 /// ```
 #[derive(Debug)]
 pub struct RouteTableCache {
-    state: Mutex<CacheState>,
+    state: RwLock<CacheState>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -355,7 +360,7 @@ impl RouteTableCache {
     /// least 1), evicting the least-recently-used shape beyond that.
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
-            state: Mutex::new(CacheState::default()),
+            state: RwLock::new(CacheState::default()),
             capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -371,9 +376,37 @@ impl RouteTableCache {
     /// The compiled table for the chain's current configuration, compiling
     /// and inserting it on first encounter of this wave shape. At capacity,
     /// the insert evicts the least-recently-used shape first.
+    ///
+    /// Unbounded caches (the default) serve hits under the shared read
+    /// lock: after warmup, concurrent readers never serialize on a writer.
     pub fn get_or_compile(&self, chain: &CasChain) -> Arc<RouteTable> {
         let key = WaveKey::for_chain(chain);
-        let mut state = self.state.lock().expect("route cache poisoned");
+        if self.capacity == usize::MAX {
+            // No eviction ever happens, so hits need no last-use bump —
+            // a shared read lock suffices and warmed-up fleet workers run
+            // contention-free.
+            {
+                let state = self.state.read().expect("route cache poisoned");
+                if let Some((table, _)) = state.tables.get(&key) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::clone(table);
+                }
+            }
+            let mut state = self.state.write().expect("route cache poisoned");
+            // Re-check: another thread may have compiled this shape while
+            // we waited for the write lock.
+            if let Some((table, _)) = state.tables.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Arc::clone(table);
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            state.stamp += 1;
+            let stamp = state.stamp;
+            let table = Arc::new(RouteTable::compile(chain));
+            state.tables.insert(key, (Arc::clone(&table), stamp));
+            return table;
+        }
+        let mut state = self.state.write().expect("route cache poisoned");
         state.stamp += 1;
         let stamp = state.stamp;
         if let Some((table, last_use)) = state.tables.get_mut(&key) {
@@ -415,7 +448,7 @@ impl RouteTableCache {
     /// Distinct wave shapes currently cached (never exceeds the capacity).
     pub fn len(&self) -> usize {
         self.state
-            .lock()
+            .read()
             .expect("route cache poisoned")
             .tables
             .len()
@@ -440,7 +473,7 @@ impl RouteTableCache {
 
     /// Drops every cached table and resets the hit/miss/evict counters.
     pub fn clear(&self) {
-        let mut state = self.state.lock().expect("route cache poisoned");
+        let mut state = self.state.write().expect("route cache poisoned");
         state.tables.clear();
         state.stamp = 0;
         self.hits.store(0, Ordering::Relaxed);

@@ -174,7 +174,10 @@ impl CompiledEngine {
         sim: &mut SocSimulator,
         program: &TestProgram,
     ) -> Result<SocTestReport, SimError> {
-        self.run_with_metrics(sim, program, &MetricsRegistry::new())
+        // No registry at all on this path: per-device fleet runs build
+        // thousands of reports, and the report fields come straight from
+        // the simulator's own counters.
+        self.execute(sim, program, None)
     }
 
     /// [`CompiledEngine::run`] with metrics publication (identical counter
@@ -188,6 +191,18 @@ impl CompiledEngine {
         sim: &mut SocSimulator,
         program: &TestProgram,
         metrics: &MetricsRegistry,
+    ) -> Result<SocTestReport, SimError> {
+        self.execute(sim, program, Some(metrics))
+    }
+
+    /// Shared body of [`run`](Self::run) / [`run_with_metrics`](Self::run_with_metrics):
+    /// metrics export is skipped entirely when no registry is attached —
+    /// the report's cycle fields read the simulator's counters directly.
+    fn execute(
+        &self,
+        sim: &mut SocSimulator,
+        program: &TestProgram,
+        metrics: Option<&MetricsRegistry>,
     ) -> Result<SocTestReport, SimError> {
         let baseline = ReportBaseline::capture(sim);
         // Observability wants every per-cycle bus value: stay bit-serial.
@@ -339,19 +354,55 @@ impl CompiledEngine {
     }
 }
 
-/// Whether the configured step can run on the word-level fast path while
-/// staying bit-identical to the interpreter. `routes` must be compiled from
-/// the chain's current (post-`configure`) state. Also the gate the packed
-/// device-parallel fleet path uses: its lane-containment argument (a defect
-/// on one core perturbs only that core's verdict and signature) holds
-/// exactly when every step satisfies these conditions.
-pub(crate) fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &RouteTable) -> bool {
+/// Why a configured step cannot run on the word-level fast path. Each
+/// variant names the [`step_compile_blocker`] clause that failed — the
+/// packed fleet path exports these as `fleet.packed.fallback.reason.*`
+/// counters so coverage gaps are observable instead of inferred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CompileBlocker {
+    /// A lane's routes share wires serially with another CAS.
+    DependentRoutes,
+    /// A tested wrapper is not in a transparent INTEST mode.
+    NonIntestWrapper,
+    /// Scheme width, plan width, and wrapper width disagree.
+    WidthMismatch,
+    /// The plan contains Update or Idle cycles the word path cannot batch.
+    UpdateOrIdleCycles,
+    /// A test-mode wrapper outside the lanes would still be clocked.
+    ArmedBystander,
+}
+
+impl CompileBlocker {
+    /// Stable metric-suffix name for this blocker.
+    pub(crate) fn reason(self) -> &'static str {
+        match self {
+            Self::DependentRoutes => "step.dependent_routes",
+            Self::NonIntestWrapper => "step.non_intest_wrapper",
+            Self::WidthMismatch => "step.width_mismatch",
+            Self::UpdateOrIdleCycles => "step.update_or_idle_cycles",
+            Self::ArmedBystander => "step.armed_bystander",
+        }
+    }
+}
+
+/// The first reason the configured step cannot run on the word-level fast
+/// path while staying bit-identical to the interpreter, or `None` when it
+/// can. `routes` must be compiled from the chain's current
+/// (post-`configure`) state. Also the gate the packed device-parallel fleet
+/// path uses: its lane-containment argument (a defect on one core perturbs
+/// only that core's verdict and signature) holds exactly when every step
+/// passes.
+pub(crate) fn step_compile_blocker(
+    sim: &SocSimulator,
+    lanes: &[Lane],
+    routes: &RouteTable,
+) -> Option<CompileBlocker> {
     let mut is_lane = vec![false; sim.tam().cas_count()];
     for lane in lanes {
         is_lane[lane.cas_index] = true;
         // Exclusive straight-through wires: no serial concatenation.
         if !routes.is_independent(lane.cas_index) {
-            return false;
+            return Some(CompileBlocker::DependentRoutes);
         }
         let wrapper = sim.wrapper_at(lane.cas_index);
         // INTEST modes are transparent shift pipes (wrapper output =
@@ -360,12 +411,12 @@ pub(crate) fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &Ro
             wrapper.instruction(),
             WrapperInstruction::IntestScan | WrapperInstruction::IntestBist
         ) {
-            return false;
+            return Some(CompileBlocker::NonIntestWrapper);
         }
         let ports = lane.plan.ports();
         // Identity resize: scheme width == plan width == wrapper width.
         if lane.wires.len() != ports || wrapper.parallel_width() != ports {
-            return false;
+            return Some(CompileBlocker::WidthMismatch);
         }
         if lane
             .plan
@@ -373,13 +424,24 @@ pub(crate) fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &Ro
             .iter()
             .any(|(_, kind)| matches!(kind, ClockKind::Update | ClockKind::Idle))
         {
-            return false;
+            return Some(CompileBlocker::UpdateOrIdleCycles);
         }
     }
     // A test-mode wrapper outside the lanes (e.g. a wrapped system bus left
     // armed) would still be clocked by the interpreter: stay exact.
-    (0..sim.tam().cas_count())
+    if (0..sim.tam().cas_count())
         .all(|idx| is_lane[idx] || !sim.wrapper_at(idx).instruction().is_test_mode())
+    {
+        None
+    } else {
+        Some(CompileBlocker::ArmedBystander)
+    }
+}
+
+/// Whether the configured step can run on the word-level fast path —
+/// [`step_compile_blocker`] without the diagnosis.
+pub(crate) fn step_is_compilable(sim: &SocSimulator, lanes: &[Lane], routes: &RouteTable) -> bool {
+    step_compile_blocker(sim, lanes, routes).is_none()
 }
 
 /// What one lane's batched session produced.

@@ -12,21 +12,26 @@
 //!   clone of it — the scalar engine is deterministic, so a fresh healthy
 //!   run could not produce anything else.
 //! * **Defective dies run 64 to a word.** Devices of one cohort (≤ 64)
-//!   whose defects land on the same scan core become *lanes* of one
-//!   [`PackedScanLanes`] model: each flip-flop of each chain is one `u64`,
-//!   bit `l` belonging to device-lane `l`, and the per-device stuck-at
-//!   defects become per-lane force/mask words at the injected flop. One
-//!   shift or capture clock then advances all of them at once against a
-//!   single shared golden model (stimuli are broadcast — every lane sees
-//!   the same plan). Per-lane mismatch counts and signatures are extracted
-//!   at the session boundary by transposing the time-major observation
-//!   words back into per-lane streams and feeding the *same*
-//!   `lane_signature` fold the scalar engines use.
+//!   whose defects land on the same core become *lanes* of one word-level
+//!   twin of that core's behavioural model — [`PackedScanLanes`],
+//!   [`PackedBistLanes`], or [`PackedMemoryLanes`], covering every defect
+//!   kind [`VariationSpec`](crate::VariationSpec) stamps. Each state bit of
+//!   the scalar model (a scan flop, a MISR stage, a memory cell bit) is one
+//!   `u64`, bit `l` belonging to device-lane `l`, and the per-device
+//!   defects become per-lane force/mask words. One shift or capture clock
+//!   then advances all of them at once against a single shared golden model
+//!   (stimuli are broadcast — every lane sees the same plan). Per-lane
+//!   mismatch counts and signatures are extracted at the session boundary
+//!   by transposing the time-major observation words back into per-lane
+//!   streams and feeding the *same* `lane_signature` fold the scalar
+//!   engines use.
 //! * **Everything else falls back, per device.** Monitored runs, programs
 //!   with any step the word-level fast path cannot express, and defects the
 //!   lane encoding cannot carry are executed by the unchanged scalar
 //!   [`test_device`](crate::fleet) path — bit-identity is never traded for
-//!   speed.
+//!   speed. Every fallback is attributed: [`PackedDeviceEngine::fallback_reason`]
+//!   names the compile clause or defect placement responsible, and the
+//!   fleet exports the tallies as `fleet.packed.fallback.reason.*`.
 //!
 //! # Why patching the baseline is sound
 //!
@@ -50,13 +55,13 @@ use std::sync::Arc;
 
 use casbus::RouteTableCache;
 use casbus_controller::CompiledProgram;
-use casbus_soc::models::{self, PackedScanLanes};
+use casbus_soc::models::{self, PackedBistLanes, PackedMemoryLanes, PackedScanLanes};
 use casbus_soc::{CoreDescription, SocDescription, TestMethod};
 use casbus_tpg::lanes::{broadcast, LaneStreams, LANES};
 use casbus_tpg::Verdict;
 
-use crate::engine::{step_is_compilable, CompiledEngine};
-use crate::fleet::{test_device, DeviceReport, InjectedFault};
+use crate::engine::{step_compile_blocker, CompiledEngine};
+use crate::fleet::{test_device, DeviceReport, FaultKind, InjectedFault};
 use crate::report::{collect_lanes, SocTestReport};
 use crate::session::{lane_signature, ClockKind, SessionPlan};
 use crate::simulator::{SimError, SocSimulator};
@@ -87,9 +92,11 @@ pub struct PackedDeviceEngine {
     baseline: SocTestReport,
     /// Lane specs per core name (one entry per tested occurrence).
     lanes: HashMap<String, Vec<PackedLaneSpec>>,
-    /// Every step passed [`step_is_compilable`]: the defect-containment
-    /// argument holds and defective dies may take the packed lane path.
-    all_steps_packable: bool,
+    /// `None` when every step passed [`step_compile_blocker`] — the
+    /// defect-containment argument holds and defective dies may take the
+    /// packed lane path. Otherwise the first blocking clause's reason name,
+    /// exported under `fleet.packed.fallback.reason.*`.
+    program_blocker: Option<&'static str>,
     soc: Arc<SocDescription>,
     plan: Arc<CompiledProgram>,
     cache: Arc<RouteTableCache>,
@@ -99,7 +106,7 @@ impl std::fmt::Debug for PackedDeviceEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PackedDeviceEngine")
             .field("cores", &self.lanes.len())
-            .field("all_steps_packable", &self.all_steps_packable)
+            .field("program_blocker", &self.program_blocker)
             .field("baseline_pass", &self.baseline.all_pass())
             .finish_non_exhaustive()
     }
@@ -127,14 +134,15 @@ impl PackedDeviceEngine {
         // lane plans depend only on post-`configure` state, never on data
         // traffic — the same invariant `dry_run_cycles` relies on.
         let mut lanes: HashMap<String, Vec<PackedLaneSpec>> = HashMap::new();
-        let mut all_steps_packable = true;
+        let mut program_blocker: Option<&'static str> = None;
         let mut slot = 0usize;
         for step in plan.program().steps() {
             sim.configure(&step.configuration, &step.wrapper_instructions)?;
             let routes = cache.get_or_compile(sim.tam().chain());
             let step_lanes = collect_lanes(&sim, &step.configuration)?;
-            if !step_is_compilable(&sim, &step_lanes, &routes) {
-                all_steps_packable = false;
+            if let Some(blocker) = step_compile_blocker(&sim, &step_lanes, &routes) {
+                // First blocker wins: one stable reason per program.
+                program_blocker.get_or_insert(blocker.reason());
             }
             let horizon = step_lanes.iter().map(|l| l.plan.len()).max().unwrap_or(0);
             for lane in step_lanes {
@@ -155,12 +163,12 @@ impl PackedDeviceEngine {
             // A lane/verdict mismatch would make slot patching unsound;
             // structurally impossible, but fail safe to scalar if it ever
             // happens.
-            all_steps_packable = false;
+            program_blocker.get_or_insert("program.slot_mismatch");
         }
         Ok(Self {
             baseline,
             lanes,
-            all_steps_packable,
+            program_blocker,
             soc: Arc::clone(soc),
             plan: Arc::clone(plan),
             cache: Arc::clone(cache),
@@ -173,16 +181,38 @@ impl PackedDeviceEngine {
     }
 
     /// Whether `fault` can ride a packed lane: the whole program must be
-    /// fast-path expressible, and the defective core must be a tested scan
-    /// core (the lane model is the scan model's word-wise lift).
+    /// fast-path expressible, and the fault's kind must match the tested
+    /// method of every occurrence of the defective core (the lane models
+    /// are the scan, BIST, and memory models' word-wise lifts).
     pub fn fault_packable(&self, fault: &InjectedFault) -> bool {
-        self.all_steps_packable
+        self.program_blocker.is_none()
             && self.lanes.get(&fault.core).is_some_and(|specs| {
-                !specs.is_empty()
-                    && specs
-                        .iter()
-                        .all(|s| matches!(s.desc.method(), TestMethod::Scan { .. }))
+                !specs.is_empty() && specs.iter().all(|s| fault.kind.matches(s.desc.method()))
             })
+    }
+
+    /// Why `fault` cannot ride a packed lane, or `None` when it can.
+    ///
+    /// The returned name is a stable metric suffix: the fleet tallies each
+    /// defective device's reason under
+    /// `fleet.packed.fallback.reason.<name>`. Program-level blockers
+    /// (`step.*` / `program.*`) name the first
+    /// [`step_compile_blocker`] clause the compiled program failed; defect
+    /// placements the lane encoding cannot carry come back as
+    /// `defect.untested_core` (the core never runs a session in this
+    /// program) or `defect.method_mismatch` (the fault kind does not match
+    /// the tested method).
+    pub fn fallback_reason(&self, fault: &InjectedFault) -> Option<&'static str> {
+        if self.fault_packable(fault) {
+            return None;
+        }
+        if let Some(reason) = self.program_blocker {
+            return Some(reason);
+        }
+        match self.lanes.get(&fault.core) {
+            Some(specs) if !specs.is_empty() => Some("defect.method_mismatch"),
+            _ => Some("defect.untested_core"),
+        }
     }
 
     /// Tests one cohort of up to [`COHORT_LANES`] devices: healthy dies
@@ -261,6 +291,77 @@ impl PackedDeviceEngine {
     }
 }
 
+/// Word-level lane twin of one behavioural core model, dispatching the two
+/// clock edges the session plans use. Construction stamps each lane's
+/// defect; kind/method agreement is guaranteed by
+/// [`PackedDeviceEngine::fault_packable`]. Payloads are boxed — one model
+/// lives per (cohort, defective core) lane run, so the indirection is off
+/// the per-cycle path and keeps the variants size-balanced.
+enum PackedModel {
+    Scan(Box<PackedScanLanes>),
+    Bist(Box<PackedBistLanes>),
+    Memory(Box<PackedMemoryLanes>),
+}
+
+impl PackedModel {
+    fn build(desc: &CoreDescription, faults: &[&InjectedFault]) -> Self {
+        match desc.method() {
+            TestMethod::Scan { chains, .. } => {
+                let mut packed = PackedScanLanes::new(desc.name(), chains);
+                for (lane, fault) in faults.iter().enumerate() {
+                    let FaultKind::ScanStuckAt {
+                        chain,
+                        position,
+                        stuck_at,
+                    } = fault.kind
+                    else {
+                        unreachable!("packable fault kinds match the tested method");
+                    };
+                    packed.inject_stuck_at(lane, chain, position, stuck_at);
+                }
+                Self::Scan(Box::new(packed))
+            }
+            TestMethod::Bist { width, patterns } => {
+                let mut packed = PackedBistLanes::new(desc.name(), *width, *patterns);
+                for (lane, fault) in faults.iter().enumerate() {
+                    let FaultKind::BistResponse { after } = fault.kind else {
+                        unreachable!("packable fault kinds match the tested method");
+                    };
+                    packed.inject_fault_after(lane, after);
+                }
+                Self::Bist(Box::new(packed))
+            }
+            TestMethod::Memory { words, data_width } => {
+                let mut packed = PackedMemoryLanes::new(desc.name(), *words, *data_width);
+                for (lane, fault) in faults.iter().enumerate() {
+                    let FaultKind::MemoryStuckCell { word, bit, value } = fault.kind else {
+                        unreachable!("packable fault kinds match the tested method");
+                    };
+                    packed.inject_stuck_cell(lane, word, bit, value);
+                }
+                Self::Memory(Box::new(packed))
+            }
+            _ => unreachable!("packable faults land on scan, BIST, or memory cores"),
+        }
+    }
+
+    fn test_clock_lanes(&mut self, inputs: &[u64]) -> Vec<u64> {
+        match self {
+            Self::Scan(m) => m.test_clock_lanes(inputs),
+            Self::Bist(m) => m.test_clock_lanes(inputs),
+            Self::Memory(m) => m.test_clock_lanes(inputs),
+        }
+    }
+
+    fn capture_clock_lanes(&mut self) {
+        match self {
+            Self::Scan(m) => m.capture_clock_lanes(),
+            Self::Bist(m) => m.capture_clock_lanes(),
+            Self::Memory(m) => m.capture_clock_lanes(),
+        }
+    }
+}
+
 /// Runs one core's session once for up to 64 defective devices: lane `l`
 /// carries `faults[l]`. Returns each lane's `(verdict, signature)`.
 ///
@@ -271,9 +372,6 @@ impl PackedDeviceEngine {
 /// The golden model is shared — stimuli are broadcast, so every lane's
 /// expected response is the same healthy response.
 fn run_packed_lane(spec: &PackedLaneSpec, faults: &[&InjectedFault]) -> Vec<(Verdict, u64)> {
-    let TestMethod::Scan { chains, .. } = spec.desc.method() else {
-        unreachable!("packable faults land on scan cores");
-    };
     let ports = spec.plan.ports();
     let len = spec.plan.len();
     let limit = spec.horizon.min(len + 1);
@@ -285,10 +383,7 @@ fn run_packed_lane(spec: &PackedLaneSpec, faults: &[&InjectedFault]) -> Vec<(Ver
         (1u64 << n_lanes) - 1
     };
 
-    let mut packed = PackedScanLanes::new(spec.desc.name(), chains);
-    for (lane, fault) in faults.iter().enumerate() {
-        packed.inject_stuck_at(lane, fault.chain, fault.position, fault.stuck_at);
-    }
+    let mut packed = PackedModel::build(&spec.desc, faults);
     let mut golden = models::instantiate(&spec.desc);
     let mut mismatches = vec![0usize; n_lanes];
     let mut streams = LaneStreams::new(ports);
@@ -393,7 +488,10 @@ mod tests {
     fn packed_defective_lanes_match_scalar_reports() {
         let soc = catalog::figure2a_scan_soc();
         let engine = engine_for(&soc, 4);
-        assert!(engine.all_steps_packable, "scan SoC is fully packable");
+        assert!(
+            engine.program_blocker.is_none(),
+            "scan SoC is fully packable"
+        );
         // A full 64-lane cohort of distinct defects across both cores.
         let spec = crate::VariationSpec::new(11, 1.0);
         let members: Vec<(u64, Option<InjectedFault>)> = (0..64)
@@ -416,7 +514,7 @@ mod tests {
         // exact scalar report.
         let soc = catalog::figure2a_scan_soc();
         let mut engine = engine_for(&soc, 4);
-        engine.all_steps_packable = false;
+        engine.program_blocker = Some("test.forced_off");
         let spec = crate::VariationSpec::new(5, 0.7);
         let members: Vec<(u64, Option<InjectedFault>)> =
             (0..8).map(|id| (id, spec.fault_for(&soc, id))).collect();
@@ -427,6 +525,7 @@ mod tests {
         for (_, fault) in &members {
             if let Some(fault) = fault {
                 assert!(!engine.fault_packable(fault), "gate forced off");
+                assert_eq!(engine.fallback_reason(fault), Some("test.forced_off"));
             }
         }
         let reports = engine.run_cohort(members.clone()).expect("cohort");
@@ -437,20 +536,65 @@ mod tests {
     }
 
     #[test]
-    fn socs_without_scan_cores_serve_pure_baselines() {
-        // No scan cores means the spec never stamps a defect: every member
-        // is a baseline clone, valid even on programs the word-level fast
-        // path cannot express.
+    fn bist_defects_ride_packed_lanes() {
+        // A BIST-only SoC: every defect is a corrupted response stream, and
+        // every one must take the lane path and still match its scalar twin.
         let soc = catalog::figure2b_bist_soc();
         let engine = engine_for(&soc, 3);
+        assert!(
+            engine.program_blocker.is_none(),
+            "BIST SoC is fully packable: {engine:?}"
+        );
         let spec = crate::VariationSpec::new(3, 1.0);
-        let members: Vec<(u64, Option<InjectedFault>)> =
-            (0..4).map(|id| (id, spec.fault_for(&soc, id))).collect();
-        assert!(members.iter().all(|(_, f)| f.is_none()));
-        let reports = engine.run_cohort(members).expect("cohort");
-        let expected = scalar_report(&soc, 3, None);
-        for report in &reports {
-            assert_eq!(report.report, expected);
+        let members: Vec<(u64, Option<InjectedFault>)> = (0..64)
+            .map(|id| (id, Some(spec.fault_for(&soc, id).expect("rate 1.0"))))
+            .collect();
+        for (_, fault) in &members {
+            let fault = fault.as_ref().unwrap();
+            assert!(matches!(fault.kind, FaultKind::BistResponse { .. }));
+            assert!(engine.fault_packable(fault));
+            assert_eq!(engine.fallback_reason(fault), None);
+        }
+        let reports = engine.run_cohort(members.clone()).expect("cohort");
+        for (idx, report) in reports.iter().enumerate() {
+            let expected = scalar_report(&soc, 3, members[idx].1.clone());
+            assert_eq!(report.report, expected, "device {idx}");
+        }
+    }
+
+    #[test]
+    fn mixed_method_cohorts_match_scalar_reports() {
+        // The maintenance SoC tests one core of each injectable method:
+        // a full cohort draws scan, BIST, and memory defects and every one
+        // rides its own packed lane model.
+        let soc = catalog::maintenance_soc();
+        let engine = engine_for(&soc, 4);
+        assert!(
+            engine.program_blocker.is_none(),
+            "maintenance SoC is fully packable: {engine:?}"
+        );
+        let spec = crate::VariationSpec::new(17, 1.0);
+        let members: Vec<(u64, Option<InjectedFault>)> = (0..64)
+            .map(|id| (id, Some(spec.fault_for(&soc, id).expect("rate 1.0"))))
+            .collect();
+        let mut kinds_seen = [false; 3];
+        for (_, fault) in &members {
+            let fault = fault.as_ref().unwrap();
+            kinds_seen[match fault.kind {
+                FaultKind::ScanStuckAt { .. } => 0,
+                FaultKind::BistResponse { .. } => 1,
+                FaultKind::MemoryStuckCell { .. } => 2,
+            }] = true;
+            assert!(engine.fault_packable(fault), "{fault:?}");
+        }
+        assert_eq!(
+            kinds_seen, [true; 3],
+            "64 draws cover scan, BIST, and memory defects"
+        );
+        let reports = engine.run_cohort(members.clone()).expect("cohort");
+        for (idx, report) in reports.iter().enumerate() {
+            let expected = scalar_report(&soc, 4, members[idx].1.clone());
+            assert_eq!(report.report, expected, "device {idx}");
         }
     }
 }

@@ -10,9 +10,11 @@
 //! compilation, or a thread spawn.
 //!
 //! Devices are not clones: a [`VariationSpec`] decides, deterministically
-//! per device id, whether a die carries a manufacturing defect (a stuck-at
-//! fault on a random scan chain) — defective dies produce diverging
-//! signatures and failing verdicts, so a fleet run yields a *yield*.
+//! per device id, whether a die carries a manufacturing defect — a stuck-at
+//! flop on a random scan chain, a corrupted BIST response stream, or a
+//! stuck memory cell, matching the core's test method ([`FaultKind`]) —
+//! defective dies produce diverging signatures and failing verdicts, so a
+//! fleet run yields a *yield*.
 //! Per-device [`DeviceReport`]s stream back through a bounded channel as
 //! they complete; the final [`FleetReport`] aggregates pass counts, cycle
 //! totals, and throughput.
@@ -27,14 +29,16 @@
 //! * **Packed device-parallel** (default, unmonitored runs): devices are
 //!   grouped into cohorts of up to 64 and executed through a shared
 //!   [`PackedDeviceEngine`] — healthy dies clone one baseline report,
-//!   defective dies run 64 per machine word as bit-lanes of a packed scan
-//!   model, and inexpressible defects fall back per device to the scalar
-//!   path. See [`crate::engine_packed`].
+//!   defective dies run 64 per machine word as bit-lanes of the packed
+//!   scan/BIST/memory models, and inexpressible defects fall back per
+//!   device to the scalar path (counted under
+//!   `fleet.packed.fallback.reason.*`). See [`crate::engine_packed`].
 //! * **Scalar per-device** (monitored runs, or [`FleetRunner::with_packed`]
 //!   `(false)`): one simulator per device — reused in place per worker
 //!   thread, with a power-on reset between devices instead of a rebuild.
 
 use std::cell::RefCell;
+use std::fmt;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -43,7 +47,7 @@ use casbus_controller::search::{search_schedule_with, SearchBudget};
 use casbus_controller::{CompiledProgram, Schedule};
 use casbus_obs::{MetricsRegistry, TraceEvent, TraceSink};
 use casbus_p1500::{TestableCore, Wrapper};
-use casbus_soc::models::ScanCore;
+use casbus_soc::models::{BistCore, MemoryCore, ScanCore};
 use casbus_soc::{SocDescription, TestMethod};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -59,9 +63,11 @@ use crate::simulator::{SimError, SocSimulator};
 /// Deterministic per-device manufacturing variation.
 ///
 /// Each device id maps — pure function of `(seed, defect_rate, id)` — to
-/// either a defect-free die or one stuck-at fault on a scan chain. The same
-/// spec always stamps the same fleet, so differential runs across thread
-/// counts or fleet orderings see identical devices.
+/// either a defect-free die or one defect on an injectable core: a stuck-at
+/// flop on a scan core, a corrupted response stream on a BISTed core, or a
+/// stuck cell in an embedded memory (see [`FaultKind`]). The same spec
+/// always stamps the same fleet, so differential runs across thread counts
+/// or fleet orderings see identical devices.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VariationSpec {
     seed: u64,
@@ -97,49 +103,133 @@ impl VariationSpec {
     }
 
     /// The defect stamped onto device `device_id`, if any. `None` for a
-    /// healthy die — and always `None` when the SoC has no scan cores to
-    /// inject into.
+    /// healthy die — and always `None` when the SoC has no injectable
+    /// cores (scan, BIST, or memory) to stamp.
     pub fn fault_for(&self, soc: &SocDescription, device_id: u64) -> Option<InjectedFault> {
         let mut rng =
             StdRng::seed_from_u64(self.seed ^ device_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         if rng.random::<f64>() >= self.defect_rate {
             return None;
         }
-        let scan_cores: Vec<(&str, &[usize])> = soc
+        let injectable: Vec<(&str, &TestMethod)> = soc
             .cores()
             .iter()
             .filter_map(|core| match core.method() {
                 TestMethod::Scan { chains, .. } if !chains.is_empty() => {
-                    Some((core.name(), chains.as_slice()))
+                    Some((core.name(), core.method()))
                 }
+                TestMethod::Bist { patterns, .. } if *patterns > 0 => {
+                    Some((core.name(), core.method()))
+                }
+                TestMethod::Memory { .. } => Some((core.name(), core.method())),
                 _ => None,
             })
             .collect();
-        if scan_cores.is_empty() {
+        if injectable.is_empty() {
             return None;
         }
-        let (name, chains) = scan_cores[rng.random_range(0..scan_cores.len())];
-        let chain = rng.random_range(0..chains.len());
+        let (name, method) = injectable[rng.random_range(0..injectable.len())];
+        let kind = match method {
+            TestMethod::Scan { chains, .. } => {
+                let chain = rng.random_range(0..chains.len());
+                FaultKind::ScanStuckAt {
+                    chain,
+                    position: rng.random_range(0..chains[chain].max(1)),
+                    stuck_at: rng.random(),
+                }
+            }
+            TestMethod::Bist { patterns, .. } => FaultKind::BistResponse {
+                after: rng.random_range(0..*patterns),
+            },
+            TestMethod::Memory { words, data_width } => FaultKind::MemoryStuckCell {
+                word: rng.random_range(0..*words),
+                bit: rng.random_range(0..*data_width),
+                value: rng.random(),
+            },
+            _ => unreachable!("only injectable methods are collected above"),
+        };
         Some(InjectedFault {
             core: name.to_owned(),
-            chain,
-            position: rng.random_range(0..chains[chain].max(1)),
-            stuck_at: rng.random(),
+            kind,
         })
     }
 }
 
-/// One stuck-at defect on a scan chain of a named core.
+/// The kind of defect stamped onto a die, matching the defective core's
+/// test method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One stuck-at flip-flop on a scan chain of a scan-tested core.
+    ScanStuckAt {
+        /// Scan chain index within the core.
+        chain: usize,
+        /// Flip-flop position along the chain.
+        position: usize,
+        /// The value the flop is stuck at.
+        stuck_at: bool,
+    },
+    /// A BISTed core whose circuit-under-test response has one bit flipped
+    /// from pattern index `after` on — a defect the MISR signature catches.
+    BistResponse {
+        /// First pattern index whose response is corrupted.
+        after: usize,
+    },
+    /// One memory cell bit stuck at a value — a defect the march self test
+    /// detects by construction.
+    MemoryStuckCell {
+        /// Word index within the memory.
+        word: usize,
+        /// Bit within the word.
+        bit: usize,
+        /// The value the cell is stuck at.
+        value: bool,
+    },
+}
+
+impl FaultKind {
+    /// Whether this defect kind can be stamped onto (and lane-encoded for)
+    /// a core tested by `method`.
+    pub fn matches(&self, method: &TestMethod) -> bool {
+        matches!(
+            (self, method),
+            (FaultKind::ScanStuckAt { .. }, TestMethod::Scan { .. })
+                | (FaultKind::BistResponse { .. }, TestMethod::Bist { .. })
+                | (FaultKind::MemoryStuckCell { .. }, TestMethod::Memory { .. })
+        )
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::ScanStuckAt {
+                chain,
+                position,
+                stuck_at,
+            } => write!(
+                f,
+                "stuck-at-{} chain {chain} position {position}",
+                u8::from(*stuck_at)
+            ),
+            FaultKind::BistResponse { after } => {
+                write!(f, "corrupted BIST response from pattern {after}")
+            }
+            FaultKind::MemoryStuckCell { word, bit, value } => write!(
+                f,
+                "memory cell stuck-at-{} word {word} bit {bit}",
+                u8::from(*value)
+            ),
+        }
+    }
+}
+
+/// One manufacturing defect on a named core.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InjectedFault {
     /// Core carrying the defect.
     pub core: String,
-    /// Scan chain index within the core.
-    pub chain: usize,
-    /// Flip-flop position along the chain.
-    pub position: usize,
-    /// The value the flop is stuck at.
-    pub stuck_at: bool,
+    /// What is broken, matching the core's test method.
+    pub kind: FaultKind,
 }
 
 impl InjectedFault {
@@ -147,8 +237,8 @@ impl InjectedFault {
     ///
     /// # Errors
     ///
-    /// [`SimError::UnknownCore`] if the core does not exist or is not a
-    /// scan core.
+    /// [`SimError::UnknownCore`] if the core does not exist or its test
+    /// method does not match the defect kind.
     pub fn apply(&self, sim: &mut SocSimulator) -> Result<(), SimError> {
         self.apply_displacing(sim).map(|_| ())
     }
@@ -161,26 +251,49 @@ impl InjectedFault {
         &self,
         sim: &mut SocSimulator,
     ) -> Result<Wrapper<Box<dyn TestableCore>>, SimError> {
-        let (inputs, outputs, chains) = {
+        let (inputs, outputs, method) = {
             let (_, desc) = sim
                 .soc()
                 .core_by_name(&self.core)
                 .ok_or_else(|| SimError::UnknownCore(self.core.clone()))?;
-            let TestMethod::Scan { chains, .. } = desc.method() else {
-                return Err(SimError::UnknownCore(self.core.clone()));
-            };
             (
                 desc.functional_inputs(),
                 desc.functional_outputs(),
-                chains.clone(),
+                desc.method().clone(),
             )
         };
-        let mut faulty = ScanCore::new(&self.core, chains);
-        faulty.inject_stuck_at(self.chain, self.position, self.stuck_at);
+        let faulty: Box<dyn TestableCore> = match (&method, &self.kind) {
+            (
+                TestMethod::Scan { chains, .. },
+                FaultKind::ScanStuckAt {
+                    chain,
+                    position,
+                    stuck_at,
+                },
+            ) => {
+                let mut core = ScanCore::new(&self.core, chains.clone());
+                core.inject_stuck_at(*chain, *position, *stuck_at);
+                Box::new(core)
+            }
+            (TestMethod::Bist { width, patterns }, FaultKind::BistResponse { after }) => {
+                let mut core = BistCore::new(&self.core, *width, *patterns);
+                core.inject_fault_after(*after);
+                Box::new(core)
+            }
+            (
+                TestMethod::Memory { words, data_width },
+                FaultKind::MemoryStuckCell { word, bit, value },
+            ) => {
+                let mut core = MemoryCore::new(&self.core, *words, *data_width);
+                core.inject_stuck_cell(*word, *bit, *value);
+                Box::new(core)
+            }
+            _ => return Err(SimError::UnknownCore(self.core.clone())),
+        };
         let wrapper = sim.wrapper_mut(&self.core)?;
         Ok(std::mem::replace(
             wrapper,
-            Wrapper::new(Box::new(faulty) as Box<dyn TestableCore>, inputs, outputs),
+            Wrapper::new(faulty, inputs, outputs),
         ))
     }
 }
@@ -587,8 +700,10 @@ impl FleetRunner {
             self.pool.set_metrics(Some(Arc::clone(monitor.telemetry())));
         }
         // Bounded: a lagging consumer backpressures the workers instead of
-        // buffering the whole fleet's reports.
-        let (tx, rx) = mpsc::sync_channel::<Result<DeviceReport, SimError>>(
+        // buffering the whole fleet's reports. Reports travel in batches —
+        // one per cohort (packed) or per device (scalar) — so a 64-device
+        // cohort costs one channel rendezvous, not 64.
+        let (tx, rx) = mpsc::sync_channel::<Result<Vec<DeviceReport>, SimError>>(
             self.pool.threads().saturating_mul(2).max(1),
         );
         let collected: Result<Vec<DeviceReport>, SimError> = std::thread::scope(|scope| {
@@ -610,17 +725,10 @@ impl FleetRunner {
                         cohort = Vec::with_capacity(COHORT_LANES);
                         let engine = Arc::clone(engine);
                         let tx = tx.clone();
-                        self.pool.execute(move || match engine.run_cohort(members) {
-                            Ok(reports) => {
-                                for report in reports {
-                                    if tx.send(Ok(report)).is_err() {
-                                        break;
-                                    }
-                                }
-                            }
-                            Err(err) => {
-                                let _ = tx.send(Err(err));
-                            }
+                        self.pool.execute(move || {
+                            // The receiver hangs up after a first error:
+                            // discard late batches instead of panicking.
+                            let _ = tx.send(engine.run_cohort(members));
                         });
                     }
                 }
@@ -641,7 +749,7 @@ impl FleetRunner {
                         };
                         // The receiver hangs up after a first error: discard
                         // late results instead of panicking the worker.
-                        let _ = tx.send(outcome);
+                        let _ = tx.send(outcome.map(|report| vec![report]));
                     });
                 }
             }
@@ -651,9 +759,11 @@ impl FleetRunner {
             let mut error = None;
             for outcome in rx {
                 match outcome {
-                    Ok(report) => {
-                        on_report(&report);
-                        devices.push(report);
+                    Ok(batch) => {
+                        for report in batch {
+                            on_report(&report);
+                            devices.push(report);
+                        }
                     }
                     Err(err) => {
                         error = Some(err);
@@ -718,6 +828,16 @@ impl FleetRunner {
                 "fleet.packed.fallback.devices",
                 (defective - lane_devices) as u64,
             );
+            // Attribute every scalar fallback to the compile clause or
+            // defect placement that forced it — pure functions of
+            // (program, spec, id), so bit-identical across thread counts.
+            for device in &devices {
+                if let Some(fault) = &device.fault {
+                    if let Some(reason) = engine.fallback_reason(fault) {
+                        metrics.inc(&format!("fleet.packed.fallback.reason.{reason}"), 1);
+                    }
+                }
+            }
         }
         for device in &devices {
             metrics.observe("fleet.device.cycles", device.report.total_cycles);
@@ -930,20 +1050,48 @@ mod tests {
         assert!((0..32).all(|id| perfect.fault_for(&soc, id).is_none()));
 
         let always = VariationSpec::new(3, 1.0);
-        let faults: Vec<InjectedFault> = (0..32)
+        let faults: Vec<InjectedFault> = (0..64)
             .map(|id| always.fault_for(&soc, id).expect("rate 1.0 stamps all"))
             .collect();
         assert!(
             faults.windows(2).any(|w| w[0] != w[1]),
             "devices draw distinct defects"
         );
+        let mut kinds_seen = [false; 3];
         for fault in &faults {
             let (_, desc) = soc.core_by_name(&fault.core).unwrap();
-            let TestMethod::Scan { chains, .. } = desc.method() else {
-                panic!("faults land on scan cores only");
-            };
-            assert!(fault.position < chains[fault.chain]);
+            assert!(
+                fault.kind.matches(desc.method()),
+                "defect kind matches the core's test method"
+            );
+            match (&fault.kind, desc.method()) {
+                (
+                    FaultKind::ScanStuckAt {
+                        chain, position, ..
+                    },
+                    TestMethod::Scan { chains, .. },
+                ) => {
+                    kinds_seen[0] = true;
+                    assert!(*position < chains[*chain]);
+                }
+                (FaultKind::BistResponse { after }, TestMethod::Bist { patterns, .. }) => {
+                    kinds_seen[1] = true;
+                    assert!(after < patterns);
+                }
+                (
+                    FaultKind::MemoryStuckCell { word, bit, .. },
+                    TestMethod::Memory { words, data_width },
+                ) => {
+                    kinds_seen[2] = true;
+                    assert!(word < words && bit < data_width);
+                }
+                _ => unreachable!("matches() checked above"),
+            }
         }
+        assert_eq!(
+            kinds_seen, [true; 3],
+            "figure1 draws scan, BIST, and memory defects"
+        );
 
         // Out-of-range rates clamp instead of misbehaving.
         assert_eq!(VariationSpec::new(1, 7.0).defect_rate(), 1.0);

@@ -74,7 +74,7 @@ pub mod simulator;
 pub use bus_core::SystemBusCore;
 pub use engine::CompiledEngine;
 pub use engine_packed::PackedDeviceEngine;
-pub use fleet::{DeviceReport, FleetReport, FleetRunner, InjectedFault, VariationSpec};
+pub use fleet::{DeviceReport, FaultKind, FleetReport, FleetRunner, InjectedFault, VariationSpec};
 pub use interconnect::run_interconnect_extest;
 pub use monitor::{DeviceDump, FleetMonitor, FleetSnapshot, MonitorConfig, Straggler};
 pub use pool::WorkerPool;

@@ -109,6 +109,11 @@ pub struct FleetSnapshot {
     pub cache_misses: u64,
     /// `hits / (hits + misses)` (0.0 before any lookup).
     pub cache_hit_rate: f64,
+    /// Packed-lane scalar fallbacks by reason, sorted by reason name —
+    /// the live view of the run's `fleet.packed.fallback.reason.*`
+    /// counters. Monitored runs are scalar by policy, so every device
+    /// lands under the `monitored_run` reason.
+    pub packed_fallbacks: Vec<(String, u64)>,
     /// Quantile digest of per-device wall time (µs), completed devices.
     pub device_elapsed_us: HistogramSummary,
     /// Quantile digest of job queue-wait time (µs) on the worker pool.
@@ -143,6 +148,14 @@ impl FleetSnapshot {
             self.cache_hits, self.cache_misses
         ));
         json::write_f64(&mut out, self.cache_hit_rate);
+        out.push_str(",\"packed_fallbacks\":{");
+        for (idx, (reason, count)) in self.packed_fallbacks.iter().enumerate() {
+            if idx > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{reason}\":{count}"));
+        }
+        out.push('}');
         out.push_str(",\"device_elapsed_us\":");
         self.device_elapsed_us.write_json(&mut out);
         out.push_str(",\"queue_wait_us\":");
@@ -189,6 +202,14 @@ impl FleetSnapshot {
             "fleet_route_cache_hit_rate",
             f64_text(self.cache_hit_rate),
         );
+        if !self.packed_fallbacks.is_empty() {
+            out.push_str("# TYPE fleet_packed_fallback_reason gauge\n");
+            for (reason, count) in &self.packed_fallbacks {
+                out.push_str(&format!(
+                    "fleet_packed_fallback_reason{{reason=\"{reason}\"}} {count}\n"
+                ));
+            }
+        }
         for (name, summary) in [
             ("fleet_device_elapsed_us", &self.device_elapsed_us),
             ("fleet_queue_wait_us", &self.queue_wait_us),
@@ -398,6 +419,13 @@ impl MonitorShared {
             } else {
                 cache_hits as f64 / lookups as f64
             },
+            // Monitored runs execute scalar by policy (see the module doc):
+            // every device of the run is a packed fallback with one shared
+            // reason.
+            packed_fallbacks: vec![(
+                "monitored_run".to_owned(),
+                self.fleet_size.load(Ordering::Relaxed),
+            )],
             device_elapsed_us: self
                 .device_elapsed
                 .lock()
@@ -562,14 +590,22 @@ mod tests {
         assert_eq!(snap.queue_wait_us.count, 1);
         assert_eq!(snap.stragglers.len(), 2, "straggler list is truncated");
 
+        assert_eq!(
+            snap.packed_fallbacks,
+            vec![("monitored_run".to_owned(), 8)],
+            "monitored runs attribute every device to the scalar path"
+        );
+
         let json = snap.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"completed\":2"));
+        assert!(json.contains("\"packed_fallbacks\":{\"monitored_run\":8}"));
         assert!(json.contains("\"stragglers\":[{\"device_id\":"));
         assert!(!json.contains('\n'), "single line for JSONL streams");
 
         let prom = snap.to_prometheus();
         assert!(prom.contains("fleet_completed 2\n"));
+        assert!(prom.contains("fleet_packed_fallback_reason{reason=\"monitored_run\"} 8\n"));
         assert!(prom.contains("fleet_queue_wait_us{quantile=\"0.5\"} 10\n"));
         drop(rx);
     }

@@ -21,7 +21,7 @@
 //! fan-out.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -84,10 +84,12 @@ where
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// A queued job plus its enqueue instant, so workers can report how long
-/// it waited for a free thread.
+/// it waited for a free thread. The instant is captured only while a
+/// metrics registry is attached — the metric-less serving hot path skips
+/// the clock read entirely.
 struct QueuedJob {
     run: Job,
-    enqueued: Instant,
+    enqueued: Option<Instant>,
 }
 
 /// Queue state shared between the submitting side and the workers.
@@ -106,6 +108,11 @@ struct PoolShared {
     /// intentionally namespaced under `obs.*`, outside the determinism
     /// contract.
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    /// Mirror of `metrics.is_some()`, updated under the `metrics` lock.
+    /// Workers check this flag per job and only touch the mutex when it is
+    /// set, so the (usual) detached case never serializes on the registry
+    /// lock.
+    metrics_attached: AtomicBool,
 }
 
 /// A persistent pool of worker threads pulling jobs from one shared queue.
@@ -167,6 +174,7 @@ impl WorkerPool {
             work_ready: Condvar::new(),
             executed: AtomicU64::new(0),
             metrics: Mutex::new(None),
+            metrics_attached: AtomicBool::new(false),
         });
         let workers = (0..threads)
             .map(|_| {
@@ -191,13 +199,19 @@ impl WorkerPool {
                     state = shared.work_ready.wait(state).expect("worker pool poisoned");
                 }
             };
-            let metrics = shared.metrics.lock().expect("worker pool poisoned").clone();
+            // Fast path: no registry attached (the fleet's per-device hot
+            // path) — skip the metrics mutex entirely.
+            let metrics = if shared.metrics_attached.load(Ordering::Acquire) {
+                shared.metrics.lock().expect("worker pool poisoned").clone()
+            } else {
+                None
+            };
             match metrics {
                 Some(metrics) => {
-                    metrics.observe(
-                        "obs.pool.job.wait_us",
-                        job.enqueued.elapsed().as_micros() as u64,
-                    );
+                    // Jobs enqueued while detached carry no instant and
+                    // report zero wait.
+                    let waited = job.enqueued.map_or(0, |at| at.elapsed().as_micros() as u64);
+                    metrics.observe("obs.pool.job.wait_us", waited);
                     let started = Instant::now();
                     (job.run)();
                     metrics.observe("obs.pool.job.exec_us", started.elapsed().as_micros() as u64);
@@ -212,7 +226,11 @@ impl WorkerPool {
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
         let queued = QueuedJob {
             run: Box::new(job),
-            enqueued: Instant::now(),
+            enqueued: self
+                .shared
+                .metrics_attached
+                .load(Ordering::Acquire)
+                .then(Instant::now),
         };
         let mut state = self.shared.state.lock().expect("worker pool poisoned");
         state.jobs.push_back(queued);
@@ -225,7 +243,11 @@ impl WorkerPool {
     /// the registry changes report to whichever registry is installed when
     /// a worker picks them up.
     pub fn set_metrics(&self, metrics: Option<Arc<MetricsRegistry>>) {
-        *self.shared.metrics.lock().expect("worker pool poisoned") = metrics;
+        let mut slot = self.shared.metrics.lock().expect("worker pool poisoned");
+        self.shared
+            .metrics_attached
+            .store(metrics.is_some(), Ordering::Release);
+        *slot = metrics;
     }
 
     /// Number of worker threads.

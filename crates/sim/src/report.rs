@@ -198,23 +198,29 @@ impl ReportBaseline {
     }
 }
 
-/// Publishes the simulator aggregates into `metrics` and assembles the
-/// final report from the per-lane `(name, verdict, signature)` results.
+/// Publishes the simulator aggregates into `metrics` (when attached) and
+/// assembles the final report from the per-lane `(name, verdict,
+/// signature)` results. The report's cycle fields read the simulator's own
+/// counters — the very values `export_metrics` publishes — so metric-less
+/// runs (the per-device fleet hot path) skip the registry entirely and stay
+/// bit-identical.
 pub(crate) fn finish_report(
     sim: &SocSimulator,
-    metrics: &MetricsRegistry,
+    metrics: Option<&MetricsRegistry>,
     baseline: &ReportBaseline,
     results: Vec<(String, Verdict, u64)>,
     steps: usize,
 ) -> Result<SocTestReport, SimError> {
-    sim.export_metrics(metrics);
+    if let Some(metrics) = metrics {
+        sim.export_metrics(metrics);
+    }
+    let stats = sim.core_stats();
     let mut per_core_cycles = Vec::new();
     for (idx, core_baseline) in baseline.core.iter().enumerate() {
         let name = sim.tam().label(idx)?.to_owned();
-        let total = metrics.counter_sum(&crate::simulator::core_metric_prefix(&name));
-        per_core_cycles.push((name, total - core_baseline));
+        per_core_cycles.push((name, stats[idx].total() - core_baseline));
     }
-    let bus_cycles = metrics.counter_sum("bus.wire") - baseline.busy;
+    let bus_cycles = sim.wire_busy().iter().sum::<u64>() - baseline.busy;
     let mut verdicts = Vec::with_capacity(results.len());
     let mut signatures = Vec::with_capacity(results.len());
     for (name, verdict, signature) in results {
@@ -254,7 +260,7 @@ pub fn run_program(
 
 /// [`run_program`], additionally publishing the simulator's cycle
 /// aggregates into `metrics` (see [`SocSimulator::export_metrics`]); the
-/// report's per-core and bus cycle fields are read back from the registry.
+/// report's per-core and bus cycle fields match the published counters.
 ///
 /// # Errors
 ///
@@ -278,7 +284,7 @@ pub fn run_program_reference(
     sim: &mut SocSimulator,
     program: &TestProgram,
 ) -> Result<SocTestReport, SimError> {
-    run_program_reference_with_metrics(sim, program, &MetricsRegistry::new())
+    reference_run(sim, program, None)
 }
 
 /// [`run_program_reference`] with metrics publication.
@@ -290,6 +296,16 @@ pub fn run_program_reference_with_metrics(
     sim: &mut SocSimulator,
     program: &TestProgram,
     metrics: &MetricsRegistry,
+) -> Result<SocTestReport, SimError> {
+    reference_run(sim, program, Some(metrics))
+}
+
+/// Shared body of the reference runners: registry export is skipped
+/// entirely when no registry is attached.
+fn reference_run(
+    sim: &mut SocSimulator,
+    program: &TestProgram,
+    metrics: Option<&MetricsRegistry>,
 ) -> Result<SocTestReport, SimError> {
     let baseline = ReportBaseline::capture(sim);
     let mut results: Vec<(String, Verdict, u64)> = Vec::new();

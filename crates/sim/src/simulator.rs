@@ -135,11 +135,6 @@ fn cas_mode_code(mode: CasMode) -> u64 {
     }
 }
 
-/// Metric-name prefix for one core's cycle counters.
-pub(crate) fn core_metric_prefix(name: &str) -> String {
-    format!("core.{}.", sanitize(name))
-}
-
 /// Replaces characters VCD identifiers dislike.
 pub(crate) fn sanitize(name: &str) -> String {
     name.chars()

@@ -410,6 +410,154 @@ fn all_defective_cohorts_match_scalar_fleet() {
     assert_eq!(packed.passed, scalar.passed);
 }
 
+/// A fleet whose defects land exclusively on BIST and memory cores rides
+/// the lane encoding end to end: every `(fleet_size, threads)` combination
+/// is bit-identical to the scalar fleet, zero devices fall back to scalar,
+/// and no fallback-reason counter fires.
+#[test]
+fn all_defective_bist_memory_fleet_matches_scalar_fleet() {
+    use casbus_sim::FaultKind;
+    use casbus_soc::{CoreDescription, SocBuilder, TestMethod};
+
+    let soc = SocBuilder::new("bist_memory")
+        .core(CoreDescription::new(
+            "bist16",
+            TestMethod::Bist {
+                width: 16,
+                patterns: 300,
+            },
+        ))
+        .core(CoreDescription::new(
+            "dram",
+            TestMethod::Memory {
+                words: 64,
+                data_width: 8,
+            },
+        ))
+        .core(CoreDescription::new(
+            "bist8",
+            TestMethod::Bist {
+                width: 8,
+                patterns: 200,
+            },
+        ))
+        .build()
+        .expect("valid by construction");
+    let n = soc.max_ports();
+    let schedule = packed_schedule(&soc, n).expect("schedule");
+    let spec = VariationSpec::new(29, 1.0);
+    const FLEET: u64 = 96; // one full cohort + one partial, all defective
+
+    let scalar = FleetRunner::new(&soc, n, schedule.clone())
+        .expect("runner")
+        .with_packed(false)
+        .with_threads(4)
+        .run(&spec, FLEET)
+        .expect("scalar run");
+    assert!(
+        scalar.devices.iter().all(|d| matches!(
+            d.fault.as_ref().map(|f| &f.kind),
+            Some(FaultKind::BistResponse { .. }) | Some(FaultKind::MemoryStuckCell { .. })
+        )),
+        "every stamped defect targets a BIST or memory core"
+    );
+
+    for threads in [1usize, 2, 4] {
+        let runner = FleetRunner::new(&soc, n, schedule.clone())
+            .expect("runner")
+            .with_threads(threads);
+        let metrics = MetricsRegistry::new();
+        let packed = runner
+            .run_with_metrics(&spec, FLEET, &metrics, |_| {})
+            .expect("packed run");
+
+        assert_eq!(packed.devices, scalar.devices, "{threads} threads");
+        assert_eq!(packed.passed, scalar.passed);
+        assert_eq!(
+            metrics.counter("fleet.packed.lane.devices"),
+            FLEET,
+            "every defective die rides a lane ({threads} threads)"
+        );
+        assert_eq!(
+            metrics.counter("fleet.packed.fallback.devices"),
+            0,
+            "BIST/memory defects never fall back ({threads} threads)"
+        );
+        assert!(
+            metrics
+                .counters()
+                .iter()
+                .all(|(name, _)| !name.starts_with("fleet.packed.fallback.reason.")),
+            "no fallback reason may fire ({threads} threads)"
+        );
+    }
+}
+
+/// A mixed lot on the §4 maintenance SoC — scan, BIST, and memory defects
+/// interleaved in one fleet — stays bit-identical to the scalar fleet at
+/// every thread count with zero scalar fallbacks: heterogeneous cohorts
+/// group lanes per core and dispatch each to its own packed model.
+#[test]
+fn mixed_lot_bist_memory_fleet_matches_scalar_fleet() {
+    use casbus_sim::FaultKind;
+
+    let soc = catalog::maintenance_soc();
+    let n = soc.max_ports();
+    let schedule = packed_schedule(&soc, n).expect("schedule");
+    let spec = VariationSpec::new(17, 0.5);
+    const FLEET: u64 = 96;
+
+    let scalar = FleetRunner::new(&soc, n, schedule.clone())
+        .expect("runner")
+        .with_packed(false)
+        .with_threads(4)
+        .run(&spec, FLEET)
+        .expect("scalar run");
+    let mut kinds_seen = [false; 3];
+    for device in &scalar.devices {
+        match device.fault.as_ref().map(|f| &f.kind) {
+            Some(FaultKind::ScanStuckAt { .. }) => kinds_seen[0] = true,
+            Some(FaultKind::BistResponse { .. }) => kinds_seen[1] = true,
+            Some(FaultKind::MemoryStuckCell { .. }) => kinds_seen[2] = true,
+            None => {}
+        }
+    }
+    assert_eq!(
+        kinds_seen, [true; 3],
+        "the lot exercises scan, BIST, and memory defects"
+    );
+
+    for threads in [1usize, 2, 4] {
+        let runner = FleetRunner::new(&soc, n, schedule.clone())
+            .expect("runner")
+            .with_threads(threads);
+        let metrics = MetricsRegistry::new();
+        let packed = runner
+            .run_with_metrics(&spec, FLEET, &metrics, |_| {})
+            .expect("packed run");
+
+        assert_eq!(packed.devices, scalar.devices, "{threads} threads");
+        assert_eq!(packed.passed, scalar.passed);
+        assert_eq!(packed.total_cycles, scalar.total_cycles);
+        assert!(
+            metrics.counter("fleet.packed.lane.devices") > 0,
+            "defective dies ride lanes ({threads} threads)"
+        );
+        assert_eq!(
+            metrics.counter("fleet.packed.fallback.devices"),
+            0,
+            "no defect placement forces scalar ({threads} threads)"
+        );
+        assert!(
+            metrics
+                .counters()
+                .iter()
+                .all(|(name, _)| !name.starts_with("fleet.packed.fallback.reason.")),
+            "no fallback reason may fire ({threads} threads)"
+        );
+    }
+}
+
 /// [`VariationSpec`] edge cases: the extreme rates stamp none/all, the
 /// empty and single-device fleets behave, and `fault_for` is a pure
 /// function — identical across repeated runs and across thread counts.

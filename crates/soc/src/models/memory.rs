@@ -4,9 +4,10 @@
 use casbus_p1500::TestableCore;
 use casbus_tpg::BitVec;
 
-/// Phases of the simplified MATS+ march test the memory executes.
+/// Phases of the simplified MATS+ march test the memory executes (shared
+/// with the lane-packed twin, whose march progress is lane-invariant).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MarchPhase {
+pub(super) enum MarchPhase {
     /// ⇑ (w0): write 0 everywhere.
     WriteZeros,
     /// ⇑ (r0, w1): read-expect-0, write 1.

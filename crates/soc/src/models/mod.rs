@@ -7,16 +7,20 @@
 //! merely transports bits.
 
 mod bist;
+mod bist_packed;
 mod external;
 mod hierarchical;
 mod memory;
+mod memory_packed;
 mod scan;
 mod scan_packed;
 
 pub use bist::BistCore;
+pub use bist_packed::PackedBistLanes;
 pub use external::ExternalCore;
 pub use hierarchical::HierarchicalCore;
 pub use memory::MemoryCore;
+pub use memory_packed::PackedMemoryLanes;
 pub use scan::ScanCore;
 pub use scan_packed::PackedScanLanes;
 

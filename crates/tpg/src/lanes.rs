@@ -19,6 +19,7 @@
 //! so a lane cannot drift from the device it represents.
 
 use crate::bits::BitVec;
+use crate::poly::Polynomial;
 
 /// Number of lanes one word carries.
 pub const LANES: usize = 64;
@@ -151,9 +152,148 @@ impl LaneStreams {
     }
 }
 
+/// Up to 64 lane-parallel MISRs sharing one feedback polynomial — the
+/// bit-sliced twin of [`Misr`](crate::Misr) the packed BIST model compresses
+/// responses with.
+///
+/// Where the scalar MISR keeps one bit per register stage, this keeps one
+/// *word* per stage: `state[i]` bit `l` is stage `i` of lane `l`'s register.
+/// Because every lane shares the polynomial, the shift-down and feedback
+/// steps are plain word operations, and [`absorb_lanes`](Self::absorb_lanes)
+/// advances all 64 registers in O(width) word ops per clock. Every lane
+/// starts from the all-zero state (matching a fresh scalar
+/// [`Misr`](crate::Misr)), and a lane whose input words carry exactly a
+/// scalar run's bits holds exactly that run's signature.
+///
+/// # Examples
+///
+/// ```
+/// use casbus_tpg::lanes::{broadcast, LaneMisr};
+/// use casbus_tpg::{BitVec, Misr, Polynomial};
+///
+/// let poly = Polynomial::primitive(8).unwrap();
+/// let mut packed = LaneMisr::new(&poly);
+/// let mut scalar = Misr::new(poly, 8).unwrap();
+///
+/// // Absorb the same response in lane 5 and in the scalar twin.
+/// let response = 0b1011_0010u64;
+/// let words: Vec<u64> = (0..8)
+///     .map(|i| if (response >> i) & 1 == 1 { 1u64 << 5 } else { 0 })
+///     .collect();
+/// packed.absorb_lanes(&words);
+/// scalar.absorb(&BitVec::from_u64(response, 8));
+/// assert_eq!(packed.lane_state(5), scalar.signature().to_u64());
+/// assert_eq!(packed.lane_state(0), 0); // untouched lane stays pristine
+/// ```
+#[derive(Debug, Clone)]
+pub struct LaneMisr {
+    /// `state[i]` — lane word of register stage `i`.
+    state: Vec<u64>,
+    /// Scalar feedback mask: bit `e - 1` set for every polynomial term
+    /// `x^e`, `1 <= e <= degree` — identical to the scalar MISR's mask.
+    mask: u64,
+}
+
+impl LaneMisr {
+    /// 64 zero-state MISRs of width `poly.degree()` with `poly` feedback.
+    ///
+    /// # Panics
+    ///
+    /// If the polynomial degree is 0 or exceeds 64.
+    #[must_use]
+    pub fn new(poly: &Polynomial) -> Self {
+        let width = poly.degree();
+        assert!(
+            width >= 1 && width <= LANES as u32,
+            "MISR width {width} out of range"
+        );
+        let mut mask = 0u64;
+        for exponent in 1..=width {
+            if poly.has_term(exponent) {
+                mask |= 1 << (exponent - 1);
+            }
+        }
+        Self {
+            state: vec![0; width as usize],
+            mask,
+        }
+    }
+
+    /// Register width in bits (the polynomial degree).
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.state.len() as u32
+    }
+
+    /// Clocks all 64 lanes once, each lane compressing its bits of
+    /// `inputs`: `inputs[i]` bit `l` is lane `l`'s input to stage `i`.
+    ///
+    /// Word-for-bit identical to [`Misr::absorb`](crate::Misr::absorb): the
+    /// register shifts down one stage, the outgoing bit feeds back into the
+    /// polynomial taps, and the inputs XOR into the low stages.
+    ///
+    /// # Panics
+    ///
+    /// If `inputs` is empty or longer than the register.
+    pub fn absorb_lanes(&mut self, inputs: &[u64]) {
+        assert!(!inputs.is_empty(), "MISR needs at least one input");
+        assert!(
+            inputs.len() <= self.state.len(),
+            "MISR accepts at most {} parallel inputs, got {}",
+            self.state.len(),
+            inputs.len()
+        );
+        let out = self.state[0];
+        let width = self.state.len();
+        for i in 0..width - 1 {
+            self.state[i] = self.state[i + 1];
+        }
+        self.state[width - 1] = 0;
+        let mut taps = self.mask;
+        while taps != 0 {
+            let stage = taps.trailing_zeros() as usize;
+            self.state[stage] ^= out;
+            taps &= taps - 1;
+        }
+        for (stage, &word) in self.state.iter_mut().zip(inputs) {
+            *stage ^= word;
+        }
+    }
+
+    /// The register contents as one lane word per stage: `state_words()[i]`
+    /// bit `l` is stage `i` of lane `l`.
+    #[must_use]
+    pub fn state_words(&self) -> &[u64] {
+        &self.state
+    }
+
+    /// Lane `lane`'s register as a scalar value, bit `i` holding stage `i`
+    /// — equal to the scalar twin's `signature().to_u64()`.
+    ///
+    /// # Panics
+    ///
+    /// If `lane >= 64`.
+    #[must_use]
+    pub fn lane_state(&self, lane: usize) -> u64 {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.state
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (stage, &word)| {
+                acc | (((word >> lane) & 1) << stage)
+            })
+    }
+
+    /// Returns every lane to the all-zero power-on state.
+    pub fn reset_lanes(&mut self) {
+        self.state.fill(0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::misr::Misr;
 
     /// A cheap deterministic word mixer for test data.
     fn mix(i: u64) -> u64 {
@@ -222,6 +362,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lane_misr_matches_64_scalar_misrs() {
+        for width in [4u32, 8, 16, 32] {
+            let poly = Polynomial::primitive(width).expect("supported width");
+            let mut packed = LaneMisr::new(&poly);
+            let mut scalars: Vec<Misr> = (0..LANES)
+                .map(|_| Misr::new(poly.clone(), width).expect("valid MISR"))
+                .collect();
+            assert_eq!(packed.width(), width);
+            let mut stamp = u64::from(width) << 32;
+            for clock in 0..100 {
+                let inputs: Vec<u64> = (0..width)
+                    .map(|_| {
+                        stamp += 1;
+                        mix(stamp)
+                    })
+                    .collect();
+                packed.absorb_lanes(&inputs);
+                for (lane, scalar) in scalars.iter_mut().enumerate() {
+                    let bits: BitVec = inputs.iter().map(|w| (w >> lane) & 1 == 1).collect();
+                    scalar.absorb(&bits);
+                    assert_eq!(
+                        packed.lane_state(lane),
+                        scalar.signature().to_u64(),
+                        "width {width} clock {clock} lane {lane}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_misr_accepts_fewer_inputs_than_stages() {
+        // A 2-input 8-stage MISR: inputs land on the low stages only,
+        // exactly as the scalar twin injects them.
+        let poly = Polynomial::primitive(8).expect("supported width");
+        let mut packed = LaneMisr::new(&poly);
+        let mut scalar = Misr::new(poly, 2).expect("valid MISR");
+        for clock in 0..64u64 {
+            let inputs = [mix(clock), mix(clock ^ 0xABCD)];
+            packed.absorb_lanes(&inputs);
+            let bits: BitVec = inputs.iter().map(|w| (w >> 13) & 1 == 1).collect();
+            scalar.absorb(&bits);
+            assert_eq!(
+                packed.lane_state(13),
+                scalar.signature().to_u64(),
+                "clock {clock}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_misr_reset_restores_power_on_state() {
+        let poly = Polynomial::primitive(12).expect("supported width");
+        let mut packed = LaneMisr::new(&poly);
+        let pristine = packed.clone();
+        let inputs: Vec<u64> = (0..12).map(|i| mix(i as u64)).collect();
+        packed.absorb_lanes(&inputs);
+        assert_ne!(packed.state_words(), pristine.state_words());
+        packed.reset_lanes();
+        assert_eq!(packed.state_words(), pristine.state_words());
+        assert_eq!(packed.lane_state(7), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn lane_misr_rejects_too_many_inputs() {
+        let poly = Polynomial::primitive(4).expect("supported width");
+        let mut packed = LaneMisr::new(&poly);
+        packed.absorb_lanes(&[0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn lane_misr_rejects_empty_input() {
+        let poly = Polynomial::primitive(4).expect("supported width");
+        let mut packed = LaneMisr::new(&poly);
+        packed.absorb_lanes(&[]);
     }
 
     #[test]

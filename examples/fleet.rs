@@ -58,12 +58,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // long before the lot completes.
             let fault = device.fault.as_ref().expect("only defective dies fail");
             println!(
-                "  device {:3} FAIL — stuck-at-{} on {} chain {} position {}",
-                device.device_id,
-                u8::from(fault.stuck_at),
-                fault.core,
-                fault.chain,
-                fault.position
+                "  device {:3} FAIL — {} on {}",
+                device.device_id, fault.kind, fault.core
             );
             failures.push(device.device_id);
         }
