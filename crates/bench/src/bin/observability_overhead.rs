@@ -1,7 +1,7 @@
 //! Instrumentation overhead of the observability layer on the hot paths it
 //! touches: the bit-parallel (PPSFP) fault-simulation engine, the
 //! cycle-accurate SoC simulator, and fleet batch serving under a live
-//! [`FleetMonitor`](casbus_sim::FleetMonitor).
+//! [`FleetMonitor`].
 //!
 //! Each workload runs several ways — instrumentation disabled (the default
 //! `NullSink` / no probe / no monitor), with a full JSONL event trace, with

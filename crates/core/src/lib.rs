@@ -69,6 +69,6 @@ pub use config::ConfigStream;
 pub use error::CasError;
 pub use geometry::CasGeometry;
 pub use instruction::CasInstruction;
-pub use route::{RouteTable, RouteTableCache, WaveKey, WireSource};
+pub use route::{CacheStats, RouteTable, RouteTableCache, WaveKey, WireSource};
 pub use switch::{SchemeSet, SwitchScheme};
 pub use tam::{Tam, TamConfiguration};

@@ -342,6 +342,36 @@ pub struct RouteTableCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Most tables ever resident at once — how much of the budget the
+    /// workload actually used.
+    high_water: AtomicU64,
+}
+
+/// A point-in-time accounting snapshot of a [`RouteTableCache`] — the
+/// budget view a multi-plan serving layer exports per run.
+///
+/// When several compiled plans (different SoCs, different bus widths)
+/// share one bounded cache, the interesting questions are budgetary: how
+/// much of the capacity did the mixed workload actually need
+/// ([`high_water`](Self::high_water)), and did co-tenant plans thrash each
+/// other's tables out ([`evictions`](Self::evictions))? `stats()` reads
+/// every counter in one call so exported metrics are mutually consistent
+/// enough for operator dashboards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compile a table.
+    pub misses: u64,
+    /// Tables dropped to stay within the capacity budget.
+    pub evictions: u64,
+    /// Distinct wave shapes resident right now.
+    pub len: usize,
+    /// The capacity budget (`usize::MAX` when unbounded).
+    pub capacity: usize,
+    /// Most tables ever resident at once since the last
+    /// [`clear`](RouteTableCache::clear).
+    pub high_water: u64,
 }
 
 impl Default for RouteTableCache {
@@ -365,6 +395,7 @@ impl RouteTableCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -404,6 +435,8 @@ impl RouteTableCache {
             let stamp = state.stamp;
             let table = Arc::new(RouteTable::compile(chain));
             state.tables.insert(key, (Arc::clone(&table), stamp));
+            self.high_water
+                .fetch_max(state.tables.len() as u64, Ordering::Relaxed);
             return table;
         }
         let mut state = self.state.write().expect("route cache poisoned");
@@ -427,6 +460,8 @@ impl RouteTableCache {
         }
         let table = Arc::new(RouteTable::compile(chain));
         state.tables.insert(key, (Arc::clone(&table), stamp));
+        self.high_water
+            .fetch_max(state.tables.len() as u64, Ordering::Relaxed);
         table
     }
 
@@ -443,6 +478,42 @@ impl RouteTableCache {
     /// Tables dropped to stay within the capacity cap.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Most tables ever resident at once since construction (or the last
+    /// [`clear`](Self::clear)) — how much of the capacity budget the
+    /// workload actually needed. A high-water mark well below
+    /// [`capacity`](Self::capacity) means the budget is oversized; a mark
+    /// pinned at capacity alongside growing [`evictions`](Self::evictions)
+    /// means co-tenant plans are thrashing each other's tables.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Every accounting counter in one snapshot, for metric export.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use casbus::{Cas, CasChain, CasGeometry, RouteTableCache};
+    ///
+    /// let chain = CasChain::new(vec![Cas::for_geometry(CasGeometry::new(4, 1)?)?])?;
+    /// let cache = RouteTableCache::with_capacity(8);
+    /// cache.get_or_compile(&chain);
+    /// let stats = cache.stats();
+    /// assert_eq!((stats.misses, stats.len, stats.high_water), (1, 1, 1));
+    /// assert_eq!(stats.capacity, 8);
+    /// # Ok::<(), casbus::CasError>(())
+    /// ```
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            len: self.len(),
+            capacity: self.capacity,
+            high_water: self.high_water(),
+        }
     }
 
     /// Distinct wave shapes currently cached (never exceeds the capacity).
@@ -479,6 +550,7 @@ impl RouteTableCache {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.evictions.store(0, Ordering::Relaxed);
+        self.high_water.store(0, Ordering::Relaxed);
     }
 }
 
@@ -693,9 +765,17 @@ mod tests {
             assert!(cache.len() <= cache.capacity());
         }
         assert!(cache.evictions() > 1);
+        // The budget accounting sees the cap was fully used…
+        assert_eq!(cache.high_water(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.capacity, 2);
+        assert_eq!(stats.high_water, 2);
+        assert_eq!(stats.evictions, cache.evictions());
+        assert_eq!(stats.len, cache.len());
 
         cache.clear();
         assert_eq!((cache.len(), cache.evictions()), (0, 0));
+        assert_eq!(cache.high_water(), 0, "clear resets the high-water mark");
 
         // Capacity 0 is clamped so the cache stays usable.
         assert_eq!(RouteTableCache::with_capacity(0).capacity(), 1);

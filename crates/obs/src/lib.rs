@@ -8,25 +8,25 @@
 //!
 //! * [`vcd`] — a standard **Value Change Dump** writer (viewable in GTKWave)
 //!   with hierarchical scopes and full 4-value (`0`/`1`/`X`/`Z`) support,
-//!   driven through the [`Probe`](probe::Probe) trait so instrumented code
+//!   driven through the [`Probe`] trait so instrumented code
 //!   never depends on the output format. [`vcd_check`] parses VCD files back
 //!   for golden tests and CI self-checks without external tools.
 //! * [`trace`] — structured event tracing behind the zero-cost-when-disabled
-//!   [`TraceSink`](trace::TraceSink) trait, exportable as JSON Lines or as a
+//!   [`TraceSink`] trait, exportable as JSON Lines or as a
 //!   Chrome-trace (`chrome://tracing` / Perfetto) file.
 //! * [`metrics`] — a thread-safe registry of counters and log-bucketed
 //!   quantile histograms (cycles per phase, bus utilisation per wire,
 //!   shift/capture/idle cycles per core, faults/sec; p50/p90/p99/max in
 //!   fixed memory, exactly mergeable) with `Display`, JSON and
 //!   Prometheus-style text export.
-//! * [`ring`] — the [`FlightRecorder`](ring::FlightRecorder), a
+//! * [`ring`] — the [`FlightRecorder`], a
 //!   fixed-capacity ring buffer of recent trace events dumped on failure
 //!   for focused post-mortems at fleet scale.
 //!
 //! # Overhead contract
 //!
 //! Instrumented hot paths hold an `Arc<dyn TraceSink>` (default
-//! [`NullSink`](trace::NullSink)) and an `Option`al probe/metrics handle.
+//! [`NullSink`]) and an `Option`al probe/metrics handle.
 //! Every emission site is gated on [`TraceSink::enabled`](trace::TraceSink)
 //! or `Option::is_some` *before* any argument is allocated, so the disabled
 //! configuration costs one predictable branch per coarse-grained event —

@@ -386,6 +386,60 @@ impl MetricsRegistry {
         }
     }
 
+    /// [`merge_from`](Self::merge_from) with every incoming name prefixed
+    /// by `prefix` (use a trailing separator, e.g. `"floor.lot.hot."`).
+    ///
+    /// Multi-tenant serving layers use this to land each tenant's private
+    /// registry (its `fleet.*` counters and histograms) inside one merged
+    /// registry without tenants colliding: lot *hot*'s `fleet.passed`
+    /// becomes `floor.lot.hot.fleet.passed`, queryable next to the
+    /// floor-wide `floor.*` aggregates.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use casbus_obs::MetricsRegistry;
+    ///
+    /// let lot = MetricsRegistry::new();
+    /// lot.set("fleet.passed", 7);
+    /// lot.observe("fleet.device.cycles", 100);
+    /// let floor = MetricsRegistry::new();
+    /// floor.merge_from_prefixed(&lot, "floor.lot.hot.");
+    /// assert_eq!(floor.counter("floor.lot.hot.fleet.passed"), 7);
+    /// assert!(floor.histogram("floor.lot.hot.fleet.device.cycles").is_some());
+    /// ```
+    pub fn merge_from_prefixed(&self, other: &MetricsRegistry, prefix: &str) {
+        if std::ptr::eq(self, other) && prefix.is_empty() {
+            return;
+        }
+        let (counters, histograms, series) = {
+            let theirs = other.inner.lock().expect("metrics poisoned");
+            (
+                theirs.counters.clone(),
+                theirs.histograms.clone(),
+                theirs.series.clone(),
+            )
+        };
+        let mut inner = self.inner.lock().expect("metrics poisoned");
+        for (name, value) in counters {
+            *inner.counters.entry(format!("{prefix}{name}")).or_insert(0) += value;
+        }
+        for (name, h) in histograms {
+            inner
+                .histograms
+                .entry(format!("{prefix}{name}"))
+                .or_default()
+                .merge(&h);
+        }
+        for (name, points) in series {
+            inner
+                .series
+                .entry(format!("{prefix}{name}"))
+                .or_default()
+                .extend(points);
+        }
+    }
+
     /// Drops every counter, histogram and series.
     pub fn clear(&self) {
         let mut inner = self.inner.lock().expect("metrics poisoned");

@@ -52,8 +52,8 @@ pub trait TestableCore: Send {
     /// per test port; bit `t` of plane `j` is the port-`j` input at cycle
     /// `t`. The returned planes carry the outputs in the same layout.
     ///
-    /// The provided implementation simply loops over [`test_clock`]
-    /// (`TestableCore::test_clock`), so every model stays bit-exact by
+    /// The provided implementation simply loops over
+    /// [`test_clock`](TestableCore::test_clock), so every model stays bit-exact by
     /// construction; models with word-level internal state (e.g. scan
     /// chains stored as `BitVec`s) override this to shift whole words.
     ///

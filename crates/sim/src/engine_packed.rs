@@ -36,7 +36,7 @@
 //! # Why patching the baseline is sound
 //!
 //! The packed path is only used when **every** step of the program passes
-//! [`step_is_compilable`]: all routes independent (no serial wire sharing
+//! `step_is_compilable`: all routes independent (no serial wire sharing
 //! between cores), all tested wrappers in transparent INTEST modes with
 //! exact widths, no Update/Idle plan cycles. Under those conditions a
 //! defect inside core X can influence *only* X's own produced bits: each
@@ -197,7 +197,7 @@ impl PackedDeviceEngine {
     /// defective device's reason under
     /// `fleet.packed.fallback.reason.<name>`. Program-level blockers
     /// (`step.*` / `program.*`) name the first
-    /// [`step_compile_blocker`] clause the compiled program failed; defect
+    /// `step_compile_blocker` clause the compiled program failed; defect
     /// placements the lane encoding cannot carry come back as
     /// `defect.untested_core` (the core never runs a session in this
     /// program) or `defect.method_mismatch` (the fault kind does not match

@@ -5,7 +5,7 @@
 //! simulation: the schedule is compiled into a [`CompiledProgram`] and its
 //! wave shapes route-compiled into a shared [`RouteTableCache`] exactly
 //! once, then any number of independent simulated devices execute the same
-//! immutable plan on a persistent [`WorkerPool`](crate::pool::WorkerPool).
+//! immutable plan on a persistent [`WorkerPool`].
 //! Adding a device costs one queue push, never a schedule search, a route
 //! compilation, or a thread spawn.
 //!
@@ -716,21 +716,14 @@ impl FleetRunner {
                 // Cohort dispatch: one pool job per ≤64 devices. Faults are
                 // stamped on the dispatch thread, so lane assignment is a
                 // pure function of device id regardless of worker timing.
-                let mut cohort: Vec<(u64, Option<InjectedFault>)> =
-                    Vec::with_capacity(COHORT_LANES);
-                for device_id in 0..fleet_size {
-                    cohort.push((device_id, spec.fault_for(&self.soc, device_id)));
-                    if cohort.len() == COHORT_LANES || device_id + 1 == fleet_size {
-                        let members = std::mem::take(&mut cohort);
-                        cohort = Vec::with_capacity(COHORT_LANES);
-                        let engine = Arc::clone(engine);
-                        let tx = tx.clone();
-                        self.pool.execute(move || {
-                            // The receiver hangs up after a first error:
-                            // discard late batches instead of panicking.
-                            let _ = tx.send(engine.run_cohort(members));
-                        });
-                    }
+                for members in plan_cohorts(spec, &self.soc, fleet_size) {
+                    let engine = Arc::clone(engine);
+                    let tx = tx.clone();
+                    self.pool.execute(move || {
+                        // The receiver hangs up after a first error:
+                        // discard late batches instead of panicking.
+                        let _ = tx.send(engine.run_cohort(members));
+                    });
                 }
             } else {
                 for device_id in 0..fleet_size {
@@ -792,56 +785,14 @@ impl FleetRunner {
         let total_cycles: u64 = devices.iter().map(|d| d.report.total_cycles).sum();
         let wire_cycles: u64 = devices.iter().map(|d| d.report.bus_cycles).sum();
 
-        metrics.set("fleet.devices", fleet_size);
-        metrics.set("fleet.passed", passed as u64);
-        metrics.set("fleet.failed", devices.len() as u64 - passed as u64);
-        metrics.set(
-            "fleet.defects.injected",
-            devices.iter().filter(|d| d.fault.is_some()).count() as u64,
+        publish_fleet_metrics(
+            metrics,
+            fleet_size,
+            &devices,
+            self.pool.threads(),
+            &self.cache,
+            packed_engine.as_deref(),
         );
-        metrics.set("fleet.cycles.total", total_cycles);
-        metrics.set("fleet.bus.wire_cycles", wire_cycles);
-        metrics.set("fleet.threads", self.pool.threads() as u64);
-        metrics.set("fleet.route_cache.hits", self.cache.hits());
-        metrics.set("fleet.route_cache.misses", self.cache.misses());
-        metrics.set("fleet.route_cache.evictions", self.cache.evictions());
-        metrics.set("fleet.route_cache.shapes", self.cache.len() as u64);
-        if let Some(engine) = &packed_engine {
-            // Per-device accounting (not per-cohort): how many devices each
-            // packed serving path handled. Pure functions of (spec, id), so
-            // bit-identical across thread counts like every fleet.* metric.
-            let defective = devices.iter().filter(|d| d.fault.is_some()).count();
-            let lane_devices = devices
-                .iter()
-                .filter(|d| d.fault.as_ref().is_some_and(|f| engine.fault_packable(f)))
-                .count();
-            metrics.set(
-                "fleet.packed.cohorts",
-                fleet_size.div_ceil(COHORT_LANES as u64),
-            );
-            metrics.set(
-                "fleet.packed.baseline.devices",
-                (devices.len() - defective) as u64,
-            );
-            metrics.set("fleet.packed.lane.devices", lane_devices as u64);
-            metrics.set(
-                "fleet.packed.fallback.devices",
-                (defective - lane_devices) as u64,
-            );
-            // Attribute every scalar fallback to the compile clause or
-            // defect placement that forced it — pure functions of
-            // (program, spec, id), so bit-identical across thread counts.
-            for device in &devices {
-                if let Some(fault) = &device.fault {
-                    if let Some(reason) = engine.fallback_reason(fault) {
-                        metrics.inc(&format!("fleet.packed.fallback.reason.{reason}"), 1);
-                    }
-                }
-            }
-        }
-        for device in &devices {
-            metrics.observe("fleet.device.cycles", device.report.total_cycles);
-        }
         if let Some(monitor) = monitor {
             // Everything wall-clock lands under obs.* so differential runs
             // can compare monitored and unmonitored registries by filtering
@@ -878,6 +829,102 @@ impl FleetRunner {
             wire_cycles,
             wall,
         })
+    }
+}
+
+/// Plans the packed cohorts of one lot: device ids `0..fleet_size` grouped
+/// consecutively into cohorts of up to [`COHORT_LANES`], each member
+/// stamped by `spec` on the calling thread. A pure function of
+/// `(spec, soc, fleet_size)`, so lane assignment — and therefore every
+/// packed report — is identical whether the lot runs standalone on a
+/// [`FleetRunner`] or shares a [`TestFloor`](crate::floor::TestFloor) with
+/// other lots.
+pub(crate) fn plan_cohorts(
+    spec: &VariationSpec,
+    soc: &SocDescription,
+    fleet_size: u64,
+) -> Vec<Vec<(u64, Option<InjectedFault>)>> {
+    let mut cohorts = Vec::with_capacity(fleet_size.div_ceil(COHORT_LANES as u64) as usize);
+    let mut cohort: Vec<(u64, Option<InjectedFault>)> = Vec::with_capacity(COHORT_LANES);
+    for device_id in 0..fleet_size {
+        cohort.push((device_id, spec.fault_for(soc, device_id)));
+        if cohort.len() == COHORT_LANES || device_id + 1 == fleet_size {
+            cohorts.push(std::mem::take(&mut cohort));
+            cohort = Vec::with_capacity(COHORT_LANES);
+        }
+    }
+    cohorts
+}
+
+/// Publishes the standard `fleet.*` metrics for one completed lot:
+/// device/pass/fail/defect counts, cycle and wire-cycle totals, the route
+/// cache's counters, packed-path accounting (when `packed_engine` is set),
+/// and the per-device cycle histogram observed in device order. `requested`
+/// is the lot size that was dispatched — it can exceed `devices.len()` when
+/// a floor lot was aborted mid-run. Shared by [`FleetRunner`] (its own
+/// registry) and [`TestFloor`](crate::floor::TestFloor) (one registry per
+/// lot, merged under `floor.lot.<name>.`). Nothing here is wall-clock, so
+/// every value is bit-identical across thread counts.
+pub(crate) fn publish_fleet_metrics(
+    metrics: &MetricsRegistry,
+    requested: u64,
+    devices: &[DeviceReport],
+    threads: usize,
+    cache: &RouteTableCache,
+    packed_engine: Option<&PackedDeviceEngine>,
+) {
+    let passed = devices.iter().filter(|d| d.passed()).count();
+    let total_cycles: u64 = devices.iter().map(|d| d.report.total_cycles).sum();
+    let wire_cycles: u64 = devices.iter().map(|d| d.report.bus_cycles).sum();
+    metrics.set("fleet.devices", requested);
+    metrics.set("fleet.passed", passed as u64);
+    metrics.set("fleet.failed", devices.len() as u64 - passed as u64);
+    metrics.set(
+        "fleet.defects.injected",
+        devices.iter().filter(|d| d.fault.is_some()).count() as u64,
+    );
+    metrics.set("fleet.cycles.total", total_cycles);
+    metrics.set("fleet.bus.wire_cycles", wire_cycles);
+    metrics.set("fleet.threads", threads as u64);
+    metrics.set("fleet.route_cache.hits", cache.hits());
+    metrics.set("fleet.route_cache.misses", cache.misses());
+    metrics.set("fleet.route_cache.evictions", cache.evictions());
+    metrics.set("fleet.route_cache.shapes", cache.len() as u64);
+    if let Some(engine) = packed_engine {
+        // Per-device accounting (not per-cohort): how many devices each
+        // packed serving path handled. Pure functions of (spec, id), so
+        // bit-identical across thread counts like every fleet.* metric.
+        let defective = devices.iter().filter(|d| d.fault.is_some()).count();
+        let lane_devices = devices
+            .iter()
+            .filter(|d| d.fault.as_ref().is_some_and(|f| engine.fault_packable(f)))
+            .count();
+        metrics.set(
+            "fleet.packed.cohorts",
+            requested.div_ceil(COHORT_LANES as u64),
+        );
+        metrics.set(
+            "fleet.packed.baseline.devices",
+            (devices.len() - defective) as u64,
+        );
+        metrics.set("fleet.packed.lane.devices", lane_devices as u64);
+        metrics.set(
+            "fleet.packed.fallback.devices",
+            (defective - lane_devices) as u64,
+        );
+        // Attribute every scalar fallback to the compile clause or
+        // defect placement that forced it — pure functions of
+        // (program, spec, id), so bit-identical across thread counts.
+        for device in devices {
+            if let Some(fault) = &device.fault {
+                if let Some(reason) = engine.fallback_reason(fault) {
+                    metrics.inc(&format!("fleet.packed.fallback.reason.{reason}"), 1);
+                }
+            }
+        }
+    }
+    for device in devices {
+        metrics.observe("fleet.device.cycles", device.report.total_cycles);
     }
 }
 

@@ -41,6 +41,13 @@
 //!   streaming health snapshots (yield, throughput, latency quantiles,
 //!   stragglers) over a bounded channel, plus per-device flight-recorder
 //!   dumps for failing dies,
+//! * [`floor::TestFloor`] — multi-tenant serving: run several heterogeneous
+//!   lots ([`floor::LotSpec`]) concurrently on one shared worker pool and
+//!   one route-cache budget, weighted-fair by lot priority, each lot's
+//!   reports bit-identical to a standalone [`fleet::FleetRunner`] run,
+//! * [`admission::AdmissionPolicy`] — yield-driven admission control for
+//!   the floor: pause, demote or abort a lot whose rolling yield collapses,
+//!   and boost a starved lot, without perturbing co-tenants,
 //! * fault injection — flip a core defect on and watch the session fail.
 //!
 //! # Example
@@ -59,10 +66,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod bus_core;
 pub mod engine;
 pub mod engine_packed;
 pub mod fleet;
+pub mod floor;
 pub mod interconnect;
 pub mod monitor;
 pub mod pool;
@@ -71,13 +80,17 @@ pub mod search;
 pub mod session;
 pub mod simulator;
 
+pub use admission::{
+    AdmissionAction, AdmissionController, AdmissionEvent, AdmissionPolicy, CollapseAction,
+};
 pub use bus_core::SystemBusCore;
 pub use engine::CompiledEngine;
 pub use engine_packed::PackedDeviceEngine;
 pub use fleet::{DeviceReport, FaultKind, FleetReport, FleetRunner, InjectedFault, VariationSpec};
+pub use floor::{FloorReport, LotReport, LotSpec, LotStatus, TestFloor};
 pub use interconnect::run_interconnect_extest;
-pub use monitor::{DeviceDump, FleetMonitor, FleetSnapshot, MonitorConfig, Straggler};
-pub use pool::WorkerPool;
+pub use monitor::{DeviceDump, FleetMonitor, FleetSnapshot, LotTracker, MonitorConfig, Straggler};
+pub use pool::{LaneId, WorkerPool};
 pub use report::{
     run_program, run_program_reference, run_program_reference_with_metrics,
     run_program_with_metrics, SocTestReport,

@@ -558,6 +558,153 @@ impl FleetMonitor {
     }
 }
 
+/// Rolling progress tracker for one lot on a
+/// [`TestFloor`](crate::floor::TestFloor).
+///
+/// The floor's collector calls [`record`](Self::record) for every finished
+/// device of the lot; the floor's admission thread periodically turns the
+/// tracker into a per-lot [`FleetSnapshot`] via [`snapshot`](Self::snapshot)
+/// and feeds [`rolling_yield`](Self::rolling_yield) /
+/// [`last_progress_age`](Self::last_progress_age) to the
+/// [`AdmissionController`](crate::admission::AdmissionController).
+///
+/// Unlike the full [`FleetMonitor`] (which owns per-device phase timers and
+/// flight recorders and therefore forces the scalar path), a `LotTracker`
+/// observes only completion events, so packed cohort execution stays
+/// available to floor lots. Snapshot fields the tracker cannot see —
+/// per-device latency quantiles, queue-wait digests, stragglers, live
+/// fallback attribution — are left empty in lot snapshots.
+#[derive(Debug)]
+pub struct LotTracker {
+    fleet_size: u64,
+    window: usize,
+    started: Instant,
+    seq: AtomicU64,
+    completed: AtomicU64,
+    passed: AtomicU64,
+    defective: AtomicU64,
+    recent: Mutex<std::collections::VecDeque<bool>>,
+    last_progress: Mutex<Instant>,
+}
+
+impl LotTracker {
+    /// A tracker for a lot of `fleet_size` devices, judging rolling yield
+    /// over the last `window` completions (clamped to at least 1).
+    pub fn new(fleet_size: u64, window: usize) -> Self {
+        let now = Instant::now();
+        Self {
+            fleet_size,
+            window: window.max(1),
+            started: now,
+            seq: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            passed: AtomicU64::new(0),
+            defective: AtomicU64::new(0),
+            recent: Mutex::new(std::collections::VecDeque::with_capacity(window.max(1))),
+            last_progress: Mutex::new(now),
+        }
+    }
+
+    /// Records one finished device of this lot.
+    pub fn record(&self, report: &crate::fleet::DeviceReport) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        if report.passed() {
+            self.passed.fetch_add(1, Ordering::Relaxed);
+        }
+        if report.fault.is_some() {
+            self.defective.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut recent = self.recent.lock().expect("lot tracker poisoned");
+        if recent.len() == self.window {
+            recent.pop_front();
+        }
+        recent.push_back(report.passed());
+        drop(recent);
+        *self.last_progress.lock().expect("lot tracker poisoned") = Instant::now();
+    }
+
+    /// Devices of this lot finished so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Finished devices whose every core passed.
+    pub fn passed(&self) -> u64 {
+        self.passed.load(Ordering::Relaxed)
+    }
+
+    /// Devices the lot still owes (`fleet_size − completed`).
+    pub fn remaining(&self) -> u64 {
+        self.fleet_size.saturating_sub(self.completed())
+    }
+
+    /// Pass fraction over the last `window` completions — `1.0` before
+    /// anything completes. This is the admission controller's collapse
+    /// signal: a lot whose overall yield still looks healthy can already be
+    /// producing a solid run of failures at the tail.
+    pub fn rolling_yield(&self) -> f64 {
+        let recent = self.recent.lock().expect("lot tracker poisoned");
+        if recent.is_empty() {
+            1.0
+        } else {
+            recent.iter().filter(|&&pass| pass).count() as f64 / recent.len() as f64
+        }
+    }
+
+    /// Time since this lot last completed a device (or since the tracker
+    /// was created, before the first completion) — the starvation signal.
+    pub fn last_progress_age(&self) -> Duration {
+        self.last_progress
+            .lock()
+            .expect("lot tracker poisoned")
+            .elapsed()
+    }
+
+    /// Assembles a per-lot [`FleetSnapshot`]. `queued` is the lot's
+    /// still-undispatched device count (from the pool lane), so
+    /// `in_flight` counts only devices actually executing on workers.
+    /// Tracker-invisible fields (latency digests, stragglers, fallback
+    /// attribution) are empty — see the type-level docs.
+    pub fn snapshot(&self, cache: &RouteTableCache, queued: u64, last: bool) -> FleetSnapshot {
+        let elapsed = self.started.elapsed();
+        let completed = self.completed();
+        let passed = self.passed();
+        let (cache_hits, cache_misses) = (cache.hits(), cache.misses());
+        let lookups = cache_hits + cache_misses;
+        FleetSnapshot {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            last,
+            elapsed_us: elapsed.as_micros() as u64,
+            fleet_size: self.fleet_size,
+            completed,
+            passed,
+            failed: completed - passed,
+            defective: self.defective.load(Ordering::Relaxed),
+            in_flight: self
+                .fleet_size
+                .saturating_sub(completed)
+                .saturating_sub(queued),
+            yield_fraction: if completed == 0 {
+                1.0
+            } else {
+                passed as f64 / completed as f64
+            },
+            devices_per_sec: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if lookups == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / lookups as f64
+            },
+            packed_fallbacks: Vec::new(),
+            device_elapsed_us: HistogramSummary::default(),
+            queue_wait_us: HistogramSummary::default(),
+            stragglers: Vec::new(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,10 +9,13 @@
 //!   agree), joined before returning. Borrowed data is fine; thread churn is
 //!   paid per call.
 //! * [`WorkerPool`] — the *persistent* pool fleet serving runs on:
-//!   long-lived workers pull whole jobs from one shared injector queue, so
+//!   long-lived workers pull whole jobs from shared injector queues, so
 //!   a thousand-device run spawns its threads exactly once. Jobs must be
 //!   `'static` (they outlive the submitting call); results stream back over
-//!   whatever channel the job captured.
+//!   whatever channel the job captured. Jobs land in weighted-fair
+//!   [`LaneId`] lanes: the test floor gives each lot one lane whose weight
+//!   is the lot priority, and its admission controller pauses, reweights,
+//!   or drains a lane without touching co-tenant lanes.
 //!
 //! The split is deliberate: a persistent pool cannot safely borrow from the
 //! submitting stack frame, and a scoped pool cannot amortise thread startup
@@ -28,6 +31,11 @@ use std::time::Instant;
 
 use casbus_controller::partition_lpt;
 use casbus_obs::MetricsRegistry;
+
+/// Virtual-time quantum for the stride scheduler: a lane of weight `w`
+/// advances its pass by `STRIDE_SCALE / w` per job, so over time lanes
+/// receive worker pulls proportionally to their weights.
+const STRIDE_SCALE: u64 = 1 << 20;
 
 /// Runs `f` over every item, spreading the work across up to `workers`
 /// scoped threads balanced by LPT on the supplied weights, and returns the
@@ -92,11 +100,79 @@ struct QueuedJob {
     enqueued: Option<Instant>,
 }
 
-/// Queue state shared between the submitting side and the workers.
-#[derive(Default)]
-struct PoolState {
+/// Handle to one submission lane of a [`WorkerPool`].
+///
+/// Lanes are the pool's unit of *weighted-fair scheduling*: every job is
+/// enqueued into some lane ([`WorkerPool::execute`] uses a built-in default
+/// lane of weight 1; [`WorkerPool::lane`] registers more), and idle workers
+/// pick the next job from the runnable lane with the smallest
+/// stride-scheduling pass value — so over time each lane receives worker
+/// pulls in proportion to its weight, regardless of how fast jobs are
+/// submitted. A multi-tenant serving layer (the test floor) maps each lot
+/// to one lane and its priority to the lane weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneId(usize);
+
+/// One submission lane: its queue plus fair-scheduling state.
+struct LaneState {
     jobs: VecDeque<QueuedJob>,
+    /// Scheduling weight (≥ 1): a weight-2 lane gets twice the pulls of a
+    /// weight-1 lane while both have work queued.
+    weight: u64,
+    /// Paused lanes are skipped by workers (queued jobs wait; in-flight
+    /// jobs finish) until resumed — except during shutdown, when every
+    /// queued job still runs so nothing is silently discarded.
+    paused: bool,
+    /// Stride-scheduling virtual time: advanced by `STRIDE_SCALE / weight`
+    /// per popped job; the runnable lane with the smallest pass goes next.
+    pass: u64,
+}
+
+/// Queue state shared between the submitting side and the workers.
+struct PoolState {
+    lanes: Vec<LaneState>,
+    /// Pass value of the most recently scheduled lane: lanes going from
+    /// empty to non-empty rejoin at this virtual "now" instead of replaying
+    /// the backlog their idle time would otherwise entitle them to.
+    global_pass: u64,
     shutdown: bool,
+}
+
+impl PoolState {
+    /// A fresh state with the default lane (index 0, weight 1) installed.
+    fn new() -> Self {
+        Self {
+            lanes: vec![LaneState {
+                jobs: VecDeque::new(),
+                weight: 1,
+                paused: false,
+                pass: 0,
+            }],
+            global_pass: 0,
+            shutdown: false,
+        }
+    }
+
+    /// Pops the next job under weighted-fair scheduling: the non-paused,
+    /// non-empty lane with the smallest pass (ties to the lowest lane
+    /// index). During shutdown paused lanes are eligible too, so dropping
+    /// the pool never strands queued work.
+    fn next_job(&mut self) -> Option<QueuedJob> {
+        let mut best: Option<usize> = None;
+        for (idx, lane) in self.lanes.iter().enumerate() {
+            if lane.jobs.is_empty() || (lane.paused && !self.shutdown) {
+                continue;
+            }
+            if best.is_none_or(|b| lane.pass < self.lanes[b].pass) {
+                best = Some(idx);
+            }
+        }
+        let idx = best?;
+        let lane = &mut self.lanes[idx];
+        self.global_pass = lane.pass;
+        lane.pass += STRIDE_SCALE / lane.weight.max(1);
+        lane.jobs.pop_front()
+    }
 }
 
 struct PoolShared {
@@ -126,8 +202,8 @@ struct PoolShared {
 ///
 /// Jobs are `FnOnce() + Send + 'static`; anything they produce streams back
 /// through channels the job captured. Dropping the pool finishes every
-/// queued job first, then joins the workers (tests rely on nothing being
-/// silently discarded).
+/// queued job first — paused lanes included — then joins the workers
+/// (tests rely on nothing being silently discarded).
 ///
 /// # Examples
 ///
@@ -170,7 +246,7 @@ impl WorkerPool {
             threads
         };
         let shared = Arc::new(PoolShared {
-            state: Mutex::new(PoolState::default()),
+            state: Mutex::new(PoolState::new()),
             work_ready: Condvar::new(),
             executed: AtomicU64::new(0),
             metrics: Mutex::new(None),
@@ -190,7 +266,7 @@ impl WorkerPool {
             let job = {
                 let mut state = shared.state.lock().expect("worker pool poisoned");
                 loop {
-                    if let Some(job) = state.jobs.pop_front() {
+                    if let Some(job) = state.next_job() {
                         break job;
                     }
                     if state.shutdown {
@@ -222,8 +298,33 @@ impl WorkerPool {
         }
     }
 
-    /// Enqueues one job; the first idle worker picks it up.
+    /// Enqueues one job on the default lane; the first idle worker picks
+    /// it up.
     pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.execute_in(LaneId(0), job);
+    }
+
+    /// Registers a new submission lane with the given fair-share `weight`
+    /// (clamped to at least 1). Lanes live as long as the pool.
+    pub fn lane(&self, weight: u64) -> LaneId {
+        let mut state = self.shared.state.lock().expect("worker pool poisoned");
+        let pass = state.global_pass;
+        state.lanes.push(LaneState {
+            jobs: VecDeque::new(),
+            weight: weight.max(1),
+            paused: false,
+            pass,
+        });
+        LaneId(state.lanes.len() - 1)
+    }
+
+    /// Enqueues one job on `lane`; workers pick it up according to the
+    /// lane's weight and pause state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` does not belong to this pool.
+    pub fn execute_in(&self, lane: LaneId, job: impl FnOnce() + Send + 'static) {
         let queued = QueuedJob {
             run: Box::new(job),
             enqueued: self
@@ -233,9 +334,68 @@ impl WorkerPool {
                 .then(Instant::now),
         };
         let mut state = self.shared.state.lock().expect("worker pool poisoned");
-        state.jobs.push_back(queued);
+        let global_pass = state.global_pass;
+        let slot = state.lanes.get_mut(lane.0).expect("lane of another pool");
+        if slot.jobs.is_empty() {
+            // Rejoin at the scheduler's current virtual time: an idle lane
+            // must not replay the share it did not use.
+            slot.pass = slot.pass.max(global_pass);
+        }
+        slot.jobs.push_back(queued);
         drop(state);
         self.shared.work_ready.notify_one();
+    }
+
+    /// Pauses or resumes `lane`. Queued jobs of a paused lane wait (workers
+    /// skip the lane); jobs already running finish normally. Resuming wakes
+    /// every idle worker.
+    pub fn set_lane_paused(&self, lane: LaneId, paused: bool) {
+        let mut state = self.shared.state.lock().expect("worker pool poisoned");
+        state
+            .lanes
+            .get_mut(lane.0)
+            .expect("lane of another pool")
+            .paused = paused;
+        drop(state);
+        if !paused {
+            self.shared.work_ready.notify_all();
+        }
+    }
+
+    /// Changes `lane`'s fair-share weight (clamped to at least 1), taking
+    /// effect from the next scheduling decision.
+    pub fn set_lane_weight(&self, lane: LaneId, weight: u64) {
+        let mut state = self.shared.state.lock().expect("worker pool poisoned");
+        state
+            .lanes
+            .get_mut(lane.0)
+            .expect("lane of another pool")
+            .weight = weight.max(1);
+    }
+
+    /// Drops every job still queued on `lane` (jobs already running
+    /// finish), returning how many were discarded. Anything a dropped job
+    /// captured — result senders included — is dropped with it, so
+    /// collectors observing channel hang-up see the lane end cleanly.
+    pub fn drain_lane(&self, lane: LaneId) -> usize {
+        let mut state = self.shared.state.lock().expect("worker pool poisoned");
+        let slot = state.lanes.get_mut(lane.0).expect("lane of another pool");
+        let dropped = slot.jobs.len();
+        slot.jobs.clear();
+        dropped
+    }
+
+    /// Jobs currently queued (not yet picked up) on `lane`.
+    pub fn lane_queued(&self, lane: LaneId) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("worker pool poisoned")
+            .lanes
+            .get(lane.0)
+            .expect("lane of another pool")
+            .jobs
+            .len()
     }
 
     /// Attaches (or with `None` detaches) a registry receiving per-job
@@ -326,6 +486,108 @@ mod tests {
     fn zero_threads_resolves_to_available_parallelism() {
         let pool = WorkerPool::new(0);
         assert!(pool.threads() >= 1);
+    }
+
+    #[test]
+    fn lanes_share_workers_by_weight() {
+        // One worker, jobs that record their lane: with weights 3:1 the
+        // heavy lane's jobs are picked ~3x as often while both are backed
+        // up. Queue everything against a gate first so the scheduler sees
+        // both lanes non-empty from the first pull.
+        let pool = WorkerPool::new(1);
+        let heavy = pool.lane(3);
+        let light = pool.lane(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.execute(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..12 {
+            let tx = tx.clone();
+            pool.execute_in(heavy, move || tx.send("heavy").unwrap());
+        }
+        for _ in 0..12 {
+            let tx = tx.clone();
+            pool.execute_in(light, move || tx.send("light").unwrap());
+        }
+        drop(tx);
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let order: Vec<&str> = rx.iter().collect();
+        assert_eq!(order.len(), 24, "every job ran");
+        // In the first 8 scheduled jobs, the weight-3 lane must dominate.
+        let heavy_early = order[..8].iter().filter(|&&l| l == "heavy").count();
+        assert!(
+            heavy_early >= 5,
+            "weight-3 lane got only {heavy_early}/8 early slots: {order:?}"
+        );
+    }
+
+    #[test]
+    fn paused_lane_waits_and_resumes_without_losing_jobs() {
+        let pool = WorkerPool::new(2);
+        let lane = pool.lane(1);
+        pool.set_lane_paused(lane, true);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..6u64 {
+            let tx = tx.clone();
+            pool.execute_in(lane, move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        assert_eq!(pool.lane_queued(lane), 6, "paused jobs stay queued");
+        assert!(rx
+            .recv_timeout(std::time::Duration::from_millis(50))
+            .is_err());
+        pool.set_lane_paused(lane, false);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>(), "nothing lost on resume");
+    }
+
+    #[test]
+    fn drain_lane_drops_queued_jobs_and_their_senders() {
+        let pool = WorkerPool::new(1);
+        let lane = pool.lane(1);
+        pool.set_lane_paused(lane, true);
+        let (tx, rx) = mpsc::channel::<u64>();
+        for i in 0..5u64 {
+            let tx = tx.clone();
+            pool.execute_in(lane, move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        assert_eq!(pool.drain_lane(lane), 5);
+        assert_eq!(pool.lane_queued(lane), 0);
+        // Every sender clone died with its job: the channel reports
+        // disconnect instead of hanging.
+        assert!(rx.iter().next().is_none(), "drained lane sends nothing");
+        pool.set_lane_paused(lane, false);
+    }
+
+    #[test]
+    fn dropping_the_pool_runs_paused_lanes_too() {
+        let pool = WorkerPool::new(1);
+        let lane = pool.lane(1);
+        pool.set_lane_paused(lane, true);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..3u64 {
+            let tx = tx.clone();
+            pool.execute_in(lane, move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        drop(pool);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2], "shutdown strands nothing");
     }
 
     #[test]
